@@ -1,0 +1,138 @@
+//! Theorems 2, 3 and 5, and Proposition 1 (the naive simulation), as
+//! evaluable bounds.  All are *slowdowns* `T_host/T_guest` unless noted.
+
+use crate::logp2;
+
+/// **Proposition 1** — naive simulation of `M_d(n, n, m)` by
+/// `M_d(n, 1, m)`: slowdown `O(n^{1 + 1/d})` (each guest step costs the
+/// host `n` remote accesses at up to `f(nm) = n^{1/d}`).
+pub fn prop1_naive_uniprocessor(d: u8, n: f64) -> f64 {
+    n * n.powf(1.0 / d as f64)
+}
+
+/// Parallel naive simulation by `M_d(n, p, m)` (Section 4.2 opening):
+/// slowdown `O((n/p)^{1 + 1/d})`.
+pub fn naive_multiprocessor(d: u8, n: f64, p: f64) -> f64 {
+    let c = n / p;
+    c * c.powf(1.0 / d as f64)
+}
+
+/// **Theorem 2** — `M_1(n, n, 1)` by `M_1(n, 1, 1)`: slowdown
+/// `O(n log n)`.
+pub fn thm2_slowdown(n: f64) -> f64 {
+    n * logp2(n)
+}
+
+/// **Theorem 3** — `M_1(n, n, m)` by `M_1(n, 1, m)`: slowdown
+/// `O(n · min(n, m·log(n/m)))`.
+pub fn thm3_slowdown(n: f64, m: f64) -> f64 {
+    n * thm3_locality(n, m)
+}
+
+/// Theorem 3's locality factor `min(n, m·log(n/m))`.
+pub fn thm3_locality(n: f64, m: f64) -> f64 {
+    n.min(m * logp2(n / m))
+}
+
+/// Section 4.1's crossover between the *block-relocation* D&C variant
+/// (`T_1 = O(T_n·n·m·log n)`, every level relocates whole private
+/// memories) and the naive simulation (`O(T_n·n²)`): D&C wins for
+/// `m < n / log n`.
+pub fn dnc_block_crossover_m(n: f64) -> f64 {
+    n / logp2(n)
+}
+
+/// The saturation point of Theorem 3's *combined* scheme: the locality
+/// term `min(n, m·log(n/m))` reaches its naive ceiling `n` at the root of
+/// `m·log(n/m) = n` — with the footnote log this is exactly `m = n/2`.
+pub fn thm3_crossover_m(n: f64) -> f64 {
+    // Solve m·log(n/m) = n by bisection; m·logp2(n/m) is increasing on
+    // [1, n] and exceeds n at m = n (logp2(1) = log₂3 > 1).
+    let f = |m: f64| m * logp2(n / m) - n;
+    let (mut lo, mut hi) = (1.0f64, n);
+    if f(hi) < 0.0 {
+        return n;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// **Theorem 5** — `M_2(n, n, 1)` by `M_2(n, 1, 1)`: slowdown
+/// `O(n log n)`.
+pub fn thm5_slowdown(n: f64) -> f64 {
+    n * logp2(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_d1_is_quadratic() {
+        assert_eq!(prop1_naive_uniprocessor(1, 64.0), 4096.0);
+    }
+
+    #[test]
+    fn naive_d2_is_n_to_three_halves() {
+        assert_eq!(prop1_naive_uniprocessor(2, 64.0), 512.0);
+    }
+
+    #[test]
+    fn naive_multiproc_shrinks_with_p() {
+        assert_eq!(naive_multiprocessor(1, 64.0, 8.0), 64.0);
+        assert!(naive_multiprocessor(1, 64.0, 8.0) < prop1_naive_uniprocessor(1, 64.0));
+    }
+
+    #[test]
+    fn thm2_beats_naive_asymptotically() {
+        for n in [64.0, 1024.0, 1_048_576.0] {
+            assert!(thm2_slowdown(n) < prop1_naive_uniprocessor(1, n));
+        }
+    }
+
+    #[test]
+    fn thm3_reduces_to_thm2_at_m1() {
+        let n = 4096.0;
+        let r = thm3_slowdown(n, 1.0) / thm2_slowdown(n);
+        assert!(r > 0.5 && r < 2.0);
+    }
+
+    #[test]
+    fn thm3_saturates_at_naive_for_huge_m() {
+        let n = 4096.0;
+        assert_eq!(thm3_slowdown(n, 2.0 * n), n * n);
+    }
+
+    #[test]
+    fn block_crossover_is_n_over_log_n() {
+        let n = 65536.0;
+        assert_eq!(dnc_block_crossover_m(n), n / logp2(n));
+        // Below it, block D&C beats naive; above, naive wins.
+        let m_lo = dnc_block_crossover_m(n) / 2.0;
+        let m_hi = dnc_block_crossover_m(n) * 2.0;
+        assert!(n * m_lo * logp2(n) < n * n);
+        assert!(n * m_hi * logp2(n) > n * n);
+    }
+
+    #[test]
+    fn combined_crossover_is_half_n_with_footnote_log() {
+        for n in [1024.0, 65536.0, 1_048_576.0] {
+            let m = thm3_crossover_m(n);
+            // m·log₂(n/m + 2) = n has root exactly n/2 (log₂4 = 2).
+            assert!((m - n / 2.0).abs() / n < 1e-6, "n={n}: {m}");
+            assert!((m * logp2(n / m) - n).abs() / n < 1e-6);
+        }
+    }
+
+    #[test]
+    fn thm5_matches_thm2_form() {
+        assert_eq!(thm5_slowdown(256.0), thm2_slowdown(256.0));
+    }
+}

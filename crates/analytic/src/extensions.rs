@@ -1,0 +1,107 @@
+//! Section-6 extensions, quantified:
+//!
+//! * the **d = 3 conjecture** — Theorem 1's form with `d = 3`, supported
+//!   constructively by the 4-D topological separator in
+//!   `bsmp_geometry::domain3` (γ = 3/4 meets the 3-D H-RAM's α = 1/3 at
+//!   Proposition 3's admissibility boundary exactly);
+//! * the **pipelined-memory machine** — `p < n` processors whose
+//!   memories accept a new request before earlier ones complete: a batch
+//!   of `k` accesses with maximum address `X` costs `f(X) + k`, and the
+//!   naive simulation then incurs *no locality slowdown*.
+
+use crate::logp2;
+
+/// The conjectured locality slowdown `A(n, m, p)` for `d = 3` — Theorem
+/// 1's expressions with `d = 3` substituted (ranges split at
+/// `(n/p)^{1/6}`, `(np)^{1/6}` and `n^{1/3}`).
+///
+/// Status: *conjecture* in the paper (Section 6); the critical
+/// ingredient — a `(c·x^{3/4}, δ)`-topological separator for 4-D
+/// domains — is constructed and machine-verified in
+/// `bsmp_geometry::domain3`, and satisfies Proposition 3's admissibility
+/// condition with equality, so the uniprocessor part (the analogues of
+/// Theorems 2/5) follows by the paper's own argument.
+pub fn locality_slowdown_d3(n: f64, m: f64, p: f64) -> f64 {
+    assert!(n >= 1.0 && m >= 1.0 && p >= 1.0 && p <= n);
+    let p3 = p.cbrt();
+    let n3 = n.cbrt();
+    let np6 = (n / p).powf(1.0 / 6.0);
+    if m <= np6 {
+        (m / p3) * logp2(m) + m * logp2(2.0 * n3 / (p3 * m * m))
+    } else if m <= (n * p).powf(1.0 / 6.0) {
+        (m / p3) * logp2(np6) + 2.0 * np6
+    } else if m <= n3 {
+        (m / p3) * logp2(2.0 * n3 / m) + n3 / m
+    } else {
+        (n / p).cbrt()
+    }
+}
+
+/// Slowdown of the naive simulation on a **pipelined-memory** host
+/// (Section 6): each guest step's `n/p` accesses overlap, costing the
+/// batch `f(n·m/p) + n/p = (n/p)^{1/d} + n/p` — so the slowdown is
+/// `Θ(n/p)`: Brent recovered, zero locality slowdown.
+pub fn pipelined_slowdown(d: u8, n: f64, p: f64) -> f64 {
+    let batch = (n / p).powf(1.0 / d as f64) + n / p;
+    // Guest step is Θ(1): the slowdown is the batch time itself.
+    batch
+}
+
+/// The hardware cost the paper attributes to pipelinable memory: the
+/// number of in-flight requests is `Θ(n)`-proportional, "making the cost
+/// of such machine closer to the one with n fully-fledged processors".
+/// Returns the in-flight request count at full utilization.
+pub fn pipelined_inflight(d: u8, n: f64, p: f64) -> f64 {
+    // Requests issued during one worst-case latency f(nm/p) = (n/p)^{1/d},
+    // across all p processors.
+    p * (n / p).powf(1.0 / d as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3_conjecture_matches_low_d_pattern() {
+        // Range 4: A = (n/p)^{1/3}.
+        assert_eq!(locality_slowdown_d3(32768.0, 1e9, 4.0), (32768.0f64 / 4.0).cbrt());
+        // m = 1, p = 1: Θ(log n) — the Theorem-2/5 analogue.
+        let a = locality_slowdown_d3(1e9, 1.0, 1.0);
+        let l = logp2(1e9);
+        assert!(a > l / 4.0 && a < l * 4.0);
+    }
+
+    #[test]
+    fn d3_ranges_are_continuous_enough() {
+        let (n, p): (f64, f64) = (1e12, 64.0);
+        for boundary in [(n / p).powf(1.0 / 6.0), (n * p).powf(1.0 / 6.0), n.cbrt()] {
+            let lo = locality_slowdown_d3(n, boundary * 0.99, p);
+            let hi = locality_slowdown_d3(n, boundary * 1.01, p);
+            let r = (lo / hi).max(hi / lo);
+            assert!(r < 4.0, "jump ×{r} at {boundary}");
+        }
+    }
+
+    #[test]
+    fn pipelining_removes_locality_slowdown() {
+        let (n, p) = (65536.0, 16.0);
+        for d in [1u8, 2] {
+            let pip = pipelined_slowdown(d, n, p);
+            let brent = n / p;
+            assert!(pip <= 2.0 * brent, "pipelined ≈ Brent");
+            // The bounded-speed naive slowdown is (n/p)^{1+1/d} ≫.
+            assert!(pip < crate::bounds::naive_multiprocessor(d, n, p) / 8.0);
+        }
+    }
+
+    #[test]
+    fn pipelining_hardware_grows_with_n() {
+        // Fixing p, in-flight hardware grows polynomially in n — the
+        // paper's point that the pipelined machine is "closer to the one
+        // with n fully-fledged processors".
+        let p = 16.0;
+        let a = pipelined_inflight(1, 1024.0, p);
+        let b = pipelined_inflight(1, 4096.0, p);
+        assert!(b / a > 3.0);
+    }
+}

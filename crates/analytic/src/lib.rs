@@ -1,0 +1,47 @@
+//! # bsmp-analytic
+//!
+//! Closed-form bounds from the paper, as executable formulas:
+//!
+//! * [`theorem1`] — the headline tradeoff `T_p/T_n = O((n/p)·A(n, m, p))`
+//!   with the four-range locality slowdown `A`, for general `d`;
+//! * [`theorem4`] — the `d = 1` statement, the Section-4.2 objective
+//!   `λ(s)` and its optimizer `s*` (the four ranges), plus a numeric
+//!   minimizer used to *verify* the ranges;
+//! * [`bounds`] — Theorems 2, 3 and 5 and Proposition 1 (naive
+//!   simulation);
+//! * [`brent`] — the classical Brent-principle baseline `⌈n/p⌉` and the
+//!   Fundamental Principle of Parallel Computation;
+//! * [`matmul`] — the introduction's matrix-multiplication example
+//!   (superlinear `Θ(n^{3/2})` speedup of the mesh over the
+//!   uniprocessor).
+//!
+//! Everything here is pure arithmetic on `f64`; the measurement side
+//! lives in `bsmp-sim`, and `bsmp-bench` compares the two.
+
+pub mod bounds;
+pub mod brent;
+pub mod extensions;
+pub mod matmul;
+pub mod theorem1;
+pub mod theorem4;
+
+pub use theorem1::{locality_slowdown, slowdown_bound, Range};
+pub use theorem4::{lambda, optimal_s, range_of, LambdaParts};
+
+/// The paper's footnote logarithm: `log(x) := log₂(x + 2)`, so that
+/// `log(x) ≥ 1` for all `x ≥ 0`.
+#[inline]
+pub fn logp2(x: f64) -> f64 {
+    (x + 2.0).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logp2_floor_is_one() {
+        assert_eq!(logp2(0.0), 1.0);
+        assert!(logp2(0.5) > 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! **Theorem 1** — for `T_n ≥ n^{1/d}` and `d = 1, 2`, a `T_n`-step
+//! computation of `M_d(n, n, m)` can be simulated by `M_d(n, p, m)` with
+//! slowdown
+//!
+//! ```text
+//! T_p / T_n = O( (n/p) · A(n, m, p) )
+//! ```
+//!
+//! where the locality slowdown `A` takes four expressions depending on
+//! where `m` falls relative to `(n/p)^{1/2d}`, `(np)^{1/2d}` and
+//! `n^{1/d}`.
+//!
+//! The statement's range-2 coefficient is written `(m/p)` in the paper's
+//! `d = 1` instantiation (Theorem 4: `(m/2p)·log(n/p)`); for general `d`
+//! we use `(m/p^{1/d})`, which is the unique reading that makes `A`
+//! continuous (up to constants) across the range boundaries and agrees
+//! with Theorem 4 at `d = 1`.
+
+use crate::logp2;
+
+/// Which of Theorem 1's four ranges a parameter triple falls in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Range {
+    /// `m ≤ (n/p)^{1/2d}` — recursion dominates; memory rearrangement
+    /// alone spreads work (Regime 1 vacuous at the low end).
+    R1,
+    /// `(n/p)^{1/2d} < m ≤ (np)^{1/2d}` — relocation levels plus naive
+    /// execution balance.
+    R2,
+    /// `(np)^{1/2d} < m ≤ n^{1/d}` — relocation recedes; naive execution
+    /// predominates.
+    R3,
+    /// `n^{1/d} < m` — only the naive simulation is profitable;
+    /// `A = (n/p)^{1/d}` exactly.
+    R4,
+}
+
+/// Classify `(n, m, p)` into Theorem 1's ranges for dimension `d`.
+pub fn range(d: u8, n: f64, m: f64, p: f64) -> Range {
+    let inv2d = 1.0 / (2.0 * d as f64);
+    if m <= (n / p).powf(inv2d) {
+        Range::R1
+    } else if m <= (n * p).powf(inv2d) {
+        Range::R2
+    } else if m <= n.powf(1.0 / d as f64) {
+        Range::R3
+    } else {
+        Range::R4
+    }
+}
+
+/// The locality slowdown `A(n, m, p)` of Theorem 1 for dimension `d`.
+pub fn locality_slowdown(d: u8, n: f64, m: f64, p: f64) -> f64 {
+    assert!(d == 1 || d == 2, "Theorem 1 covers d = 1, 2");
+    assert!(n >= 1.0 && m >= 1.0 && p >= 1.0 && p <= n);
+    let dd = d as f64;
+    let p_d = p.powf(1.0 / dd); // p^{1/d}
+    let n_d = n.powf(1.0 / dd); // n^{1/d}
+    let np_2d = (n / p).powf(1.0 / (2.0 * dd)); // (n/p)^{1/2d}
+    match range(d, n, m, p) {
+        Range::R1 => (m / p_d) * logp2(m) + m * logp2(2.0 * n_d / (p_d * m * m)),
+        Range::R2 => (m / p_d) * logp2(np_2d) + 2.0 * np_2d,
+        Range::R3 => (m / p_d) * logp2(2.0 * n_d / m) + n_d / m,
+        Range::R4 => (n / p).powf(1.0 / dd),
+    }
+}
+
+/// The full slowdown bound `(n/p) · A(n, m, p)`.
+pub fn slowdown_bound(d: u8, n: f64, m: f64, p: f64) -> f64 {
+    (n / p) * locality_slowdown(d, n, m, p)
+}
+
+/// The *speedup* of the fully parallel machine over the `p`-processor
+/// machine predicted by the bound — superlinear in `n/p` whenever
+/// `A > 1` (Section 6).
+pub fn speedup_bound(d: u8, n: f64, m: f64, p: f64) -> f64 {
+    slowdown_bound(d, n, m, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_matches_theorem4_statement() {
+        // Range 1, d = 1: A = (m/p)·log m + m·log(2n/(p m²)).
+        let (n, p, m) = (65536.0, 16.0, 4.0);
+        assert_eq!(range(1, n, m, p), Range::R1);
+        let expect = (m / p) * logp2(m) + m * logp2(2.0 * n / (p * m * m));
+        assert!((locality_slowdown(1, n, m, p) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_boundaries_ordered() {
+        let (n, p): (f64, f64) = (65536.0, 16.0);
+        let b1 = (n / p).sqrt().sqrt(); // d = 2 boundary (n/p)^{1/4}
+        let b2 = (n * p).sqrt().sqrt();
+        let b3 = n.sqrt();
+        assert!(b1 < b2 && b2 < b3);
+        assert_eq!(range(2, n, b1 * 0.9, p), Range::R1);
+        assert_eq!(range(2, n, b1 * 1.5, p), Range::R2);
+        assert_eq!(range(2, n, b2 * 1.5, p), Range::R3);
+        assert_eq!(range(2, n, b3 * 1.5, p), Range::R4);
+    }
+
+    #[test]
+    fn a_is_continuous_up_to_constants_at_boundaries() {
+        for d in [1u8, 2] {
+            let (n, p): (f64, f64) = (16_777_216.0, 64.0);
+            let dd = d as f64;
+            for boundary in [
+                (n / p).powf(1.0 / (2.0 * dd)),
+                (n * p).powf(1.0 / (2.0 * dd)),
+                n.powf(1.0 / dd),
+            ] {
+                let lo = locality_slowdown(d, n, boundary * 0.99, p);
+                let hi = locality_slowdown(d, n, boundary * 1.01, p);
+                let ratio = (lo / hi).max(hi / lo);
+                assert!(ratio < 4.0, "d={d} boundary {boundary}: jump ×{ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_m_gives_pure_parallel_loss() {
+        // Range 4: A = (n/p)^{1/d} — the naive step-by-step simulation.
+        assert_eq!(locality_slowdown(1, 1024.0, 2048.0, 4.0), 256.0);
+        assert_eq!(locality_slowdown(2, 1024.0, 64.0, 4.0), 16.0);
+    }
+
+    #[test]
+    fn m_one_recovers_theorem2_shape() {
+        // With m = 1 and p = 1, the bound should be Θ(log n): Theorem 2's
+        // slowdown is n·log n = (n/p)·A with A = Θ(log n).
+        let n = 1_048_576.0;
+        let a = locality_slowdown(1, n, 1.0, 1.0);
+        let l = logp2(n);
+        assert!(a > l / 4.0 && a < l * 4.0, "A={a} vs log n={l}");
+    }
+
+    #[test]
+    fn slowdown_superlinear_in_parallelism_loss() {
+        // For moderate m the slowdown strictly exceeds n/p — the
+        // superlinear-speedup phenomenon.
+        let (d, n, m, p) = (1u8, 65536.0, 16.0, 16.0);
+        assert!(slowdown_bound(d, n, m, p) > 1.5 * n / p);
+    }
+
+    #[test]
+    fn slowdown_monotone_decreasing_in_p() {
+        let (d, n, m) = (1u8, 65536.0, 8.0);
+        let mut last = f64::INFINITY;
+        for p in [1.0, 4.0, 16.0, 64.0, 256.0] {
+            let s = slowdown_bound(d, n, m, p);
+            assert!(s < last, "p={p}: {s} ≥ {last}");
+            last = s;
+        }
+    }
+}

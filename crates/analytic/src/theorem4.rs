@@ -1,0 +1,179 @@
+//! **Theorem 4 / Section 4.2** — the `d = 1` multiprocessor simulation:
+//! the objective
+//!
+//! ```text
+//! λ(s) = (m/p)·log(n/(p s)) + min(s, m·log(s/m)) + n/(p s)
+//! ```
+//!
+//! (locality slowdown as a function of the strip width `s`), the paper's
+//! piecewise-optimal `s*`, and a numeric minimizer used to verify that
+//! the four ranges of `s*` really are where λ bottoms out:
+//!
+//! 1. `s* ≈ n/(m p)`   for `1 ≤ m ≤ √(n/p)`;
+//! 2. `s* = √(n/p)`    for `√(n/p) < m ≤ √(n p)`;
+//! 3. `s* = m/p`       for `√(n p) < m ≤ n`;
+//! 4. `s* = n/p`       for `n < m` (pure naive simulation).
+
+use crate::logp2;
+
+/// The three terms of λ(s), separately (useful for the regime plots of
+/// experiment E3/E9).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LambdaParts {
+    /// Regime-1 relocation: `(m/p)·log(n/(p s))`.
+    pub relocation: f64,
+    /// Intra-processor execution of a `D(s)`: `min(s, m·log(s/m))`.
+    pub execution: f64,
+    /// Cooperating-mode communication: `n/(p s)`.
+    pub cooperation: f64,
+}
+
+impl LambdaParts {
+    pub fn total(&self) -> f64 {
+        self.relocation + self.execution + self.cooperation
+    }
+}
+
+/// Evaluate λ(s) for guest size `n`, processors `p`, density `m`.
+pub fn lambda_parts(n: f64, m: f64, p: f64, s: f64) -> LambdaParts {
+    assert!(s >= 1.0 && s <= n / p + 1e-9, "strip width 1 ≤ s ≤ n/p, got {s}");
+    LambdaParts {
+        relocation: (m / p) * logp2(n / (p * s)).max(0.0),
+        execution: s.min(m * logp2(s / m)),
+        cooperation: n / (p * s),
+    }
+}
+
+/// λ(s) itself.
+pub fn lambda(n: f64, m: f64, p: f64, s: f64) -> f64 {
+    lambda_parts(n, m, p, s).total()
+}
+
+/// The paper's optimal strip width `s*` (clamped to `[1, n/p]`).
+pub fn optimal_s(n: f64, m: f64, p: f64) -> f64 {
+    let s = if m <= (n / p).sqrt() {
+        // Range 1: s* = (p/(p-1))·n/(m p) ≈ n/(m p).
+        if p > 1.0 {
+            (p / (p - 1.0)) * n / (m * p)
+        } else {
+            n / m
+        }
+    } else if m <= (n * p).sqrt() {
+        (n / p).sqrt()
+    } else if m <= n {
+        m / p
+    } else {
+        n / p
+    };
+    s.clamp(1.0, n / p)
+}
+
+/// Which Theorem-4 range `(n, m, p)` falls in (d = 1).
+pub fn range_of(n: f64, m: f64, p: f64) -> crate::theorem1::Range {
+    crate::theorem1::range(1, n, m, p)
+}
+
+/// Numerically minimize λ over integer-ish strip widths (geometric grid),
+/// returning `(s_min, λ(s_min))`.  Used to validate `optimal_s`.
+pub fn minimize_lambda(n: f64, m: f64, p: f64) -> (f64, f64) {
+    let mut best = (1.0, lambda(n, m, p, 1.0));
+    let mut s = 1.0f64;
+    while s <= n / p {
+        let v = lambda(n, m, p, s);
+        if v < best.1 {
+            best = (s, v);
+        }
+        s *= 1.05;
+    }
+    let v_end = lambda(n, m, p, n / p);
+    if v_end < best.1 {
+        best = (n / p, v_end);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: &[(f64, f64)] = &[(65536.0, 16.0), (1_048_576.0, 64.0), (262144.0, 8.0)];
+
+    #[test]
+    fn paper_s_star_is_near_optimal_everywhere() {
+        // λ(s*) within a constant factor of the numeric minimum, across
+        // all four ranges of m.
+        for &(n, p) in SIZES {
+            let mut m = 1.0;
+            while m <= 2.0 * n {
+                let s_star = optimal_s(n, m, p);
+                let at_star = lambda(n, m, p, s_star);
+                let (_, at_min) = minimize_lambda(n, m, p);
+                assert!(
+                    at_star <= 3.0 * at_min,
+                    "n={n} p={p} m={m}: λ(s*)={at_star} vs min={at_min}"
+                );
+                m *= 4.0;
+            }
+        }
+    }
+
+    #[test]
+    fn range1_s_star_decreases_with_m() {
+        let (n, p) = (65536.0, 16.0);
+        let s1 = optimal_s(n, 1.0, p);
+        let s4 = optimal_s(n, 4.0, p);
+        let s16 = optimal_s(n, 16.0, p);
+        assert!(s1 > s4 && s4 > s16, "{s1} > {s4} > {s16}");
+    }
+
+    #[test]
+    fn range2_s_star_is_sqrt_n_over_p() {
+        let (n, p) = (65536.0, 16.0);
+        let m = 256.0; // between √(n/p) = 64 and √(np) = 1024
+        assert_eq!(optimal_s(n, m, p), 64.0);
+    }
+
+    #[test]
+    fn range3_s_star_is_m_over_p() {
+        let (n, p) = (65536.0, 16.0);
+        let m = 8192.0; // between √(np) = 1024 and n
+        assert_eq!(optimal_s(n, m, p), 512.0);
+    }
+
+    #[test]
+    fn range4_uses_full_chunk() {
+        let (n, p) = (65536.0, 16.0);
+        assert_eq!(optimal_s(n, 2.0 * n, p), n / p);
+    }
+
+    #[test]
+    fn lambda_at_s_star_matches_theorem4_a() {
+        // λ(s*) should reproduce (up to constants) the A(n, m, p) of
+        // Theorem 4 in every range.
+        for &(n, p) in SIZES {
+            let mut m = 1.0;
+            while m <= 2.0 * n {
+                let a = crate::theorem1::locality_slowdown(1, n, m, p);
+                let l = lambda(n, m, p, optimal_s(n, m, p));
+                let ratio = (a / l).max(l / a);
+                assert!(ratio < 6.0, "n={n} p={p} m={m}: A={a} λ(s*)={l} ×{ratio}");
+                m *= 4.0;
+            }
+        }
+    }
+
+    #[test]
+    fn parts_sum_to_total() {
+        let parts = lambda_parts(65536.0, 8.0, 16.0, 64.0);
+        assert!((parts.total() - lambda(65536.0, 8.0, 16.0, 64.0)).abs() < 1e-12);
+        assert!(parts.relocation > 0.0 && parts.execution > 0.0 && parts.cooperation > 0.0);
+    }
+
+    #[test]
+    fn uniprocessor_case_degenerates_gracefully() {
+        // p = 1: the cooperating mode is unavailable; s* = n/m (range 1)
+        // recovers the Theorem-3 recursion depth.
+        let s = optimal_s(4096.0, 4.0, 1.0);
+        assert_eq!(s, 1024.0);
+    }
+}

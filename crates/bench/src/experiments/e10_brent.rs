@@ -1,0 +1,45 @@
+//! **E10 — the Brent baseline**: under instantaneous propagation the
+//! naive simulation achieves exactly Brent's `⌈n/p⌉`; under bounded
+//! speed the same machine pays `(n/p)·A` — the superlinearity gap.
+
+use crate::table::{fnum, Table};
+use crate::Scale;
+use bsmp::analytic::brent::brent_slowdown;
+use bsmp::workloads::{inputs, Eca};
+use bsmp::{Simulation, Strategy};
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (n, steps): (u64, i64) = match scale {
+        Scale::Quick => (128, 64),
+        Scale::Full => (512, 128),
+    };
+    let mut t = Table::new(
+        format!("E10 / Brent baseline — instantaneous vs bounded speed, naive host (n = {n})"),
+        &["p", "Brent ⌈n/p⌉", "slowdown instantaneous", "slowdown bounded", "gap (A empirical)"],
+    );
+    for p in [2u64, 4, 8, 16] {
+        let init = inputs::random_bits(p, n as usize);
+        let inst = Simulation::linear(n, p, 1)
+            .instantaneous()
+            .strategy(Strategy::Naive)
+            .run(&Eca::rule110(), &init, steps);
+        let bounded = Simulation::linear(n, p, 1)
+            .strategy(Strategy::Naive)
+            .run(&Eca::rule110(), &init, steps);
+        t.row(vec![
+            p.to_string(),
+            brent_slowdown(n, p).to_string(),
+            fnum(inst.measured_slowdown()),
+            fnum(bounded.measured_slowdown()),
+            fnum(bounded.measured_slowdown() / inst.measured_slowdown()),
+        ]);
+    }
+    t.note(
+        "Instantaneous propagation reproduces the classical principle: the \
+         slowdown tracks ⌈n/p⌉ (constant ≈ per-step bookkeeping) and the \
+         speedup cap is p. Bounded speed multiplies it by the locality \
+         slowdown — the gap column — which grows with n/p exactly as \
+         Theorem 1 predicts the superlinear potential.",
+    );
+    vec![t]
+}

@@ -1,0 +1,63 @@
+//! **E6 — the Section-1 matrix-multiplication example**: superlinear
+//! mesh-over-uniprocessor speedup, analytic and measured.
+
+use crate::table::{fnum, Table};
+use crate::Scale;
+use bsmp::analytic::matmul;
+use bsmp::machine::{run_mesh, MachineSpec};
+use bsmp::sim::{dnc2::simulate_dnc2, naive2::simulate_naive2};
+use bsmp::workloads::{inputs, SystolicMatmul};
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t1 = Table::new(
+        "E6a / §1 example, analytic — mesh vs uniprocessor matrix multiplication",
+        &["n", "mesh Θ(√n)", "speedup vs naive serial", "vs blocked serial", "classical cap"],
+    );
+    for n in [256.0, 4096.0, 65536.0, 1048576.0] {
+        t1.row(vec![
+            fnum(n),
+            fnum(matmul::mesh_time(n)),
+            fnum(matmul::speedup_over_naive(n)),
+            fnum(matmul::speedup_over_blocked(n)),
+            fnum(matmul::speedup_instantaneous(n)),
+        ]);
+    }
+    t1.note("Θ(n^{3/2}) and Θ(n·log n) both exceed the classical cap Θ(n): superlinear.");
+
+    let sides: &[usize] = match scale {
+        Scale::Quick => &[4, 8],
+        Scale::Full => &[4, 8, 16],
+    };
+    let mut t2 = Table::new(
+        "E6b / §1 example, measured — systolic matmul workload on the executable model",
+        &["√n side", "mesh T_n", "serial naive T_1", "speedup", "serial blocked T_1", "speedup", "cap p=n"],
+    );
+    for &side in sides {
+        let n = (side * side) as u64;
+        let prog = SystolicMatmul::new(side);
+        let a = inputs::random_matrix(side as u64, side, 100);
+        let b = inputs::random_matrix(side as u64 + 1, side, 100);
+        let init = prog.stage_inputs(&a, &b);
+        let spec = MachineSpec::new(2, n, 1, (side + 1) as u64);
+        let guest = run_mesh(&spec, &prog, &init, prog.steps());
+        let naive = simulate_naive2(&spec, &prog, &init, prog.steps());
+        let dnc = simulate_dnc2(&spec, &prog, &init, prog.steps());
+        naive.assert_matches(&guest.mem, &guest.values);
+        dnc.assert_matches(&guest.mem, &guest.values);
+        t2.row(vec![
+            side.to_string(),
+            fnum(guest.time),
+            fnum(naive.host_time),
+            fnum(naive.host_time / guest.time),
+            fnum(dnc.host_time),
+            fnum(dnc.host_time / guest.time),
+            n.to_string(),
+        ]);
+    }
+    t2.note(
+        "Both measured speedups exceed the processor count n — the \
+         superlinear phenomenon — and the naive column outgrows the blocked \
+         one with n, as §1 predicts (Θ(√n) vs Θ(log n) access overhead).",
+    );
+    vec![t1, t2]
+}

@@ -1,0 +1,17 @@
+//! # bsmp-bench
+//!
+//! The experiment harness: one module per paper artifact (Theorems 1–5,
+//! Propositions 1–3, the Section-1 matrix-multiplication example, the
+//! §4.2 `s*` analysis, Figures 1–4, and the Brent baseline).  Every
+//! experiment regenerates the corresponding "table/figure" as a markdown
+//! table of *measured* model costs next to the paper's analytic curve.
+//!
+//! Each experiment runs at one of two scales: `Scale::Quick` (seconds,
+//! used by `bsmp-repro` and CI) and `Scale::Full` (minutes, used for
+//! EXPERIMENTS.md).  Criterion wall-clock benches live in `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_experiments, Experiment, Scale};
+pub use table::Table;

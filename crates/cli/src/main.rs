@@ -1,0 +1,28 @@
+//! `bsmp-repro` — run the full experiment suite of the reproduction and
+//! print every table as markdown (the contents of EXPERIMENTS.md).
+//!
+//! Usage: `bsmp-repro [--quick] [E1 E4 ...]`
+
+use bsmp_bench::{all_experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<&String> = args.iter().filter(|a| a.starts_with('E')).collect();
+
+    println!("# Reproduction report — Bilardi & Preparata, SPAA 1995");
+    println!(
+        "\nScale: {:?}. Every engine run in these tables also re-verified\n\
+         functional equivalence against direct guest execution.\n",
+        scale
+    );
+    for exp in all_experiments() {
+        if !wanted.is_empty() && !wanted.iter().any(|w| *w == exp.id) {
+            continue;
+        }
+        println!("## {} — {}\n", exp.id, exp.artifact);
+        for table in (exp.run)(scale) {
+            println!("{}", table.to_markdown());
+        }
+    }
+}

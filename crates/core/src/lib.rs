@@ -1,0 +1,298 @@
+//! # bsmp — Bounded-Speed Message Propagation
+//!
+//! A full reproduction of Bilardi & Preparata, *Upper Bounds to
+//! Processor-Time Tradeoffs under Bounded-Speed Message Propagation*
+//! (SPAA 1995), as an executable Rust library.
+//!
+//! The paper studies the "limiting technology": signal propagation takes
+//! time proportional to physical distance, so a random-access machine's
+//! memory becomes *hierarchical* (Definition 1's `f(x)`-H-RAM) and the
+//! classical Brent-principle slowdown `⌈n/p⌉` acquires an extra
+//! **locality slowdown** `A(n, m, p)` (Theorem 1):
+//!
+//! ```text
+//! T_p / T_n = O( (n/p) · A(n, m, p) )
+//! ```
+//!
+//! This crate re-exports the whole workspace and offers a one-stop
+//! [`Simulation`] façade:
+//!
+//! ```
+//! use bsmp::{Simulation, Strategy};
+//! use bsmp::workloads::{Eca, inputs};
+//!
+//! // Simulate 64 steps of a 64-node rule-110 array on 4 processors.
+//! let init = inputs::random_bits(7, 64);
+//! let report = Simulation::linear(64, 4, 1)
+//!     .strategy(Strategy::TwoRegime)
+//!     .run(&Eca::rule110(), &init, 64);
+//!
+//! // The host computed exactly what the guest would:
+//! assert_eq!(report.sim.values.len(), 64);
+//! // …and the measured slowdown respects the Theorem-1 envelope shape.
+//! assert!(report.measured_slowdown() > 64.0 / 4.0, "above the Brent floor");
+//! assert!(report.sim.guest_time > 0.0);
+//! ```
+//!
+//! Modules (one per workspace crate):
+//!
+//! * [`geometry`] — diamonds, octahedra, tetrahedra, the Figure-1..4
+//!   decompositions;
+//! * [`hram`] — the instrumented `f(x)`-H-RAM;
+//! * [`dag`] — `G_T(H)`, topological partitions, Propositions 2–3;
+//! * [`machine`] — `M_d(n, p, m)` machines and node programs;
+//! * [`workloads`] — cellular automata, sorting, waves, Life, heat,
+//!   systolic matrix multiplication;
+//! * [`sim`] — every simulation engine of the paper;
+//! * [`analytic`] — every closed-form bound of the paper.
+
+pub use bsmp_analytic as analytic;
+pub use bsmp_dag as dag;
+pub use bsmp_geometry as geometry;
+pub use bsmp_hram as hram;
+pub use bsmp_machine as machine;
+pub use bsmp_sim as sim;
+pub use bsmp_workloads as workloads;
+
+pub use bsmp_hram::{CostModel, Word};
+pub use bsmp_machine::{LinearProgram, MachineSpec, MeshProgram};
+pub use bsmp_sim::SimReport;
+
+/// Which simulation scheme the host machine uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Step-by-step mimicry (Proposition 1 / §4.2 opening).
+    Naive,
+    /// Uniprocessor divide-and-conquer over topological separators
+    /// (Theorems 2, 3, 5).  Requires `p = 1`.
+    DivideAndConquer,
+    /// The multiprocessor scheme: two-regime with memory rearrangement
+    /// for `d = 1` (Theorem 4), block-banded honeycomb for `d = 2`
+    /// (Theorem 1, `d = 2`).  For `p = 1` this degenerates to
+    /// divide-and-conquer.
+    TwoRegime,
+    /// Pick what the paper would: D&C/two-regime when the locality
+    /// slowdown beats the naive bound, naive otherwise (range 4).
+    Auto,
+}
+
+/// Builder for one simulation experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Simulation {
+    spec: MachineSpec,
+    strategy: Strategy,
+}
+
+impl Simulation {
+    /// A linear-array experiment: guest `M_1(n, n, m)`, host
+    /// `M_1(n, p, m)`.
+    pub fn linear(n: u64, p: u64, m: u64) -> Self {
+        Simulation { spec: MachineSpec::new(1, n, p, m), strategy: Strategy::Auto }
+    }
+
+    /// A mesh experiment: guest `M_2(n, n, m)`, host `M_2(n, p, m)`
+    /// (`n` and `p` perfect squares).
+    pub fn mesh(n: u64, p: u64, m: u64) -> Self {
+        Simulation { spec: MachineSpec::new(2, n, p, m), strategy: Strategy::Auto }
+    }
+
+    /// Switch to the instantaneous-propagation cost model (the Brent
+    /// baseline of experiment E10).
+    pub fn instantaneous(mut self) -> Self {
+        self.spec = MachineSpec::instantaneous(self.spec.d, self.spec.n, self.spec.p, self.spec.m);
+        self
+    }
+
+    /// Choose the simulation scheme.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// The machine parameters this simulation will use.
+    pub fn spec(&self) -> MachineSpec {
+        self.spec
+    }
+
+    fn resolve(&self) -> Strategy {
+        match self.strategy {
+            Strategy::Auto => {
+                let (n, m, p) =
+                    (self.spec.n as f64, self.spec.m as f64, self.spec.p as f64);
+                // Range 4 of Theorem 1: only the naive simulation is
+                // profitable.
+                if bsmp_analytic::theorem1::range(self.spec.d, n, m, p)
+                    == bsmp_analytic::Range::R4
+                {
+                    Strategy::Naive
+                } else if self.spec.p == 1 {
+                    Strategy::DivideAndConquer
+                } else {
+                    Strategy::TwoRegime
+                }
+            }
+            s => s,
+        }
+    }
+
+    /// Run a linear-array guest program.
+    ///
+    /// # Panics
+    /// If the builder was constructed with [`Simulation::mesh`], or the
+    /// strategy requires `p = 1` and `p > 1` was given.
+    pub fn run(&self, prog: &impl LinearProgram, init: &[Word], steps: i64) -> Report {
+        assert_eq!(self.spec.d, 1, "use run_mesh for d = 2 experiments");
+        let sim = match self.resolve() {
+            Strategy::Naive => bsmp_sim::naive1::simulate_naive1(&self.spec, prog, init, steps),
+            Strategy::DivideAndConquer => {
+                bsmp_sim::dnc1::simulate_dnc1(&self.spec, prog, init, steps)
+            }
+            Strategy::TwoRegime => {
+                if self.spec.p == 1 {
+                    bsmp_sim::dnc1::simulate_dnc1(&self.spec, prog, init, steps)
+                } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
+                    .is_some()
+                {
+                    bsmp_sim::multi1::simulate_multi1(&self.spec, prog, init, steps)
+                } else {
+                    // No admissible strip width (e.g. prime n): naive.
+                    bsmp_sim::naive1::simulate_naive1(&self.spec, prog, init, steps)
+                }
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+        Report::new(self.spec, sim)
+    }
+
+    /// Run a mesh guest program.
+    pub fn run_mesh(&self, prog: &impl MeshProgram, init: &[Word], steps: i64) -> Report {
+        assert_eq!(self.spec.d, 2, "use run for d = 1 experiments");
+        let sim = match self.resolve() {
+            Strategy::Naive => bsmp_sim::naive2::simulate_naive2(&self.spec, prog, init, steps),
+            Strategy::DivideAndConquer => {
+                bsmp_sim::dnc2::simulate_dnc2(&self.spec, prog, init, steps)
+            }
+            Strategy::TwoRegime => {
+                if self.spec.p == 1 {
+                    bsmp_sim::dnc2::simulate_dnc2(&self.spec, prog, init, steps)
+                } else {
+                    bsmp_sim::multi2::simulate_multi2(&self.spec, prog, init, steps)
+                }
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+        Report::new(self.spec, sim)
+    }
+}
+
+/// A simulation result together with the paper's analytic predictions.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Machine parameters.
+    pub spec: MachineSpec,
+    /// Measured outputs and costs.
+    pub sim: SimReport,
+    /// Theorem 1's locality slowdown `A(n, m, p)` for these parameters.
+    pub analytic_a: f64,
+    /// Theorem 1's slowdown bound `(n/p)·A`.
+    pub analytic_slowdown: f64,
+    /// Which of Theorem 1's four ranges `m` falls in.
+    pub range: bsmp_analytic::Range,
+}
+
+impl Report {
+    fn new(spec: MachineSpec, sim: SimReport) -> Self {
+        let (n, m, p) = (spec.n as f64, spec.m as f64, spec.p as f64);
+        Report {
+            spec,
+            sim,
+            analytic_a: bsmp_analytic::locality_slowdown(spec.d, n, m, p),
+            analytic_slowdown: bsmp_analytic::slowdown_bound(spec.d, n, m, p),
+            range: bsmp_analytic::theorem1::range(spec.d, n, m, p),
+        }
+    }
+
+    /// Measured `T_p / T_n`.
+    pub fn measured_slowdown(&self) -> f64 {
+        self.sim.slowdown()
+    }
+
+    /// Measured locality slowdown (slowdown ÷ `n/p`) — the empirical
+    /// counterpart of `A(n, m, p)`.
+    pub fn measured_a(&self) -> f64 {
+        self.sim.locality_slowdown(self.spec.n, self.spec.p)
+    }
+
+    /// Ratio of measured to analytic locality slowdown — the
+    /// implementation's constant factor (flat across parameter sweeps
+    /// when the shape matches; see EXPERIMENTS.md).
+    pub fn constant_factor(&self) -> f64 {
+        self.measured_a() / self.analytic_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_machine::run_linear;
+    use bsmp_workloads::{inputs, Eca, VonNeumannLife};
+
+    #[test]
+    fn facade_linear_matches_direct() {
+        let init = inputs::random_bits(60, 32);
+        let spec = MachineSpec::new(1, 32, 4, 1);
+        let guest = run_linear(&spec, &Eca::rule110(), &init, 32);
+        for strategy in [Strategy::Naive, Strategy::TwoRegime, Strategy::Auto] {
+            let r = Simulation::linear(32, 4, 1).strategy(strategy).run(
+                &Eca::rule110(),
+                &init,
+                32,
+            );
+            r.sim.assert_matches(&guest.mem, &guest.values);
+        }
+    }
+
+    #[test]
+    fn facade_mesh_matches_direct() {
+        let init = inputs::random_bits(61, 64);
+        let r = Simulation::mesh(64, 4, 1)
+            .strategy(Strategy::TwoRegime)
+            .run_mesh(&VonNeumannLife::fredkin(), &init, 8);
+        let guest =
+            bsmp_machine::run_mesh(&MachineSpec::new(2, 64, 4, 1), &VonNeumannLife::fredkin(), &init, 8);
+        r.sim.assert_matches(&guest.mem, &guest.values);
+    }
+
+    #[test]
+    fn auto_picks_naive_in_range_4() {
+        // m ≥ n: Theorem 1 range 4 — naive is optimal.
+        let s = Simulation::linear(8, 2, 16);
+        assert_eq!(s.resolve(), Strategy::Naive);
+        let s = Simulation::linear(64, 2, 1);
+        assert_eq!(s.resolve(), Strategy::TwoRegime);
+        let s = Simulation::linear(64, 1, 1);
+        assert_eq!(s.resolve(), Strategy::DivideAndConquer);
+    }
+
+    #[test]
+    fn report_carries_analytics() {
+        let init = inputs::random_bits(62, 16);
+        let r = Simulation::linear(16, 2, 1).run(&Eca::rule90(), &init, 8);
+        assert!(r.analytic_a >= 1.0);
+        assert!(r.analytic_slowdown >= 8.0);
+        assert!(r.measured_slowdown() > 0.0);
+        assert!(r.constant_factor() > 0.0);
+    }
+
+    #[test]
+    fn instantaneous_baseline_hits_brent() {
+        let init = inputs::random_bits(63, 64);
+        let r = Simulation::linear(64, 8, 1)
+            .instantaneous()
+            .strategy(Strategy::Naive)
+            .run(&Eca::rule90(), &init, 32);
+        let brent = 64.0 / 8.0;
+        let s = r.measured_slowdown();
+        assert!(s > 0.5 * brent && s < 3.0 * brent, "instantaneous ⇒ Brent: {s}");
+    }
+}

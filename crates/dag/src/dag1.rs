@@ -1,0 +1,111 @@
+//! `G_T(M_1)` — the computation dag of a `T`-step linear-array run
+//! (Definition 3, with `H` the path graph of Definition 2).
+
+use bsmp_geometry::{IRect, Pt2};
+
+/// The dag `G_T(H)` for the `n`-node linear array: vertices
+/// `(v, t)` with `v ∈ [0, n)`, `t ∈ [0, T]`; arcs
+/// `((u, t-1), (v, t))` for `u = v` or `|u - v| = 1`.
+///
+/// Vertices with `t = 0` are the input vertices (initial memory
+/// contents); the vertex *count* is `n·(T+1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dag1 {
+    /// Array length (the paper's machine volume `n`).
+    pub n: i64,
+    /// Number of computation steps `T`.
+    pub t: i64,
+}
+
+impl Dag1 {
+    pub fn new(n: i64, t: i64) -> Self {
+        assert!(n >= 1 && t >= 0);
+        Dag1 { n, t }
+    }
+
+    /// The space-time box containing all vertices (including inputs).
+    pub fn vertex_box(&self) -> IRect {
+        IRect::computation(self.n, self.t)
+    }
+
+    /// The box of *computed* vertices only (`t ≥ 1`) — the set the
+    /// simulation engines must execute.
+    pub fn computed_box(&self) -> IRect {
+        IRect::new(0, self.n, 1, self.t + 1)
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Pt2) -> bool {
+        0 <= p.x && p.x < self.n && 0 <= p.t && p.t <= self.t
+    }
+
+    /// Is `p` an input vertex?
+    #[inline]
+    pub fn is_input(&self, p: Pt2) -> bool {
+        self.contains(p) && p.t == 0
+    }
+
+    /// In-dag predecessors of `p` (up to 3; 2 at the array ends, 0 for
+    /// inputs).
+    pub fn preds(&self, p: Pt2) -> Vec<Pt2> {
+        if p.t == 0 {
+            return Vec::new();
+        }
+        p.preds().into_iter().filter(|q| self.contains(*q)).collect()
+    }
+
+    /// In-dag successors of `p`.
+    pub fn succs(&self, p: Pt2) -> Vec<Pt2> {
+        p.succs().into_iter().filter(|q| self.contains(*q)).collect()
+    }
+
+    /// Total vertex count `n (T + 1)`.
+    pub fn len(&self) -> i64 {
+        self.n * (self.t + 1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_vertex_has_three_preds() {
+        let d = Dag1::new(8, 8);
+        assert_eq!(d.preds(Pt2::new(4, 3)).len(), 3);
+    }
+
+    #[test]
+    fn boundary_vertex_has_two_preds() {
+        let d = Dag1::new(8, 8);
+        assert_eq!(d.preds(Pt2::new(0, 3)).len(), 2);
+        assert_eq!(d.preds(Pt2::new(7, 3)).len(), 2);
+    }
+
+    #[test]
+    fn inputs_have_no_preds() {
+        let d = Dag1::new(4, 4);
+        for x in 0..4 {
+            assert!(d.preds(Pt2::new(x, 0)).is_empty());
+            assert!(d.is_input(Pt2::new(x, 0)));
+        }
+    }
+
+    #[test]
+    fn last_row_has_no_succs() {
+        let d = Dag1::new(4, 4);
+        assert!(d.succs(Pt2::new(2, 4)).is_empty());
+    }
+
+    #[test]
+    fn vertex_count() {
+        let d = Dag1::new(5, 3);
+        assert_eq!(d.len(), 5 * 4);
+        assert_eq!(d.vertex_box().volume(), d.len());
+        assert_eq!(d.computed_box().volume(), 5 * 3);
+    }
+}

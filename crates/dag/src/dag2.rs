@@ -1,0 +1,91 @@
+//! `G_T(M_2)` — the computation dag of a `T`-step mesh run
+//! (Definition 3, with `H` the `√n × √n` mesh of Definition 2).
+
+use bsmp_geometry::{IBox, Pt3};
+
+/// The dag `G_T(H)` for the `side × side` square mesh: vertices
+/// `((i, j), t)`; arcs from a vertex and its 4 mesh neighbors at `t - 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dag2 {
+    /// Mesh side (`√n` in the paper's notation).
+    pub side: i64,
+    /// Number of computation steps.
+    pub t: i64,
+}
+
+impl Dag2 {
+    pub fn new(side: i64, t: i64) -> Self {
+        assert!(side >= 1 && t >= 0);
+        Dag2 { side, t }
+    }
+
+    pub fn vertex_box(&self) -> IBox {
+        IBox::computation(self.side, self.t)
+    }
+
+    /// The box of computed vertices only (`t ≥ 1`).
+    pub fn computed_box(&self) -> IBox {
+        IBox::new(0, self.side, 0, self.side, 1, self.t + 1)
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Pt3) -> bool {
+        0 <= p.x && p.x < self.side && 0 <= p.y && p.y < self.side && 0 <= p.t && p.t <= self.t
+    }
+
+    #[inline]
+    pub fn is_input(&self, p: Pt3) -> bool {
+        self.contains(p) && p.t == 0
+    }
+
+    pub fn preds(&self, p: Pt3) -> Vec<Pt3> {
+        if p.t == 0 {
+            return Vec::new();
+        }
+        p.preds().into_iter().filter(|q| self.contains(*q)).collect()
+    }
+
+    pub fn succs(&self, p: Pt3) -> Vec<Pt3> {
+        p.succs().into_iter().filter(|q| self.contains(*q)).collect()
+    }
+
+    /// Total vertex count `side² (T + 1)`.
+    pub fn len(&self) -> i64 {
+        self.side * self.side * (self.t + 1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_vertex_has_five_preds() {
+        let d = Dag2::new(5, 5);
+        assert_eq!(d.preds(Pt3::new(2, 2, 3)).len(), 5);
+    }
+
+    #[test]
+    fn corner_vertex_has_three_preds() {
+        let d = Dag2::new(5, 5);
+        assert_eq!(d.preds(Pt3::new(0, 0, 1)).len(), 3);
+    }
+
+    #[test]
+    fn edge_vertex_has_four_preds() {
+        let d = Dag2::new(5, 5);
+        assert_eq!(d.preds(Pt3::new(0, 2, 1)).len(), 4);
+    }
+
+    #[test]
+    fn counts() {
+        let d = Dag2::new(3, 2);
+        assert_eq!(d.len(), 27);
+        assert_eq!(d.vertex_box().volume(), 27);
+        assert_eq!(d.computed_box().volume(), 18);
+    }
+}

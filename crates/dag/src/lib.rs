@@ -1,0 +1,27 @@
+//! # bsmp-dag
+//!
+//! Computation dags and the topological-separator framework of Section 3.
+//!
+//! * [`dag1`] / [`dag2`] — the dags `G_T(H)` of Definition 3 for the
+//!   linear array and the mesh;
+//! * [`partition`] — machine checking of Definition 4 (topological
+//!   partition), Definition 5 (convexity) and preboundaries `Γ_in(U)`;
+//! * [`separator`] — Definition 6 ((g(x), δ)-topological separator),
+//!   with the space/time recurrences of Propositions 2 and 3;
+//! * [`schedule`] — refinement of a topological partition into a
+//!   topological sorting of individual vertices.
+//!
+//! The simulation engines of `bsmp-sim` use the geometry crate's analytic
+//! decompositions directly for speed; this crate is the *specification*
+//! they are tested against.
+
+pub mod dag1;
+pub mod dag2;
+pub mod partition;
+pub mod schedule;
+pub mod separator;
+
+pub use dag1::Dag1;
+pub use dag2::Dag2;
+pub use partition::{preboundary1, preboundary2, PartitionError};
+pub use separator::{SeparatorSpec, SpaceTimeBounds};

@@ -1,0 +1,289 @@
+//! Machine-checking of the Section-3 definitions:
+//!
+//! * `Γ_in(U)` — the preboundary (Section 3.2);
+//! * Definition 4 — topological partitions;
+//! * Definition 5 — convex vertex sets.
+//!
+//! These checkers work on *explicit* point sets and are meant for tests
+//! and validation harnesses; the engines use the analytic geometry.
+
+use bsmp_geometry::{Pt2, Pt3};
+use std::collections::HashSet;
+
+/// Why a candidate ordered partition fails Definition 4.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A point appears in two pieces (indices given).
+    Overlap(usize, usize),
+    /// The pieces do not cover the set.
+    MissingPoints(usize),
+    /// Piece `piece` has a preboundary point that is neither in
+    /// `Γ_in(U)` nor in an earlier piece.
+    OrderViolation { piece: usize },
+}
+
+/// `Γ_in(U)` for a `d = 1` point set, within the dag `dag_contains`
+/// describes: all in-dag predecessors of members that are not members.
+pub fn preboundary1(
+    points: &[Pt2],
+    contains: impl Fn(Pt2) -> bool,
+    dag_contains: impl Fn(Pt2) -> bool,
+) -> Vec<Pt2> {
+    let mut out = HashSet::new();
+    for p in points {
+        if p.t == 0 {
+            continue; // inputs have no predecessors
+        }
+        for q in p.preds() {
+            if dag_contains(q) && !contains(q) {
+                out.insert(q);
+            }
+        }
+    }
+    let mut v: Vec<Pt2> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// `Γ_in(U)` for a `d = 2` point set.
+pub fn preboundary2(
+    points: &[Pt3],
+    contains: impl Fn(Pt3) -> bool,
+    dag_contains: impl Fn(Pt3) -> bool,
+) -> Vec<Pt3> {
+    let mut out = HashSet::new();
+    for p in points {
+        if p.t == 0 {
+            continue;
+        }
+        for q in p.preds() {
+            if dag_contains(q) && !contains(q) {
+                out.insert(q);
+            }
+        }
+    }
+    let mut v: Vec<Pt3> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Check Definition 4 for an ordered partition of `universe` (a `d = 1`
+/// vertex set): the pieces must partition it, and each piece's
+/// preboundary must lie in `Γ_in(universe) ∪ (earlier pieces)`.
+///
+/// `dag_contains` delimits the ambient dag (predecessors outside it do
+/// not exist).
+pub fn check_topological_partition1(
+    universe: &[Pt2],
+    pieces: &[Vec<Pt2>],
+    dag_contains: impl Fn(Pt2) -> bool + Copy,
+) -> Result<(), PartitionError> {
+    let uset: HashSet<Pt2> = universe.iter().copied().collect();
+    // Partition property.
+    let mut owner: std::collections::HashMap<Pt2, usize> = std::collections::HashMap::new();
+    for (i, piece) in pieces.iter().enumerate() {
+        for p in piece {
+            if !uset.contains(p) {
+                return Err(PartitionError::MissingPoints(i));
+            }
+            if let Some(j) = owner.insert(*p, i) {
+                return Err(PartitionError::Overlap(j, i));
+            }
+        }
+    }
+    if owner.len() != uset.len() {
+        return Err(PartitionError::MissingPoints(usize::MAX));
+    }
+    // Ordering property.
+    let gamma_u: HashSet<Pt2> =
+        preboundary1(universe, |p| uset.contains(&p), dag_contains).into_iter().collect();
+    let mut earlier: HashSet<Pt2> = HashSet::new();
+    for (i, piece) in pieces.iter().enumerate() {
+        let pset: HashSet<Pt2> = piece.iter().copied().collect();
+        for g in preboundary1(piece, |p| pset.contains(&p), dag_contains) {
+            if !gamma_u.contains(&g) && !earlier.contains(&g) {
+                return Err(PartitionError::OrderViolation { piece: i });
+            }
+        }
+        earlier.extend(piece.iter().copied());
+    }
+    Ok(())
+}
+
+/// Check Definition 4 for a `d = 2` ordered partition.
+pub fn check_topological_partition2(
+    universe: &[Pt3],
+    pieces: &[Vec<Pt3>],
+    dag_contains: impl Fn(Pt3) -> bool + Copy,
+) -> Result<(), PartitionError> {
+    let uset: HashSet<Pt3> = universe.iter().copied().collect();
+    let mut owner: std::collections::HashMap<Pt3, usize> = std::collections::HashMap::new();
+    for (i, piece) in pieces.iter().enumerate() {
+        for p in piece {
+            if !uset.contains(p) {
+                return Err(PartitionError::MissingPoints(i));
+            }
+            if let Some(j) = owner.insert(*p, i) {
+                return Err(PartitionError::Overlap(j, i));
+            }
+        }
+    }
+    if owner.len() != uset.len() {
+        return Err(PartitionError::MissingPoints(usize::MAX));
+    }
+    let gamma_u: HashSet<Pt3> =
+        preboundary2(universe, |p| uset.contains(&p), dag_contains).into_iter().collect();
+    let mut earlier: HashSet<Pt3> = HashSet::new();
+    for (i, piece) in pieces.iter().enumerate() {
+        let pset: HashSet<Pt3> = piece.iter().copied().collect();
+        for g in preboundary2(piece, |p| pset.contains(&p), dag_contains) {
+            if !gamma_u.contains(&g) && !earlier.contains(&g) {
+                return Err(PartitionError::OrderViolation { piece: i });
+            }
+        }
+        earlier.extend(piece.iter().copied());
+    }
+    Ok(())
+}
+
+/// Definition 5 (convexity), checked by brute force: `U` is convex iff
+/// whenever `u, v ∈ U`, every vertex on every dag path from `u` to `v`
+/// is in `U`.  Equivalent local form used here: there is no path
+/// `u → w₁ → … → w_k → v` with `u, v ∈ U` and all `w_i ∉ U`.
+///
+/// Intended for small sets (tests); cost is O(|reachable region|²)-ish.
+pub fn is_convex1(points: &[Pt2], dag_contains: impl Fn(Pt2) -> bool + Copy) -> bool {
+    let uset: HashSet<Pt2> = points.iter().copied().collect();
+    // Forward BFS from U through non-U vertices; if any non-U vertex that
+    // is reachable from U can reach U again, convexity fails.  Since all
+    // arcs increase t by 1, layer the search by t.
+    let mut outside_reachable: HashSet<Pt2> = HashSet::new();
+    let t_max = points.iter().map(|p| p.t).max().unwrap_or(0);
+    let mut frontier: Vec<Pt2> = points.to_vec();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for p in frontier {
+            if p.t > t_max {
+                continue;
+            }
+            for s in p.succs() {
+                if !dag_contains(s) {
+                    continue;
+                }
+                if uset.contains(&s) {
+                    // A path re-entering U: fine if it never left.
+                    if outside_reachable.contains(&p) {
+                        return false;
+                    }
+                } else if outside_reachable.insert(s) {
+                    next.push(s);
+                }
+            }
+        }
+        frontier = next;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_geometry::{Diamond, IRect};
+
+    fn all(r: IRect) -> Vec<Pt2> {
+        r.points()
+    }
+
+    #[test]
+    fn row_partition_is_topological() {
+        let rect = IRect::new(0, 4, 0, 4);
+        let pieces: Vec<Vec<Pt2>> =
+            (0..4).map(|t| (0..4).map(|x| Pt2::new(x, t)).collect()).collect();
+        check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).unwrap();
+    }
+
+    #[test]
+    fn reversed_rows_violate_order() {
+        let rect = IRect::new(0, 4, 0, 4);
+        let pieces: Vec<Vec<Pt2>> =
+            (0..4).rev().map(|t| (0..4).map(|x| Pt2::new(x, t)).collect()).collect();
+        let err =
+            check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).unwrap_err();
+        assert!(matches!(err, PartitionError::OrderViolation { piece: 0 }));
+    }
+
+    #[test]
+    fn column_partition_of_a_square_is_not_topological() {
+        // The paper (Section 3.2): "if the dag under consideration is a
+        // cubic lattice, a partition of such dag into cubes is not a
+        // topological partition".  The 1-D analogue: vertical strips of a
+        // square are not topologically ordered, whichever order is chosen:
+        // information flows both ways between adjacent strips.
+        let rect = IRect::new(0, 4, 0, 4);
+        let pieces: Vec<Vec<Pt2>> =
+            (0..2).map(|s| rect.points().into_iter().filter(|p| p.x / 2 == s).collect()).collect();
+        assert!(
+            check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).is_err(),
+            "strips left-to-right"
+        );
+        let rev: Vec<Vec<Pt2>> = pieces.into_iter().rev().collect();
+        assert!(
+            check_topological_partition1(&all(rect), &rev, |p| rect.contains(p)).is_err(),
+            "strips right-to-left"
+        );
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let rect = IRect::new(0, 2, 0, 1);
+        let pieces = vec![vec![Pt2::new(0, 0), Pt2::new(1, 0)], vec![Pt2::new(1, 0)]];
+        let err =
+            check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).unwrap_err();
+        assert_eq!(err, PartitionError::Overlap(0, 1));
+    }
+
+    #[test]
+    fn missing_points_detected() {
+        let rect = IRect::new(0, 2, 0, 1);
+        let pieces = vec![vec![Pt2::new(0, 0)]];
+        assert!(matches!(
+            check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)),
+            Err(PartitionError::MissingPoints(_))
+        ));
+    }
+
+    #[test]
+    fn diamond_children_pass_full_check() {
+        let d = Diamond::new(8, 8, 4);
+        let rect = IRect::new(0, 32, 0, 32);
+        let pieces: Vec<Vec<Pt2>> = d.children().iter().map(|c| c.points()).collect();
+        check_topological_partition1(&d.points(), &pieces, |p| rect.contains(p)).unwrap();
+    }
+
+    #[test]
+    fn diamonds_are_convex() {
+        let rect = IRect::new(-20, 20, -20, 20);
+        for h in 1..5 {
+            let d = Diamond::new(0, 0, h);
+            assert!(is_convex1(&d.points(), |p| rect.contains(p)), "h={h}");
+        }
+    }
+
+    #[test]
+    fn split_diamond_is_not_convex() {
+        // Remove the center column: paths leave and re-enter.
+        let rect = IRect::new(-20, 20, -20, 20);
+        let d = Diamond::new(0, 0, 3);
+        let holed: Vec<Pt2> = d.points().into_iter().filter(|p| p.x != 0).collect();
+        assert!(!is_convex1(&holed, |p| rect.contains(p)));
+    }
+
+    #[test]
+    fn preboundary_respects_dag_boundary() {
+        // Points on the dag edge have fewer in-dag predecessors.
+        let rect = IRect::new(0, 4, 0, 4);
+        let piece = vec![Pt2::new(0, 1)];
+        let g = preboundary1(&piece, |p| p == Pt2::new(0, 1), |p| rect.contains(p));
+        assert_eq!(g, vec![Pt2::new(0, 0), Pt2::new(1, 0)]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Refinement of topological partitions into vertex schedules.
+//!
+//! "A topological partition of `U` can be refined into a topological
+//! sorting of `U`" (Section 3.2) — concatenating the pieces and sorting
+//! each piece by time yields a legal execution order.
+
+use bsmp_geometry::{Pt2, Pt3};
+use std::collections::HashSet;
+
+/// Concatenate the pieces of an ordered partition, sorting each piece
+/// internally by time (a valid intra-piece order, since all dag arcs
+/// advance `t` by one).
+pub fn refine1(pieces: &[Vec<Pt2>]) -> Vec<Pt2> {
+    let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for piece in pieces {
+        let mut p = piece.clone();
+        p.sort(); // Pt2 orders by (t, x)
+        out.extend(p);
+    }
+    out
+}
+
+/// As [`refine1`] for the mesh dag.
+pub fn refine2(pieces: &[Vec<Pt3>]) -> Vec<Pt3> {
+    let mut out = Vec::with_capacity(pieces.iter().map(Vec::len).sum());
+    for piece in pieces {
+        let mut p = piece.clone();
+        p.sort();
+        out.extend(p);
+    }
+    out
+}
+
+/// Is `order` a topological sorting of its own vertex set?  Every in-set
+/// predecessor of a vertex must appear earlier.
+pub fn is_topological_order1(order: &[Pt2]) -> bool {
+    let all: HashSet<Pt2> = order.iter().copied().collect();
+    let mut done: HashSet<Pt2> = HashSet::with_capacity(order.len());
+    for p in order {
+        for q in p.preds() {
+            if all.contains(&q) && !done.contains(&q) {
+                return false;
+            }
+        }
+        done.insert(*p);
+    }
+    true
+}
+
+/// As [`is_topological_order1`] for the mesh dag.
+pub fn is_topological_order2(order: &[Pt3]) -> bool {
+    let all: HashSet<Pt3> = order.iter().copied().collect();
+    let mut done: HashSet<Pt3> = HashSet::with_capacity(order.len());
+    for p in order {
+        for q in p.preds() {
+            if all.contains(&q) && !done.contains(&q) {
+                return false;
+            }
+        }
+        done.insert(*p);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_geometry::{Diamond, Domain2};
+
+    #[test]
+    fn diamond_partition_refines_to_topological_order() {
+        let d = Diamond::new(0, 0, 8);
+        let pieces: Vec<Vec<Pt2>> = d.children().iter().map(|c| c.points()).collect();
+        let order = refine1(&pieces);
+        assert_eq!(order.len() as i64, d.volume());
+        assert!(is_topological_order1(&order));
+    }
+
+    #[test]
+    fn recursive_refinement_still_topological() {
+        let d = Diamond::new(0, 0, 8);
+        let mut pieces = Vec::new();
+        for c in d.children() {
+            for cc in c.children() {
+                pieces.push(cc.points());
+            }
+        }
+        let order = refine1(&pieces);
+        assert!(is_topological_order1(&order));
+    }
+
+    #[test]
+    fn octa_partition_refines_to_topological_order() {
+        let p = Domain2::octahedron(0, 0, 0, 4);
+        let pieces: Vec<Vec<Pt3>> = p.children().iter().map(|c| c.points()).collect();
+        let order = refine2(&pieces);
+        assert_eq!(order.len() as i64, p.volume());
+        assert!(is_topological_order2(&order));
+    }
+
+    #[test]
+    fn bad_order_detected() {
+        let d = Diamond::new(0, 0, 2);
+        let mut order = d.points();
+        order.reverse();
+        assert!(!is_topological_order1(&order));
+    }
+
+    #[test]
+    fn bad_order_detected_2d() {
+        let p = Domain2::octahedron(0, 0, 0, 2);
+        let mut order = p.points();
+        order.reverse();
+        assert!(!is_topological_order2(&order));
+    }
+}

@@ -1,0 +1,187 @@
+//! Definition 6 — `(g(x), δ)`-topological separators — together with the
+//! space/time recurrences of Propositions 2 and 3.
+//!
+//! Proposition 2 (execution of a topological partition `U₁ … U_q` on an
+//! `f(x)`-H-RAM):
+//!
+//! ```text
+//! S(U) ≤ max_i S(U_i) + P(U),            P(U) = Σ_i |Γ_in(U_i)|
+//! T(U) ≤ Σ_i T(U_i) + 4 f(S(U)) P(U)
+//! ```
+//!
+//! Proposition 3 (for a `(c x^γ, δ)`-separator executed on an
+//! `(a x^α)`-H-RAM with `0 < α ≤ (1-γ)/γ ≤ 1`):
+//!
+//! ```text
+//! σ(k) ≤ σ₀ k^γ,        σ₀ = q c δ^γ / (1 - δ^γ)
+//! τ(k) ≤ τ₀ k log k,    τ₀ = 4 q a σ₀^α c δ^γ / log(1/δ)
+//! ```
+
+/// The parameters of a `(c·x^γ, δ)`-topological separator (Definition 6)
+/// for a family of convex sets: every member of size `> 1` has an ordered
+/// partition into at most `q` pieces, each of size at most `δ·|U|`, each
+/// again in the family, and `|Γ_in(U)| ≤ c·|U|^γ`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeparatorSpec {
+    /// Preboundary constant `c` in `g(x) = c·x^γ`.
+    pub c: f64,
+    /// Preboundary exponent `γ` (`1/2 ≤ γ < 1`).
+    pub gamma: f64,
+    /// Shrink factor `δ` (`0 < δ < 1`).
+    pub delta: f64,
+    /// Maximum number of pieces `q`.
+    pub q: usize,
+}
+
+impl SeparatorSpec {
+    /// The diamond separator of Theorem 2's proof:
+    /// `Γ_in(D(r)) ≤ 2r = 2√2·|D|^{1/2}`, four pieces of size `|D|/4`.
+    pub fn diamond() -> Self {
+        SeparatorSpec { c: 2.0 * 2f64.sqrt(), gamma: 0.5, delta: 0.25, q: 4 }
+    }
+
+    /// The octahedron/tetrahedron separator of Theorem 5's proof:
+    /// pieces of size at most `|U|/2`, `q = 14`, `Γ_in ≤ 2·3^{2/3}|U|^{2/3}`.
+    pub fn octa_tetra() -> Self {
+        SeparatorSpec { c: 2.0 * 3f64.powf(2.0 / 3.0), gamma: 2.0 / 3.0, delta: 0.5, q: 14 }
+    }
+
+    /// Preboundary bound `g(x) = c·x^γ`.
+    pub fn g(&self, x: f64) -> f64 {
+        self.c * x.powf(self.gamma)
+    }
+
+    /// Verify the admissibility condition of Proposition 3 against an
+    /// `(a·x^α)`-H-RAM: `0 < α ≤ (1-γ)/γ ≤ 1`.
+    pub fn admissible(&self, alpha: f64) -> bool {
+        alpha > 0.0 && alpha <= (1.0 - self.gamma) / self.gamma && (1.0 - self.gamma) / self.gamma <= 1.0
+    }
+}
+
+/// The closed-form bounds of Proposition 3 for executing a set of size
+/// `k` with separator `spec` on an `(a·x^α)`-H-RAM.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpaceTimeBounds {
+    /// `σ₀` with `σ(k) ≤ σ₀·k^γ`.
+    pub sigma0: f64,
+    /// `τ₀` with `τ(k) ≤ τ₀·k·log k`.
+    pub tau0: f64,
+    /// The exponent `γ` of the space bound.
+    pub gamma: f64,
+}
+
+impl SpaceTimeBounds {
+    /// Instantiate Proposition 3.
+    ///
+    /// # Panics
+    /// If the admissibility condition fails.
+    pub fn from_spec(spec: &SeparatorSpec, a: f64, alpha: f64) -> Self {
+        assert!(spec.admissible(alpha), "Proposition 3 requires 0 < α ≤ (1-γ)/γ ≤ 1");
+        let dg = spec.delta.powf(spec.gamma);
+        let sigma0 = spec.q as f64 * spec.c * dg / (1.0 - dg);
+        let tau0 =
+            4.0 * spec.q as f64 * a * sigma0.powf(alpha) * spec.c * dg / (1.0 / spec.delta).log2();
+        SpaceTimeBounds { sigma0, tau0, gamma: spec.gamma }
+    }
+
+    /// The space bound `σ(k) = σ₀ k^γ` (Proposition 3 eq. (3)).
+    pub fn space(&self, k: f64) -> f64 {
+        self.sigma0 * k.powf(self.gamma)
+    }
+
+    /// The time bound `τ(k) = τ₀ k log k` (Proposition 3 eq. (4)).
+    pub fn time(&self, k: f64) -> f64 {
+        self.tau0 * k * logp2(k)
+    }
+}
+
+/// The paper's footnote log: `log(x) := log₂(x + 2) ≥ 1` for `x ≥ 0`.
+pub fn logp2(x: f64) -> f64 {
+    (x + 2.0).log2()
+}
+
+/// Numerically iterate the Proposition-2 recurrences — used to
+/// cross-check the closed forms of Proposition 3.
+///
+/// The worst case compatible with the partition property `Σ|U_i| = |U|`
+/// and `|U_i| ≤ δ|U|` is `1/δ` children of size `δk` each, while the
+/// total preboundary `P(U)` is still bounded by `q·g(δk)` pieces.
+pub fn iterate_recurrence(spec: &SeparatorSpec, a: f64, alpha: f64, k: f64) -> (f64, f64) {
+    if k <= 1.0 {
+        return (1.0, 1.0);
+    }
+    let (s_child, t_child) = iterate_recurrence(spec, a, alpha, spec.delta * k);
+    let p = spec.q as f64 * spec.g(spec.delta * k);
+    let s = s_child + p;
+    let f_s = a * s.powf(alpha);
+    let t = (1.0 / spec.delta) * t_child + 4.0 * f_s * p;
+    (s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_spec_is_admissible_for_d1() {
+        // Theorem 2 executes diamonds on an (x)-H-RAM: α = 1, γ = 1/2.
+        assert!(SeparatorSpec::diamond().admissible(1.0));
+    }
+
+    #[test]
+    fn octa_spec_is_admissible_for_d2() {
+        // Theorem 5 executes octahedra on an (x^{1/2})-H-RAM: α = 1/2, γ = 2/3.
+        assert!(SeparatorSpec::octa_tetra().admissible(0.5));
+        assert!(!SeparatorSpec::octa_tetra().admissible(0.75));
+    }
+
+    #[test]
+    fn recurrence_stays_below_closed_form() {
+        let spec = SeparatorSpec::diamond();
+        let b = SpaceTimeBounds::from_spec(&spec, 1.0, 1.0);
+        for k in [64.0, 256.0, 1024.0, 16384.0] {
+            let (s, t) = iterate_recurrence(&spec, 1.0, 1.0, k);
+            assert!(s <= b.space(k) * 1.01, "space k={k}: {s} vs {}", b.space(k));
+            assert!(t <= b.time(k) * 1.5, "time k={k}: {t} vs {}", b.time(k));
+        }
+    }
+
+    #[test]
+    fn recurrence_2d_below_closed_form() {
+        let spec = SeparatorSpec::octa_tetra();
+        let b = SpaceTimeBounds::from_spec(&spec, 1.0, 0.5);
+        for k in [100.0, 1000.0, 100_000.0] {
+            let (s, t) = iterate_recurrence(&spec, 1.0, 0.5, k);
+            assert!(s <= b.space(k) * 1.01, "space k={k}");
+            assert!(t <= b.time(k) * 2.0, "time k={k}: {t} vs {}", b.time(k));
+        }
+    }
+
+    #[test]
+    fn space_grows_sublinearly() {
+        let b = SpaceTimeBounds::from_spec(&SeparatorSpec::diamond(), 1.0, 1.0);
+        // σ(4k)/σ(k) = 2 for γ = 1/2.
+        let r = b.space(4096.0) / b.space(1024.0);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_is_klogk() {
+        let b = SpaceTimeBounds::from_spec(&SeparatorSpec::diamond(), 1.0, 1.0);
+        let r = b.time(2048.0) / b.time(1024.0);
+        assert!(r > 2.0 && r < 2.3, "k log k doubling ratio, got {r}");
+    }
+
+    #[test]
+    fn logp2_matches_footnote() {
+        assert_eq!(logp2(0.0), 1.0);
+        assert_eq!(logp2(2.0), 2.0);
+        assert!(logp2(1e6) > 19.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Proposition 3")]
+    fn inadmissible_panics() {
+        SpaceTimeBounds::from_spec(&SeparatorSpec::octa_tetra(), 1.0, 1.0);
+    }
+}

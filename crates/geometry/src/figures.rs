@@ -1,0 +1,151 @@
+//! Machine-generated versions of the paper's four figures.
+//!
+//! The paper's figures are continuous-domain drawings; on the integer
+//! lattice the same constructions occasionally produce tiny extra pieces
+//! (one-point slivers where excluded semi-open tips meet a box corner).
+//! We keep those pieces — the decompositions below are *exact ordered
+//! topological partitions* of the respective vertex sets, which is the
+//! property the proofs actually use.
+
+use crate::diamond::ClippedDiamond;
+use crate::domain2::{ClippedDomain2, Domain2};
+use crate::ibox::{IBox, IRect};
+use crate::point::{Pt2, Pt3};
+use crate::tiling1::{diamond_cover, zigzag_bands};
+use crate::tiling2::cell_cover;
+
+/// **Figure 1** — the partition of the `d = 1` computation domain
+/// `V = [0, n) × [0, n]` into a full central diamond `D(n)` plus
+/// truncated diamonds at the corners (`U1 … U5` in the paper), in
+/// topological order.
+///
+/// `n` must be even; the central piece is `D(n)` centered at
+/// `(n/2, n/2)`.
+pub fn figure1(n: i64) -> Vec<ClippedDiamond> {
+    assert!(n >= 2 && n % 2 == 0);
+    let rect = IRect::new(0, n, 0, n + 1);
+    diamond_cover(rect, n / 2, Pt2::new(n / 2, n / 2))
+}
+
+/// **Figure 2** — the zig-zag bands of diamonds `D(n/p)` assigned to the
+/// `p` processors in the multiprocessor simulation of Section 4.2.
+///
+/// Returns one band per processor over the `T`-step computation of an
+/// `n`-node array; `w = n/p` must be even.
+pub fn figure2(n: i64, t_steps: i64, p: usize) -> Vec<Vec<ClippedDiamond>> {
+    let w = n / p as i64;
+    assert!(w >= 2 && w % 2 == 0, "band width n/p = {w} must be even");
+    let rect = IRect::new(0, n, 1, t_steps + 1);
+    zigzag_bands(rect, w / 2, p, Pt2::new(0, 0))
+}
+
+/// **Figure 3(a)** — the ordered decomposition of the octahedron `P(2h)`
+/// into 6 octahedra and 8 tetrahedra of half the size.
+pub fn figure3a(h: i64) -> (Domain2, Vec<Domain2>) {
+    let p = Domain2::octahedron(0, 0, 0, h);
+    let kids = p.children();
+    (p, kids)
+}
+
+/// **Figure 3(b)** — the ordered decomposition of the tetrahedron `W(2h)`
+/// into 4 tetrahedra and 1 octahedron of half the size.
+pub fn figure3b(h: i64) -> (Domain2, Vec<Domain2>) {
+    let w = Domain2::tetra_x_bottom(0, 0, 0, h);
+    let kids = w.children();
+    (w, kids)
+}
+
+/// **Figure 4** — the partition of the `d = 2` computation domain
+/// `V = [0, s) × [0, s) × [0, s]` (with `s = √n`) into a full central
+/// octahedron plus truncated octahedra/tetrahedra, in topological order.
+///
+/// `s` must be even; the central octahedron is `P(s)` centered at
+/// `(s/2, s/2, s/2)`.
+pub fn figure4(s: i64) -> Vec<ClippedDomain2> {
+    assert!(s >= 2 && s % 2 == 0);
+    let bx = IBox::new(0, s, 0, s, 0, s + 1);
+    cell_cover(bx, s / 2, Pt3::new(s / 2, s / 2, s / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain2::CellKind;
+    use std::collections::HashSet;
+
+    #[test]
+    fn figure1_has_central_full_diamond() {
+        let n = 8;
+        let pieces = figure1(n);
+        let full: Vec<_> = pieces.iter().filter(|c| c.is_full()).collect();
+        assert_eq!(full.len(), 1, "exactly one full piece (U3 of type D(n))");
+        let c = full[0];
+        assert_eq!((c.d.cx, c.d.ct, c.d.h), (n / 2, n / 2, n / 2));
+        // Coverage.
+        let total: i64 = pieces.iter().map(|p| p.points_count()).sum();
+        assert_eq!(total, n * (n + 1));
+    }
+
+    #[test]
+    fn figure1_is_topological() {
+        let pieces = figure1(8);
+        let mut earlier: HashSet<Pt2> = HashSet::new();
+        for piece in &pieces {
+            for g in piece.preboundary() {
+                // Pieces at t = 0 have their preboundary outside the box.
+                assert!(earlier.contains(&g), "{g:?} needed before computed");
+            }
+            earlier.extend(piece.points());
+        }
+    }
+
+    #[test]
+    fn figure2_covers_computation() {
+        let (n, t, p) = (16, 16, 4);
+        let bands = figure2(n, t, p);
+        assert_eq!(bands.len(), p);
+        let total: i64 = bands.iter().flatten().map(|c| c.points_count()).sum();
+        assert_eq!(total, n * t);
+    }
+
+    #[test]
+    fn figure3_counts() {
+        let (_, a) = figure3a(4);
+        assert_eq!(a.len(), 14);
+        assert_eq!(a.iter().filter(|c| c.kind() == CellKind::Octahedron).count(), 6);
+        let (_, b) = figure3b(4);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.iter().filter(|c| c.kind() == CellKind::Octahedron).count(), 1);
+    }
+
+    #[test]
+    fn figure4_has_central_octahedron_and_partitions() {
+        let s = 8;
+        let pieces = figure4(s);
+        let total: i64 = pieces.iter().map(|p| p.points_count()).sum();
+        assert_eq!(total, s * s * (s + 1));
+        // The central cell is a full octahedron P(s) at the cube center.
+        let central = pieces
+            .iter()
+            .find(|c| {
+                c.cell.kind() == CellKind::Octahedron
+                    && c.cell.dx.cx == s / 2
+                    && c.cell.dy.cx == s / 2
+                    && c.cell.dx.ct == s / 2
+            })
+            .expect("central octahedron present");
+        assert_eq!(central.points_count(), central.cell.volume(), "central piece untruncated");
+    }
+
+    #[test]
+    fn figure4_is_topological() {
+        let pieces = figure4(4);
+        let mut earlier: HashSet<Pt3> = HashSet::new();
+        for piece in &pieces {
+            for g in piece.preboundary() {
+                assert!(earlier.contains(&g), "{g:?} needed before computed");
+            }
+            earlier.extend(piece.points());
+        }
+    }
+}

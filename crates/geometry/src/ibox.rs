@@ -1,0 +1,186 @@
+//! Axis-aligned integer boxes used to clip domains to the actual
+//! computation (Section 3: domains `U1, U2, U4, U5` of Figure 1 and the
+//! truncated octahedra/tetrahedra of Figure 4 are *truncated versions* of
+//! the full domains).
+//!
+//! All boxes are half-open in every coordinate: a point `p` is inside iff
+//! `lo ≤ p < hi` component-wise.
+
+use crate::point::{Pt2, Pt3};
+
+/// Half-open rectangle `[x0, x1) × [t0, t1)` in the `d = 1` space-time
+/// lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IRect {
+    pub x0: i64,
+    pub x1: i64,
+    pub t0: i64,
+    pub t1: i64,
+}
+
+impl IRect {
+    /// The space-time box of a `T`-step computation on an `n`-node linear
+    /// array: `x ∈ [0, n)`, `t ∈ [0, T]` (row `t = 0` holds the inputs).
+    pub fn computation(n: i64, t_steps: i64) -> Self {
+        IRect { x0: 0, x1: n, t0: 0, t1: t_steps + 1 }
+    }
+
+    /// Arbitrary half-open rectangle.
+    pub fn new(x0: i64, x1: i64, t0: i64, t1: i64) -> Self {
+        IRect { x0, x1, t0, t1 }
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Pt2) -> bool {
+        self.x0 <= p.x && p.x < self.x1 && self.t0 <= p.t && p.t < self.t1
+    }
+
+    /// Number of lattice points (zero if degenerate).
+    pub fn volume(&self) -> i64 {
+        (self.x1 - self.x0).max(0) * (self.t1 - self.t0).max(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.volume() == 0
+    }
+
+    /// Intersection of two rectangles.
+    pub fn intersect(&self, o: &IRect) -> IRect {
+        IRect {
+            x0: self.x0.max(o.x0),
+            x1: self.x1.min(o.x1),
+            t0: self.t0.max(o.t0),
+            t1: self.t1.min(o.t1),
+        }
+    }
+
+    /// All lattice points, time-major order.
+    pub fn points(&self) -> Vec<Pt2> {
+        let mut v = Vec::with_capacity(self.volume().max(0) as usize);
+        for t in self.t0..self.t1 {
+            for x in self.x0..self.x1 {
+                v.push(Pt2::new(x, t));
+            }
+        }
+        v
+    }
+}
+
+/// Half-open box `[x0, x1) × [y0, y1) × [t0, t1)` in the `d = 2`
+/// space-time lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IBox {
+    pub x0: i64,
+    pub x1: i64,
+    pub y0: i64,
+    pub y1: i64,
+    pub t0: i64,
+    pub t1: i64,
+}
+
+impl IBox {
+    /// The space-time box of a `T`-step computation on a `√n × √n` mesh.
+    pub fn computation(side: i64, t_steps: i64) -> Self {
+        IBox { x0: 0, x1: side, y0: 0, y1: side, t0: 0, t1: t_steps + 1 }
+    }
+
+    pub fn new(x0: i64, x1: i64, y0: i64, y1: i64, t0: i64, t1: i64) -> Self {
+        IBox { x0, x1, y0, y1, t0, t1 }
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Pt3) -> bool {
+        self.x0 <= p.x
+            && p.x < self.x1
+            && self.y0 <= p.y
+            && p.y < self.y1
+            && self.t0 <= p.t
+            && p.t < self.t1
+    }
+
+    pub fn volume(&self) -> i64 {
+        (self.x1 - self.x0).max(0) * (self.y1 - self.y0).max(0) * (self.t1 - self.t0).max(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.volume() == 0
+    }
+
+    pub fn intersect(&self, o: &IBox) -> IBox {
+        IBox {
+            x0: self.x0.max(o.x0),
+            x1: self.x1.min(o.x1),
+            y0: self.y0.max(o.y0),
+            y1: self.y1.min(o.y1),
+            t0: self.t0.max(o.t0),
+            t1: self.t1.min(o.t1),
+        }
+    }
+
+    /// All lattice points, time-major order.
+    pub fn points(&self) -> Vec<Pt3> {
+        let mut v = Vec::with_capacity(self.volume().max(0) as usize);
+        for t in self.t0..self.t1 {
+            for y in self.y0..self.y1 {
+                for x in self.x0..self.x1 {
+                    v.push(Pt3::new(x, y, t));
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_volume_and_points_agree() {
+        let r = IRect::new(-2, 3, 1, 4);
+        assert_eq!(r.volume(), 5 * 3);
+        let pts = r.points();
+        assert_eq!(pts.len() as i64, r.volume());
+        for p in &pts {
+            assert!(r.contains(*p));
+        }
+        assert!(!r.contains(Pt2::new(3, 1)));
+        assert!(!r.contains(Pt2::new(-2, 4)));
+    }
+
+    #[test]
+    fn rect_computation_includes_input_row() {
+        let r = IRect::computation(4, 4);
+        assert!(r.contains(Pt2::new(0, 0)));
+        assert!(r.contains(Pt2::new(3, 4)));
+        assert!(!r.contains(Pt2::new(4, 0)));
+        assert!(!r.contains(Pt2::new(0, 5)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = IRect::new(0, 10, 0, 10);
+        let b = IRect::new(5, 15, -3, 7);
+        let c = a.intersect(&b);
+        assert_eq!(c, IRect::new(5, 10, 0, 7));
+        assert!(a.intersect(&IRect::new(20, 30, 0, 1)).is_empty());
+    }
+
+    #[test]
+    fn box_volume_and_points_agree() {
+        let b = IBox::new(0, 3, 1, 3, -1, 2);
+        assert_eq!(b.volume(), 3 * 2 * 3);
+        let pts = b.points();
+        assert_eq!(pts.len() as i64, b.volume());
+        for p in &pts {
+            assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn box_intersection_empty_detected() {
+        let a = IBox::new(0, 2, 0, 2, 0, 2);
+        let b = IBox::new(2, 4, 0, 2, 0, 2);
+        assert!(a.intersect(&b).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! The octahedron `P(√r)` of Section 5, in the paper's own notation.
+//!
+//! This is a thin, paper-faithful wrapper over [`Domain2`]
+//! (see that module for the product-of-diamonds realization).
+
+use crate::domain2::Domain2;
+
+/// The octahedral domain `P(ρ)` of Theorem 5: intersection of the eight
+/// half-spaces `|z ± x| ≤ ρ/2`, `|z ± y| ≤ ρ/2`, made semi-closed.
+///
+/// `|P(√r)| = r^{3/2}/3` and `Γ_in(P(√r)) ≈ 2r = 2·3^{2/3}·|P|^{2/3}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Octahedron(pub Domain2);
+
+impl Octahedron {
+    /// `P(2h)` centered at `(cx, cy, ct)`.
+    pub fn new(cx: i64, cy: i64, ct: i64, h: i64) -> Self {
+        Octahedron(Domain2::octahedron(cx, cy, ct, h))
+    }
+
+    /// Continuous volume `ρ³/3` (the lattice count approaches this).
+    pub fn continuous_volume(h: i64) -> f64 {
+        let rho = 2.0 * h as f64;
+        rho.powi(3) / 3.0
+    }
+
+    /// Continuous preboundary size `2r` with `ρ = √r`, i.e. `2ρ²`.
+    pub fn continuous_preboundary(h: i64) -> f64 {
+        let rho = 2.0 * h as f64;
+        2.0 * rho * rho
+    }
+
+    /// The separator constant of Theorem 5's proof:
+    /// `Γ_in(P) = 2·3^{2/3}·|P|^{2/3}` — returns `c = 2·3^{2/3}`.
+    pub fn separator_constant() -> f64 {
+        2.0 * 3f64.powf(2.0 / 3.0)
+    }
+
+    pub fn cell(&self) -> Domain2 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain2::CellKind;
+
+    #[test]
+    fn is_an_octahedron_cell() {
+        assert_eq!(Octahedron::new(0, 0, 0, 4).0.kind(), CellKind::Octahedron);
+    }
+
+    #[test]
+    fn lattice_volume_tracks_continuous() {
+        for h in 2..=8i64 {
+            let p = Octahedron::new(0, 0, 0, h);
+            let lattice = p.0.volume() as f64;
+            let cont = Octahedron::continuous_volume(h);
+            // Exact count is (8h³ + 4h·(something lower order))/3-ish;
+            // relative error shrinks with h.
+            let rel = (lattice - cont).abs() / cont;
+            assert!(rel < 1.0 / h as f64 + 0.2, "h={h} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn preboundary_tracks_2r() {
+        for h in 2..=6i64 {
+            let p = Octahedron::new(0, 0, 0, h);
+            let g = p.0.preboundary().len() as f64;
+            let cont = Octahedron::continuous_preboundary(h);
+            assert!(g > cont * 0.5 && g < cont * 2.5, "h={h}: {g} vs {cont}");
+        }
+    }
+
+    #[test]
+    fn separator_relation_gamma_vs_volume() {
+        // Γ_in(P) ≤ c·|P|^{2/3} with c close to 2·3^{2/3} ≈ 4.16.
+        for h in 3..=7i64 {
+            let p = Octahedron::new(0, 0, 0, h);
+            let g = p.0.preboundary().len() as f64;
+            let v = p.0.volume() as f64;
+            let c = g / v.powf(2.0 / 3.0);
+            assert!(
+                c < 2.0 * Octahedron::separator_constant(),
+                "h={h}: separator constant {c}"
+            );
+        }
+    }
+}

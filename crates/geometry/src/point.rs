@@ -1,0 +1,210 @@
+//! Lattice points of the space-time dags (Definition 3 of the paper).
+//!
+//! For `d = 1` a dag vertex `(v, t)` is a [`Pt2`]; for `d = 2` a vertex
+//! `((i, j), t)` is a [`Pt3`].  The time coordinate is always the last
+//! field, and dependencies always point towards increasing `t`.
+
+/// A vertex of the linear-array dag `G_T(M_1)`: spatial coordinate `x`,
+/// time step `t`.
+///
+/// Coordinates are signed so that domains (diamonds) may be centered
+/// anywhere; the actual computation occupies `x ∈ [0, n)`, `t ∈ [0, T]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pt2 {
+    /// Time step (major sort key: topological orders sort by `t` first).
+    pub t: i64,
+    /// Node index along the linear array.
+    pub x: i64,
+}
+
+impl Pt2 {
+    /// Convenience constructor (argument order `x, t` to match the paper's
+    /// `(v, t)` vertex notation).
+    #[inline]
+    pub const fn new(x: i64, t: i64) -> Self {
+        Pt2 { t, x }
+    }
+
+    /// The immediate predecessors of this vertex in `G_T(M_1)`
+    /// (Definition 3): `(x + dx, t - 1)` for `dx ∈ {-1, 0, 1}`.
+    ///
+    /// The caller is responsible for intersecting with the actual vertex
+    /// set (array bounds and `t ≥ 0`).
+    #[inline]
+    pub fn preds(self) -> [Pt2; 3] {
+        [
+            Pt2::new(self.x - 1, self.t - 1),
+            Pt2::new(self.x, self.t - 1),
+            Pt2::new(self.x + 1, self.t - 1),
+        ]
+    }
+
+    /// The immediate successors: `(x + dx, t + 1)` for `dx ∈ {-1, 0, 1}`.
+    #[inline]
+    pub fn succs(self) -> [Pt2; 3] {
+        [
+            Pt2::new(self.x - 1, self.t + 1),
+            Pt2::new(self.x, self.t + 1),
+            Pt2::new(self.x + 1, self.t + 1),
+        ]
+    }
+
+    /// ℓ¹ (taxicab) distance to another point.
+    #[inline]
+    pub fn l1(self, o: Pt2) -> i64 {
+        (self.x - o.x).abs() + (self.t - o.t).abs()
+    }
+}
+
+/// A vertex of the mesh dag `G_T(M_2)`: spatial coordinates `(x, y)`,
+/// time step `t`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pt3 {
+    /// Time step (major sort key).
+    pub t: i64,
+    /// First mesh coordinate.
+    pub x: i64,
+    /// Second mesh coordinate.
+    pub y: i64,
+}
+
+impl Pt3 {
+    /// Convenience constructor (`x, y, t` order as in Section 5's
+    /// `(x, y, z)`-space with `z` the time axis).
+    #[inline]
+    pub const fn new(x: i64, y: i64, t: i64) -> Self {
+        Pt3 { t, x, y }
+    }
+
+    /// Immediate predecessors in `G_T(M_2)`: the vertex itself and its four
+    /// mesh neighbors, one step earlier (Definition 3 for the mesh
+    /// interconnection of Definition 2).
+    #[inline]
+    pub fn preds(self) -> [Pt3; 5] {
+        [
+            Pt3::new(self.x, self.y, self.t - 1),
+            Pt3::new(self.x - 1, self.y, self.t - 1),
+            Pt3::new(self.x + 1, self.y, self.t - 1),
+            Pt3::new(self.x, self.y - 1, self.t - 1),
+            Pt3::new(self.x, self.y + 1, self.t - 1),
+        ]
+    }
+
+    /// Immediate successors in `G_T(M_2)`.
+    #[inline]
+    pub fn succs(self) -> [Pt3; 5] {
+        [
+            Pt3::new(self.x, self.y, self.t + 1),
+            Pt3::new(self.x - 1, self.y, self.t + 1),
+            Pt3::new(self.x + 1, self.y, self.t + 1),
+            Pt3::new(self.x, self.y - 1, self.t + 1),
+            Pt3::new(self.x, self.y + 1, self.t + 1),
+        ]
+    }
+
+    /// ℓ¹ distance to another point.
+    #[inline]
+    pub fn l1(self, o: Pt3) -> i64 {
+        (self.x - o.x).abs() + (self.y - o.y).abs() + (self.t - o.t).abs()
+    }
+}
+
+
+/// A vertex of the 3-D-mesh dag `G_T(M_3)` (the Section-6 extension):
+/// spatial coordinates `(x, y, z)`, time step `t`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pt4 {
+    /// Time step (major sort key).
+    pub t: i64,
+    pub x: i64,
+    pub y: i64,
+    pub z: i64,
+}
+
+impl Pt4 {
+    #[inline]
+    pub const fn new(x: i64, y: i64, z: i64, t: i64) -> Self {
+        Pt4 { t, x, y, z }
+    }
+
+    /// Immediate predecessors: the vertex itself and its six mesh
+    /// neighbors, one step earlier.
+    #[inline]
+    pub fn preds(self) -> [Pt4; 7] {
+        [
+            Pt4::new(self.x, self.y, self.z, self.t - 1),
+            Pt4::new(self.x - 1, self.y, self.z, self.t - 1),
+            Pt4::new(self.x + 1, self.y, self.z, self.t - 1),
+            Pt4::new(self.x, self.y - 1, self.z, self.t - 1),
+            Pt4::new(self.x, self.y + 1, self.z, self.t - 1),
+            Pt4::new(self.x, self.y, self.z - 1, self.t - 1),
+            Pt4::new(self.x, self.y, self.z + 1, self.t - 1),
+        ]
+    }
+
+    /// Immediate successors.
+    #[inline]
+    pub fn succs(self) -> [Pt4; 7] {
+        [
+            Pt4::new(self.x, self.y, self.z, self.t + 1),
+            Pt4::new(self.x - 1, self.y, self.z, self.t + 1),
+            Pt4::new(self.x + 1, self.y, self.z, self.t + 1),
+            Pt4::new(self.x, self.y - 1, self.z, self.t + 1),
+            Pt4::new(self.x, self.y + 1, self.z, self.t + 1),
+            Pt4::new(self.x, self.y, self.z - 1, self.t + 1),
+            Pt4::new(self.x, self.y, self.z + 1, self.t + 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pt2_preds_are_one_step_back() {
+        let p = Pt2::new(5, 7);
+        for q in p.preds() {
+            assert_eq!(q.t, 6);
+            assert!((q.x - p.x).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn pt2_succ_pred_inverse() {
+        let p = Pt2::new(0, 0);
+        for s in p.succs() {
+            assert!(s.preds().contains(&p), "{s:?} should have {p:?} as pred");
+        }
+    }
+
+    #[test]
+    fn pt3_preds_count_and_shape() {
+        let p = Pt3::new(1, 2, 3);
+        let preds = p.preds();
+        assert_eq!(preds.len(), 5);
+        for q in preds {
+            assert_eq!(q.t, 2);
+            assert!(q.l1(Pt3::new(1, 2, 2)) <= 1);
+        }
+    }
+
+    #[test]
+    fn ordering_sorts_by_time_first() {
+        let a = Pt2::new(100, 1);
+        let b = Pt2::new(-100, 2);
+        assert!(a < b, "time-major ordering");
+        let a3 = Pt3::new(9, 9, 0);
+        let b3 = Pt3::new(0, 0, 1);
+        assert!(a3 < b3);
+    }
+
+    #[test]
+    fn l1_symmetry() {
+        let a = Pt2::new(3, -2);
+        let b = Pt2::new(-1, 5);
+        assert_eq!(a.l1(b), b.l1(a));
+        assert_eq!(a.l1(b), 4 + 7);
+    }
+}

@@ -1,0 +1,191 @@
+//! ASCII rendering of partitions — regenerates the *pictures* of
+//! Figures 1–4 (one character per lattice point, one letter per piece).
+
+use crate::diamond::ClippedDiamond;
+use crate::domain2::ClippedDomain2;
+use crate::ibox::{IBox, IRect};
+use crate::point::{Pt2, Pt3};
+
+const GLYPHS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+/// Render a `d = 1` partition over `rect`: each piece gets a letter, `.`
+/// marks uncovered points.  Row `t` increases upward, as in the paper's
+/// figures.
+pub fn render_partition1(rect: IRect, pieces: &[ClippedDiamond]) -> String {
+    let w = (rect.x1 - rect.x0) as usize;
+    let h = (rect.t1 - rect.t0) as usize;
+    let mut grid = vec![b'.'; w * h];
+    for (i, piece) in pieces.iter().enumerate() {
+        let g = GLYPHS[i % GLYPHS.len()];
+        for p in piece.points() {
+            if rect.contains(p) {
+                let col = (p.x - rect.x0) as usize;
+                let row = (p.t - rect.t0) as usize;
+                grid[row * w + col] = g;
+            }
+        }
+    }
+    to_string_rows(&grid, w, h)
+}
+
+/// Render time-slice `t` of a `d = 2` partition over `bx`.
+pub fn render_partition2_slice(bx: IBox, pieces: &[ClippedDomain2], t: i64) -> String {
+    let w = (bx.x1 - bx.x0) as usize;
+    let h = (bx.y1 - bx.y0) as usize;
+    let mut grid = vec![b'.'; w * h];
+    for (i, piece) in pieces.iter().enumerate() {
+        let g = GLYPHS[i % GLYPHS.len()];
+        for y in bx.y0..bx.y1 {
+            for x in bx.x0..bx.x1 {
+                if piece.contains(Pt3::new(x, y, t)) {
+                    grid[(y - bx.y0) as usize * w + (x - bx.x0) as usize] = g;
+                }
+            }
+        }
+    }
+    to_string_rows(&grid, w, h)
+}
+
+/// Render a marked subset of the plane (e.g. a preboundary) over `rect`:
+/// `#` for members, `.` otherwise.
+pub fn render_set1(rect: IRect, pts: &[Pt2]) -> String {
+    let w = (rect.x1 - rect.x0) as usize;
+    let h = (rect.t1 - rect.t0) as usize;
+    let mut grid = vec![b'.'; w * h];
+    for p in pts {
+        if rect.contains(*p) {
+            grid[(p.t - rect.t0) as usize * w + (p.x - rect.x0) as usize] = b'#';
+        }
+    }
+    to_string_rows(&grid, w, h)
+}
+
+fn to_string_rows(grid: &[u8], w: usize, h: usize) -> String {
+    // Highest t first so time increases upward.
+    let mut s = String::with_capacity((w + 1) * h);
+    for row in (0..h).rev() {
+        s.push_str(std::str::from_utf8(&grid[row * w..(row + 1) * w]).unwrap());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn figure1_renders_fully_covered() {
+        let n = 8;
+        let rect = IRect::new(0, n, 0, n + 1);
+        let art = render_partition1(rect, &figures::figure1(n));
+        assert!(!art.contains('.'), "every point covered:\n{art}");
+        assert_eq!(art.lines().count(), (n + 1) as usize);
+    }
+
+    #[test]
+    fn figure4_slices_render() {
+        let s = 4;
+        let bx = IBox::new(0, s, 0, s, 0, s + 1);
+        let pieces = figures::figure4(s);
+        for t in 0..=s {
+            let art = render_partition2_slice(bx, &pieces, t);
+            assert!(!art.contains('.'), "slice t={t} covered:\n{art}");
+        }
+    }
+
+    #[test]
+    fn set_render_marks_points() {
+        let rect = IRect::new(0, 4, 0, 4);
+        let art = render_set1(rect, &[Pt2::new(0, 0), Pt2::new(3, 3)]);
+        assert_eq!(art.matches('#').count(), 2);
+    }
+}
+
+/// Render a `d = 1` partition as an SVG document (one colored unit
+/// square per lattice point, one hue per piece) — a vector-graphic
+/// regeneration of the paper's figures.
+pub fn svg_partition1(rect: IRect, pieces: &[ClippedDiamond]) -> String {
+    let cell = 16i64;
+    let w = (rect.x1 - rect.x0) * cell;
+    let h = (rect.t1 - rect.t0) * cell;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"#ffffff\"/>\n"
+    ));
+    for (i, piece) in pieces.iter().enumerate() {
+        let hue = (i * 360) / pieces.len().max(1);
+        for p in piece.points() {
+            if !rect.contains(p) {
+                continue;
+            }
+            let x = (p.x - rect.x0) * cell;
+            // SVG y grows downward; the paper draws time upward.
+            let y = (rect.t1 - 1 - p.t) * cell;
+            out.push_str(&format!(
+                "<rect x=\"{x}\" y=\"{y}\" width=\"{cell}\" height=\"{cell}\" \
+                 fill=\"hsl({hue},70%,60%)\" stroke=\"#333\" stroke-width=\"0.5\"/>\n"
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render time-slice `t` of a `d = 2` partition as SVG.
+pub fn svg_partition2_slice(bx: IBox, pieces: &[ClippedDomain2], t: i64) -> String {
+    let cell = 16i64;
+    let w = (bx.x1 - bx.x0) * cell;
+    let h = (bx.y1 - bx.y0) * cell;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"#ffffff\"/>\n"
+    ));
+    for (i, piece) in pieces.iter().enumerate() {
+        let hue = (i * 360) / pieces.len().max(1);
+        for y in bx.y0..bx.y1 {
+            for x in bx.x0..bx.x1 {
+                if piece.contains(Pt3::new(x, y, t)) {
+                    let sx = (x - bx.x0) * cell;
+                    let sy = (bx.y1 - 1 - y) * cell;
+                    out.push_str(&format!(
+                        "<rect x=\"{sx}\" y=\"{sy}\" width=\"{cell}\" height=\"{cell}\" \
+                         fill=\"hsl({hue},70%,60%)\" stroke=\"#333\" stroke-width=\"0.5\"/>\n"
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn svg_figure1_is_well_formed() {
+        let n = 8;
+        let rect = IRect::new(0, n, 0, n + 1);
+        let svg = svg_partition1(rect, &figures::figure1(n));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One rect per lattice point plus the background.
+        let rects = svg.matches("<rect").count() as i64;
+        assert_eq!(rects, rect.volume() + 1);
+    }
+
+    #[test]
+    fn svg_figure4_slice_is_well_formed() {
+        let s = 4;
+        let bx = IBox::new(0, s, 0, s, 0, s + 1);
+        let svg = svg_partition2_slice(bx, &figures::figure4(s), 2);
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<rect").count() as i64, s * s + 1);
+    }
+}

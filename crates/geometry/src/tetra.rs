@@ -1,0 +1,104 @@
+//! The tetrahedron `W(√r)` of Section 5, in the paper's own notation.
+//!
+//! A thin wrapper over [`Domain2`]; the two orientations arise naturally
+//! in the Figure-3 refinements (the paper draws only one, the other is
+//! its mirror image under swapping the mesh axes).
+
+use crate::domain2::{CellKind, Domain2};
+
+/// Orientation of a tetrahedral cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TetraOrient {
+    /// Bottom (excluded) edge parallel to the x-axis, top edge parallel
+    /// to the y-axis — the paper's `W(ρ) = {z ≥ |y|, z + |x| ≤ ρ/2}`.
+    XBottom,
+    /// The axis-swapped mirror image.
+    YBottom,
+}
+
+/// The tetrahedral domain `W(ρ)` of Theorem 5: four half-spaces,
+/// `|W(√r)| = r^{3/2}/12`, `Γ_in(W(√r)) = Θ(r)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Tetrahedron(pub Domain2);
+
+impl Tetrahedron {
+    /// `W(2h)` with bottom edge centered at `(cx, cy, tb)`.
+    pub fn new(orient: TetraOrient, cx: i64, cy: i64, tb: i64, h: i64) -> Self {
+        Tetrahedron(match orient {
+            TetraOrient::XBottom => Domain2::tetra_x_bottom(cx, cy, tb, h),
+            TetraOrient::YBottom => Domain2::tetra_y_bottom(cx, cy, tb, h),
+        })
+    }
+
+    /// Continuous volume `ρ³/12`.
+    pub fn continuous_volume(h: i64) -> f64 {
+        let rho = 2.0 * h as f64;
+        rho.powi(3) / 12.0
+    }
+
+    /// The separator constant of Theorem 5's proof:
+    /// `Γ_in(W) = (12)^{2/3}·|W|^{2/3}`-ish — returns `12^{2/3}`.
+    pub fn separator_constant() -> f64 {
+        12f64.powf(2.0 / 3.0)
+    }
+
+    pub fn cell(&self) -> Domain2 {
+        self.0
+    }
+
+    pub fn orient(&self) -> TetraOrient {
+        match self.0.kind() {
+            CellKind::TetraXBottom => TetraOrient::XBottom,
+            CellKind::TetraYBottom => TetraOrient::YBottom,
+            CellKind::Octahedron => unreachable!("constructor builds tetrahedra only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Pt3;
+
+    #[test]
+    fn orientations_are_mirror_images() {
+        let a = Tetrahedron::new(TetraOrient::XBottom, 0, 0, 0, 4);
+        let b = Tetrahedron::new(TetraOrient::YBottom, 0, 0, 0, 4);
+        assert_eq!(a.0.volume(), b.0.volume());
+        // Swapping x and y maps one onto the other.
+        for p in a.0.points() {
+            assert!(b.0.contains(Pt3::new(p.y, p.x, p.t)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn volume_tracks_continuous() {
+        for h in 2..=8i64 {
+            let w = Tetrahedron::new(TetraOrient::XBottom, 0, 0, 0, h);
+            let lattice = w.0.volume() as f64;
+            let cont = Tetrahedron::continuous_volume(h);
+            let rel = (lattice - cont).abs() / cont;
+            assert!(rel < 2.0 / h as f64 + 0.35, "h={h} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn bottom_edge_is_excluded() {
+        let w = Tetrahedron::new(TetraOrient::XBottom, 0, 0, 0, 4);
+        // Points on the bottom edge t = 0, y = 0 are not in the
+        // semi-closed domain.
+        for x in -4..=4 {
+            assert!(!w.0.contains(Pt3::new(x, 0, 0)), "x={x}");
+        }
+        // But the row just above is.
+        assert!(w.0.contains(Pt3::new(0, 0, 1)));
+        assert!(w.0.contains(Pt3::new(0, 1, 2)));
+    }
+
+    #[test]
+    fn orient_roundtrip() {
+        for o in [TetraOrient::XBottom, TetraOrient::YBottom] {
+            assert_eq!(Tetrahedron::new(o, 1, 2, 3, 2).orient(), o);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Diamond tilings of the `d = 1` space-time lattice.
+//!
+//! Semi-open diamonds of radius `h` centered on the lattice
+//! `{ a·(h, h) + b·(h, -h) } + anchor` partition ℤ² (see
+//! `diamond::tests::plane_tiling_by_translates`).  Clipping every tile to
+//! the computation rectangle yields an **ordered topological partition**
+//! of the whole dag `G_T(M_1)` into full and truncated diamonds — the
+//! engine-friendly generalization of Figure 1 (which is the special case
+//! of one tile row, anchored at the center of the square).
+//!
+//! Ordering tiles by center time `ct` (ties by `cx`) is topological: every
+//! preboundary point of a tile lies in one of the three tiles centered at
+//! `(cx ± h, ct - h)` and `(cx, ct - 2h)`, all strictly earlier.
+
+use crate::diamond::{ClippedDiamond, Diamond};
+use crate::ibox::IRect;
+use crate::point::Pt2;
+
+/// All tiles of the radius-`h` diamond tiling that intersect `rect`,
+/// clipped to `rect`, in topological order (by `ct`, then `cx`).
+///
+/// `anchor` translates the whole tiling; `(0, 0)` puts tile centers at
+/// `(cx, ct)` with `cx ≡ ct (mod 2h)` and `h | cx`.
+pub fn diamond_cover(rect: IRect, h: i64, anchor: Pt2) -> Vec<ClippedDiamond> {
+    assert!(h >= 1);
+    let mut tiles = Vec::new();
+    // Tile centers are `anchor + Λ` with Λ = {a(h,h) + b(h,-h)}: the
+    // lattice offsets are the multiples of h whose two components differ
+    // by a multiple of 2h.  Enumerate offsets covering the (translated)
+    // rectangle with one tile-diameter of slack and clip.
+    let ct_lo = floor_div(rect.t0 - anchor.t - 2 * h, h) * h;
+    let ct_hi = rect.t1 - anchor.t + 2 * h;
+    let mut ct = ct_lo;
+    while ct <= ct_hi {
+        let cx_lo = floor_div(rect.x0 - anchor.x - 2 * h, h) * h;
+        let cx_hi = rect.x1 - anchor.x + 2 * h;
+        let mut cx = cx_lo;
+        while cx <= cx_hi {
+            if (cx - ct).rem_euclid(2 * h) == 0 {
+                let cd =
+                    ClippedDiamond::new(Diamond::new(cx + anchor.x, ct + anchor.t, h), rect);
+                if !cd.is_empty() {
+                    tiles.push(cd);
+                }
+            }
+            cx += h;
+        }
+        ct += h;
+    }
+    tiles.sort_by_key(|c| (c.d.ct, c.d.cx));
+    tiles
+}
+
+/// Integer floor division.
+#[inline]
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    a.div_euclid(b)
+}
+
+/// The zig-zag bands of Figure 2: the tiling's tiles are dealt to `p`
+/// processors so that processor `i` owns, in every tile row, the diamond
+/// whose horizontal extent lies inside the vertical strip
+/// `[i·w, (i+1)·w)` of width `w = 2h`.  Successive tile rows are offset by
+/// `h`, so each band zig-zags within its strip, exactly as in the figure.
+///
+/// Returns one `Vec` per processor, each in topological order, jointly a
+/// permutation of `diamond_cover(rect, h, anchor)`.
+pub fn zigzag_bands(rect: IRect, h: i64, p: usize, anchor: Pt2) -> Vec<Vec<ClippedDiamond>> {
+    let w = 2 * h;
+    let mut bands: Vec<Vec<ClippedDiamond>> = vec![Vec::new(); p];
+    for tile in diamond_cover(rect, h, anchor) {
+        // Strip owner: the tile's center x (clamped into the rectangle, so
+        // that edge slivers join the border strip), folded into [0, p).
+        let cxc = tile.d.cx.clamp(rect.x0, rect.x1 - 1);
+        let owner = floor_div(cxc - rect.x0, w).rem_euclid(p as i64) as usize;
+        bands[owner].push(tile);
+    }
+    bands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cover_partitions_rectangle() {
+        for (w, t, h) in [(8, 8, 2), (10, 7, 2), (16, 16, 4), (5, 9, 4), (12, 3, 8)] {
+            let rect = IRect::new(0, w, 0, t);
+            let tiles = diamond_cover(rect, h, Pt2::new(0, 0));
+            let mut seen: HashSet<Pt2> = HashSet::new();
+            for tile in &tiles {
+                for p in tile.points() {
+                    assert!(rect.contains(p));
+                    assert!(seen.insert(p), "duplicate point {p:?} (w={w},t={t},h={h})");
+                }
+            }
+            assert_eq!(seen.len() as i64, rect.volume(), "coverage (w={w},t={t},h={h})");
+        }
+    }
+
+    #[test]
+    fn cover_is_topological_partition() {
+        // Definition 4 against the dag restricted to the rectangle: every
+        // preboundary point of tile i (inside the rect) lies in an earlier tile.
+        let rect = IRect::new(0, 12, 1, 13); // computed rows only
+        let tiles = diamond_cover(rect, 2, Pt2::new(0, 0));
+        let mut earlier: HashSet<Pt2> = HashSet::new();
+        for tile in &tiles {
+            for g in tile.preboundary() {
+                // g inside rect must be already executed.
+                assert!(earlier.contains(&g), "tile {:?} needs {g:?} too early", tile.d);
+            }
+            earlier.extend(tile.points());
+        }
+    }
+
+    #[test]
+    fn anchored_cover_still_partitions() {
+        let rect = IRect::new(0, 9, 0, 9);
+        for anchor in [Pt2::new(1, 0), Pt2::new(0, 1), Pt2::new(3, 2)] {
+            let tiles = diamond_cover(rect, 2, anchor);
+            let total: i64 = tiles.iter().map(|t| t.points_count()).sum();
+            assert_eq!(total, rect.volume(), "anchor {anchor:?}");
+        }
+    }
+
+    #[test]
+    fn zigzag_bands_partition_the_cover() {
+        let rect = IRect::new(0, 16, 1, 17);
+        let h = 2;
+        let p = 4;
+        let bands = zigzag_bands(rect, h, p, Pt2::new(0, 0));
+        assert_eq!(bands.len(), p);
+        let all: usize = bands.iter().map(|b| b.len()).sum();
+        assert_eq!(all, diamond_cover(rect, h, Pt2::new(0, 0)).len());
+        // Every band's tiles stay within a bounded horizontal strip (width 2w):
+        for band in &bands {
+            if band.is_empty() {
+                continue;
+            }
+            let min = band.iter().map(|c| c.d.cx).min().unwrap();
+            let max = band.iter().map(|c| c.d.cx).max().unwrap();
+            assert!(max - min <= 2 * h, "zig-zag stays in its strip: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn bands_load_balanced() {
+        let rect = IRect::new(0, 32, 1, 33);
+        let bands = zigzag_bands(rect, 4, 4, Pt2::new(0, 0));
+        let counts: Vec<usize> = bands.iter().map(|b| b.len()).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max - min <= max / 2 + 2, "roughly balanced: {counts:?}");
+    }
+}

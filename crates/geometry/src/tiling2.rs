@@ -1,0 +1,104 @@
+//! The `d = 2` honeycomb: octahedron/tetrahedron cells of radius `h`
+//! tiling 3-D space-time, clipped to a computation box.
+//!
+//! Because a cell is the product of one diamond tile in the `(x, t)`
+//! plane and one in the `(y, t)` plane (see [`crate::domain2`]), and the
+//! diamond tiling partitions each plane, the cells partition space: every
+//! point's two projections select exactly one tile each, and the two
+//! tiles' center times necessarily differ by `0` or `h`.
+
+use crate::diamond::Diamond;
+use crate::domain2::{ClippedDomain2, Domain2};
+use crate::ibox::{IBox, IRect};
+use crate::point::{Pt2, Pt3};
+use crate::tiling1::diamond_cover;
+
+/// All honeycomb cells of radius `h` with at least one lattice point in
+/// `bx`, clipped to `bx`, in topological order (by the sum of projection
+/// center times, then spatially).
+pub fn cell_cover(bx: IBox, h: i64, anchor: Pt3) -> Vec<ClippedDomain2> {
+    assert!(h >= 1);
+    let xshadow = IRect::new(bx.x0, bx.x1, bx.t0, bx.t1);
+    let yshadow = IRect::new(bx.y0, bx.y1, bx.t0, bx.t1);
+    let xtiles: Vec<Diamond> =
+        diamond_cover(xshadow, h, Pt2::new(anchor.x, anchor.t)).into_iter().map(|c| c.d).collect();
+    let ytiles: Vec<Diamond> =
+        diamond_cover(yshadow, h, Pt2::new(anchor.y, anchor.t)).into_iter().map(|c| c.d).collect();
+
+    // Index y-tiles by center time for pairing.
+    let mut by_ct: std::collections::HashMap<i64, Vec<Diamond>> = std::collections::HashMap::new();
+    for d in &ytiles {
+        by_ct.entry(d.ct).or_default().push(*d);
+    }
+
+    let mut cells = Vec::new();
+    for dx in &xtiles {
+        for dct in [-h, 0, h] {
+            if let Some(row) = by_ct.get(&(dx.ct + dct)) {
+                for dy in row {
+                    let cell = ClippedDomain2::new(Domain2::new(*dx, *dy), bx);
+                    if !cell.is_empty() {
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
+    }
+    cells.sort_by_key(|c| (c.cell.dx.ct + c.cell.dy.ct, c.cell.dx.cx, c.cell.dy.cx));
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cover_partitions_box() {
+        for (s, t, h) in [(6, 6, 2), (8, 5, 2), (5, 9, 4)] {
+            let bx = IBox::new(0, s, 0, s, 0, t);
+            let cells = cell_cover(bx, h, Pt3::new(0, 0, 0));
+            let mut seen: HashSet<Pt3> = HashSet::new();
+            for c in &cells {
+                for p in c.points() {
+                    assert!(bx.contains(p));
+                    assert!(seen.insert(p), "duplicate {p:?} (s={s},t={t},h={h})");
+                }
+            }
+            assert_eq!(seen.len() as i64, bx.volume(), "(s={s},t={t},h={h})");
+        }
+    }
+
+    #[test]
+    fn cover_is_topological_partition() {
+        let bx = IBox::new(0, 6, 0, 6, 1, 7);
+        let cells = cell_cover(bx, 2, Pt3::new(0, 0, 0));
+        let mut earlier: HashSet<Pt3> = HashSet::new();
+        for c in &cells {
+            for g in c.preboundary() {
+                assert!(earlier.contains(&g), "cell {:?} needs {g:?} too early", c.cell);
+            }
+            earlier.extend(c.points());
+        }
+    }
+
+    #[test]
+    fn anchored_cover_partitions() {
+        let bx = IBox::new(0, 5, 0, 5, 0, 5);
+        for anchor in [Pt3::new(1, 2, 0), Pt3::new(2, 2, 2)] {
+            let cells = cell_cover(bx, 2, anchor);
+            let total: i64 = cells.iter().map(|c| c.points_count()).sum();
+            assert_eq!(total, bx.volume(), "anchor {anchor:?}");
+        }
+    }
+
+    #[test]
+    fn cell_kinds_both_occur() {
+        use crate::domain2::CellKind;
+        let bx = IBox::new(0, 8, 0, 8, 0, 8);
+        let cells = cell_cover(bx, 2, Pt3::new(0, 0, 0));
+        let octs = cells.iter().filter(|c| c.cell.kind() == CellKind::Octahedron).count();
+        let tets = cells.len() - octs;
+        assert!(octs > 0 && tets > 0, "octs={octs} tets={tets}");
+    }
+}

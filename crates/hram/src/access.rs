@@ -1,0 +1,150 @@
+//! The access-cost function `f(x) = (x/m)^{1/d}` of Section 2, plus the
+//! *instantaneous* cost model used as the Brent-principle baseline
+//! (experiment E10): under instantaneous propagation every access costs
+//! one unit, recovering the classical `⌈n/p⌉` slowdown.
+
+/// Which physical regime the machine lives in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CostModel {
+    /// The limiting technology: propagation delay proportional to
+    /// distance, `f(x) = (x/m)^{1/d}`.
+    #[default]
+    BoundedSpeed,
+    /// The classical instantaneous model (RAM / PRAM style): `f(x) = 0`,
+    /// every access costs the unit instruction time only.
+    Instantaneous,
+}
+
+/// The paper's access function for a `d`-dimensional layout with `m`
+/// memory cells per unit cube.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AccessFn {
+    /// Memory cells per unit of `d`-dimensional volume (the paper's `m`).
+    pub m: u64,
+    /// Layout dimension, `1 ≤ d ≤ 3`.
+    pub d: u8,
+    /// Cost regime.
+    pub model: CostModel,
+}
+
+impl AccessFn {
+    /// Bounded-speed access function for dimension `d` and density `m`.
+    pub fn new(d: u8, m: u64) -> Self {
+        assert!((1..=3).contains(&d), "d must be 1, 2 or 3, got {d}");
+        assert!(m >= 1, "memory density m must be ≥ 1");
+        AccessFn { m, d, model: CostModel::BoundedSpeed }
+    }
+
+    /// Instantaneous-model variant (every access is free beyond the unit
+    /// instruction charge).
+    pub fn instantaneous(d: u8, m: u64) -> Self {
+        AccessFn { model: CostModel::Instantaneous, ..AccessFn::new(d, m) }
+    }
+
+    /// The propagation delay `f(x)` for an access to address `x`.
+    #[inline]
+    pub fn f(&self, x: usize) -> f64 {
+        match self.model {
+            CostModel::Instantaneous => 0.0,
+            CostModel::BoundedSpeed => {
+                let v = x as f64 / self.m as f64;
+                match self.d {
+                    1 => v,
+                    2 => v.sqrt(),
+                    _ => v.cbrt(),
+                }
+            }
+        }
+    }
+
+    /// Full charge for one access: unit instruction + propagation.
+    #[inline]
+    pub fn charge(&self, x: usize) -> f64 {
+        1.0 + self.f(x)
+    }
+
+    /// The distance (in length units) of the word at address `x` from the
+    /// CPU — identical to `f(x)` in the bounded-speed model, by the
+    /// choice of units.
+    #[inline]
+    pub fn distance(&self, x: usize) -> f64 {
+        let v = x as f64 / self.m as f64;
+        match self.d {
+            1 => v,
+            2 => v.sqrt(),
+            _ => v.cbrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_is_linear() {
+        let a = AccessFn::new(1, 4);
+        assert_eq!(a.f(0), 0.0);
+        assert_eq!(a.f(4), 1.0);
+        assert_eq!(a.f(40), 10.0);
+    }
+
+    #[test]
+    fn d2_is_sqrt() {
+        let a = AccessFn::new(2, 1);
+        assert_eq!(a.f(49), 7.0);
+        let b = AccessFn::new(2, 4);
+        assert_eq!(b.f(100), 5.0);
+    }
+
+    #[test]
+    fn d3_is_cbrt() {
+        let a = AccessFn::new(3, 1);
+        assert!((a.f(27) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_includes_unit_instruction() {
+        let a = AccessFn::new(1, 1);
+        assert_eq!(a.charge(0), 1.0);
+        assert_eq!(a.charge(5), 6.0);
+    }
+
+    #[test]
+    fn instantaneous_flattens_cost() {
+        let a = AccessFn::instantaneous(1, 1);
+        assert_eq!(a.f(1_000_000), 0.0);
+        assert_eq!(a.charge(1_000_000), 1.0);
+        // Physical distance is still defined.
+        assert_eq!(a.distance(9), 9.0);
+    }
+
+    #[test]
+    fn own_memory_access_matches_neighbor_distance() {
+        // Section 2: "worst-case private-memory access time is of the same
+        // order as the data-exchange time with a near-neighbor unit".
+        // A host node of M_1(n, p, m) holds nm/p words; its worst access is
+        // f(nm/p) = n/p — exactly the inter-node distance (n/p)^{1/1}.
+        let (n, p, m) = (1024u64, 16u64, 8u64);
+        let a = AccessFn::new(1, m);
+        let worst = a.f((n * m / p) as usize);
+        assert_eq!(worst, (n / p) as f64);
+    }
+
+    #[test]
+    fn monotone_in_address() {
+        let a = AccessFn::new(2, 3);
+        let mut last = -1.0;
+        for x in 0..100 {
+            let v = a.f(x);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be")]
+    fn rejects_bad_dimension() {
+        AccessFn::new(4, 1);
+    }
+}

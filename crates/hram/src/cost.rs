@@ -1,0 +1,133 @@
+//! Cost metering: every model-time charge in the system flows through a
+//! [`CostMeter`], broken down by the mechanism the paper's analyses
+//! separate (compute vs. memory access vs. data relocation vs.
+//! interprocessor communication).
+
+/// Accumulated model time, by category.  All values are in the paper's
+/// time units (one RAM instruction at address 0 = 1).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CostMeter {
+    /// Pure operation execution (the `δ` applications of dag vertices).
+    pub compute: f64,
+    /// Memory accesses performed *to execute* vertices (reads of operands,
+    /// writes of results).
+    pub access: f64,
+    /// Data-relocation traffic: the preboundary copies of Proposition 2
+    /// and the Regime-1 relocations of Section 4.2.
+    pub transfer: f64,
+    /// Interprocessor communication: words × hop distance (Section 4.2's
+    /// `O(s·n/p)` exchanges).
+    pub comm: f64,
+    /// Number of individual read/write operations (unweighted).
+    pub ops: u64,
+}
+
+impl CostMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total model time.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.compute + self.access + self.transfer + self.comm
+    }
+
+    #[inline]
+    pub fn add_compute(&mut self, c: f64) {
+        self.compute += c;
+    }
+
+    #[inline]
+    pub fn add_access(&mut self, c: f64) {
+        self.access += c;
+        self.ops += 1;
+    }
+
+    #[inline]
+    pub fn add_transfer(&mut self, c: f64) {
+        self.transfer += c;
+        self.ops += 1;
+    }
+
+    #[inline]
+    pub fn add_comm(&mut self, c: f64) {
+        self.comm += c;
+    }
+
+    /// Component-wise sum (for aggregating per-processor meters).
+    pub fn merged(&self, o: &CostMeter) -> CostMeter {
+        CostMeter {
+            compute: self.compute + o.compute,
+            access: self.access + o.access,
+            transfer: self.transfer + o.transfer,
+            comm: self.comm + o.comm,
+            ops: self.ops + o.ops,
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CostMeter::default();
+    }
+}
+
+impl std::fmt::Display for CostMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total={:.1} (compute={:.1} access={:.1} transfer={:.1} comm={:.1}, {} ops)",
+            self.total(),
+            self.compute,
+            self.access,
+            self.transfer,
+            self.comm,
+            self.ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut m = CostMeter::new();
+        m.add_compute(2.0);
+        m.add_access(3.5);
+        m.add_transfer(1.5);
+        m.add_comm(4.0);
+        assert_eq!(m.total(), 11.0);
+        assert_eq!(m.ops, 2);
+    }
+
+    #[test]
+    fn merged_is_componentwise() {
+        let mut a = CostMeter::new();
+        a.add_access(1.0);
+        let mut b = CostMeter::new();
+        b.add_comm(2.0);
+        b.add_transfer(3.0);
+        let c = a.merged(&b);
+        assert_eq!(c.total(), 6.0);
+        assert_eq!(c.ops, 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = CostMeter::new();
+        m.add_compute(5.0);
+        m.reset();
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.ops, 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut m = CostMeter::new();
+        m.add_access(2.0);
+        let s = format!("{m}");
+        assert!(s.contains("total=2.0"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # bsmp-hram
+//!
+//! The Hierarchical Random Access Machine of Definition 1: "an
+//! `f(x)`-H-RAM is a random access machine where an access to address `x`
+//! takes time `f(x)`" — with the paper's access function
+//! `f(x) = (x/m)^{1/d}` (`m` memory cells fit in a `d`-dimensional cube of
+//! unit side, and the unit of length is the distance within which memory
+//! can be accessed in unit time).
+//!
+//! This crate provides an *instrumented, executable* H-RAM: a flat word
+//! memory whose every access is charged through a [`CostMeter`].  The
+//! simulation engines of `bsmp-sim` run real computations on it; the
+//! meter's totals are the `T_1`/`T_p` quantities that Theorems 1–5 bound.
+//!
+//! Conventions (documented in `DESIGN.md` §5):
+//! * one access to address `x` costs `1 + f(x)` (one unit of instruction
+//!   time plus the propagation delay — so `f(0)`-accesses still cost the
+//!   RAM's unit step);
+//! * a copy is a read plus a write, i.e. `2 + f(src) + f(dst)`, matching
+//!   Proposition 2's accounting of "read from and written to a location
+//!   with address lower than `S(U)`";
+//! * pure computation steps cost `1` each.
+
+pub mod access;
+pub mod cost;
+pub mod machine;
+
+pub use access::{AccessFn, CostModel};
+pub use cost::CostMeter;
+pub use machine::{Hram, Word};

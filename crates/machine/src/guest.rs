@@ -1,0 +1,362 @@
+//! Direct (reference) execution of guest machines `M_d(n, n, m)`.
+//!
+//! This is the ground truth the simulation engines are validated against,
+//! and the source of the guest model time `T_n` in every slowdown
+//! measurement.  One guest step costs, per node: one private-cell read,
+//! the receipt of each neighbor's value over a unit-distance link, one
+//! `δ` application, and one private-cell write; nodes run in lock-step,
+//! so the step's duration is the maximum over nodes.
+
+use crate::program::{LinearProgram, MeshProgram};
+use crate::spec::MachineSpec;
+use bsmp_hram::Word;
+
+/// Result of a guest run.
+#[derive(Clone, Debug)]
+pub struct GuestRun {
+    /// Final private memories, node-major (`node·m + cell`).
+    pub mem: Vec<Word>,
+    /// The values produced at the last step (one per node).
+    pub values: Vec<Word>,
+    /// Guest model time `T_n`.
+    pub time: f64,
+    /// Number of steps executed.
+    pub steps: i64,
+}
+
+/// Execute `steps` steps of `prog` on the linear array `M_1(n, n, m)`
+/// whose initial memory image is `init` (length `n·m`, node-major).
+///
+/// `spec` supplies the cost regime (its `p` is ignored; the guest is the
+/// fully parallel configuration).
+pub fn run_linear(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> GuestRun {
+    let n = spec.n as usize;
+    let m = prog.m();
+    assert_eq!(m as u64, spec.m, "program density must match machine");
+    assert_eq!(init.len(), n * m, "initial image must be n·m words");
+    let guest = spec.guest_of();
+    let access = guest.access_fn();
+    let hop = guest.neighbor_distance();
+
+    let mut mem = init.to_vec();
+    let mut values: Vec<Word> = (0..n).map(|v| mem[v * m + prog.cell(v, 0)]).collect();
+    let mut next = vec![0 as Word; n];
+    let mut time = 0.0;
+
+    for t in 1..=steps {
+        let mut step_max = 0.0f64;
+        for v in 0..n {
+            let c = prog.cell(v, t);
+            let own = mem[v * m + c];
+            let left = if v > 0 { values[v - 1] } else { prog.boundary() };
+            let right = if v + 1 < n { values[v + 1] } else { prog.boundary() };
+            let out = prog.delta(v, t, own, values[v], left, right);
+            next[v] = out;
+            mem[v * m + c] = out;
+            // read own + write own + 2 receives + 1 δ.
+            let cost = 2.0 * access.charge(c) + 2.0 * hop + 1.0;
+            if cost > step_max {
+                step_max = cost;
+            }
+        }
+        std::mem::swap(&mut values, &mut next);
+        time += step_max;
+    }
+    GuestRun { mem, values, time, steps }
+}
+
+/// Execute `steps` steps of `prog` on the mesh `M_2(n, n, m)` (side
+/// `√n`), initial image `init` (length `n·m`, node-major with node index
+/// `j·side + i`).
+pub fn run_mesh(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> GuestRun {
+    let side = spec.mesh_side() as usize;
+    let n = side * side;
+    let m = prog.m();
+    assert_eq!(m as u64, spec.m, "program density must match machine");
+    assert_eq!(init.len(), n * m, "initial image must be n·m words");
+    let guest = spec.guest_of();
+    let access = guest.access_fn();
+    let hop = guest.neighbor_distance();
+
+    let idx = |i: usize, j: usize| j * side + i;
+    let mut mem = init.to_vec();
+    let mut values: Vec<Word> =
+        (0..n).map(|v| mem[v * m + prog.cell(v % side, v / side, 0)]).collect();
+    let mut next = vec![0 as Word; n];
+    let mut time = 0.0;
+
+    for t in 1..=steps {
+        let mut step_max = 0.0f64;
+        for j in 0..side {
+            for i in 0..side {
+                let c = prog.cell(i, j, t);
+                let own = mem[idx(i, j) * m + c];
+                let b = prog.boundary();
+                let west = if i > 0 { values[idx(i - 1, j)] } else { b };
+                let east = if i + 1 < side { values[idx(i + 1, j)] } else { b };
+                let south = if j > 0 { values[idx(i, j - 1)] } else { b };
+                let north = if j + 1 < side { values[idx(i, j + 1)] } else { b };
+                let out = prog.delta(i, j, t, own, values[idx(i, j)], west, east, south, north);
+                next[idx(i, j)] = out;
+                mem[idx(i, j) * m + c] = out;
+                let cost = 2.0 * access.charge(c) + 4.0 * hop + 1.0;
+                if cost > step_max {
+                    step_max = cost;
+                }
+            }
+        }
+        std::mem::swap(&mut values, &mut next);
+        time += step_max;
+    }
+    GuestRun { mem, values, time, steps }
+}
+
+
+/// Execute `steps` steps of `prog` on the 3-D mesh `M_3(n, n, m)`
+/// (side `n^{1/3}`), initial image `init` (node-major, node index
+/// `(z·side + y)·side + x`) — the Section-6 extension.
+pub fn run_volume(
+    side: usize,
+    m_density: u64,
+    prog: &impl crate::program::VolumeProgram,
+    init: &[Word],
+    steps: i64,
+) -> GuestRun {
+    let n = side * side * side;
+    let m = prog.m();
+    assert_eq!(m as u64, m_density);
+    assert_eq!(init.len(), n * m);
+    let access = bsmp_hram::AccessFn::new(3, m_density);
+    let hop = 1.0;
+
+    let idx = |x: usize, y: usize, z: usize| (z * side + y) * side + x;
+    let mut mem = init.to_vec();
+    let mut values: Vec<Word> = (0..n)
+        .map(|v| {
+            let (x, y, z) = (v % side, (v / side) % side, v / (side * side));
+            mem[v * m + prog.cell(x, y, z, 0)]
+        })
+        .collect();
+    let mut next = vec![0 as Word; n];
+    let mut time = 0.0;
+
+    for t in 1..=steps {
+        let mut step_max = 0.0f64;
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    let c = prog.cell(x, y, z, t);
+                    let own = mem[idx(x, y, z) * m + c];
+                    let b = prog.boundary();
+                    let nb = [
+                        if x > 0 { values[idx(x - 1, y, z)] } else { b },
+                        if x + 1 < side { values[idx(x + 1, y, z)] } else { b },
+                        if y > 0 { values[idx(x, y - 1, z)] } else { b },
+                        if y + 1 < side { values[idx(x, y + 1, z)] } else { b },
+                        if z > 0 { values[idx(x, y, z - 1)] } else { b },
+                        if z + 1 < side { values[idx(x, y, z + 1)] } else { b },
+                    ];
+                    let out = prog.delta(x, y, z, t, own, values[idx(x, y, z)], nb);
+                    next[idx(x, y, z)] = out;
+                    mem[idx(x, y, z) * m + c] = out;
+                    let cost = 2.0 * access.charge(c) + 6.0 * hop + 1.0;
+                    if cost > step_max {
+                        step_max = cost;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut values, &mut next);
+        time += step_max;
+    }
+    GuestRun { mem, values, time, steps }
+}
+
+/// Guest model time of a `steps`-step 3-D mesh run.
+pub fn volume_guest_time(
+    side: usize,
+    m_density: u64,
+    prog: &impl crate::program::VolumeProgram,
+    steps: i64,
+) -> f64 {
+    let access = bsmp_hram::AccessFn::new(3, m_density);
+    let mut time = 0.0;
+    for t in 1..=steps {
+        let mut mx = 0.0f64;
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    let c = prog.cell(x, y, z, t);
+                    let cost = 2.0 * access.charge(c) + 6.0 + 1.0;
+                    if cost > mx {
+                        mx = cost;
+                    }
+                }
+            }
+        }
+        time += mx;
+    }
+    time
+}
+
+/// The guest model time `T_n` of a `steps`-step linear run, without
+/// executing it (costs depend only on the cell-addressing trace).
+pub fn linear_guest_time(spec: &MachineSpec, prog: &impl LinearProgram, steps: i64) -> f64 {
+    let n = spec.n as usize;
+    let guest = spec.guest_of();
+    let access = guest.access_fn();
+    let hop = guest.neighbor_distance();
+    let mut time = 0.0;
+    for t in 1..=steps {
+        let mut mx = 0.0f64;
+        for v in 0..n {
+            let c = prog.cell(v, t);
+            let cost = 2.0 * access.charge(c) + 2.0 * hop + 1.0;
+            if cost > mx {
+                mx = cost;
+            }
+        }
+        time += mx;
+    }
+    time
+}
+
+/// The guest model time of a `steps`-step mesh run.
+pub fn mesh_guest_time(spec: &MachineSpec, prog: &impl MeshProgram, steps: i64) -> f64 {
+    let side = spec.mesh_side() as usize;
+    let guest = spec.guest_of();
+    let access = guest.access_fn();
+    let hop = guest.neighbor_distance();
+    let mut time = 0.0;
+    for t in 1..=steps {
+        let mut mx = 0.0f64;
+        for j in 0..side {
+            for i in 0..side {
+                let c = prog.cell(i, j, t);
+                let cost = 2.0 * access.charge(c) + 4.0 * hop + 1.0;
+                if cost > mx {
+                    mx = cost;
+                }
+            }
+        }
+        time += mx;
+    }
+    time
+}
+
+#[cfg(test)]
+
+mod tests {
+    use super::*;
+
+    /// Rule-90-like XOR automaton (own value ignored for m = 1 parity).
+    struct Rule90;
+    impl LinearProgram for Rule90 {
+        fn m(&self) -> usize {
+            1
+        }
+        fn delta(&self, _v: usize, _t: i64, _own: Word, _p: Word, l: Word, r: Word) -> Word {
+            l ^ r
+        }
+    }
+
+    #[test]
+    fn single_impulse_spreads_like_pascal_mod_2() {
+        let n = 16u64;
+        let spec = MachineSpec::new(1, n, n, 1);
+        let mut init = vec![0; n as usize];
+        init[8] = 1;
+        let run = run_linear(&spec, &Rule90, &init, 4);
+        // After 4 steps the impulse sits at distance 4 (rows of Pascal's
+        // triangle mod 2: row 4 = 1 0 0 0 1).
+        let expect: Vec<Word> =
+            (0..16).map(|x| u64::from(x == 4 || x == 12)).collect();
+        assert_eq!(run.values, expect);
+    }
+
+    #[test]
+    fn guest_time_is_linear_in_steps() {
+        let spec = MachineSpec::new(1, 8, 8, 1);
+        let r1 = run_linear(&spec, &Rule90, &[1; 8], 10);
+        let r2 = run_linear(&spec, &Rule90, &[1; 8], 20);
+        assert!((r2.time - 2.0 * r1.time).abs() < 1e-9);
+        assert!(r1.time >= 10.0);
+    }
+
+    /// m = 2 program: alternates between its two cells.
+    struct TwoCell;
+    impl LinearProgram for TwoCell {
+        fn m(&self) -> usize {
+            2
+        }
+        fn cell(&self, _v: usize, t: i64) -> usize {
+            (t % 2) as usize
+        }
+        fn delta(&self, _v: usize, _t: i64, own: Word, _p: Word, l: Word, r: Word) -> Word {
+            own.wrapping_add(l).wrapping_add(r)
+        }
+    }
+
+    #[test]
+    fn multi_cell_memory_is_updated_in_place() {
+        let spec = MachineSpec::new(1, 4, 4, 2);
+        let init: Vec<Word> = (0..8).collect();
+        let run = run_linear(&spec, &TwoCell, &init, 3);
+        // Cells not touched at the final step keep their step-2 values;
+        // just check the run is deterministic and memory has both cells.
+        let run2 = run_linear(&spec, &TwoCell, &init, 3);
+        assert_eq!(run.mem, run2.mem);
+        assert_eq!(run.mem.len(), 8);
+    }
+
+    struct Life;
+    impl MeshProgram for Life {
+        fn m(&self) -> usize {
+            1
+        }
+        fn delta(
+            &self,
+            _i: usize,
+            _j: usize,
+            _t: i64,
+            own: Word,
+            _p: Word,
+            w: Word,
+            e: Word,
+            s: Word,
+            n: Word,
+        ) -> Word {
+            // von Neumann majority-ish toy rule.
+            u64::from(w + e + s + n + own >= 3)
+        }
+    }
+
+    #[test]
+    fn mesh_runs_and_meters() {
+        let spec = MachineSpec::new(2, 16, 16, 1);
+        let init = vec![1; 16];
+        let run = run_mesh(&spec, &Life, &init, 3);
+        assert_eq!(run.values, vec![1; 16], "all-ones is a fixed point");
+        assert!(run.time >= 3.0);
+    }
+
+    #[test]
+    fn instantaneous_guest_is_cheaper() {
+        let b = MachineSpec::new(1, 8, 8, 1);
+        let i = MachineSpec::instantaneous(1, 8, 8, 1);
+        let rb = run_linear(&b, &Rule90, &[1; 8], 5);
+        let ri = run_linear(&i, &Rule90, &[1; 8], 5);
+        assert!(ri.time < rb.time);
+        assert_eq!(ri.values, rb.values, "cost model cannot change values");
+    }
+}

@@ -1,0 +1,26 @@
+//! # bsmp-machine
+//!
+//! The machines `M_d(n, p, m)` of Definition 2 and the synchronous
+//! computations they run.
+//!
+//! * [`spec`] — machine parameters: `d`-dimensional near-neighbor
+//!   interconnection of `p` `(x/m)^{1/d}`-H-RAMs, `n·m/p` cells each,
+//!   near-neighbor distance `(n/p)^{1/d}`;
+//! * [`program`] — the synchronous node programs whose `T`-step runs
+//!   realize the dags `G_T(H)` of Definition 3;
+//! * [`guest`] — direct (reference) execution of a guest machine
+//!   `M_d(n, n, m)`, producing both the answer and the guest's model
+//!   time `T_n`;
+//! * [`stage`] — the bulk-synchronous parallel clock used by host
+//!   simulations (`T_p = Σ_stages max_proc cost`), with optional
+//!   wall-clock parallelism via crossbeam scoped threads.
+
+pub mod guest;
+pub mod program;
+pub mod spec;
+pub mod stage;
+
+pub use guest::{linear_guest_time, mesh_guest_time, run_linear, run_mesh, run_volume, volume_guest_time, GuestRun};
+pub use program::{LinearProgram, MeshProgram, VolumeProgram};
+pub use spec::MachineSpec;
+pub use stage::StageClock;

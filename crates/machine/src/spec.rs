@@ -1,0 +1,161 @@
+//! `M_d(n, p, m)` — Definition 2.
+
+use bsmp_hram::{AccessFn, CostModel};
+
+/// Parameters of a machine `M_d(n, p, m)`: a `d`-dimensional
+/// near-neighbor interconnection of `p` `(x/m)^{1/d}`-H-RAMs, each with
+/// `n·m/p` memory cells, near neighbors at geometric distance
+/// `(n/p)^{1/d}`.
+///
+/// `n` is the machine's `d`-dimensional volume; `n·m` its total memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineSpec {
+    /// Layout dimension (1 = linear array, 2 = square mesh).
+    pub d: u8,
+    /// Machine volume (number of guest-scale node slots).
+    pub n: u64,
+    /// Number of processors (`1 ≤ p ≤ n`).
+    pub p: u64,
+    /// Memory cells per unit volume.
+    pub m: u64,
+    /// Cost regime (bounded-speed vs. the instantaneous baseline).
+    pub model: CostModel,
+}
+
+impl MachineSpec {
+    /// A bounded-speed machine.
+    pub fn new(d: u8, n: u64, p: u64, m: u64) -> Self {
+        assert!((1..=2).contains(&d), "engines support d ∈ {{1, 2}}");
+        assert!(n >= 1 && m >= 1);
+        assert!(p >= 1 && p <= n, "need 1 ≤ p ≤ n");
+        if d == 2 {
+            let sn = (n as f64).sqrt() as u64;
+            assert_eq!(sn * sn, n, "d = 2 requires n to be a perfect square");
+            let sp = (p as f64).sqrt() as u64;
+            assert_eq!(sp * sp, p, "d = 2 requires p to be a perfect square");
+        }
+        MachineSpec { d, n, p, m, model: CostModel::BoundedSpeed }
+    }
+
+    /// The same machine under instantaneous propagation (Brent baseline).
+    pub fn instantaneous(d: u8, n: u64, p: u64, m: u64) -> Self {
+        MachineSpec { model: CostModel::Instantaneous, ..MachineSpec::new(d, n, p, m) }
+    }
+
+    /// The guest configuration `M_d(n, n, m)` this host simulates.
+    pub fn guest_of(&self) -> MachineSpec {
+        MachineSpec { p: self.n, ..*self }
+    }
+
+    /// Memory cells per processor: `n·m/p`.
+    pub fn node_mem(&self) -> u64 {
+        self.n * self.m / self.p
+    }
+
+    /// Guest-scale nodes hosted per processor: `n/p`.
+    pub fn nodes_per_proc(&self) -> u64 {
+        self.n / self.p
+    }
+
+    /// Near-neighbor distance `(n/p)^{1/d}` (0 under the instantaneous
+    /// model — propagation is free there).
+    pub fn neighbor_distance(&self) -> f64 {
+        match self.model {
+            CostModel::Instantaneous => 0.0,
+            CostModel::BoundedSpeed => {
+                let v = (self.n / self.p) as f64;
+                match self.d {
+                    1 => v,
+                    _ => v.sqrt(),
+                }
+            }
+        }
+    }
+
+    /// The access function of each node's private H-RAM.
+    pub fn access_fn(&self) -> AccessFn {
+        match self.model {
+            CostModel::BoundedSpeed => AccessFn::new(self.d, self.m),
+            CostModel::Instantaneous => AccessFn::instantaneous(self.d, self.m),
+        }
+    }
+
+    /// Communication charge for sending `words` words over `hops`
+    /// near-neighbor links: `words × hops × neighbor_distance` (the
+    /// paper's items-×-distance accounting, e.g. the `O(s·n/p)` exchanges
+    /// of Section 4.2).
+    pub fn comm_cost(&self, words: u64, hops: u64) -> f64 {
+        words as f64 * hops as f64 * self.neighbor_distance()
+    }
+
+    /// Side of the processor grid for `d = 2` (`√p`).
+    pub fn proc_side(&self) -> u64 {
+        debug_assert_eq!(self.d, 2);
+        (self.p as f64).sqrt().round() as u64
+    }
+
+    /// Side of the guest mesh for `d = 2` (`√n`).
+    pub fn mesh_side(&self) -> u64 {
+        debug_assert_eq!(self.d, 2);
+        (self.n as f64).sqrt().round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_2_quantities() {
+        let s = MachineSpec::new(1, 1024, 16, 8);
+        assert_eq!(s.node_mem(), 512);
+        assert_eq!(s.nodes_per_proc(), 64);
+        assert_eq!(s.neighbor_distance(), 64.0);
+        // Worst private access time equals neighbor distance (Section 2).
+        assert_eq!(s.access_fn().f(s.node_mem() as usize), 64.0);
+    }
+
+    #[test]
+    fn mesh_distances_use_square_roots() {
+        let s = MachineSpec::new(2, 1024, 16, 4);
+        assert_eq!(s.neighbor_distance(), 8.0);
+        assert_eq!(s.mesh_side(), 32);
+        assert_eq!(s.proc_side(), 4);
+    }
+
+    #[test]
+    fn comm_cost_is_words_times_distance() {
+        let s = MachineSpec::new(1, 256, 4, 2);
+        assert_eq!(s.comm_cost(10, 1), 10.0 * 64.0);
+        assert_eq!(s.comm_cost(3, 2), 3.0 * 2.0 * 64.0);
+    }
+
+    #[test]
+    fn instantaneous_model_flattens() {
+        let s = MachineSpec::instantaneous(1, 256, 4, 2);
+        assert_eq!(s.neighbor_distance(), 0.0);
+        assert_eq!(s.comm_cost(10, 3), 0.0);
+        assert_eq!(s.access_fn().f(100), 0.0);
+    }
+
+    #[test]
+    fn guest_of_has_full_parallelism() {
+        let s = MachineSpec::new(1, 64, 4, 2);
+        let g = s.guest_of();
+        assert_eq!(g.p, 64);
+        assert_eq!(g.node_mem(), 2);
+        assert_eq!(g.neighbor_distance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn mesh_requires_square_n() {
+        MachineSpec::new(2, 1000, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ p ≤ n")]
+    fn p_cannot_exceed_n() {
+        MachineSpec::new(1, 4, 8, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! The bulk-synchronous parallel clock.
+//!
+//! Every multiprocessor simulation in the paper is organized in
+//! *stages* (relocation levels of Regime 1, the `2p-1` diamond stages of
+//! Regime 2, …): within a stage the `p` processors work independently,
+//! and the machine advances to the next stage when the slowest finishes.
+//! Parallel model time is therefore `T_p = Σ_stages max_proc cost`.
+//!
+//! [`StageClock`] tracks that sum (and the total *busy* work, for
+//! efficiency metrics); [`run_stage`] optionally executes the
+//! per-processor work of one stage on real threads (crossbeam scope) —
+//! model time stays deterministic because each worker returns its own
+//! model cost.
+
+use parking_lot::Mutex;
+
+/// Deterministic parallel-time accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct StageClock {
+    /// `Σ_stages max_proc cost` — the parallel model time `T_p`.
+    pub parallel_time: f64,
+    /// `Σ_stages Σ_proc cost` — aggregate busy time (for efficiency =
+    /// busy / (p × parallel)).
+    pub busy_time: f64,
+    /// Number of stages closed so far.
+    pub stages: u64,
+}
+
+impl StageClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Close a stage given each processor's cost in it.
+    pub fn add_stage(&mut self, per_proc: &[f64]) {
+        let mx = per_proc.iter().copied().fold(0.0f64, f64::max);
+        self.parallel_time += mx;
+        self.busy_time += per_proc.iter().sum::<f64>();
+        self.stages += 1;
+    }
+
+    /// Close a stage in which a single processor worked alone.
+    pub fn add_serial_stage(&mut self, cost: f64) {
+        self.parallel_time += cost;
+        self.busy_time += cost;
+        self.stages += 1;
+    }
+
+    /// Parallel efficiency over `p` processors (`≤ 1`).
+    pub fn efficiency(&self, p: u64) -> f64 {
+        if self.parallel_time == 0.0 {
+            return 1.0;
+        }
+        self.busy_time / (p as f64 * self.parallel_time)
+    }
+}
+
+/// Execute one stage's per-processor work items, each returning its model
+/// cost, and return the costs in processor order.
+///
+/// With `parallel = true` the closures run on crossbeam scoped threads
+/// (wall-clock speed-up only; model time is unaffected).  Work items must
+/// be independent — exactly the property stages have by construction.
+pub fn run_stage<W>(works: Vec<W>, parallel: bool) -> Vec<f64>
+where
+    W: FnOnce() -> f64 + Send,
+{
+    if !parallel || works.len() <= 1 {
+        return works.into_iter().map(|w| w()).collect();
+    }
+    let n = works.len();
+    let out = Mutex::new(vec![0.0f64; n]);
+    crossbeam::thread::scope(|s| {
+        for (i, w) in works.into_iter().enumerate() {
+            let out = &out;
+            s.spawn(move |_| {
+                let c = w();
+                out.lock()[i] = c;
+            });
+        }
+    })
+    .expect("stage worker panicked");
+    out.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_time_is_sum_of_maxima() {
+        let mut c = StageClock::new();
+        c.add_stage(&[1.0, 5.0, 2.0]);
+        c.add_stage(&[4.0, 4.0, 4.0]);
+        assert_eq!(c.parallel_time, 9.0);
+        assert_eq!(c.busy_time, 20.0);
+        assert_eq!(c.stages, 2);
+    }
+
+    #[test]
+    fn efficiency_bounded_by_one() {
+        let mut c = StageClock::new();
+        c.add_stage(&[3.0, 3.0]);
+        assert!((c.efficiency(2) - 1.0).abs() < 1e-12);
+        c.add_stage(&[6.0, 0.0]);
+        assert!(c.efficiency(2) < 1.0);
+    }
+
+    #[test]
+    fn run_stage_sequential_and_parallel_agree() {
+        let mk = || {
+            (0..8)
+                .map(|i| move || (i as f64) * 1.5)
+                .collect::<Vec<_>>()
+        };
+        let a = run_stage(mk(), false);
+        let b = run_stage(mk(), true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_stage_counts_fully() {
+        let mut c = StageClock::new();
+        c.add_serial_stage(7.0);
+        assert_eq!(c.parallel_time, 7.0);
+        assert_eq!(c.busy_time, 7.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! **Theorems 2 and 3** — divide-and-conquer uniprocessor simulation of
+//! the linear array, built on the [`crate::exec1`] executor.
+//!
+//! * Theorem 2 (`m = 1`): leaf diamonds of radius 1, slowdown
+//!   `O(n log n)`.
+//! * Theorem 3 (`m > 1`): recursion down to the *executable diamonds*
+//!   `D(m)` (radius `m/2`), executed naively; slowdown
+//!   `O(n · min(n, m log(n/m)))`.  For `m ≥ n` the whole computation is
+//!   one executable diamond — the naive regime.
+
+use bsmp_hram::Word;
+use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec};
+
+use crate::exec1::DiamondExec;
+use crate::report::SimReport;
+
+/// Simulate `steps` guest steps of `M_1(n, n, m)` on the uniprocessor
+/// `M_1(n, 1, m)` with the paper's leaf size (`D(m)` executable
+/// diamonds).
+pub fn simulate_dnc1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    let leaf_h = (prog.m() as i64 / 2).max(1);
+    simulate_dnc1_with_leaf(spec, prog, init, steps, leaf_h)
+}
+
+/// As [`simulate_dnc1`] with an explicit leaf radius (for the ablation
+/// benches: leaf size trades recursion overhead against naive-execution
+/// locality loss).
+pub fn simulate_dnc1_with_leaf(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    leaf_h: i64,
+) -> SimReport {
+    assert_eq!(spec.p, 1, "dnc1 is the uniprocessor engine");
+    let mut exec = DiamondExec::new(spec, prog, steps, leaf_h);
+    let (mem, values) = exec.run(init);
+    SimReport {
+        mem,
+        values,
+        host_time: exec.ram.time(),
+        guest_time: linear_guest_time(spec, prog, steps),
+        meter: exec.ram.meter,
+        space: exec.ram.high_water(),
+        stages: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_machine::run_linear;
+    use bsmp_workloads::{inputs, CyclicWave, Eca, OddEvenSort, TokenShift};
+
+    fn check_equiv(
+        prog: &impl LinearProgram,
+        n: u64,
+        steps: i64,
+        init: &[Word],
+    ) -> SimReport {
+        let spec = MachineSpec::new(1, n, 1, prog.m() as u64);
+        let guest = run_linear(&spec, prog, init, steps);
+        let rep = simulate_dnc1(&spec, prog, init, steps);
+        rep.assert_matches(&guest.mem, &guest.values);
+        rep
+    }
+
+    #[test]
+    fn token_shift_tiny() {
+        let init: Vec<Word> = vec![10, 20, 30, 40];
+        check_equiv(&TokenShift::new(7), 4, 4, &init);
+    }
+
+    #[test]
+    fn rule110_various_sizes() {
+        for n in [4u64, 8, 16, 32, 64] {
+            let init = inputs::random_bits(n, n as usize);
+            check_equiv(&Eca::rule110(), n, n as i64, &init);
+        }
+    }
+
+    #[test]
+    fn non_square_time_ranges() {
+        // T ≠ n exercises clipped top/bottom tiles.
+        let init = inputs::random_bits(20, 16);
+        for steps in [1i64, 3, 7, 16, 40] {
+            check_equiv(&Eca::rule90(), 16, steps, &init);
+        }
+    }
+
+    #[test]
+    fn odd_sizes() {
+        for n in [3u64, 5, 7, 13] {
+            let init = inputs::random_bits(n, n as usize);
+            check_equiv(&Eca::rule110(), n, (n + 2) as i64, &init);
+        }
+    }
+
+    #[test]
+    fn sorting_via_dnc() {
+        let init = inputs::random_words(21, 16, 500);
+        let rep = check_equiv(&OddEvenSort::new(16), 16, 16, &init);
+        let mut expect = init.clone();
+        expect.sort();
+        assert_eq!(rep.values, expect);
+    }
+
+    #[test]
+    fn multi_cell_wave_equivalence() {
+        for m in [2usize, 3, 4, 8] {
+            let n = 16usize;
+            let init = inputs::random_words(22 + m as u64, n * m, 100);
+            check_equiv(&CyclicWave::new(m), n as u64, 20, &init);
+        }
+    }
+
+    #[test]
+    fn m_exceeding_n_still_works() {
+        // Range-4 situation: the executable diamond swallows everything.
+        let (n, m) = (8usize, 16usize);
+        let init = inputs::random_words(30, n * m, 100);
+        check_equiv(&CyclicWave::new(m), n as u64, 12, &init);
+    }
+
+    #[test]
+    fn dnc_beats_naive_for_small_m() {
+        // Theorem 2 vs Proposition 1: n·log n ≪ n² asymptotically.  The
+        // scheme's constants (Proposition 3's τ₀) put the crossover near
+        // n ≈ 300 in this implementation; at n = 512 D&C wins clearly,
+        // and its advantage doubles with n (shape check).
+        let n = 512u64;
+        let init = inputs::random_bits(23, n as usize);
+        let spec = MachineSpec::new(1, n, 1, 1);
+        let dnc = simulate_dnc1(&spec, &Eca::rule90(), &init, n as i64);
+        let naive = crate::naive1::simulate_naive1(&spec, &Eca::rule90(), &init, n as i64);
+        assert!(
+            dnc.host_time < naive.host_time / 1.3,
+            "D&C {} should beat naive {}",
+            dnc.host_time,
+            naive.host_time
+        );
+    }
+
+    #[test]
+    fn slowdown_tracks_n_log_n() {
+        // Theorem 2 shape: slowdown(2n)/slowdown(n) ≈ 2·log(2n)/log(n),
+        // clearly below the naive ratio of 4.
+        let init_a = inputs::random_bits(24, 64);
+        let init_b = inputs::random_bits(25, 128);
+        let s_a = check_equiv(&Eca::rule90(), 64, 64, &init_a).slowdown();
+        let s_b = check_equiv(&Eca::rule90(), 128, 128, &init_b).slowdown();
+        let ratio = s_b / s_a;
+        assert!(ratio > 1.6 && ratio < 3.4, "n log n doubling, got {ratio}");
+    }
+
+    #[test]
+    fn space_is_near_linear_not_quadratic() {
+        // Proposition 3: σ(|V|) = O(|V|^{1/2}) = O(n) for T = n — so
+        // doubling n doubles (not quadruples) the footprint.
+        let s128 = {
+            let init = inputs::random_bits(26, 128);
+            check_equiv(&Eca::rule90(), 128, 128, &init).space as f64
+        };
+        let s256 = {
+            let init = inputs::random_bits(26, 256);
+            check_equiv(&Eca::rule90(), 256, 256, &init).space as f64
+        };
+        let ratio = s256 / s128;
+        assert!(ratio < 2.5, "space should scale ~linearly in n, got ×{ratio}");
+        assert!((s256 as usize) < 256 * 256 / 4, "far below |V|");
+    }
+
+    #[test]
+    fn leaf_size_ablation_runs() {
+        let n = 32u64;
+        let init = inputs::random_bits(27, n as usize);
+        let spec = MachineSpec::new(1, n, 1, 1);
+        let guest = run_linear(&spec, &Eca::rule110(), &init, n as i64);
+        for leaf in [1i64, 2, 4, 8] {
+            let rep = simulate_dnc1_with_leaf(&spec, &Eca::rule110(), &init, n as i64, leaf);
+            rep.assert_matches(&guest.mem, &guest.values);
+        }
+    }
+}

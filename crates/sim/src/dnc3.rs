@@ -1,0 +1,151 @@
+//! **Section 6's conjecture, measured**: divide-and-conquer uniprocessor
+//! simulation of the 3-D mesh `M_3(n, n, 1)` on `M_3(n, 1, 1)`, built on
+//! the 4-D separator executor [`crate::exec3`].  The conjectured
+//! slowdown — `O(n log n)`, the d = 3 analogue of Theorems 2/5 — is
+//! verified in the tests and experiment E11c, against the naive
+//! `O(n^{4/3})` (Proposition 1 with d = 3).
+
+use bsmp_hram::{CostMeter, Word};
+use bsmp_machine::{volume_guest_time, VolumeProgram};
+
+use crate::exec3::VolumeExec;
+use crate::report::SimReport;
+
+/// Simulate `steps` guest steps of `M_3(n, n, 1)` (side `n^{1/3}`) on
+/// the uniprocessor `M_3(n, 1, 1)` via the 4-D separator recursion.
+pub fn simulate_dnc3(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    let mut exec = VolumeExec::new(side as i64, prog, steps, 1);
+    let (mem, values) = exec.run(init);
+    SimReport {
+        mem,
+        values,
+        host_time: exec.ram.time(),
+        guest_time: volume_guest_time(side, 1, prog, steps),
+        meter: exec.ram.meter,
+        space: exec.ram.high_water(),
+        stages: 0,
+    }
+}
+
+/// Naive step-by-step simulation on the 3-D-mesh uniprocessor host —
+/// the Proposition-1 baseline for `d = 3` (slowdown `O(n^{4/3})`).
+pub fn simulate_naive3(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    let n = side * side * side;
+    assert_eq!(prog.m(), 1);
+    assert_eq!(init.len(), n);
+    let access = bsmp_hram::AccessFn::new(3, 1);
+    let mut ram = bsmp_hram::Hram::new(access, 3 * n);
+    // Layout: value row A at [0, n), row B at [n, 2n).
+    for (v, w) in init.iter().enumerate() {
+        ram.poke(v, *w);
+    }
+    let idx = |x: usize, y: usize, z: usize| (z * side + y) * side + x;
+    let mut prev: Vec<Word> = init.to_vec();
+    let mut next = vec![0 as Word; n];
+    let (mut row_prev, mut row_next) = (0usize, n);
+
+    for t in 1..=steps {
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    let b = prog.boundary();
+                    let mut rd = |ok: bool, a: usize| if ok { ram.read(row_prev + a) } else { b };
+                    let nb = [
+                        rd(x > 0, idx(x.saturating_sub(1), y, z)),
+                        rd(x + 1 < side, idx((x + 1).min(side - 1), y, z)),
+                        rd(y > 0, idx(x, y.saturating_sub(1), z)),
+                        rd(y + 1 < side, idx(x, (y + 1).min(side - 1), z)),
+                        rd(z > 0, idx(x, y, z.saturating_sub(1))),
+                        rd(z + 1 < side, idx(x, y, (z + 1).min(side - 1))),
+                    ];
+                    let mine = ram.read(row_prev + idx(x, y, z));
+                    let out = prog.delta(x, y, z, t, mine, mine, nb);
+                    ram.compute();
+                    ram.write(row_next + idx(x, y, z), out);
+                    next[idx(x, y, z)] = out;
+                }
+            }
+        }
+        std::mem::swap(&mut prev, &mut next);
+        std::mem::swap(&mut row_prev, &mut row_next);
+    }
+
+    let mem = prev.clone();
+    let meter = {
+        let mut m = CostMeter::new();
+        m.add_compute(0.0);
+        ram.meter.merged(&m)
+    };
+    SimReport {
+        mem,
+        values: prev,
+        host_time: ram.time(),
+        guest_time: volume_guest_time(side, 1, prog, steps),
+        meter,
+        space: ram.high_water(),
+        stages: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_machine::run_volume;
+    use bsmp_workloads::{inputs, Parity3d};
+
+    fn check_equiv(side: usize, steps: i64, seed: u64) -> (SimReport, SimReport) {
+        let n = side * side * side;
+        let init = inputs::random_bits(seed, n);
+        let prog = Parity3d;
+        let guest = run_volume(side, 1, &prog, &init, steps);
+        let d = simulate_dnc3(side, &prog, &init, steps);
+        d.assert_matches(&guest.mem, &guest.values);
+        let v = simulate_naive3(side, &prog, &init, steps);
+        v.assert_matches(&guest.mem, &guest.values);
+        (d, v)
+    }
+
+    #[test]
+    fn equivalence_small_volumes() {
+        for (side, steps) in [(2usize, 3i64), (3, 4), (4, 4), (4, 9)] {
+            check_equiv(side, steps, side as u64);
+        }
+    }
+
+    #[test]
+    fn conjectured_growth_rate() {
+        // d = 3 analogue of Theorem 2/5: slowdown O(n log n) vs naive
+        // O(n^{4/3}): growth per side-doubling (n ×8): D&C ≈ ×8·(log
+        // ratio) ≈ ×9–11; naive ≈ 8^{4/3} = 16.
+        let (d4, v4) = check_equiv(4, 4, 10);
+        let (d8, v8) = check_equiv(8, 8, 11);
+        let dnc_growth = d8.slowdown() / d4.slowdown();
+        let naive_growth = v8.slowdown() / v4.slowdown();
+        assert!(
+            dnc_growth < naive_growth,
+            "D&C ×{dnc_growth} must undercut naive ×{naive_growth}"
+        );
+        assert!(naive_growth > 11.0, "naive ~n^{{4/3}}: ×{naive_growth}");
+        assert!(dnc_growth < 14.0, "D&C ~n·log n: ×{dnc_growth}");
+    }
+
+    #[test]
+    fn space_scales_like_k_three_quarters() {
+        // Proposition 3 at (α, γ) = (1/3, 3/4): σ(k) = O(k^{3/4}).
+        let (d4, _) = check_equiv(4, 4, 12);
+        let (d8, _) = check_equiv(8, 8, 13);
+        // k grows ×16 (side³·T: 256 → 4096); k^{3/4} growth = ×8.
+        let ratio = d8.space as f64 / d4.space as f64;
+        assert!(ratio < 12.0, "σ ~ k^{{3/4}}: expected ~8×, got ×{ratio}");
+    }
+}

@@ -1,0 +1,535 @@
+//! The Proposition-2 executor over diamond topological separators
+//! (`d = 1`) — the machinery behind Theorems 2 and 3.
+//!
+//! The whole computed vertex set `[0, n) × [1, T]` is wrapped in one big
+//! clipped diamond and executed recursively: each diamond splits into its
+//! four half-radius children (bottom, left, right, top — the Figure-1
+//! separator), and Proposition 2's memory discipline is followed
+//! *literally* on an instrumented H-RAM:
+//!
+//! * child working space is always the low band `[0, S(child))`;
+//! * transit data (incoming preboundary values, inter-child boundary
+//!   values, private-memory blocks of the diamond's node columns) lives
+//!   in the parking band `[max_i S(child_i), S(U))`, managed by a
+//!   [`ZoneAlloc`];
+//! * every move is charged `read + write` at the true addresses, so the
+//!   measured time is exactly the quantity Theorem 2/3 bound;
+//! * diamonds with radius `≤ leaf_h` are executed naively (the
+//!   "executable diamonds" of Theorem 3's proof, `D(m)` for density `m`).
+//!
+//! For `m = 1` the node state *is* the communicated value and no state
+//! blocks exist; for `m > 1` each node column's `m`-cell private memory
+//! is relocated as a block along the recursion, exactly as in §4.1
+//! ("the access to a single variable is replaced by the access to the
+//! entire private memory of an individual processor").
+
+use std::collections::{HashMap, HashSet};
+
+use bsmp_geometry::{ClippedDiamond, Diamond, IRect, Pt2};
+use bsmp_hram::{Hram, Word};
+use bsmp_machine::{LinearProgram, MachineSpec};
+
+use crate::zone::ZoneAlloc;
+
+/// Shape key for memoizing the space function `S(U)`: the radius plus
+/// the diamond's position relative to all four dag walls, clamped to
+/// `±(2h + 2)` — beyond that distance a wall cannot influence `Γ`,
+/// columns, or the outbound cap, so all truly interior diamonds of one
+/// radius share a key.
+type ShapeKey = (i64, i64, i64, i64, i64);
+
+/// The recursive executor.  One instance per simulation run.
+pub struct DiamondExec<'a, P: LinearProgram> {
+    prog: &'a P,
+    /// Array length.
+    n: i64,
+    /// Computation steps.
+    t_steps: i64,
+    /// Cells per node.
+    m: usize,
+    /// Computed vertices: `x ∈ [0, n)`, `t ∈ [1, T]`.
+    cbox: IRect,
+    /// The host H-RAM.
+    pub ram: Hram,
+    /// Current address of each live dag value.
+    live: HashMap<Pt2, usize>,
+    /// Current base address of each node column's `m`-cell block
+    /// (only for `m > 1`).
+    state: HashMap<i64, usize>,
+    space_memo: HashMap<ShapeKey, usize>,
+    /// Diamonds with `h ≤ leaf_h` are executed naively.
+    pub leaf_h: i64,
+    /// Debug oracle: expected value per vertex (tests only).
+    #[doc(hidden)]
+    pub oracle: Option<HashMap<Pt2, Word>>,
+}
+
+impl<'a, P: LinearProgram> DiamondExec<'a, P> {
+    pub fn new(spec: &MachineSpec, prog: &'a P, t_steps: i64, leaf_h: i64) -> Self {
+        assert_eq!(spec.d, 1);
+        assert_eq!(spec.p, 1, "DiamondExec is the uniprocessor engine");
+        let n = spec.n as i64;
+        let m = prog.m();
+        assert_eq!(m as u64, spec.m);
+        DiamondExec {
+            prog,
+            n,
+            t_steps,
+            m,
+            cbox: IRect::new(0, n, 1, t_steps + 1),
+            ram: Hram::new(spec.access_fn(), 0),
+            live: HashMap::new(),
+            state: HashMap::new(),
+            space_memo: HashMap::new(),
+            leaf_h: leaf_h.max(1),
+            oracle: None,
+        }
+    }
+
+    /// Is `p` a vertex this engine executes?
+    #[inline]
+    fn in_exec(&self, u: &ClippedDiamond, p: Pt2) -> bool {
+        u.d.contains(p) && self.cbox.contains(p)
+    }
+
+    /// Is `p` a dag vertex at all (including the input row)?
+    #[inline]
+    fn in_dag(&self, p: Pt2) -> bool {
+        0 <= p.x && p.x < self.n && 0 <= p.t && p.t <= self.t_steps
+    }
+
+    /// The executor's preboundary of `U = D ∩ cbox`: all dag vertices
+    /// outside `U` that are predecessors of a vertex of `U`.  This is
+    /// the diamond's lattice preboundary plus the input-row vertices the
+    /// diamond itself covers, filtered to actual predecessors.
+    pub fn gamma(&self, u: &ClippedDiamond) -> Vec<Pt2> {
+        let mut cands: Vec<Pt2> = u
+            .d
+            .preboundary()
+            .into_iter()
+            .filter(|q| self.in_dag(*q))
+            .collect();
+        // Input-row vertices inside the diamond (below cbox).
+        if u.d.bbox().t0 <= 0 {
+            for x in u.d.bbox().x0.max(0)..u.d.bbox().x1.min(self.n) {
+                let q = Pt2::new(x, 0);
+                if u.d.contains(q) {
+                    cands.push(q);
+                }
+            }
+        }
+        cands
+            .into_iter()
+            .filter(|q| q.succs().iter().any(|s| self.in_exec(u, *s)))
+            .collect()
+    }
+
+    /// Columns (node indices) with at least one executed vertex in `U`.
+    fn cols(&self, u: &ClippedDiamond) -> Vec<i64> {
+        let b = u.d.bbox().intersect(&self.cbox);
+        (b.x0..b.x1)
+            .filter(|&x| {
+                let (lo, hi) = self.col_range(u, x);
+                lo <= hi
+            })
+            .collect()
+    }
+
+    /// Executed `t`-range of column `x` in `U` (inclusive; empty if
+    /// `lo > hi`).
+    fn col_range(&self, u: &ClippedDiamond, x: i64) -> (i64, i64) {
+        let k = (x - u.d.cx).abs();
+        let lo = (u.d.ct - u.d.h + k + 1).max(self.cbox.t0);
+        let hi = (u.d.ct + u.d.h - k).min(self.cbox.t1 - 1);
+        (lo, hi)
+    }
+
+    /// Upper bound on how many values of `U` any ancestor can want back:
+    /// vertices with a successor outside `U` that is executed later or
+    /// lies above the final row.
+    fn outbound_cap(&self, u: &ClippedDiamond) -> usize {
+        let b = u.d.bbox().intersect(&self.cbox);
+        let mut count = 0usize;
+        for x in b.x0..b.x1 {
+            let (lo, hi) = self.col_range(u, x);
+            if lo > hi {
+                continue;
+            }
+            // Only the top two vertices of a column can have successors
+            // outside U that anyone later can consume: upward exposure is
+            // limited to the top two rows of each column, and sideways
+            // exposure beyond the clip edge points outside the dag (the
+            // clip is the dag box), where no consumer exists.
+            let _ = x;
+            count += 2.min((hi - lo + 1) as usize);
+        }
+        count + 4
+    }
+
+    /// Non-empty children in topological order.
+    fn kids(&self, u: &ClippedDiamond) -> Vec<ClippedDiamond> {
+        u.d.children()
+            .into_iter()
+            .map(|d| ClippedDiamond::new(d, self.cbox))
+            .filter(|c| c.points_count() > 0)
+            .collect()
+    }
+
+    fn shape_key(&self, u: &ClippedDiamond) -> ShapeKey {
+        let h = u.d.h;
+        let cl = 2 * h + 2;
+        (
+            h,
+            u.d.cx.clamp(-cl, cl),
+            (self.n - u.d.cx).clamp(-cl, cl),
+            u.d.ct.clamp(-cl, cl),
+            (self.t_steps + 1 - u.d.ct).clamp(-cl, cl),
+        )
+    }
+
+    /// The space function `S(U)` of Proposition 2, memoized per shape.
+    pub fn space(&mut self, u: &ClippedDiamond) -> usize {
+        let key = self.shape_key(u);
+        if let Some(&s) = self.space_memo.get(&key) {
+            return s;
+        }
+        let s = if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
+            let vol = u.points_count() as usize;
+            let g = self.gamma(u).len();
+            let st = if self.m > 1 { self.cols(u).len() * self.m } else { 0 };
+            vol + g + st
+        } else {
+            let kids = self.kids(u);
+            let mut zmax = 0usize;
+            let mut p_u = 0usize;
+            for k in &kids {
+                zmax = zmax.max(self.space(k));
+                let st = if self.m > 1 { self.cols(k).len() * self.m } else { 0 };
+                p_u += self.gamma(k).len() + st;
+            }
+            let st_u = if self.m > 1 { self.cols(u).len() * self.m } else { 0 };
+            zmax + p_u + self.gamma(u).len() + self.outbound_cap(u) + st_u
+        };
+        self.space_memo.insert(key, s);
+        s
+    }
+
+    /// Move a live value into `zone`, charging the copy, freeing the old
+    /// slot in `from`.
+    fn move_value(&mut self, q: Pt2, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
+        let old = *self.live.get(&q).unwrap_or_else(|| panic!("value {q:?} not live"));
+        let new = zone.alloc();
+        self.ram.relocate(old, new);
+        from.free_if_owned(old);
+        self.live.insert(q, new);
+    }
+
+    /// Move a column's state block into `zone`.
+    fn move_state(&mut self, x: i64, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
+        let old = *self.state.get(&x).unwrap_or_else(|| panic!("state {x} not live"));
+        let new = zone.alloc_block(self.m);
+        for c in 0..self.m {
+            self.ram.relocate(old + c, new + c);
+        }
+        from.free_block_if_owned(old, self.m);
+        self.state.insert(x, new);
+    }
+
+    /// Execute `U`, with all inputs live in `parent_zone`; park the
+    /// values in `want` (and all column states) back into `parent_zone`.
+    pub fn exec(&mut self, u: &ClippedDiamond, want: &HashSet<Pt2>, parent_zone: &mut ZoneAlloc) {
+        if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
+            self.exec_leaf(u, want, parent_zone);
+            return;
+        }
+        let s_u = self.space(u);
+        let kids = self.kids(u);
+        let mut zmax = 0usize;
+        for k in &kids {
+            zmax = zmax.max(self.space(k));
+        }
+        let mut zone = ZoneAlloc::new(zmax, s_u - zmax);
+
+        // Ingest: preboundary values + column states (Proposition 2 step 1
+        // at this level).
+        let g_u = self.gamma(u);
+        for q in &g_u {
+            self.move_value(*q, &mut zone, parent_zone);
+        }
+        let cols_u = self.cols(u);
+        if self.m > 1 {
+            for &x in &cols_u {
+                self.move_state(x, &mut zone, parent_zone);
+            }
+        }
+        let mut zone_set: HashSet<Pt2> = g_u.into_iter().collect();
+
+        // Children, in topological order.
+        let kid_gammas: Vec<HashSet<Pt2>> =
+            kids.iter().map(|k| self.gamma(k).into_iter().collect()).collect();
+        for (i, kid) in kids.iter().enumerate() {
+            // What the child must park back: values needed by later
+            // siblings or by our own parent, that the child computes or
+            // borrows.
+            let mut want_kid: HashSet<Pt2> = HashSet::new();
+            let relevant = |q: Pt2, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
+            for g in kid_gammas.iter().skip(i + 1) {
+                for &q in g {
+                    if relevant(q, self) {
+                        want_kid.insert(q);
+                    }
+                }
+            }
+            for &q in want {
+                if relevant(q, self) {
+                    want_kid.insert(q);
+                }
+            }
+            for q in &kid_gammas[i] {
+                zone_set.remove(q);
+            }
+            self.exec(kid, &want_kid, &mut zone);
+            zone_set.extend(want_kid);
+        }
+
+        // Park what the parent wants (Proposition 2 step 3); drop the
+        // rest.  Iterate in sorted order so addresses — and therefore
+        // charges — are fully deterministic.
+        let mut wanted: Vec<Pt2> = want.iter().copied().collect();
+        wanted.sort();
+        for q in wanted {
+            assert!(zone_set.remove(&q), "wanted value {q:?} missing from zone");
+            self.move_value(q, parent_zone, &mut zone);
+        }
+        let mut rest: Vec<Pt2> = zone_set.into_iter().collect();
+        rest.sort();
+        for q in rest {
+            let old = self.live.remove(&q).expect("zone bookkeeping");
+            zone.free_if_owned(old);
+        }
+        if self.m > 1 {
+            for &x in &cols_u {
+                self.move_state(x, parent_zone, &mut zone);
+            }
+        }
+    }
+
+    /// Naive execution of an executable diamond (Theorem 3's recursion
+    /// bottom): ingest, run vertices in time order, park.
+    fn exec_leaf(&mut self, u: &ClippedDiamond, want: &HashSet<Pt2>, parent_zone: &mut ZoneAlloc) {
+        let pts = {
+            let mut v: Vec<Pt2> =
+                u.points().into_iter().filter(|p| self.cbox.contains(*p)).collect();
+            v.sort();
+            v
+        };
+        if pts.is_empty() {
+            return;
+        }
+        let g_u = self.gamma(u);
+        let cols_u = self.cols(u);
+        // Scratch layout: [0, |U|) value slots, then Γ slots, then state
+        // blocks.
+        let n_pts = pts.len();
+        let mut slot: HashMap<Pt2, usize> = HashMap::with_capacity(n_pts + g_u.len());
+        for (i, p) in pts.iter().enumerate() {
+            slot.insert(*p, i);
+        }
+        // Ingest Γ.
+        for (i, q) in g_u.iter().enumerate() {
+            let dst = n_pts + i;
+            let old = *self.live.get(q).unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            self.ram.relocate(old, dst);
+            if std::env::var("BSMP_TRACE").is_ok() && *q == Pt2::new(0, 2) {
+                eprintln!("TRACE leaf-ingest (0,2): {old} -> {dst} val={} for leaf {u:?}", self.ram.peek(dst));
+            }
+            parent_zone.free_if_owned(old);
+            self.live.insert(*q, dst);
+            slot.insert(*q, dst);
+        }
+        // Ingest states.
+        let mut st_base: HashMap<i64, usize> = HashMap::new();
+        if self.m > 1 {
+            let base0 = n_pts + g_u.len();
+            for (i, &x) in cols_u.iter().enumerate() {
+                let dst = base0 + i * self.m;
+                let old = *self.state.get(&x).unwrap_or_else(|| panic!("state {x} not live"));
+                for c in 0..self.m {
+                    self.ram.relocate(old + c, dst + c);
+                }
+                parent_zone.free_block_if_owned(old, self.m);
+                st_base.insert(x, dst);
+            }
+        }
+
+        // Execute in time order.
+        let bd = self.prog.boundary();
+        for (i, p) in pts.iter().enumerate() {
+            let v = p.x as usize;
+            let t = p.t;
+            let read_val = |me: &mut Self, q: Pt2| -> Word {
+                if !me.in_dag(q) {
+                    return bd;
+                }
+                let a = *slot
+                    .get(&q)
+                    .unwrap_or_else(|| panic!("operand {q:?} unavailable in leaf {u:?}"));
+                me.ram.read(a)
+            };
+            let prev = read_val(self, Pt2::new(p.x, t - 1));
+            let left = read_val(self, Pt2::new(p.x - 1, t - 1));
+            let right = read_val(self, Pt2::new(p.x + 1, t - 1));
+            let own = if self.m > 1 {
+                let c = self.prog.cell(v, t);
+                let a = st_base[&p.x] + c;
+                self.ram.read(a)
+            } else {
+                prev
+            };
+            let out = self.prog.delta(v, t, own, prev, left, right);
+            if let Some(o) = &self.oracle {
+                if let Some(&exp) = o.get(p) {
+                    assert_eq!(out, exp,
+                        "vertex {p:?} in leaf {u:?}: operands own={own} prev={prev} l={left} r={right}");
+                }
+            }
+            self.ram.compute();
+            if self.m > 1 {
+                let c = self.prog.cell(v, t);
+                self.ram.write(st_base[&p.x] + c, out);
+            }
+            self.ram.write(i, out);
+            self.live.insert(*p, i);
+        }
+
+        // Park wanted values (sorted: deterministic addresses).
+        let mut wanted: Vec<Pt2> = want.iter().copied().collect();
+        wanted.sort();
+        for q in wanted {
+            let old = *self.live.get(&q).unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let new = parent_zone.alloc();
+            self.ram.relocate(old, new);
+            self.live.insert(q, new);
+        }
+        // Drop everything else local.
+        for p in &pts {
+            if !want.contains(p) {
+                self.live.remove(p);
+            }
+        }
+        for q in &g_u {
+            if !want.contains(q) {
+                self.live.remove(q);
+            }
+        }
+        // Park states.
+        if self.m > 1 {
+            for &x in &cols_u {
+                let base = st_base[&x];
+                let new = parent_zone.alloc_block(self.m);
+                for c in 0..self.m {
+                    self.ram.relocate(base + c, new + c);
+                }
+                self.state.insert(x, new);
+            }
+        }
+    }
+
+    /// Seed a live value at an explicit address (multiprocessor engine:
+    /// staging a tile's preboundary into this processor's memory).
+    pub fn seed_value(&mut self, p: Pt2, addr: usize) {
+        self.live.insert(p, addr);
+    }
+
+    /// Seed a column's state-block base address.
+    pub fn seed_state(&mut self, col: i64, addr: usize) {
+        self.state.insert(col, addr);
+    }
+
+    /// Address of a live value, if present.
+    pub fn value_addr(&self, p: Pt2) -> Option<usize> {
+        self.live.get(&p).copied()
+    }
+
+    /// Address of a column's state block, if present.
+    pub fn state_addr(&self, col: i64) -> Option<usize> {
+        self.state.get(&col).copied()
+    }
+
+    /// Drop all live values and states (between tile executions).
+    pub fn clear_seeds(&mut self) {
+        self.live.clear();
+        self.state.clear();
+    }
+
+    /// Run the whole simulation: lay out the guest image, execute the
+    /// top-level diamond, write the final image back into the guest
+    /// layout.  Returns `(final_mem, final_values)`.
+    pub fn run(&mut self, init: &[Word]) -> (Vec<Word>, Vec<Word>) {
+        let n = self.n as usize;
+        let m = self.m;
+        assert_eq!(init.len(), n * m);
+        if self.t_steps == 0 {
+            let values = (0..n).map(|v| init[v * m + self.prog.cell(v, 0)]).collect();
+            return (init.to_vec(), values);
+        }
+
+        // Top-level diamond covering the whole computed box.
+        let h_top = ((self.n + self.t_steps + 4) as u64).next_power_of_two() as i64;
+        let top = ClippedDiamond::new(
+            Diamond::new(self.n / 2, self.t_steps / 2 + 1, h_top),
+            self.cbox,
+        );
+        let s_top = self.space(&top);
+
+        // Driver zone and guest image above the working region.
+        let g_top = self.gamma(&top).len();
+        let zone_cap = g_top + m * n + n + 32;
+        let mut driver_zone = ZoneAlloc::new(s_top, zone_cap);
+        let image = s_top + zone_cap;
+
+        // Lay out the initial guest image (uncharged: problem statement).
+        for (i, w) in init.iter().enumerate() {
+            self.ram.poke(image + i, *w);
+        }
+        for v in 0..n {
+            let p = Pt2::new(v as i64, 0);
+            self.live.insert(p, image + v * m + self.prog.cell(v, 0));
+        }
+        if m > 1 {
+            for v in 0..n {
+                self.state.insert(v as i64, image + v * m);
+            }
+        }
+
+        // Want the final row back.
+        let want: HashSet<Pt2> =
+            (0..self.n).map(|x| Pt2::new(x, self.t_steps)).collect();
+        self.exec(&top, &want, &mut driver_zone);
+
+        // Write the final image back into the guest layout (charged —
+        // the host must leave memory as the guest would).
+        let mut values = vec![0 as Word; n];
+        for v in 0..n {
+            let p = Pt2::new(v as i64, self.t_steps);
+            let addr = self.live[&p];
+            values[v] = self.ram.peek(addr);
+            if m == 1 {
+                self.ram.relocate(addr, image + v);
+            }
+        }
+        if m > 1 {
+            for v in 0..n {
+                let old = self.state[&(v as i64)];
+                let dst = image + v * m;
+                if old != dst {
+                    for c in 0..m {
+                        self.ram.relocate(old + c, dst + c);
+                    }
+                }
+            }
+        }
+        let mem = (0..n * m).map(|i| self.ram.peek(image + i)).collect();
+        (mem, values)
+    }
+}

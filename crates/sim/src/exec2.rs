@@ -1,0 +1,479 @@
+//! The Proposition-2 executor over octahedron/tetrahedron topological
+//! separators (`d = 2`) — the machinery behind Theorem 5.
+//!
+//! Structurally the exact twin of [`crate::exec1`], with the Figure-3
+//! refinements of [`bsmp_geometry::Domain2`] in place of the diamond
+//! splits: the computed box `[0, side)² × [1, T]` is wrapped in one big
+//! clipped octahedron; octahedra split into 6 octahedra + 8 tetrahedra,
+//! tetrahedra into 4 tetrahedra + 1 octahedron; cells of radius
+//! `≤ leaf_h` are executed naively.  Node-column state blocks become
+//! per-*pillar* (mesh position) blocks.
+//!
+//! We keep the two executors as explicit twins rather than abstracting
+//! over the dimension: the boundary cases (input plane, wall proximity,
+//! pillar enumeration) differ in exactly the places a shared abstraction
+//! would have to re-expose, and the paper, too, develops the two cases
+//! separately (Sections 4 and 5).
+
+use std::collections::{HashMap, HashSet};
+
+use bsmp_geometry::{ClippedDomain2, Domain2, IBox, Pt3};
+use bsmp_hram::{Hram, Word};
+use bsmp_machine::{MachineSpec, MeshProgram};
+
+use crate::zone::ZoneAlloc;
+
+/// Memo key: radius, cell kind offset, and clamped distances to the six
+/// dag walls (beyond `2h + 2` a wall cannot influence the footprint).
+type ShapeKey = (i64, i64, i64, i64, i64, i64, i64, i64);
+
+/// The recursive `d = 2` executor.
+pub struct CellExec<'a, P: MeshProgram> {
+    prog: &'a P,
+    side: i64,
+    t_steps: i64,
+    m: usize,
+    cbox: IBox,
+    pub ram: Hram,
+    live: HashMap<Pt3, usize>,
+    /// Pillar (mesh node) → state block base (only `m > 1`).
+    state: HashMap<(i64, i64), usize>,
+    space_memo: HashMap<ShapeKey, usize>,
+    pub leaf_h: i64,
+}
+
+impl<'a, P: MeshProgram> CellExec<'a, P> {
+    pub fn new(spec: &MachineSpec, prog: &'a P, t_steps: i64, leaf_h: i64) -> Self {
+        assert_eq!(spec.d, 2);
+        assert_eq!(spec.p, 1, "CellExec is the uniprocessor engine");
+        let side = spec.mesh_side() as i64;
+        let m = prog.m();
+        assert_eq!(m as u64, spec.m);
+        CellExec {
+            prog,
+            side,
+            t_steps,
+            m,
+            cbox: IBox::new(0, side, 0, side, 1, t_steps + 1),
+            ram: Hram::new(spec.access_fn(), 0),
+            live: HashMap::new(),
+            state: HashMap::new(),
+            space_memo: HashMap::new(),
+            leaf_h: leaf_h.max(1),
+        }
+    }
+
+    #[inline]
+    fn in_exec(&self, u: &ClippedDomain2, p: Pt3) -> bool {
+        u.cell.contains(p) && self.cbox.contains(p)
+    }
+
+    #[inline]
+    fn in_dag(&self, p: Pt3) -> bool {
+        0 <= p.x
+            && p.x < self.side
+            && 0 <= p.y
+            && p.y < self.side
+            && 0 <= p.t
+            && p.t <= self.t_steps
+    }
+
+    /// Executed points of `U = cell ∩ cbox`, time-major.
+    fn exec_points(&self, u: &ClippedDomain2) -> Vec<Pt3> {
+        let mut v = u.points();
+        v.sort();
+        v
+    }
+
+    /// The executor's preboundary: dag vertices outside `U` that are
+    /// predecessors of a vertex of `U` (computed from the clipped points
+    /// to avoid enumerating huge unclipped cells).
+    pub fn gamma(&self, u: &ClippedDomain2) -> Vec<Pt3> {
+        let mut out: HashSet<Pt3> = HashSet::new();
+        for p in self.exec_points(u) {
+            for q in p.preds() {
+                if self.in_dag(q) && !self.in_exec(u, q) {
+                    out.insert(q);
+                }
+            }
+        }
+        let mut v: Vec<Pt3> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Mesh pillars with at least one executed vertex.
+    fn pillars(&self, u: &ClippedDomain2) -> Vec<(i64, i64)> {
+        let mut set: HashSet<(i64, i64)> = HashSet::new();
+        for p in u.points() {
+            set.insert((p.x, p.y));
+        }
+        let mut v: Vec<(i64, i64)> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Executed `t`-range of a pillar (inclusive).
+    fn pillar_range(&self, u: &ClippedDomain2, x: i64, y: i64) -> (i64, i64) {
+        let h = u.cell.h();
+        let kx = (x - u.cell.dx.cx).abs();
+        let ky = (y - u.cell.dy.cx).abs();
+        let lo = (u.cell.dx.ct - h + kx).max(u.cell.dy.ct - h + ky) + 1;
+        let hi = (u.cell.dx.ct + h - kx).min(u.cell.dy.ct + h - ky);
+        (lo.max(self.cbox.t0), hi.min(self.cbox.t1 - 1))
+    }
+
+    /// Upper bound on values any ancestor can want back: the top two
+    /// vertices of every pillar (side exposure beyond the clip edge
+    /// points outside the dag; neighbor pillar ranges shift by at most
+    /// one per step, so upward exposure is limited to the top two rows).
+    fn outbound_cap(&self, u: &ClippedDomain2) -> usize {
+        let mut count = 0usize;
+        for (x, y) in self.pillars(u) {
+            let (lo, hi) = self.pillar_range(u, x, y);
+            if lo <= hi {
+                count += 2.min((hi - lo + 1) as usize);
+            }
+        }
+        count + 8
+    }
+
+    /// Non-empty children in topological order (Figure 3).
+    fn kids(&self, u: &ClippedDomain2) -> Vec<ClippedDomain2> {
+        u.cell
+            .children()
+            .into_iter()
+            .map(|c| ClippedDomain2::new(c, self.cbox))
+            .filter(|c| c.points_count() > 0)
+            .collect()
+    }
+
+    fn shape_key(&self, u: &ClippedDomain2) -> ShapeKey {
+        let h = u.cell.h();
+        let cl = 2 * h + 2;
+        (
+            h,
+            u.cell.dy.ct - u.cell.dx.ct,
+            u.cell.dx.cx.clamp(-cl, cl),
+            (self.side - u.cell.dx.cx).clamp(-cl, cl),
+            u.cell.dy.cx.clamp(-cl, cl),
+            (self.side - u.cell.dy.cx).clamp(-cl, cl),
+            u.cell.dx.ct.clamp(-cl, cl),
+            (self.t_steps + 1 - u.cell.dx.ct).clamp(-cl, cl),
+        )
+    }
+
+    /// The space function `S(U)` of Proposition 2, memoized per shape.
+    pub fn space(&mut self, u: &ClippedDomain2) -> usize {
+        let key = self.shape_key(u);
+        if let Some(&s) = self.space_memo.get(&key) {
+            return s;
+        }
+        let s = if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
+            let vol = u.points_count() as usize;
+            let g = self.gamma(u).len();
+            let st = if self.m > 1 { self.pillars(u).len() * self.m } else { 0 };
+            vol + g + st
+        } else {
+            let kids = self.kids(u);
+            let mut zmax = 0usize;
+            let mut p_u = 0usize;
+            for k in &kids {
+                zmax = zmax.max(self.space(k));
+                let st = if self.m > 1 { self.pillars(k).len() * self.m } else { 0 };
+                p_u += self.gamma(k).len() + st;
+            }
+            let st_u = if self.m > 1 { self.pillars(u).len() * self.m } else { 0 };
+            zmax + p_u + self.gamma(u).len() + self.outbound_cap(u) + st_u
+        };
+        self.space_memo.insert(key, s);
+        s
+    }
+
+    fn move_value(&mut self, q: Pt3, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
+        let old = *self.live.get(&q).unwrap_or_else(|| panic!("value {q:?} not live"));
+        let new = zone.alloc();
+        self.ram.relocate(old, new);
+        from.free_if_owned(old);
+        self.live.insert(q, new);
+    }
+
+    fn move_state(&mut self, xy: (i64, i64), zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
+        let old = *self.state.get(&xy).unwrap_or_else(|| panic!("state {xy:?} not live"));
+        let new = zone.alloc_block(self.m);
+        for c in 0..self.m {
+            self.ram.relocate(old + c, new + c);
+        }
+        from.free_block_if_owned(old, self.m);
+        self.state.insert(xy, new);
+    }
+
+    /// Execute `U` with inputs live in `parent_zone`; park `want` (and
+    /// all pillar states) back there.
+    pub fn exec(&mut self, u: &ClippedDomain2, want: &HashSet<Pt3>, parent_zone: &mut ZoneAlloc) {
+        if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
+            self.exec_leaf(u, want, parent_zone);
+            return;
+        }
+        let s_u = self.space(u);
+        let kids = self.kids(u);
+        let mut zmax = 0usize;
+        for k in &kids {
+            zmax = zmax.max(self.space(k));
+        }
+        let mut zone = ZoneAlloc::new(zmax, s_u - zmax);
+
+        let g_u = self.gamma(u);
+        for q in &g_u {
+            self.move_value(*q, &mut zone, parent_zone);
+        }
+        let pillars_u = self.pillars(u);
+        if self.m > 1 {
+            for &xy in &pillars_u {
+                self.move_state(xy, &mut zone, parent_zone);
+            }
+        }
+        let mut zone_set: HashSet<Pt3> = g_u.into_iter().collect();
+
+        let kid_gammas: Vec<HashSet<Pt3>> =
+            kids.iter().map(|k| self.gamma(k).into_iter().collect()).collect();
+        for (i, kid) in kids.iter().enumerate() {
+            let mut want_kid: HashSet<Pt3> = HashSet::new();
+            let relevant = |q: Pt3, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
+            for g in kid_gammas.iter().skip(i + 1) {
+                for &q in g {
+                    if relevant(q, self) {
+                        want_kid.insert(q);
+                    }
+                }
+            }
+            for &q in want {
+                if relevant(q, self) {
+                    want_kid.insert(q);
+                }
+            }
+            for q in &kid_gammas[i] {
+                zone_set.remove(q);
+            }
+            self.exec(kid, &want_kid, &mut zone);
+            zone_set.extend(want_kid);
+        }
+
+        let mut wanted: Vec<Pt3> = want.iter().copied().collect();
+        wanted.sort();
+        for q in wanted {
+            assert!(zone_set.remove(&q), "wanted value {q:?} missing from zone");
+            self.move_value(q, parent_zone, &mut zone);
+        }
+        let mut rest: Vec<Pt3> = zone_set.into_iter().collect();
+        rest.sort();
+        for q in rest {
+            let old = self.live.remove(&q).expect("zone bookkeeping");
+            zone.free_if_owned(old);
+        }
+        if self.m > 1 {
+            for &xy in &pillars_u {
+                self.move_state(xy, parent_zone, &mut zone);
+            }
+        }
+    }
+
+    fn exec_leaf(&mut self, u: &ClippedDomain2, want: &HashSet<Pt3>, parent_zone: &mut ZoneAlloc) {
+        let pts = self.exec_points(u);
+        if pts.is_empty() {
+            return;
+        }
+        let g_u = self.gamma(u);
+        let pillars_u = self.pillars(u);
+        let n_pts = pts.len();
+        let mut slot: HashMap<Pt3, usize> = HashMap::with_capacity(n_pts + g_u.len());
+        for (i, p) in pts.iter().enumerate() {
+            slot.insert(*p, i);
+        }
+        for (i, q) in g_u.iter().enumerate() {
+            let dst = n_pts + i;
+            let old = *self.live.get(q).unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            self.ram.relocate(old, dst);
+            parent_zone.free_if_owned(old);
+            self.live.insert(*q, dst);
+            slot.insert(*q, dst);
+        }
+        let mut st_base: HashMap<(i64, i64), usize> = HashMap::new();
+        if self.m > 1 {
+            let base0 = n_pts + g_u.len();
+            for (i, &xy) in pillars_u.iter().enumerate() {
+                let dst = base0 + i * self.m;
+                let old = *self.state.get(&xy).unwrap_or_else(|| panic!("state {xy:?} not live"));
+                for c in 0..self.m {
+                    self.ram.relocate(old + c, dst + c);
+                }
+                parent_zone.free_block_if_owned(old, self.m);
+                st_base.insert(xy, dst);
+            }
+        }
+
+        let bd = self.prog.boundary();
+        for (i, p) in pts.iter().enumerate() {
+            let (x, y, t) = (p.x, p.y, p.t);
+            let read_val = |me: &mut Self, q: Pt3| -> Word {
+                if !me.in_dag(q) {
+                    return bd;
+                }
+                let a = *slot
+                    .get(&q)
+                    .unwrap_or_else(|| panic!("operand {q:?} unavailable in leaf {u:?}"));
+                me.ram.read(a)
+            };
+            let prev = read_val(self, Pt3::new(x, y, t - 1));
+            let west = read_val(self, Pt3::new(x - 1, y, t - 1));
+            let east = read_val(self, Pt3::new(x + 1, y, t - 1));
+            let south = read_val(self, Pt3::new(x, y - 1, t - 1));
+            let north = read_val(self, Pt3::new(x, y + 1, t - 1));
+            let own = if self.m > 1 {
+                let c = self.prog.cell(x as usize, y as usize, t);
+                self.ram.read(st_base[&(x, y)] + c)
+            } else {
+                prev
+            };
+            let out =
+                self.prog.delta(x as usize, y as usize, t, own, prev, west, east, south, north);
+            self.ram.compute();
+            if self.m > 1 {
+                let c = self.prog.cell(x as usize, y as usize, t);
+                self.ram.write(st_base[&(x, y)] + c, out);
+            }
+            self.ram.write(i, out);
+            self.live.insert(*p, i);
+        }
+
+        let mut wanted: Vec<Pt3> = want.iter().copied().collect();
+        wanted.sort();
+        for q in wanted {
+            let old = *self.live.get(&q).unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let new = parent_zone.alloc();
+            self.ram.relocate(old, new);
+            self.live.insert(q, new);
+        }
+        for p in &pts {
+            if !want.contains(p) {
+                self.live.remove(p);
+            }
+        }
+        for q in &g_u {
+            if !want.contains(q) {
+                self.live.remove(q);
+            }
+        }
+        if self.m > 1 {
+            for &xy in &pillars_u {
+                let base = st_base[&xy];
+                let new = parent_zone.alloc_block(self.m);
+                for c in 0..self.m {
+                    self.ram.relocate(base + c, new + c);
+                }
+                self.state.insert(xy, new);
+            }
+        }
+    }
+
+    /// Seed a live value at an explicit address (multiprocessor engine).
+    pub fn seed_value(&mut self, p: Pt3, addr: usize) {
+        self.live.insert(p, addr);
+    }
+
+    /// Seed a pillar's state-block base address.
+    pub fn seed_state(&mut self, xy: (i64, i64), addr: usize) {
+        self.state.insert(xy, addr);
+    }
+
+    /// Address of a live value, if present.
+    pub fn value_addr(&self, p: Pt3) -> Option<usize> {
+        self.live.get(&p).copied()
+    }
+
+    /// Address of a pillar's state block, if present.
+    pub fn state_addr(&self, xy: (i64, i64)) -> Option<usize> {
+        self.state.get(&xy).copied()
+    }
+
+    /// Drop all live values and states (between cell executions).
+    pub fn clear_seeds(&mut self) {
+        self.live.clear();
+        self.state.clear();
+    }
+
+    /// Run the whole simulation; returns `(final_mem, final_values)` in
+    /// the guest's node-major layout (node index `y·side + x`).
+    pub fn run(&mut self, init: &[Word]) -> (Vec<Word>, Vec<Word>) {
+        let side = self.side as usize;
+        let n = side * side;
+        let m = self.m;
+        assert_eq!(init.len(), n * m);
+        if self.t_steps == 0 {
+            let values = (0..n)
+                .map(|v| init[v * m + self.prog.cell(v % side, v / side, 0)])
+                .collect();
+            return (init.to_vec(), values);
+        }
+
+        let h_top = ((self.side + self.t_steps + 4) as u64).next_power_of_two() as i64;
+        let top = ClippedDomain2::new(
+            Domain2::octahedron(self.side / 2, self.side / 2, self.t_steps / 2 + 1, h_top),
+            self.cbox,
+        );
+        let s_top = self.space(&top);
+        let g_top = self.gamma(&top).len();
+        let zone_cap = g_top + m * n + n + 64;
+        let mut driver_zone = ZoneAlloc::new(s_top, zone_cap);
+        let image = s_top + zone_cap;
+
+        for (i, w) in init.iter().enumerate() {
+            self.ram.poke(image + i, *w);
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let v = y * side + x;
+                let p = Pt3::new(x as i64, y as i64, 0);
+                self.live.insert(p, image + v * m + self.prog.cell(x, y, 0));
+                if m > 1 {
+                    self.state.insert((x as i64, y as i64), image + v * m);
+                }
+            }
+        }
+
+        let want: HashSet<Pt3> = (0..self.side)
+            .flat_map(|y| (0..self.side).map(move |x| Pt3::new(x, y, 0)))
+            .map(|p| Pt3::new(p.x, p.y, self.t_steps))
+            .collect();
+        self.exec(&top, &want, &mut driver_zone);
+
+        let mut values = vec![0 as Word; n];
+        for y in 0..side {
+            for x in 0..side {
+                let v = y * side + x;
+                let p = Pt3::new(x as i64, y as i64, self.t_steps);
+                let addr = self.live[&p];
+                values[v] = self.ram.peek(addr);
+                if m == 1 {
+                    self.ram.relocate(addr, image + v);
+                }
+            }
+        }
+        if m > 1 {
+            for y in 0..side {
+                for x in 0..side {
+                    let v = y * side + x;
+                    let old = self.state[&(x as i64, y as i64)];
+                    let dst = image + v * m;
+                    if old != dst {
+                        for c in 0..m {
+                            self.ram.relocate(old + c, dst + c);
+                        }
+                    }
+                }
+            }
+        }
+        let mem = (0..n * m).map(|i| self.ram.peek(image + i)).collect();
+        (mem, values)
+    }
+}

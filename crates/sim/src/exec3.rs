@@ -1,0 +1,335 @@
+//! The Proposition-2 executor over the **4-D topological separator**
+//! (`d = 3`) — turning Section 6's conjecture into a measured result.
+//!
+//! Third of the executor twins (see [`crate::exec1`], [`crate::exec2`]):
+//! the computed box `[0, side)³ × [1, T]` is wrapped in one big clipped
+//! symmetric cell of [`bsmp_geometry::Domain3`]; cells refine by the
+//! product-of-diamonds honeycomb (`q ≤ 46`, `δ < 1/2`,
+//! `Γ = Θ(|U|^{3/4})`); cells of radius `≤ leaf_h` execute naively.
+//! The host H-RAM uses the 3-D access function `f(x) = (x/m)^{1/3}`
+//! (`α = 1/3`), for which the separator's `γ = 3/4` satisfies
+//! Proposition 3's admissibility with equality — the predicted slowdown
+//! is `O(n log n)`, verified in experiment E13.
+//!
+//! For simplicity this engine supports `m = 1` (the Theorem-2/5-analogue
+//! setting the conjecture is about).
+
+use std::collections::{HashMap, HashSet};
+
+use bsmp_geometry::{ClippedDomain3, Domain3, IBox4, Pt4};
+use bsmp_hram::{AccessFn, Hram, Word};
+use bsmp_machine::VolumeProgram;
+
+use crate::zone::ZoneAlloc;
+
+type ShapeKey = (i64, i64, i64, i64, i64, i64, i64, i64, i64, i64, i64);
+
+/// The recursive `d = 3` executor (`m = 1`).
+pub struct VolumeExec<'a, P: VolumeProgram> {
+    prog: &'a P,
+    side: i64,
+    t_steps: i64,
+    cbox: IBox4,
+    pub ram: Hram,
+    live: HashMap<Pt4, usize>,
+    space_memo: HashMap<ShapeKey, usize>,
+    pub leaf_h: i64,
+}
+
+impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
+    pub fn new(side: i64, prog: &'a P, t_steps: i64, leaf_h: i64) -> Self {
+        assert_eq!(prog.m(), 1, "VolumeExec supports m = 1");
+        VolumeExec {
+            prog,
+            side,
+            t_steps,
+            cbox: IBox4::new(0, side, 0, side, 0, side, 1, t_steps + 1),
+            ram: Hram::new(AccessFn::new(3, 1), 0),
+            live: HashMap::new(),
+            space_memo: HashMap::new(),
+            leaf_h: leaf_h.max(1),
+        }
+    }
+
+    #[inline]
+    fn in_exec(&self, u: &ClippedDomain3, p: Pt4) -> bool {
+        u.cell.contains(p) && self.cbox.contains(p)
+    }
+
+    #[inline]
+    fn in_dag(&self, p: Pt4) -> bool {
+        0 <= p.x
+            && p.x < self.side
+            && 0 <= p.y
+            && p.y < self.side
+            && 0 <= p.z
+            && p.z < self.side
+            && 0 <= p.t
+            && p.t <= self.t_steps
+    }
+
+    fn exec_points(&self, u: &ClippedDomain3) -> Vec<Pt4> {
+        let mut v = u.points();
+        v.sort();
+        v
+    }
+
+    pub fn gamma(&self, u: &ClippedDomain3) -> Vec<Pt4> {
+        let mut out: HashSet<Pt4> = HashSet::new();
+        for p in self.exec_points(u) {
+            for q in p.preds() {
+                if self.in_dag(q) && !self.in_exec(u, q) {
+                    out.insert(q);
+                }
+            }
+        }
+        let mut v: Vec<Pt4> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Outbound cap: top two vertices of every pillar (the 4-D analogue
+    /// of the d = 1/2 arguments; neighbor pillar ranges shift by ≤ 1).
+    fn outbound_cap(&self, u: &ClippedDomain3) -> usize {
+        let mut pillars: HashMap<(i64, i64, i64), usize> = HashMap::new();
+        for p in u.points() {
+            *pillars.entry((p.x, p.y, p.z)).or_insert(0) += 1;
+        }
+        pillars.values().map(|&len| 2.min(len)).sum::<usize>() + 16
+    }
+
+    fn kids(&self, u: &ClippedDomain3) -> Vec<ClippedDomain3> {
+        u.children()
+    }
+
+    fn shape_key(&self, u: &ClippedDomain3) -> ShapeKey {
+        let h = u.cell.h();
+        let cl = 2 * h + 2;
+        (
+            h,
+            u.cell.dy.ct - u.cell.dx.ct,
+            u.cell.dz.ct - u.cell.dx.ct,
+            u.cell.dx.cx.clamp(-cl, cl),
+            (self.side - u.cell.dx.cx).clamp(-cl, cl),
+            u.cell.dy.cx.clamp(-cl, cl),
+            (self.side - u.cell.dy.cx).clamp(-cl, cl),
+            u.cell.dz.cx.clamp(-cl, cl),
+            (self.side - u.cell.dz.cx).clamp(-cl, cl),
+            u.cell.dx.ct.clamp(-cl, cl),
+            (self.t_steps + 1 - u.cell.dx.ct).clamp(-cl, cl),
+        )
+    }
+
+    pub fn space(&mut self, u: &ClippedDomain3) -> usize {
+        let key = self.shape_key(u);
+        if let Some(&s) = self.space_memo.get(&key) {
+            return s;
+        }
+        let s = if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
+            u.points_count() as usize + self.gamma(u).len()
+        } else {
+            let kids = self.kids(u);
+            let mut zmax = 0usize;
+            let mut p_u = 0usize;
+            for k in &kids {
+                zmax = zmax.max(self.space(k));
+                p_u += self.gamma(k).len();
+            }
+            zmax + p_u + self.gamma(u).len() + self.outbound_cap(u)
+        };
+        self.space_memo.insert(key, s);
+        s
+    }
+
+    fn move_value(&mut self, q: Pt4, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
+        let old = *self.live.get(&q).unwrap_or_else(|| panic!("value {q:?} not live"));
+        let new = zone.alloc();
+        self.ram.relocate(old, new);
+        from.free_if_owned(old);
+        self.live.insert(q, new);
+    }
+
+    pub fn exec(&mut self, u: &ClippedDomain3, want: &HashSet<Pt4>, parent_zone: &mut ZoneAlloc) {
+        if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
+            self.exec_leaf(u, want, parent_zone);
+            return;
+        }
+        let s_u = self.space(u);
+        let kids = self.kids(u);
+        let mut zmax = 0usize;
+        for k in &kids {
+            zmax = zmax.max(self.space(k));
+        }
+        let mut zone = ZoneAlloc::new(zmax, s_u - zmax);
+
+        let g_u = self.gamma(u);
+        for q in &g_u {
+            self.move_value(*q, &mut zone, parent_zone);
+        }
+        let mut zone_set: HashSet<Pt4> = g_u.into_iter().collect();
+
+        let kid_gammas: Vec<HashSet<Pt4>> =
+            kids.iter().map(|k| self.gamma(k).into_iter().collect()).collect();
+        for (i, kid) in kids.iter().enumerate() {
+            let mut want_kid: HashSet<Pt4> = HashSet::new();
+            let relevant = |q: Pt4, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
+            for g in kid_gammas.iter().skip(i + 1) {
+                for &q in g {
+                    if relevant(q, self) {
+                        want_kid.insert(q);
+                    }
+                }
+            }
+            for &q in want {
+                if relevant(q, self) {
+                    want_kid.insert(q);
+                }
+            }
+            for q in &kid_gammas[i] {
+                zone_set.remove(q);
+            }
+            self.exec(kid, &want_kid, &mut zone);
+            zone_set.extend(want_kid);
+        }
+
+        let mut wanted: Vec<Pt4> = want.iter().copied().collect();
+        wanted.sort();
+        for q in wanted {
+            assert!(zone_set.remove(&q), "wanted value {q:?} missing from zone");
+            self.move_value(q, parent_zone, &mut zone);
+        }
+        let mut rest: Vec<Pt4> = zone_set.into_iter().collect();
+        rest.sort();
+        for q in rest {
+            let old = self.live.remove(&q).expect("zone bookkeeping");
+            zone.free_if_owned(old);
+        }
+    }
+
+    fn exec_leaf(&mut self, u: &ClippedDomain3, want: &HashSet<Pt4>, parent_zone: &mut ZoneAlloc) {
+        let pts = self.exec_points(u);
+        if pts.is_empty() {
+            return;
+        }
+        let g_u = self.gamma(u);
+        let n_pts = pts.len();
+        let mut slot: HashMap<Pt4, usize> = HashMap::with_capacity(n_pts + g_u.len());
+        for (i, p) in pts.iter().enumerate() {
+            slot.insert(*p, i);
+        }
+        for (i, q) in g_u.iter().enumerate() {
+            let dst = n_pts + i;
+            let old = *self.live.get(q).unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            self.ram.relocate(old, dst);
+            parent_zone.free_if_owned(old);
+            self.live.insert(*q, dst);
+            slot.insert(*q, dst);
+        }
+
+        let bd = self.prog.boundary();
+        for (i, p) in pts.iter().enumerate() {
+            let read_val = |me: &mut Self, q: Pt4| -> Word {
+                if !me.in_dag(q) {
+                    return bd;
+                }
+                let a = *slot
+                    .get(&q)
+                    .unwrap_or_else(|| panic!("operand {q:?} unavailable in leaf"));
+                me.ram.read(a)
+            };
+            let prev = read_val(self, Pt4::new(p.x, p.y, p.z, p.t - 1));
+            let nb = [
+                read_val(self, Pt4::new(p.x - 1, p.y, p.z, p.t - 1)),
+                read_val(self, Pt4::new(p.x + 1, p.y, p.z, p.t - 1)),
+                read_val(self, Pt4::new(p.x, p.y - 1, p.z, p.t - 1)),
+                read_val(self, Pt4::new(p.x, p.y + 1, p.z, p.t - 1)),
+                read_val(self, Pt4::new(p.x, p.y, p.z - 1, p.t - 1)),
+                read_val(self, Pt4::new(p.x, p.y, p.z + 1, p.t - 1)),
+            ];
+            let out =
+                self.prog.delta(p.x as usize, p.y as usize, p.z as usize, p.t, prev, prev, nb);
+            self.ram.compute();
+            self.ram.write(i, out);
+            self.live.insert(*p, i);
+        }
+
+        let mut wanted: Vec<Pt4> = want.iter().copied().collect();
+        wanted.sort();
+        for q in wanted {
+            let old = *self.live.get(&q).unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let new = parent_zone.alloc();
+            self.ram.relocate(old, new);
+            self.live.insert(q, new);
+        }
+        for p in &pts {
+            if !want.contains(p) {
+                self.live.remove(p);
+            }
+        }
+        for q in &g_u {
+            if !want.contains(q) {
+                self.live.remove(q);
+            }
+        }
+    }
+
+    /// Run the whole simulation; returns `(final_mem, final_values)`.
+    pub fn run(&mut self, init: &[Word]) -> (Vec<Word>, Vec<Word>) {
+        let side = self.side as usize;
+        let n = side * side * side;
+        assert_eq!(init.len(), n);
+        if self.t_steps == 0 {
+            return (init.to_vec(), init.to_vec());
+        }
+
+        let h_top = ((self.side + self.t_steps + 4) as u64).next_power_of_two() as i64;
+        let c = self.side / 2;
+        let top = ClippedDomain3::new(
+            Domain3::symmetric(c, c, c, self.t_steps / 2 + 1, h_top),
+            self.cbox,
+        );
+        let s_top = self.space(&top);
+        let zone_cap = self.gamma(&top).len() + 2 * n + 64;
+        let mut driver_zone = ZoneAlloc::new(s_top, zone_cap);
+        let image = s_top + zone_cap;
+
+        for (i, w) in init.iter().enumerate() {
+            self.ram.poke(image + i, *w);
+        }
+        let idx = |x: usize, y: usize, z: usize| (z * side + y) * side + x;
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    self.live.insert(
+                        Pt4::new(x as i64, y as i64, z as i64, 0),
+                        image + idx(x, y, z),
+                    );
+                }
+            }
+        }
+
+        let mut want: HashSet<Pt4> = HashSet::new();
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    want.insert(Pt4::new(x as i64, y as i64, z as i64, self.t_steps));
+                }
+            }
+        }
+        self.exec(&top, &want, &mut driver_zone);
+
+        let mut values = vec![0 as Word; n];
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    let p = Pt4::new(x as i64, y as i64, z as i64, self.t_steps);
+                    let addr = self.live[&p];
+                    values[idx(x, y, z)] = self.ram.peek(addr);
+                    self.ram.relocate(addr, image + idx(x, y, z));
+                }
+            }
+        }
+        let mem = (0..n).map(|i| self.ram.peek(image + i)).collect();
+        (mem, values)
+    }
+}

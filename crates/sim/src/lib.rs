@@ -1,0 +1,46 @@
+//! # bsmp-sim
+//!
+//! The simulation engines of the paper, as instrumented executable code.
+//! Every engine runs a *real* guest computation (a node program from
+//! `bsmp-workloads` or any [`bsmp_machine::LinearProgram`] /
+//! [`bsmp_machine::MeshProgram`]) on a host machine with fewer
+//! processors, producing
+//!
+//! 1. the exact same final memory image and values as direct guest
+//!    execution (functional equivalence — asserted in tests), and
+//! 2. the host's model time `T_p` under the bounded-speed cost model,
+//!    which the benches compare against the analytic bounds.
+//!
+//! Engines:
+//!
+//! | module      | paper artifact                                   |
+//! |-------------|--------------------------------------------------|
+//! | [`naive1`]  | Proposition 1 / §4.2 naive, `d = 1`, any `p`     |
+//! | [`naive2`]  | Proposition 1 naive, `d = 2`, any square `p`     |
+//! | [`exec1`]   | Proposition 2 executor over diamond separators   |
+//! | [`dnc1`]    | Theorems 2 & 3 (uniprocessor D&C, `d = 1`)       |
+//! | [`multi1`]  | Theorem 4 (two-regime multiprocessor, `d = 1`)   |
+//! | [`exec2`]   | Proposition 2 executor over octa/tetra cells     |
+//! | [`dnc2`]    | Theorem 5 (uniprocessor D&C, `d = 2`)            |
+//! | [`multi2`]  | Theorem 1 `d = 2` (two-regime, cost-accounted)   |
+//!
+//! The instantaneous-model (Brent) baseline of experiment E10 is the
+//! naive engines run on a [`bsmp_machine::MachineSpec::instantaneous`]
+//! host; [`pipelined1`] implements Section 6's pipelined-memory machine
+//! (no locality slowdown).
+
+pub mod dnc1;
+pub mod dnc2;
+pub mod dnc3;
+pub mod exec1;
+pub mod exec2;
+pub mod exec3;
+pub mod multi1;
+pub mod multi2;
+pub mod naive1;
+pub mod naive2;
+pub mod pipelined1;
+pub mod report;
+pub mod zone;
+
+pub use report::SimReport;

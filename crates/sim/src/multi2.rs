@@ -1,0 +1,526 @@
+//! **Theorem 1, `d = 2`** — multiprocessor simulation of the mesh
+//! `M_2(n, n, m)` by `M_2(n, p, m)`.
+//!
+//! The paper proves the `d = 2` multiprocessor case by an orchestration
+//! "closely patterned" on Section 4.2 but published only in the
+//! technical report [BP95a], which is not available.  This engine
+//! implements the *block-banded* generalization of Figure 2 — the
+//! analogue of the first multiprocessor scheme of §4.2:
+//!
+//! * processor `(I, J)` of the `√p × √p` host grid owns the `b × b`
+//!   guest sub-mesh with `b = √(n/p)`; its nodes' private memories live
+//!   in its local H-RAM;
+//! * space-time is covered by the octahedron/tetrahedron cells of radius
+//!   `b/2` (the Theorem-5 honeycomb), executed in topological order;
+//!   each cell is executed by the processor owning its center, with the
+//!   full Theorem-5 recursion ([`CellExec`]) on that processor's H-RAM;
+//! * cells bridging two blocks (the tetrahedra of the honeycomb, ~1/3 of
+//!   the volume) borrow the foreign pillars' private memories and
+//!   boundary values, charged at `words × hops × √(n/p)` — which stays a
+//!   lower-order term of the locality slowdown (the borrowed state is
+//!   `O(m)` per pillar once per `Θ(b)` steps).
+//!
+//! This reproduces Theorem 1's `d = 2` bound for `m ≥ (n/p)^{1/4}`
+//! (ranges 2–4, where the paper's own `s*` equals the block/band scale);
+//! for very small `m` the full rearranged scheme would shave a further
+//! factor (range 1), which we document as out of scope along with
+//! [BP95a].  The analytic four-range `A` is available in
+//! `bsmp_analytic::theorem1` for comparison (experiment E5).
+
+use std::collections::{HashMap, HashSet};
+
+use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
+use bsmp_hram::Word;
+use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock};
+
+use crate::exec2::CellExec;
+use crate::report::SimReport;
+use crate::zone::ZoneAlloc;
+
+/// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`.
+pub fn simulate_multi2(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    let mut eng = Engine2::new(spec, prog, steps);
+    eng.run(init);
+    eng.finish(spec, prog, steps)
+}
+
+struct Engine2<'a, P: MeshProgram> {
+    side: usize,
+    sp: usize,
+    b: usize,
+    m: usize,
+    t_steps: i64,
+    hop: f64,
+    cbox: IBox,
+    execs: Vec<CellExec<'a, P>>,
+    prog: &'a P,
+    vals: HashMap<Pt3, Word>,
+    /// value → (proc, addr) in that proc's value-home zone.
+    home: HashMap<Pt3, (usize, usize)>,
+    home_zones: Vec<ZoneAlloc>,
+    transit_zones: Vec<ZoneAlloc>,
+    clock: StageClock,
+    tile_space: usize,
+    state_base: usize,
+}
+
+impl<'a, P: MeshProgram> Engine2<'a, P> {
+    fn new(spec: &MachineSpec, prog: &'a P, steps: i64) -> Self {
+        assert_eq!(spec.d, 2);
+        let side = spec.mesh_side() as usize;
+        let sp = spec.proc_side() as usize;
+        let m = prog.m();
+        assert_eq!(m as u64, spec.m);
+        assert_eq!(side % sp, 0);
+        let b = side / sp;
+        assert!(b >= 2, "block side must be ≥ 2");
+        let cbox = IBox::new(0, side as i64, 0, side as i64, 1, steps + 1);
+
+        let pseudo = MachineSpec::new(2, spec.n, 1, spec.m);
+        let leaf = (m as i64 / 2).max(1);
+        let mut probe = CellExec::new(&pseudo, prog, steps, leaf);
+        let interior = ClippedDomain2::new(
+            bsmp_geometry::Domain2::octahedron(
+                (side / 2) as i64,
+                (side / 2) as i64,
+                (steps / 2).max(1),
+                (b / 2).max(1) as i64,
+            ),
+            cbox,
+        );
+        let tile_space = probe.space(&interior) * 2 + 128;
+        let transit_cap = 8 * b * b * m + 32 * b * b + 1024;
+        let home_cap = 16 * b * b + 8 * b + 512;
+        let transit_base = tile_space;
+        let home_base = transit_base + transit_cap;
+        let state_base = home_base + home_cap;
+        let _ = transit_base;
+
+        let execs = (0..sp * sp).map(|_| CellExec::new(&pseudo, prog, steps, leaf)).collect();
+        let home_zones = (0..sp * sp).map(|_| ZoneAlloc::new(home_base, home_cap)).collect();
+        let transit_zones =
+            (0..sp * sp).map(|_| ZoneAlloc::new(transit_base, transit_cap)).collect();
+
+        Engine2 {
+            side,
+            sp,
+            b,
+            m,
+            t_steps: steps,
+            hop: spec.neighbor_distance(),
+            cbox,
+            execs,
+            prog,
+            vals: HashMap::new(),
+            home: HashMap::new(),
+            home_zones,
+            transit_zones,
+            clock: StageClock::new(),
+            tile_space,
+            state_base,
+        }
+    }
+
+    #[inline]
+    fn proc_of_node(&self, x: i64, y: i64) -> usize {
+        let bx = (x as usize).min(self.side - 1) / self.b;
+        let by = (y as usize).min(self.side - 1) / self.b;
+        by * self.sp + bx
+    }
+
+    /// Manhattan distance between two processors on the host grid.
+    fn proc_hops(&self, a: usize, c: usize) -> f64 {
+        let (ax, ay) = (a % self.sp, a / self.sp);
+        let (cx, cy) = (c % self.sp, c / self.sp);
+        ((ax as i64 - cx as i64).abs() + (ay as i64 - cy as i64).abs()) as f64
+    }
+
+    /// Local home address of node `(x, y)`'s private-memory block on its
+    /// own processor.
+    fn state_home(&self, x: i64, y: i64) -> usize {
+        let lx = (x as usize) % self.b;
+        let ly = (y as usize) % self.b;
+        self.state_base + (ly * self.b + lx) * self.m
+    }
+
+    fn times(&self) -> Vec<f64> {
+        self.execs.iter().map(|e| e.ram.time()).collect()
+    }
+
+    fn close_stage(&mut self, start: &[f64]) {
+        let deltas: Vec<f64> =
+            self.execs.iter().zip(start).map(|(e, s)| e.ram.time() - s).collect();
+        self.clock.add_stage(&deltas);
+    }
+
+    fn gamma(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
+        let mut out: HashSet<Pt3> = HashSet::new();
+        for pt in piece.points() {
+            for q in pt.preds() {
+                if q.x >= 0
+                    && q.x < self.side as i64
+                    && q.y >= 0
+                    && q.y < self.side as i64
+                    && q.t >= 0
+                    && !piece.contains(q)
+                {
+                    out.insert(q);
+                }
+            }
+        }
+        let mut v: Vec<Pt3> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn outbound(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
+        piece
+            .points()
+            .into_iter()
+            .filter(|pt| {
+                pt.t == self.t_steps
+                    || pt.succs().iter().any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
+            })
+            .collect()
+    }
+
+    /// Fetch a value into processor `pr`'s transit zone (charging local
+    /// accesses and inter-processor hops), returning the address.
+    fn stage_value(&mut self, pt: Pt3, pr: usize) -> usize {
+        let (owner, addr) = *self
+            .home
+            .get(&pt)
+            .unwrap_or_else(|| panic!("value {pt:?} not homed"));
+        let w = if let Some(&w) = self.vals.get(&pt) {
+            w
+        } else {
+            self.execs[owner].ram.peek(addr)
+        };
+        let _ = self.execs[owner].ram.read(addr);
+        if owner != pr {
+            let hops = self.proc_hops(owner, pr);
+            self.execs[owner].ram.meter.add_comm(hops * self.hop / 2.0);
+            self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
+        }
+        let dst = self.transit_zones[pr].alloc();
+        self.execs[pr].ram.write(dst, w);
+        dst
+    }
+
+    /// Execute one honeycomb cell on its owner.
+    fn run_cell(&mut self, piece: &ClippedDomain2) {
+        if piece.points_count() == 0 {
+            return;
+        }
+        let pr = self.proc_of_node(
+            piece.cell.dx.cx.clamp(0, self.side as i64 - 1),
+            piece.cell.dy.cx.clamp(0, self.side as i64 - 1),
+        );
+
+        // Stage preboundary values (private copies, consumed by exec).
+        let g = self.gamma(piece);
+        let mut seeds = Vec::with_capacity(g.len());
+        for pt in &g {
+            let addr = self.stage_value(*pt, pr);
+            seeds.push((*pt, addr));
+        }
+
+        // Stage pillar states (borrow foreign ones, charged).
+        let mut state_seeds: Vec<((i64, i64), usize, usize, usize)> = Vec::new();
+        if self.m > 1 {
+            let mut pillars: HashSet<(i64, i64)> = HashSet::new();
+            for pt in piece.points() {
+                pillars.insert((pt.x, pt.y));
+            }
+            let mut pillars: Vec<(i64, i64)> = pillars.into_iter().collect();
+            pillars.sort();
+            for (x, y) in pillars {
+                let hpr = self.proc_of_node(x, y);
+                let home_addr = self.state_home(x, y);
+                let copy = self.transit_zones[pr].alloc_block(self.m);
+                if hpr == pr {
+                    self.execs[pr].ram.relocate_block(home_addr, copy, self.m);
+                } else {
+                    let hops = self.proc_hops(hpr, pr);
+                    let c = self.m as f64 * hops * self.hop;
+                    self.execs[hpr].ram.meter.add_comm(c / 2.0);
+                    self.execs[pr].ram.meter.add_comm(c / 2.0);
+                    for cc in 0..self.m {
+                        let w = self.execs[hpr].ram.read(home_addr + cc);
+                        self.execs[pr].ram.write(copy + cc, w);
+                    }
+                }
+                state_seeds.push(((x, y), copy, home_addr, hpr));
+            }
+        }
+
+        // Execute via the Theorem-5 recursion on the owner's H-RAM.
+        let out_pts = self.outbound(piece);
+        let want: HashSet<Pt3> = out_pts.iter().copied().collect();
+        {
+            let exec = &mut self.execs[pr];
+            exec.clear_seeds();
+            for (pt, addr) in &seeds {
+                exec.seed_value(*pt, *addr);
+            }
+            for ((x, y), addr, _, _) in &state_seeds {
+                exec.seed_state((*x, *y), *addr);
+            }
+        }
+        let space = self.execs[pr].space(piece);
+        assert!(space <= self.tile_space, "cell footprint {space} exceeds budget");
+        let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
+        self.execs[pr].exec(piece, &want, &mut zone);
+        self.transit_zones[pr] = zone;
+
+        // Harvest outbound values: persist them at the *consumer-side*
+        // home (the processor owning the value's node).
+        for pt in out_pts {
+            let addr = self.execs[pr]
+                .value_addr(pt)
+                .unwrap_or_else(|| panic!("output {pt:?} not parked"));
+            let w = self.execs[pr].ram.peek(addr);
+            let _ = self.execs[pr].ram.read(addr);
+            self.transit_zones[pr].free_if_owned(addr);
+            self.vals.insert(pt, w);
+            let hpr = self.proc_of_node(pt.x, pt.y);
+            if hpr != pr {
+                let hops = self.proc_hops(hpr, pr);
+                self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
+                self.execs[hpr].ram.meter.add_comm(hops * self.hop / 2.0);
+            }
+            if let Some((opr, oaddr)) = self.home.get(&pt).copied() {
+                self.home_zones[opr].free(oaddr);
+            }
+            let dst = self.home_zones[hpr].alloc();
+            self.execs[hpr].ram.write(dst, w);
+            self.home.insert(pt, (hpr, dst));
+        }
+
+        // Return borrowed states.
+        if self.m > 1 {
+            for ((x, y), copy, home_addr, hpr) in state_seeds {
+                let parked = self.execs[pr]
+                    .state_addr((x, y))
+                    .unwrap_or_else(|| panic!("state {x},{y} not parked"));
+                if hpr == pr {
+                    self.execs[pr].ram.relocate_block(parked, home_addr, self.m);
+                } else {
+                    let hops = self.proc_hops(hpr, pr);
+                    let c = self.m as f64 * hops * self.hop;
+                    self.execs[hpr].ram.meter.add_comm(c / 2.0);
+                    self.execs[pr].ram.meter.add_comm(c / 2.0);
+                    for cc in 0..self.m {
+                        let w = self.execs[pr].ram.read(parked + cc);
+                        self.execs[hpr].ram.write(home_addr + cc, w);
+                    }
+                }
+                self.transit_zones[pr].free_block(parked, self.m);
+                let _ = copy;
+            }
+        }
+        self.execs[pr].clear_seeds();
+    }
+
+    fn run(&mut self, init: &[Word]) {
+        // Lay out the guest image (uncharged: problem statement).
+        let side = self.side;
+        let m = self.m;
+        for y in 0..side {
+            for x in 0..side {
+                let pr = self.proc_of_node(x as i64, y as i64);
+                let base = self.state_home(x as i64, y as i64);
+                for c in 0..m {
+                    self.execs[pr].ram.poke(base + c, init[(y * side + x) * m + c]);
+                }
+                // Input-row value: a view into the state home.
+                let p0 = Pt3::new(x as i64, y as i64, 0);
+                self.home.insert(p0, (pr, base + self.prog.cell(x, y, 0)));
+            }
+        }
+        if self.t_steps == 0 {
+            return;
+        }
+
+        let hb = (self.b / 2).max(1) as i64;
+        let cells = cell_cover(self.cbox, hb, Pt3::new(0, 0, 0));
+        // Stage rows: group by the projection-center time sum.
+        let mut last_key = i64::MIN;
+        let mut start = self.times();
+        for cell in cells {
+            let key = cell.cell.dx.ct + cell.cell.dy.ct;
+            if key != last_key && last_key != i64::MIN {
+                self.close_stage(&start);
+                start = self.times();
+                self.gc(key / 2 - 2 * hb);
+            }
+            last_key = key;
+            self.run_cell(&cell);
+        }
+        self.close_stage(&start);
+    }
+
+    /// Drop home values below the reachable horizon.
+    fn gc(&mut self, cutoff: i64) {
+        let mut dead: Vec<Pt3> = self
+            .home
+            .keys()
+            .copied()
+            .filter(|pt| pt.t < cutoff && pt.t != self.t_steps && pt.t > 0)
+            .collect();
+        dead.sort();
+        for pt in dead {
+            let (pr, addr) = self.home.remove(&pt).unwrap();
+            self.home_zones[pr].free(addr);
+        }
+    }
+
+    fn finish(&mut self, spec: &MachineSpec, prog: &impl MeshProgram, steps: i64) -> SimReport {
+        let side = self.side;
+        let m = self.m;
+        // Final write-back for m = 1 (value is the state).
+        if m == 1 && steps > 0 {
+            let start = self.times();
+            for y in 0..side {
+                for x in 0..side {
+                    let pt = Pt3::new(x as i64, y as i64, steps);
+                    let (pr, addr) = *self.home.get(&pt).expect("final value homed");
+                    let w = self.vals[&pt];
+                    let _ = self.execs[pr].ram.read(addr);
+                    let hpr = self.proc_of_node(x as i64, y as i64);
+                    let dst = self.state_home(x as i64, y as i64);
+                    self.execs[hpr].ram.write(dst, w);
+                }
+            }
+            self.close_stage(&start);
+        }
+        let mut mem = vec![0 as Word; side * side * m];
+        for y in 0..side {
+            for x in 0..side {
+                let pr = self.proc_of_node(x as i64, y as i64);
+                let base = self.state_home(x as i64, y as i64);
+                for c in 0..m {
+                    mem[(y * side + x) * m + c] = self.execs[pr].ram.peek(base + c);
+                }
+            }
+        }
+        let values: Vec<Word> = if steps == 0 {
+            (0..side * side)
+                .map(|v| mem[v * m + self.prog.cell(v % side, v / side, 0)])
+                .collect()
+        } else {
+            (0..side * side)
+                .map(|v| {
+                    self.vals[&Pt3::new((v % side) as i64, (v / side) as i64, steps)]
+                })
+                .collect()
+        };
+        let meter = self
+            .execs
+            .iter()
+            .fold(bsmp_hram::CostMeter::new(), |acc, e| acc.merged(&e.ram.meter));
+        SimReport {
+            mem,
+            values,
+            host_time: self.clock.parallel_time,
+            guest_time: mesh_guest_time(spec, prog, steps),
+            meter,
+            space: self.execs.iter().map(|e| e.ram.high_water()).max().unwrap_or(0),
+            stages: self.clock.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_machine::run_mesh;
+    use bsmp_workloads::{inputs, HeatDiffusion, SystolicMatmul, VonNeumannLife};
+
+    fn check_equiv(
+        prog: &impl MeshProgram,
+        n: u64,
+        p: u64,
+        steps: i64,
+        init: &[Word],
+    ) -> SimReport {
+        let spec = MachineSpec::new(2, n, p, prog.m() as u64);
+        let guest = run_mesh(&spec, prog, init, steps);
+        let rep = simulate_multi2(&spec, prog, init, steps);
+        rep.assert_matches(&guest.mem, &guest.values);
+        rep
+    }
+
+    #[test]
+    fn life_multiproc() {
+        let init = inputs::random_bits(50, 64);
+        for p in [1u64, 4, 16] {
+            check_equiv(&VonNeumannLife::fredkin(), 64, p, 8, &init);
+        }
+    }
+
+    #[test]
+    fn heat_multiproc() {
+        let init = inputs::random_words(51, 64, 5_000);
+        check_equiv(&HeatDiffusion::new(10), 64, 4, 6, &init);
+    }
+
+    #[test]
+    fn nonsquare_times() {
+        let init = inputs::random_bits(52, 64);
+        for steps in [1i64, 3, 13] {
+            check_equiv(&VonNeumannLife::b2s12(), 64, 4, steps, &init);
+        }
+    }
+
+    #[test]
+    fn systolic_matmul_multiproc() {
+        let s = 4usize;
+        let prog = SystolicMatmul::new(s);
+        let a = inputs::random_matrix(53, s, 40);
+        let b = inputs::random_matrix(54, s, 40);
+        let init = prog.stage_inputs(&a, &b);
+        let rep = check_equiv(&prog, (s * s) as u64, 4, prog.steps(), &init);
+        let c = prog.extract_c(&rep.values);
+        for r in 0..s {
+            for q in 0..s {
+                let expect: u64 = (0..s).map(|k| a[r][k] * b[k][q]).sum();
+                assert_eq!(c[r][q], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_shape_beats_naive_growth() {
+        // Theorem 1 d = 2 shape: the D&C host's locality slowdown grows
+        // far slower than the naive (n/p)^{1/2} law.
+        let p = 4u64;
+        let a_of = |side: u64| {
+            let n = side * side;
+            let init = inputs::random_bits(55, n as usize);
+            let steps = (side / 2) as i64;
+            let spec = MachineSpec::new(2, n, p, 1);
+            let rep = simulate_multi2(&spec, &VonNeumannLife::fredkin(), &init, steps);
+            let naive = crate::naive2::simulate_naive2(
+                &spec,
+                &VonNeumannLife::fredkin(),
+                &init,
+                steps,
+            );
+            (rep.locality_slowdown(n, p), naive.locality_slowdown(n, p))
+        };
+        let (two_a, naive_a) = a_of(16);
+        let (two_b, naive_b) = a_of(32);
+        let naive_growth = naive_b / naive_a;
+        let two_growth = two_b / two_a;
+        assert!(
+            two_growth < naive_growth,
+            "D&C growth ×{two_growth} must undercut naive ×{naive_growth}"
+        );
+    }
+}

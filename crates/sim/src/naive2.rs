@@ -1,0 +1,207 @@
+//! The naive simulation for the mesh (`d = 2`): `M_2(n, p, m)` mimics
+//! `M_2(n, n, m)` step by step.  Processor `(I, J)` of the `√p × √p`
+//! host grid hosts the `b × b` guest sub-mesh with `b = √n/√p`; blocks in
+//! natural order, two value planes above them.  Slowdown
+//! `O((n/p)^{3/2})` — Proposition 1 with `d = 2`.
+
+use bsmp_hram::{Hram, Word};
+use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock};
+
+use crate::report::SimReport;
+
+/// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)` by
+/// the naive method.
+pub fn simulate_naive2(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    let side = spec.mesh_side() as usize;
+    let n = side * side;
+    let sp = spec.proc_side() as usize;
+    let m = prog.m();
+    assert_eq!(m as u64, spec.m);
+    assert_eq!(init.len(), n * m);
+    assert_eq!(side % sp, 0, "√p must divide √n");
+    let b = side / sp; // guest nodes per host-node side
+    let q = b * b;
+    let access = spec.access_fn();
+    let hop = spec.neighbor_distance();
+
+    // Per-processor layout: blocks [0, q·m), value plane A, value plane B.
+    let va = q * m;
+    let vb = q * m + q;
+    let mut rams: Vec<Hram> = (0..sp * sp).map(|_| Hram::new(access, q * m + 2 * q)).collect();
+
+    let proc_of = |i: usize, j: usize| (j / b) * sp + (i / b);
+    let loc_of = |i: usize, j: usize| (j % b) * b + (i % b);
+
+    let mut prev: Vec<Word> = vec![0; n];
+    for j in 0..side {
+        for i in 0..side {
+            let v = j * side + i;
+            let (pi, l) = (proc_of(i, j), loc_of(i, j));
+            for c in 0..m {
+                rams[pi].poke(l * m + c, init[v * m + c]);
+            }
+            let v0 = init[v * m + prog.cell(i, j, 0)];
+            rams[pi].poke(va + l, v0);
+            prev[v] = v0;
+        }
+    }
+
+    let mut clock = StageClock::new();
+    let mut next = vec![0 as Word; n];
+    let (mut row_prev, mut row_next) = (va, vb);
+
+    for t in 1..=steps {
+        let mut per_proc = vec![0.0f64; sp * sp];
+        for pj in 0..sp {
+            for pi_ in 0..sp {
+                let pid = pj * sp + pi_;
+                let ram = &mut rams[pid];
+                let t0 = ram.time();
+                let mut comm = 0.0;
+                for jj in 0..b {
+                    for ii in 0..b {
+                        let (i, j) = (pi_ * b + ii, pj * b + jj);
+                        let c = prog.cell(i, j, t);
+                        let l = jj * b + ii;
+                        let own = ram.read(l * m + c);
+                        let bd = prog.boundary();
+                        let fetch = |di: isize, dj: isize, ram: &mut Hram, comm: &mut f64| {
+                            let (ni, nj) = (i as isize + di, j as isize + dj);
+                            if ni < 0 || nj < 0 || ni >= side as isize || nj >= side as isize {
+                                return bd;
+                            }
+                            let (ni, nj) = (ni as usize, nj as usize);
+                            if proc_of(ni, nj) == pid {
+                                ram.read(row_prev + loc_of(ni, nj))
+                            } else {
+                                *comm += hop;
+                                prev[nj * side + ni]
+                            }
+                        };
+                        let w = fetch(-1, 0, ram, &mut comm);
+                        let e = fetch(1, 0, ram, &mut comm);
+                        let s = fetch(0, -1, ram, &mut comm);
+                        let nn = fetch(0, 1, ram, &mut comm);
+                        let mine = ram.read(row_prev + l);
+                        let out = prog.delta(i, j, t, own, mine, w, e, s, nn);
+                        ram.compute();
+                        ram.write(l * m + c, out);
+                        ram.write(row_next + l, out);
+                        next[j * side + i] = out;
+                    }
+                }
+                // Outbound edge values (one per border node per adjacent side).
+                let mut sides = 0;
+                if pi_ > 0 {
+                    sides += 1;
+                }
+                if pi_ + 1 < sp {
+                    sides += 1;
+                }
+                if pj > 0 {
+                    sides += 1;
+                }
+                if pj + 1 < sp {
+                    sides += 1;
+                }
+                comm += (sides * b) as f64 * hop;
+                ram.meter.add_comm(comm);
+                per_proc[pid] = ram.time() - t0;
+            }
+        }
+        clock.add_stage(&per_proc);
+        std::mem::swap(&mut prev, &mut next);
+        std::mem::swap(&mut row_prev, &mut row_next);
+    }
+
+    let mut mem = vec![0 as Word; n * m];
+    for j in 0..side {
+        for i in 0..side {
+            let v = j * side + i;
+            let (pi, l) = (proc_of(i, j), loc_of(i, j));
+            for c in 0..m {
+                mem[v * m + c] = rams[pi].peek(l * m + c);
+            }
+        }
+    }
+    let meter = rams.iter().fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
+    SimReport {
+        mem,
+        values: prev,
+        host_time: clock.parallel_time,
+        guest_time: mesh_guest_time(spec, prog, steps),
+        meter,
+        space: rams.iter().map(|r| r.high_water()).max().unwrap_or(0),
+        stages: clock.stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsmp_machine::run_mesh;
+    use bsmp_workloads::{inputs, HeatDiffusion, SystolicMatmul, VonNeumannLife};
+
+    fn check_equiv(
+        prog: &impl MeshProgram,
+        n: u64,
+        p: u64,
+        steps: i64,
+        init: &[Word],
+    ) -> SimReport {
+        let spec = MachineSpec::new(2, n, p, prog.m() as u64);
+        let guest = run_mesh(&spec, prog, init, steps);
+        let rep = simulate_naive2(&spec, prog, init, steps);
+        rep.assert_matches(&guest.mem, &guest.values);
+        rep
+    }
+
+    #[test]
+    fn life_matches_direct_execution() {
+        let init = inputs::random_bits(11, 64);
+        for p in [1u64, 4, 16, 64] {
+            check_equiv(&VonNeumannLife::fredkin(), 64, p, 8, &init);
+        }
+    }
+
+    #[test]
+    fn heat_matches_direct_execution() {
+        let init = inputs::random_words(12, 64, 10_000);
+        check_equiv(&HeatDiffusion::new(0), 64, 4, 10, &init);
+    }
+
+    #[test]
+    fn systolic_matmul_on_host() {
+        let s = 4usize;
+        let prog = SystolicMatmul::new(s);
+        let a = inputs::random_matrix(13, s, 50);
+        let b = inputs::random_matrix(14, s, 50);
+        let init = prog.stage_inputs(&a, &b);
+        let rep = check_equiv(&prog, (s * s) as u64, 4, prog.steps(), &init);
+        let c = prog.extract_c(&rep.values);
+        for r in 0..s {
+            for q in 0..s {
+                let expect: u64 = (0..s).map(|k| a[r][k] * b[k][q]).sum();
+                assert_eq!(c[r][q], expect, "C[{r}][{q}]");
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_scales_like_three_halves_power() {
+        // d = 2 naive: slowdown Θ((n/p)^{3/2}).
+        let n = 256u64; // 16×16 mesh
+        let init = inputs::random_bits(15, n as usize);
+        let steps = 16i64;
+        let s1 = check_equiv(&VonNeumannLife::fredkin(), n, 1, steps, &init).slowdown();
+        let s16 = check_equiv(&VonNeumannLife::fredkin(), n, 16, steps, &init).slowdown();
+        let ratio = s1 / s16;
+        // (n/1)^{3/2} / (n/16)^{3/2} = 16^{3/2} = 64.
+        assert!(ratio > 20.0 && ratio < 200.0, "expected ~64×, got {ratio}");
+    }
+}

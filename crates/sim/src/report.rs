@@ -1,0 +1,82 @@
+//! Simulation results: outputs + cost accounting.
+
+use bsmp_hram::{CostMeter, Word};
+
+/// What a simulation engine returns: the guest's outputs as computed by
+/// the host, plus the host's model costs.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Final guest memory image (node-major, `n·m` words) as produced by
+    /// the host simulation.
+    pub mem: Vec<Word>,
+    /// Final guest values (one per node).
+    pub values: Vec<Word>,
+    /// Host parallel model time `T_p` (for `p = 1`, just the H-RAM's
+    /// total time).
+    pub host_time: f64,
+    /// Guest model time `T_n` of the same computation (from the direct
+    /// reference run or the engine's own guest-clock).
+    pub guest_time: f64,
+    /// Aggregate host meter (summed over processors).
+    pub meter: CostMeter,
+    /// Peak host memory footprint (high-water mark, words) — the space
+    /// `S` of Propositions 2–3.  For multiprocessor hosts, the maximum
+    /// per-node footprint.
+    pub space: usize,
+    /// Number of bulk-synchronous stages (1-processor engines: 0).
+    pub stages: u64,
+}
+
+impl SimReport {
+    /// The measured slowdown `T_p / T_n`.
+    pub fn slowdown(&self) -> f64 {
+        self.host_time / self.guest_time
+    }
+
+    /// The measured *locality* slowdown: slowdown divided by the
+    /// parallelism loss `n/p` (the paper's `A`-term, empirically).
+    pub fn locality_slowdown(&self, n: u64, p: u64) -> f64 {
+        self.slowdown() / (n as f64 / p as f64)
+    }
+
+    /// Panic unless outputs match a reference guest run exactly.
+    pub fn assert_matches(&self, mem: &[Word], values: &[Word]) {
+        assert_eq!(self.values, values, "simulated values diverge from direct execution");
+        assert_eq!(self.mem, mem, "simulated memory image diverges from direct execution");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_math() {
+        let r = SimReport {
+            mem: vec![],
+            values: vec![],
+            host_time: 1000.0,
+            guest_time: 10.0,
+            meter: CostMeter::new(),
+            space: 0,
+            stages: 0,
+        };
+        assert_eq!(r.slowdown(), 100.0);
+        assert_eq!(r.locality_slowdown(64, 16), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverge")]
+    fn mismatch_detected() {
+        let r = SimReport {
+            mem: vec![1],
+            values: vec![2],
+            host_time: 1.0,
+            guest_time: 1.0,
+            meter: CostMeter::new(),
+            space: 0,
+            stages: 0,
+        };
+        r.assert_matches(&[1], &[3]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based equivalence: random elementary CAs, random machine
+//! shapes, random inputs — every engine must match direct execution.
+
+use bsmp_hram::Word;
+use bsmp_machine::{run_linear, run_mesh, LinearProgram, MachineSpec, MeshProgram};
+use bsmp_sim::{
+    dnc1::simulate_dnc1, dnc2::simulate_dnc2, multi1::simulate_multi1, naive1::simulate_naive1,
+    naive2::simulate_naive2,
+};
+use proptest::prelude::*;
+
+/// An arbitrary elementary CA (any Wolfram rule) over arbitrary words.
+struct AnyRule(u8);
+impl LinearProgram for AnyRule {
+    fn m(&self) -> usize {
+        1
+    }
+    fn delta(&self, _v: usize, _t: i64, own: Word, _p: Word, l: Word, r: Word) -> Word {
+        let idx = ((l & 1) << 2) | ((own & 1) << 1) | (r & 1);
+        Word::from((self.0 >> idx) & 1)
+    }
+}
+
+/// An m = 2 program mixing both cells and all operands.
+struct Mix2;
+impl LinearProgram for Mix2 {
+    fn m(&self) -> usize {
+        2
+    }
+    fn cell(&self, v: usize, t: i64) -> usize {
+        ((v as i64 + t) % 2) as usize
+    }
+    fn delta(&self, v: usize, t: i64, own: Word, p: Word, l: Word, r: Word) -> Word {
+        own.wrapping_mul(3)
+            .wrapping_add(p)
+            .wrapping_add(l.rotate_left(1))
+            .wrapping_add(r ^ (v as u64 + t as u64))
+    }
+}
+
+struct MeshMix;
+impl MeshProgram for MeshMix {
+    fn m(&self) -> usize {
+        1
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn delta(&self, i: usize, j: usize, t: i64, _own: Word, p: Word, w: Word, e: Word, s: Word, n: Word) -> Word {
+        p.wrapping_add(w)
+            .wrapping_sub(e)
+            .wrapping_add(s.rotate_left(3))
+            .wrapping_add(n ^ ((i + j) as u64 + t as u64))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_rule_any_input_all_engines(rule in any::<u8>(),
+                                      bits in prop::collection::vec(0u64..2, 16),
+                                      steps in 1i64..24,
+                                      p in prop_oneof![Just(1u64), Just(2), Just(4)]) {
+        let n = 16u64;
+        let prog = AnyRule(rule);
+        let spec = MachineSpec::new(1, n, p, 1);
+        let guest = run_linear(&spec, &prog, &bits, steps);
+        simulate_naive1(&spec, &prog, &bits, steps).assert_matches(&guest.mem, &guest.values);
+        if p == 1 {
+            simulate_dnc1(&spec, &prog, &bits, steps).assert_matches(&guest.mem, &guest.values);
+        } else {
+            simulate_multi1(&spec, &prog, &bits, steps).assert_matches(&guest.mem, &guest.values);
+        }
+    }
+
+    #[test]
+    fn two_cell_program_random_inputs(words in prop::collection::vec(any::<u64>(), 32),
+                                      steps in 1i64..16) {
+        let n = 16u64;
+        let spec = MachineSpec::new(1, n, 1, 2);
+        let guest = run_linear(&spec, &Mix2, &words, steps);
+        simulate_dnc1(&spec, &Mix2, &words, steps).assert_matches(&guest.mem, &guest.values);
+        let spec4 = MachineSpec::new(1, n, 4, 2);
+        simulate_multi1(&spec4, &Mix2, &words, steps).assert_matches(&guest.mem, &guest.values);
+    }
+
+    #[test]
+    fn mesh_random_inputs(words in prop::collection::vec(any::<u64>(), 16),
+                          steps in 1i64..8) {
+        let spec = MachineSpec::new(2, 16, 1, 1);
+        let guest = run_mesh(&spec, &MeshMix, &words, steps);
+        simulate_naive2(&spec, &MeshMix, &words, steps).assert_matches(&guest.mem, &guest.values);
+        simulate_dnc2(&spec, &MeshMix, &words, steps).assert_matches(&guest.mem, &guest.values);
+    }
+
+    #[test]
+    fn cost_is_input_independent(bits_a in prop::collection::vec(0u64..2, 32),
+                                 bits_b in prop::collection::vec(0u64..2, 32)) {
+        // The cost model charges by address trace, which for these
+        // programs is data-independent: two different inputs must cost
+        // exactly the same.
+        let spec = MachineSpec::new(1, 32, 1, 1);
+        let a = simulate_dnc1(&spec, &AnyRule(110), &bits_a, 16);
+        let b = simulate_dnc1(&spec, &AnyRule(110), &bits_b, 16);
+        prop_assert!((a.host_time - b.host_time).abs() < 1e-9);
+        prop_assert_eq!(a.space, b.space);
+    }
+
+    #[test]
+    fn determinism(bits in prop::collection::vec(0u64..2, 24), p in prop_oneof![Just(2u64), Just(4)]) {
+        let spec = MachineSpec::new(1, 24, p, 1);
+        let r1 = simulate_multi1(&spec, &AnyRule(90), &bits, 12);
+        let r2 = simulate_multi1(&spec, &AnyRule(90), &bits, 12);
+        prop_assert_eq!(r1.values, r2.values);
+        prop_assert!((r1.host_time - r2.host_time).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic, seeded input generators for the experiments.
+
+use bsmp_hram::Word;
+use rand::{Rng, SeedableRng};
+
+/// `count` random words below `bound`, from a fixed seed.
+pub fn random_words(seed: u64, count: usize, bound: u64) -> Vec<Word> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// `count` random bits (0/1 words).
+pub fn random_bits(seed: u64, count: usize) -> Vec<Word> {
+    random_words(seed, count, 2)
+}
+
+/// A random `side × side` matrix with entries in `[0, bound)`.
+pub fn random_matrix(seed: u64, side: usize, bound: u64) -> Vec<Vec<u64>> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    (0..side).map(|_| (0..side).map(|_| rng.gen_range(0..bound)).collect()).collect()
+}
+
+/// A single impulse in a zero field.
+pub fn impulse(count: usize, at: usize) -> Vec<Word> {
+    let mut v = vec![0; count];
+    v[at] = 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_words(1, 10, 100), random_words(1, 10, 100));
+        assert_ne!(random_words(1, 10, 100), random_words(2, 10, 100));
+        assert_eq!(random_matrix(3, 4, 10), random_matrix(3, 4, 10));
+    }
+
+    #[test]
+    fn bounds_respected() {
+        assert!(random_words(5, 1000, 7).iter().all(|&w| w < 7));
+        assert!(random_bits(5, 100).iter().all(|&w| w <= 1));
+    }
+
+    #[test]
+    fn impulse_shape() {
+        let v = impulse(5, 2);
+        assert_eq!(v, vec![0, 0, 1, 0, 0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the workload semantics.
+
+use bsmp_machine::{run_linear, run_mesh, MachineSpec};
+use bsmp_workloads::{cannon, inputs, OddEvenSort, SystolicMatmul, TokenShift};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn odd_even_sort_sorts_anything(vals in prop::collection::vec(0u64..10_000, 2..24)) {
+        let n = vals.len() as u64;
+        let spec = MachineSpec::new(1, n, n, 1);
+        let run = run_linear(&spec, &OddEvenSort::new(vals.len()), &vals, vals.len() as i64);
+        let mut expect = vals.clone();
+        expect.sort();
+        prop_assert_eq!(run.values, expect);
+    }
+
+    #[test]
+    fn sort_is_idempotent_after_n_steps(vals in prop::collection::vec(0u64..100, 4..16), extra in 0i64..8) {
+        let n = vals.len() as u64;
+        let spec = MachineSpec::new(1, n, n, 1);
+        let a = run_linear(&spec, &OddEvenSort::new(vals.len()), &vals, vals.len() as i64);
+        let b = run_linear(&spec, &OddEvenSort::new(vals.len()), &vals, vals.len() as i64 + extra);
+        prop_assert_eq!(a.values, b.values, "sorted is a fixed point");
+    }
+
+    #[test]
+    fn token_shift_is_a_shift(vals in prop::collection::vec(any::<u64>(), 3..20), k in 1i64..10) {
+        let n = vals.len();
+        let spec = MachineSpec::new(1, n as u64, n as u64, 1);
+        let run = run_linear(&spec, &TokenShift::new(0), &vals, k);
+        for v in 0..n {
+            let expect = if (v as i64) < k { 0 } else { vals[v - k as usize] };
+            prop_assert_eq!(run.values[v], expect);
+        }
+    }
+
+    #[test]
+    fn systolic_matmul_equals_oracle(side in 2usize..6, seed in any::<u64>()) {
+        let prog = SystolicMatmul::new(side);
+        let a = inputs::random_matrix(seed, side, 64);
+        let b = inputs::random_matrix(seed.wrapping_add(1), side, 64);
+        let init = prog.stage_inputs(&a, &b);
+        let n = (side * side) as u64;
+        let spec = MachineSpec::new(2, n, n, (side + 1) as u64);
+        let run = run_mesh(&spec, &prog, &init, prog.steps());
+        let c = prog.extract_c(&run.values);
+        for r in 0..side {
+            for q in 0..side {
+                let expect: u64 = (0..side).map(|k| a[r][k] * b[k][q]).sum();
+                prop_assert_eq!(c[r][q], expect, "C[{}][{}]", r, q);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_fields_roundtrip(a in 0u64..65536, b in 0u64..65536, c in 0u64..0x1_0000_0000) {
+        let w = cannon::pack(a, b, c);
+        prop_assert_eq!(cannon::a_field(w), a);
+        prop_assert_eq!(cannon::b_field(w), b);
+        prop_assert_eq!(cannon::c_field(w), c);
+    }
+
+    #[test]
+    fn generators_bound_and_deterministic(seed in any::<u64>(), count in 1usize..200, bound in 1u64..1000) {
+        let v = inputs::random_words(seed, count, bound);
+        prop_assert_eq!(v.len(), count);
+        prop_assert!(v.iter().all(|&w| w < bound));
+        prop_assert_eq!(v, inputs::random_words(seed, count, bound));
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration: the geometric decompositions driving the engines are
+//! genuine topological partitions (Definition 4) at many scales —
+//! validated with the independent checker from `bsmp-dag`.
+
+use bsmp::dag::partition::{
+    check_topological_partition1, check_topological_partition2, is_convex1,
+};
+use bsmp::dag::schedule::{is_topological_order1, refine1, refine2};
+use bsmp::geometry::{
+    cell_cover, diamond_cover, figures, Diamond, Domain2, IBox, IRect, Pt2, Pt3,
+};
+
+#[test]
+fn diamond_recursion_is_topological_at_depth() {
+    // Three levels of the Theorem-2 separator, checked flat.
+    let d = Diamond::new(0, 0, 8);
+    let mut pieces: Vec<Vec<Pt2>> = Vec::new();
+    for c1 in d.children() {
+        for c2 in c1.children() {
+            for c3 in c2.children() {
+                pieces.push(c3.points());
+            }
+        }
+    }
+    let world = IRect::new(-100, 100, -100, 100);
+    check_topological_partition1(&d.points(), &pieces, |p| world.contains(p)).unwrap();
+    assert!(is_topological_order1(&refine1(&pieces)));
+}
+
+#[test]
+fn octa_tetra_recursion_is_topological_at_depth() {
+    let p = Domain2::octahedron(0, 0, 0, 4);
+    let mut pieces: Vec<Vec<Pt3>> = Vec::new();
+    for c1 in p.children() {
+        for c2 in c1.children() {
+            pieces.push(c2.points());
+        }
+    }
+    let world = IBox::new(-100, 100, -100, 100, -100, 100);
+    check_topological_partition2(&p.points(), &pieces, |q| world.contains(q)).unwrap();
+    let order = refine2(&pieces);
+    assert_eq!(order.len() as i64, p.volume());
+}
+
+#[test]
+fn covers_are_topological_partitions_many_shapes() {
+    for (w, t, h) in [(16i64, 16i64, 2i64), (16, 16, 4), (20, 10, 4), (9, 23, 2)] {
+        let rect = IRect::new(0, w, 1, t + 1);
+        let pieces: Vec<Vec<Pt2>> =
+            diamond_cover(rect, h, Pt2::new(0, 0)).iter().map(|c| c.points()).collect();
+        check_topological_partition1(&rect.points(), &pieces, |p| {
+            rect.contains(p) || (p.t == 0 && p.x >= 0 && p.x < w)
+        })
+        .unwrap_or_else(|e| panic!("(w={w},t={t},h={h}): {e:?}"));
+    }
+}
+
+#[test]
+fn cell_covers_are_topological_partitions() {
+    for (s, t, h) in [(8i64, 8i64, 2i64), (6, 10, 2), (8, 4, 4)] {
+        let bx = IBox::new(0, s, 0, s, 1, t + 1);
+        let pieces: Vec<Vec<Pt3>> =
+            cell_cover(bx, h, Pt3::new(0, 0, 0)).iter().map(|c| c.points()).collect();
+        check_topological_partition2(&bx.points(), &pieces, |q| {
+            bx.contains(q) || (q.t == 0 && q.x >= 0 && q.x < s && q.y >= 0 && q.y < s)
+        })
+        .unwrap_or_else(|e| panic!("(s={s},t={t},h={h}): {e:?}"));
+    }
+}
+
+#[test]
+fn figure_partitions_validate() {
+    // Figure 1.
+    let n = 12i64;
+    let rect = IRect::new(0, n, 0, n + 1);
+    let pieces: Vec<Vec<Pt2>> = figures::figure1(n).iter().map(|c| c.points()).collect();
+    check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)).unwrap();
+
+    // Figure 4.
+    let s = 6i64;
+    let bx = IBox::new(0, s, 0, s, 0, s + 1);
+    let pieces: Vec<Vec<Pt3>> = figures::figure4(s).iter().map(|c| c.points()).collect();
+    check_topological_partition2(&bx.points(), &pieces, |q| bx.contains(q)).unwrap();
+}
+
+#[test]
+fn separator_domains_are_convex() {
+    // Definition 5/6: the separator's domains must be convex.
+    let world = IRect::new(-50, 50, -50, 50);
+    for h in [1i64, 2, 4, 8] {
+        let d = Diamond::new(0, 0, h);
+        assert!(is_convex1(&d.points(), |p| world.contains(p)), "D(h={h})");
+        for c in if h >= 2 { d.children().to_vec() } else { vec![] } {
+            assert!(is_convex1(&c.points(), |p| world.contains(p)));
+        }
+    }
+}
+
+#[test]
+fn cube_partition_counterexample_holds() {
+    // Section 3.2: "a partition of [a cubic lattice] into cubes is not a
+    // topological partition" — verify the paper's negative example.
+    let bx = IBox::new(0, 4, 0, 4, 0, 4);
+    let mut pieces: Vec<Vec<Pt3>> = Vec::new();
+    for cz in 0..2 {
+        for cy in 0..2 {
+            for cx in 0..2 {
+                let cube = IBox::new(cx * 2, cx * 2 + 2, cy * 2, cy * 2 + 2, cz * 2, cz * 2 + 2);
+                pieces.push(cube.points());
+            }
+        }
+    }
+    // No ordering of the cubes works: information flows both ways across
+    // vertical cube faces.  Check the canonical order and its reverse.
+    assert!(check_topological_partition2(&bx.points(), &pieces, |q| bx.contains(q)).is_err());
+    pieces.reverse();
+    assert!(check_topological_partition2(&bx.points(), &pieces, |q| bx.contains(q)).is_err());
+}

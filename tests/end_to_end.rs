@@ -1,0 +1,71 @@
+//! End-to-end: the public façade, strategy auto-selection, and report
+//! analytics across both dimensions.
+
+use bsmp::workloads::{inputs, Eca, OddEvenSort, VonNeumannLife};
+use bsmp::{Simulation, Strategy};
+
+#[test]
+fn facade_quickstart_flow() {
+    let init = inputs::random_bits(70, 64);
+    let r = Simulation::linear(64, 4, 1).run(&Eca::rule110(), &init, 64);
+    assert_eq!(r.sim.values.len(), 64);
+    assert!(r.measured_slowdown() > 16.0, "above the Brent floor n/p");
+    assert!(r.sim.meter.total() > 0.0);
+    assert!(r.sim.stages > 0);
+}
+
+#[test]
+fn strategies_agree_functionally() {
+    let init = inputs::random_words(71, 32, 100);
+    let sorted = {
+        let mut v = init.clone();
+        v.sort();
+        v
+    };
+    for strat in [Strategy::Naive, Strategy::TwoRegime, Strategy::Auto] {
+        let r = Simulation::linear(32, 4, 1).strategy(strat).run(&OddEvenSort::new(32), &init, 32);
+        assert_eq!(r.sim.values, sorted, "{strat:?} must sort");
+    }
+}
+
+#[test]
+fn mesh_facade_flow() {
+    let init = inputs::random_bits(72, 64);
+    let naive = Simulation::mesh(64, 4, 1)
+        .strategy(Strategy::Naive)
+        .run_mesh(&VonNeumannLife::fredkin(), &init, 8);
+    let dnc = Simulation::mesh(64, 4, 1)
+        .strategy(Strategy::TwoRegime)
+        .run_mesh(&VonNeumannLife::fredkin(), &init, 8);
+    assert_eq!(naive.sim.values, dnc.sim.values);
+    assert_eq!(naive.sim.mem, dnc.sim.mem);
+}
+
+#[test]
+fn report_ranges_track_density() {
+    let init1 = inputs::random_bits(73, 64);
+    let r = Simulation::linear(64, 4, 1).strategy(Strategy::Naive).run(&Eca::rule90(), &init1, 8);
+    assert_eq!(r.range, bsmp::analytic::Range::R1);
+    // Huge density lands in range 4 and Auto picks naive.
+    let sim = Simulation::linear(64, 4, 128);
+    assert_eq!(sim.spec().node_mem(), 64 * 128 / 4);
+}
+
+#[test]
+fn zero_steps_is_identity() {
+    let init = inputs::random_words(74, 16, 10);
+    let r = Simulation::linear(16, 2, 1).strategy(Strategy::TwoRegime).run(
+        &Eca::rule110(),
+        &init,
+        0,
+    );
+    assert_eq!(r.sim.mem, init);
+}
+
+#[test]
+fn efficiency_metrics_consistent() {
+    let init = inputs::random_bits(75, 64);
+    let r = Simulation::linear(64, 8, 1).strategy(Strategy::Naive).run(&Eca::rule110(), &init, 32);
+    // Aggregate busy time can't exceed p × parallel time.
+    assert!(r.sim.meter.total() <= 8.0 * r.sim.host_time + 1e-6);
+}
