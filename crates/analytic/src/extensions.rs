@@ -64,7 +64,10 @@ mod tests {
     #[test]
     fn d3_conjecture_matches_low_d_pattern() {
         // Range 4: A = (n/p)^{1/3}.
-        assert_eq!(locality_slowdown_d3(32768.0, 1e9, 4.0), (32768.0f64 / 4.0).cbrt());
+        assert_eq!(
+            locality_slowdown_d3(32768.0, 1e9, 4.0),
+            (32768.0f64 / 4.0).cbrt()
+        );
         // m = 1, p = 1: Θ(log n) — the Theorem-2/5 analogue.
         let a = locality_slowdown_d3(1e9, 1.0, 1.0);
         let l = logp2(1e9);

@@ -36,7 +36,10 @@ impl LambdaParts {
 
 /// Evaluate λ(s) for guest size `n`, processors `p`, density `m`.
 pub fn lambda_parts(n: f64, m: f64, p: f64, s: f64) -> LambdaParts {
-    assert!(s >= 1.0 && s <= n / p + 1e-9, "strip width 1 ≤ s ≤ n/p, got {s}");
+    assert!(
+        s >= 1.0 && s <= n / p + 1e-9,
+        "strip width 1 ≤ s ≤ n/p, got {s}"
+    );
     LambdaParts {
         relocation: (m / p) * logp2(n / (p * s)).max(0.0),
         execution: s.min(m * logp2(s / m)),

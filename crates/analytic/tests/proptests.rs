@@ -1,87 +1,150 @@
-//! Property-based tests of the analytic bounds.
+//! Property-based tests of the analytic bounds, driven by the in-repo
+//! seeded [`Rng64`] case generator.
 
 use bsmp_analytic::{
     bounds, lambda, locality_slowdown, logp2, matmul, optimal_s, slowdown_bound,
     theorem4::minimize_lambda,
 };
-use proptest::prelude::*;
+use bsmp_faults::rng::Rng64;
 
-fn pow2(lo: u32, hi: u32) -> impl Strategy<Value = f64> {
-    (lo..hi).prop_map(|e| (1u64 << e) as f64)
+const CASES: u64 = 96;
+
+fn pow2(rng: &mut Rng64, lo: u32, hi: u32) -> f64 {
+    (1u64 << rng.range_u64(lo as u64, hi as u64)) as f64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn a_is_at_least_one_in_every_range(n in pow2(8, 24), m in pow2(0, 20), p in pow2(0, 8)) {
-        prop_assume!(p <= n);
+#[test]
+fn a_is_at_least_one_in_every_range() {
+    let mut rng = Rng64::new(0xA001);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 8, 24);
+        let m = pow2(&mut rng, 0, 20);
+        let p = pow2(&mut rng, 0, 8);
+        if p > n {
+            continue;
+        }
         for d in [1u8, 2] {
-            prop_assert!(locality_slowdown(d, n, m, p) >= 0.9,
-                "A(n={n}, m={m}, p={p}, d={d}) below 1");
+            assert!(
+                locality_slowdown(d, n, m, p) >= 0.9,
+                "A(n={n}, m={m}, p={p}, d={d}) below 1"
+            );
         }
     }
+}
 
-    #[test]
-    fn slowdown_bound_dominates_brent(n in pow2(8, 20), m in pow2(0, 16), p in pow2(0, 6)) {
-        prop_assume!(p <= n);
-        prop_assert!(slowdown_bound(1, n, m, p) >= 0.9 * n / p);
+#[test]
+fn slowdown_bound_dominates_brent() {
+    let mut rng = Rng64::new(0xA002);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 8, 20);
+        let m = pow2(&mut rng, 0, 16);
+        let p = pow2(&mut rng, 0, 6);
+        if p > n {
+            continue;
+        }
+        assert!(slowdown_bound(1, n, m, p) >= 0.9 * n / p);
     }
+}
 
-    #[test]
-    fn a_roughly_continuous_in_m(n in pow2(12, 24), p in pow2(0, 6), m in pow2(0, 10)) {
-        prop_assume!(p <= n);
+#[test]
+fn a_roughly_continuous_in_m() {
+    let mut rng = Rng64::new(0xA003);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 12, 24);
+        let p = pow2(&mut rng, 0, 6);
+        let m = pow2(&mut rng, 0, 10);
+        if p > n {
+            continue;
+        }
         let a1 = locality_slowdown(1, n, m, p);
         let a2 = locality_slowdown(1, n, 2.0 * m, p);
         // Doubling m can at most ~double A plus a log factor, and never
         // collapse it by more than the range-transition constant.
-        prop_assert!(a2 / a1 < 4.0 && a2 / a1 > 0.25, "jump {} at m={m}", a2 / a1);
+        assert!(a2 / a1 < 4.0 && a2 / a1 > 0.25, "jump {} at m={m}", a2 / a1);
     }
+}
 
-    #[test]
-    fn lambda_minimizer_never_beats_paper_by_much(n in pow2(12, 22), p in pow2(1, 7), m in pow2(0, 14)) {
-        prop_assume!(p <= n / 4.0);
+#[test]
+fn lambda_minimizer_never_beats_paper_by_much() {
+    let mut rng = Rng64::new(0xA004);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 12, 22);
+        let p = pow2(&mut rng, 1, 7);
+        let m = pow2(&mut rng, 0, 14);
+        if p > n / 4.0 {
+            continue;
+        }
         let s_star = optimal_s(n, m, p);
-        prop_assert!(s_star >= 1.0 && s_star <= n / p + 1e-9);
+        assert!(s_star >= 1.0 && s_star <= n / p + 1e-9);
         let (_, best) = minimize_lambda(n, m, p);
         let at_star = lambda(n, m, p, s_star);
-        prop_assert!(at_star <= 3.0 * best, "λ(s*)={at_star} vs min {best} (n={n} m={m} p={p})");
+        assert!(
+            at_star <= 3.0 * best,
+            "λ(s*)={at_star} vs min {best} (n={n} m={m} p={p})"
+        );
     }
+}
 
-    #[test]
-    fn lambda_parts_positive(n in pow2(10, 20), p in pow2(1, 6), m in pow2(0, 10), se in 1u32..8) {
-        prop_assume!(p <= n / 4.0);
+#[test]
+fn lambda_parts_positive() {
+    let mut rng = Rng64::new(0xA005);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 10, 20);
+        let p = pow2(&mut rng, 1, 6);
+        let m = pow2(&mut rng, 0, 10);
+        let se = rng.range_u64(1, 8) as u32;
+        if p > n / 4.0 {
+            continue;
+        }
         let s = ((1u64 << se) as f64).min(n / p);
         let l = lambda(n, m, p, s);
-        prop_assert!(l.is_finite() && l > 0.0);
+        assert!(l.is_finite() && l > 0.0);
     }
+}
 
-    #[test]
-    fn thm3_locality_below_both_arms(n in pow2(6, 20), m in pow2(0, 20)) {
+#[test]
+fn thm3_locality_below_both_arms() {
+    let mut rng = Rng64::new(0xA006);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 6, 20);
+        let m = pow2(&mut rng, 0, 20);
         let l = bounds::thm3_locality(n, m);
-        prop_assert!(l <= n + 1e-9);
-        prop_assert!(l <= m * logp2(n / m) + 1e-9);
+        assert!(l <= n + 1e-9);
+        assert!(l <= m * logp2(n / m) + 1e-9);
     }
+}
 
-    #[test]
-    fn naive_always_at_least_dnc_bound_for_small_m(n in pow2(10, 24)) {
+#[test]
+fn naive_always_at_least_dnc_bound_for_small_m() {
+    let mut rng = Rng64::new(0xA007);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 10, 24);
         // m = 1: n log n ≤ n² asymptotically (and for all n ≥ 2 here).
-        prop_assert!(bounds::thm2_slowdown(n) <= bounds::prop1_naive_uniprocessor(1, n));
+        assert!(bounds::thm2_slowdown(n) <= bounds::prop1_naive_uniprocessor(1, n));
     }
+}
 
-    #[test]
-    fn matmul_speedups_ordered(n in pow2(8, 24)) {
+#[test]
+fn matmul_speedups_ordered() {
+    let mut rng = Rng64::new(0xA008);
+    for _ in 0..CASES {
+        let n = pow2(&mut rng, 8, 24);
         // For n ≥ 256, √n ≥ log(n): naive-serial speedup ≥ blocked-serial
         // speedup ≥ classical cap (blocked ≥ cap holds for all n since
         // log(x) ≥ 1).
-        prop_assert!(matmul::speedup_over_naive(n) >= matmul::speedup_over_blocked(n));
-        prop_assert!(matmul::speedup_over_blocked(n) >= matmul::speedup_instantaneous(n));
+        assert!(matmul::speedup_over_naive(n) >= matmul::speedup_over_blocked(n));
+        assert!(matmul::speedup_over_blocked(n) >= matmul::speedup_instantaneous(n));
     }
+}
 
-    #[test]
-    fn logp2_monotone(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+#[test]
+fn logp2_monotone() {
+    let mut rng = Rng64::new(0xA009);
+    for _ in 0..CASES {
+        let a = rng.unit_f64() * 1e9;
+        let b = rng.unit_f64() * 1e9;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(logp2(lo) <= logp2(hi));
-        prop_assert!(logp2(lo) >= 1.0);
+        assert!(logp2(lo) <= logp2(hi));
+        assert!(logp2(lo) >= 1.0);
     }
 }

@@ -2,46 +2,41 @@
 //! the *instrumented model* runs on the host CPU (model time is what the
 //! E-experiments report; this is implementation throughput).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use bsmp::machine::MachineSpec;
 use bsmp::sim::{
     dnc1::simulate_dnc1, dnc2::simulate_dnc2, multi1::simulate_multi1, naive1::simulate_naive1,
 };
 use bsmp::workloads::{inputs, Eca, VonNeumannLife};
+use bsmp_bench::timing::bench;
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engines");
-    g.sample_size(10);
-
+fn main() {
     let n = 128u64;
     let init = inputs::random_bits(1, n as usize);
 
-    g.bench_function("naive1_n128_T128", |b| {
+    {
         let spec = MachineSpec::new(1, n, 1, 1);
-        b.iter(|| black_box(simulate_naive1(&spec, &Eca::rule110(), &init, n as i64).host_time))
-    });
+        bench("engines/naive1_n128_T128", 10, || {
+            black_box(simulate_naive1(&spec, &Eca::rule110(), &init, n as i64).host_time)
+        });
+        bench("engines/dnc1_n128_T128", 10, || {
+            black_box(simulate_dnc1(&spec, &Eca::rule110(), &init, n as i64).host_time)
+        });
+    }
 
-    g.bench_function("dnc1_n128_T128", |b| {
-        let spec = MachineSpec::new(1, n, 1, 1);
-        b.iter(|| black_box(simulate_dnc1(&spec, &Eca::rule110(), &init, n as i64).host_time))
-    });
-
-    g.bench_function("multi1_n128_p4_T128", |b| {
+    {
         let spec = MachineSpec::new(1, n, 4, 1);
-        b.iter(|| black_box(simulate_multi1(&spec, &Eca::rule110(), &init, n as i64).host_time))
-    });
+        bench("engines/multi1_n128_p4_T128", 10, || {
+            black_box(simulate_multi1(&spec, &Eca::rule110(), &init, n as i64).host_time)
+        });
+    }
 
-    g.bench_function("dnc2_16x16_T16", |b| {
+    {
         let spec = MachineSpec::new(2, 256, 1, 1);
         let init2 = inputs::random_bits(2, 256);
-        b.iter(|| {
+        bench("engines/dnc2_16x16_T16", 10, || {
             black_box(simulate_dnc2(&spec, &VonNeumannLife::fredkin(), &init2, 16).host_time)
-        })
-    });
-
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

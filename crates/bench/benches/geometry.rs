@@ -1,45 +1,47 @@
 //! Wall-clock benchmarks of the geometric machinery: decomposition,
 //! point enumeration and preboundaries at engine-relevant sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use bsmp::geometry::{cell_cover, diamond_cover, Diamond, Domain2, IBox, IRect, Pt2, Pt3};
+use bsmp_bench::timing::bench;
 
-fn bench_geometry(c: &mut Criterion) {
-    let mut g = c.benchmark_group("geometry");
-
-    g.bench_function("diamond_points_h64", |b| {
+fn main() {
+    {
         let d = Diamond::new(0, 0, 64);
-        b.iter(|| black_box(d.points().len()))
-    });
+        bench("geometry/diamond_points_h64", 100, || {
+            black_box(d.points().len())
+        });
+        bench("geometry/diamond_preboundary_h64", 100, || {
+            black_box(d.preboundary().len())
+        });
+    }
 
-    g.bench_function("diamond_preboundary_h64", |b| {
-        let d = Diamond::new(0, 0, 64);
-        b.iter(|| black_box(d.preboundary().len()))
-    });
-
-    g.bench_function("diamond_cover_256x256_h8", |b| {
+    {
         let rect = IRect::new(0, 256, 1, 257);
-        b.iter(|| black_box(diamond_cover(rect, 8, Pt2::new(0, 0)).len()))
-    });
+        bench("geometry/diamond_cover_256x256_h8", 50, || {
+            black_box(diamond_cover(rect, 8, Pt2::new(0, 0)).len())
+        });
+    }
 
-    g.bench_function("octa_children_h16", |b| {
+    {
         let p = Domain2::octahedron(0, 0, 0, 16);
-        b.iter(|| black_box(p.children().len()))
-    });
+        bench("geometry/octa_children_h16", 100, || {
+            black_box(p.children().len())
+        });
+    }
 
-    g.bench_function("octa_preboundary_h8", |b| {
+    {
         let p = Domain2::octahedron(0, 0, 0, 8);
-        b.iter(|| black_box(p.preboundary().len()))
-    });
+        bench("geometry/octa_preboundary_h8", 100, || {
+            black_box(p.preboundary().len())
+        });
+    }
 
-    g.bench_function("cell_cover_32cube_h4", |b| {
+    {
         let bx = IBox::new(0, 32, 0, 32, 1, 33);
-        b.iter(|| black_box(cell_cover(bx, 4, Pt3::new(0, 0, 0)).len()))
-    });
-
-    g.finish();
+        bench("geometry/cell_cover_32cube_h4", 20, || {
+            black_box(cell_cover(bx, 4, Pt3::new(0, 0, 0)).len())
+        });
+    }
 }
-
-criterion_group!(benches, bench_geometry);
-criterion_main!(benches);

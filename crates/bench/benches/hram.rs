@@ -1,51 +1,43 @@
 //! Wall-clock microbenchmarks of the instrumented H-RAM.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 use bsmp::hram::{AccessFn, Hram};
+use bsmp_bench::timing::bench;
 
-fn bench_hram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hram");
-
-    g.bench_function("read_write_1k", |b| {
+fn main() {
+    bench("hram/read_write_1k", 200, || {
         let mut h = Hram::new(AccessFn::new(1, 4), 1024);
-        b.iter(|| {
-            for i in 0..1024usize {
-                h.write(i, i as u64);
-            }
-            let mut acc = 0u64;
-            for i in 0..1024usize {
-                acc ^= h.read(i);
-            }
-            black_box(acc)
-        })
+        for i in 0..1024usize {
+            h.write(i, i as u64);
+        }
+        let mut acc = 0u64;
+        for i in 0..1024usize {
+            acc ^= h.read(i);
+        }
+        black_box(acc)
     });
 
-    g.bench_function("relocate_block_1k", |b| {
+    {
         let mut h = Hram::new(AccessFn::new(2, 4), 4096);
         for i in 0..1024 {
             h.poke(i, i as u64);
         }
-        b.iter(|| {
+        bench("hram/relocate_block_1k", 200, || {
             h.relocate_block(0, 2048, 1024);
             h.relocate_block(2048, 0, 1024);
             black_box(h.time())
-        })
-    });
+        });
+    }
 
-    g.bench_function("access_fn_d2", |b| {
+    {
         let a = AccessFn::new(2, 16);
-        b.iter(|| {
+        bench("hram/access_fn_d2", 200, || {
             let mut s = 0.0;
             for x in 0..4096usize {
                 s += a.charge(x);
             }
             black_box(s)
-        })
-    });
-
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_hram);
-criterion_main!(benches);

@@ -15,7 +15,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t = Table::new(
         format!("E10 / Brent baseline — instantaneous vs bounded speed, naive host (n = {n})"),
-        &["p", "Brent ⌈n/p⌉", "slowdown instantaneous", "slowdown bounded", "gap (A empirical)"],
+        &[
+            "p",
+            "Brent ⌈n/p⌉",
+            "slowdown instantaneous",
+            "slowdown bounded",
+            "gap (A empirical)",
+        ],
     );
     for p in [2u64, 4, 8, 16] {
         let init = inputs::random_bits(p, n as usize);
@@ -23,9 +29,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             .instantaneous()
             .strategy(Strategy::Naive)
             .run(&Eca::rule110(), &init, steps);
-        let bounded = Simulation::linear(n, p, 1)
-            .strategy(Strategy::Naive)
-            .run(&Eca::rule110(), &init, steps);
+        let bounded = Simulation::linear(n, p, 1).strategy(Strategy::Naive).run(
+            &Eca::rule110(),
+            &init,
+            steps,
+        );
         t.row(vec![
             p.to_string(),
             brent_slowdown(n, p).to_string(),

@@ -18,7 +18,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t1 = Table::new(
         "E11a / §6 conjecture — the 4-D topological separator (d = 3), measured",
-        &["cell class", "h", "|U|", "q (children)", "δ (max ratio)", "c = |Γ|/|U|^{3/4}"],
+        &[
+            "cell class",
+            "h",
+            "|U|",
+            "q (children)",
+            "δ (max ratio)",
+            "c = |Γ|/|U|^{3/4}",
+        ],
     );
     for &h in hs {
         for (name, cell) in [
@@ -60,7 +67,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t1b = Table::new(
         "E11c / §6 conjecture, measured — d=3 uniprocessor D&C vs naive (parity rule, T = side)",
-        &["side", "n", "slowdown D&C", "/ (n·log n)", "slowdown naive", "/ n^{4/3}"],
+        &[
+            "side",
+            "n",
+            "slowdown D&C",
+            "/ (n·log n)",
+            "slowdown naive",
+            "/ n^{4/3}",
+        ],
     );
     for &side in sides {
         let n = (side * side * side) as f64;
@@ -90,7 +104,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t2 = Table::new(
         format!("E11b / §6 — pipelined memory removes the locality slowdown (n = {n})"),
-        &["p", "Brent n/p", "slowdown pipelined", "slowdown plain naive", "in-flight hardware"],
+        &[
+            "p",
+            "Brent n/p",
+            "slowdown pipelined",
+            "slowdown plain naive",
+            "in-flight hardware",
+        ],
     );
     for p in [2u64, 4, 8, 16] {
         let init = inputs::random_bits(90 + p, n as usize);

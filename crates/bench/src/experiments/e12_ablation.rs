@@ -59,7 +59,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
     let best = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
     for (h, time) in &results {
-        let marker = if *h == (m as i64) / 2 { " ← paper's D(m)" } else { "" };
+        let marker = if *h == (m as i64) / 2 {
+            " ← paper's D(m)"
+        } else {
+            ""
+        };
         t2.row(vec![format!("{h}{marker}"), fnum(*time), fnum(time / best)]);
     }
     t2.note(
@@ -76,7 +80,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         Scale::Full => 32,
     };
     let mut t3 = Table::new(
-        format!("E12c — leaf-radius ablation, d=2 octa/tetra executor (m = 1, √n = {side}, T = √n)"),
+        format!(
+            "E12c — leaf-radius ablation, d=2 octa/tetra executor (m = 1, √n = {side}, T = √n)"
+        ),
         &["leaf h", "host time", "vs best"],
     );
     let init2 = inputs::random_bits(97, (side * side) as usize);

@@ -15,7 +15,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t = Table::new(
         "E1 / Theorem 2 — uniprocessor D&C simulation of an n-node CA (T = n, rule 110)",
-        &["n", "slowdown D&C", "/ (n·log n)", "slowdown naive", "/ n²", "D&C wins?"],
+        &[
+            "n",
+            "slowdown D&C",
+            "/ (n·log n)",
+            "slowdown naive",
+            "/ n²",
+            "D&C wins?",
+        ],
     );
     for &n in sizes {
         let init = inputs::random_bits(n, n as usize);
@@ -29,7 +36,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fnum(d.slowdown() / (nf * logp2(nf))),
             fnum(v.slowdown()),
             fnum(v.slowdown() / (nf * nf)),
-            if d.host_time < v.host_time { "yes".into() } else { "not yet".into() },
+            if d.host_time < v.host_time {
+                "yes".into()
+            } else {
+                "not yet".into()
+            },
         ]);
     }
     t.note(format!(

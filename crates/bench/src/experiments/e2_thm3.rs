@@ -16,7 +16,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t = Table::new(
         format!("E2 / Theorem 3 — density sweep at n = {n} (T = n, order-m wave kernel)"),
-        &["m", "locality slowdown (meas.)", "min(n, m·log(n/m))", "ratio", "range"],
+        &[
+            "m",
+            "locality slowdown (meas.)",
+            "min(n, m·log(n/m))",
+            "ratio",
+            "range",
+        ],
     );
     let mut ratios = Vec::new();
     for &m in ms {
@@ -31,7 +37,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fnum(meas),
             fnum(analytic),
             fnum(meas / analytic),
-            format!("{:?}", bsmp::analytic::theorem1::range(1, n as f64, m as f64, 1.0)),
+            format!(
+                "{:?}",
+                bsmp::analytic::theorem1::range(1, n as f64, m as f64, 1.0)
+            ),
         ]);
     }
     let (lo, hi) = (

@@ -26,7 +26,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let spec = MachineSpec::new(1, n, p, m as u64);
         let steps = (n / 2) as i64;
         let r = if m == 1 {
-            simulate_multi1(&spec, &Eca::rule110(), &inputs::random_bits(77, n as usize), steps)
+            simulate_multi1(
+                &spec,
+                &Eca::rule110(),
+                &inputs::random_bits(77, n as usize),
+                steps,
+            )
         } else {
             simulate_multi1(&spec, &CyclicWave::new(m), &init, steps)
         };
@@ -37,7 +42,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
             fnum(a_meas),
             fnum(a_th),
             fnum(a_meas / a_th),
-            format!("{:?}", bsmp::analytic::theorem1::range(1, n as f64, m as f64, p as f64)),
+            format!(
+                "{:?}",
+                bsmp::analytic::theorem1::range(1, n as f64, m as f64, p as f64)
+            ),
         ]);
     }
     t1.note(
@@ -67,8 +75,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
     }
     let _ = Eca::rule90().m();
     if !growths.is_empty() {
-        let g2: f64 = growths.iter().map(|g| g.0).product::<f64>().powf(1.0 / growths.len() as f64);
-        let gn: f64 = growths.iter().map(|g| g.1).product::<f64>().powf(1.0 / growths.len() as f64);
+        let g2: f64 = growths
+            .iter()
+            .map(|g| g.0)
+            .product::<f64>()
+            .powf(1.0 / growths.len() as f64);
+        let gn: f64 = growths
+            .iter()
+            .map(|g| g.1)
+            .product::<f64>()
+            .powf(1.0 / growths.len() as f64);
         t2.note(format!(
             "Per-doubling growth of A: two-regime ×{:.2} (Theorem 4: ~log-flat), \
              naive ×{:.2} (Θ(n/p): ~2). The two-regime scheme's relative advantage \

@@ -15,7 +15,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t = Table::new(
         "E4 / Theorem 5 — uniprocessor D&C simulation of a √n×√n mesh CA (T = √n, Fredkin rule)",
-        &["√n", "n", "slowdown D&C", "/ (n·log n)", "slowdown naive", "/ n^1.5"],
+        &[
+            "√n",
+            "n",
+            "slowdown D&C",
+            "/ (n·log n)",
+            "slowdown naive",
+            "/ n^1.5",
+        ],
     );
     for &side in sides {
         let n = side * side;

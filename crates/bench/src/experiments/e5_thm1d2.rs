@@ -15,7 +15,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t = Table::new(
         "E5 / Theorem 1 d=2 — block-banded multiprocessor mesh simulation (m = 1, T = √n/2)",
-        &["√n", "p", "A two-regime", "A naive", "A analytic", "naive/two-regime"],
+        &[
+            "√n",
+            "p",
+            "A two-regime",
+            "A naive",
+            "A analytic",
+            "naive/two-regime",
+        ],
     );
     for &p in ps {
         for &side in sides {

@@ -11,7 +11,13 @@ use bsmp::workloads::{inputs, SystolicMatmul};
 pub fn run(scale: Scale) -> Vec<Table> {
     let mut t1 = Table::new(
         "E6a / §1 example, analytic — mesh vs uniprocessor matrix multiplication",
-        &["n", "mesh Θ(√n)", "speedup vs naive serial", "vs blocked serial", "classical cap"],
+        &[
+            "n",
+            "mesh Θ(√n)",
+            "speedup vs naive serial",
+            "vs blocked serial",
+            "classical cap",
+        ],
     );
     for n in [256.0, 4096.0, 65536.0, 1048576.0] {
         t1.row(vec![
@@ -30,7 +36,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t2 = Table::new(
         "E6b / §1 example, measured — systolic matmul workload on the executable model",
-        &["√n side", "mesh T_n", "serial naive T_1", "speedup", "serial blocked T_1", "speedup", "cap p=n"],
+        &[
+            "√n side",
+            "mesh T_n",
+            "serial naive T_1",
+            "speedup",
+            "serial blocked T_1",
+            "speedup",
+            "cap p=n",
+        ],
     );
     for &side in sides {
         let n = (side * side) as u64;

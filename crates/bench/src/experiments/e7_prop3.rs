@@ -18,7 +18,14 @@ pub fn run(scale: Scale) -> Vec<Table> {
     };
     let mut t1 = Table::new(
         "E7a / Propositions 2–3, d=1 — measured σ and τ of the diamond executor (k = |V| = n²)",
-        &["n", "k", "space meas.", "σ/√k (→σ₀)", "time meas.", "τ/(k·log k) (→τ₀)"],
+        &[
+            "n",
+            "k",
+            "space meas.",
+            "σ/√k (→σ₀)",
+            "time meas.",
+            "τ/(k·log k) (→τ₀)",
+        ],
     );
     for &n in sizes {
         let init = inputs::random_bits(n, n as usize);

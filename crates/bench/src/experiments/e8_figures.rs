@@ -38,9 +38,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         all.sort_by_key(|c| (c.d.ct, c.d.cx));
         all.iter().map(|c| c.points()).collect()
     };
-    let ok2 = check_topological_partition1(&brect.points(), &flat, |p| {
-        brect.contains(p) || p.t == 0
-    });
+    let ok2 =
+        check_topological_partition1(&brect.points(), &flat, |p| brect.contains(p) || p.t == 0);
     t.row(vec![
         "Fig. 2".into(),
         "zig-zag bands of D(n/p), p = 4".into(),
@@ -50,7 +49,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     // Figure 3.
     let (_, kids_a) = figures::figure3a(h3);
-    let octs = kids_a.iter().filter(|c| c.kind() == CellKind::Octahedron).count();
+    let octs = kids_a
+        .iter()
+        .filter(|c| c.kind() == CellKind::Octahedron)
+        .count();
     t.row(vec![
         "Fig. 3(a)".into(),
         "P(r) → 6 P(r/2) + 8 W(r/2)".into(),
@@ -58,11 +60,19 @@ pub fn run(scale: Scale) -> Vec<Table> {
         verdict(octs == 6 && kids_a.len() == 14),
     ]);
     let (_, kids_b) = figures::figure3b(h3);
-    let octs_b = kids_b.iter().filter(|c| c.kind() == CellKind::Octahedron).count();
+    let octs_b = kids_b
+        .iter()
+        .filter(|c| c.kind() == CellKind::Octahedron)
+        .count();
     t.row(vec![
         "Fig. 3(b)".into(),
         "W(r) → 4 W(r/2) + 1 P(r/2)".into(),
-        format!("{} ({} P, {} W)", kids_b.len(), octs_b, kids_b.len() - octs_b),
+        format!(
+            "{} ({} P, {} W)",
+            kids_b.len(),
+            octs_b,
+            kids_b.len() - octs_b
+        ),
         verdict(octs_b == 1 && kids_b.len() == 5),
     ]);
 
@@ -88,5 +98,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "topological partition ✓".into() } else { "VIOLATION".into() }
+    if ok {
+        "topological partition ✓".into()
+    } else {
+        "VIOLATION".into()
+    }
 }

@@ -15,7 +15,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let (n, p) = (65536.0f64, 16.0f64);
     let mut t1 = Table::new(
         format!("E9a / §4.2 — λ(s) optimizer at n = {n}, p = {p} (analytic)"),
-        &["m", "s* (paper)", "λ(s*)", "s (numeric argmin)", "λ(min)", "λ(s*)/λ(min)", "range"],
+        &[
+            "m",
+            "s* (paper)",
+            "λ(s*)",
+            "s (numeric argmin)",
+            "λ(min)",
+            "λ(s*)/λ(min)",
+            "range",
+        ],
     );
     let mut m = 1.0f64;
     while m <= 2.0 * n {
@@ -60,7 +68,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 Multi1Options { strip: Some(s) },
             );
             let l = lambda(nn as f64, mm as f64, pp as f64, s as f64);
-            t2.row(vec![s.to_string(), fnum(r.host_time), fnum(l), fnum(r.host_time / l)]);
+            t2.row(vec![
+                s.to_string(),
+                fnum(r.host_time),
+                fnum(l),
+                fnum(r.host_time / l),
+            ]);
         }
         s *= 2;
     }

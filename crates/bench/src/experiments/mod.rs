@@ -1,5 +1,9 @@
 //! The experiment suite: every table/figure-equivalent of the paper.
 
+pub mod e10_brent;
+pub mod e11_extensions;
+pub mod e12_ablation;
+pub mod e13_faults;
 pub mod e1_thm2;
 pub mod e2_thm3;
 pub mod e3_thm4;
@@ -9,9 +13,6 @@ pub mod e6_matmul;
 pub mod e7_prop3;
 pub mod e8_figures;
 pub mod e9_sstar;
-pub mod e10_brent;
-pub mod e11_extensions;
-pub mod e12_ablation;
 
 use crate::table::Table;
 
@@ -37,17 +38,70 @@ pub struct Experiment {
 /// All experiments, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "E1", artifact: "Theorem 2 (d=1 uniprocessor, m=1)", run: e1_thm2::run },
-        Experiment { id: "E2", artifact: "Theorem 3 (d=1 uniprocessor, general m)", run: e2_thm3::run },
-        Experiment { id: "E3", artifact: "Theorem 4 / Theorem 1 d=1 (multiprocessor)", run: e3_thm4::run },
-        Experiment { id: "E4", artifact: "Theorem 5 (d=2 uniprocessor, m=1)", run: e4_thm5::run },
-        Experiment { id: "E5", artifact: "Theorem 1 d=2 (multiprocessor mesh)", run: e5_thm1d2::run },
-        Experiment { id: "E6", artifact: "Section 1 matrix-multiplication example", run: e6_matmul::run },
-        Experiment { id: "E7", artifact: "Propositions 2–3 (space/time recurrences)", run: e7_prop3::run },
-        Experiment { id: "E8", artifact: "Figures 1–4 (decompositions)", run: e8_figures::run },
-        Experiment { id: "E9", artifact: "§4.2 optimal strip width s*", run: e9_sstar::run },
-        Experiment { id: "E10", artifact: "Brent baseline (instantaneous model)", run: e10_brent::run },
-        Experiment { id: "E11", artifact: "Section-6 extensions (d=3 separator, pipelined memory)", run: e11_extensions::run },
-        Experiment { id: "E12", artifact: "Ablations (leaf radii / executable diamonds)", run: e12_ablation::run },
+        Experiment {
+            id: "E1",
+            artifact: "Theorem 2 (d=1 uniprocessor, m=1)",
+            run: e1_thm2::run,
+        },
+        Experiment {
+            id: "E2",
+            artifact: "Theorem 3 (d=1 uniprocessor, general m)",
+            run: e2_thm3::run,
+        },
+        Experiment {
+            id: "E3",
+            artifact: "Theorem 4 / Theorem 1 d=1 (multiprocessor)",
+            run: e3_thm4::run,
+        },
+        Experiment {
+            id: "E4",
+            artifact: "Theorem 5 (d=2 uniprocessor, m=1)",
+            run: e4_thm5::run,
+        },
+        Experiment {
+            id: "E5",
+            artifact: "Theorem 1 d=2 (multiprocessor mesh)",
+            run: e5_thm1d2::run,
+        },
+        Experiment {
+            id: "E6",
+            artifact: "Section 1 matrix-multiplication example",
+            run: e6_matmul::run,
+        },
+        Experiment {
+            id: "E7",
+            artifact: "Propositions 2–3 (space/time recurrences)",
+            run: e7_prop3::run,
+        },
+        Experiment {
+            id: "E8",
+            artifact: "Figures 1–4 (decompositions)",
+            run: e8_figures::run,
+        },
+        Experiment {
+            id: "E9",
+            artifact: "§4.2 optimal strip width s*",
+            run: e9_sstar::run,
+        },
+        Experiment {
+            id: "E10",
+            artifact: "Brent baseline (instantaneous model)",
+            run: e10_brent::run,
+        },
+        Experiment {
+            id: "E11",
+            artifact: "Section-6 extensions (d=3 separator, pipelined memory)",
+            run: e11_extensions::run,
+        },
+        Experiment {
+            id: "E12",
+            artifact: "Ablations (leaf radii / executable diamonds)",
+            run: e12_ablation::run,
+        },
+        Experiment {
+            id: "E13",
+            artifact: "Fault injection (ν-envelope, loss/crash accounting)",
+            run: e13_faults::run,
+        },
     ]
 }

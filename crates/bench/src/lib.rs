@@ -8,10 +8,12 @@
 //!
 //! Each experiment runs at one of two scales: `Scale::Quick` (seconds,
 //! used by `bsmp-repro` and CI) and `Scale::Full` (minutes, used for
-//! EXPERIMENTS.md).  Criterion wall-clock benches live in `benches/`.
+//! EXPERIMENTS.md).  Wall-clock benches live in `benches/` and use the
+//! dependency-free [`timing`] harness.
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use experiments::{all_experiments, Experiment, Scale};
 pub use table::Table;

@@ -1,0 +1,43 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! Each bench target is a plain binary (`harness = false`) that calls
+//! [`bench`] per case: warm up once, run a fixed number of timed
+//! iterations, and print min/mean per-iteration wall time.  No external
+//! benchmarking framework is required.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` once to warm up, then `iters` timed iterations, printing
+/// `name: mean ± spread` in adaptive units.  The closure's return value
+/// is passed through [`black_box`] so the work is not optimized away.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let mut min = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
+    }
+    let mean = total / iters as f64;
+    println!(
+        "{name:<32} mean {:>10}  min {:>10}  ({iters} iters)",
+        fmt(mean),
+        fmt(min)
+    );
+}
+
+fn fmt(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}

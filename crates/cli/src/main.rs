@@ -1,27 +1,137 @@
 //! `bsmp-repro` — run the full experiment suite of the reproduction and
 //! print every table as markdown (the contents of EXPERIMENTS.md).
 //!
-//! Usage: `bsmp-repro [--quick] [E1 E4 ...]`
+//! Usage: `bsmp-repro [--quick] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]`
+//!
+//! * `--quick` — the seconds-scale variant of every experiment;
+//! * `--slow <ν>` — run a faulted demo sweep with a uniform link
+//!   slowdown ν ≥ 1 before the experiment tables;
+//! * `--fault-seed <s>` — seed for the demo sweep's jitter/loss/crash
+//!   plan (implies the sweep; default plan is pure slowdown);
+//! * `E1 … E13` — restrict to the named experiments.
+//!
+//! Exit status: 0 on success, 1 on an engine/validation error, 2 on bad
+//! command-line arguments.
 
+use bsmp::workloads::{inputs, Eca};
+use bsmp::{FaultPlan, Simulation, Strategy};
 use bsmp_bench::{all_experiments, Scale};
 
+struct Args {
+    scale: Scale,
+    wanted: Vec<String>,
+    slow: Option<f64>,
+    fault_seed: Option<u64>,
+}
+
+fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Full,
+        wanted: Vec::new(),
+        slow: None,
+        fault_seed: None,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--slow" => {
+                let v = it.next().ok_or("--slow requires a value (ν ≥ 1)")?;
+                let nu: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--slow: `{v}` is not a number"))?;
+                args.slow = Some(nu);
+            }
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed requires a u64 value")?;
+                let seed: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--fault-seed: `{v}` is not a u64"))?;
+                args.fault_seed = Some(seed);
+            }
+            id if id.starts_with('E') => {
+                if !valid_ids.contains(&id) {
+                    return Err(format!(
+                        "unknown experiment `{id}` — valid ids: {}",
+                        valid_ids.join(", ")
+                    ));
+                }
+                args.wanted.push(id.to_string());
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `--slow`/`--fault-seed` demo: one TwoRegime run per plan,
+/// checked against the clean run, reported as a small markdown table.
+fn fault_sweep(nu: f64, seed: Option<u64>) -> Result<(), bsmp::SimError> {
+    let (n, p, steps) = (64u64, 4u64, 64i64);
+    let init = inputs::random_bits(seed.unwrap_or(1), n as usize);
+    let prog = Eca::rule110();
+    let sim = Simulation::try_linear(n, p, 1)?;
+    let base = sim
+        .strategy(Strategy::TwoRegime)
+        .try_run(&prog, &init, steps)?;
+    let mut plan = FaultPlan::uniform_slowdown(nu);
+    if let Some(s) = seed {
+        plan = plan.seed(s).loss(50, 3).random_crashes(10);
+    }
+    let rep = sim
+        .strategy(Strategy::TwoRegime)
+        .faults(plan)
+        .try_run(&prog, &init, steps)?;
+    rep.sim.check_matches(&base.sim.mem, &base.sim.values)?;
+    println!("## Fault sweep — ν = {nu}, seed = {seed:?} (n = {n}, p = {p})\n");
+    println!("| T_p clean | T_p faulted | ratio | retries | recovered | injected delay |");
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| {:.1} | {:.1} | {:.3} | {} | {} | {:.1} |\n",
+        base.sim.host_time,
+        rep.sim.host_time,
+        rep.sim.host_time / base.sim.host_time,
+        rep.sim.faults.retries,
+        rep.sim.faults.recovered_stages,
+        rep.sim.faults.injected_delay,
+    );
+    Ok(())
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
-    let wanted: Vec<&String> = args.iter().filter(|a| a.starts_with('E')).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+    let valid_ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
+
+    let args = match parse_args(&raw, &valid_ids) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("bsmp-repro: {msg}");
+            eprintln!("usage: bsmp-repro [--quick] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]");
+            std::process::exit(2);
+        }
+    };
+
+    if args.slow.is_some() || args.fault_seed.is_some() {
+        let nu = args.slow.unwrap_or(1.0);
+        if let Err(e) = fault_sweep(nu, args.fault_seed) {
+            eprintln!("bsmp-repro: fault sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     println!("# Reproduction report — Bilardi & Preparata, SPAA 1995");
     println!(
         "\nScale: {:?}. Every engine run in these tables also re-verified\n\
          functional equivalence against direct guest execution.\n",
-        scale
+        args.scale
     );
-    for exp in all_experiments() {
-        if !wanted.is_empty() && !wanted.iter().any(|w| *w == exp.id) {
+    for exp in experiments {
+        if !args.wanted.is_empty() && !args.wanted.iter().any(|w| w == exp.id) {
             continue;
         }
         println!("## {} — {}\n", exp.id, exp.artifact);
-        for table in (exp.run)(scale) {
+        for table in (exp.run)(args.scale) {
             println!("{}", table.to_markdown());
         }
     }

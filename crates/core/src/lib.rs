@@ -34,6 +34,24 @@
 //! assert!(report.sim.guest_time > 0.0);
 //! ```
 //!
+//! The fallible twin [`Simulation::try_run`] returns a
+//! [`SimError`](bsmp_sim::SimError) instead of panicking, and
+//! [`Simulation::faults`] injects a deterministic [`FaultPlan`] (link
+//! slowdown, message loss with retries, crash/recovery) whose cost shows
+//! up in [`SimReport::faults`](bsmp_sim::SimReport):
+//!
+//! ```
+//! use bsmp::{FaultPlan, Simulation};
+//! use bsmp::workloads::{Eca, inputs};
+//!
+//! let init = inputs::random_bits(7, 64);
+//! let report = Simulation::linear(64, 4, 1)
+//!     .faults(FaultPlan::uniform_slowdown(2.0))
+//!     .try_run(&Eca::rule110(), &init, 64)
+//!     .expect("parameters are valid");
+//! assert!(report.sim.faults.injected_delay > 0.0);
+//! ```
+//!
 //! Modules (one per workspace crate):
 //!
 //! * [`geometry`] — diamonds, octahedra, tetrahedra, the Figure-1..4
@@ -44,19 +62,22 @@
 //! * [`workloads`] — cellular automata, sorting, waves, Life, heat,
 //!   systolic matrix multiplication;
 //! * [`sim`] — every simulation engine of the paper;
-//! * [`analytic`] — every closed-form bound of the paper.
+//! * [`analytic`] — every closed-form bound of the paper;
+//! * [`faults`] — the deterministic fault-injection layer.
 
 pub use bsmp_analytic as analytic;
 pub use bsmp_dag as dag;
+pub use bsmp_faults as faults;
 pub use bsmp_geometry as geometry;
 pub use bsmp_hram as hram;
 pub use bsmp_machine as machine;
 pub use bsmp_sim as sim;
 pub use bsmp_workloads as workloads;
 
+pub use bsmp_faults::{FaultPlan, FaultStats};
 pub use bsmp_hram::{CostModel, Word};
-pub use bsmp_machine::{LinearProgram, MachineSpec, MeshProgram};
-pub use bsmp_sim::SimReport;
+pub use bsmp_machine::{LinearProgram, MachineSpec, MeshProgram, SpecError};
+pub use bsmp_sim::{SimError, SimReport};
 
 /// Which simulation scheme the host machine uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -81,19 +102,40 @@ pub enum Strategy {
 pub struct Simulation {
     spec: MachineSpec,
     strategy: Strategy,
+    faults: FaultPlan,
 }
 
 impl Simulation {
     /// A linear-array experiment: guest `M_1(n, n, m)`, host
     /// `M_1(n, p, m)`.
     pub fn linear(n: u64, p: u64, m: u64) -> Self {
-        Simulation { spec: MachineSpec::new(1, n, p, m), strategy: Strategy::Auto }
+        Self::try_linear(n, p, m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Simulation::linear`].
+    pub fn try_linear(n: u64, p: u64, m: u64) -> Result<Self, SimError> {
+        let spec = MachineSpec::try_new(1, n, p, m)?;
+        Ok(Simulation {
+            spec,
+            strategy: Strategy::Auto,
+            faults: FaultPlan::none(),
+        })
     }
 
     /// A mesh experiment: guest `M_2(n, n, m)`, host `M_2(n, p, m)`
     /// (`n` and `p` perfect squares).
     pub fn mesh(n: u64, p: u64, m: u64) -> Self {
-        Simulation { spec: MachineSpec::new(2, n, p, m), strategy: Strategy::Auto }
+        Self::try_mesh(n, p, m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Simulation::mesh`].
+    pub fn try_mesh(n: u64, p: u64, m: u64) -> Result<Self, SimError> {
+        let spec = MachineSpec::try_new(2, n, p, m)?;
+        Ok(Simulation {
+            spec,
+            strategy: Strategy::Auto,
+            faults: FaultPlan::none(),
+        })
     }
 
     /// Switch to the instantaneous-propagation cost model (the Brent
@@ -109,6 +151,14 @@ impl Simulation {
         self
     }
 
+    /// Inject faults per `plan` (validated at run time): per-link delay
+    /// inflation, transient message loss with retries, and node
+    /// crash/recovery.  Default: [`FaultPlan::none`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// The machine parameters this simulation will use.
     pub fn spec(&self) -> MachineSpec {
         self.spec
@@ -117,12 +167,10 @@ impl Simulation {
     fn resolve(&self) -> Strategy {
         match self.strategy {
             Strategy::Auto => {
-                let (n, m, p) =
-                    (self.spec.n as f64, self.spec.m as f64, self.spec.p as f64);
+                let (n, m, p) = (self.spec.n as f64, self.spec.m as f64, self.spec.p as f64);
                 // Range 4 of Theorem 1: only the naive simulation is
                 // profitable.
-                if bsmp_analytic::theorem1::range(self.spec.d, n, m, p)
-                    == bsmp_analytic::Range::R4
+                if bsmp_analytic::theorem1::range(self.spec.d, n, m, p) == bsmp_analytic::Range::R4
                 {
                     Strategy::Naive
                 } else if self.spec.p == 1 {
@@ -135,53 +183,110 @@ impl Simulation {
         }
     }
 
+    /// Run a linear-array guest program, reporting invalid parameters as
+    /// a [`SimError`] instead of panicking.  [`Strategy::Auto`] and
+    /// [`Strategy::TwoRegime`] degrade gracefully to the naive engine
+    /// when no admissible strip width exists (e.g. prime `n/p`).
+    pub fn try_run(
+        &self,
+        prog: &impl LinearProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> Result<Report, SimError> {
+        if self.spec.d != 1 {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                got: self.spec.d,
+            });
+        }
+        let plan = &self.faults;
+        let sim = match self.resolve() {
+            Strategy::Naive => {
+                bsmp_sim::naive1::try_simulate_naive1_faulted(&self.spec, prog, init, steps, plan)?
+            }
+            Strategy::DivideAndConquer => {
+                bsmp_sim::dnc1::try_simulate_dnc1(&self.spec, prog, init, steps)?
+            }
+            Strategy::TwoRegime => {
+                if self.spec.p == 1 {
+                    bsmp_sim::dnc1::try_simulate_dnc1(&self.spec, prog, init, steps)?
+                } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
+                    .is_some()
+                {
+                    bsmp_sim::multi1::try_simulate_multi1_faulted(
+                        &self.spec, prog, init, steps, plan,
+                    )?
+                } else {
+                    // No admissible strip width (e.g. prime n): naive.
+                    bsmp_sim::naive1::try_simulate_naive1_faulted(
+                        &self.spec, prog, init, steps, plan,
+                    )?
+                }
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+        Ok(Report::new(self.spec, sim))
+    }
+
     /// Run a linear-array guest program.
     ///
     /// # Panics
     /// If the builder was constructed with [`Simulation::mesh`], or the
     /// strategy requires `p = 1` and `p > 1` was given.
     pub fn run(&self, prog: &impl LinearProgram, init: &[Word], steps: i64) -> Report {
-        assert_eq!(self.spec.d, 1, "use run_mesh for d = 2 experiments");
+        self.try_run(prog, init, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run a mesh guest program, reporting invalid parameters as a
+    /// [`SimError`] instead of panicking.  [`Strategy::Auto`] and
+    /// [`Strategy::TwoRegime`] degrade gracefully to the naive engine
+    /// when the per-processor block is too small for the honeycomb
+    /// scheme.
+    pub fn try_run_mesh(
+        &self,
+        prog: &impl MeshProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> Result<Report, SimError> {
+        if self.spec.d != 2 {
+            return Err(SimError::DimensionMismatch {
+                expected: 2,
+                got: self.spec.d,
+            });
+        }
+        let plan = &self.faults;
         let sim = match self.resolve() {
-            Strategy::Naive => bsmp_sim::naive1::simulate_naive1(&self.spec, prog, init, steps),
+            Strategy::Naive => {
+                bsmp_sim::naive2::try_simulate_naive2_faulted(&self.spec, prog, init, steps, plan)?
+            }
             Strategy::DivideAndConquer => {
-                bsmp_sim::dnc1::simulate_dnc1(&self.spec, prog, init, steps)
+                bsmp_sim::dnc2::try_simulate_dnc2(&self.spec, prog, init, steps)?
             }
             Strategy::TwoRegime => {
                 if self.spec.p == 1 {
-                    bsmp_sim::dnc1::simulate_dnc1(&self.spec, prog, init, steps)
-                } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
-                    .is_some()
-                {
-                    bsmp_sim::multi1::simulate_multi1(&self.spec, prog, init, steps)
+                    bsmp_sim::dnc2::try_simulate_dnc2(&self.spec, prog, init, steps)?
+                } else if self.spec.mesh_side() / self.spec.proc_side() >= 2 {
+                    bsmp_sim::multi2::try_simulate_multi2_faulted(
+                        &self.spec, prog, init, steps, plan,
+                    )?
                 } else {
-                    // No admissible strip width (e.g. prime n): naive.
-                    bsmp_sim::naive1::simulate_naive1(&self.spec, prog, init, steps)
+                    // Block side 1: the honeycomb scheme degenerates —
+                    // fall back to the naive engine.
+                    bsmp_sim::naive2::try_simulate_naive2_faulted(
+                        &self.spec, prog, init, steps, plan,
+                    )?
                 }
             }
             Strategy::Auto => unreachable!("resolved above"),
         };
-        Report::new(self.spec, sim)
+        Ok(Report::new(self.spec, sim))
     }
 
     /// Run a mesh guest program.
     pub fn run_mesh(&self, prog: &impl MeshProgram, init: &[Word], steps: i64) -> Report {
-        assert_eq!(self.spec.d, 2, "use run for d = 1 experiments");
-        let sim = match self.resolve() {
-            Strategy::Naive => bsmp_sim::naive2::simulate_naive2(&self.spec, prog, init, steps),
-            Strategy::DivideAndConquer => {
-                bsmp_sim::dnc2::simulate_dnc2(&self.spec, prog, init, steps)
-            }
-            Strategy::TwoRegime => {
-                if self.spec.p == 1 {
-                    bsmp_sim::dnc2::simulate_dnc2(&self.spec, prog, init, steps)
-                } else {
-                    bsmp_sim::multi2::simulate_multi2(&self.spec, prog, init, steps)
-                }
-            }
-            Strategy::Auto => unreachable!("resolved above"),
-        };
-        Report::new(self.spec, sim)
+        self.try_run_mesh(prog, init, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -243,11 +348,9 @@ mod tests {
         let spec = MachineSpec::new(1, 32, 4, 1);
         let guest = run_linear(&spec, &Eca::rule110(), &init, 32);
         for strategy in [Strategy::Naive, Strategy::TwoRegime, Strategy::Auto] {
-            let r = Simulation::linear(32, 4, 1).strategy(strategy).run(
-                &Eca::rule110(),
-                &init,
-                32,
-            );
+            let r = Simulation::linear(32, 4, 1)
+                .strategy(strategy)
+                .run(&Eca::rule110(), &init, 32);
             r.sim.assert_matches(&guest.mem, &guest.values);
         }
     }
@@ -258,8 +361,12 @@ mod tests {
         let r = Simulation::mesh(64, 4, 1)
             .strategy(Strategy::TwoRegime)
             .run_mesh(&VonNeumannLife::fredkin(), &init, 8);
-        let guest =
-            bsmp_machine::run_mesh(&MachineSpec::new(2, 64, 4, 1), &VonNeumannLife::fredkin(), &init, 8);
+        let guest = bsmp_machine::run_mesh(
+            &MachineSpec::new(2, 64, 4, 1),
+            &VonNeumannLife::fredkin(),
+            &init,
+            8,
+        );
         r.sim.assert_matches(&guest.mem, &guest.values);
     }
 
@@ -293,6 +400,67 @@ mod tests {
             .run(&Eca::rule90(), &init, 32);
         let brent = 64.0 / 8.0;
         let s = r.measured_slowdown();
-        assert!(s > 0.5 * brent && s < 3.0 * brent, "instantaneous ⇒ Brent: {s}");
+        assert!(
+            s > 0.5 * brent && s < 3.0 * brent,
+            "instantaneous ⇒ Brent: {s}"
+        );
+    }
+
+    #[test]
+    fn try_constructors_and_runs_surface_errors() {
+        assert!(matches!(
+            Simulation::try_linear(15, 4, 1),
+            Err(SimError::Spec(SpecError::ProcessorsOutOfRange { .. }))
+                | Err(SimError::Spec(SpecError::ZeroExtent { .. }))
+                | Ok(_)
+        ));
+        assert!(
+            Simulation::try_mesh(15, 4, 1).is_err(),
+            "15 is not a perfect square"
+        );
+        let init = inputs::random_bits(64, 10);
+        let err = Simulation::try_linear(32, 4, 1)
+            .unwrap()
+            .try_run(&Eca::rule110(), &init, 8)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InitLength {
+                expected: 32,
+                got: 10
+            }
+        );
+    }
+
+    #[test]
+    fn auto_degrades_to_naive_on_tight_mesh() {
+        // p = n ⇒ block side 1: TwoRegime cannot run the honeycomb
+        // scheme, and the façade must fall back instead of panicking.
+        let init = inputs::random_bits(65, 16);
+        let spec = MachineSpec::new(2, 16, 16, 1);
+        let guest = bsmp_machine::run_mesh(&spec, &VonNeumannLife::fredkin(), &init, 4);
+        let r = Simulation::mesh(16, 16, 1)
+            .strategy(Strategy::TwoRegime)
+            .try_run_mesh(&VonNeumannLife::fredkin(), &init, 4)
+            .expect("graceful degradation");
+        r.sim.assert_matches(&guest.mem, &guest.values);
+    }
+
+    #[test]
+    fn faulted_facade_run_accounts_delay() {
+        let init = inputs::random_bits(66, 64);
+        let base = Simulation::linear(64, 4, 1)
+            .strategy(Strategy::Naive)
+            .try_run(&Eca::rule110(), &init, 32)
+            .unwrap();
+        let slowed = Simulation::linear(64, 4, 1)
+            .strategy(Strategy::Naive)
+            .faults(FaultPlan::uniform_slowdown(2.0))
+            .try_run(&Eca::rule110(), &init, 32)
+            .unwrap();
+        slowed.sim.assert_matches(&base.sim.mem, &base.sim.values);
+        assert!(slowed.sim.faults.injected_delay > 0.0);
+        assert!(slowed.sim.host_time > base.sim.host_time);
+        assert!(slowed.sim.host_time <= 2.0 * base.sim.host_time + 1e-6);
     }
 }

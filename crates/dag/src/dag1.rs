@@ -51,12 +51,18 @@ impl Dag1 {
         if p.t == 0 {
             return Vec::new();
         }
-        p.preds().into_iter().filter(|q| self.contains(*q)).collect()
+        p.preds()
+            .into_iter()
+            .filter(|q| self.contains(*q))
+            .collect()
     }
 
     /// In-dag successors of `p`.
     pub fn succs(&self, p: Pt2) -> Vec<Pt2> {
-        p.succs().into_iter().filter(|q| self.contains(*q)).collect()
+        p.succs()
+            .into_iter()
+            .filter(|q| self.contains(*q))
+            .collect()
     }
 
     /// Total vertex count `n (T + 1)`.

@@ -42,11 +42,17 @@ impl Dag2 {
         if p.t == 0 {
             return Vec::new();
         }
-        p.preds().into_iter().filter(|q| self.contains(*q)).collect()
+        p.preds()
+            .into_iter()
+            .filter(|q| self.contains(*q))
+            .collect()
     }
 
     pub fn succs(&self, p: Pt3) -> Vec<Pt3> {
-        p.succs().into_iter().filter(|q| self.contains(*q)).collect()
+        p.succs()
+            .into_iter()
+            .filter(|q| self.contains(*q))
+            .collect()
     }
 
     /// Total vertex count `side² (T + 1)`.

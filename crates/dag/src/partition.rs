@@ -95,8 +95,9 @@ pub fn check_topological_partition1(
         return Err(PartitionError::MissingPoints(usize::MAX));
     }
     // Ordering property.
-    let gamma_u: HashSet<Pt2> =
-        preboundary1(universe, |p| uset.contains(&p), dag_contains).into_iter().collect();
+    let gamma_u: HashSet<Pt2> = preboundary1(universe, |p| uset.contains(&p), dag_contains)
+        .into_iter()
+        .collect();
     let mut earlier: HashSet<Pt2> = HashSet::new();
     for (i, piece) in pieces.iter().enumerate() {
         let pset: HashSet<Pt2> = piece.iter().copied().collect();
@@ -131,8 +132,9 @@ pub fn check_topological_partition2(
     if owner.len() != uset.len() {
         return Err(PartitionError::MissingPoints(usize::MAX));
     }
-    let gamma_u: HashSet<Pt3> =
-        preboundary2(universe, |p| uset.contains(&p), dag_contains).into_iter().collect();
+    let gamma_u: HashSet<Pt3> = preboundary2(universe, |p| uset.contains(&p), dag_contains)
+        .into_iter()
+        .collect();
     let mut earlier: HashSet<Pt3> = HashSet::new();
     for (i, piece) in pieces.iter().enumerate() {
         let pset: HashSet<Pt3> = piece.iter().copied().collect();
@@ -197,16 +199,19 @@ mod tests {
     #[test]
     fn row_partition_is_topological() {
         let rect = IRect::new(0, 4, 0, 4);
-        let pieces: Vec<Vec<Pt2>> =
-            (0..4).map(|t| (0..4).map(|x| Pt2::new(x, t)).collect()).collect();
+        let pieces: Vec<Vec<Pt2>> = (0..4)
+            .map(|t| (0..4).map(|x| Pt2::new(x, t)).collect())
+            .collect();
         check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).unwrap();
     }
 
     #[test]
     fn reversed_rows_violate_order() {
         let rect = IRect::new(0, 4, 0, 4);
-        let pieces: Vec<Vec<Pt2>> =
-            (0..4).rev().map(|t| (0..4).map(|x| Pt2::new(x, t)).collect()).collect();
+        let pieces: Vec<Vec<Pt2>> = (0..4)
+            .rev()
+            .map(|t| (0..4).map(|x| Pt2::new(x, t)).collect())
+            .collect();
         let err =
             check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).unwrap_err();
         assert!(matches!(err, PartitionError::OrderViolation { piece: 0 }));
@@ -220,8 +225,9 @@ mod tests {
         // square are not topologically ordered, whichever order is chosen:
         // information flows both ways between adjacent strips.
         let rect = IRect::new(0, 4, 0, 4);
-        let pieces: Vec<Vec<Pt2>> =
-            (0..2).map(|s| rect.points().into_iter().filter(|p| p.x / 2 == s).collect()).collect();
+        let pieces: Vec<Vec<Pt2>> = (0..2)
+            .map(|s| rect.points().into_iter().filter(|p| p.x / 2 == s).collect())
+            .collect();
         assert!(
             check_topological_partition1(&all(rect), &pieces, |p| rect.contains(p)).is_err(),
             "strips left-to-right"

@@ -37,13 +37,23 @@ impl SeparatorSpec {
     /// The diamond separator of Theorem 2's proof:
     /// `Γ_in(D(r)) ≤ 2r = 2√2·|D|^{1/2}`, four pieces of size `|D|/4`.
     pub fn diamond() -> Self {
-        SeparatorSpec { c: 2.0 * 2f64.sqrt(), gamma: 0.5, delta: 0.25, q: 4 }
+        SeparatorSpec {
+            c: 2.0 * 2f64.sqrt(),
+            gamma: 0.5,
+            delta: 0.25,
+            q: 4,
+        }
     }
 
     /// The octahedron/tetrahedron separator of Theorem 5's proof:
     /// pieces of size at most `|U|/2`, `q = 14`, `Γ_in ≤ 2·3^{2/3}|U|^{2/3}`.
     pub fn octa_tetra() -> Self {
-        SeparatorSpec { c: 2.0 * 3f64.powf(2.0 / 3.0), gamma: 2.0 / 3.0, delta: 0.5, q: 14 }
+        SeparatorSpec {
+            c: 2.0 * 3f64.powf(2.0 / 3.0),
+            gamma: 2.0 / 3.0,
+            delta: 0.5,
+            q: 14,
+        }
     }
 
     /// Preboundary bound `g(x) = c·x^γ`.
@@ -54,7 +64,9 @@ impl SeparatorSpec {
     /// Verify the admissibility condition of Proposition 3 against an
     /// `(a·x^α)`-H-RAM: `0 < α ≤ (1-γ)/γ ≤ 1`.
     pub fn admissible(&self, alpha: f64) -> bool {
-        alpha > 0.0 && alpha <= (1.0 - self.gamma) / self.gamma && (1.0 - self.gamma) / self.gamma <= 1.0
+        alpha > 0.0
+            && alpha <= (1.0 - self.gamma) / self.gamma
+            && (1.0 - self.gamma) / self.gamma <= 1.0
     }
 }
 
@@ -76,12 +88,19 @@ impl SpaceTimeBounds {
     /// # Panics
     /// If the admissibility condition fails.
     pub fn from_spec(spec: &SeparatorSpec, a: f64, alpha: f64) -> Self {
-        assert!(spec.admissible(alpha), "Proposition 3 requires 0 < α ≤ (1-γ)/γ ≤ 1");
+        assert!(
+            spec.admissible(alpha),
+            "Proposition 3 requires 0 < α ≤ (1-γ)/γ ≤ 1"
+        );
         let dg = spec.delta.powf(spec.gamma);
         let sigma0 = spec.q as f64 * spec.c * dg / (1.0 - dg);
         let tau0 =
             4.0 * spec.q as f64 * a * sigma0.powf(alpha) * spec.c * dg / (1.0 / spec.delta).log2();
-        SpaceTimeBounds { sigma0, tau0, gamma: spec.gamma }
+        SpaceTimeBounds {
+            sigma0,
+            tau0,
+            gamma: spec.gamma,
+        }
     }
 
     /// The space bound `σ(k) = σ₀ k^γ` (Proposition 3 eq. (3)).

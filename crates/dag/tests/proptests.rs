@@ -1,95 +1,153 @@
 //! Property-based tests of the Definition-4 checker and the separator
-//! recurrences.
+//! recurrences, driven by the in-repo seeded [`Rng64`] case generator.
 
 use bsmp_dag::partition::{check_topological_partition1, preboundary1, PartitionError};
 use bsmp_dag::schedule::{is_topological_order1, refine1};
 use bsmp_dag::separator::{iterate_recurrence, SeparatorSpec, SpaceTimeBounds};
+use bsmp_faults::rng::Rng64;
 use bsmp_geometry::{diamond_cover, IRect, Pt2};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn row_major_partitions_always_pass(w in 1i64..10, t in 1i64..10) {
+#[test]
+fn row_major_partitions_always_pass() {
+    let mut rng = Rng64::new(0xD001);
+    for _ in 0..CASES {
+        let w = rng.range_i64(1, 10);
+        let t = rng.range_i64(1, 10);
         let rect = IRect::new(0, w, 0, t);
-        let pieces: Vec<Vec<Pt2>> =
-            (0..t).map(|r| (0..w).map(|x| Pt2::new(x, r)).collect()).collect();
-        prop_assert!(check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)).is_ok());
+        let pieces: Vec<Vec<Pt2>> = (0..t)
+            .map(|r| (0..w).map(|x| Pt2::new(x, r)).collect())
+            .collect();
+        assert!(
+            check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)).is_ok()
+        );
     }
+}
 
-    #[test]
-    fn shuffled_piece_order_fails_unless_consistent(w in 2i64..8, t in 3i64..8, swap_a in 0usize..8, swap_b in 0usize..8) {
+#[test]
+fn shuffled_piece_order_fails_unless_consistent() {
+    let mut rng = Rng64::new(0xD002);
+    for _ in 0..CASES {
+        let w = rng.range_i64(2, 8);
+        let t = rng.range_i64(3, 8);
+        let swap_a = rng.below(8) as usize;
+        let swap_b = rng.below(8) as usize;
         // Swapping two *time rows* always breaks Definition 4 (row r+1
         // depends on row r).
         let rect = IRect::new(0, w, 0, t);
-        let mut pieces: Vec<Vec<Pt2>> =
-            (0..t).map(|r| (0..w).map(|x| Pt2::new(x, r)).collect()).collect();
+        let mut pieces: Vec<Vec<Pt2>> = (0..t)
+            .map(|r| (0..w).map(|x| Pt2::new(x, r)).collect())
+            .collect();
         let a = swap_a % pieces.len();
         let b = swap_b % pieces.len();
-        prop_assume!(a != b);
+        if a == b {
+            continue;
+        }
         pieces.swap(a, b);
-        prop_assert!(check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)).is_err());
+        assert!(
+            check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)).is_err()
+        );
     }
+}
 
-    #[test]
-    fn missing_point_always_detected(w in 2i64..8, t in 2i64..8, dx in 0i64..8, dt in 0i64..8) {
+#[test]
+fn missing_point_always_detected() {
+    let mut rng = Rng64::new(0xD003);
+    for _ in 0..CASES {
+        let w = rng.range_i64(2, 8);
+        let t = rng.range_i64(2, 8);
+        let dx = rng.range_i64(0, 8);
+        let dt = rng.range_i64(0, 8);
         let rect = IRect::new(0, w, 0, t);
         let hole = Pt2::new(dx % w, dt % t);
         let pieces: Vec<Vec<Pt2>> = (0..t)
-            .map(|r| (0..w).map(|x| Pt2::new(x, r)).filter(|p| *p != hole).collect())
+            .map(|r| {
+                (0..w)
+                    .map(|x| Pt2::new(x, r))
+                    .filter(|p| *p != hole)
+                    .collect()
+            })
             .collect();
-        prop_assert!(matches!(
+        assert!(matches!(
             check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)),
             Err(PartitionError::MissingPoints(_))
         ));
     }
+}
 
-    #[test]
-    fn duplicated_point_always_detected(w in 2i64..8, t in 2i64..8) {
+#[test]
+fn duplicated_point_always_detected() {
+    let mut rng = Rng64::new(0xD004);
+    for _ in 0..CASES {
+        let w = rng.range_i64(2, 8);
+        let t = rng.range_i64(2, 8);
         let rect = IRect::new(0, w, 0, t);
-        let mut pieces: Vec<Vec<Pt2>> =
-            (0..t).map(|r| (0..w).map(|x| Pt2::new(x, r)).collect()).collect();
+        let mut pieces: Vec<Vec<Pt2>> = (0..t)
+            .map(|r| (0..w).map(|x| Pt2::new(x, r)).collect())
+            .collect();
         pieces[1].push(Pt2::new(0, 0)); // also in piece 0
-        prop_assert!(matches!(
+        assert!(matches!(
             check_topological_partition1(&rect.points(), &pieces, |p| rect.contains(p)),
             Err(PartitionError::Overlap(_, _))
         ));
     }
+}
 
-    #[test]
-    fn refinement_of_valid_cover_is_topological_order(w in 2i64..12, t in 2i64..12,
-                                                      h in prop_oneof![Just(1i64), Just(2)]) {
+#[test]
+fn refinement_of_valid_cover_is_topological_order() {
+    let mut rng = Rng64::new(0xD005);
+    for _ in 0..CASES {
+        let w = rng.range_i64(2, 12);
+        let t = rng.range_i64(2, 12);
+        let h = [1i64, 2][rng.below(2) as usize];
         let rect = IRect::new(0, w, 1, t + 1);
-        let pieces: Vec<Vec<Pt2>> =
-            diamond_cover(rect, h, Pt2::new(0, 0)).iter().map(|c| c.points()).collect();
-        prop_assert!(is_topological_order1(&refine1(&pieces)));
+        let pieces: Vec<Vec<Pt2>> = diamond_cover(rect, h, Pt2::new(0, 0))
+            .iter()
+            .map(|c| c.points())
+            .collect();
+        assert!(is_topological_order1(&refine1(&pieces)));
     }
+}
 
-    #[test]
-    fn preboundary_size_bounded_by_surface(cx in -5i64..5, ct in -5i64..5, h in 1i64..6) {
+#[test]
+fn preboundary_size_bounded_by_surface() {
+    let mut rng = Rng64::new(0xD006);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-5, 5);
+        let ct = rng.range_i64(-5, 5);
+        let h = rng.range_i64(1, 6);
         // For diamonds: |Γ_in| = 4h + 1 ≤ 2·r with r = 2h.
         let d = bsmp_geometry::Diamond::new(cx, ct, h);
         let set: HashSet<Pt2> = d.points().into_iter().collect();
         let g = preboundary1(&d.points(), |p| set.contains(&p), |_| true);
-        prop_assert!(g.len() as i64 <= 4 * h + 1);
+        assert!(g.len() as i64 <= 4 * h + 1);
     }
+}
 
-    #[test]
-    fn proposition3_space_bound_holds_numerically(e in 6u32..18) {
+#[test]
+fn proposition3_space_bound_holds_numerically() {
+    let mut rng = Rng64::new(0xD007);
+    for _ in 0..CASES {
+        let e = rng.range_u64(6, 18) as u32;
         let k = (1u64 << e) as f64;
         let spec = SeparatorSpec::diamond();
         let b = SpaceTimeBounds::from_spec(&spec, 1.0, 1.0);
         let (s, t) = iterate_recurrence(&spec, 1.0, 1.0, k);
-        prop_assert!(s <= b.space(k) * 1.05, "σ({k})={s} vs {}", b.space(k));
-        prop_assert!(t <= b.time(k) * 1.6, "τ({k})={t} vs {}", b.time(k));
+        assert!(s <= b.space(k) * 1.05, "σ({k})={s} vs {}", b.space(k));
+        assert!(t <= b.time(k) * 1.6, "τ({k})={t} vs {}", b.time(k));
     }
+}
 
-    #[test]
-    fn separator_g_is_monotone(x in 1.0f64..1e9, y in 1.0f64..1e9) {
+#[test]
+fn separator_g_is_monotone() {
+    let mut rng = Rng64::new(0xD008);
+    for _ in 0..CASES {
+        let x = 1.0 + rng.unit_f64() * 1e9;
+        let y = 1.0 + rng.unit_f64() * 1e9;
         let spec = SeparatorSpec::octa_tetra();
         let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-        prop_assert!(spec.g(lo) <= spec.g(hi));
+        assert!(spec.g(lo) <= spec.g(hi));
     }
 }

@@ -1,0 +1,41 @@
+//! # bsmp-faults
+//!
+//! A seeded, fully deterministic fault-injection layer for the
+//! simulation engines.  The paper's premise is that message propagation
+//! is physically constrained; this crate models the *degraded* versions
+//! of that physical world:
+//!
+//! * **delay inflation** — every link runs at a propagation-speed factor
+//!   `ν ≥ 1` (constant, or seeded jitter per stage and processor),
+//!   multiplying the `words × hops × distance` communication charge;
+//! * **transient message loss** — a lost rendezvous is retried, and each
+//!   retry re-pays the stage's communication charge on both endpoints'
+//!   clocks (the charge is applied to each processor's own stage cost,
+//!   which is exactly the half/half split the engines already use);
+//! * **node crash at a stage boundary** — the crashed processor replays
+//!   the stage from the last bulk-synchronous checkpoint and restores
+//!   its memory image, with the recovery traffic charged at model cost.
+//!
+//! Faults are *cost-level* by construction: every engine checkpoints at
+//! bulk-synchronous stage boundaries, and deterministic re-execution
+//! from the last boundary reproduces the same values, so the functional
+//! output is untouched while `T_p` inflates.  This is what the
+//! robustness tests assert: under `FaultPlan::uniform_slowdown(ν)` the
+//! engines stay functionally equivalent to direct guest execution and
+//! `T_p` stays within `ν ×` the fault-free time (hence within `ν ×` the
+//! Theorem-1 envelope).
+//!
+//! Everything is driven by stateless hashing over
+//! `(seed, kind, stage, processor)` — no generator state is threaded
+//! through the engines, so the same plan produces bit-identical costs
+//! regardless of evaluation order.
+//!
+//! The crate has no dependencies; [`rng`] also serves as the
+//! workspace's deterministic random-input source.
+
+pub mod plan;
+pub mod rng;
+pub mod session;
+
+pub use plan::{CrashModel, FaultError, FaultPlan, LossModel, SlowdownModel};
+pub use session::{FaultEnv, FaultSession, FaultStats};

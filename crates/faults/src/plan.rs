@@ -1,0 +1,274 @@
+//! Fault plans: a small, `Copy` description of which faults to inject,
+//! validated once before a run.
+
+use std::error::Error;
+use std::fmt;
+
+/// Per-link propagation slowdown `ν ≥ 1` applied to the communication
+/// component of a processor's stage cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SlowdownModel {
+    /// Links run at full model speed (`ν = 1`).
+    None,
+    /// Every link runs at the same factor `ν ≥ 1`.
+    Constant(f64),
+    /// Each `(stage, processor)` pair draws a factor uniformly from
+    /// `[lo, hi)` with `1 ≤ lo < hi`.
+    Jitter { lo: f64, hi: f64 },
+}
+
+/// Transient message loss: each `(stage, processor)` rendezvous is lost
+/// independently and retried, re-paying the stage communication charge
+/// per retry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossModel {
+    /// No messages are lost.
+    None,
+    /// Each delivery attempt fails with probability `loss_permille/1000`;
+    /// after `max_retries` failed attempts the message is forced through
+    /// (the model has no permanent link failures).
+    Bernoulli {
+        loss_permille: u32,
+        max_retries: u32,
+    },
+}
+
+/// Node crashes at bulk-synchronous stage boundaries, recovered by
+/// checkpoint/restore and stage replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CrashModel {
+    /// No processor crashes.
+    None,
+    /// Processor `proc` crashes exactly once, at the end of stage
+    /// `stage` (0-based global stage counter).
+    AtStage { stage: u64, proc: usize },
+    /// Each `(stage, processor)` pair crashes independently with
+    /// probability `crash_permille/1000`.
+    Random { crash_permille: u32 },
+}
+
+/// A seeded, deterministic description of the faults to inject into a
+/// run.  `Copy` so it can live inside the `Simulation` façade.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault draws (jitter, loss, random crashes).
+    pub seed: u64,
+    pub slowdown: SlowdownModel,
+    pub loss: LossModel,
+    pub crash: CrashModel,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: engines behave bit-identically to their
+    /// fault-free selves.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            slowdown: SlowdownModel::None,
+            loss: LossModel::None,
+            crash: CrashModel::None,
+        }
+    }
+
+    /// Every link uniformly slowed by `ν ≥ 1`, no loss, no crashes.
+    pub fn uniform_slowdown(nu: f64) -> Self {
+        FaultPlan {
+            slowdown: SlowdownModel::Constant(nu),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Builder: set the seed for all fault draws.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: per-(stage, processor) slowdown jittered in `[lo, hi)`.
+    pub fn jitter(mut self, lo: f64, hi: f64) -> Self {
+        self.slowdown = SlowdownModel::Jitter { lo, hi };
+        self
+    }
+
+    /// Builder: Bernoulli message loss with bounded retries.
+    pub fn loss(mut self, loss_permille: u32, max_retries: u32) -> Self {
+        self.loss = LossModel::Bernoulli {
+            loss_permille,
+            max_retries,
+        };
+        self
+    }
+
+    /// Builder: crash processor `proc` at the end of stage `stage`.
+    pub fn crash_at(mut self, stage: u64, proc: usize) -> Self {
+        self.crash = CrashModel::AtStage { stage, proc };
+        self
+    }
+
+    /// Builder: random crashes with probability `crash_permille/1000`
+    /// per (stage, processor).
+    pub fn random_crashes(mut self, crash_permille: u32) -> Self {
+        self.crash = CrashModel::Random { crash_permille };
+        self
+    }
+
+    /// True when the plan injects nothing — engines take the zero-cost
+    /// fast path and reproduce fault-free costs bit-identically.
+    pub fn is_none(&self) -> bool {
+        matches!(self.slowdown, SlowdownModel::None)
+            && matches!(self.loss, LossModel::None)
+            && matches!(self.crash, CrashModel::None)
+    }
+
+    /// Check the plan's parameters before a run.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        match self.slowdown {
+            SlowdownModel::None => {}
+            SlowdownModel::Constant(nu) => {
+                if !nu.is_finite() {
+                    return Err(FaultError::NonFiniteSlowdown { nu });
+                }
+                if nu < 1.0 {
+                    return Err(FaultError::SlowdownBelowOne { nu });
+                }
+            }
+            SlowdownModel::Jitter { lo, hi } => {
+                if !lo.is_finite() || !hi.is_finite() {
+                    return Err(FaultError::NonFiniteSlowdown {
+                        nu: if lo.is_finite() { hi } else { lo },
+                    });
+                }
+                if lo < 1.0 {
+                    return Err(FaultError::SlowdownBelowOne { nu: lo });
+                }
+                if lo >= hi {
+                    return Err(FaultError::EmptyJitterRange { lo, hi });
+                }
+            }
+        }
+        if let LossModel::Bernoulli { loss_permille, .. } = self.loss {
+            if loss_permille > 1000 {
+                return Err(FaultError::LossProbabilityOutOfRange {
+                    permille: loss_permille,
+                });
+            }
+        }
+        if let CrashModel::Random { crash_permille } = self.crash {
+            if crash_permille > 1000 {
+                return Err(FaultError::CrashProbabilityOutOfRange {
+                    permille: crash_permille,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rejected fault-plan parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultError {
+    NonFiniteSlowdown { nu: f64 },
+    SlowdownBelowOne { nu: f64 },
+    EmptyJitterRange { lo: f64, hi: f64 },
+    LossProbabilityOutOfRange { permille: u32 },
+    CrashProbabilityOutOfRange { permille: u32 },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultError::NonFiniteSlowdown { nu } => {
+                write!(f, "slowdown factor must be finite, got {nu}")
+            }
+            FaultError::SlowdownBelowOne { nu } => {
+                write!(f, "slowdown factor must satisfy ν ≥ 1 (links cannot run faster than the model), got {nu}")
+            }
+            FaultError::EmptyJitterRange { lo, hi } => {
+                write!(f, "jitter range [{lo}, {hi}) is empty; need lo < hi")
+            }
+            FaultError::LossProbabilityOutOfRange { permille } => {
+                write!(f, "loss probability {permille}‰ exceeds 1000‰")
+            }
+            FaultError::CrashProbabilityOutOfRange { permille } => {
+                write!(f, "crash probability {permille}‰ exceeds 1000‰")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn uniform_slowdown_validates() {
+        assert!(FaultPlan::uniform_slowdown(1.0).validate().is_ok());
+        assert!(FaultPlan::uniform_slowdown(4.0).validate().is_ok());
+        assert!(!FaultPlan::uniform_slowdown(2.0).is_none());
+        assert_eq!(
+            FaultPlan::uniform_slowdown(0.5).validate(),
+            Err(FaultError::SlowdownBelowOne { nu: 0.5 })
+        );
+        assert!(matches!(
+            FaultPlan::uniform_slowdown(f64::NAN).validate(),
+            Err(FaultError::NonFiniteSlowdown { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_range_checked() {
+        assert!(FaultPlan::none().jitter(1.0, 2.0).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none().jitter(2.0, 2.0).validate(),
+            Err(FaultError::EmptyJitterRange { lo: 2.0, hi: 2.0 })
+        );
+        assert_eq!(
+            FaultPlan::none().jitter(0.5, 2.0).validate(),
+            Err(FaultError::SlowdownBelowOne { nu: 0.5 })
+        );
+    }
+
+    #[test]
+    fn probabilities_checked() {
+        assert!(FaultPlan::none().loss(100, 3).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none().loss(1001, 3).validate(),
+            Err(FaultError::LossProbabilityOutOfRange { permille: 1001 })
+        );
+        assert!(FaultPlan::none().random_crashes(50).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none().random_crashes(2000).validate(),
+            Err(FaultError::CrashProbabilityOutOfRange { permille: 2000 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let msgs = [
+            FaultError::NonFiniteSlowdown { nu: f64::INFINITY }.to_string(),
+            FaultError::SlowdownBelowOne { nu: 0.0 }.to_string(),
+            FaultError::EmptyJitterRange { lo: 3.0, hi: 2.0 }.to_string(),
+            FaultError::LossProbabilityOutOfRange { permille: 1200 }.to_string(),
+            FaultError::CrashProbabilityOutOfRange { permille: 1200 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

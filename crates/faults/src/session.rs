@@ -1,0 +1,322 @@
+//! Per-run fault state: turns a [`FaultPlan`] plus the machine
+//! environment into per-stage cost adjustments and accumulated
+//! accounting.
+
+use crate::plan::{CrashModel, FaultPlan, LossModel, SlowdownModel};
+use crate::rng::{hash4, unit_f64};
+
+/// Tags separating the fault kinds in the stateless hash, so the same
+/// `(stage, proc)` coordinate draws independently for each kind.
+const KIND_JITTER: u64 = 0x4A49;
+const KIND_LOSS: u64 = 0x4C4F;
+const KIND_CRASH: u64 = 0x4352;
+
+/// Machine-side facts a session needs to price recovery traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEnv {
+    /// Number of host processors.
+    pub p: usize,
+    /// Distance (in the host metric) to the nearest neighbour — the hop
+    /// charge used for checkpoint/restore traffic.
+    pub hop: f64,
+    /// Words per checkpoint image (one processor's memory share).
+    pub checkpoint_words: u64,
+}
+
+impl FaultEnv {
+    /// Environment for a run with no fault plan attached; the values
+    /// are never read because the empty plan takes the fast path.
+    pub fn trivial() -> Self {
+        FaultEnv {
+            p: 1,
+            hop: 1.0,
+            checkpoint_words: 0,
+        }
+    }
+}
+
+/// Fault accounting accumulated over a run, reported in `SimReport`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Total message retries charged across all stages and processors.
+    pub retries: u64,
+    /// Stages replayed due to a crash (one per crash event).
+    pub recovered_stages: u64,
+    /// Crash events injected.
+    pub crashes: u64,
+    /// Extra parallel time attributable to faults:
+    /// `Σ_stages (faulted stage max − fault-free stage max)`.
+    pub injected_delay: f64,
+}
+
+/// Live fault state for one engine run: the plan, the environment, a
+/// global stage counter, and the accumulated statistics.
+#[derive(Clone, Debug)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    env: FaultEnv,
+    stage: u64,
+    /// Accounting, read out into the report when the run finishes.
+    pub stats: FaultStats,
+}
+
+impl FaultSession {
+    pub fn new(plan: &FaultPlan, env: FaultEnv) -> Self {
+        FaultSession {
+            plan: *plan,
+            env,
+            stage: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// A session that injects nothing (for engines run without a plan).
+    pub fn inactive() -> Self {
+        FaultSession::new(&FaultPlan::none(), FaultEnv::trivial())
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Link slowdown factor `ν ≥ 1` for `(stage, proc)`.
+    pub fn link_factor(&self, stage: u64, proc: usize) -> f64 {
+        match self.plan.slowdown {
+            SlowdownModel::None => 1.0,
+            SlowdownModel::Constant(nu) => nu,
+            SlowdownModel::Jitter { lo, hi } => {
+                let u = unit_f64(hash4(self.plan.seed, KIND_JITTER, stage, proc as u64));
+                lo + u * (hi - lo)
+            }
+        }
+    }
+
+    /// Number of delivery retries for `(stage, proc)`: consecutive
+    /// failed Bernoulli draws, capped at `max_retries`.
+    pub fn retries(&self, stage: u64, proc: usize) -> u64 {
+        match self.plan.loss {
+            LossModel::None => 0,
+            LossModel::Bernoulli {
+                loss_permille,
+                max_retries,
+            } => {
+                let pr = f64::from(loss_permille) / 1000.0;
+                let mut r = 0u64;
+                while r < u64::from(max_retries) {
+                    let u = unit_f64(hash4(
+                        self.plan.seed,
+                        KIND_LOSS ^ r.rotate_left(13),
+                        stage,
+                        proc as u64,
+                    ));
+                    if u >= pr {
+                        break;
+                    }
+                    r += 1;
+                }
+                r
+            }
+        }
+    }
+
+    /// Whether processor `proc` crashes at the end of stage `stage`.
+    pub fn crashed(&self, stage: u64, proc: usize) -> bool {
+        match self.plan.crash {
+            CrashModel::None => false,
+            CrashModel::AtStage { stage: s, proc: q } => s == stage && q == proc,
+            CrashModel::Random { crash_permille } => {
+                let pr = f64::from(crash_permille) / 1000.0;
+                unit_f64(hash4(self.plan.seed, KIND_CRASH, stage, proc as u64)) < pr
+            }
+        }
+    }
+
+    /// Apply the plan to one bulk-synchronous stage.
+    ///
+    /// `total[i]` is processor `i`'s full stage cost (computation plus
+    /// its half of the communication charge); `comm[i]` is the
+    /// communication component alone, so `comm[i] ≤ total[i]`.
+    ///
+    /// Returns the faulted per-processor costs:
+    ///
+    /// ```text
+    /// base_i = total_i + (ν_i − 1)·comm_i + r_i·ν_i·comm_i
+    /// cost_i = base_i                              (no crash)
+    /// cost_i = 2·base_i + checkpoint_words·hop·ν_i (crash: replay +
+    ///                                               restore traffic)
+    /// ```
+    ///
+    /// Because `comm_i ≤ total_i`, a pure slowdown gives
+    /// `cost_i ≤ ν_i · total_i`, which is what the envelope tests lean
+    /// on.  Always advances the global stage counter; the empty plan
+    /// returns `total` unchanged.
+    pub fn apply_stage(&mut self, total: &[f64], comm: &[f64]) -> Vec<f64> {
+        let stage = self.stage;
+        self.stage += 1;
+        if self.plan.is_none() {
+            return total.to_vec();
+        }
+        debug_assert_eq!(total.len(), comm.len());
+        let raw_max = total.iter().cloned().fold(0.0, f64::max);
+        let out: Vec<f64> = total
+            .iter()
+            .zip(comm.iter())
+            .enumerate()
+            .map(|(i, (&t, &c))| {
+                let nu = self.link_factor(stage, i);
+                let r = self.retries(stage, i);
+                self.stats.retries += r;
+                let base = t + (nu - 1.0) * c + r as f64 * nu * c;
+                if self.crashed(stage, i) {
+                    self.stats.crashes += 1;
+                    self.stats.recovered_stages += 1;
+                    2.0 * base + self.env.checkpoint_words as f64 * self.env.hop * nu
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let faulted_max = out.iter().cloned().fold(0.0, f64::max);
+        self.stats.injected_delay += faulted_max - raw_max;
+        out
+    }
+
+    /// Stages processed so far (the global stage counter).
+    pub fn stages_seen(&self) -> u64 {
+        self.stage
+    }
+
+    /// Take the accumulated statistics out of the session.
+    pub fn into_stats(self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(p: usize) -> FaultEnv {
+        FaultEnv {
+            p,
+            hop: 1.0,
+            checkpoint_words: 8,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let mut s = FaultSession::inactive();
+        let total = [3.0, 5.0, 4.0];
+        let comm = [1.0, 2.0, 0.0];
+        assert_eq!(s.apply_stage(&total, &comm), total.to_vec());
+        assert_eq!(s.stats, FaultStats::default());
+        assert_eq!(s.stages_seen(), 1);
+    }
+
+    #[test]
+    fn constant_slowdown_inflates_only_comm() {
+        let plan = FaultPlan::uniform_slowdown(3.0);
+        let mut s = FaultSession::new(&plan, env(2));
+        let out = s.apply_stage(&[10.0, 10.0], &[4.0, 0.0]);
+        // base = total + (ν−1)·comm
+        assert_eq!(out, vec![10.0 + 2.0 * 4.0, 10.0]);
+        assert!((s.stats.injected_delay - 8.0).abs() < 1e-12);
+        assert_eq!(s.stats.retries, 0);
+        assert_eq!(s.stats.crashes, 0);
+    }
+
+    #[test]
+    fn slowdown_bounded_by_nu_times_total() {
+        let plan = FaultPlan::uniform_slowdown(4.0);
+        let mut s = FaultSession::new(&plan, env(3));
+        let total = [7.0, 9.0, 11.0];
+        let comm = [7.0, 3.0, 0.5];
+        let out = s.apply_stage(&total, &comm);
+        for (i, &o) in out.iter().enumerate() {
+            assert!(o >= total[i]);
+            assert!(o <= 4.0 * total[i] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_in_range() {
+        let plan = FaultPlan::none().seed(42).jitter(1.5, 2.5);
+        let a = FaultSession::new(&plan, env(4));
+        let b = FaultSession::new(&plan, env(4));
+        for stage in 0..10 {
+            for proc in 0..4 {
+                let fa = a.link_factor(stage, proc);
+                assert_eq!(fa, b.link_factor(stage, proc));
+                assert!((1.5..2.5).contains(&fa));
+            }
+        }
+        let other = FaultSession::new(&plan.seed(43), env(4));
+        assert_ne!(a.link_factor(0, 0), other.link_factor(0, 0));
+    }
+
+    #[test]
+    fn retries_capped_and_charged() {
+        // Certain loss: every draw fails, so retries hit the cap.
+        let plan = FaultPlan::none().loss(1000, 3);
+        let mut s = FaultSession::new(&plan, env(1));
+        assert_eq!(s.retries(0, 0), 3);
+        let out = s.apply_stage(&[10.0], &[2.0]);
+        // base = 10 + 0 + 3·1·2 = 16
+        assert_eq!(out, vec![16.0]);
+        assert_eq!(s.stats.retries, 3);
+    }
+
+    #[test]
+    fn no_loss_draws_zero_retries() {
+        let plan = FaultPlan::none().loss(0, 5);
+        let s = FaultSession::new(&plan, env(1));
+        for stage in 0..20 {
+            assert_eq!(s.retries(stage, 0), 0);
+        }
+    }
+
+    #[test]
+    fn crash_at_stage_replays_and_restores() {
+        let plan = FaultPlan::none().crash_at(1, 0);
+        let mut s = FaultSession::new(&plan, env(2));
+        let first = s.apply_stage(&[5.0, 5.0], &[1.0, 1.0]);
+        assert_eq!(first, vec![5.0, 5.0]);
+        let second = s.apply_stage(&[5.0, 5.0], &[1.0, 1.0]);
+        // crashed proc 0: 2·5 + 8·1·1 = 18; proc 1 untouched.
+        assert_eq!(second, vec![18.0, 5.0]);
+        assert_eq!(s.stats.crashes, 1);
+        assert_eq!(s.stats.recovered_stages, 1);
+        let third = s.apply_stage(&[5.0, 5.0], &[1.0, 1.0]);
+        assert_eq!(third, vec![5.0, 5.0]);
+        assert_eq!(s.stats.crashes, 1);
+    }
+
+    #[test]
+    fn apply_stage_bit_reproducible() {
+        let plan = FaultPlan::none()
+            .seed(9)
+            .jitter(1.0, 3.0)
+            .loss(250, 4)
+            .random_crashes(100);
+        let total = [4.0, 6.5, 3.25, 8.0];
+        let comm = [1.0, 2.0, 0.25, 4.0];
+        let mut a = FaultSession::new(&plan, env(4));
+        let mut b = FaultSession::new(&plan, env(4));
+        for _ in 0..50 {
+            let xa = a.apply_stage(&total, &comm);
+            let xb = b.apply_stage(&total, &comm);
+            assert_eq!(xa, xb);
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn injected_delay_tracks_stage_max_difference() {
+        let plan = FaultPlan::uniform_slowdown(2.0);
+        let mut s = FaultSession::new(&plan, env(2));
+        // raw max = 10; faulted: [10+3, 10] → max 13; delta 3.
+        s.apply_stage(&[10.0, 10.0], &[3.0, 0.0]);
+        assert!((s.stats.injected_delay - 3.0).abs() < 1e-12);
+    }
+}

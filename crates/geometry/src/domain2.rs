@@ -70,7 +70,10 @@ impl Domain2 {
     pub fn new(dx: Diamond, dy: Diamond) -> Self {
         assert_eq!(dx.h, dy.h, "projection tiles must share a radius");
         let dt = (dx.ct - dy.ct).abs();
-        assert!(dt == 0 || dt == dx.h, "cell offset must be 0 or h, got {dt}");
+        assert!(
+            dt == 0 || dt == dx.h,
+            "cell offset must be 0 or h, got {dt}"
+        );
         Domain2 { dx, dy }
     }
 
@@ -146,7 +149,14 @@ impl Domain2 {
     pub fn bbox(&self) -> IBox {
         let bx = self.dx.bbox();
         let by = self.dy.bbox();
-        IBox::new(bx.x0, bx.x1, by.x0, by.x1, bx.t0.max(by.t0), bx.t1.min(by.t1))
+        IBox::new(
+            bx.x0,
+            bx.x1,
+            by.x0,
+            by.x1,
+            bx.t0.max(by.t0),
+            bx.t1.min(by.t1),
+        )
     }
 
     /// All lattice points in time-major order.
@@ -245,8 +255,12 @@ impl ClippedDomain2 {
     pub fn points_count(&self) -> i64 {
         let h = self.cell.h();
         let mut n = 0i64;
-        let t0 = (self.cell.dx.ct - h + 1).max(self.cell.dy.ct - h + 1).max(self.clip.t0);
-        let t1 = (self.cell.dx.ct + h).min(self.cell.dy.ct + h).min(self.clip.t1 - 1);
+        let t0 = (self.cell.dx.ct - h + 1)
+            .max(self.cell.dy.ct - h + 1)
+            .max(self.clip.t0);
+        let t1 = (self.cell.dx.ct + h)
+            .min(self.cell.dy.ct + h)
+            .min(self.clip.t1 - 1);
         for t in t0..=t1 {
             let (xa, xb) = column_range(&self.cell.dx, t);
             let (ya, yb) = column_range(&self.cell.dy, t);
@@ -301,7 +315,14 @@ impl ClippedDomain2 {
         (
             self.cell.h(),
             self.cell.dy.ct - self.cell.dx.ct,
-            (c.x0 - ox, c.x1 - ox, c.y0 - oy, c.y1 - oy, c.t0 - ot, c.t1 - ot),
+            (
+                c.x0 - ox,
+                c.x1 - ox,
+                c.y0 - oy,
+                c.y1 - oy,
+                c.t0 - ot,
+                c.t1 - ot,
+            ),
         )
     }
 }
@@ -343,7 +364,10 @@ mod tests {
         let p = Domain2::octahedron(0, 0, 0, 4);
         let kids = p.children();
         assert_eq!(kids.len(), 14, "6 octahedra + 8 tetrahedra");
-        let octs = kids.iter().filter(|c| c.kind() == CellKind::Octahedron).count();
+        let octs = kids
+            .iter()
+            .filter(|c| c.kind() == CellKind::Octahedron)
+            .count();
         assert_eq!(octs, 6);
         assert_eq!(kids.len() - octs, 8);
         // Volume ratios of Figure 3(a): |P(ρ/2)| = |P|/8, |W(ρ/2)| = |P|/32
@@ -354,10 +378,16 @@ mod tests {
 
     #[test]
     fn tetra_children_counts_match_figure_3b() {
-        for mk in [Domain2::tetra_x_bottom(0, 0, 0, 4), Domain2::tetra_y_bottom(0, 0, 0, 4)] {
+        for mk in [
+            Domain2::tetra_x_bottom(0, 0, 0, 4),
+            Domain2::tetra_y_bottom(0, 0, 0, 4),
+        ] {
             let kids = mk.children();
             assert_eq!(kids.len(), 5, "4 tetrahedra + 1 octahedron");
-            let octs = kids.iter().filter(|c| c.kind() == CellKind::Octahedron).count();
+            let octs = kids
+                .iter()
+                .filter(|c| c.kind() == CellKind::Octahedron)
+                .count();
             assert_eq!(octs, 1);
             let vol: i64 = kids.iter().map(|c| c.volume()).sum();
             assert_eq!(vol, mk.volume());
@@ -446,7 +476,13 @@ mod tests {
     #[test]
     fn kind_detection() {
         assert_eq!(Domain2::octahedron(0, 0, 0, 2).kind(), CellKind::Octahedron);
-        assert_eq!(Domain2::tetra_x_bottom(0, 0, 0, 2).kind(), CellKind::TetraXBottom);
-        assert_eq!(Domain2::tetra_y_bottom(0, 0, 0, 2).kind(), CellKind::TetraYBottom);
+        assert_eq!(
+            Domain2::tetra_x_bottom(0, 0, 0, 2).kind(),
+            CellKind::TetraXBottom
+        );
+        assert_eq!(
+            Domain2::tetra_y_bottom(0, 0, 0, 2).kind(),
+            CellKind::TetraYBottom
+        );
     }
 }

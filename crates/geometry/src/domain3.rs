@@ -50,7 +50,10 @@ impl Domain3 {
     /// If radii differ or any pairwise center-time offset is outside
     /// `{0, ±h}` (such a triple has an empty time range).
     pub fn new(dx: Diamond, dy: Diamond, dz: Diamond) -> Self {
-        assert!(dx.h == dy.h && dy.h == dz.h, "projection tiles must share a radius");
+        assert!(
+            dx.h == dy.h && dy.h == dz.h,
+            "projection tiles must share a radius"
+        );
         let h = dx.h;
         for (a, b) in [(dx.ct, dy.ct), (dx.ct, dz.ct), (dy.ct, dz.ct)] {
             let d = (a - b).abs();
@@ -62,7 +65,11 @@ impl Domain3 {
     /// The fully symmetric cell (all projections centered at time `ct`)
     /// — the 4-D analogue of the octahedron `P`.
     pub fn symmetric(cx: i64, cy: i64, cz: i64, ct: i64, h: i64) -> Self {
-        Domain3::new(Diamond::new(cx, ct, h), Diamond::new(cy, ct, h), Diamond::new(cz, ct, h))
+        Domain3::new(
+            Diamond::new(cx, ct, h),
+            Diamond::new(cy, ct, h),
+            Diamond::new(cz, ct, h),
+        )
     }
 
     /// A mixed cell: the `z` projection lags by `h` (one of the
@@ -93,7 +100,10 @@ impl Domain3 {
     /// — the cell's shape class.
     pub fn class(&self) -> usize {
         let lo = self.dx.ct.min(self.dy.ct).min(self.dz.ct);
-        [self.dx.ct, self.dy.ct, self.dz.ct].iter().filter(|&&c| c != lo).count()
+        [self.dx.ct, self.dy.ct, self.dz.ct]
+            .iter()
+            .filter(|&&c| c != lo)
+            .count()
     }
 
     #[inline]
@@ -317,7 +327,10 @@ mod tests {
         // closes over the three classes).
         assert!(c0[0] > 0 && c0[1] > 0);
         assert!(c1[0] > 0 || c1[1] > 0);
-        assert!(q0 >= q1 && q1 >= q2 || q0 > 0, "recorded: {q0}/{q1}/{q2} {c0:?} {c1:?} {c2:?}");
+        assert!(
+            q0 >= q1 && q1 >= q2 || q0 > 0,
+            "recorded: {q0}/{q1}/{q2} {c0:?} {c1:?} {c2:?}"
+        );
     }
 }
 
@@ -337,7 +350,16 @@ pub struct IBox4 {
 impl IBox4 {
     #[allow(clippy::too_many_arguments)]
     pub fn new(x0: i64, x1: i64, y0: i64, y1: i64, z0: i64, z1: i64, t0: i64, t1: i64) -> Self {
-        IBox4 { x0, x1, y0, y1, z0, z1, t0, t1 }
+        IBox4 {
+            x0,
+            x1,
+            y0,
+            y1,
+            z0,
+            z1,
+            t0,
+            t1,
+        }
     }
 
     /// The computation box of a `T`-step run on a `side³` 3-D mesh.
@@ -383,16 +405,20 @@ impl ClippedDomain3 {
     }
 
     pub fn points(&self) -> Vec<Pt4> {
-        self.cell.points().into_iter().filter(|p| self.clip.contains(*p)).collect()
+        self.cell
+            .points()
+            .into_iter()
+            .filter(|p| self.clip.contains(*p))
+            .collect()
     }
 
     pub fn points_count(&self) -> i64 {
         // Column arithmetic, mirroring Domain3::volume with clamping.
         let h = self.cell.h();
-        let t0 = (self.cell.dx.ct.max(self.cell.dy.ct).max(self.cell.dz.ct) - h + 1)
-            .max(self.clip.t0);
-        let t1 = (self.cell.dx.ct.min(self.cell.dy.ct).min(self.cell.dz.ct) + h)
-            .min(self.clip.t1 - 1);
+        let t0 =
+            (self.cell.dx.ct.max(self.cell.dy.ct).max(self.cell.dz.ct) - h + 1).max(self.clip.t0);
+        let t1 =
+            (self.cell.dx.ct.min(self.cell.dy.ct).min(self.cell.dz.ct) + h).min(self.clip.t1 - 1);
         let mut n = 0i64;
         for t in t0..=t1 {
             let clamp = |d: &Diamond, lo: i64, hi: i64| {

@@ -112,10 +112,20 @@ mod tests {
     fn figure3_counts() {
         let (_, a) = figure3a(4);
         assert_eq!(a.len(), 14);
-        assert_eq!(a.iter().filter(|c| c.kind() == CellKind::Octahedron).count(), 6);
+        assert_eq!(
+            a.iter()
+                .filter(|c| c.kind() == CellKind::Octahedron)
+                .count(),
+            6
+        );
         let (_, b) = figure3b(4);
         assert_eq!(b.len(), 5);
-        assert_eq!(b.iter().filter(|c| c.kind() == CellKind::Octahedron).count(), 1);
+        assert_eq!(
+            b.iter()
+                .filter(|c| c.kind() == CellKind::Octahedron)
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -134,7 +144,11 @@ mod tests {
                     && c.cell.dx.ct == s / 2
             })
             .expect("central octahedron present");
-        assert_eq!(central.points_count(), central.cell.volume(), "central piece untruncated");
+        assert_eq!(
+            central.points_count(),
+            central.cell.volume(),
+            "central piece untruncated"
+        );
     }
 
     #[test]

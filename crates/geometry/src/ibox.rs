@@ -22,7 +22,12 @@ impl IRect {
     /// The space-time box of a `T`-step computation on an `n`-node linear
     /// array: `x ∈ [0, n)`, `t ∈ [0, T]` (row `t = 0` holds the inputs).
     pub fn computation(n: i64, t_steps: i64) -> Self {
-        IRect { x0: 0, x1: n, t0: 0, t1: t_steps + 1 }
+        IRect {
+            x0: 0,
+            x1: n,
+            t0: 0,
+            t1: t_steps + 1,
+        }
     }
 
     /// Arbitrary half-open rectangle.
@@ -81,11 +86,25 @@ pub struct IBox {
 impl IBox {
     /// The space-time box of a `T`-step computation on a `√n × √n` mesh.
     pub fn computation(side: i64, t_steps: i64) -> Self {
-        IBox { x0: 0, x1: side, y0: 0, y1: side, t0: 0, t1: t_steps + 1 }
+        IBox {
+            x0: 0,
+            x1: side,
+            y0: 0,
+            y1: side,
+            t0: 0,
+            t1: t_steps + 1,
+        }
     }
 
     pub fn new(x0: i64, x1: i64, y0: i64, y1: i64, t0: i64, t1: i64) -> Self {
-        IBox { x0, x1, y0, y1, t0, t1 }
+        IBox {
+            x0,
+            x1,
+            y0,
+            y1,
+            t0,
+            t1,
+        }
     }
 
     #[inline]

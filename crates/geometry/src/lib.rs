@@ -35,9 +35,9 @@ pub mod point;
 pub mod diamond;
 pub mod tiling1;
 
+pub mod domain2;
 pub mod octa;
 pub mod tetra;
-pub mod domain2;
 pub mod tiling2;
 
 pub mod domain3;
@@ -47,9 +47,9 @@ pub mod render;
 
 pub use diamond::{ClippedDiamond, Diamond, SemiDiamond, SemiSide};
 pub use domain2::{CellKind, ClippedDomain2, Domain2};
+pub use domain3::{ClippedDomain3, Domain3, IBox4};
 pub use ibox::{IBox, IRect};
 pub use octa::Octahedron;
-pub use domain3::{ClippedDomain3, Domain3, IBox4};
 pub use point::{Pt2, Pt3, Pt4};
 pub use tetra::{TetraOrient, Tetrahedron};
 pub use tiling1::{diamond_cover, zigzag_bands};

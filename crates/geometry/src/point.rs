@@ -109,7 +109,6 @@ impl Pt3 {
     }
 }
 
-
 /// A vertex of the 3-D-mesh dag `G_T(M_3)` (the Section-6 extension):
 /// spatial coordinates `(x, y, z)`, time step `t`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -158,7 +157,6 @@ impl Pt4 {
 }
 
 #[cfg(test)]
-
 mod tests {
     use super::*;
 

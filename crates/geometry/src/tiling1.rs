@@ -37,8 +37,7 @@ pub fn diamond_cover(rect: IRect, h: i64, anchor: Pt2) -> Vec<ClippedDiamond> {
         let mut cx = cx_lo;
         while cx <= cx_hi {
             if (cx - ct).rem_euclid(2 * h) == 0 {
-                let cd =
-                    ClippedDiamond::new(Diamond::new(cx + anchor.x, ct + anchor.t, h), rect);
+                let cd = ClippedDiamond::new(Diamond::new(cx + anchor.x, ct + anchor.t, h), rect);
                 if !cd.is_empty() {
                     tiles.push(cd);
                 }
@@ -95,7 +94,11 @@ mod tests {
                     assert!(seen.insert(p), "duplicate point {p:?} (w={w},t={t},h={h})");
                 }
             }
-            assert_eq!(seen.len() as i64, rect.volume(), "coverage (w={w},t={t},h={h})");
+            assert_eq!(
+                seen.len() as i64,
+                rect.volume(),
+                "coverage (w={w},t={t},h={h})"
+            );
         }
     }
 
@@ -109,7 +112,11 @@ mod tests {
         for tile in &tiles {
             for g in tile.preboundary() {
                 // g inside rect must be already executed.
-                assert!(earlier.contains(&g), "tile {:?} needs {g:?} too early", tile.d);
+                assert!(
+                    earlier.contains(&g),
+                    "tile {:?} needs {g:?} too early",
+                    tile.d
+                );
             }
             earlier.extend(tile.points());
         }
@@ -141,7 +148,10 @@ mod tests {
             }
             let min = band.iter().map(|c| c.d.cx).min().unwrap();
             let max = band.iter().map(|c| c.d.cx).max().unwrap();
-            assert!(max - min <= 2 * h, "zig-zag stays in its strip: {min}..{max}");
+            assert!(
+                max - min <= 2 * h,
+                "zig-zag stays in its strip: {min}..{max}"
+            );
         }
     }
 

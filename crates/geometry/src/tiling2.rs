@@ -20,10 +20,14 @@ pub fn cell_cover(bx: IBox, h: i64, anchor: Pt3) -> Vec<ClippedDomain2> {
     assert!(h >= 1);
     let xshadow = IRect::new(bx.x0, bx.x1, bx.t0, bx.t1);
     let yshadow = IRect::new(bx.y0, bx.y1, bx.t0, bx.t1);
-    let xtiles: Vec<Diamond> =
-        diamond_cover(xshadow, h, Pt2::new(anchor.x, anchor.t)).into_iter().map(|c| c.d).collect();
-    let ytiles: Vec<Diamond> =
-        diamond_cover(yshadow, h, Pt2::new(anchor.y, anchor.t)).into_iter().map(|c| c.d).collect();
+    let xtiles: Vec<Diamond> = diamond_cover(xshadow, h, Pt2::new(anchor.x, anchor.t))
+        .into_iter()
+        .map(|c| c.d)
+        .collect();
+    let ytiles: Vec<Diamond> = diamond_cover(yshadow, h, Pt2::new(anchor.y, anchor.t))
+        .into_iter()
+        .map(|c| c.d)
+        .collect();
 
     // Index y-tiles by center time for pairing.
     let mut by_ct: std::collections::HashMap<i64, Vec<Diamond>> = std::collections::HashMap::new();
@@ -76,7 +80,11 @@ mod tests {
         let mut earlier: HashSet<Pt3> = HashSet::new();
         for c in &cells {
             for g in c.preboundary() {
-                assert!(earlier.contains(&g), "cell {:?} needs {g:?} too early", c.cell);
+                assert!(
+                    earlier.contains(&g),
+                    "cell {:?} needs {g:?} too early",
+                    c.cell
+                );
             }
             earlier.extend(c.points());
         }
@@ -97,7 +105,10 @@ mod tests {
         use crate::domain2::CellKind;
         let bx = IBox::new(0, 8, 0, 8, 0, 8);
         let cells = cell_cover(bx, 2, Pt3::new(0, 0, 0));
-        let octs = cells.iter().filter(|c| c.cell.kind() == CellKind::Octahedron).count();
+        let octs = cells
+            .iter()
+            .filter(|c| c.cell.kind() == CellKind::Octahedron)
+            .count();
         let tets = cells.len() - octs;
         assert!(octs > 0 && tets > 0, "octs={octs} tets={tets}");
     }

@@ -1,53 +1,78 @@
-//! Property-based tests of the geometric invariants the engines rely on.
+//! Property-based tests of the geometric invariants the engines rely
+//! on, driven by the in-repo seeded [`Rng64`] case generator.
 
+use bsmp_faults::rng::Rng64;
 use bsmp_geometry::{
     cell_cover, diamond_cover, ClippedDiamond, Diamond, Domain2, IBox, IRect, Pt2, Pt3,
 };
-use proptest::prelude::*;
 use std::collections::HashSet;
 
+const CASES: u64 = 64;
+
 /// Powers of two up to 16 (split-friendly radii).
-fn pow2_radius() -> impl Strategy<Value = i64> {
-    prop_oneof![Just(1i64), Just(2), Just(4), Just(8), Just(16)]
+fn pow2_radius(rng: &mut Rng64) -> i64 {
+    [1i64, 2, 4, 8, 16][rng.below(5) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn diamond_volume_counts_points(cx in -20i64..20, ct in -20i64..20, h in 1i64..12) {
+#[test]
+fn diamond_volume_counts_points() {
+    let mut rng = Rng64::new(0xC001);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-20, 20);
+        let ct = rng.range_i64(-20, 20);
+        let h = rng.range_i64(1, 12);
         let d = Diamond::new(cx, ct, h);
-        prop_assert_eq!(d.points().len() as i64, d.volume());
+        assert_eq!(d.points().len() as i64, d.volume());
     }
+}
 
-    #[test]
-    fn diamond_contains_matches_enumeration(cx in -8i64..8, ct in -8i64..8, h in 1i64..8) {
+#[test]
+fn diamond_contains_matches_enumeration() {
+    let mut rng = Rng64::new(0xC002);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-8, 8);
+        let ct = rng.range_i64(-8, 8);
+        let h = rng.range_i64(1, 8);
         let d = Diamond::new(cx, ct, h);
         let set: HashSet<Pt2> = d.points().into_iter().collect();
         for x in cx - h - 1..=cx + h + 1 {
             for t in ct - h - 1..=ct + h + 1 {
                 let p = Pt2::new(x, t);
-                prop_assert_eq!(d.contains(p), set.contains(&p));
+                assert_eq!(d.contains(p), set.contains(&p));
             }
         }
     }
+}
 
-    #[test]
-    fn diamond_children_partition(cx in -10i64..10, ct in -10i64..10, h in pow2_radius()) {
-        prop_assume!(h >= 2);
+#[test]
+fn diamond_children_partition() {
+    let mut rng = Rng64::new(0xC003);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-10, 10);
+        let ct = rng.range_i64(-10, 10);
+        let h = pow2_radius(&mut rng);
+        if h < 2 {
+            continue;
+        }
         let d = Diamond::new(cx, ct, h);
         let mut seen = HashSet::new();
         for c in d.children() {
             for p in c.points() {
-                prop_assert!(d.contains(p));
-                prop_assert!(seen.insert(p), "overlap at {:?}", p);
+                assert!(d.contains(p));
+                assert!(seen.insert(p), "overlap at {p:?}");
             }
         }
-        prop_assert_eq!(seen.len() as i64, d.volume());
+        assert_eq!(seen.len() as i64, d.volume());
     }
+}
 
-    #[test]
-    fn diamond_preboundary_is_generic_preboundary(cx in -6i64..6, ct in -6i64..6, h in 1i64..7) {
+#[test]
+fn diamond_preboundary_is_generic_preboundary() {
+    let mut rng = Rng64::new(0xC004);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-6, 6);
+        let ct = rng.range_i64(-6, 6);
+        let h = rng.range_i64(1, 7);
         let d = Diamond::new(cx, ct, h);
         let set: HashSet<Pt2> = d.points().into_iter().collect();
         let mut generic = HashSet::new();
@@ -59,49 +84,76 @@ proptest! {
             }
         }
         let analytic: HashSet<Pt2> = d.preboundary().into_iter().collect();
-        prop_assert_eq!(analytic, generic);
+        assert_eq!(analytic, generic);
     }
+}
 
-    #[test]
-    fn clipped_counts_agree(cx in -6i64..10, ct in -6i64..10, h in 1i64..8,
-                            x0 in -4i64..4, w in 1i64..12, t0 in -4i64..4, tt in 1i64..12) {
+#[test]
+fn clipped_counts_agree() {
+    let mut rng = Rng64::new(0xC005);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-6, 10);
+        let ct = rng.range_i64(-6, 10);
+        let h = rng.range_i64(1, 8);
+        let x0 = rng.range_i64(-4, 4);
+        let w = rng.range_i64(1, 12);
+        let t0 = rng.range_i64(-4, 4);
+        let tt = rng.range_i64(1, 12);
         let cd = ClippedDiamond::new(Diamond::new(cx, ct, h), IRect::new(x0, x0 + w, t0, t0 + tt));
-        prop_assert_eq!(cd.points().len() as i64, cd.points_count());
+        assert_eq!(cd.points().len() as i64, cd.points_count());
         for p in cd.points() {
-            prop_assert!(cd.contains(p));
+            assert!(cd.contains(p));
         }
     }
+}
 
-    #[test]
-    fn cover_partitions_any_rect(w in 1i64..24, t in 1i64..24, h in pow2_radius(),
-                                 ax in -3i64..4, at in -3i64..4) {
+#[test]
+fn cover_partitions_any_rect() {
+    let mut rng = Rng64::new(0xC006);
+    for _ in 0..CASES {
+        let w = rng.range_i64(1, 24);
+        let t = rng.range_i64(1, 24);
+        let h = pow2_radius(&mut rng);
+        let ax = rng.range_i64(-3, 4);
+        let at = rng.range_i64(-3, 4);
         let rect = IRect::new(0, w, 0, t);
         let tiles = diamond_cover(rect, h, Pt2::new(ax, at));
         let mut seen = HashSet::new();
         for tile in &tiles {
             for p in tile.points() {
-                prop_assert!(rect.contains(p));
-                prop_assert!(seen.insert(p));
+                assert!(rect.contains(p));
+                assert!(seen.insert(p));
             }
         }
-        prop_assert_eq!(seen.len() as i64, rect.volume());
+        assert_eq!(seen.len() as i64, rect.volume());
     }
+}
 
-    #[test]
-    fn cover_order_is_topological(w in 2i64..16, t in 2i64..16, h in prop_oneof![Just(1i64), Just(2), Just(4)]) {
+#[test]
+fn cover_order_is_topological() {
+    let mut rng = Rng64::new(0xC007);
+    for _ in 0..CASES {
+        let w = rng.range_i64(2, 16);
+        let t = rng.range_i64(2, 16);
+        let h = [1i64, 2, 4][rng.below(3) as usize];
         let rect = IRect::new(0, w, 1, t + 1);
         let tiles = diamond_cover(rect, h, Pt2::new(0, 0));
         let mut earlier: HashSet<Pt2> = HashSet::new();
         for tile in &tiles {
             for g in tile.preboundary() {
-                prop_assert!(earlier.contains(&g), "{:?} needed early by {:?}", g, tile.d);
+                assert!(earlier.contains(&g), "{:?} needed early by {:?}", g, tile.d);
             }
             earlier.extend(tile.points());
         }
     }
+}
 
-    #[test]
-    fn nested_tilings_refine(w in 4i64..16, t in 4i64..16) {
+#[test]
+fn nested_tilings_refine() {
+    let mut rng = Rng64::new(0xC008);
+    for _ in 0..CASES {
+        let w = rng.range_i64(4, 16);
+        let t = rng.range_i64(4, 16);
         // The radius-h/2 tiling anchored (0, h/2) nests inside the
         // radius-h tiling anchored (0, 0): every fine tile lies inside
         // exactly one coarse tile.
@@ -111,39 +163,60 @@ proptest! {
         let fine = diamond_cover(rect, h / 2, Pt2::new(0, h / 2));
         for f in &fine {
             let pts = f.points();
-            prop_assume!(!pts.is_empty());
+            if pts.is_empty() {
+                continue;
+            }
             let owners: HashSet<usize> = pts
                 .iter()
                 .map(|p| coarse.iter().position(|c| c.contains(*p)).unwrap())
                 .collect();
-            prop_assert_eq!(owners.len(), 1, "fine tile straddles coarse tiles");
+            assert_eq!(owners.len(), 1, "fine tile straddles coarse tiles");
         }
     }
+}
 
-    #[test]
-    fn semidiamonds_partition_diamond(cx in -8i64..8, ct in -8i64..8, h in 1i64..8) {
+#[test]
+fn semidiamonds_partition_diamond() {
+    let mut rng = Rng64::new(0xC009);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-8, 8);
+        let ct = rng.range_i64(-8, 8);
+        let h = rng.range_i64(1, 8);
         let d = Diamond::new(cx, ct, h);
         let [l, r] = d.split_vertical();
         let mut seen = HashSet::new();
         for p in l.points().into_iter().chain(r.points()) {
-            prop_assert!(d.contains(p));
-            prop_assert!(seen.insert(p));
+            assert!(d.contains(p));
+            assert!(seen.insert(p));
         }
-        prop_assert_eq!(seen.len() as i64, d.volume());
+        assert_eq!(seen.len() as i64, d.volume());
     }
+}
 
-    #[test]
-    fn cell_volume_counts_points(cx in -6i64..6, cy in -6i64..6, ct in -6i64..6, h in 1i64..5) {
+#[test]
+fn cell_volume_counts_points() {
+    let mut rng = Rng64::new(0xC00A);
+    for _ in 0..CASES {
+        let cx = rng.range_i64(-6, 6);
+        let cy = rng.range_i64(-6, 6);
+        let ct = rng.range_i64(-6, 6);
+        let h = rng.range_i64(1, 5);
         let p = Domain2::octahedron(cx, cy, ct, h);
-        prop_assert_eq!(p.points().len() as i64, p.volume());
+        assert_eq!(p.points().len() as i64, p.volume());
         let w = Domain2::tetra_x_bottom(cx, cy, ct, h);
-        prop_assert_eq!(w.points().len() as i64, w.volume());
+        assert_eq!(w.points().len() as i64, w.volume());
     }
+}
 
-    #[test]
-    fn cell_children_partition(h in prop_oneof![Just(2i64), Just(4)],
-                               cx in -4i64..4, cy in -4i64..4, ct in -4i64..4,
-                               kind in 0u8..3) {
+#[test]
+fn cell_children_partition() {
+    let mut rng = Rng64::new(0xC00B);
+    for _ in 0..CASES {
+        let h = [2i64, 4][rng.below(2) as usize];
+        let cx = rng.range_i64(-4, 4);
+        let cy = rng.range_i64(-4, 4);
+        let ct = rng.range_i64(-4, 4);
+        let kind = rng.below(3) as u8;
         let cell = match kind {
             0 => Domain2::octahedron(cx, cy, ct, h),
             1 => Domain2::tetra_x_bottom(cx, cy, ct, h),
@@ -152,62 +225,86 @@ proptest! {
         let mut seen: HashSet<Pt3> = HashSet::new();
         for c in cell.children() {
             for p in c.points() {
-                prop_assert!(cell.contains(p));
-                prop_assert!(seen.insert(p));
+                assert!(cell.contains(p));
+                assert!(seen.insert(p));
             }
         }
-        prop_assert_eq!(seen.len() as i64, cell.volume());
+        assert_eq!(seen.len() as i64, cell.volume());
     }
+}
 
-    #[test]
-    fn cell_cover_partitions_any_box(s in 2i64..10, t in 2i64..10,
-                                     h in prop_oneof![Just(1i64), Just(2)]) {
+#[test]
+fn cell_cover_partitions_any_box() {
+    let mut rng = Rng64::new(0xC00C);
+    for _ in 0..CASES {
+        let s = rng.range_i64(2, 10);
+        let t = rng.range_i64(2, 10);
+        let h = [1i64, 2][rng.below(2) as usize];
         let bx = IBox::new(0, s, 0, s, 0, t);
         let cells = cell_cover(bx, h, Pt3::new(0, 0, 0));
         let total: i64 = cells.iter().map(|c| c.points_count()).sum();
-        prop_assert_eq!(total, bx.volume());
+        assert_eq!(total, bx.volume());
         let mut seen = HashSet::new();
         for c in &cells {
             for p in c.points() {
-                prop_assert!(seen.insert(p));
+                assert!(seen.insert(p));
             }
         }
     }
+}
 
-    #[test]
-    fn preds_and_succs_are_inverse_2d(x in -20i64..20, y in -20i64..20, t in -20i64..20) {
+#[test]
+fn preds_and_succs_are_inverse_2d() {
+    let mut rng = Rng64::new(0xC00D);
+    for _ in 0..CASES {
+        let x = rng.range_i64(-20, 20);
+        let y = rng.range_i64(-20, 20);
+        let t = rng.range_i64(-20, 20);
         let p = Pt3::new(x, y, t);
         for s in p.succs() {
-            prop_assert!(s.preds().contains(&p));
+            assert!(s.preds().contains(&p));
         }
         for q in p.preds() {
-            prop_assert!(q.succs().contains(&p));
+            assert!(q.succs().contains(&p));
         }
     }
 }
 
 mod d3 {
+    use bsmp_faults::rng::Rng64;
     use bsmp_geometry::Domain3;
-    use proptest::prelude::*;
     use std::collections::HashSet;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    const CASES: u64 = 24;
 
-        #[test]
-        fn d3_volume_counts_points(cx in -4i64..4, cy in -4i64..4, cz in -4i64..4,
-                                   ct in -4i64..4, h in 1i64..4, class in 0u8..3) {
+    #[test]
+    fn d3_volume_counts_points() {
+        let mut rng = Rng64::new(0xC101);
+        for _ in 0..CASES {
+            let cx = rng.range_i64(-4, 4);
+            let cy = rng.range_i64(-4, 4);
+            let cz = rng.range_i64(-4, 4);
+            let ct = rng.range_i64(-4, 4);
+            let h = rng.range_i64(1, 4);
+            let class = rng.below(3) as u8;
             let cell = match class {
                 0 => Domain3::symmetric(cx, cy, cz, ct, h),
                 1 => Domain3::mixed_one(cx, cy, cz, ct, h),
                 _ => Domain3::mixed_two(cx, cy, cz, ct, h),
             };
-            prop_assert_eq!(cell.points().len() as i64, cell.volume());
+            assert_eq!(cell.points().len() as i64, cell.volume());
         }
+    }
 
-        #[test]
-        fn d3_children_partition(cx in -3i64..3, cy in -3i64..3, cz in -3i64..3,
-                                 ct in -3i64..3, class in 0u8..3) {
+    #[test]
+    fn d3_children_partition() {
+        let mut rng = Rng64::new(0xC102);
+        for _ in 0..CASES {
+            let cx = rng.range_i64(-3, 3);
+            let cy = rng.range_i64(-3, 3);
+            let cz = rng.range_i64(-3, 3);
+            let ct = rng.range_i64(-3, 3);
+            let class = rng.below(3) as u8;
             let h = 4i64;
             let cell = match class {
                 0 => Domain3::symmetric(cx, cy, cz, ct, h),
@@ -218,11 +315,11 @@ mod d3 {
             let mut seen = HashSet::new();
             for c in cell.children() {
                 for p in c.points() {
-                    prop_assert!(parent.contains(&p));
-                    prop_assert!(seen.insert(p));
+                    assert!(parent.contains(&p));
+                    assert!(seen.insert(p));
                 }
             }
-            prop_assert_eq!(seen.len(), parent.len());
+            assert_eq!(seen.len(), parent.len());
         }
     }
 }

@@ -32,13 +32,20 @@ impl AccessFn {
     pub fn new(d: u8, m: u64) -> Self {
         assert!((1..=3).contains(&d), "d must be 1, 2 or 3, got {d}");
         assert!(m >= 1, "memory density m must be ≥ 1");
-        AccessFn { m, d, model: CostModel::BoundedSpeed }
+        AccessFn {
+            m,
+            d,
+            model: CostModel::BoundedSpeed,
+        }
     }
 
     /// Instantaneous-model variant (every access is free beyond the unit
     /// instruction charge).
     pub fn instantaneous(d: u8, m: u64) -> Self {
-        AccessFn { model: CostModel::Instantaneous, ..AccessFn::new(d, m) }
+        AccessFn {
+            model: CostModel::Instantaneous,
+            ..AccessFn::new(d, m)
+        }
     }
 
     /// The propagation delay `f(x)` for an access to address `x`.

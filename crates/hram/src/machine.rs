@@ -27,7 +27,12 @@ impl Hram {
     /// A fresh H-RAM with the given access function and initial capacity
     /// hint (contents zeroed).
     pub fn new(access: AccessFn, capacity: usize) -> Self {
-        Hram { mem: vec![0; capacity], access, meter: CostMeter::new(), high_water: 0 }
+        Hram {
+            mem: vec![0; capacity],
+            access,
+            meter: CostMeter::new(),
+            high_water: 0,
+        }
     }
 
     #[inline]

@@ -1,32 +1,51 @@
-//! Property-based tests of the H-RAM cost model.
+//! Property-based tests of the H-RAM cost model, driven by the in-repo
+//! seeded [`Rng64`] case generator.
 
+use bsmp_faults::rng::Rng64;
 use bsmp_hram::{AccessFn, CostMeter, Hram};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn access_cost_monotone_and_exact(d in 1u8..4, m in 1u64..64, x in 0usize..100_000, y in 0usize..100_000) {
+#[test]
+fn access_cost_monotone_and_exact() {
+    let mut rng = Rng64::new(0xB001);
+    for _ in 0..CASES {
+        let d = rng.range_u64(1, 4) as u8;
+        let m = rng.range_u64(1, 64);
+        let x = rng.below(100_000) as usize;
+        let y = rng.below(100_000) as usize;
         let a = AccessFn::new(d, m);
         let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
-        prop_assert!(a.f(lo) <= a.f(hi) + 1e-12, "f monotone");
+        assert!(a.f(lo) <= a.f(hi) + 1e-12, "f monotone");
         // Exactness: f(m·k^d) = k.
         let k = (x % 20) as u64;
         let addr = (m * k.pow(d as u32)) as usize;
-        prop_assert!((a.f(addr) - k as f64).abs() < 1e-9);
+        assert!((a.f(addr) - k as f64).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn charge_is_one_plus_delay(d in 1u8..4, m in 1u64..32, x in 0usize..10_000) {
+#[test]
+fn charge_is_one_plus_delay() {
+    let mut rng = Rng64::new(0xB002);
+    for _ in 0..CASES {
+        let d = rng.range_u64(1, 4) as u8;
+        let m = rng.range_u64(1, 32);
+        let x = rng.below(10_000) as usize;
         let a = AccessFn::new(d, m);
-        prop_assert!((a.charge(x) - 1.0 - a.f(x)).abs() < 1e-12);
+        assert!((a.charge(x) - 1.0 - a.f(x)).abs() < 1e-12);
         let i = AccessFn::instantaneous(d, m);
-        prop_assert_eq!(i.charge(x), 1.0);
+        assert_eq!(i.charge(x), 1.0);
     }
+}
 
-    #[test]
-    fn memory_is_a_memory(ops in prop::collection::vec((0usize..512, any::<u64>()), 1..64)) {
+#[test]
+fn memory_is_a_memory() {
+    let mut rng = Rng64::new(0xB003);
+    for _ in 0..CASES {
+        let count = rng.range_u64(1, 64) as usize;
+        let ops: Vec<(usize, u64)> = (0..count)
+            .map(|_| (rng.below(512) as usize, rng.next_u64()))
+            .collect();
         // Last write wins; reads don't disturb.
         let mut h = Hram::new(AccessFn::new(1, 1), 64);
         let mut shadow = std::collections::HashMap::new();
@@ -35,23 +54,35 @@ proptest! {
             shadow.insert(*addr, *w);
         }
         for (addr, w) in shadow {
-            prop_assert_eq!(h.read(addr), w);
+            assert_eq!(h.read(addr), w);
         }
     }
+}
 
-    #[test]
-    fn relocate_preserves_content_and_charges(src in 0usize..256, dst in 0usize..256, w in any::<u64>()) {
+#[test]
+fn relocate_preserves_content_and_charges() {
+    let mut rng = Rng64::new(0xB004);
+    for _ in 0..CASES {
+        let src = rng.below(256) as usize;
+        let dst = rng.below(256) as usize;
+        let w = rng.next_u64();
         let mut h = Hram::new(AccessFn::new(2, 4), 512);
         h.poke(src, w);
         let before = h.time();
         h.relocate(src, dst);
-        prop_assert_eq!(h.peek(dst), w);
+        assert_eq!(h.peek(dst), w);
         let expect = h.access.charge(src) + h.access.charge(dst);
-        prop_assert!((h.time() - before - expect).abs() < 1e-9);
+        assert!((h.time() - before - expect).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn block_relocate_any_overlap(src in 0usize..64, dst in 0usize..64, len in 0usize..32) {
+#[test]
+fn block_relocate_any_overlap() {
+    let mut rng = Rng64::new(0xB005);
+    for _ in 0..CASES {
+        let src = rng.below(64) as usize;
+        let dst = rng.below(64) as usize;
+        let len = rng.below(32) as usize;
         let mut h = Hram::new(AccessFn::new(1, 1), 128);
         for i in 0..128 {
             h.poke(i, (i * 31 + 7) as u64);
@@ -59,28 +90,40 @@ proptest! {
         let expect: Vec<u64> = (0..len).map(|i| h.peek(src + i)).collect();
         h.relocate_block(src, dst, len);
         for (i, e) in expect.iter().enumerate() {
-            prop_assert_eq!(h.peek(dst + i), *e);
+            assert_eq!(h.peek(dst + i), *e);
         }
     }
+}
 
-    #[test]
-    fn meter_total_is_sum_of_parts(a in 0.0f64..1e6, b in 0.0f64..1e6, c in 0.0f64..1e6, d in 0.0f64..1e6) {
+#[test]
+fn meter_total_is_sum_of_parts() {
+    let mut rng = Rng64::new(0xB006);
+    for _ in 0..CASES {
+        let a = rng.unit_f64() * 1e6;
+        let b = rng.unit_f64() * 1e6;
+        let c = rng.unit_f64() * 1e6;
+        let d = rng.unit_f64() * 1e6;
         let mut m = CostMeter::new();
         m.add_compute(a);
         m.add_access(b);
         m.add_transfer(c);
         m.add_comm(d);
-        prop_assert!((m.total() - (a + b + c + d)).abs() < 1e-6);
+        assert!((m.total() - (a + b + c + d)).abs() < 1e-6);
         let merged = m.merged(&m);
-        prop_assert!((merged.total() - 2.0 * m.total()).abs() < 1e-6);
+        assert!((merged.total() - 2.0 * m.total()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn high_water_is_max_touched(addrs in prop::collection::vec(0usize..10_000, 1..40)) {
+#[test]
+fn high_water_is_max_touched() {
+    let mut rng = Rng64::new(0xB007);
+    for _ in 0..CASES {
+        let count = rng.range_u64(1, 40) as usize;
+        let addrs: Vec<usize> = (0..count).map(|_| rng.below(10_000) as usize).collect();
         let mut h = Hram::new(AccessFn::new(1, 1), 0);
         for &a in &addrs {
             h.write(a, 1);
         }
-        prop_assert_eq!(h.high_water(), addrs.iter().max().unwrap() + 1);
+        assert_eq!(h.high_water(), addrs.iter().max().unwrap() + 1);
     }
 }

@@ -53,8 +53,16 @@ pub fn run_linear(
         for v in 0..n {
             let c = prog.cell(v, t);
             let own = mem[v * m + c];
-            let left = if v > 0 { values[v - 1] } else { prog.boundary() };
-            let right = if v + 1 < n { values[v + 1] } else { prog.boundary() };
+            let left = if v > 0 {
+                values[v - 1]
+            } else {
+                prog.boundary()
+            };
+            let right = if v + 1 < n {
+                values[v + 1]
+            } else {
+                prog.boundary()
+            };
             let out = prog.delta(v, t, own, values[v], left, right);
             next[v] = out;
             mem[v * m + c] = out;
@@ -67,7 +75,12 @@ pub fn run_linear(
         std::mem::swap(&mut values, &mut next);
         time += step_max;
     }
-    GuestRun { mem, values, time, steps }
+    GuestRun {
+        mem,
+        values,
+        time,
+        steps,
+    }
 }
 
 /// Execute `steps` steps of `prog` on the mesh `M_2(n, n, m)` (side
@@ -90,8 +103,9 @@ pub fn run_mesh(
 
     let idx = |i: usize, j: usize| j * side + i;
     let mut mem = init.to_vec();
-    let mut values: Vec<Word> =
-        (0..n).map(|v| mem[v * m + prog.cell(v % side, v / side, 0)]).collect();
+    let mut values: Vec<Word> = (0..n)
+        .map(|v| mem[v * m + prog.cell(v % side, v / side, 0)])
+        .collect();
     let mut next = vec![0 as Word; n];
     let mut time = 0.0;
 
@@ -103,9 +117,17 @@ pub fn run_mesh(
                 let own = mem[idx(i, j) * m + c];
                 let b = prog.boundary();
                 let west = if i > 0 { values[idx(i - 1, j)] } else { b };
-                let east = if i + 1 < side { values[idx(i + 1, j)] } else { b };
+                let east = if i + 1 < side {
+                    values[idx(i + 1, j)]
+                } else {
+                    b
+                };
                 let south = if j > 0 { values[idx(i, j - 1)] } else { b };
-                let north = if j + 1 < side { values[idx(i, j + 1)] } else { b };
+                let north = if j + 1 < side {
+                    values[idx(i, j + 1)]
+                } else {
+                    b
+                };
                 let out = prog.delta(i, j, t, own, values[idx(i, j)], west, east, south, north);
                 next[idx(i, j)] = out;
                 mem[idx(i, j) * m + c] = out;
@@ -118,9 +140,13 @@ pub fn run_mesh(
         std::mem::swap(&mut values, &mut next);
         time += step_max;
     }
-    GuestRun { mem, values, time, steps }
+    GuestRun {
+        mem,
+        values,
+        time,
+        steps,
+    }
 }
-
 
 /// Execute `steps` steps of `prog` on the 3-D mesh `M_3(n, n, m)`
 /// (side `n^{1/3}`), initial image `init` (node-major, node index
@@ -160,11 +186,23 @@ pub fn run_volume(
                     let b = prog.boundary();
                     let nb = [
                         if x > 0 { values[idx(x - 1, y, z)] } else { b },
-                        if x + 1 < side { values[idx(x + 1, y, z)] } else { b },
+                        if x + 1 < side {
+                            values[idx(x + 1, y, z)]
+                        } else {
+                            b
+                        },
                         if y > 0 { values[idx(x, y - 1, z)] } else { b },
-                        if y + 1 < side { values[idx(x, y + 1, z)] } else { b },
+                        if y + 1 < side {
+                            values[idx(x, y + 1, z)]
+                        } else {
+                            b
+                        },
                         if z > 0 { values[idx(x, y, z - 1)] } else { b },
-                        if z + 1 < side { values[idx(x, y, z + 1)] } else { b },
+                        if z + 1 < side {
+                            values[idx(x, y, z + 1)]
+                        } else {
+                            b
+                        },
                     ];
                     let out = prog.delta(x, y, z, t, own, values[idx(x, y, z)], nb);
                     next[idx(x, y, z)] = out;
@@ -179,7 +217,12 @@ pub fn run_volume(
         std::mem::swap(&mut values, &mut next);
         time += step_max;
     }
-    GuestRun { mem, values, time, steps }
+    GuestRun {
+        mem,
+        values,
+        time,
+        steps,
+    }
 }
 
 /// Guest model time of a `steps`-step 3-D mesh run.
@@ -255,7 +298,6 @@ pub fn mesh_guest_time(spec: &MachineSpec, prog: &impl MeshProgram, steps: i64) 
 }
 
 #[cfg(test)]
-
 mod tests {
     use super::*;
 
@@ -279,8 +321,7 @@ mod tests {
         let run = run_linear(&spec, &Rule90, &init, 4);
         // After 4 steps the impulse sits at distance 4 (rows of Pascal's
         // triangle mod 2: row 4 = 1 0 0 0 1).
-        let expect: Vec<Word> =
-            (0..16).map(|x| u64::from(x == 4 || x == 12)).collect();
+        let expect: Vec<Word> = (0..16).map(|x| u64::from(x == 4 || x == 12)).collect();
         assert_eq!(run.values, expect);
     }
 

@@ -13,14 +13,18 @@
 //!   time `T_n`;
 //! * [`stage`] — the bulk-synchronous parallel clock used by host
 //!   simulations (`T_p = Σ_stages max_proc cost`), with optional
-//!   wall-clock parallelism via crossbeam scoped threads.
+//!   wall-clock parallelism via `std::thread` scoped threads and a
+//!   fault-injection entry point ([`StageClock::add_stage_faulted`]).
 
 pub mod guest;
 pub mod program;
 pub mod spec;
 pub mod stage;
 
-pub use guest::{linear_guest_time, mesh_guest_time, run_linear, run_mesh, run_volume, volume_guest_time, GuestRun};
+pub use guest::{
+    linear_guest_time, mesh_guest_time, run_linear, run_mesh, run_volume, volume_guest_time,
+    GuestRun,
+};
 pub use program::{LinearProgram, MeshProgram, VolumeProgram};
-pub use spec::MachineSpec;
+pub use spec::{MachineSpec, SpecError};
 pub use stage::StageClock;

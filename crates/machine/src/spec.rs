@@ -1,6 +1,48 @@
 //! `M_d(n, p, m)` — Definition 2.
 
+use std::error::Error;
+use std::fmt;
+
 use bsmp_hram::{AccessFn, CostModel};
+
+/// Rejected machine parameters (Definition 2 preconditions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// Engines support layout dimensions 1 and 2 only.
+    UnsupportedDimension { d: u8 },
+    /// `n ≥ 1` and `m ≥ 1` are required.
+    ZeroExtent { n: u64, m: u64 },
+    /// `1 ≤ p ≤ n` is required.
+    ProcessorsOutOfRange { n: u64, p: u64 },
+    /// `d = 2` requires `n` to be a perfect square.
+    VolumeNotSquare { n: u64 },
+    /// `d = 2` requires `p` to be a perfect square.
+    ProcessorsNotSquare { p: u64 },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SpecError::UnsupportedDimension { d } => {
+                write!(f, "engines support d ∈ {{1, 2}}, got d = {d}")
+            }
+            SpecError::ZeroExtent { n, m } => {
+                write!(f, "need n ≥ 1 and m ≥ 1, got n = {n}, m = {m}")
+            }
+            SpecError::ProcessorsOutOfRange { n, p } => {
+                write!(f, "need 1 ≤ p ≤ n, got p = {p} with n = {n}")
+            }
+            SpecError::VolumeNotSquare { n } => {
+                write!(f, "d = 2 requires n to be a perfect square, got n = {n}")
+            }
+            SpecError::ProcessorsNotSquare { p } => {
+                write!(f, "d = 2 requires p to be a perfect square, got p = {p}")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
 
 /// Parameters of a machine `M_d(n, p, m)`: a `d`-dimensional
 /// near-neighbor interconnection of `p` `(x/m)^{1/d}`-H-RAMs, each with
@@ -23,23 +65,55 @@ pub struct MachineSpec {
 }
 
 impl MachineSpec {
-    /// A bounded-speed machine.
-    pub fn new(d: u8, n: u64, p: u64, m: u64) -> Self {
-        assert!((1..=2).contains(&d), "engines support d ∈ {{1, 2}}");
-        assert!(n >= 1 && m >= 1);
-        assert!(p >= 1 && p <= n, "need 1 ≤ p ≤ n");
+    /// A bounded-speed machine, with the Definition 2 preconditions
+    /// checked up front.
+    pub fn try_new(d: u8, n: u64, p: u64, m: u64) -> Result<Self, SpecError> {
+        if !(1..=2).contains(&d) {
+            return Err(SpecError::UnsupportedDimension { d });
+        }
+        if n < 1 || m < 1 {
+            return Err(SpecError::ZeroExtent { n, m });
+        }
+        if p < 1 || p > n {
+            return Err(SpecError::ProcessorsOutOfRange { n, p });
+        }
         if d == 2 {
             let sn = (n as f64).sqrt() as u64;
-            assert_eq!(sn * sn, n, "d = 2 requires n to be a perfect square");
+            if sn * sn != n {
+                return Err(SpecError::VolumeNotSquare { n });
+            }
             let sp = (p as f64).sqrt() as u64;
-            assert_eq!(sp * sp, p, "d = 2 requires p to be a perfect square");
+            if sp * sp != p {
+                return Err(SpecError::ProcessorsNotSquare { p });
+            }
         }
-        MachineSpec { d, n, p, m, model: CostModel::BoundedSpeed }
+        Ok(MachineSpec {
+            d,
+            n,
+            p,
+            m,
+            model: CostModel::BoundedSpeed,
+        })
+    }
+
+    /// A bounded-speed machine; panics on invalid parameters (see
+    /// [`try_new`](Self::try_new) for the checked variant).
+    pub fn new(d: u8, n: u64, p: u64, m: u64) -> Self {
+        Self::try_new(d, n, p, m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The same machine under instantaneous propagation (Brent
+    /// baseline), with checked parameters.
+    pub fn try_instantaneous(d: u8, n: u64, p: u64, m: u64) -> Result<Self, SpecError> {
+        Ok(MachineSpec {
+            model: CostModel::Instantaneous,
+            ..Self::try_new(d, n, p, m)?
+        })
     }
 
     /// The same machine under instantaneous propagation (Brent baseline).
     pub fn instantaneous(d: u8, n: u64, p: u64, m: u64) -> Self {
-        MachineSpec { model: CostModel::Instantaneous, ..MachineSpec::new(d, n, p, m) }
+        Self::try_instantaneous(d, n, p, m).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The guest configuration `M_d(n, n, m)` this host simulates.
@@ -145,6 +219,39 @@ mod tests {
         assert_eq!(g.p, 64);
         assert_eq!(g.node_mem(), 2);
         assert_eq!(g.neighbor_distance(), 1.0);
+    }
+
+    #[test]
+    fn try_new_reports_each_precondition() {
+        assert_eq!(
+            MachineSpec::try_new(3, 8, 2, 1),
+            Err(SpecError::UnsupportedDimension { d: 3 })
+        );
+        assert_eq!(
+            MachineSpec::try_new(1, 0, 1, 1),
+            Err(SpecError::ZeroExtent { n: 0, m: 1 })
+        );
+        assert_eq!(
+            MachineSpec::try_new(1, 4, 8, 1),
+            Err(SpecError::ProcessorsOutOfRange { n: 4, p: 8 })
+        );
+        assert_eq!(
+            MachineSpec::try_new(2, 1000, 4, 1),
+            Err(SpecError::VolumeNotSquare { n: 1000 })
+        );
+        assert_eq!(
+            MachineSpec::try_new(2, 1024, 8, 1),
+            Err(SpecError::ProcessorsNotSquare { p: 8 })
+        );
+        assert_eq!(
+            MachineSpec::try_new(1, 64, 4, 2),
+            Ok(MachineSpec::new(1, 64, 4, 2))
+        );
+        assert_eq!(
+            MachineSpec::try_instantaneous(1, 64, 4, 2),
+            Ok(MachineSpec::instantaneous(1, 64, 4, 2))
+        );
+        assert!(MachineSpec::try_instantaneous(1, 4, 8, 1).is_err());
     }
 
     #[test]

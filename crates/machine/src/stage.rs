@@ -8,11 +8,13 @@
 //!
 //! [`StageClock`] tracks that sum (and the total *busy* work, for
 //! efficiency metrics); [`run_stage`] optionally executes the
-//! per-processor work of one stage on real threads (crossbeam scope) —
-//! model time stays deterministic because each worker returns its own
-//! model cost.
+//! per-processor work of one stage on real threads (`std::thread::scope`)
+//! — model time stays deterministic because each worker returns its own
+//! model cost.  [`StageClock::add_stage_faulted`] routes a stage's costs
+//! through a [`FaultSession`] first, so fault injection happens at the
+//! single point where stage costs enter the clock.
 
-use parking_lot::Mutex;
+use bsmp_faults::FaultSession;
 
 /// Deterministic parallel-time accumulator.
 #[derive(Clone, Debug, Default)]
@@ -39,6 +41,20 @@ impl StageClock {
         self.stages += 1;
     }
 
+    /// Close a stage after routing it through a fault session:
+    /// `per_proc` are the fault-free costs, `per_comm` the communication
+    /// components (`per_comm[i] ≤ per_proc[i]`).  With an empty plan
+    /// this is exactly [`add_stage`](Self::add_stage).
+    pub fn add_stage_faulted(
+        &mut self,
+        per_proc: &[f64],
+        per_comm: &[f64],
+        session: &mut FaultSession,
+    ) {
+        let faulted = session.apply_stage(per_proc, per_comm);
+        self.add_stage(&faulted);
+    }
+
     /// Close a stage in which a single processor worked alone.
     pub fn add_serial_stage(&mut self, cost: f64) {
         self.parallel_time += cost;
@@ -58,9 +74,10 @@ impl StageClock {
 /// Execute one stage's per-processor work items, each returning its model
 /// cost, and return the costs in processor order.
 ///
-/// With `parallel = true` the closures run on crossbeam scoped threads
-/// (wall-clock speed-up only; model time is unaffected).  Work items must
-/// be independent — exactly the property stages have by construction.
+/// With `parallel = true` the closures run on `std::thread::scope`
+/// threads (wall-clock speed-up only; model time is unaffected).  Work
+/// items must be independent — exactly the property stages have by
+/// construction.
 pub fn run_stage<W>(works: Vec<W>, parallel: bool) -> Vec<f64>
 where
     W: FnOnce() -> f64 + Send,
@@ -69,23 +86,21 @@ where
         return works.into_iter().map(|w| w()).collect();
     }
     let n = works.len();
-    let out = Mutex::new(vec![0.0f64; n]);
-    crossbeam::thread::scope(|s| {
-        for (i, w) in works.into_iter().enumerate() {
-            let out = &out;
-            s.spawn(move |_| {
-                let c = w();
-                out.lock()[i] = c;
+    let mut out = vec![0.0f64; n];
+    std::thread::scope(|s| {
+        for (slot, w) in out.iter_mut().zip(works) {
+            s.spawn(move || {
+                *slot = w();
             });
         }
-    })
-    .expect("stage worker panicked");
-    out.into_inner()
+    });
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bsmp_faults::{FaultEnv, FaultPlan};
 
     #[test]
     fn parallel_time_is_sum_of_maxima() {
@@ -108,11 +123,7 @@ mod tests {
 
     #[test]
     fn run_stage_sequential_and_parallel_agree() {
-        let mk = || {
-            (0..8)
-                .map(|i| move || (i as f64) * 1.5)
-                .collect::<Vec<_>>()
-        };
+        let mk = || (0..8).map(|i| move || (i as f64) * 1.5).collect::<Vec<_>>();
         let a = run_stage(mk(), false);
         let b = run_stage(mk(), true);
         assert_eq!(a, b);
@@ -124,5 +135,32 @@ mod tests {
         c.add_serial_stage(7.0);
         assert_eq!(c.parallel_time, 7.0);
         assert_eq!(c.busy_time, 7.0);
+    }
+
+    #[test]
+    fn faulted_stage_with_empty_plan_matches_add_stage() {
+        let mut plain = StageClock::new();
+        let mut faulted = StageClock::new();
+        let mut session = FaultSession::inactive();
+        plain.add_stage(&[2.0, 3.0]);
+        faulted.add_stage_faulted(&[2.0, 3.0], &[1.0, 1.0], &mut session);
+        assert_eq!(plain.parallel_time, faulted.parallel_time);
+        assert_eq!(plain.busy_time, faulted.busy_time);
+    }
+
+    #[test]
+    fn faulted_stage_inflates_clock() {
+        let plan = FaultPlan::uniform_slowdown(2.0);
+        let env = FaultEnv {
+            p: 2,
+            hop: 1.0,
+            checkpoint_words: 0,
+        };
+        let mut session = FaultSession::new(&plan, env);
+        let mut c = StageClock::new();
+        c.add_stage_faulted(&[4.0, 4.0], &[2.0, 2.0], &mut session);
+        // base = 4 + (2−1)·2 = 6 on both processors.
+        assert_eq!(c.parallel_time, 6.0);
+        assert_eq!(c.busy_time, 12.0);
     }
 }

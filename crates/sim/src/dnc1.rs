@@ -8,11 +8,26 @@
 //!   `O(n · min(n, m log(n/m)))`.  For `m ≥ n` the whole computation is
 //!   one executable diamond — the naive regime.
 
+use bsmp_faults::FaultStats;
 use bsmp_hram::Word;
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec};
 
+use crate::error::SimError;
 use crate::exec1::DiamondExec;
 use crate::report::SimReport;
+
+/// Simulate `steps` guest steps of `M_1(n, n, m)` on the uniprocessor
+/// `M_1(n, 1, m)` with the paper's leaf size (`D(m)` executable
+/// diamonds), with preconditions checked.
+pub fn try_simulate_dnc1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    let leaf_h = (prog.m() as i64 / 2).max(1);
+    try_simulate_dnc1_with_leaf(spec, prog, init, steps, leaf_h)
+}
 
 /// Simulate `steps` guest steps of `M_1(n, n, m)` on the uniprocessor
 /// `M_1(n, 1, m)` with the paper's leaf size (`D(m)` executable
@@ -23,24 +38,47 @@ pub fn simulate_dnc1(
     init: &[Word],
     steps: i64,
 ) -> SimReport {
-    let leaf_h = (prog.m() as i64 / 2).max(1);
-    simulate_dnc1_with_leaf(spec, prog, init, steps, leaf_h)
+    try_simulate_dnc1(spec, prog, init, steps).unwrap_or_else(|e| panic!("dnc1: {e}"))
 }
 
-/// As [`simulate_dnc1`] with an explicit leaf radius (for the ablation
-/// benches: leaf size trades recursion overhead against naive-execution
-/// locality loss).
-pub fn simulate_dnc1_with_leaf(
+/// As [`try_simulate_dnc1`] with an explicit leaf radius (for the
+/// ablation benches: leaf size trades recursion overhead against
+/// naive-execution locality loss).
+pub fn try_simulate_dnc1_with_leaf(
     spec: &MachineSpec,
     prog: &impl LinearProgram,
     init: &[Word],
     steps: i64,
     leaf_h: i64,
-) -> SimReport {
-    assert_eq!(spec.p, 1, "dnc1 is the uniprocessor engine");
+) -> Result<SimReport, SimError> {
+    if spec.d != 1 {
+        return Err(SimError::DimensionMismatch {
+            expected: 1,
+            got: spec.d,
+        });
+    }
+    if spec.p != 1 {
+        return Err(SimError::UniprocessorOnly {
+            engine: "dnc1",
+            p: spec.p,
+        });
+    }
+    if prog.m() as u64 != spec.m {
+        return Err(SimError::DensityMismatch {
+            spec_m: spec.m,
+            prog_m: prog.m() as u64,
+        });
+    }
+    let expected = spec.n as usize * prog.m();
+    if init.len() != expected {
+        return Err(SimError::InitLength {
+            expected,
+            got: init.len(),
+        });
+    }
     let mut exec = DiamondExec::new(spec, prog, steps, leaf_h);
     let (mem, values) = exec.run(init);
-    SimReport {
+    Ok(SimReport {
         mem,
         values,
         host_time: exec.ram.time(),
@@ -48,7 +86,20 @@ pub fn simulate_dnc1_with_leaf(
         meter: exec.ram.meter,
         space: exec.ram.high_water(),
         stages: 0,
-    }
+        faults: FaultStats::default(),
+    })
+}
+
+/// As [`simulate_dnc1`] with an explicit leaf radius.
+pub fn simulate_dnc1_with_leaf(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    leaf_h: i64,
+) -> SimReport {
+    try_simulate_dnc1_with_leaf(spec, prog, init, steps, leaf_h)
+        .unwrap_or_else(|e| panic!("dnc1: {e}"))
 }
 
 #[cfg(test)]
@@ -57,12 +108,7 @@ mod tests {
     use bsmp_machine::run_linear;
     use bsmp_workloads::{inputs, CyclicWave, Eca, OddEvenSort, TokenShift};
 
-    fn check_equiv(
-        prog: &impl LinearProgram,
-        n: u64,
-        steps: i64,
-        init: &[Word],
-    ) -> SimReport {
+    fn check_equiv(prog: &impl LinearProgram, n: u64, steps: i64, init: &[Word]) -> SimReport {
         let spec = MachineSpec::new(1, n, 1, prog.m() as u64);
         let guest = run_linear(&spec, prog, init, steps);
         let rep = simulate_dnc1(&spec, prog, init, steps);
@@ -171,8 +217,24 @@ mod tests {
             check_equiv(&Eca::rule90(), 256, 256, &init).space as f64
         };
         let ratio = s256 / s128;
-        assert!(ratio < 2.5, "space should scale ~linearly in n, got ×{ratio}");
+        assert!(
+            ratio < 2.5,
+            "space should scale ~linearly in n, got ×{ratio}"
+        );
         assert!((s256 as usize) < 256 * 256 / 4, "far below |V|");
+    }
+
+    #[test]
+    fn multiprocessor_spec_is_rejected() {
+        let init = inputs::random_bits(31, 16);
+        let spec = MachineSpec::new(1, 16, 4, 1);
+        assert_eq!(
+            try_simulate_dnc1(&spec, &Eca::rule110(), &init, 4).err(),
+            Some(SimError::UniprocessorOnly {
+                engine: "dnc1",
+                p: 4
+            })
+        );
     }
 
     #[test]

@@ -4,11 +4,25 @@
 //! with slowdown `O(n log n)`; the `m > 1` generalization mirrors
 //! Theorem 3 with *executable cells* of radius `~m/2`.
 
+use bsmp_faults::FaultStats;
 use bsmp_hram::Word;
 use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram};
 
+use crate::error::SimError;
 use crate::exec2::CellExec;
 use crate::report::SimReport;
+
+/// Simulate `steps` guest steps of `M_2(n, n, m)` on the uniprocessor
+/// `M_2(n, 1, m)`, with preconditions checked.
+pub fn try_simulate_dnc2(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    let leaf_h = (prog.m() as i64 / 2).max(1);
+    try_simulate_dnc2_with_leaf(spec, prog, init, steps, leaf_h)
+}
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on the uniprocessor
 /// `M_2(n, 1, m)`.
@@ -18,8 +32,54 @@ pub fn simulate_dnc2(
     init: &[Word],
     steps: i64,
 ) -> SimReport {
-    let leaf_h = (prog.m() as i64 / 2).max(1);
-    simulate_dnc2_with_leaf(spec, prog, init, steps, leaf_h)
+    try_simulate_dnc2(spec, prog, init, steps).unwrap_or_else(|e| panic!("dnc2: {e}"))
+}
+
+/// As [`try_simulate_dnc2`] with an explicit leaf radius.
+pub fn try_simulate_dnc2_with_leaf(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    leaf_h: i64,
+) -> Result<SimReport, SimError> {
+    if spec.d != 2 {
+        return Err(SimError::DimensionMismatch {
+            expected: 2,
+            got: spec.d,
+        });
+    }
+    if spec.p != 1 {
+        return Err(SimError::UniprocessorOnly {
+            engine: "dnc2",
+            p: spec.p,
+        });
+    }
+    if prog.m() as u64 != spec.m {
+        return Err(SimError::DensityMismatch {
+            spec_m: spec.m,
+            prog_m: prog.m() as u64,
+        });
+    }
+    let expected = spec.n as usize * prog.m();
+    if init.len() != expected {
+        return Err(SimError::InitLength {
+            expected,
+            got: init.len(),
+        });
+    }
+    let mut exec = CellExec::new(spec, prog, steps, leaf_h);
+    let (mem, values) = exec.run(init);
+    Ok(SimReport {
+        mem,
+        values,
+        host_time: exec.ram.time(),
+        guest_time: mesh_guest_time(spec, prog, steps),
+        meter: exec.ram.meter,
+        space: exec.ram.high_water(),
+        stages: 0,
+        faults: FaultStats::default(),
+    })
 }
 
 /// As [`simulate_dnc2`] with an explicit leaf radius.
@@ -30,18 +90,8 @@ pub fn simulate_dnc2_with_leaf(
     steps: i64,
     leaf_h: i64,
 ) -> SimReport {
-    assert_eq!(spec.p, 1, "dnc2 is the uniprocessor engine");
-    let mut exec = CellExec::new(spec, prog, steps, leaf_h);
-    let (mem, values) = exec.run(init);
-    SimReport {
-        mem,
-        values,
-        host_time: exec.ram.time(),
-        guest_time: mesh_guest_time(spec, prog, steps),
-        meter: exec.ram.meter,
-        space: exec.ram.high_water(),
-        stages: 0,
-    }
+    try_simulate_dnc2_with_leaf(spec, prog, init, steps, leaf_h)
+        .unwrap_or_else(|e| panic!("dnc2: {e}"))
 }
 
 #[cfg(test)]
@@ -50,12 +100,7 @@ mod tests {
     use bsmp_machine::run_mesh;
     use bsmp_workloads::{inputs, HeatDiffusion, SystolicMatmul, VonNeumannLife};
 
-    fn check_equiv(
-        prog: &impl MeshProgram,
-        n: u64,
-        steps: i64,
-        init: &[Word],
-    ) -> SimReport {
+    fn check_equiv(prog: &impl MeshProgram, n: u64, steps: i64, init: &[Word]) -> SimReport {
         let spec = MachineSpec::new(2, n, 1, prog.m() as u64);
         let guest = run_mesh(&spec, prog, init, steps);
         let rep = simulate_dnc2(&spec, prog, init, steps);
@@ -130,8 +175,24 @@ mod tests {
             dnc_growth < naive_growth,
             "D&C growth {dnc_growth} must undercut naive growth {naive_growth}"
         );
-        assert!(naive_growth > 5.5, "naive ~(n)^{{3/2}} growth, got {naive_growth}");
+        assert!(
+            naive_growth > 5.5,
+            "naive ~(n)^{{3/2}} growth, got {naive_growth}"
+        );
         assert!(dnc_growth < 6.5, "D&C ~n log n growth, got {dnc_growth}");
+    }
+
+    #[test]
+    fn multiprocessor_spec_is_rejected() {
+        let init = inputs::random_bits(38, 16);
+        let spec = MachineSpec::new(2, 16, 4, 1);
+        assert_eq!(
+            try_simulate_dnc2(&spec, &VonNeumannLife::fredkin(), &init, 4).err(),
+            Some(SimError::UniprocessorOnly {
+                engine: "dnc2",
+                p: 4
+            })
+        );
     }
 
     #[test]
@@ -147,6 +208,9 @@ mod tests {
             simulate_dnc2(&spec, &VonNeumannLife::fredkin(), &init, side as i64).space as f64
         };
         let ratio = sp(side_b) / sp(side_a);
-        assert!(ratio < 6.0, "space should grow ~|V|^{{2/3}} (×4), got ×{ratio}");
+        assert!(
+            ratio < 6.0,
+            "space should grow ~|V|^{{2/3}} (×4), got ×{ratio}"
+        );
     }
 }

@@ -5,11 +5,49 @@
 //! verified in the tests and experiment E11c, against the naive
 //! `O(n^{4/3})` (Proposition 1 with d = 3).
 
+use bsmp_faults::FaultStats;
 use bsmp_hram::{CostMeter, Word};
 use bsmp_machine::{volume_guest_time, VolumeProgram};
 
+use crate::error::SimError;
 use crate::exec3::VolumeExec;
 use crate::report::SimReport;
+
+/// Simulate `steps` guest steps of `M_3(n, n, 1)` (side `n^{1/3}`) on
+/// the uniprocessor `M_3(n, 1, 1)` via the 4-D separator recursion,
+/// with preconditions checked.
+pub fn try_simulate_dnc3(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    let n = side * side * side;
+    if prog.m() != 1 {
+        return Err(SimError::DensityMismatch {
+            spec_m: 1,
+            prog_m: prog.m() as u64,
+        });
+    }
+    if init.len() != n {
+        return Err(SimError::InitLength {
+            expected: n,
+            got: init.len(),
+        });
+    }
+    let mut exec = VolumeExec::new(side as i64, prog, steps, 1);
+    let (mem, values) = exec.run(init);
+    Ok(SimReport {
+        mem,
+        values,
+        host_time: exec.ram.time(),
+        guest_time: volume_guest_time(side, 1, prog, steps),
+        meter: exec.ram.meter,
+        space: exec.ram.high_water(),
+        stages: 0,
+        faults: FaultStats::default(),
+    })
+}
 
 /// Simulate `steps` guest steps of `M_3(n, n, 1)` (side `n^{1/3}`) on
 /// the uniprocessor `M_3(n, 1, 1)` via the 4-D separator recursion.
@@ -19,30 +57,31 @@ pub fn simulate_dnc3(
     init: &[Word],
     steps: i64,
 ) -> SimReport {
-    let mut exec = VolumeExec::new(side as i64, prog, steps, 1);
-    let (mem, values) = exec.run(init);
-    SimReport {
-        mem,
-        values,
-        host_time: exec.ram.time(),
-        guest_time: volume_guest_time(side, 1, prog, steps),
-        meter: exec.ram.meter,
-        space: exec.ram.high_water(),
-        stages: 0,
-    }
+    try_simulate_dnc3(side, prog, init, steps).unwrap_or_else(|e| panic!("dnc3: {e}"))
 }
 
 /// Naive step-by-step simulation on the 3-D-mesh uniprocessor host —
-/// the Proposition-1 baseline for `d = 3` (slowdown `O(n^{4/3})`).
-pub fn simulate_naive3(
+/// the Proposition-1 baseline for `d = 3` (slowdown `O(n^{4/3})`),
+/// with preconditions checked.
+pub fn try_simulate_naive3(
     side: usize,
     prog: &impl VolumeProgram,
     init: &[Word],
     steps: i64,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let n = side * side * side;
-    assert_eq!(prog.m(), 1);
-    assert_eq!(init.len(), n);
+    if prog.m() != 1 {
+        return Err(SimError::DensityMismatch {
+            spec_m: 1,
+            prog_m: prog.m() as u64,
+        });
+    }
+    if init.len() != n {
+        return Err(SimError::InitLength {
+            expected: n,
+            got: init.len(),
+        });
+    }
     let access = bsmp_hram::AccessFn::new(3, 1);
     let mut ram = bsmp_hram::Hram::new(access, 3 * n);
     // Layout: value row A at [0, n), row B at [n, 2n).
@@ -86,7 +125,7 @@ pub fn simulate_naive3(
         m.add_compute(0.0);
         ram.meter.merged(&m)
     };
-    SimReport {
+    Ok(SimReport {
         mem,
         values: prev,
         host_time: ram.time(),
@@ -94,7 +133,19 @@ pub fn simulate_naive3(
         meter,
         space: ram.high_water(),
         stages: 0,
-    }
+        faults: FaultStats::default(),
+    })
+}
+
+/// Naive step-by-step simulation on the 3-D-mesh uniprocessor host —
+/// the Proposition-1 baseline for `d = 3` (slowdown `O(n^{4/3})`).
+pub fn simulate_naive3(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    try_simulate_naive3(side, prog, init, steps).unwrap_or_else(|e| panic!("naive3: {e}"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,163 @@
+//! The engines' error surface: every parameter-validation failure that
+//! used to panic is an explicit [`SimError`] on the `try_` paths.
+
+use std::error::Error;
+use std::fmt;
+
+use bsmp_faults::FaultError;
+use bsmp_machine::SpecError;
+
+/// Why an engine refused to run (or, for `OutputMismatch`, why a
+/// result check failed).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The engine supports a different layout dimension than the spec's.
+    DimensionMismatch { expected: u8, got: u8 },
+    /// The program's per-node memory density differs from the spec's.
+    DensityMismatch { spec_m: u64, prog_m: u64 },
+    /// The initial memory image has the wrong length.
+    InitLength { expected: usize, got: usize },
+    /// `d = 1` engines need `p` to divide `n`.
+    IndivisibleProcessors { n: u64, p: u64 },
+    /// `d = 2` engines need the processor-grid side to divide the mesh
+    /// side.
+    IndivisibleMeshSide { side: u64, proc_side: u64 },
+    /// The `d = 2` two-regime engine needs blocks of side ≥ 2.
+    BlockTooSmall { block: u64 },
+    /// No admissible strip width exists for these `(n, m, p)` — the
+    /// two-regime engine cannot run; fall back to naive.
+    NoAdmissibleStrip { n: u64, m: u64, p: u64 },
+    /// An explicitly requested strip width is inadmissible.
+    InvalidStrip { s: u64, n: u64, p: u64 },
+    /// A divide-and-conquer engine was asked to run with `p > 1`.
+    UniprocessorOnly { engine: &'static str, p: u64 },
+    /// Machine parameters failed Definition 2 validation.
+    Spec(SpecError),
+    /// The fault plan's parameters are invalid.
+    Fault(FaultError),
+    /// Simulated outputs diverge from direct guest execution.
+    OutputMismatch { what: &'static str },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimError::DimensionMismatch { expected, got } => {
+                write!(f, "engine requires d = {expected}, spec has d = {got}")
+            }
+            SimError::DensityMismatch { spec_m, prog_m } => {
+                write!(
+                    f,
+                    "spec density m = {spec_m} does not match program density m = {prog_m}"
+                )
+            }
+            SimError::InitLength { expected, got } => {
+                write!(
+                    f,
+                    "initial memory image has {got} words, expected n·m = {expected}"
+                )
+            }
+            SimError::IndivisibleProcessors { n, p } => {
+                write!(f, "p = {p} must divide n = {n}")
+            }
+            SimError::IndivisibleMeshSide { side, proc_side } => {
+                write!(
+                    f,
+                    "processor-grid side {proc_side} must divide mesh side {side}"
+                )
+            }
+            SimError::BlockTooSmall { block } => {
+                write!(
+                    f,
+                    "block side must be ≥ 2, got {block}; use the naive engine"
+                )
+            }
+            SimError::NoAdmissibleStrip { n, m, p } => {
+                write!(
+                    f,
+                    "no admissible strip width for n = {n}, m = {m}, p = {p}; use the naive engine"
+                )
+            }
+            SimError::InvalidStrip { s, n, p } => {
+                write!(
+                    f,
+                    "strip width s = {s} is inadmissible for n = {n}, p = {p}"
+                )
+            }
+            SimError::UniprocessorOnly { engine, p } => {
+                write!(
+                    f,
+                    "{engine} is a uniprocessor engine (needs p = 1, got p = {p})"
+                )
+            }
+            SimError::Spec(e) => write!(f, "{e}"),
+            SimError::Fault(e) => write!(f, "{e}"),
+            SimError::OutputMismatch { what } => {
+                write!(f, "simulated {what} diverge from direct execution")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
+    }
+}
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errs: Vec<SimError> = vec![
+            SimError::DimensionMismatch {
+                expected: 1,
+                got: 2,
+            },
+            SimError::DensityMismatch {
+                spec_m: 4,
+                prog_m: 2,
+            },
+            SimError::InitLength {
+                expected: 64,
+                got: 60,
+            },
+            SimError::IndivisibleProcessors { n: 10, p: 3 },
+            SimError::IndivisibleMeshSide {
+                side: 9,
+                proc_side: 2,
+            },
+            SimError::BlockTooSmall { block: 1 },
+            SimError::NoAdmissibleStrip { n: 16, m: 1, p: 8 },
+            SimError::InvalidStrip { s: 3, n: 16, p: 8 },
+            SimError::UniprocessorOnly {
+                engine: "dnc1",
+                p: 4,
+            },
+            SimError::Spec(SpecError::ProcessorsOutOfRange { n: 4, p: 8 }),
+            SimError::Fault(FaultError::SlowdownBelowOne { nu: 0.5 }),
+            SimError::OutputMismatch { what: "values" },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let s: SimError = SpecError::ZeroExtent { n: 0, m: 1 }.into();
+        assert!(matches!(s, SimError::Spec(_)));
+        let f: SimError = FaultError::EmptyJitterRange { lo: 2.0, hi: 2.0 }.into();
+        assert!(matches!(f, SimError::Fault(_)));
+    }
+}

@@ -103,12 +103,11 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     /// the diamond's lattice preboundary plus the input-row vertices the
     /// diamond itself covers, filtered to actual predecessors.
     pub fn gamma(&self, u: &ClippedDiamond) -> Vec<Pt2> {
-        let mut cands: Vec<Pt2> = u
-            .d
-            .preboundary()
-            .into_iter()
-            .filter(|q| self.in_dag(*q))
-            .collect();
+        let mut cands: Vec<Pt2> =
+            u.d.preboundary()
+                .into_iter()
+                .filter(|q| self.in_dag(*q))
+                .collect();
         // Input-row vertices inside the diamond (below cbox).
         if u.d.bbox().t0 <= 0 {
             for x in u.d.bbox().x0.max(0)..u.d.bbox().x1.min(self.n) {
@@ -196,7 +195,11 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         let s = if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
             let vol = u.points_count() as usize;
             let g = self.gamma(u).len();
-            let st = if self.m > 1 { self.cols(u).len() * self.m } else { 0 };
+            let st = if self.m > 1 {
+                self.cols(u).len() * self.m
+            } else {
+                0
+            };
             vol + g + st
         } else {
             let kids = self.kids(u);
@@ -204,10 +207,18 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             let mut p_u = 0usize;
             for k in &kids {
                 zmax = zmax.max(self.space(k));
-                let st = if self.m > 1 { self.cols(k).len() * self.m } else { 0 };
+                let st = if self.m > 1 {
+                    self.cols(k).len() * self.m
+                } else {
+                    0
+                };
                 p_u += self.gamma(k).len() + st;
             }
-            let st_u = if self.m > 1 { self.cols(u).len() * self.m } else { 0 };
+            let st_u = if self.m > 1 {
+                self.cols(u).len() * self.m
+            } else {
+                0
+            };
             zmax + p_u + self.gamma(u).len() + self.outbound_cap(u) + st_u
         };
         self.space_memo.insert(key, s);
@@ -217,7 +228,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     /// Move a live value into `zone`, charging the copy, freeing the old
     /// slot in `from`.
     fn move_value(&mut self, q: Pt2, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self.live.get(&q).unwrap_or_else(|| panic!("value {q:?} not live"));
+        let old = *self
+            .live
+            .get(&q)
+            .unwrap_or_else(|| panic!("value {q:?} not live"));
         let new = zone.alloc();
         self.ram.relocate(old, new);
         from.free_if_owned(old);
@@ -226,7 +240,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
 
     /// Move a column's state block into `zone`.
     fn move_state(&mut self, x: i64, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self.state.get(&x).unwrap_or_else(|| panic!("state {x} not live"));
+        let old = *self
+            .state
+            .get(&x)
+            .unwrap_or_else(|| panic!("state {x} not live"));
         let new = zone.alloc_block(self.m);
         for c in 0..self.m {
             self.ram.relocate(old + c, new + c);
@@ -265,8 +282,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         let mut zone_set: HashSet<Pt2> = g_u.into_iter().collect();
 
         // Children, in topological order.
-        let kid_gammas: Vec<HashSet<Pt2>> =
-            kids.iter().map(|k| self.gamma(k).into_iter().collect()).collect();
+        let kid_gammas: Vec<HashSet<Pt2>> = kids
+            .iter()
+            .map(|k| self.gamma(k).into_iter().collect())
+            .collect();
         for (i, kid) in kids.iter().enumerate() {
             // What the child must park back: values needed by later
             // siblings or by our own parent, that the child computes or
@@ -318,8 +337,11 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     /// bottom): ingest, run vertices in time order, park.
     fn exec_leaf(&mut self, u: &ClippedDiamond, want: &HashSet<Pt2>, parent_zone: &mut ZoneAlloc) {
         let pts = {
-            let mut v: Vec<Pt2> =
-                u.points().into_iter().filter(|p| self.cbox.contains(*p)).collect();
+            let mut v: Vec<Pt2> = u
+                .points()
+                .into_iter()
+                .filter(|p| self.cbox.contains(*p))
+                .collect();
             v.sort();
             v
         };
@@ -338,10 +360,16 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         // Ingest Γ.
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self.live.get(q).unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            let old = *self
+                .live
+                .get(q)
+                .unwrap_or_else(|| panic!("Γ value {q:?} not live"));
             self.ram.relocate(old, dst);
             if std::env::var("BSMP_TRACE").is_ok() && *q == Pt2::new(0, 2) {
-                eprintln!("TRACE leaf-ingest (0,2): {old} -> {dst} val={} for leaf {u:?}", self.ram.peek(dst));
+                eprintln!(
+                    "TRACE leaf-ingest (0,2): {old} -> {dst} val={} for leaf {u:?}",
+                    self.ram.peek(dst)
+                );
             }
             parent_zone.free_if_owned(old);
             self.live.insert(*q, dst);
@@ -353,7 +381,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             let base0 = n_pts + g_u.len();
             for (i, &x) in cols_u.iter().enumerate() {
                 let dst = base0 + i * self.m;
-                let old = *self.state.get(&x).unwrap_or_else(|| panic!("state {x} not live"));
+                let old = *self
+                    .state
+                    .get(&x)
+                    .unwrap_or_else(|| panic!("state {x} not live"));
                 for c in 0..self.m {
                     self.ram.relocate(old + c, dst + c);
                 }
@@ -406,7 +437,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         let mut wanted: Vec<Pt2> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            let old = *self.live.get(&q).unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let old = *self
+                .live
+                .get(&q)
+                .unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
             self.live.insert(q, new);
@@ -503,17 +537,16 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         }
 
         // Want the final row back.
-        let want: HashSet<Pt2> =
-            (0..self.n).map(|x| Pt2::new(x, self.t_steps)).collect();
+        let want: HashSet<Pt2> = (0..self.n).map(|x| Pt2::new(x, self.t_steps)).collect();
         self.exec(&top, &want, &mut driver_zone);
 
         // Write the final image back into the guest layout (charged —
         // the host must leave memory as the guest would).
         let mut values = vec![0 as Word; n];
-        for v in 0..n {
+        for (v, slot) in values.iter_mut().enumerate() {
             let p = Pt2::new(v as i64, self.t_steps);
             let addr = self.live[&p];
-            values[v] = self.ram.peek(addr);
+            *slot = self.ram.peek(addr);
             if m == 1 {
                 self.ram.relocate(addr, image + v);
             }

@@ -172,7 +172,11 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         let s = if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
             let vol = u.points_count() as usize;
             let g = self.gamma(u).len();
-            let st = if self.m > 1 { self.pillars(u).len() * self.m } else { 0 };
+            let st = if self.m > 1 {
+                self.pillars(u).len() * self.m
+            } else {
+                0
+            };
             vol + g + st
         } else {
             let kids = self.kids(u);
@@ -180,10 +184,18 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             let mut p_u = 0usize;
             for k in &kids {
                 zmax = zmax.max(self.space(k));
-                let st = if self.m > 1 { self.pillars(k).len() * self.m } else { 0 };
+                let st = if self.m > 1 {
+                    self.pillars(k).len() * self.m
+                } else {
+                    0
+                };
                 p_u += self.gamma(k).len() + st;
             }
-            let st_u = if self.m > 1 { self.pillars(u).len() * self.m } else { 0 };
+            let st_u = if self.m > 1 {
+                self.pillars(u).len() * self.m
+            } else {
+                0
+            };
             zmax + p_u + self.gamma(u).len() + self.outbound_cap(u) + st_u
         };
         self.space_memo.insert(key, s);
@@ -191,7 +203,10 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     }
 
     fn move_value(&mut self, q: Pt3, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self.live.get(&q).unwrap_or_else(|| panic!("value {q:?} not live"));
+        let old = *self
+            .live
+            .get(&q)
+            .unwrap_or_else(|| panic!("value {q:?} not live"));
         let new = zone.alloc();
         self.ram.relocate(old, new);
         from.free_if_owned(old);
@@ -199,7 +214,10 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     }
 
     fn move_state(&mut self, xy: (i64, i64), zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self.state.get(&xy).unwrap_or_else(|| panic!("state {xy:?} not live"));
+        let old = *self
+            .state
+            .get(&xy)
+            .unwrap_or_else(|| panic!("state {xy:?} not live"));
         let new = zone.alloc_block(self.m);
         for c in 0..self.m {
             self.ram.relocate(old + c, new + c);
@@ -235,8 +253,10 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         }
         let mut zone_set: HashSet<Pt3> = g_u.into_iter().collect();
 
-        let kid_gammas: Vec<HashSet<Pt3>> =
-            kids.iter().map(|k| self.gamma(k).into_iter().collect()).collect();
+        let kid_gammas: Vec<HashSet<Pt3>> = kids
+            .iter()
+            .map(|k| self.gamma(k).into_iter().collect())
+            .collect();
         for (i, kid) in kids.iter().enumerate() {
             let mut want_kid: HashSet<Pt3> = HashSet::new();
             let relevant = |q: Pt3, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
@@ -292,7 +312,10 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         }
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self.live.get(q).unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            let old = *self
+                .live
+                .get(q)
+                .unwrap_or_else(|| panic!("Γ value {q:?} not live"));
             self.ram.relocate(old, dst);
             parent_zone.free_if_owned(old);
             self.live.insert(*q, dst);
@@ -303,7 +326,10 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             let base0 = n_pts + g_u.len();
             for (i, &xy) in pillars_u.iter().enumerate() {
                 let dst = base0 + i * self.m;
-                let old = *self.state.get(&xy).unwrap_or_else(|| panic!("state {xy:?} not live"));
+                let old = *self
+                    .state
+                    .get(&xy)
+                    .unwrap_or_else(|| panic!("state {xy:?} not live"));
                 for c in 0..self.m {
                     self.ram.relocate(old + c, dst + c);
                 }
@@ -335,8 +361,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             } else {
                 prev
             };
-            let out =
-                self.prog.delta(x as usize, y as usize, t, own, prev, west, east, south, north);
+            let out = self.prog.delta(
+                x as usize, y as usize, t, own, prev, west, east, south, north,
+            );
             self.ram.compute();
             if self.m > 1 {
                 let c = self.prog.cell(x as usize, y as usize, t);
@@ -349,7 +376,10 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         let mut wanted: Vec<Pt3> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            let old = *self.live.get(&q).unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let old = *self
+                .live
+                .get(&q)
+                .unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
             self.live.insert(q, new);

@@ -142,7 +142,10 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
     }
 
     fn move_value(&mut self, q: Pt4, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self.live.get(&q).unwrap_or_else(|| panic!("value {q:?} not live"));
+        let old = *self
+            .live
+            .get(&q)
+            .unwrap_or_else(|| panic!("value {q:?} not live"));
         let new = zone.alloc();
         self.ram.relocate(old, new);
         from.free_if_owned(old);
@@ -168,8 +171,10 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         }
         let mut zone_set: HashSet<Pt4> = g_u.into_iter().collect();
 
-        let kid_gammas: Vec<HashSet<Pt4>> =
-            kids.iter().map(|k| self.gamma(k).into_iter().collect()).collect();
+        let kid_gammas: Vec<HashSet<Pt4>> = kids
+            .iter()
+            .map(|k| self.gamma(k).into_iter().collect())
+            .collect();
         for (i, kid) in kids.iter().enumerate() {
             let mut want_kid: HashSet<Pt4> = HashSet::new();
             let relevant = |q: Pt4, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
@@ -219,7 +224,10 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         }
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self.live.get(q).unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            let old = *self
+                .live
+                .get(q)
+                .unwrap_or_else(|| panic!("Γ value {q:?} not live"));
             self.ram.relocate(old, dst);
             parent_zone.free_if_owned(old);
             self.live.insert(*q, dst);
@@ -246,8 +254,15 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
                 read_val(self, Pt4::new(p.x, p.y, p.z - 1, p.t - 1)),
                 read_val(self, Pt4::new(p.x, p.y, p.z + 1, p.t - 1)),
             ];
-            let out =
-                self.prog.delta(p.x as usize, p.y as usize, p.z as usize, p.t, prev, prev, nb);
+            let out = self.prog.delta(
+                p.x as usize,
+                p.y as usize,
+                p.z as usize,
+                p.t,
+                prev,
+                prev,
+                nb,
+            );
             self.ram.compute();
             self.ram.write(i, out);
             self.live.insert(*p, i);
@@ -256,7 +271,10 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         let mut wanted: Vec<Pt4> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            let old = *self.live.get(&q).unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let old = *self
+                .live
+                .get(&q)
+                .unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
             self.live.insert(q, new);

@@ -32,6 +32,7 @@
 pub mod dnc1;
 pub mod dnc2;
 pub mod dnc3;
+pub mod error;
 pub mod exec1;
 pub mod exec2;
 pub mod exec3;
@@ -43,4 +44,5 @@ pub mod pipelined1;
 pub mod report;
 pub mod zone;
 
+pub use error::SimError;
 pub use report::SimReport;

@@ -43,10 +43,12 @@
 
 use std::collections::{HashMap, HashSet};
 
+use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{diamond_cover, ClippedDiamond, IRect, Pt2};
 use bsmp_hram::Word;
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock};
 
+use crate::error::SimError;
 use crate::exec1::DiamondExec;
 use crate::report::SimReport;
 use crate::zone::ZoneAlloc;
@@ -97,8 +99,8 @@ pub mod rearrangement {
             // rearranged array.
             let (q, p) = (32, 4);
             for j in 0..q - 1 {
-                let d = (slot_of(j, q, p) as i64 - slot_of(j + 1, q, p) as i64).unsigned_abs()
-                    as usize;
+                let d =
+                    (slot_of(j, q, p) as i64 - slot_of(j + 1, q, p) as i64).unsigned_abs() as usize;
                 assert!(d == 1 || d == q / p, "strips {j},{} at distance {d}", j + 1);
             }
         }
@@ -131,14 +133,12 @@ pub mod rearrangement {
 }
 
 /// Tuning/introspection knobs for the multiprocessor engine.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Multi1Options {
     /// Strip width `s`; `None` selects the paper's `s*` (rounded to a
     /// power of two dividing `n/p`-compatible grids).
     pub strip: Option<u64>,
 }
-
 
 /// Pick the engine's strip width: the admissible width (`s | n`,
 /// `p | n/s`, `s ≥ 2`) closest to the paper's `s*` in log-scale.
@@ -160,6 +160,29 @@ pub fn engine_strip(n: u64, m: u64, p: u64) -> Option<u64> {
     best.map(|(_, s)| s)
 }
 
+/// Simulate with the paper's optimal strip width, injecting faults per
+/// `plan`, with preconditions checked.
+pub fn try_simulate_multi1_faulted(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_multi1_opt_faulted(spec, prog, init, steps, Multi1Options::default(), plan)
+}
+
+/// Simulate with the paper's optimal strip width, with preconditions
+/// checked.
+pub fn try_simulate_multi1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    try_simulate_multi1_faulted(spec, prog, init, steps, &FaultPlan::none())
+}
+
 /// Simulate with the paper's optimal strip width.
 pub fn simulate_multi1(
     spec: &MachineSpec,
@@ -167,7 +190,30 @@ pub fn simulate_multi1(
     init: &[Word],
     steps: i64,
 ) -> SimReport {
-    simulate_multi1_opt(spec, prog, init, steps, Multi1Options::default())
+    try_simulate_multi1(spec, prog, init, steps).unwrap_or_else(|e| panic!("multi1: {e}"))
+}
+
+/// Simulate with explicit options and a fault plan, with preconditions
+/// checked.
+pub fn try_simulate_multi1_opt_faulted(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    opts: Multi1Options,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    let expected = spec.n as usize * prog.m();
+    if init.len() != expected {
+        return Err(SimError::InitLength {
+            expected,
+            got: init.len(),
+        });
+    }
+    plan.validate()?;
+    let mut eng = Engine::new(spec, prog, steps, opts, plan)?;
+    eng.run(init);
+    Ok(eng.finish(spec, prog, steps))
 }
 
 /// Simulate with explicit options (strip-width sweeps for experiment E9).
@@ -178,9 +224,8 @@ pub fn simulate_multi1_opt(
     steps: i64,
     opts: Multi1Options,
 ) -> SimReport {
-    let mut eng = Engine::new(spec, prog, steps, opts);
-    eng.run(init);
-    eng.finish(spec, prog, steps)
+    try_simulate_multi1_opt_faulted(spec, prog, init, steps, opts, &FaultPlan::none())
+        .unwrap_or_else(|e| panic!("multi1: {e}"))
 }
 
 struct Engine<'a, P: LinearProgram> {
@@ -217,22 +262,56 @@ struct Engine<'a, P: LinearProgram> {
     levels: u32,
     preprocessing_time: f64,
     debug_ctx: String,
+    session: FaultSession,
 }
 
 impl<'a, P: LinearProgram> Engine<'a, P> {
-    fn new(spec: &MachineSpec, prog: &'a P, steps: i64, opts: Multi1Options) -> Self {
-        assert_eq!(spec.d, 1);
+    fn new(
+        spec: &MachineSpec,
+        prog: &'a P,
+        steps: i64,
+        opts: Multi1Options,
+        plan: &FaultPlan,
+    ) -> Result<Self, SimError> {
+        if spec.d != 1 {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                got: spec.d,
+            });
+        }
         let n = spec.n as usize;
         let p = spec.p as usize;
         let m = prog.m();
-        assert_eq!(m as u64, spec.m);
-        let s = opts
-            .strip
-            .or_else(|| engine_strip(spec.n, spec.m, spec.p))
-            .expect("no admissible strip width; use the naive engine") as usize;
-        assert!(s >= 2 && n.is_multiple_of(s), "strip width {s} must divide n = {n}");
+        if m as u64 != spec.m {
+            return Err(SimError::DensityMismatch {
+                spec_m: spec.m,
+                prog_m: m as u64,
+            });
+        }
+        let s = match opts.strip {
+            Some(s) => {
+                let su = s as usize;
+                if su < 2 || !n.is_multiple_of(su) || !(n / su).is_multiple_of(p) {
+                    return Err(SimError::InvalidStrip {
+                        s,
+                        n: spec.n,
+                        p: spec.p,
+                    });
+                }
+                su
+            }
+            None => match engine_strip(spec.n, spec.m, spec.p) {
+                Some(s) => s as usize,
+                None => {
+                    return Err(SimError::NoAdmissibleStrip {
+                        n: spec.n,
+                        m: spec.m,
+                        p: spec.p,
+                    })
+                }
+            },
+        };
         let q = n / s;
-        assert!(q.is_multiple_of(p), "p = {p} must divide q = {q}");
         let cbox = IRect::new(0, n as i64, 1, steps + 1);
 
         // Per-processor layout: probe the worst-case inner-tile footprint.
@@ -252,11 +331,23 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let execs: Vec<DiamondExec<'a, P>> = (0..p)
             .map(|_| DiamondExec::new(&pseudo, prog, steps, (m as i64 / 2).max(1)))
             .collect();
-        let home_zones = (0..p).map(|_| ZoneAlloc::new(home_base, home_cap)).collect();
-        let transit_zones = (0..p).map(|_| ZoneAlloc::new(transit_base, transit_cap)).collect();
+        let home_zones = (0..p)
+            .map(|_| ZoneAlloc::new(home_base, home_cap))
+            .collect();
+        let transit_zones = (0..p)
+            .map(|_| ZoneAlloc::new(transit_base, transit_cap))
+            .collect();
         let levels = ((n as f64) / (p as f64 * s as f64)).log2().max(0.0).round() as u32;
+        let session = FaultSession::new(
+            plan,
+            FaultEnv {
+                p,
+                hop: spec.neighbor_distance(),
+                checkpoint_words: spec.node_mem(),
+            },
+        );
 
-        Engine {
+        Ok(Engine {
             n,
             p,
             m,
@@ -281,7 +372,8 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             levels,
             preprocessing_time: 0.0,
             debug_ctx: String::new(),
-        }
+            session,
+        })
     }
 
     fn proc_of_strip(&self, j: usize) -> usize {
@@ -297,14 +389,30 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         (x as usize) / self.s
     }
 
-    fn times(&self) -> Vec<f64> {
-        self.execs.iter().map(|e| e.ram.time()).collect()
+    /// Per-processor (total time, comm charge) snapshots for stage
+    /// bookkeeping.
+    fn times(&self) -> Vec<(f64, f64)> {
+        self.execs
+            .iter()
+            .map(|e| (e.ram.time(), e.ram.meter.comm))
+            .collect()
     }
 
-    fn close_stage(&mut self, start: &[f64]) {
-        let deltas: Vec<f64> =
-            self.execs.iter().zip(start).map(|(e, s)| e.ram.time() - s).collect();
-        self.clock.add_stage(&deltas);
+    fn close_stage(&mut self, start: &[(f64, f64)]) {
+        let deltas: Vec<f64> = self
+            .execs
+            .iter()
+            .zip(start)
+            .map(|(e, s)| e.ram.time() - s.0)
+            .collect();
+        let comms: Vec<f64> = self
+            .execs
+            .iter()
+            .zip(start)
+            .map(|(e, s)| e.ram.meter.comm - s.1)
+            .collect();
+        self.clock
+            .add_stage_faulted(&deltas, &comms, &mut self.session);
     }
 
     /// Lay out the guest image at the *natural* strip homes (uncharged:
@@ -334,7 +442,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
             buf.push(b);
         }
-        for j in 0..self.q {
+        for (j, bwords) in buf.iter().enumerate() {
             let (src_p, _) = natural_home(j);
             let dst_p = self.proc_of_strip(j);
             let dst = self.strip_home(j);
@@ -344,7 +452,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.execs[src_p].ram.meter.add_comm(c / 2.0);
                 self.execs[dst_p].ram.meter.add_comm(c / 2.0);
             }
-            for (w, word) in buf[j].iter().enumerate() {
+            for (w, word) in bwords.iter().enumerate() {
                 self.execs[dst_p].ram.write(dst + w, *word);
             }
         }
@@ -393,10 +501,12 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             self.placed.insert(pt, (pr, dst));
             return dst;
         }
-        let (owner, addr) = *self
-            .home
-            .get(&pt)
-            .unwrap_or_else(|| panic!("value {pt:?} neither placed nor home (ctx: {})", self.debug_ctx));
+        let (owner, addr) = *self.home.get(&pt).unwrap_or_else(|| {
+            panic!(
+                "value {pt:?} neither placed nor home (ctx: {})",
+                self.debug_ctx
+            )
+        });
         // Inter-tile ingest: cascade through the Regime-1 levels.
         let w = if self.vals.contains_key(&pt) {
             self.vals[&pt]
@@ -452,9 +562,10 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             .into_iter()
             .filter(|pt| {
                 pt.t == self.t_steps
-                    || pt.succs().iter().any(|sq| {
-                        self.cbox.contains(*sq) && !piece.contains(*sq)
-                    })
+                    || pt
+                        .succs()
+                        .iter()
+                        .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
             })
             .collect()
     }
@@ -510,7 +621,10 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     .staged_state
                     .get(&j)
                     .unwrap_or_else(|| panic!("strip {j} not staged"));
-                assert_eq!(owner, pr, "piece columns must be on the executing processor");
+                assert_eq!(
+                    owner, pr,
+                    "piece columns must be on the executing processor"
+                );
                 // Private copy of the column block for the recursion.
                 let home_addr = base + (x as usize - j * self.s) * self.m;
                 let copy = self.transit_zones[pr].alloc_block(self.m);
@@ -533,7 +647,10 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
         }
         let space = self.execs[pr].space(piece);
-        assert!(space <= self.tile_space, "tile footprint {space} exceeds budget");
+        assert!(
+            space <= self.tile_space,
+            "tile footprint {space} exceeds budget"
+        );
         // Parent zone: the transit zone (park results there).
         let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
         self.execs[pr].exec(piece, &want, &mut zone);
@@ -558,7 +675,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 let parked = self.execs[pr]
                     .state_addr(*x)
                     .unwrap_or_else(|| panic!("state {x} not parked"));
-                self.execs[pr].ram.relocate_block(parked, *home_addr, self.m);
+                self.execs[pr]
+                    .ram
+                    .relocate_block(parked, *home_addr, self.m);
                 self.transit_zones[pr].free_block(parked, self.m);
             }
         }
@@ -617,10 +736,11 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     let a = me.stage_value(qp, side);
                     me.execs[side].ram.peek(a)
                 } else {
-                    *me.vals.get(&qp).unwrap_or_else(|| panic!("operand {qp:?} missing"))
+                    *me.vals
+                        .get(&qp)
+                        .unwrap_or_else(|| panic!("operand {qp:?} missing"))
                 };
-                let owner =
-                    me.placed.get(&qp).map(|&(o, _)| o).unwrap_or(side);
+                let owner = me.placed.get(&qp).map(|&(o, _)| o).unwrap_or(side);
                 let _ = me.execs[side].ram.read(nominal);
                 if owner != side {
                     let hops = (owner as i64 - side as i64).unsigned_abs() as f64;
@@ -636,9 +756,10 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 let j = self.strip_of_col(pt.x);
                 let (owner, base) = self.staged_state[&j];
                 assert_eq!(owner, side, "band vertex state must be on its own side");
-                self.execs[side]
-                    .ram
-                    .read(base + (pt.x as usize - j * self.s) * self.m + self.prog.cell(pt.x as usize, pt.t))
+                self.execs[side].ram.read(
+                    base + (pt.x as usize - j * self.s) * self.m
+                        + self.prog.cell(pt.x as usize, pt.t),
+                )
             } else {
                 prev
             };
@@ -647,9 +768,11 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             if self.m > 1 {
                 let j = self.strip_of_col(pt.x);
                 let (_, base) = self.staged_state[&j];
-                self.execs[side]
-                    .ram
-                    .write(base + (pt.x as usize - j * self.s) * self.m + self.prog.cell(pt.x as usize, pt.t), out);
+                self.execs[side].ram.write(
+                    base + (pt.x as usize - j * self.s) * self.m
+                        + self.prog.cell(pt.x as usize, pt.t),
+                    out,
+                );
             }
             self.vals.insert(*pt, out);
             if out_set.contains(pt) {
@@ -715,21 +838,22 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             // previous row's floor that does not escape the tile.
             let row_lo = row_ct - hs;
             if prev_row_lo > i64::MIN {
-                let mut dead: Vec<Pt2> = self
-                    .placed
-                    .iter()
-                    .filter(|(pt, _)| {
-                        pt.t < prev_row_lo - 1
-                            && pt.t != self.t_steps
-                            && pt.succs().iter().all(|sq| {
-                                !self.cbox.contains(*sq) || self.vals.contains_key(sq)
-                            })
-                            && pt.succs().iter().all(|sq| {
-                                !self.cbox.contains(*sq) || tile.contains(*sq)
-                            })
-                    })
-                    .map(|(pt, _)| *pt)
-                    .collect();
+                let mut dead: Vec<Pt2> =
+                    self.placed
+                        .iter()
+                        .filter(|(pt, _)| {
+                            pt.t < prev_row_lo - 1
+                                && pt.t != self.t_steps
+                                && pt.succs().iter().all(|sq| {
+                                    !self.cbox.contains(*sq) || self.vals.contains_key(sq)
+                                })
+                                && pt
+                                    .succs()
+                                    .iter()
+                                    .all(|sq| !self.cbox.contains(*sq) || tile.contains(*sq))
+                        })
+                        .map(|(pt, _)| *pt)
+                        .collect();
                 dead.sort();
                 for pt in dead {
                     let (pr2, addr) = self.placed.remove(&pt).unwrap();
@@ -771,10 +895,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         placed.sort_by_key(|(pt, _)| *pt);
         for (pt, (pr, addr)) in placed {
             let needed = pt.t == self.t_steps
-                || pt
-                    .succs()
-                    .iter()
-                    .any(|sq| self.cbox.contains(*sq) && !self.vals.contains_key(sq) && !tile.contains(*sq));
+                || pt.succs().iter().any(|sq| {
+                    self.cbox.contains(*sq) && !self.vals.contains_key(sq) && !tile.contains(*sq)
+                });
             self.transit_zones[pr].free_if_owned(addr);
             if needed && !self.home.contains_key(&pt) {
                 let w = self.vals[&pt];
@@ -787,8 +910,12 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         }
         // Garbage-collect home values no longer reachable.
         let cutoff = b.t0 - 2;
-        let mut dead: Vec<Pt2> =
-            self.home.keys().copied().filter(|pt| pt.t < cutoff && pt.t != self.t_steps).collect();
+        let mut dead: Vec<Pt2> = self
+            .home
+            .keys()
+            .copied()
+            .filter(|pt| pt.t < cutoff && pt.t != self.t_steps)
+            .collect();
         dead.sort();
         for pt in dead {
             let (pr, addr) = self.home.remove(&pt).unwrap();
@@ -853,7 +980,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
             buf.push(bwords);
         }
-        for j in 0..self.q {
+        for (j, bwords) in buf.iter().enumerate() {
             let src_p = self.proc_of_strip(j);
             let dst_p = j / seg;
             let dst = self.strip_home_base + (j % seg) * sm;
@@ -863,7 +990,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.execs[src_p].ram.meter.add_comm(c / 2.0);
                 self.execs[dst_p].ram.meter.add_comm(c / 2.0);
             }
-            for (w, word) in buf[j].iter().enumerate() {
+            for (w, word) in bwords.iter().enumerate() {
                 self.execs[dst_p].ram.write(dst + w, *word);
             }
         }
@@ -882,7 +1009,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
         }
         let values: Vec<Word> = if steps == 0 {
-            (0..self.n).map(|x| mem[x * self.m + self.prog.cell(x, 0)]).collect()
+            (0..self.n)
+                .map(|x| mem[x * self.m + self.prog.cell(x, 0)])
+                .collect()
         } else {
             (0..self.n)
                 .map(|x| self.vals[&Pt2::new(x as i64, steps)])
@@ -891,15 +1020,23 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let meter = self
             .execs
             .iter()
-            .fold(bsmp_hram::CostMeter::new(), |acc, e| acc.merged(&e.ram.meter));
+            .fold(bsmp_hram::CostMeter::new(), |acc, e| {
+                acc.merged(&e.ram.meter)
+            });
         SimReport {
             mem,
             values,
             host_time: self.clock.parallel_time,
             guest_time: linear_guest_time(spec, prog, steps),
             meter,
-            space: self.execs.iter().map(|e| e.ram.high_water()).max().unwrap_or(0),
+            space: self
+                .execs
+                .iter()
+                .map(|e| e.ram.high_water())
+                .max()
+                .unwrap_or(0),
             stages: self.clock.stages,
+            faults: self.session.stats.clone(),
         }
     }
 }
@@ -907,8 +1044,12 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
 /// Does `piece` execute at least one vertex in column `x`?
 fn piece_has_column(piece: &ClippedDiamond, x: i64, cbox: &IRect) -> bool {
     let k = (x - piece.d.cx).abs();
-    let lo = (piece.d.ct - piece.d.h + k + 1).max(cbox.t0).max(piece.clip.t0);
-    let hi = (piece.d.ct + piece.d.h - k).min(cbox.t1 - 1).min(piece.clip.t1 - 1);
+    let lo = (piece.d.ct - piece.d.h + k + 1)
+        .max(cbox.t0)
+        .max(piece.clip.t0);
+    let hi = (piece.d.ct + piece.d.h - k)
+        .min(cbox.t1 - 1)
+        .min(piece.clip.t1 - 1);
     let xlo = piece.clip.x0.max(cbox.x0);
     let xhi = piece.clip.x1.min(cbox.x1);
     x >= xlo && x < xhi && lo <= hi
@@ -994,6 +1135,43 @@ mod tests {
     }
 
     #[test]
+    fn uniform_slowdown_stays_within_nu_envelope() {
+        let n = 32u64;
+        let init = inputs::random_bits(47, n as usize);
+        let spec = MachineSpec::new(1, n, 4, 1);
+        let base = simulate_multi1(&spec, &Eca::rule110(), &init, n as i64);
+        for nu in [1.0, 2.0, 4.0] {
+            let plan = FaultPlan::uniform_slowdown(nu);
+            let rep = try_simulate_multi1_faulted(&spec, &Eca::rule110(), &init, n as i64, &plan)
+                .unwrap();
+            rep.assert_matches(&base.mem, &base.values);
+            assert!(rep.host_time >= base.host_time - 1e-9);
+            assert!(rep.host_time <= nu * base.host_time + 1e-6, "ν = {nu}");
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_bad_parameters() {
+        let init = inputs::random_bits(48, 32);
+        let spec = MachineSpec::new(1, 32, 4, 1);
+        assert!(matches!(
+            try_simulate_multi1(&spec, &Eca::rule110(), &init[..30], 8),
+            Err(SimError::InitLength { .. })
+        ));
+        assert!(matches!(
+            try_simulate_multi1_opt_faulted(
+                &spec,
+                &Eca::rule110(),
+                &init,
+                8,
+                Multi1Options { strip: Some(3) },
+                &FaultPlan::none(),
+            ),
+            Err(SimError::InvalidStrip { s: 3, .. })
+        ));
+    }
+
+    #[test]
     fn locality_slowdown_shape_beats_naive() {
         // Theorem 4: the two-regime scheme's locality slowdown A is
         // polylogarithmic in n (for m = 1), while the naive scheme's is
@@ -1009,8 +1187,7 @@ mod tests {
             let guest = run_linear(&spec, &Eca::rule90(), &init, steps);
             let rep = simulate_multi1(&spec, &Eca::rule90(), &init, steps);
             rep.assert_matches(&guest.mem, &guest.values);
-            let naive =
-                crate::naive1::simulate_naive1(&spec, &Eca::rule90(), &init, steps);
+            let naive = crate::naive1::simulate_naive1(&spec, &Eca::rule90(), &init, steps);
             (rep.locality_slowdown(n, p), naive.locality_slowdown(n, p))
         };
         let (two_a, naive_a) = a_of(128);
@@ -1018,7 +1195,10 @@ mod tests {
         let naive_growth = naive_b / naive_a;
         let two_growth = two_b / two_a;
         assert!(naive_growth > 2.5, "naive A ~ n/p: ×{naive_growth}");
-        assert!(two_growth < naive_growth / 1.5, "two-regime A nearly flat: ×{two_growth} vs naive ×{naive_growth}");
+        assert!(
+            two_growth < naive_growth / 1.5,
+            "two-regime A nearly flat: ×{two_growth} vs naive ×{naive_growth}"
+        );
         // Brent floor: slowdown exceeds n/p (A > 1).
         assert!(two_a > 1.0 && two_b > 1.0);
     }

@@ -29,13 +29,48 @@
 
 use std::collections::{HashMap, HashSet};
 
+use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
 use bsmp_hram::Word;
 use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock};
 
+use crate::error::SimError;
 use crate::exec2::CellExec;
 use crate::report::SimReport;
 use crate::zone::ZoneAlloc;
+
+/// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`,
+/// injecting faults per `plan`, with preconditions checked.
+pub fn try_simulate_multi2_faulted(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    let expected = spec.n as usize * prog.m();
+    if init.len() != expected {
+        return Err(SimError::InitLength {
+            expected,
+            got: init.len(),
+        });
+    }
+    plan.validate()?;
+    let mut eng = Engine2::new(spec, prog, steps, plan)?;
+    eng.run(init);
+    Ok(eng.finish(spec, prog, steps))
+}
+
+/// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`,
+/// with preconditions checked.
+pub fn try_simulate_multi2(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    try_simulate_multi2_faulted(spec, prog, init, steps, &FaultPlan::none())
+}
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`.
 pub fn simulate_multi2(
@@ -44,9 +79,7 @@ pub fn simulate_multi2(
     init: &[Word],
     steps: i64,
 ) -> SimReport {
-    let mut eng = Engine2::new(spec, prog, steps);
-    eng.run(init);
-    eng.finish(spec, prog, steps)
+    try_simulate_multi2(spec, prog, init, steps).unwrap_or_else(|e| panic!("multi2: {e}"))
 }
 
 struct Engine2<'a, P: MeshProgram> {
@@ -65,20 +98,43 @@ struct Engine2<'a, P: MeshProgram> {
     home_zones: Vec<ZoneAlloc>,
     transit_zones: Vec<ZoneAlloc>,
     clock: StageClock,
+    session: FaultSession,
     tile_space: usize,
     state_base: usize,
 }
 
 impl<'a, P: MeshProgram> Engine2<'a, P> {
-    fn new(spec: &MachineSpec, prog: &'a P, steps: i64) -> Self {
-        assert_eq!(spec.d, 2);
+    fn new(
+        spec: &MachineSpec,
+        prog: &'a P,
+        steps: i64,
+        plan: &FaultPlan,
+    ) -> Result<Self, SimError> {
+        if spec.d != 2 {
+            return Err(SimError::DimensionMismatch {
+                expected: 2,
+                got: spec.d,
+            });
+        }
         let side = spec.mesh_side() as usize;
         let sp = spec.proc_side() as usize;
         let m = prog.m();
-        assert_eq!(m as u64, spec.m);
-        assert_eq!(side % sp, 0);
+        if m as u64 != spec.m {
+            return Err(SimError::DensityMismatch {
+                spec_m: spec.m,
+                prog_m: m as u64,
+            });
+        }
+        if !side.is_multiple_of(sp) {
+            return Err(SimError::IndivisibleMeshSide {
+                side: side as u64,
+                proc_side: sp as u64,
+            });
+        }
         let b = side / sp;
-        assert!(b >= 2, "block side must be ≥ 2");
+        if b < 2 {
+            return Err(SimError::BlockTooSmall { block: b as u64 });
+        }
         let cbox = IBox::new(0, side as i64, 0, side as i64, 1, steps + 1);
 
         let pseudo = MachineSpec::new(2, spec.n, 1, spec.m);
@@ -101,18 +157,32 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let state_base = home_base + home_cap;
         let _ = transit_base;
 
-        let execs = (0..sp * sp).map(|_| CellExec::new(&pseudo, prog, steps, leaf)).collect();
-        let home_zones = (0..sp * sp).map(|_| ZoneAlloc::new(home_base, home_cap)).collect();
-        let transit_zones =
-            (0..sp * sp).map(|_| ZoneAlloc::new(transit_base, transit_cap)).collect();
+        let execs = (0..sp * sp)
+            .map(|_| CellExec::new(&pseudo, prog, steps, leaf))
+            .collect();
+        let home_zones = (0..sp * sp)
+            .map(|_| ZoneAlloc::new(home_base, home_cap))
+            .collect();
+        let transit_zones = (0..sp * sp)
+            .map(|_| ZoneAlloc::new(transit_base, transit_cap))
+            .collect();
 
-        Engine2 {
+        let hop = spec.neighbor_distance();
+        let session = FaultSession::new(
+            plan,
+            FaultEnv {
+                p: sp * sp,
+                hop,
+                checkpoint_words: spec.node_mem(),
+            },
+        );
+        Ok(Engine2 {
             side,
             sp,
             b,
             m,
             t_steps: steps,
-            hop: spec.neighbor_distance(),
+            hop,
             cbox,
             execs,
             prog,
@@ -121,9 +191,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             home_zones,
             transit_zones,
             clock: StageClock::new(),
+            session,
             tile_space,
             state_base,
-        }
+        })
     }
 
     #[inline]
@@ -148,14 +219,28 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         self.state_base + (ly * self.b + lx) * self.m
     }
 
-    fn times(&self) -> Vec<f64> {
-        self.execs.iter().map(|e| e.ram.time()).collect()
+    fn times(&self) -> Vec<(f64, f64)> {
+        self.execs
+            .iter()
+            .map(|e| (e.ram.time(), e.ram.meter.comm))
+            .collect()
     }
 
-    fn close_stage(&mut self, start: &[f64]) {
-        let deltas: Vec<f64> =
-            self.execs.iter().zip(start).map(|(e, s)| e.ram.time() - s).collect();
-        self.clock.add_stage(&deltas);
+    fn close_stage(&mut self, start: &[(f64, f64)]) {
+        let deltas: Vec<f64> = self
+            .execs
+            .iter()
+            .zip(start)
+            .map(|(e, s)| e.ram.time() - s.0)
+            .collect();
+        let comms: Vec<f64> = self
+            .execs
+            .iter()
+            .zip(start)
+            .map(|(e, s)| e.ram.meter.comm - s.1)
+            .collect();
+        self.clock
+            .add_stage_faulted(&deltas, &comms, &mut self.session);
     }
 
     fn gamma(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
@@ -184,7 +269,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             .into_iter()
             .filter(|pt| {
                 pt.t == self.t_steps
-                    || pt.succs().iter().any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
+                    || pt
+                        .succs()
+                        .iter()
+                        .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
             })
             .collect()
     }
@@ -273,7 +361,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             }
         }
         let space = self.execs[pr].space(piece);
-        assert!(space <= self.tile_space, "cell footprint {space} exceeds budget");
+        assert!(
+            space <= self.tile_space,
+            "cell footprint {space} exceeds budget"
+        );
         let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
         self.execs[pr].exec(piece, &want, &mut zone);
         self.transit_zones[pr] = zone;
@@ -336,7 +427,9 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                 let pr = self.proc_of_node(x as i64, y as i64);
                 let base = self.state_home(x as i64, y as i64);
                 for c in 0..m {
-                    self.execs[pr].ram.poke(base + c, init[(y * side + x) * m + c]);
+                    self.execs[pr]
+                        .ram
+                        .poke(base + c, init[(y * side + x) * m + c]);
                 }
                 // Input-row value: a view into the state home.
                 let p0 = Pt3::new(x as i64, y as i64, 0);
@@ -415,23 +508,29 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                 .collect()
         } else {
             (0..side * side)
-                .map(|v| {
-                    self.vals[&Pt3::new((v % side) as i64, (v / side) as i64, steps)]
-                })
+                .map(|v| self.vals[&Pt3::new((v % side) as i64, (v / side) as i64, steps)])
                 .collect()
         };
         let meter = self
             .execs
             .iter()
-            .fold(bsmp_hram::CostMeter::new(), |acc, e| acc.merged(&e.ram.meter));
+            .fold(bsmp_hram::CostMeter::new(), |acc, e| {
+                acc.merged(&e.ram.meter)
+            });
         SimReport {
             mem,
             values,
             host_time: self.clock.parallel_time,
             guest_time: mesh_guest_time(spec, prog, steps),
             meter,
-            space: self.execs.iter().map(|e| e.ram.high_water()).max().unwrap_or(0),
+            space: self
+                .execs
+                .iter()
+                .map(|e| e.ram.high_water())
+                .max()
+                .unwrap_or(0),
             stages: self.clock.stages,
+            faults: self.session.stats.clone(),
         }
     }
 }
@@ -506,12 +605,8 @@ mod tests {
             let steps = (side / 2) as i64;
             let spec = MachineSpec::new(2, n, p, 1);
             let rep = simulate_multi2(&spec, &VonNeumannLife::fredkin(), &init, steps);
-            let naive = crate::naive2::simulate_naive2(
-                &spec,
-                &VonNeumannLife::fredkin(),
-                &init,
-                steps,
-            );
+            let naive =
+                crate::naive2::simulate_naive2(&spec, &VonNeumannLife::fredkin(), &init, steps);
             (rep.locality_slowdown(n, p), naive.locality_slowdown(n, p))
         };
         let (two_a, naive_a) = a_of(16);
@@ -521,6 +616,49 @@ mod tests {
         assert!(
             two_growth < naive_growth,
             "D&C growth ×{two_growth} must undercut naive ×{naive_growth}"
+        );
+    }
+
+    #[test]
+    fn uniform_slowdown_stays_within_nu_envelope() {
+        let init = inputs::random_bits(56, 64);
+        let spec = MachineSpec::new(2, 64, 4, 1);
+        let prog = VonNeumannLife::fredkin();
+        let base = try_simulate_multi2(&spec, &prog, &init, 6).unwrap();
+        for nu in [1.0f64, 2.0, 4.0] {
+            let plan = bsmp_faults::FaultPlan::uniform_slowdown(nu);
+            let rep = try_simulate_multi2_faulted(&spec, &prog, &init, 6, &plan).unwrap();
+            rep.assert_matches(&base.mem, &base.values);
+            assert!(
+                base.host_time <= rep.host_time + 1e-9
+                    && rep.host_time <= nu * base.host_time + 1e-6,
+                "ν={nu}: {} vs base {}",
+                rep.host_time,
+                base.host_time
+            );
+            if nu == 1.0 {
+                assert_eq!(rep.host_time.to_bits(), base.host_time.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_bad_parameters() {
+        let prog = VonNeumannLife::fredkin();
+        let init = inputs::random_bits(57, 64);
+        let spec = MachineSpec::new(2, 64, 4, 1);
+        assert_eq!(
+            try_simulate_multi2(&spec, &prog, &init[..10], 4).err(),
+            Some(SimError::InitLength {
+                expected: 64,
+                got: 10
+            })
+        );
+        // p = n gives block side 1 — too small for the strip machinery.
+        let tight = MachineSpec::new(2, 64, 64, 1);
+        assert_eq!(
+            try_simulate_multi2(&tight, &prog, &init, 4).err(),
+            Some(SimError::BlockTooSmall { block: 1 })
         );
     }
 }

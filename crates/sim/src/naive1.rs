@@ -9,27 +9,60 @@
 //! at addresses up to `Θ(n·m/p)`, hence slowdown `O((n/p)^{1+1/d})`;
 //! values crossing the processor boundary are charged `words × n/p`.
 
+use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{Hram, Word};
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock};
 
+use crate::error::SimError;
 use crate::report::SimReport;
 
 /// Simulate `steps` guest steps of `M_1(n, n, m)` on `M_1(n, p, m)` by
-/// the naive method.
-pub fn simulate_naive1(
+/// the naive method, injecting faults per `plan`.
+pub fn try_simulate_naive1_faulted(
     spec: &MachineSpec,
     prog: &impl LinearProgram,
     init: &[Word],
     steps: i64,
-) -> SimReport {
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
     let n = spec.n as usize;
     let p = spec.p as usize;
     let m = prog.m();
-    assert_eq!(m as u64, spec.m);
-    assert_eq!(init.len(), n * m);
-    assert_eq!(n % p, 0, "p must divide n");
+    if spec.d != 1 {
+        return Err(SimError::DimensionMismatch {
+            expected: 1,
+            got: spec.d,
+        });
+    }
+    if m as u64 != spec.m {
+        return Err(SimError::DensityMismatch {
+            spec_m: spec.m,
+            prog_m: m as u64,
+        });
+    }
+    if init.len() != n * m {
+        return Err(SimError::InitLength {
+            expected: n * m,
+            got: init.len(),
+        });
+    }
+    if !n.is_multiple_of(p) {
+        return Err(SimError::IndivisibleProcessors {
+            n: spec.n,
+            p: spec.p,
+        });
+    }
+    plan.validate()?;
     let q = n / p; // guest nodes per host node
     let access = spec.access_fn();
+    let mut session = FaultSession::new(
+        plan,
+        FaultEnv {
+            p,
+            hop: spec.neighbor_distance(),
+            checkpoint_words: spec.node_mem(),
+        },
+    );
 
     // Per-processor H-RAM: blocks [0, q·m), value row A [q·m, q·m + q),
     // value row B [q·m + q, q·m + 2q).
@@ -55,7 +88,7 @@ pub fn simulate_naive1(
     let (mut row_prev, mut row_next) = (va, vb);
 
     // Host processors are independent within a stage; run them on real
-    // threads (crossbeam scope) when there is enough work to amortize
+    // threads (std::thread scope) when there is enough work to amortize
     // spawning.  Model time is unaffected: each worker owns its H-RAM and
     // returns its own metered cost.
     let parallel = p > 1 && q >= 256;
@@ -63,7 +96,7 @@ pub fn simulate_naive1(
         let run_proc = |pi: usize, ram: &mut Hram, next: &mut [Word]| -> f64 {
             let t0 = ram.time();
             let mut comm = 0.0;
-            for j in 0..q {
+            for (j, slot) in next.iter_mut().enumerate() {
                 let v = pi * q + j;
                 let c = prog.cell(v, t);
                 let own = ram.read(j * m + c);
@@ -88,7 +121,7 @@ pub fn simulate_naive1(
                 ram.compute();
                 ram.write(j * m + c, out);
                 ram.write(row_next + j, out);
-                next[j] = out;
+                *slot = out;
             }
             // Outbound edge values to the two neighbors.
             if pi > 0 {
@@ -101,21 +134,21 @@ pub fn simulate_naive1(
             ram.time() - t0
         };
 
+        let comm_before: Vec<f64> = rams.iter().map(|r| r.meter.comm).collect();
         let per_proc: Vec<f64> = if parallel {
             let mut costs = vec![0.0f64; p];
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (((pi, ram), chunk), cost) in rams
                     .iter_mut()
                     .enumerate()
                     .zip(next.chunks_mut(q))
                     .zip(costs.iter_mut())
                 {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         *cost = run_proc(pi, ram, chunk);
                     });
                 }
-            })
-            .expect("stage worker panicked");
+            });
             costs
         } else {
             rams.iter_mut()
@@ -124,7 +157,12 @@ pub fn simulate_naive1(
                 .map(|((pi, ram), chunk)| run_proc(pi, ram, chunk))
                 .collect()
         };
-        clock.add_stage(&per_proc);
+        let per_comm: Vec<f64> = rams
+            .iter()
+            .zip(&comm_before)
+            .map(|(r, b)| r.meter.comm - b)
+            .collect();
+        clock.add_stage_faulted(&per_proc, &per_comm, &mut session);
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }
@@ -138,8 +176,10 @@ pub fn simulate_naive1(
             mem[v * m + c] = rams[pi].peek(j * m + c);
         }
     }
-    let meter = rams.iter().fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
-    SimReport {
+    let meter = rams
+        .iter()
+        .fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
+    Ok(SimReport {
         mem,
         values: prev,
         host_time: clock.parallel_time,
@@ -147,7 +187,30 @@ pub fn simulate_naive1(
         meter,
         space: rams.iter().map(|r| r.high_water()).max().unwrap_or(0),
         stages: clock.stages,
-    }
+        faults: session.into_stats(),
+    })
+}
+
+/// Fault-free checked variant.
+pub fn try_simulate_naive1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive1_faulted(spec, prog, init, steps, &FaultPlan::none())
+}
+
+/// Simulate `steps` guest steps of `M_1(n, n, m)` on `M_1(n, p, m)` by
+/// the naive method; panics on invalid parameters (see
+/// [`try_simulate_naive1`] for the checked variant).
+pub fn simulate_naive1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    try_simulate_naive1(spec, prog, init, steps).unwrap_or_else(|e| panic!("naive1: {e}"))
 }
 
 #[cfg(test)]
@@ -156,7 +219,13 @@ mod tests {
     use bsmp_machine::run_linear;
     use bsmp_workloads::{inputs, CyclicWave, Eca, OddEvenSort, TokenShift};
 
-    fn check_equiv(prog: &impl LinearProgram, n: u64, p: u64, steps: i64, init: &[Word]) -> SimReport {
+    fn check_equiv(
+        prog: &impl LinearProgram,
+        n: u64,
+        p: u64,
+        steps: i64,
+        init: &[Word],
+    ) -> SimReport {
         let spec = MachineSpec::new(1, n, p, prog.m() as u64);
         let guest = run_linear(&spec, prog, init, steps);
         let rep = simulate_naive1(&spec, prog, init, steps);
@@ -213,7 +282,11 @@ mod tests {
         let n = 64u64;
         let init = inputs::random_bits(8, n as usize);
         let rep = check_equiv(&TokenShift::new(9), n, n, n as i64, &init);
-        assert!(rep.slowdown() < 4.0, "p = n host ≈ guest, got {}", rep.slowdown());
+        assert!(
+            rep.slowdown() < 4.0,
+            "p = n host ≈ guest, got {}",
+            rep.slowdown()
+        );
     }
 
     #[test]
@@ -236,7 +309,7 @@ mod tests {
 
     #[test]
     fn threaded_stage_path_matches_sequential_semantics() {
-        // q ≥ 256 triggers the crossbeam path; a p = 1 run of the same
+        // q ≥ 256 triggers the threaded path; a p = 1 run of the same
         // computation (sequential path) must agree functionally, and the
         // model costs must be deterministic across repeated threaded runs.
         let n = 2048u64;
@@ -245,7 +318,10 @@ mod tests {
         let a = simulate_naive1(&spec, &Eca::rule110(), &init, 8);
         let b = simulate_naive1(&spec, &Eca::rule110(), &init, 8);
         assert_eq!(a.values, b.values);
-        assert!((a.host_time - b.host_time).abs() < 1e-9, "threaded cost deterministic");
+        assert!(
+            (a.host_time - b.host_time).abs() < 1e-9,
+            "threaded cost deterministic"
+        );
         let guest = run_linear(&spec, &Eca::rule110(), &init, 8);
         a.assert_matches(&guest.mem, &guest.values);
     }
@@ -256,5 +332,46 @@ mod tests {
         let spec = MachineSpec::new(1, 16, 4, 1);
         let rep = simulate_naive1(&spec, &Eca::rule90(), &init, 10);
         assert_eq!(rep.stages, 10);
+    }
+
+    #[test]
+    fn try_variant_reports_bad_parameters() {
+        let init = inputs::random_bits(11, 12);
+        let spec = MachineSpec::new(1, 12, 4, 1);
+        assert!(matches!(
+            try_simulate_naive1(&spec, &Eca::rule90(), &init[..10], 4),
+            Err(SimError::InitLength { .. })
+        ));
+        let indivisible = MachineSpec::new(1, 10, 3, 1);
+        let init10 = inputs::random_bits(12, 10);
+        assert!(matches!(
+            try_simulate_naive1(&indivisible, &Eca::rule90(), &init10, 4),
+            Err(SimError::IndivisibleProcessors { .. })
+        ));
+        assert!(matches!(
+            try_simulate_naive1_faulted(
+                &spec,
+                &Eca::rule90(),
+                &inputs::random_bits(13, 12),
+                4,
+                &FaultPlan::uniform_slowdown(0.25),
+            ),
+            Err(SimError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_slowdown_stays_within_nu_envelope() {
+        let init = inputs::random_bits(14, 64);
+        let spec = MachineSpec::new(1, 64, 8, 1);
+        let base = simulate_naive1(&spec, &Eca::rule110(), &init, 32);
+        for nu in [1.0, 2.0, 4.0] {
+            let plan = FaultPlan::uniform_slowdown(nu);
+            let rep =
+                try_simulate_naive1_faulted(&spec, &Eca::rule110(), &init, 32, &plan).unwrap();
+            rep.assert_matches(&base.mem, &base.values);
+            assert!(rep.host_time >= base.host_time - 1e-9);
+            assert!(rep.host_time <= nu * base.host_time + 1e-6, "ν = {nu}");
+        }
     }
 }

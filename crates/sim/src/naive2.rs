@@ -4,35 +4,70 @@
 //! natural order, two value planes above them.  Slowdown
 //! `O((n/p)^{3/2})` — Proposition 1 with `d = 2`.
 
+use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{Hram, Word};
 use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock};
 
+use crate::error::SimError;
 use crate::report::SimReport;
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)` by
-/// the naive method.
-pub fn simulate_naive2(
+/// the naive method, injecting faults per `plan`.
+pub fn try_simulate_naive2_faulted(
     spec: &MachineSpec,
     prog: &impl MeshProgram,
     init: &[Word],
     steps: i64,
-) -> SimReport {
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    if spec.d != 2 {
+        return Err(SimError::DimensionMismatch {
+            expected: 2,
+            got: spec.d,
+        });
+    }
     let side = spec.mesh_side() as usize;
     let n = side * side;
     let sp = spec.proc_side() as usize;
     let m = prog.m();
-    assert_eq!(m as u64, spec.m);
-    assert_eq!(init.len(), n * m);
-    assert_eq!(side % sp, 0, "√p must divide √n");
+    if m as u64 != spec.m {
+        return Err(SimError::DensityMismatch {
+            spec_m: spec.m,
+            prog_m: m as u64,
+        });
+    }
+    if init.len() != n * m {
+        return Err(SimError::InitLength {
+            expected: n * m,
+            got: init.len(),
+        });
+    }
+    if !side.is_multiple_of(sp) {
+        return Err(SimError::IndivisibleMeshSide {
+            side: side as u64,
+            proc_side: sp as u64,
+        });
+    }
+    plan.validate()?;
     let b = side / sp; // guest nodes per host-node side
     let q = b * b;
     let access = spec.access_fn();
     let hop = spec.neighbor_distance();
+    let mut session = FaultSession::new(
+        plan,
+        FaultEnv {
+            p: sp * sp,
+            hop,
+            checkpoint_words: spec.node_mem(),
+        },
+    );
 
     // Per-processor layout: blocks [0, q·m), value plane A, value plane B.
     let va = q * m;
     let vb = q * m + q;
-    let mut rams: Vec<Hram> = (0..sp * sp).map(|_| Hram::new(access, q * m + 2 * q)).collect();
+    let mut rams: Vec<Hram> = (0..sp * sp)
+        .map(|_| Hram::new(access, q * m + 2 * q))
+        .collect();
 
     let proc_of = |i: usize, j: usize| (j / b) * sp + (i / b);
     let loc_of = |i: usize, j: usize| (j % b) * b + (i % b);
@@ -57,6 +92,7 @@ pub fn simulate_naive2(
 
     for t in 1..=steps {
         let mut per_proc = vec![0.0f64; sp * sp];
+        let comm_before: Vec<f64> = rams.iter().map(|r| r.meter.comm).collect();
         for pj in 0..sp {
             for pi_ in 0..sp {
                 let pid = pj * sp + pi_;
@@ -114,7 +150,12 @@ pub fn simulate_naive2(
                 per_proc[pid] = ram.time() - t0;
             }
         }
-        clock.add_stage(&per_proc);
+        let per_comm: Vec<f64> = rams
+            .iter()
+            .zip(&comm_before)
+            .map(|(r, bc)| r.meter.comm - bc)
+            .collect();
+        clock.add_stage_faulted(&per_proc, &per_comm, &mut session);
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }
@@ -129,8 +170,10 @@ pub fn simulate_naive2(
             }
         }
     }
-    let meter = rams.iter().fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
-    SimReport {
+    let meter = rams
+        .iter()
+        .fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
+    Ok(SimReport {
         mem,
         values: prev,
         host_time: clock.parallel_time,
@@ -138,7 +181,30 @@ pub fn simulate_naive2(
         meter,
         space: rams.iter().map(|r| r.high_water()).max().unwrap_or(0),
         stages: clock.stages,
-    }
+        faults: session.into_stats(),
+    })
+}
+
+/// Fault-free checked variant.
+pub fn try_simulate_naive2(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive2_faulted(spec, prog, init, steps, &FaultPlan::none())
+}
+
+/// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)` by
+/// the naive method; panics on invalid parameters (see
+/// [`try_simulate_naive2`] for the checked variant).
+pub fn simulate_naive2(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    try_simulate_naive2(spec, prog, init, steps).unwrap_or_else(|e| panic!("naive2: {e}"))
 }
 
 #[cfg(test)]
@@ -203,5 +269,39 @@ mod tests {
         let ratio = s1 / s16;
         // (n/1)^{3/2} / (n/16)^{3/2} = 16^{3/2} = 64.
         assert!(ratio > 20.0 && ratio < 200.0, "expected ~64×, got {ratio}");
+    }
+
+    #[test]
+    fn uniform_slowdown_stays_within_nu_envelope() {
+        let init = inputs::random_bits(16, 64);
+        let spec = MachineSpec::new(2, 64, 4, 1);
+        let base = simulate_naive2(&spec, &VonNeumannLife::fredkin(), &init, 8);
+        for nu in [1.0, 2.0, 4.0] {
+            let plan = FaultPlan::uniform_slowdown(nu);
+            let rep =
+                try_simulate_naive2_faulted(&spec, &VonNeumannLife::fredkin(), &init, 8, &plan)
+                    .unwrap();
+            rep.assert_matches(&base.mem, &base.values);
+            assert!(rep.host_time >= base.host_time - 1e-9);
+            assert!(rep.host_time <= nu * base.host_time + 1e-6, "ν = {nu}");
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_bad_parameters() {
+        let init = inputs::random_bits(17, 64);
+        let spec = MachineSpec::new(2, 64, 4, 1);
+        assert!(matches!(
+            try_simulate_naive2(&spec, &VonNeumannLife::fredkin(), &init[..60], 4),
+            Err(SimError::InitLength { .. })
+        ));
+        let linear = MachineSpec::new(1, 64, 4, 1);
+        assert!(matches!(
+            try_simulate_naive2(&linear, &VonNeumannLife::fredkin(), &init, 4),
+            Err(SimError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
     }
 }

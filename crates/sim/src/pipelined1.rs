@@ -12,28 +12,61 @@
 //! of `Θ(p·(n/p)^{1/d})` in-flight requests (quantified in
 //! `bsmp_analytic::extensions`).
 
+use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostMeter, Word};
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock};
 
+use crate::error::SimError;
 use crate::report::SimReport;
 
 /// Naive simulation of `M_1(n, n, m)` on a pipelined-memory
-/// `M_1(n, p, m)` host.
-pub fn simulate_pipelined1(
+/// `M_1(n, p, m)` host, injecting faults per `plan`.
+pub fn try_simulate_pipelined1_faulted(
     spec: &MachineSpec,
     prog: &impl LinearProgram,
     init: &[Word],
     steps: i64,
-) -> SimReport {
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
     let n = spec.n as usize;
     let p = spec.p as usize;
     let m = prog.m();
-    assert_eq!(m as u64, spec.m);
-    assert_eq!(init.len(), n * m);
-    assert_eq!(n % p, 0);
+    if spec.d != 1 {
+        return Err(SimError::DimensionMismatch {
+            expected: 1,
+            got: spec.d,
+        });
+    }
+    if m as u64 != spec.m {
+        return Err(SimError::DensityMismatch {
+            spec_m: spec.m,
+            prog_m: m as u64,
+        });
+    }
+    if init.len() != n * m {
+        return Err(SimError::InitLength {
+            expected: n * m,
+            got: init.len(),
+        });
+    }
+    if !n.is_multiple_of(p) {
+        return Err(SimError::IndivisibleProcessors {
+            n: spec.n,
+            p: spec.p,
+        });
+    }
+    plan.validate()?;
     let q = n / p;
     let access = spec.access_fn();
     let hop = spec.neighbor_distance();
+    let mut session = FaultSession::new(
+        plan,
+        FaultEnv {
+            p,
+            hop,
+            checkpoint_words: spec.node_mem(),
+        },
+    );
 
     // Functional state (plain vectors; the pipelined cost is computed
     // per batch, not per access).
@@ -45,6 +78,7 @@ pub fn simulate_pipelined1(
 
     for t in 1..=steps {
         let mut per_proc = Vec::with_capacity(p);
+        let mut per_comm = Vec::with_capacity(p);
         for pi in 0..p {
             // The step's batch: one private-cell read + one write per
             // hosted node, plus the value-row traffic (2 reads + 1 write
@@ -57,7 +91,11 @@ pub fn simulate_pipelined1(
                 max_addr = max_addr.max(j * m + c);
                 k += 5;
                 let left = if v == 0 { prog.boundary() } else { prev[v - 1] };
-                let right = if v == n - 1 { prog.boundary() } else { prev[v + 1] };
+                let right = if v == n - 1 {
+                    prog.boundary()
+                } else {
+                    prev[v + 1]
+                };
                 let own = mem[v * m + c];
                 let out = prog.delta(v, t, own, prev[v], left, right);
                 mem[v * m + c] = out;
@@ -65,21 +103,24 @@ pub fn simulate_pipelined1(
             }
             // Batch cost: one worst-case latency + one unit per word,
             // plus the unchanged near-neighbor exchanges.
-            let mut cost = access.f(max_addr.max(q * m + 2 * q)) + k as f64 + q as f64;
+            let local = access.f(max_addr.max(q * m + 2 * q)) + k as f64 + q as f64;
+            let mut comm = 0.0;
             if pi > 0 {
-                cost += 2.0 * hop;
+                comm += 2.0 * hop;
             }
             if pi + 1 < p {
-                cost += 2.0 * hop;
+                comm += 2.0 * hop;
             }
-            meter.add_transfer(cost);
-            per_proc.push(cost);
+            meter.add_transfer(local);
+            meter.add_comm(comm);
+            per_proc.push(local + comm);
+            per_comm.push(comm);
         }
-        clock.add_stage(&per_proc);
+        clock.add_stage_faulted(&per_proc, &per_comm, &mut session);
         std::mem::swap(&mut prev, &mut next);
     }
 
-    SimReport {
+    Ok(SimReport {
         mem,
         values: prev,
         host_time: clock.parallel_time,
@@ -87,7 +128,29 @@ pub fn simulate_pipelined1(
         meter,
         space: n * m / p + 2 * q,
         stages: clock.stages,
-    }
+        faults: session.into_stats(),
+    })
+}
+
+/// Fault-free checked variant.
+pub fn try_simulate_pipelined1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> Result<SimReport, SimError> {
+    try_simulate_pipelined1_faulted(spec, prog, init, steps, &FaultPlan::none())
+}
+
+/// Naive simulation of `M_1(n, n, m)` on a pipelined-memory
+/// `M_1(n, p, m)` host.
+pub fn simulate_pipelined1(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+) -> SimReport {
+    try_simulate_pipelined1(spec, prog, init, steps).unwrap_or_else(|e| panic!("pipelined1: {e}"))
 }
 
 #[cfg(test)]
@@ -118,7 +181,10 @@ mod tests {
             let rep = simulate_pipelined1(&spec, &Eca::rule110(), &init, 64);
             let brent = (n / p) as f64;
             let s = rep.slowdown();
-            assert!(s > 0.4 * brent && s < 4.0 * brent, "p={p}: {s} vs Brent {brent}");
+            assert!(
+                s > 0.4 * brent && s < 4.0 * brent,
+                "p={p}: {s} vs Brent {brent}"
+            );
         }
     }
 

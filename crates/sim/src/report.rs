@@ -1,6 +1,9 @@
 //! Simulation results: outputs + cost accounting.
 
+use bsmp_faults::FaultStats;
 use bsmp_hram::{CostMeter, Word};
+
+use crate::error::SimError;
 
 /// What a simulation engine returns: the guest's outputs as computed by
 /// the host, plus the host's model costs.
@@ -25,11 +28,21 @@ pub struct SimReport {
     pub space: usize,
     /// Number of bulk-synchronous stages (1-processor engines: 0).
     pub stages: u64,
+    /// Fault accounting (all zeros under `FaultPlan::none()`).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
-    /// The measured slowdown `T_p / T_n`.
+    /// The measured slowdown `T_p / T_n` (`NaN` for an empty
+    /// zero-time guest, rather than a spurious ±∞).
     pub fn slowdown(&self) -> f64 {
+        if self.guest_time == 0.0 {
+            return if self.host_time == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+        }
         self.host_time / self.guest_time
     }
 
@@ -39,10 +52,29 @@ impl SimReport {
         self.slowdown() / (n as f64 / p as f64)
     }
 
+    /// Check outputs against a reference guest run.
+    pub fn check_matches(&self, mem: &[Word], values: &[Word]) -> Result<(), SimError> {
+        if self.values != values {
+            return Err(SimError::OutputMismatch { what: "values" });
+        }
+        if self.mem != mem {
+            return Err(SimError::OutputMismatch {
+                what: "memory image",
+            });
+        }
+        Ok(())
+    }
+
     /// Panic unless outputs match a reference guest run exactly.
     pub fn assert_matches(&self, mem: &[Word], values: &[Word]) {
-        assert_eq!(self.values, values, "simulated values diverge from direct execution");
-        assert_eq!(self.mem, mem, "simulated memory image diverges from direct execution");
+        assert_eq!(
+            self.values, values,
+            "simulated values diverge from direct execution"
+        );
+        assert_eq!(
+            self.mem, mem,
+            "simulated memory image diverges from direct execution"
+        );
     }
 }
 
@@ -50,33 +82,57 @@ impl SimReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn slowdown_math() {
-        let r = SimReport {
+    fn report(host_time: f64, guest_time: f64) -> SimReport {
+        SimReport {
             mem: vec![],
             values: vec![],
-            host_time: 1000.0,
-            guest_time: 10.0,
+            host_time,
+            guest_time,
             meter: CostMeter::new(),
             space: 0,
             stages: 0,
-        };
+            faults: FaultStats::default(),
+        }
+    }
+
+    #[test]
+    fn slowdown_math() {
+        let r = report(1000.0, 10.0);
         assert_eq!(r.slowdown(), 100.0);
         assert_eq!(r.locality_slowdown(64, 16), 25.0);
     }
 
     #[test]
+    fn zero_guest_time_is_guarded() {
+        assert_eq!(report(0.0, 0.0).slowdown(), 1.0);
+        assert_eq!(report(5.0, 0.0).slowdown(), f64::INFINITY);
+        assert!(report(0.0, 0.0).locality_slowdown(4, 2).is_finite());
+    }
+
+    #[test]
+    fn check_matches_reports_mismatches() {
+        let mut r = report(1.0, 1.0);
+        r.mem = vec![1];
+        r.values = vec![2];
+        assert!(r.check_matches(&[1], &[2]).is_ok());
+        assert_eq!(
+            r.check_matches(&[1], &[3]),
+            Err(SimError::OutputMismatch { what: "values" })
+        );
+        assert_eq!(
+            r.check_matches(&[9], &[2]),
+            Err(SimError::OutputMismatch {
+                what: "memory image"
+            })
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "diverge")]
     fn mismatch_detected() {
-        let r = SimReport {
-            mem: vec![1],
-            values: vec![2],
-            host_time: 1.0,
-            guest_time: 1.0,
-            meter: CostMeter::new(),
-            space: 0,
-            stages: 0,
-        };
+        let mut r = report(1.0, 1.0);
+        r.mem = vec![1];
+        r.values = vec![2];
         r.assert_matches(&[1], &[3]);
     }
 }

@@ -51,7 +51,11 @@ impl ZoneAlloc {
             assert!(self.outstanding.insert(a), "alloc returned live slot {a}");
             return a;
         }
-        assert!(self.next < self.cap, "zone overflow: cap {} exhausted (S(U) too small)", self.cap);
+        assert!(
+            self.next < self.cap,
+            "zone overflow: cap {} exhausted (S(U) too small)",
+            self.cap
+        );
         let a = self.base + self.next;
         self.next += 1;
         #[cfg(debug_assertions)]

@@ -78,18 +78,17 @@ impl SystolicMatmul {
         assert_eq!(b.len(), s);
         let m = s + 1;
         let mut init = vec![0 as Word; s * s * m];
-        for r in 0..s {
+        for (r, arow) in a.iter().enumerate() {
             // West edge node (i=0, j=r).
             let base = (r * s) * m;
-            for k in 0..s {
-                init[base + k + 1] |= pack(a[r][k], 0, 0);
+            for (k, &av) in arow.iter().enumerate() {
+                init[base + k + 1] |= pack(av, 0, 0);
             }
         }
-        for q in 0..s {
+        for (k, brow) in b.iter().enumerate() {
             // j = 0 edge node (i=q, j=0).
-            let base = q * m;
-            for k in 0..s {
-                init[base + k + 1] |= pack(0, b[k][q], 0);
+            for (q, &bv) in brow.iter().enumerate() {
+                init[q * m + k + 1] |= pack(0, bv, 0);
             }
         }
         init
@@ -98,7 +97,9 @@ impl SystolicMatmul {
     /// Extract `C = A·B` from the final values of a run.
     pub fn extract_c(&self, values: &[Word]) -> Vec<Vec<u64>> {
         let s = self.side;
-        (0..s).map(|r| (0..s).map(|q| c_field(values[r * s + q])).collect()).collect()
+        (0..s)
+            .map(|r| (0..s).map(|q| c_field(values[r * s + q])).collect())
+            .collect()
     }
 }
 
@@ -148,7 +149,11 @@ mod tests {
     fn matmul_oracle(a: &[Vec<u64>], b: &[Vec<u64>]) -> Vec<Vec<u64>> {
         let s = a.len();
         (0..s)
-            .map(|r| (0..s).map(|q| (0..s).map(|k| a[r][k] * b[k][q]).sum()).collect())
+            .map(|r| {
+                (0..s)
+                    .map(|q| (0..s).map(|k| a[r][k] * b[k][q]).sum())
+                    .collect()
+            })
             .collect()
     }
 
@@ -172,19 +177,25 @@ mod tests {
     #[test]
     fn identity_is_neutral() {
         let s = 4;
-        let a: Vec<Vec<u64>> = (0..s).map(|r| (0..s).map(|q| (r * s + q + 1) as u64).collect()).collect();
-        let id: Vec<Vec<u64>> = (0..s).map(|r| (0..s).map(|q| u64::from(r == q)).collect()).collect();
+        let a: Vec<Vec<u64>> = (0..s)
+            .map(|r| (0..s).map(|q| (r * s + q + 1) as u64).collect())
+            .collect();
+        let id: Vec<Vec<u64>> = (0..s)
+            .map(|r| (0..s).map(|q| u64::from(r == q)).collect())
+            .collect();
         assert_eq!(run_systolic(&a, &id), a);
         assert_eq!(run_systolic(&id, &a), a);
     }
 
     #[test]
     fn random_matrices_match_oracle() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        use bsmp_faults::rng::Rng64;
+        let mut rng = Rng64::new(7);
         for s in [3usize, 5, 8] {
-            let mk = |rng: &mut rand::rngs::SmallRng| -> Vec<Vec<u64>> {
-                (0..s).map(|_| (0..s).map(|_| rng.gen_range(0..256)).collect()).collect()
+            let mk = |rng: &mut Rng64| -> Vec<Vec<u64>> {
+                (0..s)
+                    .map(|_| (0..s).map(|_| rng.below(256)).collect())
+                    .collect()
             };
             let a = mk(&mut rng);
             let b = mk(&mut rng);

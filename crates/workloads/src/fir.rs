@@ -58,7 +58,10 @@ pub struct FirPipeline {
 impl FirPipeline {
     pub fn new(taps: usize, stream: Vec<u64>) -> Self {
         assert!(taps >= 1);
-        assert!(stream.iter().all(|&s| s < 1 << 10), "samples must stay in range");
+        assert!(
+            stream.iter().all(|&s| s < 1 << 10),
+            "samples must stay in range"
+        );
         FirPipeline { taps, stream }
     }
 
@@ -121,7 +124,11 @@ impl LinearProgram for FirPipeline {
     }
 
     fn delta(&self, v: usize, t: i64, own: Word, _prev: Word, left: Word, _right: Word) -> Word {
-        let coef = if self.first_touch(t) { own } else { coef_of(own) };
+        let coef = if self.first_touch(t) {
+            own
+        } else {
+            coef_of(own)
+        };
         let inbound = if v == 0 {
             let s = self.stream.get((t - 1) as usize).copied().unwrap_or(0);
             pack(s, 0, 0)

@@ -69,6 +69,9 @@ mod tests {
         let r5 = run_mesh(&spec, &HeatDiffusion::new(0), &init, 5);
         let total: u64 = r5.values.iter().sum();
         assert!(total < 80_000, "heat leaks through the cold border");
-        assert!(r5.values[0] < r5.values[2 * side + 2], "gradient towards center");
+        assert!(
+            r5.values[0] < r5.values[2 * side + 2],
+            "gradient towards center"
+        );
     }
 }

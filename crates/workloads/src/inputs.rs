@@ -1,12 +1,12 @@
 //! Deterministic, seeded input generators for the experiments.
 
+use bsmp_faults::rng::Rng64;
 use bsmp_hram::Word;
-use rand::{Rng, SeedableRng};
 
 /// `count` random words below `bound`, from a fixed seed.
 pub fn random_words(seed: u64, count: usize, bound: u64) -> Vec<Word> {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    (0..count).map(|_| rng.gen_range(0..bound)).collect()
+    let mut rng = Rng64::new(seed);
+    (0..count).map(|_| rng.below(bound)).collect()
 }
 
 /// `count` random bits (0/1 words).
@@ -16,8 +16,10 @@ pub fn random_bits(seed: u64, count: usize) -> Vec<Word> {
 
 /// A random `side × side` matrix with entries in `[0, bound)`.
 pub fn random_matrix(seed: u64, side: usize, bound: u64) -> Vec<Vec<u64>> {
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    (0..side).map(|_| (0..side).map(|_| rng.gen_range(0..bound)).collect()).collect()
+    let mut rng = Rng64::new(seed);
+    (0..side)
+        .map(|_| (0..side).map(|_| rng.below(bound)).collect())
+        .collect()
 }
 
 /// A single impulse in a zero field.

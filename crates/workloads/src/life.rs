@@ -17,13 +17,19 @@ impl VonNeumannLife {
     /// Birth on exactly 2 neighbors, survival on 1 or 2 — a lively
     /// von Neumann variant.
     pub fn b2s12() -> Self {
-        VonNeumannLife { birth: 0b00100, survive: 0b00110 }
+        VonNeumannLife {
+            birth: 0b00100,
+            survive: 0b00110,
+        }
     }
 
     /// Parity rule (Fredkin): alive iff neighbor count is odd — linear,
     /// self-replicating patterns.
     pub fn fredkin() -> Self {
-        VonNeumannLife { birth: 0b01010, survive: 0b01010 }
+        VonNeumannLife {
+            birth: 0b01010,
+            survive: 0b01010,
+        }
     }
 }
 
@@ -46,7 +52,11 @@ impl MeshProgram for VonNeumannLife {
         n: Word,
     ) -> Word {
         let count = ((w & 1) + (e & 1) + (s & 1) + (n & 1)) as u8;
-        let mask = if own & 1 == 1 { self.survive } else { self.birth };
+        let mask = if own & 1 == 1 {
+            self.survive
+        } else {
+            self.birth
+        };
         Word::from((mask >> count) & 1)
     }
 }
@@ -64,8 +74,13 @@ mod tests {
         init[2 * side + 2] = 1;
         let spec = MachineSpec::new(2, (side * side) as u64, (side * side) as u64, 1);
         let run = run_mesh(&spec, &VonNeumannLife::fredkin(), &init, 1);
-        let live: Vec<usize> =
-            run.values.iter().enumerate().filter(|(_, v)| **v == 1).map(|(i, _)| i).collect();
+        let live: Vec<usize> = run
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == 1)
+            .map(|(i, _)| i)
+            .collect();
         let c = |i: usize, j: usize| j * side + i;
         assert_eq!(live, vec![c(2, 1), c(1, 2), c(3, 2), c(2, 3)]);
     }

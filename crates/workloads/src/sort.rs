@@ -51,7 +51,13 @@ mod tests {
     fn sort_with_network(vals: &[Word]) -> Vec<Word> {
         let n = vals.len() as u64;
         let spec = MachineSpec::new(1, n, n, 1);
-        run_linear(&spec, &OddEvenSort::new(vals.len()), vals, vals.len() as i64).values
+        run_linear(
+            &spec,
+            &OddEvenSort::new(vals.len()),
+            vals,
+            vals.len() as i64,
+        )
+        .values
     }
 
     #[test]
@@ -64,11 +70,11 @@ mod tests {
 
     #[test]
     fn sorts_random_inputs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        use bsmp_faults::rng::Rng64;
+        let mut rng = Rng64::new(42);
         for trial in 0..10 {
-            let n = 2 * rng.gen_range(2..20);
-            let input: Vec<Word> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let n = 2 * rng.range_u64(2, 20);
+            let input: Vec<Word> = (0..n).map(|_| rng.below(1000)).collect();
             let mut expect = input.clone();
             expect.sort();
             assert_eq!(sort_with_network(&input), expect, "trial {trial}");

@@ -58,7 +58,10 @@ mod tests {
                 let own = mem[v * m + c];
                 let l = if v > 0 { prev_row[v - 1] } else { 0 };
                 let r = if v + 1 < n { prev_row[v + 1] } else { 0 };
-                let out = own.wrapping_add(l).wrapping_sub(r).wrapping_add(prev_row[v]);
+                let out = own
+                    .wrapping_add(l)
+                    .wrapping_sub(r)
+                    .wrapping_add(prev_row[v]);
                 row[v] = out;
                 mem[v * m + c] = out;
             }

@@ -1,44 +1,84 @@
-//! Property-based tests of the workload semantics.
+//! Property-based tests of the workload semantics, driven by the
+//! in-repo seeded [`Rng64`] case generator.
 
+use bsmp_faults::rng::Rng64;
 use bsmp_machine::{run_linear, run_mesh, MachineSpec};
 use bsmp_workloads::{cannon, inputs, OddEvenSort, SystolicMatmul, TokenShift};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn odd_even_sort_sorts_anything(vals in prop::collection::vec(0u64..10_000, 2..24)) {
+#[test]
+fn odd_even_sort_sorts_anything() {
+    let mut rng = Rng64::new(0x0E50);
+    for _ in 0..CASES {
+        let len = rng.range_u64(2, 24) as usize;
+        let vals: Vec<u64> = rng.vec_below(len, 10_000);
         let n = vals.len() as u64;
         let spec = MachineSpec::new(1, n, n, 1);
-        let run = run_linear(&spec, &OddEvenSort::new(vals.len()), &vals, vals.len() as i64);
+        let run = run_linear(
+            &spec,
+            &OddEvenSort::new(vals.len()),
+            &vals,
+            vals.len() as i64,
+        );
         let mut expect = vals.clone();
         expect.sort();
-        prop_assert_eq!(run.values, expect);
+        assert_eq!(run.values, expect);
     }
+}
 
-    #[test]
-    fn sort_is_idempotent_after_n_steps(vals in prop::collection::vec(0u64..100, 4..16), extra in 0i64..8) {
+#[test]
+fn sort_is_idempotent_after_n_steps() {
+    let mut rng = Rng64::new(0x1DE9);
+    for _ in 0..CASES {
+        let len = rng.range_u64(4, 16) as usize;
+        let vals: Vec<u64> = rng.vec_below(len, 100);
+        let extra = rng.range_i64(0, 8);
         let n = vals.len() as u64;
         let spec = MachineSpec::new(1, n, n, 1);
-        let a = run_linear(&spec, &OddEvenSort::new(vals.len()), &vals, vals.len() as i64);
-        let b = run_linear(&spec, &OddEvenSort::new(vals.len()), &vals, vals.len() as i64 + extra);
-        prop_assert_eq!(a.values, b.values, "sorted is a fixed point");
+        let a = run_linear(
+            &spec,
+            &OddEvenSort::new(vals.len()),
+            &vals,
+            vals.len() as i64,
+        );
+        let b = run_linear(
+            &spec,
+            &OddEvenSort::new(vals.len()),
+            &vals,
+            vals.len() as i64 + extra,
+        );
+        assert_eq!(a.values, b.values, "sorted is a fixed point");
     }
+}
 
-    #[test]
-    fn token_shift_is_a_shift(vals in prop::collection::vec(any::<u64>(), 3..20), k in 1i64..10) {
+#[test]
+fn token_shift_is_a_shift() {
+    let mut rng = Rng64::new(0x70CE);
+    for _ in 0..CASES {
+        let len = rng.range_u64(3, 20) as usize;
+        let vals: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let k = rng.range_i64(1, 10);
         let n = vals.len();
         let spec = MachineSpec::new(1, n as u64, n as u64, 1);
         let run = run_linear(&spec, &TokenShift::new(0), &vals, k);
         for v in 0..n {
-            let expect = if (v as i64) < k { 0 } else { vals[v - k as usize] };
-            prop_assert_eq!(run.values[v], expect);
+            let expect = if (v as i64) < k {
+                0
+            } else {
+                vals[v - k as usize]
+            };
+            assert_eq!(run.values[v], expect);
         }
     }
+}
 
-    #[test]
-    fn systolic_matmul_equals_oracle(side in 2usize..6, seed in any::<u64>()) {
+#[test]
+fn systolic_matmul_equals_oracle() {
+    let mut rng = Rng64::new(0x5757);
+    for _ in 0..CASES {
+        let side = rng.range_u64(2, 6) as usize;
+        let seed = rng.next_u64();
         let prog = SystolicMatmul::new(side);
         let a = inputs::random_matrix(seed, side, 64);
         let b = inputs::random_matrix(seed.wrapping_add(1), side, 64);
@@ -50,24 +90,36 @@ proptest! {
         for r in 0..side {
             for q in 0..side {
                 let expect: u64 = (0..side).map(|k| a[r][k] * b[k][q]).sum();
-                prop_assert_eq!(c[r][q], expect, "C[{}][{}]", r, q);
+                assert_eq!(c[r][q], expect, "C[{r}][{q}]");
             }
         }
     }
+}
 
-    #[test]
-    fn pack_fields_roundtrip(a in 0u64..65536, b in 0u64..65536, c in 0u64..0x1_0000_0000) {
+#[test]
+fn pack_fields_roundtrip() {
+    let mut rng = Rng64::new(0x9AC4);
+    for _ in 0..CASES {
+        let a = rng.below(65536);
+        let b = rng.below(65536);
+        let c = rng.below(0x1_0000_0000);
         let w = cannon::pack(a, b, c);
-        prop_assert_eq!(cannon::a_field(w), a);
-        prop_assert_eq!(cannon::b_field(w), b);
-        prop_assert_eq!(cannon::c_field(w), c);
+        assert_eq!(cannon::a_field(w), a);
+        assert_eq!(cannon::b_field(w), b);
+        assert_eq!(cannon::c_field(w), c);
     }
+}
 
-    #[test]
-    fn generators_bound_and_deterministic(seed in any::<u64>(), count in 1usize..200, bound in 1u64..1000) {
+#[test]
+fn generators_bound_and_deterministic() {
+    let mut rng = Rng64::new(0x6E4E);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let count = rng.range_u64(1, 200) as usize;
+        let bound = rng.range_u64(1, 1000);
         let v = inputs::random_words(seed, count, bound);
-        prop_assert_eq!(v.len(), count);
-        prop_assert!(v.iter().all(|&w| w < bound));
-        prop_assert_eq!(v, inputs::random_words(seed, count, bound));
+        assert_eq!(v.len(), count);
+        assert!(v.iter().all(|&w| w < bound));
+        assert_eq!(v, inputs::random_words(seed, count, bound));
     }
 }

@@ -34,8 +34,7 @@ fn main() {
     for (d, &o) in flat.iter().zip(&owners) {
         for p in d.points() {
             if band_rect.contains(p) {
-                grid[(p.t - 1) as usize][p.x as usize] =
-                    char::from(b'A' + (o as u8 % 26));
+                grid[(p.t - 1) as usize][p.x as usize] = char::from(b'A' + (o as u8 % 26));
             }
         }
     }
@@ -50,7 +49,12 @@ fn main() {
     let bb = parent.bbox();
     let pieces: Vec<_> = kids
         .iter()
-        .map(|c| bsmp::geometry::ClippedDomain2::new(*c, IBox::new(bb.x0, bb.x1, bb.y0, bb.y1, bb.t0, bb.t1)))
+        .map(|c| {
+            bsmp::geometry::ClippedDomain2::new(
+                *c,
+                IBox::new(bb.x0, bb.x1, bb.y0, bb.y1, bb.t0, bb.t1),
+            )
+        })
         .collect();
     for t in [-2i64, 0, 2] {
         println!("t = {t}:");
@@ -64,7 +68,10 @@ fn main() {
         );
     }
     let (_, kids_b) = figures::figure3b(4);
-    println!("Figure 3(b) — tetrahedron W into 4 W + 1 P: {} children.", kids_b.len());
+    println!(
+        "Figure 3(b) — tetrahedron W into 4 W + 1 P: {} children.",
+        kids_b.len()
+    );
 
     // Figure 4: partition of the d = 2 computation cube.
     println!("\nFigure 4 — partition of the d = 2 domain (slices of the cube,");

@@ -46,7 +46,13 @@ fn main() {
     println!("\nFinal field (all hosts computed exactly this):");
     for y in (0..side as usize).rev() {
         let row: String = (0..side as usize)
-            .map(|x| if vals[y * side as usize + x] == 1 { '#' } else { '.' })
+            .map(|x| {
+                if vals[y * side as usize + x] == 1 {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!("  {row}");
     }

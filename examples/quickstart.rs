@@ -21,7 +21,11 @@ fn main() {
 
     for p in [1u64, 2, 4, 8, 16] {
         let report = Simulation::linear(n, p, 1)
-            .strategy(if p == 1 { Strategy::DivideAndConquer } else { Strategy::TwoRegime })
+            .strategy(if p == 1 {
+                Strategy::DivideAndConquer
+            } else {
+                Strategy::TwoRegime
+            })
             .run(&Eca::rule110(), &init, steps);
         println!(
             "{:>4} {:>14.0} {:>12.1} {:>14.1} {:>10.1}",

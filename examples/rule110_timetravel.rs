@@ -27,7 +27,10 @@ fn main() {
         .collect();
     println!("One diamond D(r), split into its ordered children (Theorem 2's");
     println!("(2√(2x), 1/4)-topological separator; time flows upward):\n");
-    println!("{}", render::render_partition1(IRect::new(1, 16, 1, 17), &pieces));
+    println!(
+        "{}",
+        render::render_partition1(IRect::new(1, 16, 1, 17), &pieces)
+    );
 
     let guest = run_linear(&spec, &Eca::rule110(), &init, steps);
     let host = simulate_dnc1(&spec, &Eca::rule110(), &init, steps);
@@ -36,10 +39,15 @@ fn main() {
     println!("rule 110, n = {n}, T = {steps}:");
     println!("  guest time T_n        = {:>12.0}", guest.time);
     println!("  host  time T_1        = {:>12.0}", host.host_time);
-    println!("  slowdown              = {:>12.1}  (Theorem 2: O(n log n) = {:.0})",
+    println!(
+        "  slowdown              = {:>12.1}  (Theorem 2: O(n log n) = {:.0})",
         host.slowdown(),
-        bsmp::analytic::bounds::thm2_slowdown(n as f64));
-    println!("  host memory footprint = {:>12}  words (σ = O(√|V|))", host.space);
+        bsmp::analytic::bounds::thm2_slowdown(n as f64)
+    );
+    println!(
+        "  host memory footprint = {:>12}  words (σ = O(√|V|))",
+        host.space
+    );
     println!("  cost breakdown        : {}", host.meter);
     println!("\nFinal configurations match exactly — time travel with receipts.");
 }

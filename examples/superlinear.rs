@@ -30,7 +30,10 @@ fn main() {
         .run(&prog, &init, steps);
 
     let brent = (n / 4) as f64;
-    println!("instantaneous model:  slowdown = {:>10.1}   (Brent: {brent})", instant.measured_slowdown());
+    println!(
+        "instantaneous model:  slowdown = {:>10.1}   (Brent: {brent})",
+        instant.measured_slowdown()
+    );
     println!(
         "bounded speed:        slowdown = {:>10.1}   (bound: {:.1})",
         bounded.measured_slowdown(),

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bounds_envelope-a16663acde701f30.d: crates/core/../../tests/bounds_envelope.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbounds_envelope-a16663acde701f30.rmeta: crates/core/../../tests/bounds_envelope.rs Cargo.toml
+
+crates/core/../../tests/bounds_envelope.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds_envelope-a512a62767088499.d: crates/core/../../tests/bounds_envelope.rs
+
+/root/repo/target/debug/deps/bounds_envelope-a512a62767088499: crates/core/../../tests/bounds_envelope.rs
+
+crates/core/../../tests/bounds_envelope.rs:

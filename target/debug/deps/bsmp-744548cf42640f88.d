@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bsmp-744548cf42640f88.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/bsmp-744548cf42640f88: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bsmp-7d174d43d5a24b8d.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp-7d174d43d5a24b8d.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bsmp-9710424b9de0267b.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libbsmp-9710424b9de0267b.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libbsmp-9710424b9de0267b.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

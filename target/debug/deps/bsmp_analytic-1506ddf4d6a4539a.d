@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bsmp_analytic-1506ddf4d6a4539a.d: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+/root/repo/target/debug/deps/bsmp_analytic-1506ddf4d6a4539a: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/bounds.rs:
+crates/analytic/src/brent.rs:
+crates/analytic/src/extensions.rs:
+crates/analytic/src/matmul.rs:
+crates/analytic/src/theorem1.rs:
+crates/analytic/src/theorem4.rs:

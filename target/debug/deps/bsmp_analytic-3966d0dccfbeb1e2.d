@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bsmp_analytic-3966d0dccfbeb1e2.d: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_analytic-3966d0dccfbeb1e2.rmeta: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs Cargo.toml
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/bounds.rs:
+crates/analytic/src/brent.rs:
+crates/analytic/src/extensions.rs:
+crates/analytic/src/matmul.rs:
+crates/analytic/src/theorem1.rs:
+crates/analytic/src/theorem4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bsmp_analytic-c19cb8a52e70720f.d: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+/root/repo/target/debug/deps/libbsmp_analytic-c19cb8a52e70720f.rlib: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+/root/repo/target/debug/deps/libbsmp_analytic-c19cb8a52e70720f.rmeta: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/bounds.rs:
+crates/analytic/src/brent.rs:
+crates/analytic/src/extensions.rs:
+crates/analytic/src/matmul.rs:
+crates/analytic/src/theorem1.rs:
+crates/analytic/src/theorem4.rs:

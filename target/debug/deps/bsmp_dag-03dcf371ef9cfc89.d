@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bsmp_dag-03dcf371ef9cfc89.d: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+/root/repo/target/debug/deps/bsmp_dag-03dcf371ef9cfc89: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/dag1.rs:
+crates/dag/src/dag2.rs:
+crates/dag/src/partition.rs:
+crates/dag/src/schedule.rs:
+crates/dag/src/separator.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bsmp_dag-848c939c35decf02.d: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_dag-848c939c35decf02.rmeta: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs Cargo.toml
+
+crates/dag/src/lib.rs:
+crates/dag/src/dag1.rs:
+crates/dag/src/dag2.rs:
+crates/dag/src/partition.rs:
+crates/dag/src/schedule.rs:
+crates/dag/src/separator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

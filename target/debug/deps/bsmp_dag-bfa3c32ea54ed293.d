@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bsmp_dag-bfa3c32ea54ed293.d: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+/root/repo/target/debug/deps/libbsmp_dag-bfa3c32ea54ed293.rlib: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+/root/repo/target/debug/deps/libbsmp_dag-bfa3c32ea54ed293.rmeta: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/dag1.rs:
+crates/dag/src/dag2.rs:
+crates/dag/src/partition.rs:
+crates/dag/src/schedule.rs:
+crates/dag/src/separator.rs:

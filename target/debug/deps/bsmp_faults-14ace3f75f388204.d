@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bsmp_faults-14ace3f75f388204.d: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+/root/repo/target/debug/deps/libbsmp_faults-14ace3f75f388204.rlib: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+/root/repo/target/debug/deps/libbsmp_faults-14ace3f75f388204.rmeta: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/rng.rs:
+crates/faults/src/session.rs:

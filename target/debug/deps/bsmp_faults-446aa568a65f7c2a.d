@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bsmp_faults-446aa568a65f7c2a.d: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+/root/repo/target/debug/deps/bsmp_faults-446aa568a65f7c2a: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/rng.rs:
+crates/faults/src/session.rs:

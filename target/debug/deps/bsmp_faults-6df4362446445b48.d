@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bsmp_faults-6df4362446445b48.d: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_faults-6df4362446445b48.rmeta: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/rng.rs:
+crates/faults/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bsmp_geometry-5fd5cf3159ea5978.d: crates/geometry/src/lib.rs crates/geometry/src/ibox.rs crates/geometry/src/point.rs crates/geometry/src/diamond.rs crates/geometry/src/tiling1.rs crates/geometry/src/domain2.rs crates/geometry/src/octa.rs crates/geometry/src/tetra.rs crates/geometry/src/tiling2.rs crates/geometry/src/domain3.rs crates/geometry/src/figures.rs crates/geometry/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_geometry-5fd5cf3159ea5978.rmeta: crates/geometry/src/lib.rs crates/geometry/src/ibox.rs crates/geometry/src/point.rs crates/geometry/src/diamond.rs crates/geometry/src/tiling1.rs crates/geometry/src/domain2.rs crates/geometry/src/octa.rs crates/geometry/src/tetra.rs crates/geometry/src/tiling2.rs crates/geometry/src/domain3.rs crates/geometry/src/figures.rs crates/geometry/src/render.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/ibox.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/diamond.rs:
+crates/geometry/src/tiling1.rs:
+crates/geometry/src/domain2.rs:
+crates/geometry/src/octa.rs:
+crates/geometry/src/tetra.rs:
+crates/geometry/src/tiling2.rs:
+crates/geometry/src/domain3.rs:
+crates/geometry/src/figures.rs:
+crates/geometry/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bsmp_hram-7498e3b6ef18dc7d.d: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+/root/repo/target/debug/deps/bsmp_hram-7498e3b6ef18dc7d: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+crates/hram/src/lib.rs:
+crates/hram/src/access.rs:
+crates/hram/src/cost.rs:
+crates/hram/src/machine.rs:

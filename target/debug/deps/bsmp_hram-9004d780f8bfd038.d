@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bsmp_hram-9004d780f8bfd038.d: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+/root/repo/target/debug/deps/libbsmp_hram-9004d780f8bfd038.rlib: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+/root/repo/target/debug/deps/libbsmp_hram-9004d780f8bfd038.rmeta: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+crates/hram/src/lib.rs:
+crates/hram/src/access.rs:
+crates/hram/src/cost.rs:
+crates/hram/src/machine.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bsmp_hram-bdf1bc7c757c27b8.d: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_hram-bdf1bc7c757c27b8.rmeta: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs Cargo.toml
+
+crates/hram/src/lib.rs:
+crates/hram/src/access.rs:
+crates/hram/src/cost.rs:
+crates/hram/src/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bsmp_repro-05c66c1ad8b429a9.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/bsmp_repro-05c66c1ad8b429a9: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bsmp_repro-6c63cf1b68e78ab2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/bsmp_repro-6c63cf1b68e78ab2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

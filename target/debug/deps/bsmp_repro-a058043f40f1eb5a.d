@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bsmp_repro-a058043f40f1eb5a.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_repro-a058043f40f1eb5a.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bsmp_repro-b6de67b2307834ec.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_repro-b6de67b2307834ec.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

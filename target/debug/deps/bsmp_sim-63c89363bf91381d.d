@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/bsmp_sim-63c89363bf91381d.d: crates/sim/src/lib.rs crates/sim/src/dnc1.rs crates/sim/src/dnc2.rs crates/sim/src/dnc3.rs crates/sim/src/error.rs crates/sim/src/exec1.rs crates/sim/src/exec2.rs crates/sim/src/exec3.rs crates/sim/src/multi1.rs crates/sim/src/multi2.rs crates/sim/src/naive1.rs crates/sim/src/naive2.rs crates/sim/src/pipelined1.rs crates/sim/src/report.rs crates/sim/src/zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_sim-63c89363bf91381d.rmeta: crates/sim/src/lib.rs crates/sim/src/dnc1.rs crates/sim/src/dnc2.rs crates/sim/src/dnc3.rs crates/sim/src/error.rs crates/sim/src/exec1.rs crates/sim/src/exec2.rs crates/sim/src/exec3.rs crates/sim/src/multi1.rs crates/sim/src/multi2.rs crates/sim/src/naive1.rs crates/sim/src/naive2.rs crates/sim/src/pipelined1.rs crates/sim/src/report.rs crates/sim/src/zone.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/dnc1.rs:
+crates/sim/src/dnc2.rs:
+crates/sim/src/dnc3.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec1.rs:
+crates/sim/src/exec2.rs:
+crates/sim/src/exec3.rs:
+crates/sim/src/multi1.rs:
+crates/sim/src/multi2.rs:
+crates/sim/src/naive1.rs:
+crates/sim/src/naive2.rs:
+crates/sim/src/pipelined1.rs:
+crates/sim/src/report.rs:
+crates/sim/src/zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

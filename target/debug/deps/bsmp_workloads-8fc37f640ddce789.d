@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bsmp_workloads-8fc37f640ddce789.d: crates/workloads/src/lib.rs crates/workloads/src/cannon.rs crates/workloads/src/eca.rs crates/workloads/src/fir.rs crates/workloads/src/heat.rs crates/workloads/src/inputs.rs crates/workloads/src/life.rs crates/workloads/src/shift.rs crates/workloads/src/sort.rs crates/workloads/src/wave.rs crates/workloads/src/volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbsmp_workloads-8fc37f640ddce789.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cannon.rs crates/workloads/src/eca.rs crates/workloads/src/fir.rs crates/workloads/src/heat.rs crates/workloads/src/inputs.rs crates/workloads/src/life.rs crates/workloads/src/shift.rs crates/workloads/src/sort.rs crates/workloads/src/wave.rs crates/workloads/src/volume.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cannon.rs:
+crates/workloads/src/eca.rs:
+crates/workloads/src/fir.rs:
+crates/workloads/src/heat.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/life.rs:
+crates/workloads/src/shift.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wave.rs:
+crates/workloads/src/volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decompositions-76aaa752e222bc06.d: crates/core/../../tests/decompositions.rs
+
+/root/repo/target/debug/deps/decompositions-76aaa752e222bc06: crates/core/../../tests/decompositions.rs
+
+crates/core/../../tests/decompositions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decompositions-7fefef9ad32f4259.d: crates/core/../../tests/decompositions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecompositions-7fefef9ad32f4259.rmeta: crates/core/../../tests/decompositions.rs Cargo.toml
+
+crates/core/../../tests/decompositions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_brent-3240ba7fbe5c95f2.d: crates/bench/src/bin/e10_brent.rs
+
+/root/repo/target/debug/deps/e10_brent-3240ba7fbe5c95f2: crates/bench/src/bin/e10_brent.rs
+
+crates/bench/src/bin/e10_brent.rs:

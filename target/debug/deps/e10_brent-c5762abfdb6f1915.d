@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_brent-c5762abfdb6f1915.d: crates/bench/src/bin/e10_brent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_brent-c5762abfdb6f1915.rmeta: crates/bench/src/bin/e10_brent.rs Cargo.toml
+
+crates/bench/src/bin/e10_brent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

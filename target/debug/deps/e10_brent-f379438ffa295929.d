@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_brent-f379438ffa295929.d: crates/bench/src/bin/e10_brent.rs
+
+/root/repo/target/debug/deps/e10_brent-f379438ffa295929: crates/bench/src/bin/e10_brent.rs
+
+crates/bench/src/bin/e10_brent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_extensions-0f786ad82d2262a7.d: crates/bench/src/bin/e11_extensions.rs
+
+/root/repo/target/debug/deps/e11_extensions-0f786ad82d2262a7: crates/bench/src/bin/e11_extensions.rs
+
+crates/bench/src/bin/e11_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_extensions-a95df74fba7d239c.d: crates/bench/src/bin/e11_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_extensions-a95df74fba7d239c.rmeta: crates/bench/src/bin/e11_extensions.rs Cargo.toml
+
+crates/bench/src/bin/e11_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

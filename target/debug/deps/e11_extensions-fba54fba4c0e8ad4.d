@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_extensions-fba54fba4c0e8ad4.d: crates/bench/src/bin/e11_extensions.rs
+
+/root/repo/target/debug/deps/e11_extensions-fba54fba4c0e8ad4: crates/bench/src/bin/e11_extensions.rs
+
+crates/bench/src/bin/e11_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ablation-11e5af4787fdc32f.d: crates/bench/src/bin/e12_ablation.rs
+
+/root/repo/target/debug/deps/e12_ablation-11e5af4787fdc32f: crates/bench/src/bin/e12_ablation.rs
+
+crates/bench/src/bin/e12_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e12_ablation-25ae67976e366e5c.d: crates/bench/src/bin/e12_ablation.rs
+
+/root/repo/target/debug/deps/e12_ablation-25ae67976e366e5c: crates/bench/src/bin/e12_ablation.rs
+
+crates/bench/src/bin/e12_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e12_ablation-a783ee5a6161eea8.d: crates/bench/src/bin/e12_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe12_ablation-a783ee5a6161eea8.rmeta: crates/bench/src/bin/e12_ablation.rs Cargo.toml
+
+crates/bench/src/bin/e12_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

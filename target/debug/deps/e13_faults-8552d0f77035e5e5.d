@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e13_faults-8552d0f77035e5e5.d: crates/bench/src/bin/e13_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe13_faults-8552d0f77035e5e5.rmeta: crates/bench/src/bin/e13_faults.rs Cargo.toml
+
+crates/bench/src/bin/e13_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_faults-a145ce74019bc884.d: crates/bench/src/bin/e13_faults.rs
+
+/root/repo/target/debug/deps/e13_faults-a145ce74019bc884: crates/bench/src/bin/e13_faults.rs
+
+crates/bench/src/bin/e13_faults.rs:

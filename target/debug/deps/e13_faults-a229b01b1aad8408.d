@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e13_faults-a229b01b1aad8408.d: crates/bench/src/bin/e13_faults.rs
+
+/root/repo/target/debug/deps/e13_faults-a229b01b1aad8408: crates/bench/src/bin/e13_faults.rs
+
+crates/bench/src/bin/e13_faults.rs:

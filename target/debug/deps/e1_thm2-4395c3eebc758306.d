@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_thm2-4395c3eebc758306.d: crates/bench/src/bin/e1_thm2.rs
+
+/root/repo/target/debug/deps/e1_thm2-4395c3eebc758306: crates/bench/src/bin/e1_thm2.rs
+
+crates/bench/src/bin/e1_thm2.rs:

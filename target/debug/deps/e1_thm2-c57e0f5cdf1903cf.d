@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_thm2-c57e0f5cdf1903cf.d: crates/bench/src/bin/e1_thm2.rs
+
+/root/repo/target/debug/deps/e1_thm2-c57e0f5cdf1903cf: crates/bench/src/bin/e1_thm2.rs
+
+crates/bench/src/bin/e1_thm2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_thm2-f08de4c6e9258fea.d: crates/bench/src/bin/e1_thm2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_thm2-f08de4c6e9258fea.rmeta: crates/bench/src/bin/e1_thm2.rs Cargo.toml
+
+crates/bench/src/bin/e1_thm2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

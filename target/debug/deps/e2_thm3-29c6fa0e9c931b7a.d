@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_thm3-29c6fa0e9c931b7a.d: crates/bench/src/bin/e2_thm3.rs
+
+/root/repo/target/debug/deps/e2_thm3-29c6fa0e9c931b7a: crates/bench/src/bin/e2_thm3.rs
+
+crates/bench/src/bin/e2_thm3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_thm3-6bf42700eeaba768.d: crates/bench/src/bin/e2_thm3.rs
+
+/root/repo/target/debug/deps/e2_thm3-6bf42700eeaba768: crates/bench/src/bin/e2_thm3.rs
+
+crates/bench/src/bin/e2_thm3.rs:

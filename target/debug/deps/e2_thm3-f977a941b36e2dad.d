@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_thm3-f977a941b36e2dad.d: crates/bench/src/bin/e2_thm3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_thm3-f977a941b36e2dad.rmeta: crates/bench/src/bin/e2_thm3.rs Cargo.toml
+
+crates/bench/src/bin/e2_thm3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

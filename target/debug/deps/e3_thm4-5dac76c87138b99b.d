@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_thm4-5dac76c87138b99b.d: crates/bench/src/bin/e3_thm4.rs
+
+/root/repo/target/debug/deps/e3_thm4-5dac76c87138b99b: crates/bench/src/bin/e3_thm4.rs
+
+crates/bench/src/bin/e3_thm4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_thm4-78d4739f109d9850.d: crates/bench/src/bin/e3_thm4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_thm4-78d4739f109d9850.rmeta: crates/bench/src/bin/e3_thm4.rs Cargo.toml
+
+crates/bench/src/bin/e3_thm4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_thm4-9aaa65ab7fb69004.d: crates/bench/src/bin/e3_thm4.rs
+
+/root/repo/target/debug/deps/e3_thm4-9aaa65ab7fb69004: crates/bench/src/bin/e3_thm4.rs
+
+crates/bench/src/bin/e3_thm4.rs:

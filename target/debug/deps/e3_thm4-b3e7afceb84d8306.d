@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_thm4-b3e7afceb84d8306.d: crates/bench/src/bin/e3_thm4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_thm4-b3e7afceb84d8306.rmeta: crates/bench/src/bin/e3_thm4.rs Cargo.toml
+
+crates/bench/src/bin/e3_thm4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_thm5-339529c05d251d17.d: crates/bench/src/bin/e4_thm5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_thm5-339529c05d251d17.rmeta: crates/bench/src/bin/e4_thm5.rs Cargo.toml
+
+crates/bench/src/bin/e4_thm5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_thm5-6501af4fec0deb94.d: crates/bench/src/bin/e4_thm5.rs
+
+/root/repo/target/debug/deps/e4_thm5-6501af4fec0deb94: crates/bench/src/bin/e4_thm5.rs
+
+crates/bench/src/bin/e4_thm5.rs:

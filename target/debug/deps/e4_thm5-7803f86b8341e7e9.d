@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_thm5-7803f86b8341e7e9.d: crates/bench/src/bin/e4_thm5.rs
+
+/root/repo/target/debug/deps/e4_thm5-7803f86b8341e7e9: crates/bench/src/bin/e4_thm5.rs
+
+crates/bench/src/bin/e4_thm5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_thm1d2-39c1a4a569f12339.d: crates/bench/src/bin/e5_thm1d2.rs
+
+/root/repo/target/debug/deps/e5_thm1d2-39c1a4a569f12339: crates/bench/src/bin/e5_thm1d2.rs
+
+crates/bench/src/bin/e5_thm1d2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_thm1d2-3e91236bc1c0056d.d: crates/bench/src/bin/e5_thm1d2.rs
+
+/root/repo/target/debug/deps/e5_thm1d2-3e91236bc1c0056d: crates/bench/src/bin/e5_thm1d2.rs
+
+crates/bench/src/bin/e5_thm1d2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_thm1d2-4faca6337b5f7f49.d: crates/bench/src/bin/e5_thm1d2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_thm1d2-4faca6337b5f7f49.rmeta: crates/bench/src/bin/e5_thm1d2.rs Cargo.toml
+
+crates/bench/src/bin/e5_thm1d2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_matmul-8c17940dfeed0648.d: crates/bench/src/bin/e6_matmul.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_matmul-8c17940dfeed0648.rmeta: crates/bench/src/bin/e6_matmul.rs Cargo.toml
+
+crates/bench/src/bin/e6_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

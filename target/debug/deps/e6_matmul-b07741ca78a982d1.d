@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_matmul-b07741ca78a982d1.d: crates/bench/src/bin/e6_matmul.rs
+
+/root/repo/target/debug/deps/e6_matmul-b07741ca78a982d1: crates/bench/src/bin/e6_matmul.rs
+
+crates/bench/src/bin/e6_matmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_matmul-ee6143563f899831.d: crates/bench/src/bin/e6_matmul.rs
+
+/root/repo/target/debug/deps/e6_matmul-ee6143563f899831: crates/bench/src/bin/e6_matmul.rs
+
+crates/bench/src/bin/e6_matmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_prop3-409c9b5c1ab24acf.d: crates/bench/src/bin/e7_prop3.rs
+
+/root/repo/target/debug/deps/e7_prop3-409c9b5c1ab24acf: crates/bench/src/bin/e7_prop3.rs
+
+crates/bench/src/bin/e7_prop3.rs:

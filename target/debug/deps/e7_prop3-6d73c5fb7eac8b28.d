@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_prop3-6d73c5fb7eac8b28.d: crates/bench/src/bin/e7_prop3.rs
+
+/root/repo/target/debug/deps/e7_prop3-6d73c5fb7eac8b28: crates/bench/src/bin/e7_prop3.rs
+
+crates/bench/src/bin/e7_prop3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_prop3-bf28c8b9e11ff59e.d: crates/bench/src/bin/e7_prop3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_prop3-bf28c8b9e11ff59e.rmeta: crates/bench/src/bin/e7_prop3.rs Cargo.toml
+
+crates/bench/src/bin/e7_prop3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_prop3-ce16793a23f057ad.d: crates/bench/src/bin/e7_prop3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_prop3-ce16793a23f057ad.rmeta: crates/bench/src/bin/e7_prop3.rs Cargo.toml
+
+crates/bench/src/bin/e7_prop3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_figures-3c30ca5e96e79ec7.d: crates/bench/src/bin/e8_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_figures-3c30ca5e96e79ec7.rmeta: crates/bench/src/bin/e8_figures.rs Cargo.toml
+
+crates/bench/src/bin/e8_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_figures-504406e5491d673b.d: crates/bench/src/bin/e8_figures.rs
+
+/root/repo/target/debug/deps/e8_figures-504406e5491d673b: crates/bench/src/bin/e8_figures.rs
+
+crates/bench/src/bin/e8_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_figures-8358ad11de5302f4.d: crates/bench/src/bin/e8_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_figures-8358ad11de5302f4.rmeta: crates/bench/src/bin/e8_figures.rs Cargo.toml
+
+crates/bench/src/bin/e8_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

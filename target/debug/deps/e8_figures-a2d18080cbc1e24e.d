@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_figures-a2d18080cbc1e24e.d: crates/bench/src/bin/e8_figures.rs
+
+/root/repo/target/debug/deps/e8_figures-a2d18080cbc1e24e: crates/bench/src/bin/e8_figures.rs
+
+crates/bench/src/bin/e8_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_sstar-11fa0f2aa677e721.d: crates/bench/src/bin/e9_sstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_sstar-11fa0f2aa677e721.rmeta: crates/bench/src/bin/e9_sstar.rs Cargo.toml
+
+crates/bench/src/bin/e9_sstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sstar-143d0a6259d1685f.d: crates/bench/src/bin/e9_sstar.rs
+
+/root/repo/target/debug/deps/e9_sstar-143d0a6259d1685f: crates/bench/src/bin/e9_sstar.rs
+
+crates/bench/src/bin/e9_sstar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_sstar-6e15a3174598f0ad.d: crates/bench/src/bin/e9_sstar.rs
+
+/root/repo/target/debug/deps/e9_sstar-6e15a3174598f0ad: crates/bench/src/bin/e9_sstar.rs
+
+crates/bench/src/bin/e9_sstar.rs:

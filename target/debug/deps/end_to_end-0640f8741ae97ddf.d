@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-0640f8741ae97ddf.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-0640f8741ae97ddf: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

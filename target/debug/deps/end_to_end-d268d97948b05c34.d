@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-d268d97948b05c34.d: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-d268d97948b05c34.rmeta: crates/core/../../tests/end_to_end.rs Cargo.toml
+
+crates/core/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

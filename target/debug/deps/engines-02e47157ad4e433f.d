@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines-02e47157ad4e433f.d: crates/bench/benches/engines.rs
+
+/root/repo/target/debug/deps/engines-02e47157ad4e433f: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-fd16137d00b4ed00.d: crates/bench/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-fd16137d00b4ed00.rmeta: crates/bench/benches/engines.rs Cargo.toml
+
+crates/bench/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-c270081be8180e77.d: crates/core/../../tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-c270081be8180e77: crates/core/../../tests/equivalence.rs
+
+crates/core/../../tests/equivalence.rs:

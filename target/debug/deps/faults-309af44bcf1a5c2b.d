@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-309af44bcf1a5c2b.d: crates/core/../../tests/faults.rs
+
+/root/repo/target/debug/deps/faults-309af44bcf1a5c2b: crates/core/../../tests/faults.rs
+
+crates/core/../../tests/faults.rs:

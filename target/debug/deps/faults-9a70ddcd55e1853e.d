@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-9a70ddcd55e1853e.d: crates/core/../../tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-9a70ddcd55e1853e.rmeta: crates/core/../../tests/faults.rs Cargo.toml
+
+crates/core/../../tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

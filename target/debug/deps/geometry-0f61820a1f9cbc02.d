@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geometry-0f61820a1f9cbc02.d: crates/bench/benches/geometry.rs
+
+/root/repo/target/debug/deps/geometry-0f61820a1f9cbc02: crates/bench/benches/geometry.rs
+
+crates/bench/benches/geometry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geometry-6b180bdf2d0d6c97.d: crates/bench/benches/geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeometry-6b180bdf2d0d6c97.rmeta: crates/bench/benches/geometry.rs Cargo.toml
+
+crates/bench/benches/geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hram-291a1307b0b41c00.d: crates/bench/benches/hram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhram-291a1307b0b41c00.rmeta: crates/bench/benches/hram.rs Cargo.toml
+
+crates/bench/benches/hram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hram-cd84ba9c12fb811f.d: crates/bench/benches/hram.rs
+
+/root/repo/target/debug/deps/hram-cd84ba9c12fb811f: crates/bench/benches/hram.rs
+
+crates/bench/benches/hram.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine-0150f7534e54709d.d: crates/bench/benches/machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-0150f7534e54709d.rmeta: crates/bench/benches/machine.rs Cargo.toml
+
+crates/bench/benches/machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine-c55e86e5a0a9906c.d: crates/bench/benches/machine.rs
+
+/root/repo/target/debug/deps/machine-c55e86e5a0a9906c: crates/bench/benches/machine.rs
+
+crates/bench/benches/machine.rs:

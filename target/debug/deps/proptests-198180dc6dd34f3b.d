@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-198180dc6dd34f3b.d: crates/geometry/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-198180dc6dd34f3b.rmeta: crates/geometry/tests/proptests.rs Cargo.toml
+
+crates/geometry/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

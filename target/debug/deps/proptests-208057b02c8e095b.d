@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-208057b02c8e095b.d: crates/workloads/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-208057b02c8e095b.rmeta: crates/workloads/tests/proptests.rs Cargo.toml
+
+crates/workloads/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-349712158e0fb45b.d: crates/analytic/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-349712158e0fb45b.rmeta: crates/analytic/tests/proptests.rs Cargo.toml
+
+crates/analytic/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-426eb605a88b4d9a.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-426eb605a88b4d9a: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

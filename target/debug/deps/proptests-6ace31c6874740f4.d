@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6ace31c6874740f4.d: crates/dag/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6ace31c6874740f4.rmeta: crates/dag/tests/proptests.rs Cargo.toml
+
+crates/dag/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

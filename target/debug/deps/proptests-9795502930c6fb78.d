@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9795502930c6fb78.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9795502930c6fb78: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

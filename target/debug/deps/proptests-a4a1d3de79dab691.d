@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a4a1d3de79dab691.d: crates/geometry/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a4a1d3de79dab691: crates/geometry/tests/proptests.rs
+
+crates/geometry/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b5b23ff6e2ea699e.d: crates/dag/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b5b23ff6e2ea699e: crates/dag/tests/proptests.rs
+
+crates/dag/tests/proptests.rs:

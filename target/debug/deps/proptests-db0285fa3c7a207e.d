@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-db0285fa3c7a207e.d: crates/hram/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-db0285fa3c7a207e: crates/hram/tests/proptests.rs
+
+crates/hram/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e3a41059aa9af263.d: crates/hram/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e3a41059aa9af263.rmeta: crates/hram/tests/proptests.rs Cargo.toml
+
+crates/hram/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e4cd8c7dcfc7f77c.d: crates/analytic/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e4cd8c7dcfc7f77c: crates/analytic/tests/proptests.rs
+
+crates/analytic/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fc92e75e212fad5f.d: crates/machine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fc92e75e212fad5f: crates/machine/tests/proptests.rs
+
+crates/machine/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figures-1d2e91b5c0eeafb9.d: crates/core/../../examples/figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigures-1d2e91b5c0eeafb9.rmeta: crates/core/../../examples/figures.rs Cargo.toml
+
+crates/core/../../examples/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

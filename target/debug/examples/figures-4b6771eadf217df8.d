@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figures-4b6771eadf217df8.d: crates/core/../../examples/figures.rs
+
+/root/repo/target/debug/examples/figures-4b6771eadf217df8: crates/core/../../examples/figures.rs
+
+crates/core/../../examples/figures.rs:

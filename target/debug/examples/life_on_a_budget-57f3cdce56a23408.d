@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/life_on_a_budget-57f3cdce56a23408.d: crates/core/../../examples/life_on_a_budget.rs
+
+/root/repo/target/debug/examples/life_on_a_budget-57f3cdce56a23408: crates/core/../../examples/life_on_a_budget.rs
+
+crates/core/../../examples/life_on_a_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/life_on_a_budget-6de498021f03b127.d: crates/core/../../examples/life_on_a_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblife_on_a_budget-6de498021f03b127.rmeta: crates/core/../../examples/life_on_a_budget.rs Cargo.toml
+
+crates/core/../../examples/life_on_a_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

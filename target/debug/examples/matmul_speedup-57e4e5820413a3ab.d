@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_speedup-57e4e5820413a3ab.d: crates/core/../../examples/matmul_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_speedup-57e4e5820413a3ab.rmeta: crates/core/../../examples/matmul_speedup.rs Cargo.toml
+
+crates/core/../../examples/matmul_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_speedup-e100494c24c3d690.d: crates/core/../../examples/matmul_speedup.rs
+
+/root/repo/target/debug/examples/matmul_speedup-e100494c24c3d690: crates/core/../../examples/matmul_speedup.rs
+
+crates/core/../../examples/matmul_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5a187c49926b1584.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5a187c49926b1584: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rule110_timetravel-1104401b71fe63c7.d: crates/core/../../examples/rule110_timetravel.rs
+
+/root/repo/target/debug/examples/rule110_timetravel-1104401b71fe63c7: crates/core/../../examples/rule110_timetravel.rs
+
+crates/core/../../examples/rule110_timetravel.rs:

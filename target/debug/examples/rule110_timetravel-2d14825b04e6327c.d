@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rule110_timetravel-2d14825b04e6327c.d: crates/core/../../examples/rule110_timetravel.rs Cargo.toml
+
+/root/repo/target/debug/examples/librule110_timetravel-2d14825b04e6327c.rmeta: crates/core/../../examples/rule110_timetravel.rs Cargo.toml
+
+crates/core/../../examples/rule110_timetravel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/superlinear-4c014580edae8f43.d: crates/core/../../examples/superlinear.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsuperlinear-4c014580edae8f43.rmeta: crates/core/../../examples/superlinear.rs Cargo.toml
+
+crates/core/../../examples/superlinear.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

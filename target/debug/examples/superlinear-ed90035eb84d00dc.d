@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/superlinear-ed90035eb84d00dc.d: crates/core/../../examples/superlinear.rs
+
+/root/repo/target/debug/examples/superlinear-ed90035eb84d00dc: crates/core/../../examples/superlinear.rs
+
+crates/core/../../examples/superlinear.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbsmp_faults.rlib: /root/repo/crates/faults/src/lib.rs /root/repo/crates/faults/src/plan.rs /root/repo/crates/faults/src/rng.rs /root/repo/crates/faults/src/session.rs

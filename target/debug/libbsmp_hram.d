@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbsmp_hram.rlib: /root/repo/crates/hram/src/access.rs /root/repo/crates/hram/src/cost.rs /root/repo/crates/hram/src/lib.rs /root/repo/crates/hram/src/machine.rs

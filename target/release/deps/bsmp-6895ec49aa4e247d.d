@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bsmp-6895ec49aa4e247d.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libbsmp-6895ec49aa4e247d.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libbsmp-6895ec49aa4e247d.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

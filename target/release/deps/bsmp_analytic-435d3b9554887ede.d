@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bsmp_analytic-435d3b9554887ede.d: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+/root/repo/target/release/deps/libbsmp_analytic-435d3b9554887ede.rlib: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+/root/repo/target/release/deps/libbsmp_analytic-435d3b9554887ede.rmeta: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/bounds.rs:
+crates/analytic/src/brent.rs:
+crates/analytic/src/extensions.rs:
+crates/analytic/src/matmul.rs:
+crates/analytic/src/theorem1.rs:
+crates/analytic/src/theorem4.rs:

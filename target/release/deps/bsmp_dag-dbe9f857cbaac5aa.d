@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bsmp_dag-dbe9f857cbaac5aa.d: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+/root/repo/target/release/deps/libbsmp_dag-dbe9f857cbaac5aa.rlib: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+/root/repo/target/release/deps/libbsmp_dag-dbe9f857cbaac5aa.rmeta: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/dag1.rs:
+crates/dag/src/dag2.rs:
+crates/dag/src/partition.rs:
+crates/dag/src/schedule.rs:
+crates/dag/src/separator.rs:

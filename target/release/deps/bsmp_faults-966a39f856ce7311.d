@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bsmp_faults-966a39f856ce7311.d: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+/root/repo/target/release/deps/libbsmp_faults-966a39f856ce7311.rlib: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+/root/repo/target/release/deps/libbsmp_faults-966a39f856ce7311.rmeta: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/rng.rs:
+crates/faults/src/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bsmp_hram-3bc150f66c10f83f.d: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+/root/repo/target/release/deps/libbsmp_hram-3bc150f66c10f83f.rlib: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+/root/repo/target/release/deps/libbsmp_hram-3bc150f66c10f83f.rmeta: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+crates/hram/src/lib.rs:
+crates/hram/src/access.rs:
+crates/hram/src/cost.rs:
+crates/hram/src/machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bsmp_repro-10f6e35a39bdf42f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/bsmp_repro-10f6e35a39bdf42f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_brent-7e59bc26a379f269.d: crates/bench/src/bin/e10_brent.rs
+
+/root/repo/target/release/deps/e10_brent-7e59bc26a379f269: crates/bench/src/bin/e10_brent.rs
+
+crates/bench/src/bin/e10_brent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_extensions-26f5e3fd45a88e62.d: crates/bench/src/bin/e11_extensions.rs
+
+/root/repo/target/release/deps/e11_extensions-26f5e3fd45a88e62: crates/bench/src/bin/e11_extensions.rs
+
+crates/bench/src/bin/e11_extensions.rs:

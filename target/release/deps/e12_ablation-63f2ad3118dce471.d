@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_ablation-63f2ad3118dce471.d: crates/bench/src/bin/e12_ablation.rs
+
+/root/repo/target/release/deps/e12_ablation-63f2ad3118dce471: crates/bench/src/bin/e12_ablation.rs
+
+crates/bench/src/bin/e12_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e13_faults-17e125c24dd5f02c.d: crates/bench/src/bin/e13_faults.rs
+
+/root/repo/target/release/deps/e13_faults-17e125c24dd5f02c: crates/bench/src/bin/e13_faults.rs
+
+crates/bench/src/bin/e13_faults.rs:

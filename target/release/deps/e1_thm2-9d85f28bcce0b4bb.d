@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_thm2-9d85f28bcce0b4bb.d: crates/bench/src/bin/e1_thm2.rs
+
+/root/repo/target/release/deps/e1_thm2-9d85f28bcce0b4bb: crates/bench/src/bin/e1_thm2.rs
+
+crates/bench/src/bin/e1_thm2.rs:

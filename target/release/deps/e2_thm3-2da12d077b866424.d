@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2_thm3-2da12d077b866424.d: crates/bench/src/bin/e2_thm3.rs
+
+/root/repo/target/release/deps/e2_thm3-2da12d077b866424: crates/bench/src/bin/e2_thm3.rs
+
+crates/bench/src/bin/e2_thm3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_thm4-9c70e5ff18b1461d.d: crates/bench/src/bin/e3_thm4.rs
+
+/root/repo/target/release/deps/e3_thm4-9c70e5ff18b1461d: crates/bench/src/bin/e3_thm4.rs
+
+crates/bench/src/bin/e3_thm4.rs:

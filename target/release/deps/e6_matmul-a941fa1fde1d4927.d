@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_matmul-a941fa1fde1d4927.d: crates/bench/src/bin/e6_matmul.rs
+
+/root/repo/target/release/deps/e6_matmul-a941fa1fde1d4927: crates/bench/src/bin/e6_matmul.rs
+
+crates/bench/src/bin/e6_matmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e7_prop3-e3d89ecf2ba0584d.d: crates/bench/src/bin/e7_prop3.rs
+
+/root/repo/target/release/deps/e7_prop3-e3d89ecf2ba0584d: crates/bench/src/bin/e7_prop3.rs
+
+crates/bench/src/bin/e7_prop3.rs:

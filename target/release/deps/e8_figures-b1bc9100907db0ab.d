@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_figures-b1bc9100907db0ab.d: crates/bench/src/bin/e8_figures.rs
+
+/root/repo/target/release/deps/e8_figures-b1bc9100907db0ab: crates/bench/src/bin/e8_figures.rs
+
+crates/bench/src/bin/e8_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e9_sstar-9d26633a425507c6.d: crates/bench/src/bin/e9_sstar.rs
+
+/root/repo/target/release/deps/e9_sstar-9d26633a425507c6: crates/bench/src/bin/e9_sstar.rs
+
+crates/bench/src/bin/e9_sstar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hram-42a1f4b8920b1f87.d: crates/bench/benches/hram.rs
+
+/root/repo/target/release/deps/hram-42a1f4b8920b1f87: crates/bench/benches/hram.rs
+
+crates/bench/benches/hram.rs:

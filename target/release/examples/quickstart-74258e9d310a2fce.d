@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-74258e9d310a2fce.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-74258e9d310a2fce: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -36,7 +36,10 @@ fn proposition1_growth_rate() {
         simulate_naive1(&spec, &Eca::rule90(), &init, 32).slowdown()
     };
     let ratio = slow(256) / slow(64);
-    assert!(ratio > 8.0 && ratio < 32.0, "quadratic: 4× n ⇒ ~16× slowdown, got {ratio}");
+    assert!(
+        ratio > 8.0 && ratio < 32.0,
+        "quadratic: 4× n ⇒ ~16× slowdown, got {ratio}"
+    );
 }
 
 #[test]
@@ -55,7 +58,11 @@ fn theorem3_locality_term_saturates() {
     let s16 = slow(16);
     assert!(s4 > s1, "locality loss grows with density");
     assert!(s16 > s4);
-    assert!(s16 / s4 < 8.0, "sublinear in m (log factor), got {}", s16 / s4);
+    assert!(
+        s16 / s4 < 8.0,
+        "sublinear in m (log factor), got {}",
+        s16 / s4
+    );
 }
 
 #[test]
@@ -76,7 +83,10 @@ fn theorem1_bound_is_respected_in_shape() {
     let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = factors.iter().cloned().fold(0.0f64, f64::max);
     assert!(min > 1.0, "measured above the Θ-bound's shape floor");
-    assert!(max / min < 12.0, "constant factor drift across p: {factors:?}");
+    assert!(
+        max / min < 12.0,
+        "constant factor drift across p: {factors:?}"
+    );
 }
 
 #[test]
@@ -91,7 +101,10 @@ fn brent_baseline_under_instantaneous_model() {
             .run(&Eca::rule110(), &init, 32);
         let brent = analytic::brent::brent_slowdown(n, p) as f64;
         let s = r.measured_slowdown();
-        assert!(s > 0.4 * brent && s < 3.0 * brent, "n={n} p={p}: {s} vs Brent {brent}");
+        assert!(
+            s > 0.4 * brent && s < 3.0 * brent,
+            "n={n} p={p}: {s} vs Brent {brent}"
+        );
     }
 }
 
@@ -101,9 +114,10 @@ fn superlinearity_manifest() {
     // the same machine pair — the Section-6 conclusion.
     let (n, p) = (128u64, 4u64);
     let init = inputs::random_bits(25, n as usize);
-    let bounded = Simulation::linear(n, p, 1)
-        .strategy(Strategy::Naive)
-        .run(&Eca::rule110(), &init, 64);
+    let bounded =
+        Simulation::linear(n, p, 1)
+            .strategy(Strategy::Naive)
+            .run(&Eca::rule110(), &init, 64);
     let instant = Simulation::linear(n, p, 1)
         .instantaneous()
         .strategy(Strategy::Naive)
@@ -129,5 +143,8 @@ fn space_stays_within_proposition3() {
     let s512 = space(512);
     // |V| grows 16×; √ growth means ×4.
     let ratio = s512 / s128;
-    assert!(ratio > 2.5 && ratio < 6.5, "σ ~ √|V|: expected ~4×, got {ratio}");
+    assert!(
+        ratio > 2.5 && ratio < 6.5,
+        "σ ~ √|V|: expected ~4×, got {ratio}"
+    );
 }

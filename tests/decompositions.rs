@@ -6,9 +6,7 @@ use bsmp::dag::partition::{
     check_topological_partition1, check_topological_partition2, is_convex1,
 };
 use bsmp::dag::schedule::{is_topological_order1, refine1, refine2};
-use bsmp::geometry::{
-    cell_cover, diamond_cover, figures, Diamond, Domain2, IBox, IRect, Pt2, Pt3,
-};
+use bsmp::geometry::{cell_cover, diamond_cover, figures, Diamond, Domain2, IBox, IRect, Pt2, Pt3};
 
 #[test]
 fn diamond_recursion_is_topological_at_depth() {
@@ -46,8 +44,10 @@ fn octa_tetra_recursion_is_topological_at_depth() {
 fn covers_are_topological_partitions_many_shapes() {
     for (w, t, h) in [(16i64, 16i64, 2i64), (16, 16, 4), (20, 10, 4), (9, 23, 2)] {
         let rect = IRect::new(0, w, 1, t + 1);
-        let pieces: Vec<Vec<Pt2>> =
-            diamond_cover(rect, h, Pt2::new(0, 0)).iter().map(|c| c.points()).collect();
+        let pieces: Vec<Vec<Pt2>> = diamond_cover(rect, h, Pt2::new(0, 0))
+            .iter()
+            .map(|c| c.points())
+            .collect();
         check_topological_partition1(&rect.points(), &pieces, |p| {
             rect.contains(p) || (p.t == 0 && p.x >= 0 && p.x < w)
         })
@@ -59,8 +59,10 @@ fn covers_are_topological_partitions_many_shapes() {
 fn cell_covers_are_topological_partitions() {
     for (s, t, h) in [(8i64, 8i64, 2i64), (6, 10, 2), (8, 4, 4)] {
         let bx = IBox::new(0, s, 0, s, 1, t + 1);
-        let pieces: Vec<Vec<Pt3>> =
-            cell_cover(bx, h, Pt3::new(0, 0, 0)).iter().map(|c| c.points()).collect();
+        let pieces: Vec<Vec<Pt3>> = cell_cover(bx, h, Pt3::new(0, 0, 0))
+            .iter()
+            .map(|c| c.points())
+            .collect();
         check_topological_partition2(&bx.points(), &pieces, |q| {
             bx.contains(q) || (q.t == 0 && q.x >= 0 && q.x < s && q.y >= 0 && q.y < s)
         })
@@ -90,7 +92,11 @@ fn separator_domains_are_convex() {
     for h in [1i64, 2, 4, 8] {
         let d = Diamond::new(0, 0, h);
         assert!(is_convex1(&d.points(), |p| world.contains(p)), "D(h={h})");
-        for c in if h >= 2 { d.children().to_vec() } else { vec![] } {
+        for c in if h >= 2 {
+            d.children().to_vec()
+        } else {
+            vec![]
+        } {
             assert!(is_convex1(&c.points(), |p| world.contains(p)));
         }
     }

@@ -23,7 +23,9 @@ fn strategies_agree_functionally() {
         v
     };
     for strat in [Strategy::Naive, Strategy::TwoRegime, Strategy::Auto] {
-        let r = Simulation::linear(32, 4, 1).strategy(strat).run(&OddEvenSort::new(32), &init, 32);
+        let r = Simulation::linear(32, 4, 1)
+            .strategy(strat)
+            .run(&OddEvenSort::new(32), &init, 32);
         assert_eq!(r.sim.values, sorted, "{strat:?} must sort");
     }
 }
@@ -44,7 +46,9 @@ fn mesh_facade_flow() {
 #[test]
 fn report_ranges_track_density() {
     let init1 = inputs::random_bits(73, 64);
-    let r = Simulation::linear(64, 4, 1).strategy(Strategy::Naive).run(&Eca::rule90(), &init1, 8);
+    let r = Simulation::linear(64, 4, 1)
+        .strategy(Strategy::Naive)
+        .run(&Eca::rule90(), &init1, 8);
     assert_eq!(r.range, bsmp::analytic::Range::R1);
     // Huge density lands in range 4 and Auto picks naive.
     let sim = Simulation::linear(64, 4, 128);
@@ -54,18 +58,18 @@ fn report_ranges_track_density() {
 #[test]
 fn zero_steps_is_identity() {
     let init = inputs::random_words(74, 16, 10);
-    let r = Simulation::linear(16, 2, 1).strategy(Strategy::TwoRegime).run(
-        &Eca::rule110(),
-        &init,
-        0,
-    );
+    let r = Simulation::linear(16, 2, 1)
+        .strategy(Strategy::TwoRegime)
+        .run(&Eca::rule110(), &init, 0);
     assert_eq!(r.sim.mem, init);
 }
 
 #[test]
 fn efficiency_metrics_consistent() {
     let init = inputs::random_bits(75, 64);
-    let r = Simulation::linear(64, 8, 1).strategy(Strategy::Naive).run(&Eca::rule110(), &init, 32);
+    let r = Simulation::linear(64, 8, 1)
+        .strategy(Strategy::Naive)
+        .run(&Eca::rule110(), &init, 32);
     // Aggregate busy time can't exceed p × parallel time.
     assert!(r.sim.meter.total() <= 8.0 * r.sim.host_time + 1e-6);
 }

@@ -7,7 +7,9 @@ use bsmp::sim::{
     dnc1::simulate_dnc1, dnc2::simulate_dnc2, multi1::simulate_multi1, multi2::simulate_multi2,
     naive1::simulate_naive1, naive2::simulate_naive2,
 };
-use bsmp::workloads::{inputs, CyclicWave, Eca, FirPipeline, OddEvenSort, SystolicMatmul, VonNeumannLife};
+use bsmp::workloads::{
+    inputs, CyclicWave, Eca, FirPipeline, OddEvenSort, SystolicMatmul, VonNeumannLife,
+};
 use bsmp::{LinearProgram, MeshProgram};
 
 fn check1(prog: &impl LinearProgram, n: u64, steps: i64, seed: u64) {
@@ -93,9 +95,9 @@ fn all_engines_agree_on_fir_pipeline() {
     simulate_multi1(&spec4, &prog, &init, 24).assert_matches(&guest.mem, &guest.values);
     // Outputs agree with the workload's own oracle too.
     let oracle = prog.oracle(n as usize, 24);
-    for v in 0..n as usize {
-        assert_eq!(bsmp::workloads::fir::sample_of(guest.values[v]), oracle[v].0);
-        assert_eq!(bsmp::workloads::fir::acc_of(guest.values[v]), oracle[v].1);
+    for (val, exp) in guest.values.iter().zip(&oracle) {
+        assert_eq!(bsmp::workloads::fir::sample_of(*val), exp.0);
+        assert_eq!(bsmp::workloads::fir::acc_of(*val), exp.1);
     }
 }
 
