@@ -16,4 +16,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> perf smoke (bsmp-repro bench)"
+rm -f BENCH_engines.json
+cargo run --release -q -p bsmp-cli -- bench --iters 3 --meta "ci-perf-smoke"
+if [ ! -s BENCH_engines.json ]; then
+    echo "perf smoke FAILED: BENCH_engines.json missing or empty" >&2
+    exit 1
+fi
+grep -q '"schema": "bsmp-bench-engines/v1"' BENCH_engines.json || {
+    echo "perf smoke FAILED: BENCH_engines.json malformed (schema tag missing)" >&2
+    exit 1
+}
+grep -q '"mean_s"' BENCH_engines.json || {
+    echo "perf smoke FAILED: BENCH_engines.json malformed (no cases)" >&2
+    exit 1
+}
+
 echo "CI OK"

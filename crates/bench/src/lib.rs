@@ -12,8 +12,10 @@
 //! dependency-free [`timing`] harness.
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 pub mod timing;
 
 pub use experiments::{all_experiments, Experiment, Scale};
 pub use table::Table;
+pub use timing::Measurement;

@@ -1,0 +1,237 @@
+//! Wall-clock performance baseline of the simulation engines, written
+//! as a small hand-rolled JSON document (`BENCH_engines.json`) so CI and
+//! future sessions can diff host-implementation throughput across
+//! commits.
+//!
+//! The cases mirror `benches/engines.rs`: one representative run per
+//! engine family at quick scale.  Only *host* wall time is recorded —
+//! model time is deterministic and covered by the test suite.
+
+use bsmp::machine::MachineSpec;
+use bsmp::sim::{
+    dnc1::simulate_dnc1, dnc2::simulate_dnc2, multi1::simulate_multi1, naive1::simulate_naive1,
+    naive2::simulate_naive2,
+};
+use bsmp::workloads::{inputs, Eca, VonNeumannLife};
+use bsmp::{Simulation, Strategy};
+
+use crate::timing::{measure, Measurement};
+
+/// Schema tag written into the JSON document.
+pub const SCHEMA: &str = "bsmp-bench-engines/v1";
+
+/// One benched engine case.
+#[derive(Clone, Debug)]
+pub struct PerfCase {
+    pub name: &'static str,
+    pub m: Measurement,
+}
+
+/// Run the fixed quick-scale engine suite with `iters` timed iterations
+/// per case.  `threads` is the host thread budget handed to the
+/// stage-parallel engines (`0` = auto).
+pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
+    let mut cases = Vec::new();
+    let n = 128u64;
+    let init = inputs::random_bits(1, n as usize);
+
+    {
+        let spec = MachineSpec::new(1, n, 1, 1);
+        cases.push(PerfCase {
+            name: "naive1_n128_p1_T128",
+            m: measure(iters, || {
+                simulate_naive1(&spec, &Eca::rule110(), &init, n as i64).host_time
+            }),
+        });
+        cases.push(PerfCase {
+            name: "dnc1_n128_T128",
+            m: measure(iters, || {
+                simulate_dnc1(&spec, &Eca::rule110(), &init, n as i64).host_time
+            }),
+        });
+    }
+
+    {
+        // The pooled path proper: p = 4 through the façade so the
+        // `--threads` budget is honored.
+        let sim = Simulation::linear(n, 4, 1)
+            .strategy(Strategy::Naive)
+            .threads(threads);
+        cases.push(PerfCase {
+            name: "naive1_n128_p4_T128",
+            m: measure(iters, || {
+                sim.run(&Eca::rule110(), &init, n as i64).sim.host_time
+            }),
+        });
+        let spec = MachineSpec::new(1, n, 4, 1);
+        cases.push(PerfCase {
+            name: "multi1_n128_p4_T128",
+            m: measure(iters, || {
+                simulate_multi1(&spec, &Eca::rule110(), &init, n as i64).host_time
+            }),
+        });
+    }
+
+    {
+        let init2 = inputs::random_bits(2, 256);
+        let spec = MachineSpec::new(2, 256, 16, 1);
+        let sim = Simulation::mesh(256, 16, 1)
+            .strategy(Strategy::Naive)
+            .threads(threads);
+        cases.push(PerfCase {
+            name: "naive2_16x16_p16_T16",
+            m: measure(iters, || {
+                sim.run_mesh(&VonNeumannLife::fredkin(), &init2, 16)
+                    .sim
+                    .host_time
+            }),
+        });
+        let spec1 = MachineSpec::new(2, 256, 1, 1);
+        cases.push(PerfCase {
+            name: "dnc2_16x16_T16",
+            m: measure(iters, || {
+                simulate_dnc2(&spec1, &VonNeumannLife::fredkin(), &init2, 16).host_time
+            }),
+        });
+        cases.push(PerfCase {
+            name: "naive2_16x16_p16_T16_serial",
+            m: measure(iters, || {
+                simulate_naive2(&spec, &VonNeumannLife::fredkin(), &init2, 16).host_time
+            }),
+        });
+    }
+
+    cases
+}
+
+/// Serialize a suite to the `BENCH_engines.json` document.  `meta` is an
+/// opaque caller-supplied string (commit id, date, host tag — timestamps
+/// are the caller's business, the library takes no clock).
+pub fn to_json(cases: &[PerfCase], threads: usize, meta: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"meta\": \"{}\",\n", escape(meta)));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_s\": {:.9}, \"min_s\": {:.9}, \"iters\": {}}}{}\n",
+            c.name,
+            c.m.mean_s,
+            c.m.min_s,
+            c.m.iters,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Structural sanity check used by the CI perf-smoke step: the document
+/// must carry the schema tag, a positive case count, and finite
+/// non-negative timings.  (Not a general JSON parser — it validates
+/// exactly the shape [`to_json`] emits.)
+pub fn validate_json(doc: &str) -> Result<usize, String> {
+    if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?}"));
+    }
+    let mut count = 0usize;
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\":") {
+            continue;
+        }
+        count += 1;
+        for key in ["\"mean_s\": ", "\"min_s\": "] {
+            let Some(pos) = line.find(key) else {
+                return Err(format!("case missing {key}: {line}"));
+            };
+            let rest = &line[pos + key.len()..];
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            match num.parse::<f64>() {
+                Ok(v) if v.is_finite() && v >= 0.0 => {}
+                _ => return Err(format!("bad {key}value `{num}` in: {line}")),
+            }
+        }
+    }
+    if count == 0 {
+        return Err("no cases in document".into());
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_cases() -> Vec<PerfCase> {
+        vec![
+            PerfCase {
+                name: "a",
+                m: Measurement {
+                    mean_s: 0.25,
+                    min_s: 0.125,
+                    iters: 3,
+                },
+            },
+            PerfCase {
+                name: "b",
+                m: Measurement {
+                    mean_s: 1.5,
+                    min_s: 1.0,
+                    iters: 3,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_through_validator() {
+        let doc = to_json(&fake_cases(), 2, "unit-test");
+        assert_eq!(validate_json(&doc), Ok(2));
+        assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains("\"meta\": \"unit-test\""));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{}").is_err());
+        let doc = to_json(&fake_cases(), 1, "x").replace("0.250000000", "NaN");
+        assert!(validate_json(&doc).is_err());
+    }
+
+    #[test]
+    fn meta_is_escaped() {
+        let doc = to_json(&fake_cases(), 1, "say \"hi\"\nback\\slash");
+        assert!(doc.contains("say \\\"hi\\\"\\nback\\\\slash"));
+        assert_eq!(validate_json(&doc), Ok(2));
+    }
+
+    #[test]
+    fn engine_suite_runs_at_tiny_scale() {
+        let cases = run_engine_suite(1, 1);
+        assert!(cases.len() >= 5);
+        for c in &cases {
+            assert!(c.m.mean_s.is_finite() && c.m.mean_s >= 0.0, "{}", c.name);
+            assert!(c.m.min_s <= c.m.mean_s + 1e-12, "{}", c.name);
+        }
+        let doc = to_json(&cases, 1, "test");
+        assert_eq!(validate_json(&doc), Ok(cases.len()));
+    }
+}

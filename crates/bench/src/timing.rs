@@ -8,10 +8,21 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Run `f` once to warm up, then `iters` timed iterations, printing
-/// `name: mean ± spread` in adaptive units.  The closure's return value
-/// is passed through [`black_box`] so the work is not optimized away.
-pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+/// One timed case: per-iteration wall-clock statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest iteration, seconds.
+    pub min_s: f64,
+    /// Timed iterations (excludes the warm-up run).
+    pub iters: u32,
+}
+
+/// Run `f` once to warm up, then `iters` timed iterations, returning
+/// the per-iteration statistics.  The closure's return value is passed
+/// through [`black_box`] so the work is not optimized away.
+pub fn measure<T>(iters: u32, mut f: impl FnMut() -> T) -> Measurement {
     black_box(f());
     let mut min = f64::INFINITY;
     let mut total = 0.0f64;
@@ -22,11 +33,21 @@ pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
         min = min.min(dt);
         total += dt;
     }
-    let mean = total / iters as f64;
+    Measurement {
+        mean_s: total / iters as f64,
+        min_s: min,
+        iters,
+    }
+}
+
+/// Run `f` under [`measure`] and print `name: mean / min` in adaptive
+/// units.
+pub fn bench<T>(name: &str, iters: u32, f: impl FnMut() -> T) {
+    let m = measure(iters, f);
     println!(
         "{name:<32} mean {:>10}  min {:>10}  ({iters} iters)",
-        fmt(mean),
-        fmt(min)
+        fmt(m.mean_s),
+        fmt(m.min_s)
     );
 }
 

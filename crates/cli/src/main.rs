@@ -1,27 +1,44 @@
 //! `bsmp-repro` — run the full experiment suite of the reproduction and
 //! print every table as markdown (the contents of EXPERIMENTS.md).
 //!
-//! Usage: `bsmp-repro [--quick] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]`
+//! Usage:
+//!
+//! ```text
+//! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]
+//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]
+//! ```
 //!
 //! * `--quick` — the seconds-scale variant of every experiment;
+//! * `--threads <N>` — host OS threads for the stage-parallel engines
+//!   (0 = auto-detect; model costs are identical for every value);
 //! * `--slow <ν>` — run a faulted demo sweep with a uniform link
 //!   slowdown ν ≥ 1 before the experiment tables;
 //! * `--fault-seed <s>` — seed for the demo sweep's jitter/loss/crash
 //!   plan (implies the sweep; default plan is pure slowdown);
-//! * `E1 … E13` — restrict to the named experiments.
+//! * `E1 … E13` — restrict to the named experiments;
+//! * `bench` — instead of the report, time the engine suite and write
+//!   the wall-clock baseline as JSON (default `BENCH_engines.json`).
 //!
 //! Exit status: 0 on success, 1 on an engine/validation error, 2 on bad
 //! command-line arguments.
 
 use bsmp::workloads::{inputs, Eca};
 use bsmp::{FaultPlan, Simulation, Strategy};
-use bsmp_bench::{all_experiments, Scale};
+use bsmp_bench::{all_experiments, perf, Scale};
 
 struct Args {
     scale: Scale,
     wanted: Vec<String>,
     slow: Option<f64>,
     fault_seed: Option<u64>,
+    threads: usize,
+    bench: Option<BenchArgs>,
+}
+
+struct BenchArgs {
+    out: String,
+    meta: String,
+    iters: u32,
 }
 
 fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
@@ -30,11 +47,19 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
         wanted: Vec::new(),
         slow: None,
         fault_seed: None,
+        threads: 0,
+        bench: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.scale = Scale::Quick,
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a count (0 = auto)")?;
+                args.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a thread count"))?;
+            }
             "--slow" => {
                 let v = it.next().ok_or("--slow requires a value (ν ≥ 1)")?;
                 let nu: f64 = v
@@ -48,6 +73,40 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--fault-seed: `{v}` is not a u64"))?;
                 args.fault_seed = Some(seed);
+            }
+            "bench" => {
+                args.bench = Some(BenchArgs {
+                    out: "BENCH_engines.json".to_string(),
+                    meta: String::new(),
+                    iters: 5,
+                });
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out requires a path")?;
+                match &mut args.bench {
+                    Some(b) => b.out = v.clone(),
+                    None => return Err("--out is only valid after `bench`".into()),
+                }
+            }
+            "--meta" => {
+                let v = it.next().ok_or("--meta requires a string")?;
+                match &mut args.bench {
+                    Some(b) => b.meta = v.clone(),
+                    None => return Err("--meta is only valid after `bench`".into()),
+                }
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters requires a count ≥ 1")?;
+                let k: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--iters: `{v}` is not a count"))?;
+                if k == 0 {
+                    return Err("--iters must be ≥ 1".into());
+                }
+                match &mut args.bench {
+                    Some(b) => b.iters = k,
+                    None => return Err("--iters is only valid after `bench`".into()),
+                }
             }
             id if id.starts_with('E') => {
                 if !valid_ids.contains(&id) {
@@ -107,10 +166,38 @@ fn main() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("bsmp-repro: {msg}");
-            eprintln!("usage: bsmp-repro [--quick] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]");
+            eprintln!(
+                "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]\n\
+                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]"
+            );
             std::process::exit(2);
         }
     };
+
+    // Plumb the host thread budget to every engine (ExecPolicy::auto()
+    // resolves to this process default).
+    bsmp::set_default_threads(args.threads);
+
+    if let Some(bench) = &args.bench {
+        let cases = perf::run_engine_suite(args.threads, bench.iters);
+        let doc = perf::to_json(&cases, args.threads, &bench.meta);
+        if let Err(e) = perf::validate_json(&doc) {
+            eprintln!("bsmp-repro: bench produced a malformed document: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&bench.out, &doc) {
+            eprintln!("bsmp-repro: cannot write {}: {e}", bench.out);
+            std::process::exit(1);
+        }
+        for c in &cases {
+            println!(
+                "{:<28} mean {:>12.6} s  min {:>12.6} s  ({} iters)",
+                c.name, c.m.mean_s, c.m.min_s, c.m.iters
+            );
+        }
+        println!("wrote {} ({} cases)", bench.out, cases.len());
+        return;
+    }
 
     if args.slow.is_some() || args.fault_seed.is_some() {
         let nu = args.slow.unwrap_or(1.0);

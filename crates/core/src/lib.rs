@@ -76,7 +76,9 @@ pub use bsmp_workloads as workloads;
 
 pub use bsmp_faults::{FaultPlan, FaultStats};
 pub use bsmp_hram::{CostModel, Word};
-pub use bsmp_machine::{LinearProgram, MachineSpec, MeshProgram, SpecError};
+pub use bsmp_machine::{
+    set_default_threads, ExecPolicy, LinearProgram, MachineSpec, MeshProgram, SpecError,
+};
 pub use bsmp_sim::{SimError, SimReport};
 
 /// Which simulation scheme the host machine uses.
@@ -103,6 +105,7 @@ pub struct Simulation {
     spec: MachineSpec,
     strategy: Strategy,
     faults: FaultPlan,
+    exec: ExecPolicy,
 }
 
 impl Simulation {
@@ -119,6 +122,7 @@ impl Simulation {
             spec,
             strategy: Strategy::Auto,
             faults: FaultPlan::none(),
+            exec: ExecPolicy::auto(),
         })
     }
 
@@ -135,6 +139,7 @@ impl Simulation {
             spec,
             strategy: Strategy::Auto,
             faults: FaultPlan::none(),
+            exec: ExecPolicy::auto(),
         })
     }
 
@@ -156,6 +161,24 @@ impl Simulation {
     /// crash/recovery.  Default: [`FaultPlan::none`].
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Set the number of host OS threads used by the stage-parallel
+    /// engines (`0` = auto-detect).  Model costs are bit-identical for
+    /// every thread count; only wall-clock time changes.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.exec = if n == 0 {
+            ExecPolicy::auto()
+        } else {
+            ExecPolicy::threads(n)
+        };
+        self
+    }
+
+    /// Set the full host execution policy (see [`ExecPolicy`]).
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -201,9 +224,9 @@ impl Simulation {
         }
         let plan = &self.faults;
         let sim = match self.resolve() {
-            Strategy::Naive => {
-                bsmp_sim::naive1::try_simulate_naive1_faulted(&self.spec, prog, init, steps, plan)?
-            }
+            Strategy::Naive => bsmp_sim::naive1::try_simulate_naive1_exec(
+                &self.spec, prog, init, steps, plan, self.exec,
+            )?,
             Strategy::DivideAndConquer => {
                 bsmp_sim::dnc1::try_simulate_dnc1(&self.spec, prog, init, steps)?
             }
@@ -218,8 +241,8 @@ impl Simulation {
                     )?
                 } else {
                     // No admissible strip width (e.g. prime n): naive.
-                    bsmp_sim::naive1::try_simulate_naive1_faulted(
-                        &self.spec, prog, init, steps, plan,
+                    bsmp_sim::naive1::try_simulate_naive1_exec(
+                        &self.spec, prog, init, steps, plan, self.exec,
                     )?
                 }
             }
@@ -257,9 +280,9 @@ impl Simulation {
         }
         let plan = &self.faults;
         let sim = match self.resolve() {
-            Strategy::Naive => {
-                bsmp_sim::naive2::try_simulate_naive2_faulted(&self.spec, prog, init, steps, plan)?
-            }
+            Strategy::Naive => bsmp_sim::naive2::try_simulate_naive2_exec(
+                &self.spec, prog, init, steps, plan, self.exec,
+            )?,
             Strategy::DivideAndConquer => {
                 bsmp_sim::dnc2::try_simulate_dnc2(&self.spec, prog, init, steps)?
             }
@@ -273,8 +296,8 @@ impl Simulation {
                 } else {
                     // Block side 1: the honeycomb scheme degenerates —
                     // fall back to the naive engine.
-                    bsmp_sim::naive2::try_simulate_naive2_faulted(
-                        &self.spec, prog, init, steps, plan,
+                    bsmp_sim::naive2::try_simulate_naive2_exec(
+                        &self.spec, prog, init, steps, plan, self.exec,
                     )?
                 }
             }
@@ -444,6 +467,25 @@ mod tests {
             .try_run_mesh(&VonNeumannLife::fredkin(), &init, 4)
             .expect("graceful degradation");
         r.sim.assert_matches(&guest.mem, &guest.values);
+    }
+
+    #[test]
+    fn threads_setting_is_cost_invariant() {
+        // Model time must not depend on the host thread count.
+        let init = inputs::random_bits(67, 64);
+        let serial = Simulation::linear(64, 4, 1)
+            .strategy(Strategy::Naive)
+            .threads(1)
+            .run(&Eca::rule110(), &init, 32);
+        for t in [0usize, 2, 8] {
+            let r = Simulation::linear(64, 4, 1)
+                .strategy(Strategy::Naive)
+                .threads(t)
+                .run(&Eca::rule110(), &init, 32);
+            r.sim.assert_matches(&serial.sim.mem, &serial.sim.values);
+            assert_eq!(r.sim.host_time.to_bits(), serial.sim.host_time.to_bits());
+            assert_eq!(r.sim.stages, serial.sim.stages);
+        }
     }
 
     #[test]

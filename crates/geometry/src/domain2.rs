@@ -159,10 +159,12 @@ impl Domain2 {
         )
     }
 
-    /// All lattice points in time-major order.
-    pub fn points(&self) -> Vec<Pt3> {
+    /// Visit all lattice points in time-major order without
+    /// materializing a `Vec` — the allocation-free core of [`points`].
+    ///
+    /// [`points`]: Domain2::points
+    pub fn for_each_point(&self, mut f: impl FnMut(Pt3)) {
         let h = self.h();
-        let mut v = Vec::new();
         let t0 = (self.dx.ct - h + 1).max(self.dy.ct - h + 1);
         let t1 = (self.dx.ct + h).min(self.dy.ct + h);
         for t in t0..=t1 {
@@ -171,10 +173,16 @@ impl Domain2 {
             let (ya, yb) = column_range(&self.dy, t);
             for y in ya..=yb {
                 for x in xa..=xb {
-                    v.push(Pt3::new(x, y, t));
+                    f(Pt3::new(x, y, t));
                 }
             }
         }
+    }
+
+    /// All lattice points in time-major order.
+    pub fn points(&self) -> Vec<Pt3> {
+        let mut v = Vec::with_capacity(self.volume() as usize);
+        self.for_each_point(|p| v.push(p));
         v
     }
 
@@ -277,12 +285,21 @@ impl ClippedDomain2 {
         self.points_count() == 0
     }
 
+    /// Visit the clipped cell's points in time-major order without
+    /// materializing the unclipped cell first.
+    pub fn for_each_point(&self, mut f: impl FnMut(Pt3)) {
+        let clip = self.clip;
+        self.cell.for_each_point(|p| {
+            if clip.contains(p) {
+                f(p);
+            }
+        });
+    }
+
     pub fn points(&self) -> Vec<Pt3> {
-        self.cell
-            .points()
-            .into_iter()
-            .filter(|p| self.clip.contains(*p))
-            .collect()
+        let mut v = Vec::with_capacity(self.points_count() as usize);
+        self.for_each_point(|p| v.push(p));
+        v
     }
 
     /// Preboundary within the dag whose vertex set is `self.clip`.
@@ -471,6 +488,25 @@ mod tests {
             earlier.extend(c.points());
         }
         assert_eq!(total, cc.points().len());
+    }
+
+    #[test]
+    fn for_each_point_agrees_with_points() {
+        for cell in [
+            Domain2::octahedron(0, 0, 0, 3),
+            Domain2::tetra_x_bottom(1, -1, 2, 4),
+            Domain2::tetra_y_bottom(-2, 3, 1, 4),
+        ] {
+            let mut visited = Vec::new();
+            cell.for_each_point(|p| visited.push(p));
+            assert_eq!(visited, cell.points());
+
+            let cc = ClippedDomain2::new(cell, IBox::new(-1, 4, -1, 4, 0, 5));
+            let mut cv = Vec::new();
+            cc.for_each_point(|p| cv.push(p));
+            assert_eq!(cv, cc.points());
+            assert_eq!(cv.len() as i64, cc.points_count());
+        }
     }
 
     #[test]

@@ -114,12 +114,14 @@ impl Domain3 {
             && self.dz.contains(Pt2::new(p.z, p.t))
     }
 
-    /// All lattice points, time-major.
-    pub fn points(&self) -> Vec<Pt4> {
+    /// Visit all lattice points in time-major order without
+    /// materializing a `Vec` — the allocation-free core of [`points`].
+    ///
+    /// [`points`]: Domain3::points
+    pub fn for_each_point(&self, mut f: impl FnMut(Pt4)) {
         let h = self.h();
         let t0 = self.dx.ct.max(self.dy.ct).max(self.dz.ct) - h + 1;
         let t1 = self.dx.ct.min(self.dy.ct).min(self.dz.ct) + h;
-        let mut v = Vec::new();
         for t in t0..=t1 {
             let (xa, xb) = column_range(&self.dx, t);
             let (ya, yb) = column_range(&self.dy, t);
@@ -127,11 +129,17 @@ impl Domain3 {
             for z in za..=zb {
                 for y in ya..=yb {
                     for x in xa..=xb {
-                        v.push(Pt4::new(x, y, z, t));
+                        f(Pt4::new(x, y, z, t));
                     }
                 }
             }
         }
+    }
+
+    /// All lattice points, time-major.
+    pub fn points(&self) -> Vec<Pt4> {
+        let mut v = Vec::with_capacity(self.volume() as usize);
+        self.for_each_point(|p| v.push(p));
         v
     }
 
@@ -226,6 +234,24 @@ mod tests {
             Domain3::mixed_two(0, 2, -2, 0, 3),
         ] {
             assert_eq!(cell.points().len() as i64, cell.volume(), "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_point_agrees_with_points() {
+        for cell in [
+            Domain3::symmetric(0, 0, 0, 0, 3),
+            Domain3::mixed_one(1, -1, 0, 0, 3),
+        ] {
+            let mut visited = Vec::new();
+            cell.for_each_point(|p| visited.push(p));
+            assert_eq!(visited, cell.points());
+
+            let cc = ClippedDomain3::new(cell, IBox4::new(-1, 3, -1, 3, -1, 3, 0, 4));
+            let mut cv = Vec::new();
+            cc.for_each_point(|p| cv.push(p));
+            assert_eq!(cv, cc.points());
+            assert_eq!(cv.len() as i64, cc.points_count());
         }
     }
 
@@ -404,12 +430,21 @@ impl ClippedDomain3 {
         self.cell.contains(p) && self.clip.contains(p)
     }
 
+    /// Visit the clipped cell's points in time-major order without
+    /// materializing the unclipped cell first.
+    pub fn for_each_point(&self, mut f: impl FnMut(Pt4)) {
+        let clip = self.clip;
+        self.cell.for_each_point(|p| {
+            if clip.contains(p) {
+                f(p);
+            }
+        });
+    }
+
     pub fn points(&self) -> Vec<Pt4> {
-        self.cell
-            .points()
-            .into_iter()
-            .filter(|p| self.clip.contains(*p))
-            .collect()
+        let mut v = Vec::with_capacity(self.points_count() as usize);
+        self.for_each_point(|p| v.push(p));
+        v
     }
 
     pub fn points_count(&self) -> i64 {

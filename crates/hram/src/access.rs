@@ -25,6 +25,9 @@ pub struct AccessFn {
     pub d: u8,
     /// Cost regime.
     pub model: CostModel,
+    /// `1 / m`, precomputed so the per-access hot path multiplies
+    /// instead of divides (exact whenever `m` is a power of two).
+    inv_m: f64,
 }
 
 impl AccessFn {
@@ -36,6 +39,7 @@ impl AccessFn {
             m,
             d,
             model: CostModel::BoundedSpeed,
+            inv_m: 1.0 / m as f64,
         }
     }
 
@@ -54,7 +58,7 @@ impl AccessFn {
         match self.model {
             CostModel::Instantaneous => 0.0,
             CostModel::BoundedSpeed => {
-                let v = x as f64 / self.m as f64;
+                let v = x as f64 * self.inv_m;
                 match self.d {
                     1 => v,
                     2 => v.sqrt(),
@@ -75,7 +79,7 @@ impl AccessFn {
     /// choice of units.
     #[inline]
     pub fn distance(&self, x: usize) -> f64 {
-        let v = x as f64 / self.m as f64;
+        let v = x as f64 * self.inv_m;
         match self.d {
             1 => v,
             2 => v.sqrt(),
@@ -153,5 +157,15 @@ mod tests {
     #[should_panic(expected = "d must be")]
     fn rejects_bad_dimension() {
         AccessFn::new(4, 1);
+    }
+
+    #[test]
+    fn reciprocal_is_exact_for_power_of_two_density() {
+        for m in [1u64, 2, 4, 8, 1024] {
+            let a = AccessFn::new(1, m);
+            for x in [0usize, 1, 7, 1000, 123_456] {
+                assert_eq!(a.f(x), x as f64 / m as f64);
+            }
+        }
     }
 }

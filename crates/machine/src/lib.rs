@@ -12,11 +12,17 @@
 //!   `M_d(n, n, m)`, producing both the answer and the guest's model
 //!   time `T_n`;
 //! * [`stage`] — the bulk-synchronous parallel clock used by host
-//!   simulations (`T_p = Σ_stages max_proc cost`), with optional
-//!   wall-clock parallelism via `std::thread` scoped threads and a
-//!   fault-injection entry point ([`StageClock::add_stage_faulted`]).
+//!   simulations (`T_p = Σ_stages max_proc cost`), with a
+//!   fault-injection entry point ([`StageClock::add_stage_faulted`]);
+//! * [`pool`] — the persistent host execution layer: long-lived
+//!   [`StagePool`] workers that execute a stage's independent
+//!   per-processor tasks without per-stage thread spawns, plus the
+//!   reusable [`StageScratch`] buffers and the [`ExecPolicy`] thread
+//!   budget.  Model time is unaffected by host threading (each task
+//!   returns its own metered cost into its own slot).
 
 pub mod guest;
+pub mod pool;
 pub mod program;
 pub mod spec;
 pub mod stage;
@@ -24,6 +30,10 @@ pub mod stage;
 pub use guest::{
     linear_guest_time, mesh_guest_time, run_linear, run_mesh, run_volume, volume_guest_time,
     GuestRun,
+};
+pub use pool::{
+    available_threads, set_default_threads, DisjointSlice, ExecPolicy, StagePanic, StagePool,
+    StageScratch,
 };
 pub use program::{LinearProgram, MeshProgram, VolumeProgram};
 pub use spec::{MachineSpec, SpecError};

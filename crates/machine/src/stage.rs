@@ -8,13 +8,20 @@
 //!
 //! [`StageClock`] tracks that sum (and the total *busy* work, for
 //! efficiency metrics); [`run_stage`] optionally executes the
-//! per-processor work of one stage on real threads (`std::thread::scope`)
-//! — model time stays deterministic because each worker returns its own
-//! model cost.  [`StageClock::add_stage_faulted`] routes a stage's costs
-//! through a [`FaultSession`] first, so fault injection happens at the
-//! single point where stage costs enter the clock.
+//! per-processor work of one stage on real threads — model time stays
+//! deterministic because each worker returns its own model cost.
+//! [`StageClock::add_stage_faulted`] routes a stage's costs through a
+//! [`FaultSession`] first, so fault injection happens at the single
+//! point where stage costs enter the clock.
+//!
+//! Engines that run many stages should hold a persistent
+//! [`StagePool`](crate::pool::StagePool) instead of calling
+//! [`run_stage`], which stands up (and tears down) a fresh pool per
+//! call and survives only as a compatibility shim.
 
 use bsmp_faults::FaultSession;
+
+use crate::pool::{available_threads, DisjointSlice, StagePool};
 
 /// Deterministic parallel-time accumulator.
 #[derive(Clone, Debug, Default)]
@@ -74,26 +81,30 @@ impl StageClock {
 /// Execute one stage's per-processor work items, each returning its model
 /// cost, and return the costs in processor order.
 ///
-/// With `parallel = true` the closures run on `std::thread::scope`
-/// threads (wall-clock speed-up only; model time is unaffected).  Work
-/// items must be independent — exactly the property stages have by
-/// construction.
+/// With `parallel = true` the closures run on a throwaway
+/// [`StagePool`] (wall-clock speed-up only; model time is unaffected).
+/// Work items must be independent — exactly the property stages have by
+/// construction.  Compatibility wrapper: engines with many stages keep
+/// one pool for the whole run instead.
 pub fn run_stage<W>(works: Vec<W>, parallel: bool) -> Vec<f64>
 where
     W: FnOnce() -> f64 + Send,
 {
-    if !parallel || works.len() <= 1 {
+    let n = works.len();
+    if !parallel || n <= 1 {
         return works.into_iter().map(|w| w()).collect();
     }
-    let n = works.len();
     let mut out = vec![0.0f64; n];
-    std::thread::scope(|s| {
-        for (slot, w) in out.iter_mut().zip(works) {
-            s.spawn(move || {
-                *slot = w();
-            });
-        }
-    });
+    let mut works: Vec<Option<W>> = works.into_iter().map(Some).collect();
+    let slots = DisjointSlice::new(&mut works);
+    let pool = StagePool::new(available_threads().min(n));
+    pool.run_stage(n, &mut out, |i| {
+        // Safety: index i is claimed by exactly one thread.
+        unsafe { slots.get_mut(i) }
+            .take()
+            .expect("work item taken twice")()
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
     out
 }
 

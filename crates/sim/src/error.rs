@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use bsmp_faults::FaultError;
-use bsmp_machine::SpecError;
+use bsmp_machine::{SpecError, StagePanic};
 
 /// Why an engine refused to run (or, for `OutputMismatch`, why a
 /// result check failed).
@@ -37,6 +37,10 @@ pub enum SimError {
     Fault(FaultError),
     /// Simulated outputs diverge from direct guest execution.
     OutputMismatch { what: &'static str },
+    /// A host worker thread panicked while executing a stage (the guest
+    /// program's `δ` raised); the stage pool caught it and drained the
+    /// remaining tasks.
+    HostPanic { message: String },
 }
 
 impl fmt::Display for SimError {
@@ -95,6 +99,9 @@ impl fmt::Display for SimError {
             SimError::OutputMismatch { what } => {
                 write!(f, "simulated {what} diverge from direct execution")
             }
+            SimError::HostPanic { ref message } => {
+                write!(f, "host worker panicked during a stage: {message}")
+            }
         }
     }
 }
@@ -110,6 +117,12 @@ impl From<SpecError> for SimError {
 impl From<FaultError> for SimError {
     fn from(e: FaultError) -> Self {
         SimError::Fault(e)
+    }
+}
+
+impl From<StagePanic> for SimError {
+    fn from(e: StagePanic) -> Self {
+        SimError::HostPanic { message: e.0 }
     }
 }
 
@@ -147,6 +160,9 @@ mod tests {
             SimError::Spec(SpecError::ProcessorsOutOfRange { n: 4, p: 8 }),
             SimError::Fault(FaultError::SlowdownBelowOne { nu: 0.5 }),
             SimError::OutputMismatch { what: "values" },
+            SimError::HostPanic {
+                message: "boom".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
@@ -159,5 +175,12 @@ mod tests {
         assert!(matches!(s, SimError::Spec(_)));
         let f: SimError = FaultError::EmptyJitterRange { lo: 2.0, hi: 2.0 }.into();
         assert!(matches!(f, SimError::Fault(_)));
+        let h: SimError = StagePanic("kaboom".into()).into();
+        assert_eq!(
+            h,
+            SimError::HostPanic {
+                message: "kaboom".into()
+            }
+        );
     }
 }

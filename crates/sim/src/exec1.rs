@@ -337,11 +337,12 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     /// bottom): ingest, run vertices in time order, park.
     fn exec_leaf(&mut self, u: &ClippedDiamond, want: &HashSet<Pt2>, parent_zone: &mut ZoneAlloc) {
         let pts = {
-            let mut v: Vec<Pt2> = u
-                .points()
-                .into_iter()
-                .filter(|p| self.cbox.contains(*p))
-                .collect();
+            let mut v: Vec<Pt2> = Vec::with_capacity(u.points_count() as usize);
+            u.for_each_point(|p| {
+                if self.cbox.contains(p) {
+                    v.push(p);
+                }
+            });
             v.sort();
             v
         };

@@ -90,13 +90,13 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     /// to avoid enumerating huge unclipped cells).
     pub fn gamma(&self, u: &ClippedDomain2) -> Vec<Pt3> {
         let mut out: HashSet<Pt3> = HashSet::new();
-        for p in self.exec_points(u) {
+        u.for_each_point(|p| {
             for q in p.preds() {
                 if self.in_dag(q) && !self.in_exec(u, q) {
                     out.insert(q);
                 }
             }
-        }
+        });
         let mut v: Vec<Pt3> = out.into_iter().collect();
         v.sort();
         v
@@ -105,9 +105,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     /// Mesh pillars with at least one executed vertex.
     fn pillars(&self, u: &ClippedDomain2) -> Vec<(i64, i64)> {
         let mut set: HashSet<(i64, i64)> = HashSet::new();
-        for p in u.points() {
+        u.for_each_point(|p| {
             set.insert((p.x, p.y));
-        }
+        });
         let mut v: Vec<(i64, i64)> = set.into_iter().collect();
         v.sort();
         v

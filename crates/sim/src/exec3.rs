@@ -76,13 +76,13 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
 
     pub fn gamma(&self, u: &ClippedDomain3) -> Vec<Pt4> {
         let mut out: HashSet<Pt4> = HashSet::new();
-        for p in self.exec_points(u) {
+        u.for_each_point(|p| {
             for q in p.preds() {
                 if self.in_dag(q) && !self.in_exec(u, q) {
                     out.insert(q);
                 }
             }
-        }
+        });
         let mut v: Vec<Pt4> = out.into_iter().collect();
         v.sort();
         v
@@ -92,9 +92,9 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
     /// of the d = 1/2 arguments; neighbor pillar ranges shift by ≤ 1).
     fn outbound_cap(&self, u: &ClippedDomain3) -> usize {
         let mut pillars: HashMap<(i64, i64, i64), usize> = HashMap::new();
-        for p in u.points() {
+        u.for_each_point(|p| {
             *pillars.entry((p.x, p.y, p.z)).or_insert(0) += 1;
-        }
+        });
         pillars.values().map(|&len| 2.min(len)).sum::<usize>() + 16
     }
 

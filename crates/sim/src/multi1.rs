@@ -46,7 +46,7 @@ use std::collections::{HashMap, HashSet};
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{diamond_cover, ClippedDiamond, IRect, Pt2};
 use bsmp_hram::Word;
-use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock};
+use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock, StageScratch};
 
 use crate::error::SimError;
 use crate::exec1::DiamondExec;
@@ -253,6 +253,8 @@ struct Engine<'a, P: LinearProgram> {
     /// Per-strip staged state base during a tile (proc, addr), `m > 1`.
     staged_state: HashMap<usize, (usize, usize)>,
     clock: StageClock,
+    /// Reusable stage buffers (snapshots + deltas), allocated once.
+    scratch: StageScratch,
     /// Layout constants (per processor).
     tile_space: usize,
     transit_base: usize,
@@ -365,6 +367,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             transit_zones,
             staged_state: HashMap::new(),
             clock: StageClock::new(),
+            scratch: StageScratch::new(p),
             tile_space,
             transit_base,
             transit_cap,
@@ -389,30 +392,44 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         (x as usize) / self.s
     }
 
-    /// Per-processor (total time, comm charge) snapshots for stage
-    /// bookkeeping.
-    fn times(&self) -> Vec<(f64, f64)> {
-        self.execs
-            .iter()
-            .map(|e| (e.ram.time(), e.ram.meter.comm))
-            .collect()
+    /// Snapshot each processor's (total time, comm charge) into the
+    /// reusable scratch — marks the start of a stage.
+    fn begin_stage(&mut self) {
+        for ((time, comm), e) in self
+            .scratch
+            .time_before
+            .iter_mut()
+            .zip(self.scratch.comm_before.iter_mut())
+            .zip(&self.execs)
+        {
+            *time = e.ram.time();
+            *comm = e.ram.meter.comm;
+        }
     }
 
-    fn close_stage(&mut self, start: &[(f64, f64)]) {
-        let deltas: Vec<f64> = self
-            .execs
-            .iter()
-            .zip(start)
-            .map(|(e, s)| e.ram.time() - s.0)
-            .collect();
-        let comms: Vec<f64> = self
-            .execs
-            .iter()
-            .zip(start)
-            .map(|(e, s)| e.ram.meter.comm - s.1)
-            .collect();
-        self.clock
-            .add_stage_faulted(&deltas, &comms, &mut self.session);
+    /// Close the stage opened by the matching [`begin_stage`](Self::begin_stage).
+    fn close_stage(&mut self) {
+        for (((delta, comm), e), (t0, c0)) in self
+            .scratch
+            .per_proc
+            .iter_mut()
+            .zip(self.scratch.per_comm.iter_mut())
+            .zip(&self.execs)
+            .zip(
+                self.scratch
+                    .time_before
+                    .iter()
+                    .zip(&self.scratch.comm_before),
+            )
+        {
+            *delta = e.ram.time() - t0;
+            *comm = e.ram.meter.comm - c0;
+        }
+        self.clock.add_stage_faulted(
+            &self.scratch.per_proc,
+            &self.scratch.per_comm,
+            &mut self.session,
+        );
     }
 
     /// Lay out the guest image at the *natural* strip homes (uncharged:
@@ -421,8 +438,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         // Natural placement: strip j at slot j.
         let seg = self.q / self.p;
         let sm = self.s * self.m;
+        let home_base = self.strip_home_base;
         let natural_home =
-            |j: usize| -> (usize, usize) { (j / seg, self.strip_home_base + (j % seg) * sm) };
+            move |j: usize| -> (usize, usize) { (j / seg, home_base + (j % seg) * sm) };
         for j in 0..self.q {
             let (pr, base) = natural_home(j);
             for w in 0..sm {
@@ -430,7 +448,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
         }
         // Rearrangement stage: move every strip to its π-home.
-        let start = self.times();
+        self.begin_stage();
         // Stage via a scratch buffer in the transit region to avoid
         // overwriting unmoved strips (cycle-safe: copy all out, then in).
         let mut buf: Vec<Vec<Word>> = Vec::with_capacity(self.q);
@@ -456,7 +474,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.execs[dst_p].ram.write(dst + w, *word);
             }
         }
-        self.close_stage(&start);
+        self.close_stage();
         self.preprocessing_time = self.clock.parallel_time;
 
         // Seed the input-row values: value (x, 0) is the content of cell
@@ -557,30 +575,31 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     /// The vertices of `piece` whose successors escape it — the values
     /// later pieces (or the final report) will need.
     fn outbound(&self, piece: &ClippedDiamond) -> Vec<Pt2> {
-        piece
-            .points()
-            .into_iter()
-            .filter(|pt| {
-                pt.t == self.t_steps
-                    || pt
-                        .succs()
-                        .iter()
-                        .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
-            })
-            .collect()
+        let mut out = Vec::new();
+        piece.for_each_point(|pt| {
+            if pt.t == self.t_steps
+                || pt
+                    .succs()
+                    .iter()
+                    .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
+            {
+                out.push(pt);
+            }
+        });
+        out
     }
 
     /// The in-dag preboundary of a piece (values needed before running
     /// it).
     fn gamma(&self, piece: &ClippedDiamond) -> Vec<Pt2> {
         let mut out: HashSet<Pt2> = HashSet::new();
-        for pt in piece.points() {
+        piece.for_each_point(|pt| {
             for q in pt.preds() {
                 if q.x >= 0 && q.x < self.n as i64 && q.t >= 0 && !piece.contains(q) {
                     out.insert(q);
                 }
             }
-        }
+        });
         let mut v: Vec<Pt2> = out.into_iter().collect();
         v.sort();
         v
@@ -714,8 +733,12 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     /// Central-band leaf of a shared diamond: naive execution split by
     /// side, with seam crossings charged at one hop.
     fn run_band_leaf(&mut self, piece: &ClippedDiamond, pl: usize, pr: usize) {
-        let mut pts = piece.points();
-        pts.retain(|pt| self.cbox.contains(*pt));
+        let mut pts = Vec::with_capacity(piece.points_count() as usize);
+        piece.for_each_point(|pt| {
+            if self.cbox.contains(pt) {
+                pts.push(pt);
+            }
+        });
         pts.sort();
         if pts.is_empty() {
             return;
@@ -789,7 +812,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         self.debug_ctx = format!("tile {:?}", tile.d);
         let ps = (self.p * self.s) as i64;
         // --- Gather stage: stage all strips the tile touches.
-        let start = self.times();
+        self.begin_stage();
         let b = tile.d.bbox().intersect(&self.cbox);
         if b.is_empty() {
             return;
@@ -802,7 +825,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         for &j in &strips {
             self.stage_strip(j);
         }
-        self.close_stage(&start);
+        self.close_stage();
 
         // --- Regime 2: rows of D(s) diamonds inside the tile.
         // The radius-s/2 tiling exactly refines the radius-ps/2 tiling
@@ -832,7 +855,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let _ = ps;
         let mut prev_row_lo = i64::MIN;
         for (row_ct, row) in rows {
-            let start = self.times();
+            self.begin_stage();
             // Free transit slots of values that no later piece (in this
             // tile or any other) can consume: everything below the
             // previous row's floor that does not escape the tile.
@@ -881,12 +904,12 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     self.run_piece_on(self.proc_of_strip(j), &piece);
                 }
             }
-            self.close_stage(&start);
+            self.close_stage();
         }
 
         // --- Scatter stage: return strips home; persist still-needed
         // boundary values; drop the rest.
-        let start = self.times();
+        self.begin_stage();
         for &j in &strips {
             self.unstage_strip(j);
         }
@@ -925,7 +948,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.home_zones[pr].free(addr);
             }
         }
-        self.close_stage(&start);
+        self.close_stage();
         // Fresh transit zones for the next tile (everything in them has
         // been scattered or dropped).
         for z in &mut self.transit_zones {
@@ -947,7 +970,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         // back into the strip homes (charged — the host must leave the
         // guest's memory as the guest would).
         if self.m == 1 {
-            let start = self.times();
+            self.begin_stage();
             for x in 0..self.n {
                 let pt = Pt2::new(x as i64, self.t_steps);
                 let (pr, addr) = *self.home.get(&pt).expect("final value homed");
@@ -963,11 +986,11 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 let dst = self.strip_home(j) + (x - j * self.s);
                 self.execs[hp_].ram.write(dst, w);
             }
-            self.close_stage(&start);
+            self.close_stage();
         }
 
         // Final un-rearrangement (restore the guest's natural layout).
-        let start = self.times();
+        self.begin_stage();
         let sm = self.s * self.m;
         let seg = self.q / self.p;
         let mut buf: Vec<Vec<Word>> = Vec::with_capacity(self.q);
@@ -994,7 +1017,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.execs[dst_p].ram.write(dst + w, *word);
             }
         }
-        self.close_stage(&start);
+        self.close_stage();
     }
 
     fn finish(&mut self, spec: &MachineSpec, prog: &impl LinearProgram, steps: i64) -> SimReport {

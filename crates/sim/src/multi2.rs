@@ -32,7 +32,7 @@ use std::collections::{HashMap, HashSet};
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
 use bsmp_hram::Word;
-use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock};
+use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock, StageScratch};
 
 use crate::error::SimError;
 use crate::exec2::CellExec;
@@ -98,6 +98,8 @@ struct Engine2<'a, P: MeshProgram> {
     home_zones: Vec<ZoneAlloc>,
     transit_zones: Vec<ZoneAlloc>,
     clock: StageClock,
+    /// Reusable stage buffers (snapshots + deltas), allocated once.
+    scratch: StageScratch,
     session: FaultSession,
     tile_space: usize,
     state_base: usize,
@@ -191,6 +193,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             home_zones,
             transit_zones,
             clock: StageClock::new(),
+            scratch: StageScratch::new(sp * sp),
             session,
             tile_space,
             state_base,
@@ -219,33 +222,49 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         self.state_base + (ly * self.b + lx) * self.m
     }
 
-    fn times(&self) -> Vec<(f64, f64)> {
-        self.execs
-            .iter()
-            .map(|e| (e.ram.time(), e.ram.meter.comm))
-            .collect()
+    /// Snapshot each processor's (total time, comm charge) into the
+    /// reusable scratch — marks the start of a stage.
+    fn begin_stage(&mut self) {
+        for ((time, comm), e) in self
+            .scratch
+            .time_before
+            .iter_mut()
+            .zip(self.scratch.comm_before.iter_mut())
+            .zip(&self.execs)
+        {
+            *time = e.ram.time();
+            *comm = e.ram.meter.comm;
+        }
     }
 
-    fn close_stage(&mut self, start: &[(f64, f64)]) {
-        let deltas: Vec<f64> = self
-            .execs
-            .iter()
-            .zip(start)
-            .map(|(e, s)| e.ram.time() - s.0)
-            .collect();
-        let comms: Vec<f64> = self
-            .execs
-            .iter()
-            .zip(start)
-            .map(|(e, s)| e.ram.meter.comm - s.1)
-            .collect();
-        self.clock
-            .add_stage_faulted(&deltas, &comms, &mut self.session);
+    /// Close the stage opened by the matching [`begin_stage`](Self::begin_stage).
+    fn close_stage(&mut self) {
+        for (((delta, comm), e), (t0, c0)) in self
+            .scratch
+            .per_proc
+            .iter_mut()
+            .zip(self.scratch.per_comm.iter_mut())
+            .zip(&self.execs)
+            .zip(
+                self.scratch
+                    .time_before
+                    .iter()
+                    .zip(&self.scratch.comm_before),
+            )
+        {
+            *delta = e.ram.time() - t0;
+            *comm = e.ram.meter.comm - c0;
+        }
+        self.clock.add_stage_faulted(
+            &self.scratch.per_proc,
+            &self.scratch.per_comm,
+            &mut self.session,
+        );
     }
 
     fn gamma(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
         let mut out: HashSet<Pt3> = HashSet::new();
-        for pt in piece.points() {
+        piece.for_each_point(|pt| {
             for q in pt.preds() {
                 if q.x >= 0
                     && q.x < self.side as i64
@@ -257,24 +276,25 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                     out.insert(q);
                 }
             }
-        }
+        });
         let mut v: Vec<Pt3> = out.into_iter().collect();
         v.sort();
         v
     }
 
     fn outbound(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
-        piece
-            .points()
-            .into_iter()
-            .filter(|pt| {
-                pt.t == self.t_steps
-                    || pt
-                        .succs()
-                        .iter()
-                        .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
-            })
-            .collect()
+        let mut out = Vec::new();
+        piece.for_each_point(|pt| {
+            if pt.t == self.t_steps
+                || pt
+                    .succs()
+                    .iter()
+                    .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
+            {
+                out.push(pt);
+            }
+        });
+        out
     }
 
     /// Fetch a value into processor `pr`'s transit zone (charging local
@@ -322,9 +342,9 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let mut state_seeds: Vec<((i64, i64), usize, usize, usize)> = Vec::new();
         if self.m > 1 {
             let mut pillars: HashSet<(i64, i64)> = HashSet::new();
-            for pt in piece.points() {
+            piece.for_each_point(|pt| {
                 pillars.insert((pt.x, pt.y));
-            }
+            });
             let mut pillars: Vec<(i64, i64)> = pillars.into_iter().collect();
             pillars.sort();
             for (x, y) in pillars {
@@ -444,18 +464,18 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let cells = cell_cover(self.cbox, hb, Pt3::new(0, 0, 0));
         // Stage rows: group by the projection-center time sum.
         let mut last_key = i64::MIN;
-        let mut start = self.times();
+        self.begin_stage();
         for cell in cells {
             let key = cell.cell.dx.ct + cell.cell.dy.ct;
             if key != last_key && last_key != i64::MIN {
-                self.close_stage(&start);
-                start = self.times();
+                self.close_stage();
+                self.begin_stage();
                 self.gc(key / 2 - 2 * hb);
             }
             last_key = key;
             self.run_cell(&cell);
         }
-        self.close_stage(&start);
+        self.close_stage();
     }
 
     /// Drop home values below the reachable horizon.
@@ -478,7 +498,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let m = self.m;
         // Final write-back for m = 1 (value is the state).
         if m == 1 && steps > 0 {
-            let start = self.times();
+            self.begin_stage();
             for y in 0..side {
                 for x in 0..side {
                     let pt = Pt3::new(x as i64, y as i64, steps);
@@ -490,7 +510,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                     self.execs[hpr].ram.write(dst, w);
                 }
             }
-            self.close_stage(&start);
+            self.close_stage();
         }
         let mut mem = vec![0 as Word; side * side * m];
         for y in 0..side {

@@ -11,7 +11,10 @@
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{Hram, Word};
-use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock};
+use bsmp_machine::{
+    linear_guest_time, DisjointSlice, ExecPolicy, LinearProgram, MachineSpec, StageClock,
+    StagePool, StageScratch,
+};
 
 use crate::error::SimError;
 use crate::report::SimReport;
@@ -24,6 +27,20 @@ pub fn try_simulate_naive1_faulted(
     init: &[Word],
     steps: i64,
     plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive1_exec(spec, prog, init, steps, plan, ExecPolicy::auto())
+}
+
+/// [`try_simulate_naive1_faulted`] with an explicit host-thread budget.
+/// The report is bit-identical for every policy — host threading never
+/// touches model time (see DESIGN.md §12).
+pub fn try_simulate_naive1_exec(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
 ) -> Result<SimReport, SimError> {
     let n = spec.n as usize;
     let p = spec.p as usize;
@@ -87,11 +104,18 @@ pub fn try_simulate_naive1_faulted(
     let mut next = vec![0 as Word; n];
     let (mut row_prev, mut row_next) = (va, vb);
 
-    // Host processors are independent within a stage; run them on real
-    // threads (std::thread scope) when there is enough work to amortize
-    // spawning.  Model time is unaffected: each worker owns its H-RAM and
-    // returns its own metered cost.
-    let parallel = p > 1 && q >= 256;
+    // Host processors are independent within a stage; run them on the
+    // persistent worker pool when there is enough work per stage to pay
+    // for the handoff (a single-thread pool otherwise — same claiming
+    // semantics, no spawned workers).  Model time is unaffected: each
+    // worker owns its H-RAM and returns its own metered cost into its
+    // own slot.
+    let pool = if exec.resolved().min(p) > 1 && q >= 256 {
+        StagePool::for_procs(p, exec)
+    } else {
+        StagePool::new(1)
+    };
+    let mut scratch = StageScratch::new(p);
     for t in 1..=steps {
         let run_proc = |pi: usize, ram: &mut Hram, next: &mut [Word]| -> f64 {
             let t0 = ram.time();
@@ -134,35 +158,30 @@ pub fn try_simulate_naive1_faulted(
             ram.time() - t0
         };
 
-        let comm_before: Vec<f64> = rams.iter().map(|r| r.meter.comm).collect();
-        let per_proc: Vec<f64> = if parallel {
-            let mut costs = vec![0.0f64; p];
-            std::thread::scope(|s| {
-                for (((pi, ram), chunk), cost) in rams
-                    .iter_mut()
-                    .enumerate()
-                    .zip(next.chunks_mut(q))
-                    .zip(costs.iter_mut())
-                {
-                    s.spawn(move || {
-                        *cost = run_proc(pi, ram, chunk);
-                    });
-                }
-            });
-            costs
-        } else {
-            rams.iter_mut()
-                .enumerate()
-                .zip(next.chunks_mut(q))
-                .map(|((pi, ram), chunk)| run_proc(pi, ram, chunk))
-                .collect()
-        };
-        let per_comm: Vec<f64> = rams
-            .iter()
-            .zip(&comm_before)
-            .map(|(r, b)| r.meter.comm - b)
-            .collect();
-        clock.add_stage_faulted(&per_proc, &per_comm, &mut session);
+        for (before, ram) in scratch.comm_before.iter_mut().zip(&rams) {
+            *before = ram.meter.comm;
+        }
+        {
+            let rams_slots = DisjointSlice::new(&mut rams);
+            let next_slots = DisjointSlice::new(&mut next);
+            pool.run_stage(p, &mut scratch.per_proc, |pi| {
+                // Safety: processor pi is claimed by exactly one thread;
+                // its H-RAM and its q-word chunk of `next` are touched
+                // by no one else this stage.
+                let ram = unsafe { rams_slots.get_mut(pi) };
+                let chunk = unsafe { next_slots.slice_mut(pi * q, q) };
+                run_proc(pi, ram, chunk)
+            })?;
+        }
+        for ((delta, ram), before) in scratch
+            .per_comm
+            .iter_mut()
+            .zip(&rams)
+            .zip(&scratch.comm_before)
+        {
+            *delta = ram.meter.comm - before;
+        }
+        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }

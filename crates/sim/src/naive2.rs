@@ -6,7 +6,10 @@
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{Hram, Word};
-use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock};
+use bsmp_machine::{
+    mesh_guest_time, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram, StageClock, StagePool,
+    StageScratch,
+};
 
 use crate::error::SimError;
 use crate::report::SimReport;
@@ -19,6 +22,20 @@ pub fn try_simulate_naive2_faulted(
     init: &[Word],
     steps: i64,
     plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive2_exec(spec, prog, init, steps, plan, ExecPolicy::auto())
+}
+
+/// [`try_simulate_naive2_faulted`] with an explicit host-thread budget.
+/// The report is bit-identical for every policy — host threading never
+/// touches model time (see DESIGN.md §12).
+pub fn try_simulate_naive2_exec(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
 ) -> Result<SimReport, SimError> {
     if spec.d != 2 {
         return Err(SimError::DimensionMismatch {
@@ -90,72 +107,93 @@ pub fn try_simulate_naive2_faulted(
     let mut next = vec![0 as Word; n];
     let (mut row_prev, mut row_next) = (va, vb);
 
+    // Host processors are independent within a stage: each owns its
+    // H-RAM and writes a disjoint set of guest cells in `next`.
+    let pool = if exec.resolved().min(sp * sp) > 1 && q >= 256 {
+        StagePool::for_procs(sp * sp, exec)
+    } else {
+        StagePool::new(1)
+    };
+    let mut scratch = StageScratch::new(sp * sp);
     for t in 1..=steps {
-        let mut per_proc = vec![0.0f64; sp * sp];
-        let comm_before: Vec<f64> = rams.iter().map(|r| r.meter.comm).collect();
-        for pj in 0..sp {
-            for pi_ in 0..sp {
-                let pid = pj * sp + pi_;
-                let ram = &mut rams[pid];
-                let t0 = ram.time();
-                let mut comm = 0.0;
-                for jj in 0..b {
-                    for ii in 0..b {
-                        let (i, j) = (pi_ * b + ii, pj * b + jj);
-                        let c = prog.cell(i, j, t);
-                        let l = jj * b + ii;
-                        let own = ram.read(l * m + c);
-                        let bd = prog.boundary();
-                        let fetch = |di: isize, dj: isize, ram: &mut Hram, comm: &mut f64| {
-                            let (ni, nj) = (i as isize + di, j as isize + dj);
-                            if ni < 0 || nj < 0 || ni >= side as isize || nj >= side as isize {
-                                return bd;
-                            }
-                            let (ni, nj) = (ni as usize, nj as usize);
-                            if proc_of(ni, nj) == pid {
-                                ram.read(row_prev + loc_of(ni, nj))
-                            } else {
-                                *comm += hop;
-                                prev[nj * side + ni]
-                            }
-                        };
-                        let w = fetch(-1, 0, ram, &mut comm);
-                        let e = fetch(1, 0, ram, &mut comm);
-                        let s = fetch(0, -1, ram, &mut comm);
-                        let nn = fetch(0, 1, ram, &mut comm);
-                        let mine = ram.read(row_prev + l);
-                        let out = prog.delta(i, j, t, own, mine, w, e, s, nn);
-                        ram.compute();
-                        ram.write(l * m + c, out);
-                        ram.write(row_next + l, out);
-                        next[j * side + i] = out;
+        for (before, ram) in scratch.comm_before.iter_mut().zip(&rams) {
+            *before = ram.meter.comm;
+        }
+        let next_slots = DisjointSlice::new(&mut next);
+        let run_proc = |pid: usize, ram: &mut Hram| -> f64 {
+            let (pi_, pj) = (pid % sp, pid / sp);
+            let t0 = ram.time();
+            let mut comm = 0.0;
+            for jj in 0..b {
+                for ii in 0..b {
+                    let (i, j) = (pi_ * b + ii, pj * b + jj);
+                    let c = prog.cell(i, j, t);
+                    let l = jj * b + ii;
+                    let own = ram.read(l * m + c);
+                    let bd = prog.boundary();
+                    let fetch = |di: isize, dj: isize, ram: &mut Hram, comm: &mut f64| {
+                        let (ni, nj) = (i as isize + di, j as isize + dj);
+                        if ni < 0 || nj < 0 || ni >= side as isize || nj >= side as isize {
+                            return bd;
+                        }
+                        let (ni, nj) = (ni as usize, nj as usize);
+                        if proc_of(ni, nj) == pid {
+                            ram.read(row_prev + loc_of(ni, nj))
+                        } else {
+                            *comm += hop;
+                            prev[nj * side + ni]
+                        }
+                    };
+                    let w = fetch(-1, 0, ram, &mut comm);
+                    let e = fetch(1, 0, ram, &mut comm);
+                    let s = fetch(0, -1, ram, &mut comm);
+                    let nn = fetch(0, 1, ram, &mut comm);
+                    let mine = ram.read(row_prev + l);
+                    let out = prog.delta(i, j, t, own, mine, w, e, s, nn);
+                    ram.compute();
+                    ram.write(l * m + c, out);
+                    ram.write(row_next + l, out);
+                    // Safety: guest cell (i, j) belongs to exactly this
+                    // processor's block — no other task writes it.
+                    unsafe {
+                        *next_slots.get_mut(j * side + i) = out;
                     }
                 }
-                // Outbound edge values (one per border node per adjacent side).
-                let mut sides = 0;
-                if pi_ > 0 {
-                    sides += 1;
-                }
-                if pi_ + 1 < sp {
-                    sides += 1;
-                }
-                if pj > 0 {
-                    sides += 1;
-                }
-                if pj + 1 < sp {
-                    sides += 1;
-                }
-                comm += (sides * b) as f64 * hop;
-                ram.meter.add_comm(comm);
-                per_proc[pid] = ram.time() - t0;
             }
+            // Outbound edge values (one per border node per adjacent side).
+            let mut sides = 0;
+            if pi_ > 0 {
+                sides += 1;
+            }
+            if pi_ + 1 < sp {
+                sides += 1;
+            }
+            if pj > 0 {
+                sides += 1;
+            }
+            if pj + 1 < sp {
+                sides += 1;
+            }
+            comm += (sides * b) as f64 * hop;
+            ram.meter.add_comm(comm);
+            ram.time() - t0
+        };
+        {
+            let rams_slots = DisjointSlice::new(&mut rams);
+            pool.run_stage(sp * sp, &mut scratch.per_proc, |pid| {
+                // Safety: processor pid is claimed by exactly one thread.
+                run_proc(pid, unsafe { rams_slots.get_mut(pid) })
+            })?;
         }
-        let per_comm: Vec<f64> = rams
-            .iter()
-            .zip(&comm_before)
-            .map(|(r, bc)| r.meter.comm - bc)
-            .collect();
-        clock.add_stage_faulted(&per_proc, &per_comm, &mut session);
+        for ((delta, ram), before) in scratch
+            .per_comm
+            .iter_mut()
+            .zip(&rams)
+            .zip(&scratch.comm_before)
+        {
+            *delta = ram.meter.comm - before;
+        }
+        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }

@@ -14,7 +14,7 @@
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostMeter, Word};
-use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock};
+use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock, StageScratch};
 
 use crate::error::SimError;
 use crate::report::SimReport;
@@ -76,9 +76,8 @@ pub fn try_simulate_pipelined1_faulted(
     let mut clock = StageClock::new();
     let mut meter = CostMeter::new();
 
+    let mut scratch = StageScratch::new(p);
     for t in 1..=steps {
-        let mut per_proc = Vec::with_capacity(p);
-        let mut per_comm = Vec::with_capacity(p);
         for pi in 0..p {
             // The step's batch: one private-cell read + one write per
             // hosted node, plus the value-row traffic (2 reads + 1 write
@@ -113,10 +112,10 @@ pub fn try_simulate_pipelined1_faulted(
             }
             meter.add_transfer(local);
             meter.add_comm(comm);
-            per_proc.push(local + comm);
-            per_comm.push(comm);
+            scratch.per_proc[pi] = local + comm;
+            scratch.per_comm[pi] = comm;
         }
-        clock.add_stage_faulted(&per_proc, &per_comm, &mut session);
+        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
         std::mem::swap(&mut prev, &mut next);
     }
 

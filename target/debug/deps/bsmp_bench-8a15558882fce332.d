@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/bsmp_bench-8a15558882fce332.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_brent.rs crates/bench/src/experiments/e11_extensions.rs crates/bench/src/experiments/e12_ablation.rs crates/bench/src/experiments/e13_faults.rs crates/bench/src/experiments/e1_thm2.rs crates/bench/src/experiments/e2_thm3.rs crates/bench/src/experiments/e3_thm4.rs crates/bench/src/experiments/e4_thm5.rs crates/bench/src/experiments/e5_thm1d2.rs crates/bench/src/experiments/e6_matmul.rs crates/bench/src/experiments/e7_prop3.rs crates/bench/src/experiments/e8_figures.rs crates/bench/src/experiments/e9_sstar.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
+/root/repo/target/debug/deps/bsmp_bench-8a15558882fce332.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_brent.rs crates/bench/src/experiments/e11_extensions.rs crates/bench/src/experiments/e12_ablation.rs crates/bench/src/experiments/e13_faults.rs crates/bench/src/experiments/e1_thm2.rs crates/bench/src/experiments/e2_thm3.rs crates/bench/src/experiments/e3_thm4.rs crates/bench/src/experiments/e4_thm5.rs crates/bench/src/experiments/e5_thm1d2.rs crates/bench/src/experiments/e6_matmul.rs crates/bench/src/experiments/e7_prop3.rs crates/bench/src/experiments/e8_figures.rs crates/bench/src/experiments/e9_sstar.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbsmp_bench-8a15558882fce332.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_brent.rs crates/bench/src/experiments/e11_extensions.rs crates/bench/src/experiments/e12_ablation.rs crates/bench/src/experiments/e13_faults.rs crates/bench/src/experiments/e1_thm2.rs crates/bench/src/experiments/e2_thm3.rs crates/bench/src/experiments/e3_thm4.rs crates/bench/src/experiments/e4_thm5.rs crates/bench/src/experiments/e5_thm1d2.rs crates/bench/src/experiments/e6_matmul.rs crates/bench/src/experiments/e7_prop3.rs crates/bench/src/experiments/e8_figures.rs crates/bench/src/experiments/e9_sstar.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
+/root/repo/target/debug/deps/libbsmp_bench-8a15558882fce332.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_brent.rs crates/bench/src/experiments/e11_extensions.rs crates/bench/src/experiments/e12_ablation.rs crates/bench/src/experiments/e13_faults.rs crates/bench/src/experiments/e1_thm2.rs crates/bench/src/experiments/e2_thm3.rs crates/bench/src/experiments/e3_thm4.rs crates/bench/src/experiments/e4_thm5.rs crates/bench/src/experiments/e5_thm1d2.rs crates/bench/src/experiments/e6_matmul.rs crates/bench/src/experiments/e7_prop3.rs crates/bench/src/experiments/e8_figures.rs crates/bench/src/experiments/e9_sstar.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments/mod.rs:
@@ -17,6 +17,7 @@ crates/bench/src/experiments/e6_matmul.rs:
 crates/bench/src/experiments/e7_prop3.rs:
 crates/bench/src/experiments/e8_figures.rs:
 crates/bench/src/experiments/e9_sstar.rs:
+crates/bench/src/perf.rs:
 crates/bench/src/table.rs:
 crates/bench/src/timing.rs:
 Cargo.toml:

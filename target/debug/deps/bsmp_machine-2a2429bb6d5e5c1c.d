@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/bsmp_machine-2a2429bb6d5e5c1c.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/bsmp_machine-2a2429bb6d5e5c1c.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbsmp_machine-2a2429bb6d5e5c1c.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/libbsmp_machine-2a2429bb6d5e5c1c.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
 
 crates/machine/src/lib.rs:
 crates/machine/src/guest.rs:
+crates/machine/src/pool.rs:
 crates/machine/src/program.rs:
 crates/machine/src/spec.rs:
 crates/machine/src/stage.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/bsmp_machine-4624c114e6801f81.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/bsmp_machine-4624c114e6801f81.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbsmp_machine-4624c114e6801f81.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/libbsmp_machine-4624c114e6801f81.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs Cargo.toml
 
 crates/machine/src/lib.rs:
 crates/machine/src/guest.rs:
+crates/machine/src/pool.rs:
 crates/machine/src/program.rs:
 crates/machine/src/spec.rs:
 crates/machine/src/stage.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/bsmp_machine-5c01442c8cdba17e.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/debug/deps/bsmp_machine-5c01442c8cdba17e.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
-/root/repo/target/debug/deps/bsmp_machine-5c01442c8cdba17e: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/debug/deps/bsmp_machine-5c01442c8cdba17e: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
 crates/machine/src/lib.rs:
 crates/machine/src/guest.rs:
+crates/machine/src/pool.rs:
 crates/machine/src/program.rs:
 crates/machine/src/spec.rs:
 crates/machine/src/stage.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/bsmp_machine-e7e21f2977586222.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/debug/deps/bsmp_machine-e7e21f2977586222.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
-/root/repo/target/debug/deps/libbsmp_machine-e7e21f2977586222.rlib: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/debug/deps/libbsmp_machine-e7e21f2977586222.rlib: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
-/root/repo/target/debug/deps/libbsmp_machine-e7e21f2977586222.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/debug/deps/libbsmp_machine-e7e21f2977586222.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
 crates/machine/src/lib.rs:
 crates/machine/src/guest.rs:
+crates/machine/src/pool.rs:
 crates/machine/src/program.rs:
 crates/machine/src/spec.rs:
 crates/machine/src/stage.rs:

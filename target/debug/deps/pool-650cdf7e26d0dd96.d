@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool-650cdf7e26d0dd96.d: crates/core/../../tests/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool-650cdf7e26d0dd96.rmeta: crates/core/../../tests/pool.rs Cargo.toml
+
+crates/core/../../tests/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

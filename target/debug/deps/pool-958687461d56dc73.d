@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool-958687461d56dc73.d: crates/core/../../tests/pool.rs
+
+/root/repo/target/debug/deps/pool-958687461d56dc73: crates/core/../../tests/pool.rs
+
+crates/core/../../tests/pool.rs:

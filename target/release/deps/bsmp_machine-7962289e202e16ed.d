@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/bsmp_machine-7962289e202e16ed.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/release/deps/bsmp_machine-7962289e202e16ed.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
-/root/repo/target/release/deps/libbsmp_machine-7962289e202e16ed.rlib: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/release/deps/libbsmp_machine-7962289e202e16ed.rlib: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
-/root/repo/target/release/deps/libbsmp_machine-7962289e202e16ed.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+/root/repo/target/release/deps/libbsmp_machine-7962289e202e16ed.rmeta: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
 
 crates/machine/src/lib.rs:
 crates/machine/src/guest.rs:
+crates/machine/src/pool.rs:
 crates/machine/src/program.rs:
 crates/machine/src/spec.rs:
 crates/machine/src/stage.rs:
