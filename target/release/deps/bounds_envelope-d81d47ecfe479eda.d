@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bounds_envelope-d81d47ecfe479eda.d: crates/core/../../tests/bounds_envelope.rs
+
+/root/repo/target/release/deps/bounds_envelope-d81d47ecfe479eda: crates/core/../../tests/bounds_envelope.rs
+
+crates/core/../../tests/bounds_envelope.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bsmp-77360845a452d7f9.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/bsmp-77360845a452d7f9: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bsmp_analytic-42a092ff5296f7ce.d: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+/root/repo/target/release/deps/bsmp_analytic-42a092ff5296f7ce: crates/analytic/src/lib.rs crates/analytic/src/bounds.rs crates/analytic/src/brent.rs crates/analytic/src/extensions.rs crates/analytic/src/matmul.rs crates/analytic/src/theorem1.rs crates/analytic/src/theorem4.rs
+
+crates/analytic/src/lib.rs:
+crates/analytic/src/bounds.rs:
+crates/analytic/src/brent.rs:
+crates/analytic/src/extensions.rs:
+crates/analytic/src/matmul.rs:
+crates/analytic/src/theorem1.rs:
+crates/analytic/src/theorem4.rs:

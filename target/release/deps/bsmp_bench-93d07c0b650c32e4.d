@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/bsmp_bench-93d07c0b650c32e4.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_brent.rs crates/bench/src/experiments/e11_extensions.rs crates/bench/src/experiments/e12_ablation.rs crates/bench/src/experiments/e13_faults.rs crates/bench/src/experiments/e1_thm2.rs crates/bench/src/experiments/e2_thm3.rs crates/bench/src/experiments/e3_thm4.rs crates/bench/src/experiments/e4_thm5.rs crates/bench/src/experiments/e5_thm1d2.rs crates/bench/src/experiments/e6_matmul.rs crates/bench/src/experiments/e7_prop3.rs crates/bench/src/experiments/e8_figures.rs crates/bench/src/experiments/e9_sstar.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/bsmp_bench-93d07c0b650c32e4: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e10_brent.rs crates/bench/src/experiments/e11_extensions.rs crates/bench/src/experiments/e12_ablation.rs crates/bench/src/experiments/e13_faults.rs crates/bench/src/experiments/e1_thm2.rs crates/bench/src/experiments/e2_thm3.rs crates/bench/src/experiments/e3_thm4.rs crates/bench/src/experiments/e4_thm5.rs crates/bench/src/experiments/e5_thm1d2.rs crates/bench/src/experiments/e6_matmul.rs crates/bench/src/experiments/e7_prop3.rs crates/bench/src/experiments/e8_figures.rs crates/bench/src/experiments/e9_sstar.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e10_brent.rs:
+crates/bench/src/experiments/e11_extensions.rs:
+crates/bench/src/experiments/e12_ablation.rs:
+crates/bench/src/experiments/e13_faults.rs:
+crates/bench/src/experiments/e1_thm2.rs:
+crates/bench/src/experiments/e2_thm3.rs:
+crates/bench/src/experiments/e3_thm4.rs:
+crates/bench/src/experiments/e4_thm5.rs:
+crates/bench/src/experiments/e5_thm1d2.rs:
+crates/bench/src/experiments/e6_matmul.rs:
+crates/bench/src/experiments/e7_prop3.rs:
+crates/bench/src/experiments/e8_figures.rs:
+crates/bench/src/experiments/e9_sstar.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bsmp_dag-c60f69dfe8decb8b.d: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+/root/repo/target/release/deps/bsmp_dag-c60f69dfe8decb8b: crates/dag/src/lib.rs crates/dag/src/dag1.rs crates/dag/src/dag2.rs crates/dag/src/partition.rs crates/dag/src/schedule.rs crates/dag/src/separator.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/dag1.rs:
+crates/dag/src/dag2.rs:
+crates/dag/src/partition.rs:
+crates/dag/src/schedule.rs:
+crates/dag/src/separator.rs:

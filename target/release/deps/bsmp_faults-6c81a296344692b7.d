@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bsmp_faults-6c81a296344692b7.d: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+/root/repo/target/release/deps/bsmp_faults-6c81a296344692b7: crates/faults/src/lib.rs crates/faults/src/plan.rs crates/faults/src/rng.rs crates/faults/src/session.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/rng.rs:
+crates/faults/src/session.rs:

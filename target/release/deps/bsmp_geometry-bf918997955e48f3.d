@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/bsmp_geometry-bf918997955e48f3.d: crates/geometry/src/lib.rs crates/geometry/src/ibox.rs crates/geometry/src/point.rs crates/geometry/src/diamond.rs crates/geometry/src/tiling1.rs crates/geometry/src/domain2.rs crates/geometry/src/octa.rs crates/geometry/src/tetra.rs crates/geometry/src/tiling2.rs crates/geometry/src/domain3.rs crates/geometry/src/figures.rs crates/geometry/src/render.rs
+
+/root/repo/target/release/deps/bsmp_geometry-bf918997955e48f3: crates/geometry/src/lib.rs crates/geometry/src/ibox.rs crates/geometry/src/point.rs crates/geometry/src/diamond.rs crates/geometry/src/tiling1.rs crates/geometry/src/domain2.rs crates/geometry/src/octa.rs crates/geometry/src/tetra.rs crates/geometry/src/tiling2.rs crates/geometry/src/domain3.rs crates/geometry/src/figures.rs crates/geometry/src/render.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/ibox.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/diamond.rs:
+crates/geometry/src/tiling1.rs:
+crates/geometry/src/domain2.rs:
+crates/geometry/src/octa.rs:
+crates/geometry/src/tetra.rs:
+crates/geometry/src/tiling2.rs:
+crates/geometry/src/domain3.rs:
+crates/geometry/src/figures.rs:
+crates/geometry/src/render.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bsmp_hram-f88c20556ea1860c.d: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+/root/repo/target/release/deps/bsmp_hram-f88c20556ea1860c: crates/hram/src/lib.rs crates/hram/src/access.rs crates/hram/src/cost.rs crates/hram/src/machine.rs
+
+crates/hram/src/lib.rs:
+crates/hram/src/access.rs:
+crates/hram/src/cost.rs:
+crates/hram/src/machine.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bsmp_machine-10ed7018c8362ad9.d: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+
+/root/repo/target/release/deps/bsmp_machine-10ed7018c8362ad9: crates/machine/src/lib.rs crates/machine/src/guest.rs crates/machine/src/pool.rs crates/machine/src/program.rs crates/machine/src/spec.rs crates/machine/src/stage.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/guest.rs:
+crates/machine/src/pool.rs:
+crates/machine/src/program.rs:
+crates/machine/src/spec.rs:
+crates/machine/src/stage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bsmp_repro-0c1363eed878108d.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/bsmp_repro-0c1363eed878108d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/bsmp_sim-02d716ecc5dcedca.d: crates/sim/src/lib.rs crates/sim/src/dnc1.rs crates/sim/src/dnc2.rs crates/sim/src/dnc3.rs crates/sim/src/error.rs crates/sim/src/exec1.rs crates/sim/src/exec2.rs crates/sim/src/exec3.rs crates/sim/src/multi1.rs crates/sim/src/multi2.rs crates/sim/src/naive1.rs crates/sim/src/naive2.rs crates/sim/src/pipelined1.rs crates/sim/src/report.rs crates/sim/src/zone.rs
+
+/root/repo/target/release/deps/bsmp_sim-02d716ecc5dcedca: crates/sim/src/lib.rs crates/sim/src/dnc1.rs crates/sim/src/dnc2.rs crates/sim/src/dnc3.rs crates/sim/src/error.rs crates/sim/src/exec1.rs crates/sim/src/exec2.rs crates/sim/src/exec3.rs crates/sim/src/multi1.rs crates/sim/src/multi2.rs crates/sim/src/naive1.rs crates/sim/src/naive2.rs crates/sim/src/pipelined1.rs crates/sim/src/report.rs crates/sim/src/zone.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dnc1.rs:
+crates/sim/src/dnc2.rs:
+crates/sim/src/dnc3.rs:
+crates/sim/src/error.rs:
+crates/sim/src/exec1.rs:
+crates/sim/src/exec2.rs:
+crates/sim/src/exec3.rs:
+crates/sim/src/multi1.rs:
+crates/sim/src/multi2.rs:
+crates/sim/src/naive1.rs:
+crates/sim/src/naive2.rs:
+crates/sim/src/pipelined1.rs:
+crates/sim/src/report.rs:
+crates/sim/src/zone.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bsmp_workloads-211dbf9e0cd47630.d: crates/workloads/src/lib.rs crates/workloads/src/cannon.rs crates/workloads/src/eca.rs crates/workloads/src/fir.rs crates/workloads/src/heat.rs crates/workloads/src/inputs.rs crates/workloads/src/life.rs crates/workloads/src/shift.rs crates/workloads/src/sort.rs crates/workloads/src/wave.rs crates/workloads/src/volume.rs
+
+/root/repo/target/release/deps/bsmp_workloads-211dbf9e0cd47630: crates/workloads/src/lib.rs crates/workloads/src/cannon.rs crates/workloads/src/eca.rs crates/workloads/src/fir.rs crates/workloads/src/heat.rs crates/workloads/src/inputs.rs crates/workloads/src/life.rs crates/workloads/src/shift.rs crates/workloads/src/sort.rs crates/workloads/src/wave.rs crates/workloads/src/volume.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cannon.rs:
+crates/workloads/src/eca.rs:
+crates/workloads/src/fir.rs:
+crates/workloads/src/heat.rs:
+crates/workloads/src/inputs.rs:
+crates/workloads/src/life.rs:
+crates/workloads/src/shift.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/wave.rs:
+crates/workloads/src/volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decompositions-e8c217c0711527a4.d: crates/core/../../tests/decompositions.rs
+
+/root/repo/target/release/deps/decompositions-e8c217c0711527a4: crates/core/../../tests/decompositions.rs
+
+crates/core/../../tests/decompositions.rs:

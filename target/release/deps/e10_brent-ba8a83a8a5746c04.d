@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_brent-ba8a83a8a5746c04.d: crates/bench/src/bin/e10_brent.rs
+
+/root/repo/target/release/deps/e10_brent-ba8a83a8a5746c04: crates/bench/src/bin/e10_brent.rs
+
+crates/bench/src/bin/e10_brent.rs:

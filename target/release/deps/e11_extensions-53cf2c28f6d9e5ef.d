@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e11_extensions-53cf2c28f6d9e5ef.d: crates/bench/src/bin/e11_extensions.rs
+
+/root/repo/target/release/deps/e11_extensions-53cf2c28f6d9e5ef: crates/bench/src/bin/e11_extensions.rs
+
+crates/bench/src/bin/e11_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e12_ablation-f47fbbaeddfcfdd4.d: crates/bench/src/bin/e12_ablation.rs
+
+/root/repo/target/release/deps/e12_ablation-f47fbbaeddfcfdd4: crates/bench/src/bin/e12_ablation.rs
+
+crates/bench/src/bin/e12_ablation.rs:

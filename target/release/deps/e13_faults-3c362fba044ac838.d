@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e13_faults-3c362fba044ac838.d: crates/bench/src/bin/e13_faults.rs
+
+/root/repo/target/release/deps/e13_faults-3c362fba044ac838: crates/bench/src/bin/e13_faults.rs
+
+crates/bench/src/bin/e13_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_thm2-630080124f3711d7.d: crates/bench/src/bin/e1_thm2.rs
+
+/root/repo/target/release/deps/e1_thm2-630080124f3711d7: crates/bench/src/bin/e1_thm2.rs
+
+crates/bench/src/bin/e1_thm2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2_thm3-62dc88414a137b3a.d: crates/bench/src/bin/e2_thm3.rs
+
+/root/repo/target/release/deps/e2_thm3-62dc88414a137b3a: crates/bench/src/bin/e2_thm3.rs
+
+crates/bench/src/bin/e2_thm3.rs:

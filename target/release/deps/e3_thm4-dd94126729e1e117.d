@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_thm4-dd94126729e1e117.d: crates/bench/src/bin/e3_thm4.rs
+
+/root/repo/target/release/deps/e3_thm4-dd94126729e1e117: crates/bench/src/bin/e3_thm4.rs
+
+crates/bench/src/bin/e3_thm4.rs:

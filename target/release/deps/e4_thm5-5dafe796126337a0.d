@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e4_thm5-5dafe796126337a0.d: crates/bench/src/bin/e4_thm5.rs
+
+/root/repo/target/release/deps/e4_thm5-5dafe796126337a0: crates/bench/src/bin/e4_thm5.rs
+
+crates/bench/src/bin/e4_thm5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e5_thm1d2-3e779c906bed2844.d: crates/bench/src/bin/e5_thm1d2.rs
+
+/root/repo/target/release/deps/e5_thm1d2-3e779c906bed2844: crates/bench/src/bin/e5_thm1d2.rs
+
+crates/bench/src/bin/e5_thm1d2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e6_matmul-7ce6e9d83dc27200.d: crates/bench/src/bin/e6_matmul.rs
+
+/root/repo/target/release/deps/e6_matmul-7ce6e9d83dc27200: crates/bench/src/bin/e6_matmul.rs
+
+crates/bench/src/bin/e6_matmul.rs:

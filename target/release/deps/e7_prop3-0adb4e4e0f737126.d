@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e7_prop3-0adb4e4e0f737126.d: crates/bench/src/bin/e7_prop3.rs
+
+/root/repo/target/release/deps/e7_prop3-0adb4e4e0f737126: crates/bench/src/bin/e7_prop3.rs
+
+crates/bench/src/bin/e7_prop3.rs:

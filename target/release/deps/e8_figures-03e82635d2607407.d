@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_figures-03e82635d2607407.d: crates/bench/src/bin/e8_figures.rs
+
+/root/repo/target/release/deps/e8_figures-03e82635d2607407: crates/bench/src/bin/e8_figures.rs
+
+crates/bench/src/bin/e8_figures.rs:

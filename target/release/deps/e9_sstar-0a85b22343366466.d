@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e9_sstar-0a85b22343366466.d: crates/bench/src/bin/e9_sstar.rs
+
+/root/repo/target/release/deps/e9_sstar-0a85b22343366466: crates/bench/src/bin/e9_sstar.rs
+
+crates/bench/src/bin/e9_sstar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-e5c3b79fc0e2856a.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-e5c3b79fc0e2856a: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-f495d7d934f801a9.d: crates/core/../../tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-f495d7d934f801a9: crates/core/../../tests/equivalence.rs
+
+crates/core/../../tests/equivalence.rs:

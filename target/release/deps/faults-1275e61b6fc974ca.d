@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-1275e61b6fc974ca.d: crates/core/../../tests/faults.rs
+
+/root/repo/target/release/deps/faults-1275e61b6fc974ca: crates/core/../../tests/faults.rs
+
+crates/core/../../tests/faults.rs:

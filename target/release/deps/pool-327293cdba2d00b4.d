@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool-327293cdba2d00b4.d: crates/core/../../tests/pool.rs
+
+/root/repo/target/release/deps/pool-327293cdba2d00b4: crates/core/../../tests/pool.rs
+
+crates/core/../../tests/pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-121d62c0086dcfdc.d: crates/machine/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-121d62c0086dcfdc: crates/machine/tests/proptests.rs
+
+crates/machine/tests/proptests.rs:

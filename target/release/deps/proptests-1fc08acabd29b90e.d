@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1fc08acabd29b90e.d: crates/dag/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1fc08acabd29b90e: crates/dag/tests/proptests.rs
+
+crates/dag/tests/proptests.rs:

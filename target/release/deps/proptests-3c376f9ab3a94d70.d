@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3c376f9ab3a94d70.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3c376f9ab3a94d70: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

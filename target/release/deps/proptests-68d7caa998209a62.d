@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-68d7caa998209a62.d: crates/hram/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-68d7caa998209a62: crates/hram/tests/proptests.rs
+
+crates/hram/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-a63b6996d0524250.d: crates/geometry/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-a63b6996d0524250: crates/geometry/tests/proptests.rs
+
+crates/geometry/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-bc2b49445a6dcd36.d: crates/analytic/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-bc2b49445a6dcd36: crates/analytic/tests/proptests.rs
+
+crates/analytic/tests/proptests.rs:

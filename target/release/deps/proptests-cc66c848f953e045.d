@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-cc66c848f953e045.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-cc66c848f953e045: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

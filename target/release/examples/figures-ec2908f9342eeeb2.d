@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/figures-ec2908f9342eeeb2.d: crates/core/../../examples/figures.rs
+
+/root/repo/target/release/examples/figures-ec2908f9342eeeb2: crates/core/../../examples/figures.rs
+
+crates/core/../../examples/figures.rs:

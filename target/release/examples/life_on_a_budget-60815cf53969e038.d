@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/life_on_a_budget-60815cf53969e038.d: crates/core/../../examples/life_on_a_budget.rs
+
+/root/repo/target/release/examples/life_on_a_budget-60815cf53969e038: crates/core/../../examples/life_on_a_budget.rs
+
+crates/core/../../examples/life_on_a_budget.rs:

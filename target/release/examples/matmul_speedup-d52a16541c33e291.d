@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/matmul_speedup-d52a16541c33e291.d: crates/core/../../examples/matmul_speedup.rs
+
+/root/repo/target/release/examples/matmul_speedup-d52a16541c33e291: crates/core/../../examples/matmul_speedup.rs
+
+crates/core/../../examples/matmul_speedup.rs:

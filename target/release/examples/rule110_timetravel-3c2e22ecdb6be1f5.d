@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rule110_timetravel-3c2e22ecdb6be1f5.d: crates/core/../../examples/rule110_timetravel.rs
+
+/root/repo/target/release/examples/rule110_timetravel-3c2e22ecdb6be1f5: crates/core/../../examples/rule110_timetravel.rs
+
+crates/core/../../examples/rule110_timetravel.rs:

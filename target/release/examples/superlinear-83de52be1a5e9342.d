@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/superlinear-83de52be1a5e9342.d: crates/core/../../examples/superlinear.rs
+
+/root/repo/target/release/examples/superlinear-83de52be1a5e9342: crates/core/../../examples/superlinear.rs
+
+crates/core/../../examples/superlinear.rs:
