@@ -16,20 +16,43 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+# Scratch area for CI artifacts: the committed BENCH_engines.json is a
+# baseline to diff against, never something a CI run may overwrite.
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+STATUS_BEFORE="$(git status --porcelain)"
+
 echo "==> perf smoke (bsmp-repro bench)"
-rm -f BENCH_engines.json
-cargo run --release -q -p bsmp-cli -- bench --iters 3 --meta "ci-perf-smoke"
-if [ ! -s BENCH_engines.json ]; then
-    echo "perf smoke FAILED: BENCH_engines.json missing or empty" >&2
+SMOKE="$SCRATCH/bench_smoke.json"
+cargo run --release -q -p bsmp-cli -- bench --iters 3 --meta "ci-perf-smoke" --out "$SMOKE"
+if [ ! -s "$SMOKE" ]; then
+    echo "perf smoke FAILED: $SMOKE missing or empty" >&2
     exit 1
 fi
-grep -q '"schema": "bsmp-bench-engines/v1"' BENCH_engines.json || {
-    echo "perf smoke FAILED: BENCH_engines.json malformed (schema tag missing)" >&2
+grep -q '"schema": "bsmp-bench-engines/v1"' "$SMOKE" || {
+    echo "perf smoke FAILED: bench output malformed (schema tag missing)" >&2
     exit 1
 }
-grep -q '"mean_s"' BENCH_engines.json || {
-    echo "perf smoke FAILED: BENCH_engines.json malformed (no cases)" >&2
+grep -q '"mean_s"' "$SMOKE" || {
+    echo "perf smoke FAILED: bench output malformed (no cases)" >&2
     exit 1
 }
+
+echo "==> trace smoke (bsmp-repro --trace + trace-validate)"
+TRACE="$SCRATCH/trace_smoke.json"
+cargo run --release -q -p bsmp-cli -- --quick --trace "$TRACE" E1 > /dev/null
+grep -q '"schema": "bsmp-trace/v1"' "$TRACE" || {
+    echo "trace smoke FAILED: trace log malformed (schema tag missing)" >&2
+    exit 1
+}
+cargo run --release -q -p bsmp-cli -- trace-validate "$TRACE"
+
+echo "==> working tree unchanged by the run"
+STATUS_AFTER="$(git status --porcelain)"
+if [ "$STATUS_BEFORE" != "$STATUS_AFTER" ]; then
+    echo "CI FAILED: the run dirtied the working tree; status diff:" >&2
+    diff <(echo "$STATUS_BEFORE") <(echo "$STATUS_AFTER") >&2 || true
+    exit 1
+fi
 
 echo "CI OK"

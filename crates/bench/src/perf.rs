@@ -104,10 +104,63 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
     cases
 }
 
+/// Model-level counters pulled from a traced run — optional companions
+/// to the wall-clock cases.  Unlike wall time they are deterministic, so
+/// they diff cleanly across commits with no iteration noise.
+#[derive(Clone, Debug)]
+pub struct TraceCounters {
+    pub name: &'static str,
+    pub stages: u64,
+    pub points: u64,
+    pub messages: u64,
+    pub comm_delay: f64,
+    pub slowdown: f64,
+}
+
+/// Trace the façade-reachable `d = 1` engines once each at the perf-suite
+/// scale and return their summary counters.
+pub fn run_trace_counters(threads: usize) -> Vec<TraceCounters> {
+    let n = 128u64;
+    let init = inputs::random_bits(1, n as usize);
+    let configs: [(&'static str, Strategy, u64); 3] = [
+        ("naive1_n128_p4_T128", Strategy::Naive, 4),
+        ("multi1_n128_p4_T128", Strategy::TwoRegime, 4),
+        ("dnc1_n128_T128", Strategy::DivideAndConquer, 1),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, strategy, p)| {
+            let (_, tr) = Simulation::linear(n, p, 1)
+                .strategy(strategy)
+                .threads(threads)
+                .trace(&Eca::rule110(), &init, n as i64);
+            TraceCounters {
+                name,
+                stages: tr.summary.stages,
+                points: tr.summary.points,
+                messages: tr.summary.messages,
+                comm_delay: tr.summary.comm_delay,
+                slowdown: tr.summary.slowdown,
+            }
+        })
+        .collect()
+}
+
 /// Serialize a suite to the `BENCH_engines.json` document.  `meta` is an
 /// opaque caller-supplied string (commit id, date, host tag — timestamps
 /// are the caller's business, the library takes no clock).
 pub fn to_json(cases: &[PerfCase], threads: usize, meta: &str) -> String {
+    to_json_with_traces(cases, &[], threads, meta)
+}
+
+/// [`to_json`] with an optional `trace_counters` section (empty slice =
+/// identical output to [`to_json`], keeping existing baselines diffable).
+pub fn to_json_with_traces(
+    cases: &[PerfCase],
+    traces: &[TraceCounters],
+    threads: usize,
+    meta: &str,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -122,6 +175,24 @@ pub fn to_json(cases: &[PerfCase], threads: usize, meta: &str) -> String {
             c.m.min_s,
             c.m.iters,
             if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    if traces.is_empty() {
+        s.push_str("  ]\n}\n");
+        return s;
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"trace_counters\": [\n");
+    for (i, t) in traces.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine_case\": \"{}\", \"stages\": {}, \"points\": {}, \"messages\": {}, \"comm_delay\": {:?}, \"slowdown\": {:?}}}{}\n",
+            t.name,
+            t.stages,
+            t.points,
+            t.messages,
+            t.comm_delay,
+            t.slowdown,
+            if i + 1 < traces.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");
@@ -221,6 +292,30 @@ mod tests {
         let doc = to_json(&fake_cases(), 1, "say \"hi\"\nback\\slash");
         assert!(doc.contains("say \\\"hi\\\"\\nback\\\\slash"));
         assert_eq!(validate_json(&doc), Ok(2));
+    }
+
+    #[test]
+    fn trace_counters_are_deterministic_and_optional() {
+        let a = run_trace_counters(1);
+        let b = run_trace_counters(2);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.stages, y.stages);
+            assert_eq!(x.points, y.points);
+            assert_eq!(x.messages, y.messages);
+            assert_eq!(x.comm_delay.to_bits(), y.comm_delay.to_bits());
+            assert_eq!(x.slowdown.to_bits(), y.slowdown.to_bits());
+            assert!(x.points > 0 && x.slowdown > 0.0, "{}", x.name);
+        }
+        // Empty trace section keeps the document byte-identical to the
+        // legacy emitter (existing baselines stay diffable)…
+        let doc = to_json(&fake_cases(), 2, "x");
+        assert_eq!(doc, to_json_with_traces(&fake_cases(), &[], 2, "x"));
+        // …and a populated one still passes the case validator.
+        let doc = to_json_with_traces(&fake_cases(), &a, 2, "x");
+        assert_eq!(validate_json(&doc), Ok(2));
+        assert!(doc.contains("\"trace_counters\""));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! Usage:
 //!
 //! ```text
-//! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]
-//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]
+//! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--trace <PATH>] [E1 E4 ...]
+//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters]
+//! bsmp-repro trace-validate <PATH>
 //! ```
 //!
 //! * `--quick` — the seconds-scale variant of every experiment;
@@ -15,9 +16,13 @@
 //!   slowdown ν ≥ 1 before the experiment tables;
 //! * `--fault-seed <s>` — seed for the demo sweep's jitter/loss/crash
 //!   plan (implies the sweep; default plan is pure slowdown);
+//! * `--trace <PATH>` — run a traced demo simulation and write its
+//!   `bsmp-trace/v1` JSON log to `PATH` (honors `--slow`);
 //! * `E1 … E13` — restrict to the named experiments;
 //! * `bench` — instead of the report, time the engine suite and write
-//!   the wall-clock baseline as JSON (default `BENCH_engines.json`).
+//!   the wall-clock baseline as JSON (default `BENCH_engines.json`);
+//! * `trace-validate <PATH>` — parse a trace log and check every
+//!   structural invariant plus the Theorem-1 regime tag, then exit.
 //!
 //! Exit status: 0 on success, 1 on an engine/validation error, 2 on bad
 //! command-line arguments.
@@ -33,12 +38,15 @@ struct Args {
     fault_seed: Option<u64>,
     threads: usize,
     bench: Option<BenchArgs>,
+    trace_out: Option<String>,
+    trace_validate: Option<String>,
 }
 
 struct BenchArgs {
     out: String,
     meta: String,
     iters: u32,
+    trace_counters: bool,
 }
 
 fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
@@ -49,6 +57,8 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
         fault_seed: None,
         threads: 0,
         bench: None,
+        trace_out: None,
+        trace_validate: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -74,11 +84,20 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     .map_err(|_| format!("--fault-seed: `{v}` is not a u64"))?;
                 args.fault_seed = Some(seed);
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace requires an output path")?;
+                args.trace_out = Some(v.clone());
+            }
+            "trace-validate" => {
+                let v = it.next().ok_or("trace-validate requires a trace path")?;
+                args.trace_validate = Some(v.clone());
+            }
             "bench" => {
                 args.bench = Some(BenchArgs {
                     out: "BENCH_engines.json".to_string(),
                     meta: String::new(),
                     iters: 5,
+                    trace_counters: false,
                 });
             }
             "--out" => {
@@ -108,6 +127,10 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     None => return Err("--iters is only valid after `bench`".into()),
                 }
             }
+            "--trace-counters" => match &mut args.bench {
+                Some(b) => b.trace_counters = true,
+                None => return Err("--trace-counters is only valid after `bench`".into()),
+            },
             id if id.starts_with('E') => {
                 if !valid_ids.contains(&id) {
                     return Err(format!(
@@ -157,6 +180,48 @@ fn fault_sweep(nu: f64, seed: Option<u64>) -> Result<(), bsmp::SimError> {
     Ok(())
 }
 
+/// The `--trace` demo: one traced TwoRegime run (faulted if `--slow`
+/// was given), validated, then written as `bsmp-trace/v1` JSON.
+fn trace_demo(path: &str, slow: Option<f64>, seed: Option<u64>) -> Result<(), String> {
+    let (n, p, steps) = (64u64, 4u64, 64i64);
+    let init = inputs::random_bits(seed.unwrap_or(1), n as usize);
+    let prog = Eca::rule110();
+    let mut sim = Simulation::try_linear(n, p, 1)
+        .map_err(|e| e.to_string())?
+        .strategy(Strategy::TwoRegime);
+    if let Some(nu) = slow {
+        sim = sim.faults(FaultPlan::uniform_slowdown(nu));
+    }
+    let (_, trace) = sim
+        .try_trace(&prog, &init, steps)
+        .map_err(|e| e.to_string())?;
+    bsmp::validate_trace(&trace)?;
+    std::fs::write(path, trace.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote {path}: engine {}, {} stages, slowdown {:.2} = {:.2} (Brent) × {:.4} (locality), regime {}\n",
+        trace.engine,
+        trace.summary.stages,
+        trace.summary.slowdown,
+        trace.summary.brent_term,
+        trace.summary.locality_term,
+        trace.summary.regime,
+    );
+    Ok(())
+}
+
+/// The `trace-validate` subcommand: parse + full structural/semantic
+/// validation of a written trace log.
+fn trace_validate(path: &str) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = bsmp::RunTrace::from_json(&src)?;
+    bsmp::validate_trace(&trace)?;
+    println!(
+        "{path}: OK — engine {}, {} stages, slowdown {:.3}, regime {}",
+        trace.engine, trace.summary.stages, trace.summary.slowdown, trace.summary.regime,
+    );
+    Ok(())
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
@@ -167,12 +232,21 @@ fn main() {
         Err(msg) => {
             eprintln!("bsmp-repro: {msg}");
             eprintln!(
-                "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [E1 E4 ...]\n\
-                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]"
+                "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--trace <PATH>] [E1 E4 ...]\n\
+                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]\n\
+                 \x20      bsmp-repro trace-validate <PATH>"
             );
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = &args.trace_validate {
+        if let Err(msg) = trace_validate(path) {
+            eprintln!("bsmp-repro: trace-validate: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     // Plumb the host thread budget to every engine (ExecPolicy::auto()
     // resolves to this process default).
@@ -180,7 +254,12 @@ fn main() {
 
     if let Some(bench) = &args.bench {
         let cases = perf::run_engine_suite(args.threads, bench.iters);
-        let doc = perf::to_json(&cases, args.threads, &bench.meta);
+        let traces = if bench.trace_counters {
+            perf::run_trace_counters(args.threads)
+        } else {
+            Vec::new()
+        };
+        let doc = perf::to_json_with_traces(&cases, &traces, args.threads, &bench.meta);
         if let Err(e) = perf::validate_json(&doc) {
             eprintln!("bsmp-repro: bench produced a malformed document: {e}");
             std::process::exit(1);
@@ -197,6 +276,13 @@ fn main() {
         }
         println!("wrote {} ({} cases)", bench.out, cases.len());
         return;
+    }
+
+    if let Some(path) = &args.trace_out {
+        if let Err(msg) = trace_demo(path, args.slow, args.fault_seed) {
+            eprintln!("bsmp-repro: trace: {msg}");
+            std::process::exit(1);
+        }
     }
 
     if args.slow.is_some() || args.fault_seed.is_some() {

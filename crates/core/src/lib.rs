@@ -72,6 +72,7 @@ pub use bsmp_geometry as geometry;
 pub use bsmp_hram as hram;
 pub use bsmp_machine as machine;
 pub use bsmp_sim as sim;
+pub use bsmp_trace as trace;
 pub use bsmp_workloads as workloads;
 
 pub use bsmp_faults::{FaultPlan, FaultStats};
@@ -80,6 +81,7 @@ pub use bsmp_machine::{
     set_default_threads, ExecPolicy, LinearProgram, MachineSpec, MeshProgram, SpecError,
 };
 pub use bsmp_sim::{SimError, SimReport};
+pub use bsmp_trace::{RunTrace, Tracer};
 
 /// Which simulation scheme the host machine uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -261,6 +263,112 @@ impl Simulation {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// As [`Simulation::try_run`] but with a recording [`Tracer`]
+    /// observing every bulk-synchronous stage.  The [`SimReport`] is
+    /// bit-identical to the untraced run; the returned [`RunTrace`]
+    /// carries per-stage records plus a summary that splits the measured
+    /// slowdown into its Brent and locality terms and stamps Theorem 1's
+    /// regime for these parameters.
+    pub fn try_trace(
+        &self,
+        prog: &impl LinearProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> Result<(Report, RunTrace), SimError> {
+        if self.spec.d != 1 {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                got: self.spec.d,
+            });
+        }
+        let plan = &self.faults;
+        let mut tracer = Tracer::recording();
+        let sim = match self.resolve() {
+            Strategy::Naive => bsmp_sim::naive1::try_simulate_naive1_traced(
+                &self.spec,
+                prog,
+                init,
+                steps,
+                plan,
+                self.exec,
+                &mut tracer,
+            )?,
+            Strategy::DivideAndConquer => {
+                let leaf_h = (prog.m() as i64 / 2).max(1);
+                bsmp_sim::dnc1::try_simulate_dnc1_traced(
+                    &self.spec,
+                    prog,
+                    init,
+                    steps,
+                    leaf_h,
+                    &mut tracer,
+                )?
+            }
+            Strategy::TwoRegime => {
+                if self.spec.p == 1 {
+                    let leaf_h = (prog.m() as i64 / 2).max(1);
+                    bsmp_sim::dnc1::try_simulate_dnc1_traced(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        leaf_h,
+                        &mut tracer,
+                    )?
+                } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
+                    .is_some()
+                {
+                    bsmp_sim::multi1::try_simulate_multi1_traced(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        bsmp_sim::multi1::Multi1Options::default(),
+                        plan,
+                        &mut tracer,
+                    )?
+                } else {
+                    bsmp_sim::naive1::try_simulate_naive1_traced(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        plan,
+                        self.exec,
+                        &mut tracer,
+                    )?
+                }
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+        let trace = self.stamp(tracer);
+        Ok((Report::new(self.spec, sim), trace))
+    }
+
+    /// Panicking twin of [`Simulation::try_trace`].
+    pub fn trace(
+        &self,
+        prog: &impl LinearProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> (Report, RunTrace) {
+        self.try_trace(prog, init, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finalize a recording tracer: pull out the [`RunTrace`] and stamp
+    /// the Theorem-1 regime (the trace crate is analytics-free, so the
+    /// engines leave the tag empty for the façade to fill in).
+    fn stamp(&self, mut tracer: Tracer) -> RunTrace {
+        let mut trace = tracer
+            .take()
+            .expect("recording tracer always yields a trace");
+        let (n, m, p) = (self.spec.n as f64, self.spec.m as f64, self.spec.p as f64);
+        trace.summary.regime =
+            format!("{:?}", bsmp_analytic::theorem1::range(self.spec.d, n, m, p));
+        trace
+    }
+
     /// Run a mesh guest program, reporting invalid parameters as a
     /// [`SimError`] instead of panicking.  [`Strategy::Auto`] and
     /// [`Strategy::TwoRegime`] degrade gracefully to the naive engine
@@ -311,6 +419,115 @@ impl Simulation {
         self.try_run_mesh(prog, init, steps)
             .unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// As [`Simulation::try_run_mesh`] with a recording [`Tracer`]; see
+    /// [`Simulation::try_trace`].
+    pub fn try_trace_mesh(
+        &self,
+        prog: &impl MeshProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> Result<(Report, RunTrace), SimError> {
+        if self.spec.d != 2 {
+            return Err(SimError::DimensionMismatch {
+                expected: 2,
+                got: self.spec.d,
+            });
+        }
+        let plan = &self.faults;
+        let mut tracer = Tracer::recording();
+        let sim = match self.resolve() {
+            Strategy::Naive => bsmp_sim::naive2::try_simulate_naive2_traced(
+                &self.spec,
+                prog,
+                init,
+                steps,
+                plan,
+                self.exec,
+                &mut tracer,
+            )?,
+            Strategy::DivideAndConquer => {
+                let leaf_h = (prog.m() as i64 / 2).max(1);
+                bsmp_sim::dnc2::try_simulate_dnc2_traced(
+                    &self.spec,
+                    prog,
+                    init,
+                    steps,
+                    leaf_h,
+                    &mut tracer,
+                )?
+            }
+            Strategy::TwoRegime => {
+                if self.spec.p == 1 {
+                    let leaf_h = (prog.m() as i64 / 2).max(1);
+                    bsmp_sim::dnc2::try_simulate_dnc2_traced(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        leaf_h,
+                        &mut tracer,
+                    )?
+                } else if self.spec.mesh_side() / self.spec.proc_side() >= 2 {
+                    bsmp_sim::multi2::try_simulate_multi2_traced(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        plan,
+                        &mut tracer,
+                    )?
+                } else {
+                    bsmp_sim::naive2::try_simulate_naive2_traced(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        plan,
+                        self.exec,
+                        &mut tracer,
+                    )?
+                }
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+        let trace = self.stamp(tracer);
+        Ok((Report::new(self.spec, sim), trace))
+    }
+
+    /// Panicking twin of [`Simulation::try_trace_mesh`].
+    pub fn trace_mesh(
+        &self,
+        prog: &impl MeshProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> (Report, RunTrace) {
+        self.try_trace_mesh(prog, init, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Validate a [`RunTrace`] structurally *and* semantically: every check
+/// in [`RunTrace::validate`] plus "the stamped regime tag matches what
+/// Theorem 1 assigns to the trace's own `(d, n, m, p)`".
+pub fn validate_trace(trace: &RunTrace) -> Result<(), String> {
+    trace.validate()?;
+    let expect = format!(
+        "{:?}",
+        bsmp_analytic::theorem1::range(
+            trace.d as u8,
+            trace.n as f64,
+            trace.m as f64,
+            trace.p as f64
+        )
+    );
+    if trace.summary.regime != expect {
+        return Err(format!(
+            "regime tag {:?} does not match Theorem 1's {expect} for d = {}, n = {}, m = {}, p = {}",
+            trace.summary.regime, trace.d, trace.n, trace.m, trace.p
+        ));
+    }
+    Ok(())
 }
 
 /// A simulation result together with the paper's analytic predictions.

@@ -26,8 +26,11 @@ pub struct AccessFn {
     /// Cost regime.
     pub model: CostModel,
     /// `1 / m`, precomputed so the per-access hot path multiplies
-    /// instead of divides (exact whenever `m` is a power of two).
-    inv_m: f64,
+    /// instead of divides — but only when `m` is a power of two, where
+    /// the reciprocal is exact.  For other densities this is `None` and
+    /// the hot path divides: IEEE division is correctly rounded, the
+    /// reciprocal multiply is not.
+    inv_m: Option<f64>,
 }
 
 impl AccessFn {
@@ -39,7 +42,16 @@ impl AccessFn {
             m,
             d,
             model: CostModel::BoundedSpeed,
-            inv_m: 1.0 / m as f64,
+            inv_m: m.is_power_of_two().then(|| 1.0 / m as f64),
+        }
+    }
+
+    /// `x / m`, exactly rounded for every density.
+    #[inline]
+    fn scaled(&self, x: usize) -> f64 {
+        match self.inv_m {
+            Some(r) => x as f64 * r,
+            None => x as f64 / self.m as f64,
         }
     }
 
@@ -58,7 +70,7 @@ impl AccessFn {
         match self.model {
             CostModel::Instantaneous => 0.0,
             CostModel::BoundedSpeed => {
-                let v = x as f64 * self.inv_m;
+                let v = self.scaled(x);
                 match self.d {
                     1 => v,
                     2 => v.sqrt(),
@@ -79,7 +91,7 @@ impl AccessFn {
     /// choice of units.
     #[inline]
     pub fn distance(&self, x: usize) -> f64 {
-        let v = x as f64 * self.inv_m;
+        let v = self.scaled(x);
         match self.d {
             1 => v,
             2 => v.sqrt(),
@@ -165,6 +177,26 @@ mod tests {
             let a = AccessFn::new(1, m);
             for x in [0usize, 1, 7, 1000, 123_456] {
                 assert_eq!(a.f(x), x as f64 / m as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_density_is_bit_exact() {
+        // The reciprocal shortcut `x * (1/m)` can be off by 1 ulp for
+        // non-power-of-two m (e.g. x = 49, m = 49 under round-to-nearest
+        // gives 0.9999999999999999); `x / m` is correctly rounded.
+        for m in [3u64, 5, 6, 7, 9, 10, 12, 49, 100, 999, 12_345] {
+            let a = AccessFn::new(1, m);
+            for x in (0..3000usize).chain([49, 961, 123_456, 999_999]) {
+                let exact = x as f64 / m as f64;
+                assert_eq!(
+                    a.f(x).to_bits(),
+                    exact.to_bits(),
+                    "f({x}) with m={m}: got {}, want {exact}",
+                    a.f(x)
+                );
+                assert_eq!(a.distance(x).to_bits(), exact.to_bits(), "distance, m={m}");
             }
         }
     }

@@ -31,6 +31,11 @@ pub struct StageClock {
     /// `Σ_stages Σ_proc cost` — aggregate busy time (for efficiency =
     /// busy / (p × parallel)).
     pub busy_time: f64,
+    /// `Σ_stages Σ_proc comm` — aggregate distance-weighted communication
+    /// delay, as declared to [`add_stage_faulted`](Self::add_stage_faulted)
+    /// (fault-free component; observability only, never fed back into
+    /// model time).
+    pub comm_time: f64,
     /// Number of stages closed so far.
     pub stages: u64,
 }
@@ -59,6 +64,7 @@ impl StageClock {
         session: &mut FaultSession,
     ) {
         let faulted = session.apply_stage(per_proc, per_comm);
+        self.comm_time += per_comm.iter().sum::<f64>();
         self.add_stage(&faulted);
     }
 
@@ -157,6 +163,7 @@ mod tests {
         faulted.add_stage_faulted(&[2.0, 3.0], &[1.0, 1.0], &mut session);
         assert_eq!(plain.parallel_time, faulted.parallel_time);
         assert_eq!(plain.busy_time, faulted.busy_time);
+        assert_eq!(faulted.comm_time, 2.0);
     }
 
     #[test]

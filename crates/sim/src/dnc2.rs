@@ -7,6 +7,7 @@
 use bsmp_faults::FaultStats;
 use bsmp_hram::Word;
 use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram};
+use bsmp_trace::{RunMeta, StageTotals, Tracer};
 
 use crate::error::SimError;
 use crate::exec2::CellExec;
@@ -43,6 +44,19 @@ pub fn try_simulate_dnc2_with_leaf(
     steps: i64,
     leaf_h: i64,
 ) -> Result<SimReport, SimError> {
+    try_simulate_dnc2_traced(spec, prog, init, steps, leaf_h, &mut Tracer::off())
+}
+
+/// [`try_simulate_dnc2_with_leaf`] with a [`Tracer`] observing the run
+/// as a single bulk stage.
+pub fn try_simulate_dnc2_traced(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    leaf_h: i64,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
     if spec.d != 2 {
         return Err(SimError::DimensionMismatch {
             expected: 2,
@@ -68,13 +82,41 @@ pub fn try_simulate_dnc2_with_leaf(
             got: init.len(),
         });
     }
+    tracer.ensure_procs(1);
+    tracer.begin_stage("run");
     let mut exec = CellExec::new(spec, prog, steps, leaf_h);
     let (mem, values) = exec.run(init);
+    let host_time = exec.ram.time();
+    if let Some(tl) = tracer.tally() {
+        tl.add(0, spec.n * steps.max(0) as u64, 0);
+    }
+    tracer.end_stage(
+        StageTotals {
+            parallel: host_time,
+            busy: host_time,
+            comm: exec.ram.meter.comm,
+            ..StageTotals::default()
+        },
+        1,
+    );
+    let guest_time = mesh_guest_time(spec, prog, steps);
+    tracer.finish_run(
+        RunMeta {
+            engine: "dnc2",
+            d: 2,
+            n: spec.n,
+            m: spec.m,
+            p: 1,
+            steps: steps.max(0) as u64,
+        },
+        host_time,
+        guest_time,
+    );
     Ok(SimReport {
         mem,
         values,
-        host_time: exec.ram.time(),
-        guest_time: mesh_guest_time(spec, prog, steps),
+        host_time,
+        guest_time,
         meter: exec.ram.meter,
         space: exec.ram.high_water(),
         stages: 0,

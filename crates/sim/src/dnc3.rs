@@ -8,6 +8,7 @@
 use bsmp_faults::FaultStats;
 use bsmp_hram::{CostMeter, Word};
 use bsmp_machine::{volume_guest_time, VolumeProgram};
+use bsmp_trace::{RunMeta, StageTotals, Tracer};
 
 use crate::error::SimError;
 use crate::exec3::VolumeExec;
@@ -22,6 +23,18 @@ pub fn try_simulate_dnc3(
     init: &[Word],
     steps: i64,
 ) -> Result<SimReport, SimError> {
+    try_simulate_dnc3_traced(side, prog, init, steps, &mut Tracer::off())
+}
+
+/// [`try_simulate_dnc3`] with a [`Tracer`] observing the run as a single
+/// bulk stage.
+pub fn try_simulate_dnc3_traced(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
     let n = side * side * side;
     if prog.m() != 1 {
         return Err(SimError::DensityMismatch {
@@ -35,13 +48,41 @@ pub fn try_simulate_dnc3(
             got: init.len(),
         });
     }
+    tracer.ensure_procs(1);
+    tracer.begin_stage("run");
     let mut exec = VolumeExec::new(side as i64, prog, steps, 1);
     let (mem, values) = exec.run(init);
+    let host_time = exec.ram.time();
+    if let Some(tl) = tracer.tally() {
+        tl.add(0, n as u64 * steps.max(0) as u64, 0);
+    }
+    tracer.end_stage(
+        StageTotals {
+            parallel: host_time,
+            busy: host_time,
+            comm: exec.ram.meter.comm,
+            ..StageTotals::default()
+        },
+        1,
+    );
+    let guest_time = volume_guest_time(side, 1, prog, steps);
+    tracer.finish_run(
+        RunMeta {
+            engine: "dnc3",
+            d: 3,
+            n: n as u64,
+            m: 1,
+            p: 1,
+            steps: steps.max(0) as u64,
+        },
+        host_time,
+        guest_time,
+    );
     Ok(SimReport {
         mem,
         values,
-        host_time: exec.ram.time(),
-        guest_time: volume_guest_time(side, 1, prog, steps),
+        host_time,
+        guest_time,
         meter: exec.ram.meter,
         space: exec.ram.high_water(),
         stages: 0,
@@ -69,6 +110,18 @@ pub fn try_simulate_naive3(
     init: &[Word],
     steps: i64,
 ) -> Result<SimReport, SimError> {
+    try_simulate_naive3_traced(side, prog, init, steps, &mut Tracer::off())
+}
+
+/// [`try_simulate_naive3`] with a [`Tracer`] observing the run as a
+/// single bulk stage.
+pub fn try_simulate_naive3_traced(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
     let n = side * side * side;
     if prog.m() != 1 {
         return Err(SimError::DensityMismatch {
@@ -82,6 +135,8 @@ pub fn try_simulate_naive3(
             got: init.len(),
         });
     }
+    tracer.ensure_procs(1);
+    tracer.begin_stage("run");
     let access = bsmp_hram::AccessFn::new(3, 1);
     let mut ram = bsmp_hram::Hram::new(access, 3 * n);
     // Layout: value row A at [0, n), row B at [n, 2n).
@@ -125,11 +180,37 @@ pub fn try_simulate_naive3(
         m.add_compute(0.0);
         ram.meter.merged(&m)
     };
+    let host_time = ram.time();
+    if let Some(tl) = tracer.tally() {
+        tl.add(0, n as u64 * steps.max(0) as u64, 0);
+    }
+    tracer.end_stage(
+        StageTotals {
+            parallel: host_time,
+            busy: host_time,
+            comm: meter.comm,
+            ..StageTotals::default()
+        },
+        1,
+    );
+    let guest_time = volume_guest_time(side, 1, prog, steps);
+    tracer.finish_run(
+        RunMeta {
+            engine: "naive3",
+            d: 3,
+            n: n as u64,
+            m: 1,
+            p: 1,
+            steps: steps.max(0) as u64,
+        },
+        host_time,
+        guest_time,
+    );
     Ok(SimReport {
         mem,
         values: prev,
-        host_time: ram.time(),
-        guest_time: volume_guest_time(side, 1, prog, steps),
+        host_time,
+        guest_time,
         meter,
         space: ram.high_water(),
         stages: 0,

@@ -41,6 +41,15 @@ pub enum SimError {
     /// program's `δ` raised); the stage pool caught it and drained the
     /// remaining tasks.
     HostPanic { message: String },
+    /// A derived ratio (slowdown, locality term) is undefined for this
+    /// report — zero or non-finite numerator/denominator.  The plain
+    /// accessors return `NaN`/`∞` silently; the `try_` accessors surface
+    /// this instead.
+    DegenerateReport {
+        what: &'static str,
+        host_time: f64,
+        guest_time: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -102,6 +111,16 @@ impl fmt::Display for SimError {
             SimError::HostPanic { ref message } => {
                 write!(f, "host worker panicked during a stage: {message}")
             }
+            SimError::DegenerateReport {
+                what,
+                host_time,
+                guest_time,
+            } => {
+                write!(
+                    f,
+                    "{what} is undefined: host_time = {host_time}, guest_time = {guest_time}"
+                )
+            }
         }
     }
 }
@@ -162,6 +181,11 @@ mod tests {
             SimError::OutputMismatch { what: "values" },
             SimError::HostPanic {
                 message: "boom".into(),
+            },
+            SimError::DegenerateReport {
+                what: "slowdown",
+                host_time: 5.0,
+                guest_time: 0.0,
             },
         ];
         for e in errs {

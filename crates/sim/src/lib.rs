@@ -46,3 +46,19 @@ pub mod zone;
 
 pub use error::SimError;
 pub use report::SimReport;
+
+/// Snapshot the cumulative stage-clock and fault counters into the shape
+/// the tracer differences at stage close.
+pub(crate) fn stage_totals(
+    clock: &bsmp_machine::StageClock,
+    stats: &bsmp_faults::FaultStats,
+) -> bsmp_trace::StageTotals {
+    bsmp_trace::StageTotals {
+        parallel: clock.parallel_time,
+        busy: clock.busy_time,
+        comm: clock.comm_time,
+        injected_delay: stats.injected_delay,
+        retries: stats.retries,
+        recovered: stats.recovered_stages,
+    }
+}

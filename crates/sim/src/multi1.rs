@@ -47,10 +47,12 @@ use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{diamond_cover, ClippedDiamond, IRect, Pt2};
 use bsmp_hram::Word;
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock, StageScratch};
+use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::exec1::DiamondExec;
 use crate::report::SimReport;
+use crate::stage_totals;
 use crate::zone::ZoneAlloc;
 
 /// The strip rearrangement `π = π₂ ∘ π₁` of Section 4.2.
@@ -203,6 +205,21 @@ pub fn try_simulate_multi1_opt_faulted(
     opts: Multi1Options,
     plan: &FaultPlan,
 ) -> Result<SimReport, SimError> {
+    try_simulate_multi1_traced(spec, prog, init, steps, opts, plan, &mut Tracer::off())
+}
+
+/// [`try_simulate_multi1_opt_faulted`] with a [`Tracer`] observing every
+/// rearrangement/gather/row/scatter stage.  A disabled tracer costs one
+/// `None` check per stage; the report is bit-identical either way.
+pub fn try_simulate_multi1_traced(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    opts: Multi1Options,
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
     let expected = spec.n as usize * prog.m();
     if init.len() != expected {
         return Err(SimError::InitLength {
@@ -212,8 +229,12 @@ pub fn try_simulate_multi1_opt_faulted(
     }
     plan.validate()?;
     let mut eng = Engine::new(spec, prog, steps, opts, plan)?;
+    eng.tracer = std::mem::take(tracer);
+    eng.tracer.ensure_procs(spec.p as usize);
     eng.run(init);
-    Ok(eng.finish(spec, prog, steps))
+    let rep = eng.finish(spec, prog, steps);
+    *tracer = std::mem::take(&mut eng.tracer);
+    Ok(rep)
 }
 
 /// Simulate with explicit options (strip-width sweeps for experiment E9).
@@ -265,6 +286,7 @@ struct Engine<'a, P: LinearProgram> {
     preprocessing_time: f64,
     debug_ctx: String,
     session: FaultSession,
+    tracer: Tracer,
 }
 
 impl<'a, P: LinearProgram> Engine<'a, P> {
@@ -376,7 +398,17 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             preprocessing_time: 0.0,
             debug_ctx: String::new(),
             session,
+            tracer: Tracer::off(),
         })
+    }
+
+    /// Credit points/messages to processor `pr`'s tally slot (no-op when
+    /// tracing is disabled).
+    #[inline]
+    fn tmark(&self, pr: usize, points: u64, msgs: u64) {
+        if let Some(tl) = self.tracer.tally() {
+            tl.add(pr, points, msgs);
+        }
     }
 
     fn proc_of_strip(&self, j: usize) -> usize {
@@ -394,7 +426,8 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
 
     /// Snapshot each processor's (total time, comm charge) into the
     /// reusable scratch — marks the start of a stage.
-    fn begin_stage(&mut self) {
+    fn begin_stage(&mut self, label: &str) {
+        self.tracer.begin_stage(label);
         for ((time, comm), e) in self
             .scratch
             .time_before
@@ -430,6 +463,8 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             &self.scratch.per_comm,
             &mut self.session,
         );
+        self.tracer
+            .end_stage(stage_totals(&self.clock, &self.session.stats), 1);
     }
 
     /// Lay out the guest image at the *natural* strip homes (uncharged:
@@ -448,7 +483,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
         }
         // Rearrangement stage: move every strip to its π-home.
-        self.begin_stage();
+        self.begin_stage("rearrange");
         // Stage via a scratch buffer in the transit region to avoid
         // overwriting unmoved strips (cycle-safe: copy all out, then in).
         let mut buf: Vec<Vec<Word>> = Vec::with_capacity(self.q);
@@ -469,6 +504,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 let c = sm as f64 * hops * self.hop;
                 self.execs[src_p].ram.meter.add_comm(c / 2.0);
                 self.execs[dst_p].ram.meter.add_comm(c / 2.0);
+                self.tmark(src_p, 0, sm as u64);
             }
             for (w, word) in bwords.iter().enumerate() {
                 self.execs[dst_p].ram.write(dst + w, *word);
@@ -498,6 +534,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             ram.meter.add_transfer(c * words as f64);
             ram.meter.add_comm(words as f64 * self.hop);
         }
+        if self.levels > 0 {
+            self.tmark(pr, 0, words as u64 * self.levels as u64);
+        }
     }
 
     /// Move one value into processor `pr`'s transit zone; returns the
@@ -515,6 +554,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             self.execs[owner].ram.meter.add_comm(hops * self.hop / 2.0);
             let dst = self.transit_zones[pr].alloc();
             self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
+            self.tmark(pr, 0, 1);
             self.execs[pr].ram.write(dst, w);
             self.placed.insert(pt, (pr, dst));
             return dst;
@@ -538,6 +578,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             let hops = (owner as i64 - pr as i64).unsigned_abs() as f64;
             self.execs[owner].ram.meter.add_comm(hops * self.hop / 2.0);
             self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
+            self.tmark(pr, 0, 1);
         }
         let dst = self.transit_zones[pr].alloc();
         self.execs[pr].ram.write(dst, w);
@@ -611,6 +652,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         if piece.points_count() == 0 {
             return;
         }
+        self.tmark(pr, piece.points_count() as u64, 0);
         self.debug_ctx = format!("piece {:?} on proc {pr}", piece.d);
         // Stage preboundary values.  Each piece gets *private* copies of
         // its preboundary (the recursion consumes and frees them); the
@@ -748,6 +790,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let out_set: HashSet<Pt2> = self.outbound(piece).into_iter().collect();
         for pt in &pts {
             let side = if pt.x < cx { pl } else { pr };
+            self.tmark(side, 1, 0);
             // Operand fetches: previous values from `vals` (placed on
             // either side); charge a read at the transit band plus a hop
             // when the operand lives across the seam.
@@ -769,6 +812,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     let hops = (owner as i64 - side as i64).unsigned_abs() as f64;
                     me.execs[owner].ram.meter.add_comm(hops * me.hop / 2.0);
                     me.execs[side].ram.meter.add_comm(hops * me.hop / 2.0);
+                    me.tmark(side, 0, 1);
                 }
                 w
             };
@@ -812,7 +856,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         self.debug_ctx = format!("tile {:?}", tile.d);
         let ps = (self.p * self.s) as i64;
         // --- Gather stage: stage all strips the tile touches.
-        self.begin_stage();
+        self.begin_stage("gather");
         let b = tile.d.bbox().intersect(&self.cbox);
         if b.is_empty() {
             return;
@@ -855,7 +899,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let _ = ps;
         let mut prev_row_lo = i64::MIN;
         for (row_ct, row) in rows {
-            self.begin_stage();
+            self.begin_stage("row");
             // Free transit slots of values that no later piece (in this
             // tile or any other) can consume: everything below the
             // previous row's floor that does not escape the tile.
@@ -909,7 +953,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
 
         // --- Scatter stage: return strips home; persist still-needed
         // boundary values; drop the rest.
-        self.begin_stage();
+        self.begin_stage("scatter");
         for &j in &strips {
             self.unstage_strip(j);
         }
@@ -970,7 +1014,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         // back into the strip homes (charged — the host must leave the
         // guest's memory as the guest would).
         if self.m == 1 {
-            self.begin_stage();
+            self.begin_stage("writeback");
             for x in 0..self.n {
                 let pt = Pt2::new(x as i64, self.t_steps);
                 let (pr, addr) = *self.home.get(&pt).expect("final value homed");
@@ -982,6 +1026,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     let hops = (hp_ as i64 - pr as i64).unsigned_abs() as f64;
                     self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
                     self.execs[hp_].ram.meter.add_comm(hops * self.hop / 2.0);
+                    self.tmark(pr, 0, 1);
                 }
                 let dst = self.strip_home(j) + (x - j * self.s);
                 self.execs[hp_].ram.write(dst, w);
@@ -990,7 +1035,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         }
 
         // Final un-rearrangement (restore the guest's natural layout).
-        self.begin_stage();
+        self.begin_stage("restore");
         let sm = self.s * self.m;
         let seg = self.q / self.p;
         let mut buf: Vec<Vec<Word>> = Vec::with_capacity(self.q);
@@ -1012,6 +1057,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 let c = sm as f64 * hops * self.hop;
                 self.execs[src_p].ram.meter.add_comm(c / 2.0);
                 self.execs[dst_p].ram.meter.add_comm(c / 2.0);
+                self.tmark(src_p, 0, sm as u64);
             }
             for (w, word) in bwords.iter().enumerate() {
                 self.execs[dst_p].ram.write(dst + w, *word);
@@ -1046,11 +1092,24 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             .fold(bsmp_hram::CostMeter::new(), |acc, e| {
                 acc.merged(&e.ram.meter)
             });
+        let guest_time = linear_guest_time(spec, prog, steps);
+        self.tracer.finish_run(
+            RunMeta {
+                engine: "multi1",
+                d: 1,
+                n: spec.n,
+                m: spec.m,
+                p: spec.p,
+                steps: steps.max(0) as u64,
+            },
+            self.clock.parallel_time,
+            guest_time,
+        );
         SimReport {
             mem,
             values,
             host_time: self.clock.parallel_time,
-            guest_time: linear_guest_time(spec, prog, steps),
+            guest_time,
             meter,
             space: self
                 .execs

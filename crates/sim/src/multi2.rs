@@ -33,10 +33,12 @@ use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
 use bsmp_hram::Word;
 use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock, StageScratch};
+use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::exec2::CellExec;
 use crate::report::SimReport;
+use crate::stage_totals;
 use crate::zone::ZoneAlloc;
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`,
@@ -48,6 +50,19 @@ pub fn try_simulate_multi2_faulted(
     steps: i64,
     plan: &FaultPlan,
 ) -> Result<SimReport, SimError> {
+    try_simulate_multi2_traced(spec, prog, init, steps, plan, &mut Tracer::off())
+}
+
+/// [`try_simulate_multi2_faulted`] with a [`Tracer`] observing each
+/// honeycomb stage row; the report is bit-identical either way.
+pub fn try_simulate_multi2_traced(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
     let expected = spec.n as usize * prog.m();
     if init.len() != expected {
         return Err(SimError::InitLength {
@@ -57,8 +72,12 @@ pub fn try_simulate_multi2_faulted(
     }
     plan.validate()?;
     let mut eng = Engine2::new(spec, prog, steps, plan)?;
+    eng.tracer = std::mem::take(tracer);
+    eng.tracer.ensure_procs(spec.p as usize);
     eng.run(init);
-    Ok(eng.finish(spec, prog, steps))
+    let rep = eng.finish(spec, prog, steps);
+    *tracer = std::mem::take(&mut eng.tracer);
+    Ok(rep)
 }
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`,
@@ -101,6 +120,7 @@ struct Engine2<'a, P: MeshProgram> {
     /// Reusable stage buffers (snapshots + deltas), allocated once.
     scratch: StageScratch,
     session: FaultSession,
+    tracer: Tracer,
     tile_space: usize,
     state_base: usize,
 }
@@ -195,6 +215,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             clock: StageClock::new(),
             scratch: StageScratch::new(sp * sp),
             session,
+            tracer: Tracer::off(),
             tile_space,
             state_base,
         })
@@ -222,9 +243,19 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         self.state_base + (ly * self.b + lx) * self.m
     }
 
+    /// Credit `points` space-time points and `msgs` messages to
+    /// processor `pr` in the tracer's per-stage tally (no-op when off).
+    #[inline]
+    fn tmark(&self, pr: usize, points: u64, msgs: u64) {
+        if let Some(tl) = self.tracer.tally() {
+            tl.add(pr, points, msgs);
+        }
+    }
+
     /// Snapshot each processor's (total time, comm charge) into the
     /// reusable scratch — marks the start of a stage.
-    fn begin_stage(&mut self) {
+    fn begin_stage(&mut self, label: &str) {
+        self.tracer.begin_stage(label);
         for ((time, comm), e) in self
             .scratch
             .time_before
@@ -260,6 +291,8 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             &self.scratch.per_comm,
             &mut self.session,
         );
+        self.tracer
+            .end_stage(stage_totals(&self.clock, &self.session.stats), 1);
     }
 
     fn gamma(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
@@ -314,6 +347,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             let hops = self.proc_hops(owner, pr);
             self.execs[owner].ram.meter.add_comm(hops * self.hop / 2.0);
             self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
+            self.tmark(pr, 0, 1);
         }
         let dst = self.transit_zones[pr].alloc();
         self.execs[pr].ram.write(dst, w);
@@ -358,6 +392,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                     let c = self.m as f64 * hops * self.hop;
                     self.execs[hpr].ram.meter.add_comm(c / 2.0);
                     self.execs[pr].ram.meter.add_comm(c / 2.0);
+                    self.tmark(pr, 0, self.m as u64);
                     for cc in 0..self.m {
                         let w = self.execs[hpr].ram.read(home_addr + cc);
                         self.execs[pr].ram.write(copy + cc, w);
@@ -388,6 +423,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
         self.execs[pr].exec(piece, &want, &mut zone);
         self.transit_zones[pr] = zone;
+        self.tmark(pr, piece.points_count() as u64, 0);
 
         // Harvest outbound values: persist them at the *consumer-side*
         // home (the processor owning the value's node).
@@ -404,6 +440,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                 let hops = self.proc_hops(hpr, pr);
                 self.execs[pr].ram.meter.add_comm(hops * self.hop / 2.0);
                 self.execs[hpr].ram.meter.add_comm(hops * self.hop / 2.0);
+                self.tmark(pr, 0, 1);
             }
             if let Some((opr, oaddr)) = self.home.get(&pt).copied() {
                 self.home_zones[opr].free(oaddr);
@@ -426,6 +463,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                     let c = self.m as f64 * hops * self.hop;
                     self.execs[hpr].ram.meter.add_comm(c / 2.0);
                     self.execs[pr].ram.meter.add_comm(c / 2.0);
+                    self.tmark(pr, 0, self.m as u64);
                     for cc in 0..self.m {
                         let w = self.execs[pr].ram.read(parked + cc);
                         self.execs[hpr].ram.write(home_addr + cc, w);
@@ -464,12 +502,12 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let cells = cell_cover(self.cbox, hb, Pt3::new(0, 0, 0));
         // Stage rows: group by the projection-center time sum.
         let mut last_key = i64::MIN;
-        self.begin_stage();
+        self.begin_stage("cells");
         for cell in cells {
             let key = cell.cell.dx.ct + cell.cell.dy.ct;
             if key != last_key && last_key != i64::MIN {
                 self.close_stage();
-                self.begin_stage();
+                self.begin_stage("cells");
                 self.gc(key / 2 - 2 * hb);
             }
             last_key = key;
@@ -498,7 +536,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let m = self.m;
         // Final write-back for m = 1 (value is the state).
         if m == 1 && steps > 0 {
-            self.begin_stage();
+            self.begin_stage("writeback");
             for y in 0..side {
                 for x in 0..side {
                     let pt = Pt3::new(x as i64, y as i64, steps);
@@ -537,11 +575,24 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             .fold(bsmp_hram::CostMeter::new(), |acc, e| {
                 acc.merged(&e.ram.meter)
             });
+        let guest_time = mesh_guest_time(spec, prog, steps);
+        self.tracer.finish_run(
+            RunMeta {
+                engine: "multi2",
+                d: 2,
+                n: spec.n,
+                m: spec.m,
+                p: spec.p,
+                steps: steps.max(0) as u64,
+            },
+            self.clock.parallel_time,
+            guest_time,
+        );
         SimReport {
             mem,
             values,
             host_time: self.clock.parallel_time,
-            guest_time: mesh_guest_time(spec, prog, steps),
+            guest_time,
             meter,
             space: self
                 .execs

@@ -15,9 +15,11 @@ use bsmp_machine::{
     linear_guest_time, DisjointSlice, ExecPolicy, LinearProgram, MachineSpec, StageClock,
     StagePool, StageScratch,
 };
+use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::report::SimReport;
+use crate::stage_totals;
 
 /// Simulate `steps` guest steps of `M_1(n, n, m)` on `M_1(n, p, m)` by
 /// the naive method, injecting faults per `plan`.
@@ -41,6 +43,21 @@ pub fn try_simulate_naive1_exec(
     steps: i64,
     plan: &FaultPlan,
     exec: ExecPolicy,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive1_traced(spec, prog, init, steps, plan, exec, &mut Tracer::off())
+}
+
+/// [`try_simulate_naive1_exec`] with a [`Tracer`] observing each stage.
+/// A disabled tracer costs one `None` check per stage; the report is
+/// bit-identical either way, since the tracer only reads the clock.
+pub fn try_simulate_naive1_traced(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    tracer: &mut Tracer,
 ) -> Result<SimReport, SimError> {
     let n = spec.n as usize;
     let p = spec.p as usize;
@@ -116,10 +133,14 @@ pub fn try_simulate_naive1_exec(
         StagePool::new(1)
     };
     let mut scratch = StageScratch::new(p);
+    tracer.ensure_procs(p);
     for t in 1..=steps {
+        tracer.begin_stage("step");
+        let tally = tracer.tally();
         let run_proc = |pi: usize, ram: &mut Hram, next: &mut [Word]| -> f64 {
             let t0 = ram.time();
             let mut comm = 0.0;
+            let mut msgs = 0u64;
             for (j, slot) in next.iter_mut().enumerate() {
                 let v = pi * q + j;
                 let c = prog.cell(v, t);
@@ -128,6 +149,7 @@ pub fn try_simulate_naive1_exec(
                     prog.boundary()
                 } else if j == 0 {
                     comm += hop; // one word from the west neighbor node
+                    msgs += 1;
                     prev[v - 1]
                 } else {
                     ram.read(row_prev + j - 1)
@@ -136,6 +158,7 @@ pub fn try_simulate_naive1_exec(
                     prog.boundary()
                 } else if j == q - 1 {
                     comm += hop;
+                    msgs += 1;
                     prev[v + 1]
                 } else {
                     ram.read(row_prev + j + 1)
@@ -150,9 +173,14 @@ pub fn try_simulate_naive1_exec(
             // Outbound edge values to the two neighbors.
             if pi > 0 {
                 comm += hop;
+                msgs += 1;
             }
             if pi + 1 < p {
                 comm += hop;
+                msgs += 1;
+            }
+            if let Some(tl) = tally {
+                tl.add(pi, q as u64, msgs);
             }
             ram.meter.add_comm(comm);
             ram.time() - t0
@@ -182,6 +210,7 @@ pub fn try_simulate_naive1_exec(
             *delta = ram.meter.comm - before;
         }
         clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
+        tracer.end_stage(stage_totals(&clock, &session.stats), pool.threads());
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }
@@ -198,11 +227,24 @@ pub fn try_simulate_naive1_exec(
     let meter = rams
         .iter()
         .fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
+    let guest_time = linear_guest_time(spec, prog, steps);
+    tracer.finish_run(
+        RunMeta {
+            engine: "naive1",
+            d: 1,
+            n: spec.n,
+            m: spec.m,
+            p: spec.p,
+            steps: steps.max(0) as u64,
+        },
+        clock.parallel_time,
+        guest_time,
+    );
     Ok(SimReport {
         mem,
         values: prev,
         host_time: clock.parallel_time,
-        guest_time: linear_guest_time(spec, prog, steps),
+        guest_time,
         meter,
         space: rams.iter().map(|r| r.high_water()).max().unwrap_or(0),
         stages: clock.stages,

@@ -10,9 +10,11 @@ use bsmp_machine::{
     mesh_guest_time, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram, StageClock, StagePool,
     StageScratch,
 };
+use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::report::SimReport;
+use crate::stage_totals;
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)` by
 /// the naive method, injecting faults per `plan`.
@@ -36,6 +38,21 @@ pub fn try_simulate_naive2_exec(
     steps: i64,
     plan: &FaultPlan,
     exec: ExecPolicy,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive2_traced(spec, prog, init, steps, plan, exec, &mut Tracer::off())
+}
+
+/// [`try_simulate_naive2_exec`] with a [`Tracer`] observing each stage.
+/// A disabled tracer costs one `None` check per stage; the report is
+/// bit-identical either way, since the tracer only reads the clock.
+pub fn try_simulate_naive2_traced(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    tracer: &mut Tracer,
 ) -> Result<SimReport, SimError> {
     if spec.d != 2 {
         return Err(SimError::DimensionMismatch {
@@ -115,7 +132,10 @@ pub fn try_simulate_naive2_exec(
         StagePool::new(1)
     };
     let mut scratch = StageScratch::new(sp * sp);
+    tracer.ensure_procs(sp * sp);
     for t in 1..=steps {
+        tracer.begin_stage("step");
+        let tally = tracer.tally();
         for (before, ram) in scratch.comm_before.iter_mut().zip(&rams) {
             *before = ram.meter.comm;
         }
@@ -124,6 +144,7 @@ pub fn try_simulate_naive2_exec(
             let (pi_, pj) = (pid % sp, pid / sp);
             let t0 = ram.time();
             let mut comm = 0.0;
+            let mut msgs = 0u64;
             for jj in 0..b {
                 for ii in 0..b {
                     let (i, j) = (pi_ * b + ii, pj * b + jj);
@@ -131,23 +152,25 @@ pub fn try_simulate_naive2_exec(
                     let l = jj * b + ii;
                     let own = ram.read(l * m + c);
                     let bd = prog.boundary();
-                    let fetch = |di: isize, dj: isize, ram: &mut Hram, comm: &mut f64| {
-                        let (ni, nj) = (i as isize + di, j as isize + dj);
-                        if ni < 0 || nj < 0 || ni >= side as isize || nj >= side as isize {
-                            return bd;
-                        }
-                        let (ni, nj) = (ni as usize, nj as usize);
-                        if proc_of(ni, nj) == pid {
-                            ram.read(row_prev + loc_of(ni, nj))
-                        } else {
-                            *comm += hop;
-                            prev[nj * side + ni]
-                        }
-                    };
-                    let w = fetch(-1, 0, ram, &mut comm);
-                    let e = fetch(1, 0, ram, &mut comm);
-                    let s = fetch(0, -1, ram, &mut comm);
-                    let nn = fetch(0, 1, ram, &mut comm);
+                    let fetch =
+                        |di: isize, dj: isize, ram: &mut Hram, comm: &mut f64, msgs: &mut u64| {
+                            let (ni, nj) = (i as isize + di, j as isize + dj);
+                            if ni < 0 || nj < 0 || ni >= side as isize || nj >= side as isize {
+                                return bd;
+                            }
+                            let (ni, nj) = (ni as usize, nj as usize);
+                            if proc_of(ni, nj) == pid {
+                                ram.read(row_prev + loc_of(ni, nj))
+                            } else {
+                                *comm += hop;
+                                *msgs += 1;
+                                prev[nj * side + ni]
+                            }
+                        };
+                    let w = fetch(-1, 0, ram, &mut comm, &mut msgs);
+                    let e = fetch(1, 0, ram, &mut comm, &mut msgs);
+                    let s = fetch(0, -1, ram, &mut comm, &mut msgs);
+                    let nn = fetch(0, 1, ram, &mut comm, &mut msgs);
                     let mine = ram.read(row_prev + l);
                     let out = prog.delta(i, j, t, own, mine, w, e, s, nn);
                     ram.compute();
@@ -175,6 +198,10 @@ pub fn try_simulate_naive2_exec(
                 sides += 1;
             }
             comm += (sides * b) as f64 * hop;
+            msgs += (sides * b) as u64;
+            if let Some(tl) = tally {
+                tl.add(pid, q as u64, msgs);
+            }
             ram.meter.add_comm(comm);
             ram.time() - t0
         };
@@ -194,6 +221,7 @@ pub fn try_simulate_naive2_exec(
             *delta = ram.meter.comm - before;
         }
         clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
+        tracer.end_stage(stage_totals(&clock, &session.stats), pool.threads());
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }
@@ -211,11 +239,24 @@ pub fn try_simulate_naive2_exec(
     let meter = rams
         .iter()
         .fold(bsmp_hram::CostMeter::new(), |acc, r| acc.merged(&r.meter));
+    let guest_time = mesh_guest_time(spec, prog, steps);
+    tracer.finish_run(
+        RunMeta {
+            engine: "naive2",
+            d: 2,
+            n: spec.n,
+            m: spec.m,
+            p: spec.p,
+            steps: steps.max(0) as u64,
+        },
+        clock.parallel_time,
+        guest_time,
+    );
     Ok(SimReport {
         mem,
         values: prev,
         host_time: clock.parallel_time,
-        guest_time: mesh_guest_time(spec, prog, steps),
+        guest_time,
         meter,
         space: rams.iter().map(|r| r.high_water()).max().unwrap_or(0),
         stages: clock.stages,

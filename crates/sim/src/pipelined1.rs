@@ -15,9 +15,11 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostMeter, Word};
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock, StageScratch};
+use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::report::SimReport;
+use crate::stage_totals;
 
 /// Naive simulation of `M_1(n, n, m)` on a pipelined-memory
 /// `M_1(n, p, m)` host, injecting faults per `plan`.
@@ -27,6 +29,19 @@ pub fn try_simulate_pipelined1_faulted(
     init: &[Word],
     steps: i64,
     plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_pipelined1_traced(spec, prog, init, steps, plan, &mut Tracer::off())
+}
+
+/// [`try_simulate_pipelined1_faulted`] with a [`Tracer`] observing each
+/// stage; the report is bit-identical either way.
+pub fn try_simulate_pipelined1_traced(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
 ) -> Result<SimReport, SimError> {
     let n = spec.n as usize;
     let p = spec.p as usize;
@@ -77,7 +92,10 @@ pub fn try_simulate_pipelined1_faulted(
     let mut meter = CostMeter::new();
 
     let mut scratch = StageScratch::new(p);
+    tracer.ensure_procs(p);
     for t in 1..=steps {
+        tracer.begin_stage("step");
+        let tally = tracer.tally();
         for pi in 0..p {
             // The step's batch: one private-cell read + one write per
             // hosted node, plus the value-row traffic (2 reads + 1 write
@@ -104,11 +122,17 @@ pub fn try_simulate_pipelined1_faulted(
             // plus the unchanged near-neighbor exchanges.
             let local = access.f(max_addr.max(q * m + 2 * q)) + k as f64 + q as f64;
             let mut comm = 0.0;
+            let mut msgs = 0u64;
             if pi > 0 {
                 comm += 2.0 * hop;
+                msgs += 2;
             }
             if pi + 1 < p {
                 comm += 2.0 * hop;
+                msgs += 2;
+            }
+            if let Some(tl) = tally {
+                tl.add(pi, q as u64, msgs);
             }
             meter.add_transfer(local);
             meter.add_comm(comm);
@@ -116,14 +140,28 @@ pub fn try_simulate_pipelined1_faulted(
             scratch.per_comm[pi] = comm;
         }
         clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
+        tracer.end_stage(stage_totals(&clock, &session.stats), 1);
         std::mem::swap(&mut prev, &mut next);
     }
 
+    let guest_time = linear_guest_time(spec, prog, steps);
+    tracer.finish_run(
+        RunMeta {
+            engine: "pipelined1",
+            d: 1,
+            n: spec.n,
+            m: spec.m,
+            p: spec.p,
+            steps: steps.max(0) as u64,
+        },
+        clock.parallel_time,
+        guest_time,
+    );
     Ok(SimReport {
         mem,
         values: prev,
         host_time: clock.parallel_time,
-        guest_time: linear_guest_time(spec, prog, steps),
+        guest_time,
         meter,
         space: n * m / p + 2 * q,
         stages: clock.stages,

@@ -52,6 +52,35 @@ impl SimReport {
         self.slowdown() / (n as f64 / p as f64)
     }
 
+    /// [`slowdown`](Self::slowdown) that surfaces the degenerate cases
+    /// (zero-time guest with a nonzero host, non-finite clocks) as a
+    /// typed error instead of silently returning `∞`/`NaN`.
+    pub fn try_slowdown(&self) -> Result<f64, SimError> {
+        let s = self.slowdown();
+        if !s.is_finite() || !self.host_time.is_finite() || !self.guest_time.is_finite() {
+            return Err(SimError::DegenerateReport {
+                what: "slowdown",
+                host_time: self.host_time,
+                guest_time: self.guest_time,
+            });
+        }
+        Ok(s)
+    }
+
+    /// [`locality_slowdown`](Self::locality_slowdown) with the same
+    /// degenerate cases surfaced (including a zero-`p` baseline).
+    pub fn try_locality_slowdown(&self, n: u64, p: u64) -> Result<f64, SimError> {
+        let brent = n as f64 / p as f64;
+        if p == 0 || !brent.is_finite() || brent == 0.0 {
+            return Err(SimError::DegenerateReport {
+                what: "locality slowdown",
+                host_time: self.host_time,
+                guest_time: self.guest_time,
+            });
+        }
+        Ok(self.try_slowdown()? / brent)
+    }
+
     /// Check outputs against a reference guest run.
     pub fn check_matches(&self, mem: &[Word], values: &[Word]) -> Result<(), SimError> {
         if self.values != values {
@@ -107,6 +136,34 @@ mod tests {
         assert_eq!(report(0.0, 0.0).slowdown(), 1.0);
         assert_eq!(report(5.0, 0.0).slowdown(), f64::INFINITY);
         assert!(report(0.0, 0.0).locality_slowdown(4, 2).is_finite());
+    }
+
+    #[test]
+    fn try_slowdown_surfaces_degenerate_reports() {
+        // Empty report: both clocks zero — slowdown defined as 1.
+        assert_eq!(report(0.0, 0.0).try_slowdown(), Ok(1.0));
+        // Zero-baseline with work done: the silent API says ∞, the
+        // typed API refuses.
+        assert_eq!(
+            report(5.0, 0.0).try_slowdown(),
+            Err(SimError::DegenerateReport {
+                what: "slowdown",
+                host_time: 5.0,
+                guest_time: 0.0,
+            })
+        );
+        assert!(report(f64::NAN, 1.0).try_slowdown().is_err());
+        assert_eq!(report(1000.0, 10.0).try_slowdown(), Ok(100.0));
+        // Bit-compatibility: the plain accessor is untouched.
+        assert_eq!(report(5.0, 0.0).slowdown(), f64::INFINITY);
+    }
+
+    #[test]
+    fn try_locality_slowdown_guards_the_brent_term() {
+        assert_eq!(report(1000.0, 10.0).try_locality_slowdown(64, 16), Ok(25.0));
+        assert!(report(1000.0, 10.0).try_locality_slowdown(64, 0).is_err());
+        assert!(report(1000.0, 10.0).try_locality_slowdown(0, 16).is_err());
+        assert!(report(5.0, 0.0).try_locality_slowdown(64, 16).is_err());
     }
 
     #[test]
