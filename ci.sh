@@ -47,6 +47,34 @@ grep -q '"schema": "bsmp-trace/v1"' "$TRACE" || {
 }
 cargo run --release -q -p bsmp-cli -- trace-validate "$TRACE"
 
+echo "==> chaos smoke (bsmp-repro --faults + trace-validate)"
+# One short seeded storm+churn scenario per region dimension: the
+# committed interval-region plan, and a tile-region plan written here.
+CHAOS_TRACE="$SCRATCH/chaos_interval.json"
+cargo run --release -q -p bsmp-cli -- --quick --faults examples/chaos_storm.json \
+    --trace "$CHAOS_TRACE" E1 > /dev/null
+cargo run --release -q -p bsmp-cli -- trace-validate "$CHAOS_TRACE"
+TILE_PLAN="$SCRATCH/chaos_tile_plan.json"
+cat > "$TILE_PLAN" <<'EOF'
+{
+  "seed": 1995,
+  "slowdown": {"model": "pareto", "xm": 1.0, "alpha": 2.5},
+  "outage": {"region": {"r0": 0, "r1": 2, "c0": 0, "c1": 1}, "onset": 3, "duration": 2, "period": 10},
+  "churn": {"leave_permille": 25, "down_stages": 2, "max_retries": 8, "backoff_hops": 1.0}
+}
+EOF
+CHAOS_TRACE2="$SCRATCH/chaos_tile.json"
+cargo run --release -q -p bsmp-cli -- --quick --faults "$TILE_PLAN" \
+    --trace "$CHAOS_TRACE2" E1 > /dev/null
+cargo run --release -q -p bsmp-cli -- trace-validate "$CHAOS_TRACE2"
+
+echo "==> chaos soak (opt-in)"
+if [ "${BSMP_SOAK:-0}" = "1" ]; then
+    BSMP_SOAK=1 cargo test --release -q -p bsmp --test chaos
+else
+    echo "    skipped (set BSMP_SOAK=1 for the extended scenario soak)"
+fi
+
 echo "==> working tree unchanged by the run"
 STATUS_AFTER="$(git status --porcelain)"
 if [ "$STATUS_BEFORE" != "$STATUS_AFTER" ]; then

@@ -1,0 +1,142 @@
+//! **E14 — regime-boundary drift under adversarial scenarios**: how the
+//! Theorem-1/4 processor-time envelope deforms when the network
+//! misbehaves.  For each scenario family of DESIGN.md §14 (delay
+//! distributions, asymmetric links, partition storms, churn) we sweep
+//! the processor count under the two-regime strategy and measure two
+//! things: the speedup envelope `S(p) = T_1/T_p`, and the **retention
+//! boundary** `p½` — the largest processor count at which the scenario
+//! still delivers at least half the clean envelope (`T_p ≤ 2·T_p^clean`).
+//! Fault load acts like an added serial fraction on the stage critical
+//! path (Gunther's critical-path lens), and its communication component
+//! grows with `p`, so adversarial families pull `p½` leftward — that
+//! movement is the measured regime-boundary drift.
+
+use crate::table::{fnum, Table};
+use crate::Scale;
+use bsmp::faults::Region;
+use bsmp::workloads::{inputs, Eca};
+use bsmp::{FaultPlan, Simulation, Strategy};
+
+/// The scenario families swept by E14, seeded for reproducibility.
+/// Parameters are deliberately harsh (heavy tails, 2/3-duty storms,
+/// frequent churn) so the drift is visible at report precision.
+fn families() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::none()),
+        (
+            "lognormal jitter",
+            FaultPlan::none().seed(14).lognormal(0.7, 0.8),
+        ),
+        ("pareto jitter", FaultPlan::none().seed(14).pareto(1.0, 1.2)),
+        (
+            "asymmetric links",
+            FaultPlan::none()
+                .seed(14)
+                .lognormal(0.5, 0.5)
+                .asymmetric(0.9),
+        ),
+        (
+            "partition storm",
+            FaultPlan::none()
+                .seed(14)
+                .storm(Region::Interval { lo: 0, hi: 4 }, 2, 4, 6),
+        ),
+        ("churn", FaultPlan::none().seed(14).churn(60, 2, 12, 1.0)),
+    ]
+}
+
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (n, steps, ps): (u64, i64, &[u64]) = match scale {
+        Scale::Quick => (64, 64, &[1, 2, 4, 8, 16, 32, 64]),
+        Scale::Full => (256, 256, &[1, 2, 4, 8, 16, 32, 64, 128, 256]),
+    };
+    let prog = Eca::rule110();
+    let init = inputs::random_bits(14, n as usize);
+
+    let run_one = |plan: &FaultPlan, p: u64| -> f64 {
+        Simulation::linear(n, p, 1)
+            .strategy(Strategy::TwoRegime)
+            .faults(*plan)
+            .try_run(&prog, &init, steps)
+            .unwrap_or_else(|e| panic!("E14 p={p}: {e}"))
+            .sim
+            .host_time
+    };
+
+    let mut header: Vec<String> = vec!["scenario".into()];
+    header.extend(ps.iter().map(|p| format!("S(p={p})")));
+    header.push("p½".into());
+    header.push("drift".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut envelope = Table::new(
+        format!("E14 / regime-boundary drift — speedup T_1/T_p and the half-envelope retention boundary p½ (two-regime strategy, d = 1, n = {n}, T = {steps})"),
+        &header_refs,
+    );
+
+    let mut infl_header: Vec<String> = vec!["scenario".into()];
+    infl_header.extend(ps.iter().map(|p| format!("p={p}")));
+    let infl_refs: Vec<&str> = infl_header.iter().map(String::as_str).collect();
+    let mut inflation = Table::new(
+        format!("E14b / clock inflation T_p(scenario)/T_p(clean) per processor count (n = {n}, T = {steps})"),
+        &infl_refs,
+    );
+
+    let mut clean_times: Vec<f64> = Vec::new();
+    let mut clean_boundary: Option<u64> = None;
+    for (label, plan) in families() {
+        let times: Vec<f64> = ps.iter().map(|&p| run_one(&plan, p)).collect();
+        if clean_times.is_empty() {
+            clean_times = times.clone();
+        }
+        let t1 = times[0];
+        // Retention boundary: the largest p still inside 2× of clean.
+        let boundary = ps
+            .iter()
+            .zip(times.iter().zip(&clean_times))
+            .filter(|(_, (tp, clean))| **tp <= 2.0 * **clean)
+            .map(|(p, _)| *p)
+            .max();
+        let base = *clean_boundary.get_or_insert(boundary.unwrap_or(0));
+        let drift = match boundary {
+            Some(b) if b == base => "—".to_string(),
+            Some(b) => format!("{base} → {b}"),
+            None => format!("{base} → (never)"),
+        };
+        let mut row: Vec<String> = vec![label.to_string()];
+        row.extend(times.iter().map(|tp| fnum(t1 / tp)));
+        row.push(boundary.map_or("—".into(), |b| b.to_string()));
+        row.push(drift);
+        envelope.row(row);
+
+        let mut irow: Vec<String> = vec![label.to_string()];
+        irow.extend(
+            times
+                .iter()
+                .zip(&clean_times)
+                .map(|(tp, c)| format!("{:.4}", tp / c)),
+        );
+        inflation.row(irow);
+    }
+    envelope.note(
+        "S(p) = T_1/T_p from the measured clock (T_p keeps falling through \
+         p = n: bounded-speed locality makes the last octave superlinear, \
+         the paper's Section-1 effect).  p½ is the largest p whose faulted \
+         clock stays within 2× of the clean clock — the measured boundary \
+         of the regime where the Theorem-1/4 envelope survives the \
+         adversary.  Link-level families (jitter, asymmetry) ride the \
+         communication share of the stage critical path, which peaks in \
+         the superlinear octave — they pull p½ in from p = n; churn taxes \
+         every stage with backoff/restore serial time (Gunther's \
+         critical-path bound) and erodes mid-range p too.  All draws are \
+         hash-seeded: the table is bit-reproducible.",
+    );
+    inflation.note(
+        "Inflation compares each scenario to the clean run at the same p. \
+         Link-level families inflate most where communication dominates \
+         (large p), storms defer and then batch their queued traffic, and \
+         churn compounds steadily with stage count — three different \
+         mechanisms, one common outcome: the right edge of the envelope \
+         is the first casualty.",
+    );
+    vec![envelope, inflation]
+}

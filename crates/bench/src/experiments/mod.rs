@@ -4,6 +4,7 @@ pub mod e10_brent;
 pub mod e11_extensions;
 pub mod e12_ablation;
 pub mod e13_faults;
+pub mod e14_chaos;
 pub mod e1_thm2;
 pub mod e2_thm3;
 pub mod e3_thm4;
@@ -102,6 +103,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "E13",
             artifact: "Fault injection (ν-envelope, loss/crash accounting)",
             run: e13_faults::run,
+        },
+        Experiment {
+            id: "E14",
+            artifact: "Regime-boundary drift under adversarial scenarios",
+            run: e14_chaos::run,
         },
     ]
 }

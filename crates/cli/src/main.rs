@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--trace <PATH>] [E1 E4 ...]
+//! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]
 //! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters]
 //! bsmp-repro trace-validate <PATH>
 //! ```
@@ -16,8 +16,12 @@
 //!   slowdown ν ≥ 1 before the experiment tables;
 //! * `--fault-seed <s>` — seed for the demo sweep's jitter/loss/crash
 //!   plan (implies the sweep; default plan is pure slowdown);
+//! * `--faults <PLAN.json>` — load a full scenario plan (DESIGN.md §14:
+//!   delay distributions, asymmetric links, partition storms, churn)
+//!   and run the demo sweep under it; mutually exclusive with the
+//!   `--slow`/`--fault-seed` shorthands;
 //! * `--trace <PATH>` — run a traced demo simulation and write its
-//!   `bsmp-trace/v1` JSON log to `PATH` (honors `--slow`);
+//!   `bsmp-trace/v1` JSON log to `PATH` (honors `--slow`/`--faults`);
 //! * `E1 … E13` — restrict to the named experiments;
 //! * `bench` — instead of the report, time the engine suite and write
 //!   the wall-clock baseline as JSON (default `BENCH_engines.json`);
@@ -36,6 +40,7 @@ struct Args {
     wanted: Vec<String>,
     slow: Option<f64>,
     fault_seed: Option<u64>,
+    faults_path: Option<String>,
     threads: usize,
     bench: Option<BenchArgs>,
     trace_out: Option<String>,
@@ -55,6 +60,7 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
         wanted: Vec::new(),
         slow: None,
         fault_seed: None,
+        faults_path: None,
         threads: 0,
         bench: None,
         trace_out: None,
@@ -83,6 +89,10 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--fault-seed: `{v}` is not a u64"))?;
                 args.fault_seed = Some(seed);
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults requires a plan path (JSON)")?;
+                args.faults_path = Some(v.clone());
             }
             "--trace" => {
                 let v = it.next().ok_or("--trace requires an output path")?;
@@ -143,54 +153,73 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
             other => return Err(format!("unrecognized argument `{other}`")),
         }
     }
+    if args.faults_path.is_some() && (args.slow.is_some() || args.fault_seed.is_some()) {
+        return Err(
+            "--faults replaces the --slow/--fault-seed shorthands; pass one or the other".into(),
+        );
+    }
     Ok(args)
 }
 
-/// The `--slow`/`--fault-seed` demo: one TwoRegime run per plan,
-/// checked against the clean run, reported as a small markdown table.
-fn fault_sweep(nu: f64, seed: Option<u64>) -> Result<(), bsmp::SimError> {
+/// Load, parse, and validate a scenario plan file for `--faults`.
+/// Any failure here is a bad-argument error (exit status 2): the plan
+/// never reached an engine.
+fn load_plan(path: &str) -> Result<FaultPlan, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let plan = FaultPlan::from_json(&src).map_err(|e| format!("{path}: {e}"))?;
+    plan.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(plan)
+}
+
+/// The `--slow`/`--fault-seed`/`--faults` demo: one TwoRegime run under
+/// the scenario plan, checked against the clean run, reported as a
+/// small markdown table.
+fn fault_sweep(plan: &FaultPlan, label: &str, input_seed: u64) -> Result<(), bsmp::SimError> {
     let (n, p, steps) = (64u64, 4u64, 64i64);
-    let init = inputs::random_bits(seed.unwrap_or(1), n as usize);
+    let init = inputs::random_bits(input_seed, n as usize);
     let prog = Eca::rule110();
     let sim = Simulation::try_linear(n, p, 1)?;
     let base = sim
         .strategy(Strategy::TwoRegime)
         .try_run(&prog, &init, steps)?;
-    let mut plan = FaultPlan::uniform_slowdown(nu);
-    if let Some(s) = seed {
-        plan = plan.seed(s).loss(50, 3).random_crashes(10);
-    }
     let rep = sim
         .strategy(Strategy::TwoRegime)
-        .faults(plan)
+        .faults(*plan)
         .try_run(&prog, &init, steps)?;
     rep.sim.check_matches(&base.sim.mem, &base.sim.values)?;
-    println!("## Fault sweep — ν = {nu}, seed = {seed:?} (n = {n}, p = {p})\n");
-    println!("| T_p clean | T_p faulted | ratio | retries | recovered | injected delay |");
-    println!("|---|---|---|---|---|---|");
+    let f = &rep.sim.faults;
+    println!("## Fault sweep — {label} (n = {n}, p = {p})\n");
     println!(
-        "| {:.1} | {:.1} | {:.3} | {} | {} | {:.1} |\n",
+        "| T_p clean | T_p faulted | ratio | retries | recovered | injected delay | storm proc-stages | departures | rejoins |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| {:.1} | {:.1} | {:.3} | {} | {} | {:.1} | {} | {} | {} |\n",
         base.sim.host_time,
         rep.sim.host_time,
         rep.sim.host_time / base.sim.host_time,
-        rep.sim.faults.retries,
-        rep.sim.faults.recovered_stages,
-        rep.sim.faults.injected_delay,
+        f.retries,
+        f.recovered_stages,
+        f.injected_delay,
+        f.outage_stages,
+        f.departures,
+        f.rejoins,
     );
     Ok(())
 }
 
 /// The `--trace` demo: one traced TwoRegime run (faulted if `--slow`
-/// was given), validated, then written as `bsmp-trace/v1` JSON.
-fn trace_demo(path: &str, slow: Option<f64>, seed: Option<u64>) -> Result<(), String> {
+/// or `--faults` was given), validated, then written as `bsmp-trace/v1`
+/// JSON.
+fn trace_demo(path: &str, plan: Option<&FaultPlan>, input_seed: u64) -> Result<(), String> {
     let (n, p, steps) = (64u64, 4u64, 64i64);
-    let init = inputs::random_bits(seed.unwrap_or(1), n as usize);
+    let init = inputs::random_bits(input_seed, n as usize);
     let prog = Eca::rule110();
     let mut sim = Simulation::try_linear(n, p, 1)
         .map_err(|e| e.to_string())?
         .strategy(Strategy::TwoRegime);
-    if let Some(nu) = slow {
-        sim = sim.faults(FaultPlan::uniform_slowdown(nu));
+    if let Some(plan) = plan {
+        sim = sim.faults(*plan);
     }
     let (_, trace) = sim
         .try_trace(&prog, &init, steps)
@@ -232,13 +261,44 @@ fn main() {
         Err(msg) => {
             eprintln!("bsmp-repro: {msg}");
             eprintln!(
-                "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--trace <PATH>] [E1 E4 ...]\n\
+                "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]\n\
                  \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]\n\
                  \x20      bsmp-repro trace-validate <PATH>"
             );
             std::process::exit(2);
         }
     };
+
+    // Resolve the scenario plan once: a `--faults` file, or the legacy
+    // `--slow`/`--fault-seed` shorthands. A malformed or invalid plan
+    // file is a usage error (exit 2) — it never reached an engine.
+    let plan: Option<FaultPlan> = if let Some(path) = &args.faults_path {
+        match load_plan(path) {
+            Ok(p) => Some(p),
+            Err(msg) => {
+                eprintln!("bsmp-repro: --faults: {msg}");
+                std::process::exit(2);
+            }
+        }
+    } else if args.slow.is_some() || args.fault_seed.is_some() {
+        let mut p = FaultPlan::uniform_slowdown(args.slow.unwrap_or(1.0));
+        if let Some(s) = args.fault_seed {
+            p = p.seed(s).loss(50, 3).random_crashes(10);
+        }
+        Some(p)
+    } else {
+        None
+    };
+    let plan_label = if let Some(path) = &args.faults_path {
+        format!("plan `{path}`")
+    } else {
+        format!(
+            "ν = {}, seed = {:?}",
+            args.slow.unwrap_or(1.0),
+            args.fault_seed
+        )
+    };
+    let input_seed = args.fault_seed.unwrap_or(1);
 
     if let Some(path) = &args.trace_validate {
         if let Err(msg) = trace_validate(path) {
@@ -279,15 +339,14 @@ fn main() {
     }
 
     if let Some(path) = &args.trace_out {
-        if let Err(msg) = trace_demo(path, args.slow, args.fault_seed) {
+        if let Err(msg) = trace_demo(path, plan.as_ref(), input_seed) {
             eprintln!("bsmp-repro: trace: {msg}");
             std::process::exit(1);
         }
     }
 
-    if args.slow.is_some() || args.fault_seed.is_some() {
-        let nu = args.slow.unwrap_or(1.0);
-        if let Err(e) = fault_sweep(nu, args.fault_seed) {
+    if let Some(plan) = &plan {
+        if let Err(e) = fault_sweep(plan, &plan_label, input_seed) {
             eprintln!("bsmp-repro: fault sweep failed: {e}");
             std::process::exit(1);
         }

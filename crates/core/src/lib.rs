@@ -75,7 +75,7 @@ pub use bsmp_sim as sim;
 pub use bsmp_trace as trace;
 pub use bsmp_workloads as workloads;
 
-pub use bsmp_faults::{FaultPlan, FaultStats};
+pub use bsmp_faults::{FaultPlan, FaultStats, PlanParseError};
 pub use bsmp_hram::{CostModel, Word};
 pub use bsmp_machine::{
     set_default_threads, ExecPolicy, LinearProgram, MachineSpec, MeshProgram, SpecError,
@@ -230,11 +230,11 @@ impl Simulation {
                 &self.spec, prog, init, steps, plan, self.exec,
             )?,
             Strategy::DivideAndConquer => {
-                bsmp_sim::dnc1::try_simulate_dnc1(&self.spec, prog, init, steps)?
+                bsmp_sim::dnc1::try_simulate_dnc1_faulted(&self.spec, prog, init, steps, plan)?
             }
             Strategy::TwoRegime => {
                 if self.spec.p == 1 {
-                    bsmp_sim::dnc1::try_simulate_dnc1(&self.spec, prog, init, steps)?
+                    bsmp_sim::dnc1::try_simulate_dnc1_faulted(&self.spec, prog, init, steps, plan)?
                 } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
                     .is_some()
                 {
@@ -293,26 +293,22 @@ impl Simulation {
                 self.exec,
                 &mut tracer,
             )?,
-            Strategy::DivideAndConquer => {
-                let leaf_h = (prog.m() as i64 / 2).max(1);
-                bsmp_sim::dnc1::try_simulate_dnc1_traced(
-                    &self.spec,
-                    prog,
-                    init,
-                    steps,
-                    leaf_h,
-                    &mut tracer,
-                )?
-            }
+            Strategy::DivideAndConquer => bsmp_sim::dnc1::try_simulate_dnc1_faulted_traced(
+                &self.spec,
+                prog,
+                init,
+                steps,
+                plan,
+                &mut tracer,
+            )?,
             Strategy::TwoRegime => {
                 if self.spec.p == 1 {
-                    let leaf_h = (prog.m() as i64 / 2).max(1);
-                    bsmp_sim::dnc1::try_simulate_dnc1_traced(
+                    bsmp_sim::dnc1::try_simulate_dnc1_faulted_traced(
                         &self.spec,
                         prog,
                         init,
                         steps,
-                        leaf_h,
+                        plan,
                         &mut tracer,
                     )?
                 } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
@@ -392,11 +388,11 @@ impl Simulation {
                 &self.spec, prog, init, steps, plan, self.exec,
             )?,
             Strategy::DivideAndConquer => {
-                bsmp_sim::dnc2::try_simulate_dnc2(&self.spec, prog, init, steps)?
+                bsmp_sim::dnc2::try_simulate_dnc2_faulted(&self.spec, prog, init, steps, plan)?
             }
             Strategy::TwoRegime => {
                 if self.spec.p == 1 {
-                    bsmp_sim::dnc2::try_simulate_dnc2(&self.spec, prog, init, steps)?
+                    bsmp_sim::dnc2::try_simulate_dnc2_faulted(&self.spec, prog, init, steps, plan)?
                 } else if self.spec.mesh_side() / self.spec.proc_side() >= 2 {
                     bsmp_sim::multi2::try_simulate_multi2_faulted(
                         &self.spec, prog, init, steps, plan,
@@ -446,26 +442,22 @@ impl Simulation {
                 self.exec,
                 &mut tracer,
             )?,
-            Strategy::DivideAndConquer => {
-                let leaf_h = (prog.m() as i64 / 2).max(1);
-                bsmp_sim::dnc2::try_simulate_dnc2_traced(
-                    &self.spec,
-                    prog,
-                    init,
-                    steps,
-                    leaf_h,
-                    &mut tracer,
-                )?
-            }
+            Strategy::DivideAndConquer => bsmp_sim::dnc2::try_simulate_dnc2_faulted_traced(
+                &self.spec,
+                prog,
+                init,
+                steps,
+                plan,
+                &mut tracer,
+            )?,
             Strategy::TwoRegime => {
                 if self.spec.p == 1 {
-                    let leaf_h = (prog.m() as i64 / 2).max(1);
-                    bsmp_sim::dnc2::try_simulate_dnc2_traced(
+                    bsmp_sim::dnc2::try_simulate_dnc2_faulted_traced(
                         &self.spec,
                         prog,
                         init,
                         steps,
-                        leaf_h,
+                        plan,
                         &mut tracer,
                     )?
                 } else if self.spec.mesh_side() / self.spec.proc_side() >= 2 {

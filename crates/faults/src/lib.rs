@@ -14,7 +14,22 @@
 //!   which is exactly the half/half split the engines already use);
 //! * **node crash at a stage boundary** — the crashed processor replays
 //!   the stage from the last bulk-synchronous checkpoint and restores
-//!   its memory image, with the recovery traffic charged at model cost.
+//!   its memory image, with the recovery traffic charged at model cost;
+//! * **heavy-tailed per-link jitter** — lognormal and Pareto slowdown
+//!   distributions drawn per `(stage, processor)` from the same seeded
+//!   hash, so tail events replay bit-identically;
+//! * **asymmetric links** — an independent static speed factor per link
+//!   direction, keyed by processor index and hop distance, exposed as a
+//!   link table shared with `StageClock`'s communication ledger;
+//! * **partition storms** — correlated regional outages over an address
+//!   interval (d=1) or mesh tile (d=2) with onset/duration/period
+//!   schedules; cross-partition traffic queues during a window and is
+//!   charged catch-up delivery cost on heal;
+//! * **node churn** — a Poisson-like seeded leave/rejoin process layered
+//!   on the checkpoint/restore path, with bounded-retry exponential
+//!   backoff; exhausting the retry budget degrades to a typed
+//!   [`ScenarioExhausted`] error carrying partial [`FaultStats`], never
+//!   a panic.
 //!
 //! Faults are *cost-level* by construction: every engine checkpoints at
 //! bulk-synchronous stage boundaries, and deterministic re-execution
@@ -33,9 +48,14 @@
 //! The crate has no dependencies; [`rng`] also serves as the
 //! workspace's deterministic random-input source.
 
+pub mod json;
 pub mod plan;
 pub mod rng;
 pub mod session;
 
-pub use plan::{CrashModel, FaultError, FaultPlan, LossModel, SlowdownModel};
-pub use session::{FaultEnv, FaultSession, FaultStats};
+pub use json::PlanParseError;
+pub use plan::{
+    ChurnModel, CrashModel, FaultError, FaultPlan, LinkModel, LossModel, OutageModel, Region,
+    SlowdownModel, PARETO_CAP,
+};
+pub use session::{FaultEnv, FaultSession, FaultStats, ScenarioExhausted, StageOutcome};

@@ -1,5 +1,19 @@
 //! Fault plans: a small, `Copy` description of which faults to inject,
 //! validated once before a run.
+//!
+//! A plan composes up to six orthogonal scenario families:
+//!
+//! * [`SlowdownModel`] — per-link delay, from a constant factor up to
+//!   heavy-tailed lognormal/Pareto jitter;
+//! * [`LinkModel`] — static per-direction (asymmetric) link factors;
+//! * [`LossModel`] — transient message loss with bounded retries;
+//! * [`CrashModel`] — point crashes recovered by checkpoint/restore;
+//! * [`OutageModel`] — correlated regional outages (partition storms);
+//! * [`ChurnModel`] — continuous node leave/rejoin with backoff.
+//!
+//! Every stochastic family draws from the stateless SplitMix64 hash of
+//! `(seed, kind, stage, proc)`, so a given plan is bit-reproducible per
+//! seed regardless of evaluation order or host thread count.
 
 use std::error::Error;
 use std::fmt;
@@ -15,6 +29,131 @@ pub enum SlowdownModel {
     /// Each `(stage, processor)` pair draws a factor uniformly from
     /// `[lo, hi)` with `1 ≤ lo < hi`.
     Jitter { lo: f64, hi: f64 },
+    /// Each `(stage, processor)` pair draws `exp(μ + σ·z)` with
+    /// `z ~ N(0, 1)` (Box–Muller over two hash draws), clamped below at
+    /// 1 — the classic long-tailed latency model.
+    Lognormal { mu: f64, sigma: f64 },
+    /// Each `(stage, processor)` pair draws from a Pareto distribution
+    /// with scale `xm ≥ 1` and shape `alpha > 0` (inverse-CDF sampling),
+    /// capped at [`PARETO_CAP`] to keep runs finite.
+    Pareto { xm: f64, alpha: f64 },
+}
+
+/// Upper clamp on Pareto slowdown draws: the inverse CDF diverges as the
+/// uniform draw approaches 1, and a single unbounded draw would dominate
+/// every statistic of a soak run.
+pub const PARETO_CAP: f64 = 1.0e6;
+
+/// Static per-direction link speed: symmetric (the default) or an
+/// independent factor per link direction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkModel {
+    /// Both directions of every link run at the slowdown model's factor.
+    Symmetric,
+    /// Each processor's outbound and inbound directions get independent
+    /// static factors drawn uniformly from `[1, 1 + spread)`, keyed by
+    /// the processor index and its neighbor distance.  The effective
+    /// per-processor multiplier is the mean of the two directions (each
+    /// stage exchange is one send + one receive).
+    Asymmetric { spread: f64 },
+}
+
+/// A contiguous region of host processors, the unit of correlated
+/// outages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Region {
+    /// Processors with index in `[lo, hi)` — the natural shape for a
+    /// `d = 1` linear array.
+    Interval { lo: usize, hi: usize },
+    /// Processors whose (row, col) on the processor mesh lies in
+    /// `[r0, r1) × [c0, c1)` — the natural shape for `d = 2`.
+    Tile {
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+    },
+}
+
+impl Region {
+    /// Whether processor `proc` lies in the region.  `proc_side` is the
+    /// side of the processor mesh for `d = 2` hosts (ignored for
+    /// intervals; pass 0 or 1 for linear hosts).
+    pub fn contains(&self, proc: usize, proc_side: usize) -> bool {
+        match *self {
+            Region::Interval { lo, hi } => lo <= proc && proc < hi,
+            Region::Tile { r0, r1, c0, c1 } => {
+                let side = proc_side.max(1);
+                let (r, c) = (proc / side, proc % side);
+                r0 <= r && r < r1 && c0 <= c && c < c1
+            }
+        }
+    }
+
+    /// Whether the region contains no processors at all.
+    pub fn is_empty(&self) -> bool {
+        match *self {
+            Region::Interval { lo, hi } => lo >= hi,
+            Region::Tile { r0, r1, c0, c1 } => r0 >= r1 || c0 >= c1,
+        }
+    }
+}
+
+/// Correlated regional outages: partition storms that cut a region off
+/// from the rest of the machine for whole windows of stages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OutageModel {
+    /// No outages.
+    None,
+    /// The region is partitioned away during every window
+    /// `[onset + k·period, onset + k·period + duration)` for
+    /// `k = 0, 1, …` (one-shot when `period = 0`).  While partitioned,
+    /// cross-partition traffic queues; on heal the queued traffic is
+    /// charged as a catch-up delivery.
+    Storm {
+        region: Region,
+        onset: u64,
+        duration: u64,
+        period: u64,
+    },
+}
+
+/// Continuous node churn: a Poisson-like seeded leave/rejoin process on
+/// top of the checkpoint/restore crash path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnModel {
+    /// No churn.
+    None,
+    /// Each up processor leaves independently with probability
+    /// `leave_permille/1000` per stage and stays away for `down_stages`
+    /// stages.  While a processor is away, delivery to it is retried
+    /// with exponential backoff (`hop · backoff_hops · 2^(attempt−1)`
+    /// per stage); a processor that is still away after `max_retries`
+    /// attempts exhausts the scenario, which ends the run with a typed
+    /// error carrying the partial statistics — never a panic.  On
+    /// rejoin the processor pays its deferred work plus a checkpoint
+    /// restore.
+    Poisson {
+        leave_permille: u32,
+        down_stages: u64,
+        max_retries: u32,
+        backoff_hops: f64,
+    },
+}
+
+/// A seeded, deterministic description of the faults to inject into a
+/// run.  `Copy` so it can live inside the `Simulation` façade.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault draws (jitter, loss, crashes, asymmetry,
+    /// churn).
+    pub seed: u64,
+    pub slowdown: SlowdownModel,
+    pub link: LinkModel,
+    pub loss: LossModel,
+    pub crash: CrashModel,
+    pub outage: OutageModel,
+    pub churn: ChurnModel,
 }
 
 /// Transient message loss: each `(stage, processor)` rendezvous is lost
@@ -47,17 +186,6 @@ pub enum CrashModel {
     Random { crash_permille: u32 },
 }
 
-/// A seeded, deterministic description of the faults to inject into a
-/// run.  `Copy` so it can live inside the `Simulation` façade.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct FaultPlan {
-    /// Seed for all fault draws (jitter, loss, random crashes).
-    pub seed: u64,
-    pub slowdown: SlowdownModel,
-    pub loss: LossModel,
-    pub crash: CrashModel,
-}
-
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan::none()
@@ -71,8 +199,11 @@ impl FaultPlan {
         FaultPlan {
             seed: 0,
             slowdown: SlowdownModel::None,
+            link: LinkModel::Symmetric,
             loss: LossModel::None,
             crash: CrashModel::None,
+            outage: OutageModel::None,
+            churn: ChurnModel::None,
         }
     }
 
@@ -93,6 +224,25 @@ impl FaultPlan {
     /// Builder: per-(stage, processor) slowdown jittered in `[lo, hi)`.
     pub fn jitter(mut self, lo: f64, hi: f64) -> Self {
         self.slowdown = SlowdownModel::Jitter { lo, hi };
+        self
+    }
+
+    /// Builder: lognormal per-(stage, processor) slowdown.
+    pub fn lognormal(mut self, mu: f64, sigma: f64) -> Self {
+        self.slowdown = SlowdownModel::Lognormal { mu, sigma };
+        self
+    }
+
+    /// Builder: Pareto per-(stage, processor) slowdown.
+    pub fn pareto(mut self, xm: f64, alpha: f64) -> Self {
+        self.slowdown = SlowdownModel::Pareto { xm, alpha };
+        self
+    }
+
+    /// Builder: independent static per-direction link factors in
+    /// `[1, 1 + spread)`.
+    pub fn asymmetric(mut self, spread: f64) -> Self {
+        self.link = LinkModel::Asymmetric { spread };
         self
     }
 
@@ -118,12 +268,45 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: partition storm over `region` with the given schedule
+    /// (`period = 0` for a one-shot outage).
+    pub fn storm(mut self, region: Region, onset: u64, duration: u64, period: u64) -> Self {
+        self.outage = OutageModel::Storm {
+            region,
+            onset,
+            duration,
+            period,
+        };
+        self
+    }
+
+    /// Builder: Poisson-like node churn with bounded-retry exponential
+    /// backoff.
+    pub fn churn(
+        mut self,
+        leave_permille: u32,
+        down_stages: u64,
+        max_retries: u32,
+        backoff_hops: f64,
+    ) -> Self {
+        self.churn = ChurnModel::Poisson {
+            leave_permille,
+            down_stages,
+            max_retries,
+            backoff_hops,
+        };
+        self
+    }
+
     /// True when the plan injects nothing — engines take the zero-cost
     /// fast path and reproduce fault-free costs bit-identically.
     pub fn is_none(&self) -> bool {
         matches!(self.slowdown, SlowdownModel::None)
+            && matches!(self.link, LinkModel::Symmetric)
             && matches!(self.loss, LossModel::None)
             && matches!(self.crash, CrashModel::None)
+            && matches!(self.outage, OutageModel::None)
+            && matches!(self.churn, ChurnModel::None)
     }
 
     /// Check the plan's parameters before a run.
@@ -151,6 +334,21 @@ impl FaultPlan {
                     return Err(FaultError::EmptyJitterRange { lo, hi });
                 }
             }
+            SlowdownModel::Lognormal { mu, sigma } => {
+                if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+                    return Err(FaultError::InvalidLognormal { mu, sigma });
+                }
+            }
+            SlowdownModel::Pareto { xm, alpha } => {
+                if !xm.is_finite() || xm < 1.0 || !alpha.is_finite() || alpha <= 0.0 {
+                    return Err(FaultError::InvalidPareto { xm, alpha });
+                }
+            }
+        }
+        if let LinkModel::Asymmetric { spread } = self.link {
+            if !spread.is_finite() || spread < 0.0 {
+                return Err(FaultError::InvalidAsymmetrySpread { spread });
+            }
         }
         if let LossModel::Bernoulli { loss_permille, .. } = self.loss {
             if loss_permille > 1000 {
@@ -166,6 +364,42 @@ impl FaultPlan {
                 });
             }
         }
+        if let OutageModel::Storm {
+            region,
+            duration,
+            period,
+            ..
+        } = self.outage
+        {
+            if region.is_empty() {
+                return Err(FaultError::EmptyOutageRegion);
+            }
+            if duration == 0 {
+                return Err(FaultError::ZeroOutageDuration);
+            }
+            if period > 0 && period < duration {
+                return Err(FaultError::PeriodShorterThanDuration { period, duration });
+            }
+        }
+        if let ChurnModel::Poisson {
+            leave_permille,
+            down_stages,
+            backoff_hops,
+            ..
+        } = self.churn
+        {
+            if leave_permille > 1000 {
+                return Err(FaultError::ChurnProbabilityOutOfRange {
+                    permille: leave_permille,
+                });
+            }
+            if down_stages == 0 {
+                return Err(FaultError::ZeroChurnDownStages);
+            }
+            if !backoff_hops.is_finite() || backoff_hops < 0.0 {
+                return Err(FaultError::InvalidBackoffHops { backoff_hops });
+            }
+        }
         Ok(())
     }
 }
@@ -176,8 +410,17 @@ pub enum FaultError {
     NonFiniteSlowdown { nu: f64 },
     SlowdownBelowOne { nu: f64 },
     EmptyJitterRange { lo: f64, hi: f64 },
+    InvalidLognormal { mu: f64, sigma: f64 },
+    InvalidPareto { xm: f64, alpha: f64 },
+    InvalidAsymmetrySpread { spread: f64 },
     LossProbabilityOutOfRange { permille: u32 },
     CrashProbabilityOutOfRange { permille: u32 },
+    EmptyOutageRegion,
+    ZeroOutageDuration,
+    PeriodShorterThanDuration { period: u64, duration: u64 },
+    ChurnProbabilityOutOfRange { permille: u32 },
+    ZeroChurnDownStages,
+    InvalidBackoffHops { backoff_hops: f64 },
 }
 
 impl fmt::Display for FaultError {
@@ -192,11 +435,50 @@ impl fmt::Display for FaultError {
             FaultError::EmptyJitterRange { lo, hi } => {
                 write!(f, "jitter range [{lo}, {hi}) is empty; need lo < hi")
             }
+            FaultError::InvalidLognormal { mu, sigma } => {
+                write!(
+                    f,
+                    "lognormal slowdown needs finite μ and finite σ ≥ 0, got μ = {mu}, σ = {sigma}"
+                )
+            }
+            FaultError::InvalidPareto { xm, alpha } => {
+                write!(
+                    f,
+                    "Pareto slowdown needs finite xm ≥ 1 and finite α > 0, got xm = {xm}, α = {alpha}"
+                )
+            }
+            FaultError::InvalidAsymmetrySpread { spread } => {
+                write!(f, "asymmetry spread must be finite and ≥ 0, got {spread}")
+            }
             FaultError::LossProbabilityOutOfRange { permille } => {
                 write!(f, "loss probability {permille}‰ exceeds 1000‰")
             }
             FaultError::CrashProbabilityOutOfRange { permille } => {
                 write!(f, "crash probability {permille}‰ exceeds 1000‰")
+            }
+            FaultError::EmptyOutageRegion => {
+                write!(f, "outage region contains no processors")
+            }
+            FaultError::ZeroOutageDuration => {
+                write!(f, "outage duration must be at least one stage")
+            }
+            FaultError::PeriodShorterThanDuration { period, duration } => {
+                write!(
+                    f,
+                    "storm period {period} is shorter than its duration {duration}; windows would overlap"
+                )
+            }
+            FaultError::ChurnProbabilityOutOfRange { permille } => {
+                write!(f, "churn leave probability {permille}‰ exceeds 1000‰")
+            }
+            FaultError::ZeroChurnDownStages => {
+                write!(f, "churn down_stages must be at least 1")
+            }
+            FaultError::InvalidBackoffHops { backoff_hops } => {
+                write!(
+                    f,
+                    "churn backoff_hops must be finite and ≥ 0, got {backoff_hops}"
+                )
             }
         }
     }
@@ -245,6 +527,44 @@ mod tests {
     }
 
     #[test]
+    fn distribution_parameters_checked() {
+        assert!(FaultPlan::none().lognormal(0.2, 0.5).validate().is_ok());
+        assert!(FaultPlan::none().lognormal(0.0, 0.0).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none().lognormal(0.2, -1.0).validate(),
+            Err(FaultError::InvalidLognormal {
+                mu: 0.2,
+                sigma: -1.0
+            })
+        );
+        assert!(FaultPlan::none().pareto(1.0, 2.0).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none().pareto(0.5, 2.0).validate(),
+            Err(FaultError::InvalidPareto {
+                xm: 0.5,
+                alpha: 2.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::none().pareto(1.5, 0.0).validate(),
+            Err(FaultError::InvalidPareto {
+                xm: 1.5,
+                alpha: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn asymmetry_spread_checked() {
+        assert!(FaultPlan::none().asymmetric(0.5).validate().is_ok());
+        assert!(!FaultPlan::none().asymmetric(0.0).is_none());
+        assert_eq!(
+            FaultPlan::none().asymmetric(-0.5).validate(),
+            Err(FaultError::InvalidAsymmetrySpread { spread: -0.5 })
+        );
+    }
+
+    #[test]
     fn probabilities_checked() {
         assert!(FaultPlan::none().loss(100, 3).validate().is_ok());
         assert_eq!(
@@ -259,13 +579,95 @@ mod tests {
     }
 
     #[test]
+    fn storm_schedule_checked() {
+        let region = Region::Interval { lo: 0, hi: 2 };
+        assert!(FaultPlan::none().storm(region, 3, 2, 8).validate().is_ok());
+        assert!(FaultPlan::none().storm(region, 3, 2, 0).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none()
+                .storm(Region::Interval { lo: 2, hi: 2 }, 0, 1, 0)
+                .validate(),
+            Err(FaultError::EmptyOutageRegion)
+        );
+        assert_eq!(
+            FaultPlan::none().storm(region, 0, 0, 0).validate(),
+            Err(FaultError::ZeroOutageDuration)
+        );
+        assert_eq!(
+            FaultPlan::none().storm(region, 0, 4, 2).validate(),
+            Err(FaultError::PeriodShorterThanDuration {
+                period: 2,
+                duration: 4
+            })
+        );
+    }
+
+    #[test]
+    fn churn_parameters_checked() {
+        assert!(FaultPlan::none().churn(50, 2, 6, 1.0).validate().is_ok());
+        assert_eq!(
+            FaultPlan::none().churn(1500, 2, 6, 1.0).validate(),
+            Err(FaultError::ChurnProbabilityOutOfRange { permille: 1500 })
+        );
+        assert_eq!(
+            FaultPlan::none().churn(50, 0, 6, 1.0).validate(),
+            Err(FaultError::ZeroChurnDownStages)
+        );
+        assert!(matches!(
+            FaultPlan::none().churn(50, 2, 6, f64::NAN).validate(),
+            Err(FaultError::InvalidBackoffHops { .. })
+        ));
+    }
+
+    #[test]
+    fn region_membership() {
+        let iv = Region::Interval { lo: 2, hi: 5 };
+        assert!(!iv.contains(1, 0));
+        assert!(iv.contains(2, 0));
+        assert!(iv.contains(4, 0));
+        assert!(!iv.contains(5, 0));
+        let tile = Region::Tile {
+            r0: 0,
+            r1: 2,
+            c0: 1,
+            c1: 3,
+        };
+        // On a 4-wide processor mesh: proc 1 = (0,1) in; proc 4 = (1,0) out.
+        assert!(tile.contains(1, 4));
+        assert!(!tile.contains(4, 4));
+        assert!(tile.contains(6, 4));
+        assert!(!tile.contains(11, 4));
+    }
+
+    #[test]
     fn errors_display() {
         let msgs = [
             FaultError::NonFiniteSlowdown { nu: f64::INFINITY }.to_string(),
             FaultError::SlowdownBelowOne { nu: 0.0 }.to_string(),
             FaultError::EmptyJitterRange { lo: 3.0, hi: 2.0 }.to_string(),
+            FaultError::InvalidLognormal {
+                mu: f64::NAN,
+                sigma: 1.0,
+            }
+            .to_string(),
+            FaultError::InvalidPareto {
+                xm: 0.0,
+                alpha: 1.0,
+            }
+            .to_string(),
+            FaultError::InvalidAsymmetrySpread { spread: -1.0 }.to_string(),
             FaultError::LossProbabilityOutOfRange { permille: 1200 }.to_string(),
             FaultError::CrashProbabilityOutOfRange { permille: 1200 }.to_string(),
+            FaultError::EmptyOutageRegion.to_string(),
+            FaultError::ZeroOutageDuration.to_string(),
+            FaultError::PeriodShorterThanDuration {
+                period: 1,
+                duration: 2,
+            }
+            .to_string(),
+            FaultError::ChurnProbabilityOutOfRange { permille: 1200 }.to_string(),
+            FaultError::ZeroChurnDownStages.to_string(),
+            FaultError::InvalidBackoffHops { backoff_hops: -1.0 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

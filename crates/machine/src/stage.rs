@@ -19,7 +19,7 @@
 //! [`run_stage`], which stands up (and tears down) a fresh pool per
 //! call and survives only as a compatibility shim.
 
-use bsmp_faults::FaultSession;
+use bsmp_faults::{FaultSession, ScenarioExhausted};
 
 use crate::pool::{available_threads, DisjointSlice, StagePool};
 
@@ -36,6 +36,11 @@ pub struct StageClock {
     /// (fault-free component; observability only, never fed back into
     /// model time).
     pub comm_time: f64,
+    /// `Σ_stages Σ_proc` *delivered* communication charge after the
+    /// scenario layer: echo-corrected, link-table-scaled, including
+    /// storm-queued traffic released on heal.  Equals [`comm_time`](Self::comm_time)
+    /// under `FaultPlan::none`.
+    pub faulted_comm_time: f64,
     /// Number of stages closed so far.
     pub stages: u64,
 }
@@ -57,15 +62,34 @@ impl StageClock {
     /// `per_proc` are the fault-free costs, `per_comm` the communication
     /// components (`per_comm[i] ≤ per_proc[i]`).  With an empty plan
     /// this is exactly [`add_stage`](Self::add_stage).
+    ///
+    /// Errs when the scenario's churn retry budget is exhausted; the
+    /// clock is left at the last fully-closed stage.
     pub fn add_stage_faulted(
         &mut self,
         per_proc: &[f64],
         per_comm: &[f64],
         session: &mut FaultSession,
-    ) {
-        let faulted = session.apply_stage(per_proc, per_comm);
+    ) -> Result<(), ScenarioExhausted> {
+        let outcome = session.try_apply_stage(per_proc, per_comm)?;
         self.comm_time += per_comm.iter().sum::<f64>();
-        self.add_stage(&faulted);
+        self.faulted_comm_time += outcome.faulted_comm;
+        self.add_stage(&outcome.costs);
+        Ok(())
+    }
+
+    /// Close the run's settlement stage, if the scenario still owes one
+    /// (storm-queued traffic or churn debt outstanding at the end of the
+    /// work loop).  Returns whether a stage was added.
+    pub fn settle_faulted(&mut self, session: &mut FaultSession) -> bool {
+        match session.settle() {
+            Some(outcome) => {
+                self.faulted_comm_time += outcome.faulted_comm;
+                self.add_stage(&outcome.costs);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Close a stage in which a single processor worked alone.
@@ -160,10 +184,14 @@ mod tests {
         let mut faulted = StageClock::new();
         let mut session = FaultSession::inactive();
         plain.add_stage(&[2.0, 3.0]);
-        faulted.add_stage_faulted(&[2.0, 3.0], &[1.0, 1.0], &mut session);
+        faulted
+            .add_stage_faulted(&[2.0, 3.0], &[1.0, 1.0], &mut session)
+            .unwrap();
         assert_eq!(plain.parallel_time, faulted.parallel_time);
         assert_eq!(plain.busy_time, faulted.busy_time);
         assert_eq!(faulted.comm_time, 2.0);
+        assert_eq!(faulted.faulted_comm_time, 2.0);
+        assert!(!faulted.settle_faulted(&mut session));
     }
 
     #[test]
@@ -173,12 +201,34 @@ mod tests {
             p: 2,
             hop: 1.0,
             checkpoint_words: 0,
+            proc_side: 1,
         };
         let mut session = FaultSession::new(&plan, env);
         let mut c = StageClock::new();
-        c.add_stage_faulted(&[4.0, 4.0], &[2.0, 2.0], &mut session);
+        c.add_stage_faulted(&[4.0, 4.0], &[2.0, 2.0], &mut session)
+            .unwrap();
         // base = 4 + (2−1)·2 = 6 on both processors.
         assert_eq!(c.parallel_time, 6.0);
         assert_eq!(c.busy_time, 12.0);
+        // Delivered comm is the ν-scaled echo-corrected charge: 2·2·2.
+        assert_eq!(c.faulted_comm_time, 8.0);
+    }
+
+    #[test]
+    fn exhausted_churn_surfaces_as_error_not_panic() {
+        let plan = FaultPlan::none().churn(1_000, 50, 0, 1.0);
+        let env = FaultEnv {
+            p: 1,
+            hop: 1.0,
+            checkpoint_words: 0,
+            proc_side: 1,
+        };
+        let mut session = FaultSession::new(&plan, env);
+        let mut c = StageClock::new();
+        let err = c
+            .add_stage_faulted(&[4.0], &[1.0], &mut session)
+            .unwrap_err();
+        assert_eq!(err.proc, 0);
+        assert_eq!(c.stages, 0, "failed stage must not close the clock");
     }
 }

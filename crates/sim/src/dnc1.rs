@@ -8,7 +8,7 @@
 //!   `O(n · min(n, m log(n/m)))`.  For `m ≥ n` the whole computation is
 //!   one executable diamond — the naive regime.
 
-use bsmp_faults::FaultStats;
+use bsmp_faults::{FaultPlan, FaultStats};
 use bsmp_hram::Word;
 use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec};
 use bsmp_trace::{RunMeta, StageTotals, Tracer};
@@ -94,7 +94,7 @@ pub fn try_simulate_dnc1_traced(
     tracer.ensure_procs(1);
     tracer.begin_stage("run");
     let mut exec = DiamondExec::new(spec, prog, steps, leaf_h);
-    let (mem, values) = exec.run(init);
+    let (mem, values) = exec.run(init)?;
     let host_time = exec.ram.time();
     if let Some(tl) = tracer.tally() {
         tl.add(0, spec.n * steps.max(0) as u64, 0);
@@ -131,6 +131,52 @@ pub fn try_simulate_dnc1_traced(
         stages: 0,
         faults: FaultStats::default(),
     })
+}
+
+/// As [`try_simulate_dnc1`] with a fault scenario applied to the run
+/// treated as one bulk stage (the uniprocessor view of DESIGN.md §14:
+/// jitter, asymmetry, outage windows, and churn scale the whole run).
+/// A [`FaultPlan::none`] plan takes the plain path bit-identically.
+pub fn try_simulate_dnc1_faulted(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_dnc1_faulted_traced(spec, prog, init, steps, plan, &mut Tracer::off())
+}
+
+/// [`try_simulate_dnc1_faulted`] with a [`Tracer`] observing the run.
+pub fn try_simulate_dnc1_faulted_traced(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    plan.validate()?;
+    let leaf_h = (prog.m() as i64 / 2).max(1);
+    if plan.is_none() {
+        return try_simulate_dnc1_traced(spec, prog, init, steps, leaf_h, tracer);
+    }
+    let rep = try_simulate_dnc1_with_leaf(spec, prog, init, steps, leaf_h)?;
+    crate::scenario_over_report(
+        rep,
+        RunMeta {
+            engine: "dnc1",
+            d: 1,
+            n: spec.n,
+            m: spec.m,
+            p: 1,
+            steps: steps.max(0) as u64,
+        },
+        spec.neighbor_distance(),
+        spec.node_mem(),
+        plan,
+        tracer,
+    )
 }
 
 /// As [`simulate_dnc1`] with an explicit leaf radius.

@@ -5,7 +5,7 @@
 //! verified in the tests and experiment E11c, against the naive
 //! `O(n^{4/3})` (Proposition 1 with d = 3).
 
-use bsmp_faults::FaultStats;
+use bsmp_faults::{FaultPlan, FaultStats};
 use bsmp_hram::{CostMeter, Word};
 use bsmp_machine::{volume_guest_time, VolumeProgram};
 use bsmp_trace::{RunMeta, StageTotals, Tracer};
@@ -51,7 +51,7 @@ pub fn try_simulate_dnc3_traced(
     tracer.ensure_procs(1);
     tracer.begin_stage("run");
     let mut exec = VolumeExec::new(side as i64, prog, steps, 1);
-    let (mem, values) = exec.run(init);
+    let (mem, values) = exec.run(init)?;
     let host_time = exec.ram.time();
     if let Some(tl) = tracer.tally() {
         tl.add(0, n as u64 * steps.max(0) as u64, 0);
@@ -88,6 +88,51 @@ pub fn try_simulate_dnc3_traced(
         stages: 0,
         faults: FaultStats::default(),
     })
+}
+
+/// As [`try_simulate_dnc3`] with a fault scenario applied to the run
+/// treated as one bulk stage (the uniprocessor view of DESIGN.md §14).
+/// A [`FaultPlan::none`] plan takes the plain path bit-identically.
+pub fn try_simulate_dnc3_faulted(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_dnc3_faulted_traced(side, prog, init, steps, plan, &mut Tracer::off())
+}
+
+/// [`try_simulate_dnc3_faulted`] with a [`Tracer`] observing the run.
+pub fn try_simulate_dnc3_faulted_traced(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    plan.validate()?;
+    if plan.is_none() {
+        return try_simulate_dnc3_traced(side, prog, init, steps, tracer);
+    }
+    let n = side * side * side;
+    let rep = try_simulate_dnc3(side, prog, init, steps)?;
+    crate::scenario_over_report(
+        rep,
+        RunMeta {
+            engine: "dnc3",
+            d: 3,
+            n: n as u64,
+            m: 1,
+            p: 1,
+            steps: steps.max(0) as u64,
+        },
+        side as f64,
+        n as u64,
+        plan,
+        tracer,
+    )
 }
 
 /// Simulate `steps` guest steps of `M_3(n, n, 1)` (side `n^{1/3}`) on
@@ -216,6 +261,51 @@ pub fn try_simulate_naive3_traced(
         stages: 0,
         faults: FaultStats::default(),
     })
+}
+
+/// As [`try_simulate_naive3`] with a fault scenario applied to the run
+/// treated as one bulk stage (the uniprocessor view of DESIGN.md §14).
+/// A [`FaultPlan::none`] plan takes the plain path bit-identically.
+pub fn try_simulate_naive3_faulted(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive3_faulted_traced(side, prog, init, steps, plan, &mut Tracer::off())
+}
+
+/// [`try_simulate_naive3_faulted`] with a [`Tracer`] observing the run.
+pub fn try_simulate_naive3_faulted_traced(
+    side: usize,
+    prog: &impl VolumeProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    plan.validate()?;
+    if plan.is_none() {
+        return try_simulate_naive3_traced(side, prog, init, steps, tracer);
+    }
+    let n = side * side * side;
+    let rep = try_simulate_naive3(side, prog, init, steps)?;
+    crate::scenario_over_report(
+        rep,
+        RunMeta {
+            engine: "naive3",
+            d: 3,
+            n: n as u64,
+            m: 1,
+            p: 1,
+            steps: steps.max(0) as u64,
+        },
+        side as f64,
+        n as u64,
+        plan,
+        tracer,
+    )
 }
 
 /// Naive step-by-step simulation on the 3-D-mesh uniprocessor host —

@@ -4,7 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
-use bsmp_faults::FaultError;
+use bsmp_faults::{FaultError, FaultStats, PlanParseError, ScenarioExhausted};
 use bsmp_machine::{SpecError, StagePanic};
 
 /// Why an engine refused to run (or, for `OutputMismatch`, why a
@@ -35,6 +35,20 @@ pub enum SimError {
     Spec(SpecError),
     /// The fault plan's parameters are invalid.
     Fault(FaultError),
+    /// A fault-plan document failed to parse.
+    PlanParse { message: String },
+    /// The scenario's churn retry budget ran out mid-run: graceful
+    /// degradation instead of a panic, carrying the partial accounting
+    /// accumulated up to the failed stage.
+    ScenarioExhausted {
+        stage: u64,
+        proc: usize,
+        stats: Box<FaultStats>,
+    },
+    /// An engine-internal bookkeeping invariant broke (a bug, not a user
+    /// error) — surfaced as a typed error so a scenario-induced edge case
+    /// degrades instead of poisoning the stage pool with a panic.
+    Internal { what: &'static str },
     /// Simulated outputs diverge from direct guest execution.
     OutputMismatch { what: &'static str },
     /// A host worker thread panicked while executing a stage (the guest
@@ -105,6 +119,24 @@ impl fmt::Display for SimError {
             }
             SimError::Spec(e) => write!(f, "{e}"),
             SimError::Fault(e) => write!(f, "{e}"),
+            SimError::PlanParse { ref message } => {
+                write!(f, "malformed fault plan: {message}")
+            }
+            SimError::ScenarioExhausted {
+                stage,
+                proc,
+                ref stats,
+            } => {
+                write!(
+                    f,
+                    "scenario exhausted the churn retry budget at stage {stage} on processor \
+                     {proc} (after {} departures, {} rejoins, {} backoff retries)",
+                    stats.departures, stats.rejoins, stats.backoff_retries
+                )
+            }
+            SimError::Internal { what } => {
+                write!(f, "internal engine invariant broke: {what}")
+            }
             SimError::OutputMismatch { what } => {
                 write!(f, "simulated {what} diverge from direct execution")
             }
@@ -145,6 +177,22 @@ impl From<StagePanic> for SimError {
     }
 }
 
+impl From<PlanParseError> for SimError {
+    fn from(e: PlanParseError) -> Self {
+        SimError::PlanParse { message: e.message }
+    }
+}
+
+impl From<ScenarioExhausted> for SimError {
+    fn from(e: ScenarioExhausted) -> Self {
+        SimError::ScenarioExhausted {
+            stage: e.stage,
+            proc: e.proc,
+            stats: Box::new(e.stats),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +227,17 @@ mod tests {
             SimError::Spec(SpecError::ProcessorsOutOfRange { n: 4, p: 8 }),
             SimError::Fault(FaultError::SlowdownBelowOne { nu: 0.5 }),
             SimError::OutputMismatch { what: "values" },
+            SimError::PlanParse {
+                message: "bad json".into(),
+            },
+            SimError::ScenarioExhausted {
+                stage: 7,
+                proc: 3,
+                stats: Box::default(),
+            },
+            SimError::Internal {
+                what: "zone bookkeeping",
+            },
             SimError::HostPanic {
                 message: "boom".into(),
             },
@@ -206,5 +265,24 @@ mod tests {
                 message: "kaboom".into()
             }
         );
+        let x: SimError = ScenarioExhausted {
+            stage: 2,
+            proc: 1,
+            stats: FaultStats::default(),
+        }
+        .into();
+        assert!(matches!(
+            x,
+            SimError::ScenarioExhausted {
+                stage: 2,
+                proc: 1,
+                ..
+            }
+        ));
+        let p: SimError = PlanParseError {
+            message: "trailing data".into(),
+        }
+        .into();
+        assert!(matches!(p, SimError::PlanParse { .. }));
     }
 }

@@ -29,6 +29,7 @@ use bsmp_geometry::{ClippedDiamond, Diamond, IRect, Pt2};
 use bsmp_hram::{Hram, Word};
 use bsmp_machine::{LinearProgram, MachineSpec};
 
+use crate::error::SimError;
 use crate::zone::ZoneAlloc;
 
 /// Shape key for memoizing the space function `S(U)`: the radius plus
@@ -227,37 +228,55 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
 
     /// Move a live value into `zone`, charging the copy, freeing the old
     /// slot in `from`.
-    fn move_value(&mut self, q: Pt2, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self
-            .live
-            .get(&q)
-            .unwrap_or_else(|| panic!("value {q:?} not live"));
+    fn move_value(
+        &mut self,
+        q: Pt2,
+        zone: &mut ZoneAlloc,
+        from: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
+        let old = *self.live.get(&q).ok_or(SimError::Internal {
+            what: "moved value not live",
+        })?;
         let new = zone.alloc();
         self.ram.relocate(old, new);
         from.free_if_owned(old);
         self.live.insert(q, new);
+        Ok(())
     }
 
     /// Move a column's state block into `zone`.
-    fn move_state(&mut self, x: i64, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self
-            .state
-            .get(&x)
-            .unwrap_or_else(|| panic!("state {x} not live"));
+    fn move_state(
+        &mut self,
+        x: i64,
+        zone: &mut ZoneAlloc,
+        from: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
+        let old = *self.state.get(&x).ok_or(SimError::Internal {
+            what: "moved state block not live",
+        })?;
         let new = zone.alloc_block(self.m);
         for c in 0..self.m {
             self.ram.relocate(old + c, new + c);
         }
         from.free_block_if_owned(old, self.m);
         self.state.insert(x, new);
+        Ok(())
     }
 
     /// Execute `U`, with all inputs live in `parent_zone`; park the
     /// values in `want` (and all column states) back into `parent_zone`.
-    pub fn exec(&mut self, u: &ClippedDiamond, want: &HashSet<Pt2>, parent_zone: &mut ZoneAlloc) {
+    ///
+    /// Bookkeeping invariant violations surface as
+    /// [`SimError::Internal`] rather than panicking, so a chaos run can
+    /// degrade gracefully.
+    pub fn exec(
+        &mut self,
+        u: &ClippedDiamond,
+        want: &HashSet<Pt2>,
+        parent_zone: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
         if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
-            self.exec_leaf(u, want, parent_zone);
-            return;
+            return self.exec_leaf(u, want, parent_zone);
         }
         let s_u = self.space(u);
         let kids = self.kids(u);
@@ -271,12 +290,12 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         // at this level).
         let g_u = self.gamma(u);
         for q in &g_u {
-            self.move_value(*q, &mut zone, parent_zone);
+            self.move_value(*q, &mut zone, parent_zone)?;
         }
         let cols_u = self.cols(u);
         if self.m > 1 {
             for &x in &cols_u {
-                self.move_state(x, &mut zone, parent_zone);
+                self.move_state(x, &mut zone, parent_zone)?;
             }
         }
         let mut zone_set: HashSet<Pt2> = g_u.into_iter().collect();
@@ -307,7 +326,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             for q in &kid_gammas[i] {
                 zone_set.remove(q);
             }
-            self.exec(kid, &want_kid, &mut zone);
+            self.exec(kid, &want_kid, &mut zone)?;
             zone_set.extend(want_kid);
         }
 
@@ -317,25 +336,37 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         let mut wanted: Vec<Pt2> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            assert!(zone_set.remove(&q), "wanted value {q:?} missing from zone");
-            self.move_value(q, parent_zone, &mut zone);
+            if !zone_set.remove(&q) {
+                return Err(SimError::Internal {
+                    what: "wanted value missing from zone",
+                });
+            }
+            self.move_value(q, parent_zone, &mut zone)?;
         }
         let mut rest: Vec<Pt2> = zone_set.into_iter().collect();
         rest.sort();
         for q in rest {
-            let old = self.live.remove(&q).expect("zone bookkeeping");
+            let old = self.live.remove(&q).ok_or(SimError::Internal {
+                what: "zone bookkeeping lost a live value",
+            })?;
             zone.free_if_owned(old);
         }
         if self.m > 1 {
             for &x in &cols_u {
-                self.move_state(x, parent_zone, &mut zone);
+                self.move_state(x, parent_zone, &mut zone)?;
             }
         }
+        Ok(())
     }
 
     /// Naive execution of an executable diamond (Theorem 3's recursion
     /// bottom): ingest, run vertices in time order, park.
-    fn exec_leaf(&mut self, u: &ClippedDiamond, want: &HashSet<Pt2>, parent_zone: &mut ZoneAlloc) {
+    fn exec_leaf(
+        &mut self,
+        u: &ClippedDiamond,
+        want: &HashSet<Pt2>,
+        parent_zone: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
         let pts = {
             let mut v: Vec<Pt2> = Vec::with_capacity(u.points_count() as usize);
             u.for_each_point(|p| {
@@ -347,7 +378,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             v
         };
         if pts.is_empty() {
-            return;
+            return Ok(());
         }
         let g_u = self.gamma(u);
         let cols_u = self.cols(u);
@@ -361,10 +392,9 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         // Ingest Γ.
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self
-                .live
-                .get(q)
-                .unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            let old = *self.live.get(q).ok_or(SimError::Internal {
+                what: "preboundary value not live at leaf ingest",
+            })?;
             self.ram.relocate(old, dst);
             if std::env::var("BSMP_TRACE").is_ok() && *q == Pt2::new(0, 2) {
                 eprintln!(
@@ -382,10 +412,9 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             let base0 = n_pts + g_u.len();
             for (i, &x) in cols_u.iter().enumerate() {
                 let dst = base0 + i * self.m;
-                let old = *self
-                    .state
-                    .get(&x)
-                    .unwrap_or_else(|| panic!("state {x} not live"));
+                let old = *self.state.get(&x).ok_or(SimError::Internal {
+                    what: "state block not live at leaf ingest",
+                })?;
                 for c in 0..self.m {
                     self.ram.relocate(old + c, dst + c);
                 }
@@ -399,18 +428,18 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         for (i, p) in pts.iter().enumerate() {
             let v = p.x as usize;
             let t = p.t;
-            let read_val = |me: &mut Self, q: Pt2| -> Word {
+            let read_val = |me: &mut Self, q: Pt2| -> Result<Word, SimError> {
                 if !me.in_dag(q) {
-                    return bd;
+                    return Ok(bd);
                 }
-                let a = *slot
-                    .get(&q)
-                    .unwrap_or_else(|| panic!("operand {q:?} unavailable in leaf {u:?}"));
-                me.ram.read(a)
+                let a = *slot.get(&q).ok_or(SimError::Internal {
+                    what: "operand unavailable in leaf",
+                })?;
+                Ok(me.ram.read(a))
             };
-            let prev = read_val(self, Pt2::new(p.x, t - 1));
-            let left = read_val(self, Pt2::new(p.x - 1, t - 1));
-            let right = read_val(self, Pt2::new(p.x + 1, t - 1));
+            let prev = read_val(self, Pt2::new(p.x, t - 1))?;
+            let left = read_val(self, Pt2::new(p.x - 1, t - 1))?;
+            let right = read_val(self, Pt2::new(p.x + 1, t - 1))?;
             let own = if self.m > 1 {
                 let c = self.prog.cell(v, t);
                 let a = st_base[&p.x] + c;
@@ -438,10 +467,9 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         let mut wanted: Vec<Pt2> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            let old = *self
-                .live
-                .get(&q)
-                .unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let old = *self.live.get(&q).ok_or(SimError::Internal {
+                what: "wanted value not present in leaf",
+            })?;
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
             self.live.insert(q, new);
@@ -468,6 +496,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
                 self.state.insert(x, new);
             }
         }
+        Ok(())
     }
 
     /// Seed a live value at an explicit address (multiprocessor engine:
@@ -500,13 +529,13 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     /// Run the whole simulation: lay out the guest image, execute the
     /// top-level diamond, write the final image back into the guest
     /// layout.  Returns `(final_mem, final_values)`.
-    pub fn run(&mut self, init: &[Word]) -> (Vec<Word>, Vec<Word>) {
+    pub fn run(&mut self, init: &[Word]) -> Result<(Vec<Word>, Vec<Word>), SimError> {
         let n = self.n as usize;
         let m = self.m;
         assert_eq!(init.len(), n * m);
         if self.t_steps == 0 {
             let values = (0..n).map(|v| init[v * m + self.prog.cell(v, 0)]).collect();
-            return (init.to_vec(), values);
+            return Ok((init.to_vec(), values));
         }
 
         // Top-level diamond covering the whole computed box.
@@ -539,14 +568,16 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
 
         // Want the final row back.
         let want: HashSet<Pt2> = (0..self.n).map(|x| Pt2::new(x, self.t_steps)).collect();
-        self.exec(&top, &want, &mut driver_zone);
+        self.exec(&top, &want, &mut driver_zone)?;
 
         // Write the final image back into the guest layout (charged —
         // the host must leave memory as the guest would).
         let mut values = vec![0 as Word; n];
         for (v, slot) in values.iter_mut().enumerate() {
             let p = Pt2::new(v as i64, self.t_steps);
-            let addr = self.live[&p];
+            let addr = *self.live.get(&p).ok_or(SimError::Internal {
+                what: "final value not live after top-level exec",
+            })?;
             *slot = self.ram.peek(addr);
             if m == 1 {
                 self.ram.relocate(addr, image + v);
@@ -554,7 +585,9 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         }
         if m > 1 {
             for v in 0..n {
-                let old = self.state[&(v as i64)];
+                let old = *self.state.get(&(v as i64)).ok_or(SimError::Internal {
+                    what: "final state block not live after top-level exec",
+                })?;
                 let dst = image + v * m;
                 if old != dst {
                     for c in 0..m {
@@ -564,6 +597,6 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             }
         }
         let mem = (0..n * m).map(|i| self.ram.peek(image + i)).collect();
-        (mem, values)
+        Ok((mem, values))
     }
 }

@@ -21,6 +21,7 @@ use bsmp_geometry::{ClippedDomain2, Domain2, IBox, Pt3};
 use bsmp_hram::{Hram, Word};
 use bsmp_machine::{MachineSpec, MeshProgram};
 
+use crate::error::SimError;
 use crate::zone::ZoneAlloc;
 
 /// Memo key: radius, cell kind offset, and clamped distances to the six
@@ -202,36 +203,54 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         s
     }
 
-    fn move_value(&mut self, q: Pt3, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self
-            .live
-            .get(&q)
-            .unwrap_or_else(|| panic!("value {q:?} not live"));
+    fn move_value(
+        &mut self,
+        q: Pt3,
+        zone: &mut ZoneAlloc,
+        from: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
+        let old = *self.live.get(&q).ok_or(SimError::Internal {
+            what: "moved value not live",
+        })?;
         let new = zone.alloc();
         self.ram.relocate(old, new);
         from.free_if_owned(old);
         self.live.insert(q, new);
+        Ok(())
     }
 
-    fn move_state(&mut self, xy: (i64, i64), zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self
-            .state
-            .get(&xy)
-            .unwrap_or_else(|| panic!("state {xy:?} not live"));
+    fn move_state(
+        &mut self,
+        xy: (i64, i64),
+        zone: &mut ZoneAlloc,
+        from: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
+        let old = *self.state.get(&xy).ok_or(SimError::Internal {
+            what: "moved state block not live",
+        })?;
         let new = zone.alloc_block(self.m);
         for c in 0..self.m {
             self.ram.relocate(old + c, new + c);
         }
         from.free_block_if_owned(old, self.m);
         self.state.insert(xy, new);
+        Ok(())
     }
 
     /// Execute `U` with inputs live in `parent_zone`; park `want` (and
     /// all pillar states) back there.
-    pub fn exec(&mut self, u: &ClippedDomain2, want: &HashSet<Pt3>, parent_zone: &mut ZoneAlloc) {
+    ///
+    /// Bookkeeping invariant violations surface as
+    /// [`SimError::Internal`] rather than panicking, so a chaos run can
+    /// degrade gracefully.
+    pub fn exec(
+        &mut self,
+        u: &ClippedDomain2,
+        want: &HashSet<Pt3>,
+        parent_zone: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
         if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
-            self.exec_leaf(u, want, parent_zone);
-            return;
+            return self.exec_leaf(u, want, parent_zone);
         }
         let s_u = self.space(u);
         let kids = self.kids(u);
@@ -243,12 +262,12 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
 
         let g_u = self.gamma(u);
         for q in &g_u {
-            self.move_value(*q, &mut zone, parent_zone);
+            self.move_value(*q, &mut zone, parent_zone)?;
         }
         let pillars_u = self.pillars(u);
         if self.m > 1 {
             for &xy in &pillars_u {
-                self.move_state(xy, &mut zone, parent_zone);
+                self.move_state(xy, &mut zone, parent_zone)?;
             }
         }
         let mut zone_set: HashSet<Pt3> = g_u.into_iter().collect();
@@ -275,33 +294,45 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             for q in &kid_gammas[i] {
                 zone_set.remove(q);
             }
-            self.exec(kid, &want_kid, &mut zone);
+            self.exec(kid, &want_kid, &mut zone)?;
             zone_set.extend(want_kid);
         }
 
         let mut wanted: Vec<Pt3> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            assert!(zone_set.remove(&q), "wanted value {q:?} missing from zone");
-            self.move_value(q, parent_zone, &mut zone);
+            if !zone_set.remove(&q) {
+                return Err(SimError::Internal {
+                    what: "wanted value missing from zone",
+                });
+            }
+            self.move_value(q, parent_zone, &mut zone)?;
         }
         let mut rest: Vec<Pt3> = zone_set.into_iter().collect();
         rest.sort();
         for q in rest {
-            let old = self.live.remove(&q).expect("zone bookkeeping");
+            let old = self.live.remove(&q).ok_or(SimError::Internal {
+                what: "zone bookkeeping lost a live value",
+            })?;
             zone.free_if_owned(old);
         }
         if self.m > 1 {
             for &xy in &pillars_u {
-                self.move_state(xy, parent_zone, &mut zone);
+                self.move_state(xy, parent_zone, &mut zone)?;
             }
         }
+        Ok(())
     }
 
-    fn exec_leaf(&mut self, u: &ClippedDomain2, want: &HashSet<Pt3>, parent_zone: &mut ZoneAlloc) {
+    fn exec_leaf(
+        &mut self,
+        u: &ClippedDomain2,
+        want: &HashSet<Pt3>,
+        parent_zone: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
         let pts = self.exec_points(u);
         if pts.is_empty() {
-            return;
+            return Ok(());
         }
         let g_u = self.gamma(u);
         let pillars_u = self.pillars(u);
@@ -312,10 +343,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         }
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self
-                .live
-                .get(q)
-                .unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            let old = *self.live.get(q).ok_or(SimError::Internal {
+                what: "preboundary value not live at leaf ingest",
+            })?;
             self.ram.relocate(old, dst);
             parent_zone.free_if_owned(old);
             self.live.insert(*q, dst);
@@ -326,10 +356,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             let base0 = n_pts + g_u.len();
             for (i, &xy) in pillars_u.iter().enumerate() {
                 let dst = base0 + i * self.m;
-                let old = *self
-                    .state
-                    .get(&xy)
-                    .unwrap_or_else(|| panic!("state {xy:?} not live"));
+                let old = *self.state.get(&xy).ok_or(SimError::Internal {
+                    what: "state block not live at leaf ingest",
+                })?;
                 for c in 0..self.m {
                     self.ram.relocate(old + c, dst + c);
                 }
@@ -341,20 +370,20 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         let bd = self.prog.boundary();
         for (i, p) in pts.iter().enumerate() {
             let (x, y, t) = (p.x, p.y, p.t);
-            let read_val = |me: &mut Self, q: Pt3| -> Word {
+            let read_val = |me: &mut Self, q: Pt3| -> Result<Word, SimError> {
                 if !me.in_dag(q) {
-                    return bd;
+                    return Ok(bd);
                 }
-                let a = *slot
-                    .get(&q)
-                    .unwrap_or_else(|| panic!("operand {q:?} unavailable in leaf {u:?}"));
-                me.ram.read(a)
+                let a = *slot.get(&q).ok_or(SimError::Internal {
+                    what: "operand unavailable in leaf",
+                })?;
+                Ok(me.ram.read(a))
             };
-            let prev = read_val(self, Pt3::new(x, y, t - 1));
-            let west = read_val(self, Pt3::new(x - 1, y, t - 1));
-            let east = read_val(self, Pt3::new(x + 1, y, t - 1));
-            let south = read_val(self, Pt3::new(x, y - 1, t - 1));
-            let north = read_val(self, Pt3::new(x, y + 1, t - 1));
+            let prev = read_val(self, Pt3::new(x, y, t - 1))?;
+            let west = read_val(self, Pt3::new(x - 1, y, t - 1))?;
+            let east = read_val(self, Pt3::new(x + 1, y, t - 1))?;
+            let south = read_val(self, Pt3::new(x, y - 1, t - 1))?;
+            let north = read_val(self, Pt3::new(x, y + 1, t - 1))?;
             let own = if self.m > 1 {
                 let c = self.prog.cell(x as usize, y as usize, t);
                 self.ram.read(st_base[&(x, y)] + c)
@@ -376,10 +405,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         let mut wanted: Vec<Pt3> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            let old = *self
-                .live
-                .get(&q)
-                .unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let old = *self.live.get(&q).ok_or(SimError::Internal {
+                what: "wanted value not present in leaf",
+            })?;
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
             self.live.insert(q, new);
@@ -404,6 +432,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
                 self.state.insert(xy, new);
             }
         }
+        Ok(())
     }
 
     /// Seed a live value at an explicit address (multiprocessor engine).
@@ -434,7 +463,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
 
     /// Run the whole simulation; returns `(final_mem, final_values)` in
     /// the guest's node-major layout (node index `y·side + x`).
-    pub fn run(&mut self, init: &[Word]) -> (Vec<Word>, Vec<Word>) {
+    pub fn run(&mut self, init: &[Word]) -> Result<(Vec<Word>, Vec<Word>), SimError> {
         let side = self.side as usize;
         let n = side * side;
         let m = self.m;
@@ -443,7 +472,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             let values = (0..n)
                 .map(|v| init[v * m + self.prog.cell(v % side, v / side, 0)])
                 .collect();
-            return (init.to_vec(), values);
+            return Ok((init.to_vec(), values));
         }
 
         let h_top = ((self.side + self.t_steps + 4) as u64).next_power_of_two() as i64;
@@ -475,14 +504,16 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             .flat_map(|y| (0..self.side).map(move |x| Pt3::new(x, y, 0)))
             .map(|p| Pt3::new(p.x, p.y, self.t_steps))
             .collect();
-        self.exec(&top, &want, &mut driver_zone);
+        self.exec(&top, &want, &mut driver_zone)?;
 
         let mut values = vec![0 as Word; n];
         for y in 0..side {
             for x in 0..side {
                 let v = y * side + x;
                 let p = Pt3::new(x as i64, y as i64, self.t_steps);
-                let addr = self.live[&p];
+                let addr = *self.live.get(&p).ok_or(SimError::Internal {
+                    what: "final value not live after top-level exec",
+                })?;
                 values[v] = self.ram.peek(addr);
                 if m == 1 {
                     self.ram.relocate(addr, image + v);
@@ -493,7 +524,12 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             for y in 0..side {
                 for x in 0..side {
                     let v = y * side + x;
-                    let old = self.state[&(x as i64, y as i64)];
+                    let old = *self
+                        .state
+                        .get(&(x as i64, y as i64))
+                        .ok_or(SimError::Internal {
+                            what: "final state block not live after top-level exec",
+                        })?;
                     let dst = image + v * m;
                     if old != dst {
                         for c in 0..m {
@@ -504,6 +540,6 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             }
         }
         let mem = (0..n * m).map(|i| self.ram.peek(image + i)).collect();
-        (mem, values)
+        Ok((mem, values))
     }
 }

@@ -20,6 +20,7 @@ use bsmp_geometry::{ClippedDomain3, Domain3, IBox4, Pt4};
 use bsmp_hram::{AccessFn, Hram, Word};
 use bsmp_machine::VolumeProgram;
 
+use crate::error::SimError;
 use crate::zone::ZoneAlloc;
 
 type ShapeKey = (i64, i64, i64, i64, i64, i64, i64, i64, i64, i64, i64);
@@ -141,21 +142,33 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         s
     }
 
-    fn move_value(&mut self, q: Pt4, zone: &mut ZoneAlloc, from: &mut ZoneAlloc) {
-        let old = *self
-            .live
-            .get(&q)
-            .unwrap_or_else(|| panic!("value {q:?} not live"));
+    fn move_value(
+        &mut self,
+        q: Pt4,
+        zone: &mut ZoneAlloc,
+        from: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
+        let old = *self.live.get(&q).ok_or(SimError::Internal {
+            what: "moved value not live",
+        })?;
         let new = zone.alloc();
         self.ram.relocate(old, new);
         from.free_if_owned(old);
         self.live.insert(q, new);
+        Ok(())
     }
 
-    pub fn exec(&mut self, u: &ClippedDomain3, want: &HashSet<Pt4>, parent_zone: &mut ZoneAlloc) {
+    /// Execute `U` with inputs live in `parent_zone`; park `want` back
+    /// there.  Bookkeeping invariant violations surface as
+    /// [`SimError::Internal`] rather than panicking.
+    pub fn exec(
+        &mut self,
+        u: &ClippedDomain3,
+        want: &HashSet<Pt4>,
+        parent_zone: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
         if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
-            self.exec_leaf(u, want, parent_zone);
-            return;
+            return self.exec_leaf(u, want, parent_zone);
         }
         let s_u = self.space(u);
         let kids = self.kids(u);
@@ -167,7 +180,7 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
 
         let g_u = self.gamma(u);
         for q in &g_u {
-            self.move_value(*q, &mut zone, parent_zone);
+            self.move_value(*q, &mut zone, parent_zone)?;
         }
         let mut zone_set: HashSet<Pt4> = g_u.into_iter().collect();
 
@@ -193,28 +206,40 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
             for q in &kid_gammas[i] {
                 zone_set.remove(q);
             }
-            self.exec(kid, &want_kid, &mut zone);
+            self.exec(kid, &want_kid, &mut zone)?;
             zone_set.extend(want_kid);
         }
 
         let mut wanted: Vec<Pt4> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            assert!(zone_set.remove(&q), "wanted value {q:?} missing from zone");
-            self.move_value(q, parent_zone, &mut zone);
+            if !zone_set.remove(&q) {
+                return Err(SimError::Internal {
+                    what: "wanted value missing from zone",
+                });
+            }
+            self.move_value(q, parent_zone, &mut zone)?;
         }
         let mut rest: Vec<Pt4> = zone_set.into_iter().collect();
         rest.sort();
         for q in rest {
-            let old = self.live.remove(&q).expect("zone bookkeeping");
+            let old = self.live.remove(&q).ok_or(SimError::Internal {
+                what: "zone bookkeeping lost a live value",
+            })?;
             zone.free_if_owned(old);
         }
+        Ok(())
     }
 
-    fn exec_leaf(&mut self, u: &ClippedDomain3, want: &HashSet<Pt4>, parent_zone: &mut ZoneAlloc) {
+    fn exec_leaf(
+        &mut self,
+        u: &ClippedDomain3,
+        want: &HashSet<Pt4>,
+        parent_zone: &mut ZoneAlloc,
+    ) -> Result<(), SimError> {
         let pts = self.exec_points(u);
         if pts.is_empty() {
-            return;
+            return Ok(());
         }
         let g_u = self.gamma(u);
         let n_pts = pts.len();
@@ -224,10 +249,9 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         }
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self
-                .live
-                .get(q)
-                .unwrap_or_else(|| panic!("Γ value {q:?} not live"));
+            let old = *self.live.get(q).ok_or(SimError::Internal {
+                what: "preboundary value not live at leaf ingest",
+            })?;
             self.ram.relocate(old, dst);
             parent_zone.free_if_owned(old);
             self.live.insert(*q, dst);
@@ -236,23 +260,23 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
 
         let bd = self.prog.boundary();
         for (i, p) in pts.iter().enumerate() {
-            let read_val = |me: &mut Self, q: Pt4| -> Word {
+            let read_val = |me: &mut Self, q: Pt4| -> Result<Word, SimError> {
                 if !me.in_dag(q) {
-                    return bd;
+                    return Ok(bd);
                 }
-                let a = *slot
-                    .get(&q)
-                    .unwrap_or_else(|| panic!("operand {q:?} unavailable in leaf"));
-                me.ram.read(a)
+                let a = *slot.get(&q).ok_or(SimError::Internal {
+                    what: "operand unavailable in leaf",
+                })?;
+                Ok(me.ram.read(a))
             };
-            let prev = read_val(self, Pt4::new(p.x, p.y, p.z, p.t - 1));
+            let prev = read_val(self, Pt4::new(p.x, p.y, p.z, p.t - 1))?;
             let nb = [
-                read_val(self, Pt4::new(p.x - 1, p.y, p.z, p.t - 1)),
-                read_val(self, Pt4::new(p.x + 1, p.y, p.z, p.t - 1)),
-                read_val(self, Pt4::new(p.x, p.y - 1, p.z, p.t - 1)),
-                read_val(self, Pt4::new(p.x, p.y + 1, p.z, p.t - 1)),
-                read_val(self, Pt4::new(p.x, p.y, p.z - 1, p.t - 1)),
-                read_val(self, Pt4::new(p.x, p.y, p.z + 1, p.t - 1)),
+                read_val(self, Pt4::new(p.x - 1, p.y, p.z, p.t - 1))?,
+                read_val(self, Pt4::new(p.x + 1, p.y, p.z, p.t - 1))?,
+                read_val(self, Pt4::new(p.x, p.y - 1, p.z, p.t - 1))?,
+                read_val(self, Pt4::new(p.x, p.y + 1, p.z, p.t - 1))?,
+                read_val(self, Pt4::new(p.x, p.y, p.z - 1, p.t - 1))?,
+                read_val(self, Pt4::new(p.x, p.y, p.z + 1, p.t - 1))?,
             ];
             let out = self.prog.delta(
                 p.x as usize,
@@ -271,10 +295,9 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         let mut wanted: Vec<Pt4> = want.iter().copied().collect();
         wanted.sort();
         for q in wanted {
-            let old = *self
-                .live
-                .get(&q)
-                .unwrap_or_else(|| panic!("wanted {q:?} not in leaf"));
+            let old = *self.live.get(&q).ok_or(SimError::Internal {
+                what: "wanted value not present in leaf",
+            })?;
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
             self.live.insert(q, new);
@@ -289,15 +312,16 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
                 self.live.remove(q);
             }
         }
+        Ok(())
     }
 
     /// Run the whole simulation; returns `(final_mem, final_values)`.
-    pub fn run(&mut self, init: &[Word]) -> (Vec<Word>, Vec<Word>) {
+    pub fn run(&mut self, init: &[Word]) -> Result<(Vec<Word>, Vec<Word>), SimError> {
         let side = self.side as usize;
         let n = side * side * side;
         assert_eq!(init.len(), n);
         if self.t_steps == 0 {
-            return (init.to_vec(), init.to_vec());
+            return Ok((init.to_vec(), init.to_vec()));
         }
 
         let h_top = ((self.side + self.t_steps + 4) as u64).next_power_of_two() as i64;
@@ -334,20 +358,22 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
                 }
             }
         }
-        self.exec(&top, &want, &mut driver_zone);
+        self.exec(&top, &want, &mut driver_zone)?;
 
         let mut values = vec![0 as Word; n];
         for z in 0..side {
             for y in 0..side {
                 for x in 0..side {
                     let p = Pt4::new(x as i64, y as i64, z as i64, self.t_steps);
-                    let addr = self.live[&p];
+                    let addr = *self.live.get(&p).ok_or(SimError::Internal {
+                        what: "final value not live after top-level exec",
+                    })?;
                     values[idx(x, y, z)] = self.ram.peek(addr);
                     self.ram.relocate(addr, image + idx(x, y, z));
                 }
             }
         }
         let mem = (0..n).map(|i| self.ram.peek(image + i)).collect();
-        (mem, values)
+        Ok((mem, values))
     }
 }

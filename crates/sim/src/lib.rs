@@ -60,5 +60,69 @@ pub(crate) fn stage_totals(
         injected_delay: stats.injected_delay,
         retries: stats.retries,
         recovered: stats.recovered_stages,
+        outages: stats.outage_stages,
+        churn: stats.departures + stats.rejoins,
+        backoffs: stats.backoff_retries,
     }
+}
+
+/// Close out a fault session at the end of an engine's stage loop: if the
+/// scenario still holds storm-queued traffic or churn debt, charge one
+/// traced settlement stage so the trace's `Σ cost = host_time` invariant
+/// survives scenarios that end mid-outage.
+pub(crate) fn settle_scenario(
+    clock: &mut bsmp_machine::StageClock,
+    session: &mut bsmp_faults::FaultSession,
+    tracer: &mut bsmp_trace::Tracer,
+    workers: usize,
+) {
+    if !session.needs_settlement() {
+        return;
+    }
+    tracer.begin_stage("settle");
+    clock.settle_faulted(session);
+    tracer.end_stage(stage_totals(clock, &session.stats), workers);
+}
+
+/// Apply a fault scenario to a uniprocessor run treated as one bulk
+/// stage: the whole run's `[host_time]` / `[comm]` pass through a
+/// single-processor [`bsmp_faults::FaultSession`] (so jitter, asymmetry,
+/// outage windows, and churn scale the run exactly like any other
+/// stage), plus a settlement stage if the scenario ends mid-outage.
+///
+/// Callers hand over the fault-free report of the plain engine; the
+/// returned report keeps its memory image and meter but carries the
+/// scenario-adjusted `host_time`, stage count, and fault statistics.
+pub(crate) fn scenario_over_report(
+    mut rep: SimReport,
+    meta: bsmp_trace::RunMeta,
+    hop: f64,
+    checkpoint_words: u64,
+    plan: &bsmp_faults::FaultPlan,
+    tracer: &mut bsmp_trace::Tracer,
+) -> Result<SimReport, SimError> {
+    let mut session = bsmp_faults::FaultSession::new(
+        plan,
+        bsmp_faults::FaultEnv {
+            p: 1,
+            hop,
+            checkpoint_words,
+            proc_side: 1,
+        },
+    );
+    let mut clock = bsmp_machine::StageClock::new();
+    tracer.ensure_procs(1);
+    tracer.begin_stage("run");
+    if let Some(tl) = tracer.tally() {
+        tl.add(0, meta.n * meta.steps, 0);
+    }
+    let guest_time = rep.guest_time;
+    clock.add_stage_faulted(&[rep.host_time], &[rep.meter.comm], &mut session)?;
+    tracer.end_stage(stage_totals(&clock, &session.stats), 1);
+    settle_scenario(&mut clock, &mut session, tracer, 1);
+    tracer.finish_run(meta, clock.parallel_time, guest_time);
+    rep.host_time = clock.parallel_time;
+    rep.stages = clock.stages;
+    rep.faults = session.into_stats();
+    Ok(rep)
 }

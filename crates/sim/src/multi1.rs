@@ -52,8 +52,8 @@ use bsmp_trace::{RunMeta, Tracer};
 use crate::error::SimError;
 use crate::exec1::DiamondExec;
 use crate::report::SimReport;
-use crate::stage_totals;
 use crate::zone::ZoneAlloc;
+use crate::{settle_scenario, stage_totals};
 
 /// The strip rearrangement `π = π₂ ∘ π₁` of Section 4.2.
 pub mod rearrangement {
@@ -231,10 +231,13 @@ pub fn try_simulate_multi1_traced(
     let mut eng = Engine::new(spec, prog, steps, opts, plan)?;
     eng.tracer = std::mem::take(tracer);
     eng.tracer.ensure_procs(spec.p as usize);
-    eng.run(init);
-    let rep = eng.finish(spec, prog, steps);
+    let outcome = eng.run(init);
+    if outcome.is_ok() {
+        settle_scenario(&mut eng.clock, &mut eng.session, &mut eng.tracer, 1);
+    }
+    let rep = outcome.map(|()| eng.finish(spec, prog, steps));
     *tracer = std::mem::take(&mut eng.tracer);
-    Ok(rep)
+    rep
 }
 
 /// Simulate with explicit options (strip-width sweeps for experiment E9).
@@ -368,6 +371,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 p,
                 hop: spec.neighbor_distance(),
                 checkpoint_words: spec.node_mem(),
+                proc_side: 1,
             },
         );
 
@@ -441,7 +445,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     }
 
     /// Close the stage opened by the matching [`begin_stage`](Self::begin_stage).
-    fn close_stage(&mut self) {
+    fn close_stage(&mut self) -> Result<(), SimError> {
         for (((delta, comm), e), (t0, c0)) in self
             .scratch
             .per_proc
@@ -462,14 +466,15 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             &self.scratch.per_proc,
             &self.scratch.per_comm,
             &mut self.session,
-        );
+        )?;
         self.tracer
             .end_stage(stage_totals(&self.clock, &self.session.stats), 1);
+        Ok(())
     }
 
     /// Lay out the guest image at the *natural* strip homes (uncharged:
     /// problem statement), then perform and charge the rearrangement.
-    fn preprocess(&mut self, init: &[Word]) {
+    fn preprocess(&mut self, init: &[Word]) -> Result<(), SimError> {
         // Natural placement: strip j at slot j.
         let seg = self.q / self.p;
         let sm = self.s * self.m;
@@ -510,7 +515,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.execs[dst_p].ram.write(dst + w, *word);
             }
         }
-        self.close_stage();
+        self.close_stage()?;
         self.preprocessing_time = self.clock.parallel_time;
 
         // Seed the input-row values: value (x, 0) is the content of cell
@@ -521,6 +526,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             let addr = self.strip_home(j) + (x - j * self.s) * self.m + self.prog.cell(x, 0);
             self.home.insert(Pt2::new(x as i64, 0), (pr, addr));
         }
+        Ok(())
     }
 
     /// Charge the Regime-1 cascade for one word arriving at (or leaving)
@@ -541,10 +547,10 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
 
     /// Move one value into processor `pr`'s transit zone; returns the
     /// address.  Sources: current tile placement, or the inter-tile home.
-    fn stage_value(&mut self, pt: Pt2, pr: usize) -> usize {
+    fn stage_value(&mut self, pt: Pt2, pr: usize) -> Result<usize, SimError> {
         if let Some(&(owner, addr)) = self.placed.get(&pt) {
             if owner == pr {
-                return addr;
+                return Ok(addr);
             }
             // Cross-seam exchange (cooperating mode): one word, charged
             // on both endpoints at the true processor distance.
@@ -557,14 +563,11 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             self.tmark(pr, 0, 1);
             self.execs[pr].ram.write(dst, w);
             self.placed.insert(pt, (pr, dst));
-            return dst;
+            return Ok(dst);
         }
-        let (owner, addr) = *self.home.get(&pt).unwrap_or_else(|| {
-            panic!(
-                "value {pt:?} neither placed nor home (ctx: {})",
-                self.debug_ctx
-            )
-        });
+        let (owner, addr) = *self.home.get(&pt).ok_or(SimError::Internal {
+            what: "staged value neither placed nor home",
+        })?;
         // Inter-tile ingest: cascade through the Regime-1 levels.
         let w = if self.vals.contains_key(&pt) {
             self.vals[&pt]
@@ -584,7 +587,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         self.execs[pr].ram.write(dst, w);
         self.vals.insert(pt, w);
         self.placed.insert(pt, (pr, dst));
-        dst
+        Ok(dst)
     }
 
     /// Stage strip `j`'s private memory into its processor's transit
@@ -648,9 +651,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
 
     /// Execute one (whole) `D(·)` piece on processor `pr` via the full
     /// Theorem-3 recursion, staging its inputs first.
-    fn run_piece_on(&mut self, pr: usize, piece: &ClippedDiamond) {
+    fn run_piece_on(&mut self, pr: usize, piece: &ClippedDiamond) -> Result<(), SimError> {
         if piece.points_count() == 0 {
-            return;
+            return Ok(());
         }
         self.tmark(pr, piece.points_count() as u64, 0);
         self.debug_ctx = format!("piece {:?} on proc {pr}", piece.d);
@@ -660,7 +663,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let g: Vec<Pt2> = self.gamma(piece);
         let mut seeds = Vec::with_capacity(g.len());
         for pt in &g {
-            let addr = self.stage_value(*pt, pr);
+            let addr = self.stage_value(*pt, pr)?;
             let w = self.execs[pr].ram.peek(addr);
             let copy = self.transit_zones[pr].alloc();
             let _ = self.execs[pr].ram.read(addr);
@@ -678,10 +681,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     continue;
                 }
                 let j = self.strip_of_col(x);
-                let (owner, base) = *self
-                    .staged_state
-                    .get(&j)
-                    .unwrap_or_else(|| panic!("strip {j} not staged"));
+                let (owner, base) = *self.staged_state.get(&j).ok_or(SimError::Internal {
+                    what: "piece column's strip not staged",
+                })?;
                 assert_eq!(
                     owner, pr,
                     "piece columns must be on the executing processor"
@@ -714,14 +716,15 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         );
         // Parent zone: the transit zone (park results there).
         let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
-        self.execs[pr].exec(piece, &want, &mut zone);
+        let exec_res = self.execs[pr].exec(piece, &want, &mut zone);
         self.transit_zones[pr] = zone;
+        exec_res?;
 
         // Harvest: record outbound values (they stay parked in transit).
         for pt in out_pts {
-            let addr = self.execs[pr]
-                .value_addr(pt)
-                .unwrap_or_else(|| panic!("output {pt:?} not parked"));
+            let addr = self.execs[pr].value_addr(pt).ok_or(SimError::Internal {
+                what: "piece output not parked",
+            })?;
             let w = self.execs[pr].ram.peek(addr);
             self.vals.insert(pt, w);
             if let Some((old_pr, old_addr)) = self.placed.insert(pt, (pr, addr)) {
@@ -733,9 +736,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         // release the recursion's parked blocks.
         if self.m > 1 {
             for (x, _, home_addr) in &state_seeds {
-                let parked = self.execs[pr]
-                    .state_addr(*x)
-                    .unwrap_or_else(|| panic!("state {x} not parked"));
+                let parked = self.execs[pr].state_addr(*x).ok_or(SimError::Internal {
+                    what: "piece column state not parked",
+                })?;
                 self.execs[pr]
                     .ram
                     .relocate_block(parked, *home_addr, self.m);
@@ -743,19 +746,19 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             }
         }
         self.execs[pr].clear_seeds();
+        Ok(())
     }
 
     /// Execute a strip-boundary diamond in cooperating mode: off-center
     /// children go wholly to one side; the central leaf chain runs
     /// vertex-by-vertex, each vertex on its own side.
-    fn run_shared(&mut self, piece: &ClippedDiamond, pl: usize, pr: usize) {
+    fn run_shared(&mut self, piece: &ClippedDiamond, pl: usize, pr: usize) -> Result<(), SimError> {
         if piece.points_count() == 0 {
-            return;
+            return Ok(());
         }
         let leaf_h = (self.m as i64 / 2).max(1);
         if piece.d.h <= leaf_h {
-            self.run_band_leaf(piece, pl, pr);
-            return;
+            return self.run_band_leaf(piece, pl, pr);
         }
         for kid in piece.d.children() {
             let ck = ClippedDiamond::new(kid, self.cbox);
@@ -763,18 +766,24 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 continue;
             }
             if kid.cx < piece.d.cx {
-                self.run_piece_on(pl, &ck);
+                self.run_piece_on(pl, &ck)?;
             } else if kid.cx > piece.d.cx {
-                self.run_piece_on(pr, &ck);
+                self.run_piece_on(pr, &ck)?;
             } else {
-                self.run_shared(&ck, pl, pr);
+                self.run_shared(&ck, pl, pr)?;
             }
         }
+        Ok(())
     }
 
     /// Central-band leaf of a shared diamond: naive execution split by
     /// side, with seam crossings charged at one hop.
-    fn run_band_leaf(&mut self, piece: &ClippedDiamond, pl: usize, pr: usize) {
+    fn run_band_leaf(
+        &mut self,
+        piece: &ClippedDiamond,
+        pl: usize,
+        pr: usize,
+    ) -> Result<(), SimError> {
         let mut pts = Vec::with_capacity(piece.points_count() as usize);
         piece.for_each_point(|pt| {
             if self.cbox.contains(pt) {
@@ -783,7 +792,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         });
         pts.sort();
         if pts.is_empty() {
-            return;
+            return Ok(());
         }
         let cx = piece.d.cx;
         let nominal = self.transit_base; // operands live in the transit band
@@ -794,17 +803,17 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             // Operand fetches: previous values from `vals` (placed on
             // either side); charge a read at the transit band plus a hop
             // when the operand lives across the seam.
-            let fetch = |me: &mut Self, qp: Pt2| -> Word {
+            let fetch = |me: &mut Self, qp: Pt2| -> Result<Word, SimError> {
                 if qp.x < 0 || qp.x >= me.n as i64 {
-                    return me.prog.boundary();
+                    return Ok(me.prog.boundary());
                 }
                 let w = if qp.t == 0 {
-                    let a = me.stage_value(qp, side);
+                    let a = me.stage_value(qp, side)?;
                     me.execs[side].ram.peek(a)
                 } else {
-                    *me.vals
-                        .get(&qp)
-                        .unwrap_or_else(|| panic!("operand {qp:?} missing"))
+                    *me.vals.get(&qp).ok_or(SimError::Internal {
+                        what: "band-leaf operand missing",
+                    })?
                 };
                 let owner = me.placed.get(&qp).map(|&(o, _)| o).unwrap_or(side);
                 let _ = me.execs[side].ram.read(nominal);
@@ -814,11 +823,11 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     me.execs[side].ram.meter.add_comm(hops * me.hop / 2.0);
                     me.tmark(side, 0, 1);
                 }
-                w
+                Ok(w)
             };
-            let prev = fetch(self, Pt2::new(pt.x, pt.t - 1));
-            let left = fetch(self, Pt2::new(pt.x - 1, pt.t - 1));
-            let right = fetch(self, Pt2::new(pt.x + 1, pt.t - 1));
+            let prev = fetch(self, Pt2::new(pt.x, pt.t - 1))?;
+            let left = fetch(self, Pt2::new(pt.x - 1, pt.t - 1))?;
+            let right = fetch(self, Pt2::new(pt.x + 1, pt.t - 1))?;
             let own = if self.m > 1 {
                 let j = self.strip_of_col(pt.x);
                 let (owner, base) = self.staged_state[&j];
@@ -848,18 +857,19 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.placed.insert(*pt, (side, dst));
             }
         }
+        Ok(())
     }
 
     /// Execute one `D(ps)` tile: Regime-1 gather, the `2p-1` Regime-2
     /// stage rows, Regime-1 scatter.
-    fn run_tile(&mut self, tile: &ClippedDiamond) {
+    fn run_tile(&mut self, tile: &ClippedDiamond) -> Result<(), SimError> {
         self.debug_ctx = format!("tile {:?}", tile.d);
         let ps = (self.p * self.s) as i64;
         // --- Gather stage: stage all strips the tile touches.
         self.begin_stage("gather");
         let b = tile.d.bbox().intersect(&self.cbox);
         if b.is_empty() {
-            return;
+            return Ok(());
         }
         let strips: Vec<usize> = {
             let lo = self.strip_of_col(b.x0.max(0));
@@ -869,7 +879,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         for &j in &strips {
             self.stage_strip(j);
         }
-        self.close_stage();
+        self.close_stage()?;
 
         // --- Regime 2: rows of D(s) diamonds inside the tile.
         // The radius-s/2 tiling exactly refines the radius-ps/2 tiling
@@ -923,7 +933,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                         .collect();
                 dead.sort();
                 for pt in dead {
-                    let (pr2, addr) = self.placed.remove(&pt).unwrap();
+                    let (pr2, addr) = self.placed.remove(&pt).ok_or(SimError::Internal {
+                        what: "transit placement missing for a dead value",
+                    })?;
                     self.transit_zones[pr2].free_if_owned(addr);
                 }
             }
@@ -939,16 +951,16 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                     let jr = self.strip_of_col(cxu.clamp(0, self.n as i64 - 1));
                     let (pl, pr) = (self.proc_of_strip(jl), self.proc_of_strip(jr));
                     if pl == pr {
-                        self.run_piece_on(pl, &piece);
+                        self.run_piece_on(pl, &piece)?;
                     } else {
-                        self.run_shared(&piece, pl, pr);
+                        self.run_shared(&piece, pl, pr)?;
                     }
                 } else {
                     let j = self.strip_of_col(piece.d.cx.clamp(0, self.n as i64 - 1));
-                    self.run_piece_on(self.proc_of_strip(j), &piece);
+                    self.run_piece_on(self.proc_of_strip(j), &piece)?;
                 }
             }
-            self.close_stage();
+            self.close_stage()?;
         }
 
         // --- Scatter stage: return strips home; persist still-needed
@@ -985,30 +997,33 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             .collect();
         dead.sort();
         for pt in dead {
-            let (pr, addr) = self.home.remove(&pt).unwrap();
+            let (pr, addr) = self.home.remove(&pt).ok_or(SimError::Internal {
+                what: "home placement missing for a dead value",
+            })?;
             // Input-row entries are views into the strip homes, not
             // allocated slots.
             if pt.t > 0 {
                 self.home_zones[pr].free(addr);
             }
         }
-        self.close_stage();
+        self.close_stage()?;
         // Fresh transit zones for the next tile (everything in them has
         // been scattered or dropped).
         for z in &mut self.transit_zones {
             *z = ZoneAlloc::new(self.transit_base, self.transit_cap);
         }
+        Ok(())
     }
 
-    fn run(&mut self, init: &[Word]) {
-        self.preprocess(init);
+    fn run(&mut self, init: &[Word]) -> Result<(), SimError> {
+        self.preprocess(init)?;
         if self.t_steps == 0 {
-            return;
+            return Ok(());
         }
         let hp = ((self.p * self.s) / 2) as i64;
         let tiles = diamond_cover(self.cbox, hp, Pt2::new(0, 0));
         for tile in tiles {
-            self.run_tile(&tile);
+            self.run_tile(&tile)?;
         }
         // For m = 1 the node state *is* the value: write the final row
         // back into the strip homes (charged — the host must leave the
@@ -1017,7 +1032,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             self.begin_stage("writeback");
             for x in 0..self.n {
                 let pt = Pt2::new(x as i64, self.t_steps);
-                let (pr, addr) = *self.home.get(&pt).expect("final value homed");
+                let (pr, addr) = *self.home.get(&pt).ok_or(SimError::Internal {
+                    what: "final value not homed",
+                })?;
                 let w = self.vals[&pt];
                 let _ = self.execs[pr].ram.read(addr);
                 let j = self.strip_of_col(x as i64);
@@ -1031,7 +1048,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 let dst = self.strip_home(j) + (x - j * self.s);
                 self.execs[hp_].ram.write(dst, w);
             }
-            self.close_stage();
+            self.close_stage()?;
         }
 
         // Final un-rearrangement (restore the guest's natural layout).
@@ -1063,7 +1080,8 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 self.execs[dst_p].ram.write(dst + w, *word);
             }
         }
-        self.close_stage();
+        self.close_stage()?;
+        Ok(())
     }
 
     fn finish(&mut self, spec: &MachineSpec, prog: &impl LinearProgram, steps: i64) -> SimReport {

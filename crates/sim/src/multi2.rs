@@ -38,8 +38,8 @@ use bsmp_trace::{RunMeta, Tracer};
 use crate::error::SimError;
 use crate::exec2::CellExec;
 use crate::report::SimReport;
-use crate::stage_totals;
 use crate::zone::ZoneAlloc;
+use crate::{settle_scenario, stage_totals};
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`,
 /// injecting faults per `plan`, with preconditions checked.
@@ -74,10 +74,9 @@ pub fn try_simulate_multi2_traced(
     let mut eng = Engine2::new(spec, prog, steps, plan)?;
     eng.tracer = std::mem::take(tracer);
     eng.tracer.ensure_procs(spec.p as usize);
-    eng.run(init);
-    let rep = eng.finish(spec, prog, steps);
+    let rep = eng.run(init).and_then(|()| eng.finish(spec, prog, steps));
     *tracer = std::mem::take(&mut eng.tracer);
-    Ok(rep)
+    rep
 }
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)`,
@@ -196,6 +195,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                 p: sp * sp,
                 hop,
                 checkpoint_words: spec.node_mem(),
+                proc_side: sp,
             },
         );
         Ok(Engine2 {
@@ -269,7 +269,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
     }
 
     /// Close the stage opened by the matching [`begin_stage`](Self::begin_stage).
-    fn close_stage(&mut self) {
+    fn close_stage(&mut self) -> Result<(), SimError> {
         for (((delta, comm), e), (t0, c0)) in self
             .scratch
             .per_proc
@@ -290,9 +290,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             &self.scratch.per_proc,
             &self.scratch.per_comm,
             &mut self.session,
-        );
+        )?;
         self.tracer
             .end_stage(stage_totals(&self.clock, &self.session.stats), 1);
+        Ok(())
     }
 
     fn gamma(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
@@ -332,11 +333,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
 
     /// Fetch a value into processor `pr`'s transit zone (charging local
     /// accesses and inter-processor hops), returning the address.
-    fn stage_value(&mut self, pt: Pt3, pr: usize) -> usize {
-        let (owner, addr) = *self
-            .home
-            .get(&pt)
-            .unwrap_or_else(|| panic!("value {pt:?} not homed"));
+    fn stage_value(&mut self, pt: Pt3, pr: usize) -> Result<usize, SimError> {
+        let (owner, addr) = *self.home.get(&pt).ok_or(SimError::Internal {
+            what: "preboundary value not homed",
+        })?;
         let w = if let Some(&w) = self.vals.get(&pt) {
             w
         } else {
@@ -351,13 +351,13 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         }
         let dst = self.transit_zones[pr].alloc();
         self.execs[pr].ram.write(dst, w);
-        dst
+        Ok(dst)
     }
 
     /// Execute one honeycomb cell on its owner.
-    fn run_cell(&mut self, piece: &ClippedDomain2) {
+    fn run_cell(&mut self, piece: &ClippedDomain2) -> Result<(), SimError> {
         if piece.points_count() == 0 {
-            return;
+            return Ok(());
         }
         let pr = self.proc_of_node(
             piece.cell.dx.cx.clamp(0, self.side as i64 - 1),
@@ -368,7 +368,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let g = self.gamma(piece);
         let mut seeds = Vec::with_capacity(g.len());
         for pt in &g {
-            let addr = self.stage_value(*pt, pr);
+            let addr = self.stage_value(*pt, pr)?;
             seeds.push((*pt, addr));
         }
 
@@ -421,16 +421,17 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             "cell footprint {space} exceeds budget"
         );
         let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
-        self.execs[pr].exec(piece, &want, &mut zone);
+        let exec_res = self.execs[pr].exec(piece, &want, &mut zone);
         self.transit_zones[pr] = zone;
+        exec_res?;
         self.tmark(pr, piece.points_count() as u64, 0);
 
         // Harvest outbound values: persist them at the *consumer-side*
         // home (the processor owning the value's node).
         for pt in out_pts {
-            let addr = self.execs[pr]
-                .value_addr(pt)
-                .unwrap_or_else(|| panic!("output {pt:?} not parked"));
+            let addr = self.execs[pr].value_addr(pt).ok_or(SimError::Internal {
+                what: "cell output not parked",
+            })?;
             let w = self.execs[pr].ram.peek(addr);
             let _ = self.execs[pr].ram.read(addr);
             self.transit_zones[pr].free_if_owned(addr);
@@ -455,7 +456,9 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             for ((x, y), copy, home_addr, hpr) in state_seeds {
                 let parked = self.execs[pr]
                     .state_addr((x, y))
-                    .unwrap_or_else(|| panic!("state {x},{y} not parked"));
+                    .ok_or(SimError::Internal {
+                        what: "pillar state not parked",
+                    })?;
                 if hpr == pr {
                     self.execs[pr].ram.relocate_block(parked, home_addr, self.m);
                 } else {
@@ -474,9 +477,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             }
         }
         self.execs[pr].clear_seeds();
+        Ok(())
     }
 
-    fn run(&mut self, init: &[Word]) {
+    fn run(&mut self, init: &[Word]) -> Result<(), SimError> {
         // Lay out the guest image (uncharged: problem statement).
         let side = self.side;
         let m = self.m;
@@ -495,7 +499,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             }
         }
         if self.t_steps == 0 {
-            return;
+            return Ok(());
         }
 
         let hb = (self.b / 2).max(1) as i64;
@@ -506,18 +510,19 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         for cell in cells {
             let key = cell.cell.dx.ct + cell.cell.dy.ct;
             if key != last_key && last_key != i64::MIN {
-                self.close_stage();
+                self.close_stage()?;
                 self.begin_stage("cells");
-                self.gc(key / 2 - 2 * hb);
+                self.gc(key / 2 - 2 * hb)?;
             }
             last_key = key;
-            self.run_cell(&cell);
+            self.run_cell(&cell)?;
         }
-        self.close_stage();
+        self.close_stage()?;
+        Ok(())
     }
 
     /// Drop home values below the reachable horizon.
-    fn gc(&mut self, cutoff: i64) {
+    fn gc(&mut self, cutoff: i64) -> Result<(), SimError> {
         let mut dead: Vec<Pt3> = self
             .home
             .keys()
@@ -526,12 +531,20 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             .collect();
         dead.sort();
         for pt in dead {
-            let (pr, addr) = self.home.remove(&pt).unwrap();
+            let (pr, addr) = self.home.remove(&pt).ok_or(SimError::Internal {
+                what: "home placement missing for a dead value",
+            })?;
             self.home_zones[pr].free(addr);
         }
+        Ok(())
     }
 
-    fn finish(&mut self, spec: &MachineSpec, prog: &impl MeshProgram, steps: i64) -> SimReport {
+    fn finish(
+        &mut self,
+        spec: &MachineSpec,
+        prog: &impl MeshProgram,
+        steps: i64,
+    ) -> Result<SimReport, SimError> {
         let side = self.side;
         let m = self.m;
         // Final write-back for m = 1 (value is the state).
@@ -540,7 +553,9 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             for y in 0..side {
                 for x in 0..side {
                     let pt = Pt3::new(x as i64, y as i64, steps);
-                    let (pr, addr) = *self.home.get(&pt).expect("final value homed");
+                    let (pr, addr) = *self.home.get(&pt).ok_or(SimError::Internal {
+                        what: "final value not homed",
+                    })?;
                     let w = self.vals[&pt];
                     let _ = self.execs[pr].ram.read(addr);
                     let hpr = self.proc_of_node(x as i64, y as i64);
@@ -548,8 +563,9 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                     self.execs[hpr].ram.write(dst, w);
                 }
             }
-            self.close_stage();
+            self.close_stage()?;
         }
+        settle_scenario(&mut self.clock, &mut self.session, &mut self.tracer, 1);
         let mut mem = vec![0 as Word; side * side * m];
         for y in 0..side {
             for x in 0..side {
@@ -588,7 +604,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             self.clock.parallel_time,
             guest_time,
         );
-        SimReport {
+        Ok(SimReport {
             mem,
             values,
             host_time: self.clock.parallel_time,
@@ -602,7 +618,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                 .unwrap_or(0),
             stages: self.clock.stages,
             faults: self.session.stats.clone(),
-        }
+        })
     }
 }
 

@@ -19,7 +19,7 @@ use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::report::SimReport;
-use crate::stage_totals;
+use crate::{settle_scenario, stage_totals};
 
 /// Simulate `steps` guest steps of `M_1(n, n, m)` on `M_1(n, p, m)` by
 /// the naive method, injecting faults per `plan`.
@@ -95,6 +95,7 @@ pub fn try_simulate_naive1_traced(
             p,
             hop: spec.neighbor_distance(),
             checkpoint_words: spec.node_mem(),
+            proc_side: 1,
         },
     );
 
@@ -209,11 +210,12 @@ pub fn try_simulate_naive1_traced(
         {
             *delta = ram.meter.comm - before;
         }
-        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
+        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session)?;
         tracer.end_stage(stage_totals(&clock, &session.stats), pool.threads());
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }
+    settle_scenario(&mut clock, &mut session, tracer, pool.threads());
 
     // Collect outputs (uncharged inspection: the blocks already sit in
     // the guest's natural layout).

@@ -14,7 +14,7 @@ use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::report::SimReport;
-use crate::stage_totals;
+use crate::{settle_scenario, stage_totals};
 
 /// Simulate `steps` guest steps of `M_2(n, n, m)` on `M_2(n, p, m)` by
 /// the naive method, injecting faults per `plan`.
@@ -93,6 +93,7 @@ pub fn try_simulate_naive2_traced(
             p: sp * sp,
             hop,
             checkpoint_words: spec.node_mem(),
+            proc_side: sp,
         },
     );
 
@@ -220,11 +221,12 @@ pub fn try_simulate_naive2_traced(
         {
             *delta = ram.meter.comm - before;
         }
-        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
+        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session)?;
         tracer.end_stage(stage_totals(&clock, &session.stats), pool.threads());
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
     }
+    settle_scenario(&mut clock, &mut session, tracer, pool.threads());
 
     let mut mem = vec![0 as Word; n * m];
     for j in 0..side {

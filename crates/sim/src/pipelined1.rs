@@ -19,7 +19,7 @@ use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
 use crate::report::SimReport;
-use crate::stage_totals;
+use crate::{settle_scenario, stage_totals};
 
 /// Naive simulation of `M_1(n, n, m)` on a pipelined-memory
 /// `M_1(n, p, m)` host, injecting faults per `plan`.
@@ -80,6 +80,7 @@ pub fn try_simulate_pipelined1_traced(
             p,
             hop,
             checkpoint_words: spec.node_mem(),
+            proc_side: 1,
         },
     );
 
@@ -139,10 +140,11 @@ pub fn try_simulate_pipelined1_traced(
             scratch.per_proc[pi] = local + comm;
             scratch.per_comm[pi] = comm;
         }
-        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session);
+        clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session)?;
         tracer.end_stage(stage_totals(&clock, &session.stats), 1);
         std::mem::swap(&mut prev, &mut next);
     }
+    settle_scenario(&mut clock, &mut session, tracer, 1);
 
     let guest_time = linear_guest_time(spec, prog, steps);
     tracer.finish_run(

@@ -57,6 +57,12 @@ pub struct StageRecord {
     pub retries: u64,
     /// Stages recovered from transient faults during the stage.
     pub recovered: u64,
+    /// Processor-stages spent inside an active partition-storm window.
+    pub outages: u64,
+    /// Churn events (departures + rejoins) during the stage.
+    pub churn: u64,
+    /// Churn redelivery backoff retries consumed during the stage.
+    pub backoffs: u64,
     /// Host wall-clock time spent executing the stage, in nanoseconds.
     pub wall_ns: u64,
     /// Worker threads that executed the stage (1 for serial stages).
@@ -90,6 +96,12 @@ pub struct Summary {
     pub injected_delay: f64,
     /// Total fault retries.
     pub retries: u64,
+    /// Total processor-stages spent inside partition-storm windows.
+    pub outages: u64,
+    /// Total churn events (departures + rejoins).
+    pub churn: u64,
+    /// Total churn backoff retries.
+    pub backoffs: u64,
     /// Total wall time across stages, nanoseconds.
     pub wall_ns: u64,
     /// Busy / (p · parallel) utilization over the whole run.
@@ -145,6 +157,12 @@ pub struct StageTotals {
     pub retries: u64,
     /// Cumulative recovered stages.
     pub recovered: u64,
+    /// Cumulative storm processor-stages (`FaultStats::outage_stages`).
+    pub outages: u64,
+    /// Cumulative churn events (`FaultStats::departures + rejoins`).
+    pub churn: u64,
+    /// Cumulative backoff retries (`FaultStats::backoff_retries`).
+    pub backoffs: u64,
 }
 
 /// Lock-free per-processor point/message counters for one stage.  Each
@@ -284,6 +302,9 @@ impl Tracer {
                 injected_delay: totals.injected_delay - st.prev.injected_delay,
                 retries: totals.retries - st.prev.retries,
                 recovered: totals.recovered - st.prev.recovered,
+                outages: totals.outages - st.prev.outages,
+                churn: totals.churn - st.prev.churn,
+                backoffs: totals.backoffs - st.prev.backoffs,
                 wall_ns,
                 workers: workers.max(1) as u64,
             });
@@ -322,6 +343,9 @@ impl Tracer {
                 comm_delay: st.stages.iter().map(|s| s.comm_delay).sum(),
                 injected_delay: st.stages.iter().map(|s| s.injected_delay).sum(),
                 retries: st.stages.iter().map(|s| s.retries).sum(),
+                outages: st.stages.iter().map(|s| s.outages).sum(),
+                churn: st.stages.iter().map(|s| s.churn).sum(),
+                backoffs: st.stages.iter().map(|s| s.backoffs).sum(),
                 wall_ns: st.stages.iter().map(|s| s.wall_ns).sum(),
                 efficiency: if denom > 0.0 { busy_total / denom } else { 1.0 },
             };
@@ -416,7 +440,16 @@ impl RunTrace {
         let points: u64 = self.stages.iter().map(|s| s.points).sum();
         let messages: u64 = self.stages.iter().map(|s| s.messages).sum();
         let retries: u64 = self.stages.iter().map(|s| s.retries).sum();
-        if points != sm.points || messages != sm.messages || retries != sm.retries {
+        let outages: u64 = self.stages.iter().map(|s| s.outages).sum();
+        let churn: u64 = self.stages.iter().map(|s| s.churn).sum();
+        let backoffs: u64 = self.stages.iter().map(|s| s.backoffs).sum();
+        if points != sm.points
+            || messages != sm.messages
+            || retries != sm.retries
+            || outages != sm.outages
+            || churn != sm.churn
+            || backoffs != sm.backoffs
+        {
             return Err("summary counters diverge from per-stage sums".to_string());
         }
         let comm: f64 = self.stages.iter().map(|s| s.comm_delay).sum();
@@ -465,7 +498,8 @@ impl RunTrace {
             out.push_str(&format!(
                 "    {{\"stage\": {}, \"label\": \"{}\", \"points\": {}, \"messages\": {}, \
                  \"cost\": {}, \"busy\": {}, \"comm_delay\": {}, \"injected_delay\": {}, \
-                 \"retries\": {}, \"recovered\": {}, \"wall_ns\": {}, \"workers\": {}}}{}\n",
+                 \"retries\": {}, \"recovered\": {}, \"outages\": {}, \"churn\": {}, \
+                 \"backoffs\": {}, \"wall_ns\": {}, \"workers\": {}}}{}\n",
                 s.stage,
                 json::escape(&s.label),
                 s.points,
@@ -476,6 +510,9 @@ impl RunTrace {
                 json::num(s.injected_delay),
                 s.retries,
                 s.recovered,
+                s.outages,
+                s.churn,
+                s.backoffs,
                 s.wall_ns,
                 s.workers,
                 if i + 1 < self.stages.len() { "," } else { "" }
@@ -517,6 +554,9 @@ impl RunTrace {
             json::num(sm.injected_delay)
         ));
         out.push_str(&format!("    \"retries\": {},\n", sm.retries));
+        out.push_str(&format!("    \"outages\": {},\n", sm.outages));
+        out.push_str(&format!("    \"churn\": {},\n", sm.churn));
+        out.push_str(&format!("    \"backoffs\": {},\n", sm.backoffs));
         out.push_str(&format!("    \"wall_ns\": {},\n", sm.wall_ns));
         out.push_str(&format!(
             "    \"efficiency\": {}\n",
@@ -551,6 +591,9 @@ impl RunTrace {
                 injected_delay: field_f64(v, "injected_delay")?,
                 retries: field_u64(v, "retries")?,
                 recovered: field_u64(v, "recovered")?,
+                outages: field_u64_or0(v, "outages")?,
+                churn: field_u64_or0(v, "churn")?,
+                backoffs: field_u64_or0(v, "backoffs")?,
                 wall_ns: field_u64(v, "wall_ns")?,
                 workers: field_u64(v, "workers")?,
             });
@@ -571,6 +614,9 @@ impl RunTrace {
             comm_delay: field_f64(sv, "comm_delay")?,
             injected_delay: field_f64(sv, "injected_delay")?,
             retries: field_u64(sv, "retries")?,
+            outages: field_u64_or0(sv, "outages")?,
+            churn: field_u64_or0(sv, "churn")?,
+            backoffs: field_u64_or0(sv, "backoffs")?,
             wall_ns: field_u64(sv, "wall_ns")?,
             efficiency: field_f64(sv, "efficiency")?,
         };
@@ -597,6 +643,18 @@ fn field_u64(v: &Val, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Val::as_u64)
         .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+/// Like [`field_u64`] but defaulting to 0 when the field is absent —
+/// used for the scenario counters added after the first `bsmp-trace/v1`
+/// logs were written, so old documents still parse.
+fn field_u64_or0(v: &Val, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| format!("non-integer field '{key}'")),
+    }
 }
 
 fn field_str<'a>(v: &'a Val, key: &str) -> Result<&'a str, String> {
@@ -634,6 +692,9 @@ mod tests {
                 injected_delay: 3.0,
                 retries: 1,
                 recovered: 1,
+                outages: 2,
+                churn: 1,
+                backoffs: 3,
             },
             2,
         );
@@ -729,6 +790,48 @@ mod tests {
         let back = RunTrace::from_json(&doc).unwrap();
         assert_eq!(back, run);
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn scenario_counters_telescope_and_survive_round_trip() {
+        let run = sample_trace();
+        assert_eq!(run.stages[1].outages, 2);
+        assert_eq!(run.stages[1].churn, 1);
+        assert_eq!(run.stages[1].backoffs, 3);
+        assert_eq!(run.summary.outages, 2);
+        assert_eq!(run.summary.churn, 1);
+        assert_eq!(run.summary.backoffs, 3);
+
+        let mut bad = run.clone();
+        bad.summary.backoffs += 1;
+        assert!(bad.validate().unwrap_err().contains("counters diverge"));
+    }
+
+    #[test]
+    fn pre_scenario_documents_still_parse() {
+        // Strip the new counters to emulate a log written before the
+        // scenario engine existed; they must default to zero.
+        let mut doc = sample_trace().to_json();
+        for key in ["outages", "churn", "backoffs"] {
+            doc = doc
+                .lines()
+                .map(|l| {
+                    let mut l = l.to_string();
+                    while let Some(i) = l.find(&format!("\"{key}\":")) {
+                        let end = l[i..]
+                            .find(',')
+                            .map(|j| (i + j + 2).min(l.len()))
+                            .unwrap_or(l.len());
+                        l.replace_range(i..end, "");
+                    }
+                    l
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        let back = RunTrace::from_json(&doc).unwrap();
+        assert_eq!(back.summary.outages, 0);
+        assert_eq!(back.stages[1].churn, 0);
     }
 
     #[test]
