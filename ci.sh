@@ -22,19 +22,33 @@ SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 STATUS_BEFORE="$(git status --porcelain)"
 
-echo "==> perf smoke (bsmp-repro bench)"
+echo "==> perf smoke + regression gate (bsmp-repro bench --against)"
+# Runs the full points/sec suite with counters, then gates the fresh
+# throughput against the committed baseline: >20% points/sec regression
+# on any gated (pool-crossing) case fails CI inside the bench binary.
 SMOKE="$SCRATCH/bench_smoke.json"
-cargo run --release -q -p bsmp-cli -- bench --iters 3 --meta "ci-perf-smoke" --out "$SMOKE"
+cargo run --release -q -p bsmp-cli -- bench --iters 3 --meta "ci-perf-smoke" \
+    --trace-counters --out "$SMOKE" --against BENCH_engines.json
 if [ ! -s "$SMOKE" ]; then
     echo "perf smoke FAILED: $SMOKE missing or empty" >&2
     exit 1
 fi
-grep -q '"schema": "bsmp-bench-engines/v1"' "$SMOKE" || {
+grep -q '"schema": "bsmp-bench-engines/v2"' "$SMOKE" || {
     echo "perf smoke FAILED: bench output malformed (schema tag missing)" >&2
     exit 1
 }
-grep -q '"mean_s"' "$SMOKE" || {
+grep -q '"median_s"' "$SMOKE" && grep -q '"pps"' "$SMOKE" || {
     echo "perf smoke FAILED: bench output malformed (no cases)" >&2
+    exit 1
+}
+# The tiled kernels must actually serve accesses from their cost tables:
+# a zero table_hits on every case means the fast path silently died.
+grep -q '"table_hits": [1-9]' "$SMOKE" || {
+    echo "perf smoke FAILED: no case reports cost-table hits" >&2
+    exit 1
+}
+grep -q '"trace_counters"' "$SMOKE" || {
+    echo "perf smoke FAILED: --trace-counters section missing" >&2
     exit 1
 }
 

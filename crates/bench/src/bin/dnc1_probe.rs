@@ -1,0 +1,21 @@
+//! Probe: pure `simulate_dnc1` recursion throughput, isolated from
+//! `multi1` orchestration — the recursion-side number behind the
+//! EXPERIMENTS.md §"Host throughput" analysis.
+
+use bsmp::machine::MachineSpec;
+use bsmp::sim::dnc1::simulate_dnc1;
+use bsmp::workloads::{inputs, Eca};
+use std::time::Instant;
+
+fn main() {
+    for n in [1024u64, 4096] {
+        let t = 64i64;
+        let init = inputs::random_bits(11, n as usize);
+        let spec = MachineSpec::new(1, n, 1, 1);
+        simulate_dnc1(&spec, &Eca::rule110(), &init, t);
+        let t0 = Instant::now();
+        std::hint::black_box(simulate_dnc1(&spec, &Eca::rule110(), &init, t));
+        let el = t0.elapsed().as_secs_f64();
+        println!("dnc1 n={n} T={t}: {:.0} pps", (n * t as u64) as f64 / el);
+    }
+}

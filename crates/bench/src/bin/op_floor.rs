@@ -1,0 +1,37 @@
+//! Microbench: raw cost of a metered H-RAM op (relocate/read) — the
+//! semantic floor under the recursion's host time.
+
+use bsmp::hram::Hram;
+use bsmp::machine::MachineSpec;
+use std::time::Instant;
+
+fn main() {
+    let spec = MachineSpec::new(1, 4096, 1, 1);
+    let mut ram = Hram::new(spec.access_fn(), 1 << 16);
+    let mask = (1 << 14) - 1;
+    let iters = 20_000_000u64;
+    let t0 = Instant::now();
+    let mut a = 1usize;
+    for _ in 0..iters {
+        a = (a.wrapping_mul(1103515245).wrapping_add(12345)) & mask;
+        ram.relocate(a, (a + 17) & mask);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "relocate: {:.1} ns/op (meter total {:.3e})",
+        dt / iters as f64 * 1e9,
+        ram.meter.total()
+    );
+    let t0 = Instant::now();
+    let mut s = 0u64;
+    for _ in 0..iters {
+        a = (a.wrapping_mul(1103515245).wrapping_add(12345)) & mask;
+        s = s.wrapping_add(ram.read(a));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "read:     {:.1} ns/op (sum {s}, meter total {:.3e})",
+        dt / iters as f64 * 1e9,
+        ram.meter.total()
+    );
+}

@@ -3,102 +3,247 @@
 //! future sessions can diff host-implementation throughput across
 //! commits.
 //!
-//! The cases mirror `benches/engines.rs`: one representative run per
-//! engine family at quick scale.  Only *host* wall time is recorded —
-//! model time is deterministic and covered by the test suite.
+//! The v2 suite covers all nine engines and reports **points/sec**
+//! (guest dag points simulated per second of host wall time, derived
+//! from the median iteration) alongside raw timings.  Cases flagged
+//! `gated` use per-processor blocks large enough to cross the stage
+//! pool's `q ≥ 256` dispatch gate — the sizes the throughput regression
+//! gate in `ci.sh` watches.  `table_hits` is the deterministic
+//! cost-table counter from one probe run (0 for engines that don't run
+//! tiled kernels).  Only *host* wall time varies across hosts — model
+//! quantities are deterministic and covered by the test suite.
 
 use bsmp::machine::MachineSpec;
 use bsmp::sim::{
-    dnc1::simulate_dnc1, dnc2::simulate_dnc2, multi1::simulate_multi1, naive1::simulate_naive1,
+    dnc1::simulate_dnc1,
+    dnc2::simulate_dnc2,
+    dnc3::{simulate_dnc3, simulate_naive3},
+    multi1::simulate_multi1,
+    multi2::simulate_multi2,
+    naive1::simulate_naive1,
     naive2::simulate_naive2,
+    pipelined1::simulate_pipelined1,
 };
-use bsmp::workloads::{inputs, Eca, VonNeumannLife};
+use bsmp::workloads::{inputs, Eca, Parity3d, VonNeumannLife};
 use bsmp::{Simulation, Strategy};
 
 use crate::timing::{measure, Measurement};
 
 /// Schema tag written into the JSON document.
-pub const SCHEMA: &str = "bsmp-bench-engines/v1";
+pub const SCHEMA: &str = "bsmp-bench-engines/v2";
+
+/// A fresh case must deliver at least this fraction of the committed
+/// baseline's points/sec on every gated case, or [`regression_gate`]
+/// fails (>20% regression).
+pub const GATE_FRACTION: f64 = 0.8;
 
 /// One benched engine case.
 #[derive(Clone, Debug)]
 pub struct PerfCase {
     pub name: &'static str,
+    /// Guest dag points simulated per iteration (n·T and kin).
+    pub points: u64,
+    /// Does the per-processor block cross the `q ≥ 256` stage-pool
+    /// dispatch gate with p > 1?  Gated cases feed the CI throughput
+    /// regression gate.
+    pub gated: bool,
+    /// Cost-table hits from one probe run (deterministic; 0 for
+    /// engines without tiled kernels).
+    pub table_hits: u64,
     pub m: Measurement,
 }
 
-/// Run the fixed quick-scale engine suite with `iters` timed iterations
-/// per case.  `threads` is the host thread budget handed to the
-/// stage-parallel engines (`0` = auto).
+impl PerfCase {
+    /// Guest points simulated per second of host wall time, from the
+    /// median iteration.
+    pub fn pps(&self) -> f64 {
+        self.points as f64 / self.m.median_s.max(1e-12)
+    }
+}
+
+/// Probe once (for the deterministic counters), then measure.
+fn case(
+    name: &'static str,
+    points: u64,
+    gated: bool,
+    iters: u32,
+    mut f: impl FnMut() -> (f64, u64),
+) -> PerfCase {
+    let (_, table_hits) = f();
+    PerfCase {
+        name,
+        points,
+        gated,
+        table_hits,
+        m: measure(iters, || f().0),
+    }
+}
+
+/// Run the fixed engine suite with `iters` timed iterations per case.
+/// `threads` is the host thread budget handed to the stage-parallel
+/// engines (`0` = auto).
 pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
     let mut cases = Vec::new();
+
+    // ---- d = 1, quick scale (continuity with the v1 baseline) ----
     let n = 128u64;
     let init = inputs::random_bits(1, n as usize);
-
     {
         let spec = MachineSpec::new(1, n, 1, 1);
-        cases.push(PerfCase {
-            name: "naive1_n128_p1_T128",
-            m: measure(iters, || {
-                simulate_naive1(&spec, &Eca::rule110(), &init, n as i64).host_time
-            }),
-        });
-        cases.push(PerfCase {
-            name: "dnc1_n128_T128",
-            m: measure(iters, || {
-                simulate_dnc1(&spec, &Eca::rule110(), &init, n as i64).host_time
-            }),
-        });
+        cases.push(case("naive1_n128_p1_T128", n * n, false, iters, || {
+            let r = simulate_naive1(&spec, &Eca::rule110(), &init, n as i64);
+            (r.host_time, r.meter.table_hits)
+        }));
+        cases.push(case("dnc1_n128_T128", n * n, false, iters, || {
+            let r = simulate_dnc1(&spec, &Eca::rule110(), &init, n as i64);
+            (r.host_time, r.meter.table_hits)
+        }));
     }
-
     {
-        // The pooled path proper: p = 4 through the façade so the
-        // `--threads` budget is honored.
+        // Through the façade so the `--threads` budget is honored; q =
+        // 32 stays under the pool gate (kept for baseline continuity).
         let sim = Simulation::linear(n, 4, 1)
             .strategy(Strategy::Naive)
             .threads(threads);
-        cases.push(PerfCase {
-            name: "naive1_n128_p4_T128",
-            m: measure(iters, || {
-                sim.run(&Eca::rule110(), &init, n as i64).sim.host_time
-            }),
-        });
+        cases.push(case("naive1_n128_p4_T128", n * n, false, iters, || {
+            let r = sim.run(&Eca::rule110(), &init, n as i64).sim;
+            (r.host_time, r.meter.table_hits)
+        }));
         let spec = MachineSpec::new(1, n, 4, 1);
-        cases.push(PerfCase {
-            name: "multi1_n128_p4_T128",
-            m: measure(iters, || {
-                simulate_multi1(&spec, &Eca::rule110(), &init, n as i64).host_time
-            }),
-        });
+        cases.push(case("multi1_n128_p4_T128", n * n, false, iters, || {
+            let r = simulate_multi1(&spec, &Eca::rule110(), &init, n as i64);
+            (r.host_time, r.meter.table_hits)
+        }));
     }
 
+    // ---- d = 1, pool-gate-crossing scale (q = 256 at p = 16) ----
+    {
+        let n = 4096u64;
+        let t = 512i64;
+        let init = inputs::random_bits(3, n as usize);
+        let pts = n * t as u64;
+        let sim = Simulation::linear(n, 16, 1)
+            .strategy(Strategy::Naive)
+            .threads(threads);
+        cases.push(case("naive1_n4096_p16_T512", pts, true, iters, || {
+            let r = sim.run(&Eca::rule110(), &init, t).sim;
+            (r.host_time, r.meter.table_hits)
+        }));
+        let spec1 = MachineSpec::new(1, n, 1, 1);
+        cases.push(case("naive1_n4096_p1_T512", pts, false, iters, || {
+            let r = simulate_naive1(&spec1, &Eca::rule110(), &init, t);
+            (r.host_time, r.meter.table_hits)
+        }));
+        let spec16 = MachineSpec::new(1, n, 16, 1);
+        // Gated: within-run medians hold to a few percent on this case.
+        cases.push(case("pipelined1_n4096_p16_T512", pts, true, iters, || {
+            let r = simulate_pipelined1(&spec16, &Eca::rule110(), &init, t);
+            (r.host_time, r.meter.table_hits)
+        }));
+        let t64 = 64i64;
+        cases.push(case(
+            "multi1_n4096_p16_T64",
+            n * t64 as u64,
+            false,
+            iters,
+            || {
+                let r = simulate_multi1(&spec16, &Eca::rule110(), &init, t64);
+                (r.host_time, r.meter.table_hits)
+            },
+        ));
+    }
+
+    // ---- d = 2, quick scale (continuity) ----
     {
         let init2 = inputs::random_bits(2, 256);
         let spec = MachineSpec::new(2, 256, 16, 1);
         let sim = Simulation::mesh(256, 16, 1)
             .strategy(Strategy::Naive)
             .threads(threads);
-        cases.push(PerfCase {
-            name: "naive2_16x16_p16_T16",
-            m: measure(iters, || {
-                sim.run_mesh(&VonNeumannLife::fredkin(), &init2, 16)
-                    .sim
-                    .host_time
-            }),
-        });
+        cases.push(case("naive2_16x16_p16_T16", 256 * 16, false, iters, || {
+            let r = sim.run_mesh(&VonNeumannLife::fredkin(), &init2, 16).sim;
+            (r.host_time, r.meter.table_hits)
+        }));
         let spec1 = MachineSpec::new(2, 256, 1, 1);
-        cases.push(PerfCase {
-            name: "dnc2_16x16_T16",
-            m: measure(iters, || {
-                simulate_dnc2(&spec1, &VonNeumannLife::fredkin(), &init2, 16).host_time
-            }),
-        });
-        cases.push(PerfCase {
-            name: "naive2_16x16_p16_T16_serial",
-            m: measure(iters, || {
-                simulate_naive2(&spec, &VonNeumannLife::fredkin(), &init2, 16).host_time
-            }),
-        });
+        cases.push(case("dnc2_16x16_T16", 256 * 16, false, iters, || {
+            let r = simulate_dnc2(&spec1, &VonNeumannLife::fredkin(), &init2, 16);
+            (r.host_time, r.meter.table_hits)
+        }));
+        cases.push(case(
+            "naive2_16x16_p16_T16_serial",
+            256 * 16,
+            false,
+            iters,
+            || {
+                let r = simulate_naive2(&spec, &VonNeumannLife::fredkin(), &init2, 16);
+                (r.host_time, r.meter.table_hits)
+            },
+        ));
+    }
+
+    // ---- d = 2, pool-gate-crossing scale (b = 16, q = 256 at p = 16) ----
+    {
+        let init2 = inputs::random_bits(4, 64 * 64);
+        let sim = Simulation::mesh(64 * 64, 16, 1)
+            .strategy(Strategy::Naive)
+            .threads(threads);
+        // Not gated: this case is bimodal on shared containers (observed
+        // 71–136 M points/s across otherwise-identical runs), so an 80%
+        // gate against a good run flakes.  naive1_n4096 holds within
+        // ~15% on the same host and carries the gate instead.
+        cases.push(case(
+            "naive2_64x64_p16_T64",
+            64 * 64 * 64,
+            false,
+            iters,
+            || {
+                let r = sim.run_mesh(&VonNeumannLife::fredkin(), &init2, 64).sim;
+                (r.host_time, r.meter.table_hits)
+            },
+        ));
+        let init32 = inputs::random_bits(5, 32 * 32);
+        let spec1 = MachineSpec::new(2, 32 * 32, 1, 1);
+        cases.push(case("dnc2_32x32_T32", 32 * 32 * 32, false, iters, || {
+            let r = simulate_dnc2(&spec1, &VonNeumannLife::fredkin(), &init32, 32);
+            (r.host_time, r.meter.table_hits)
+        }));
+        let spec4 = MachineSpec::new(2, 32 * 32, 4, 1);
+        cases.push(case(
+            "multi2_32x32_p4_T32",
+            32 * 32 * 32,
+            false,
+            iters,
+            || {
+                let r = simulate_multi2(&spec4, &VonNeumannLife::fredkin(), &init32, 32);
+                (r.host_time, r.meter.table_hits)
+            },
+        ));
+    }
+
+    // ---- d = 3 ----
+    {
+        let init3 = inputs::random_bits(6, 16 * 16 * 16);
+        cases.push(case(
+            "naive3_16c_T16",
+            16 * 16 * 16 * 16,
+            false,
+            iters,
+            || {
+                let r = simulate_naive3(16, &Parity3d, &init3, 16);
+                (r.host_time, r.meter.table_hits)
+            },
+        ));
+        let init3b = inputs::random_bits(7, 12 * 12 * 12);
+        cases.push(case(
+            "dnc3_12c_T12",
+            12 * 12 * 12 * 12,
+            false,
+            iters,
+            || {
+                let r = simulate_dnc3(12, &Parity3d, &init3b, 12);
+                (r.host_time, r.meter.table_hits)
+            },
+        ));
     }
 
     cases
@@ -115,6 +260,9 @@ pub struct TraceCounters {
     pub messages: u64,
     pub comm_delay: f64,
     pub slowdown: f64,
+    /// Cost-table hits from the traced run's meter (0 for engines
+    /// without tiled kernels).
+    pub table_hits: u64,
 }
 
 /// Trace the façade-reachable `d = 1` engines once each at the perf-suite
@@ -130,7 +278,7 @@ pub fn run_trace_counters(threads: usize) -> Vec<TraceCounters> {
     configs
         .into_iter()
         .map(|(name, strategy, p)| {
-            let (_, tr) = Simulation::linear(n, p, 1)
+            let (rep, tr) = Simulation::linear(n, p, 1)
                 .strategy(strategy)
                 .threads(threads)
                 .trace(&Eca::rule110(), &init, n as i64);
@@ -141,6 +289,7 @@ pub fn run_trace_counters(threads: usize) -> Vec<TraceCounters> {
                 messages: tr.summary.messages,
                 comm_delay: tr.summary.comm_delay,
                 slowdown: tr.summary.slowdown,
+                table_hits: rep.sim.meter.table_hits,
             }
         })
         .collect()
@@ -154,7 +303,7 @@ pub fn to_json(cases: &[PerfCase], threads: usize, meta: &str) -> String {
 }
 
 /// [`to_json`] with an optional `trace_counters` section (empty slice =
-/// identical output to [`to_json`], keeping existing baselines diffable).
+/// identical output to [`to_json`]).
 pub fn to_json_with_traces(
     cases: &[PerfCase],
     traces: &[TraceCounters],
@@ -169,11 +318,17 @@ pub fn to_json_with_traces(
     s.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"mean_s\": {:.9}, \"min_s\": {:.9}, \"iters\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"mean_s\": {:.9}, \"min_s\": {:.9}, \"median_s\": {:.9}, \
+             \"iters\": {}, \"points\": {}, \"pps\": {:.3}, \"gated\": {}, \"table_hits\": {}}}{}\n",
             c.name,
             c.m.mean_s,
             c.m.min_s,
+            c.m.median_s,
             c.m.iters,
+            c.points,
+            c.pps(),
+            c.gated,
+            c.table_hits,
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }
@@ -185,13 +340,14 @@ pub fn to_json_with_traces(
     s.push_str("  \"trace_counters\": [\n");
     for (i, t) in traces.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"engine_case\": \"{}\", \"stages\": {}, \"points\": {}, \"messages\": {}, \"comm_delay\": {:?}, \"slowdown\": {:?}}}{}\n",
+            "    {{\"engine_case\": \"{}\", \"stages\": {}, \"points\": {}, \"messages\": {}, \"comm_delay\": {:?}, \"slowdown\": {:?}, \"table_hits\": {}}}{}\n",
             t.name,
             t.stages,
             t.points,
             t.messages,
             t.comm_delay,
             t.slowdown,
+            t.table_hits,
             if i + 1 < traces.len() { "," } else { "" }
         ));
     }
@@ -211,10 +367,30 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
+/// Extract `"key": <number>` from a case line (the shape [`to_json`]
+/// emits; not a general JSON parser).
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let pos = line.find(&pat)?;
+    let rest = &line[pos + pat.len()..];
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn field_name(line: &str) -> Option<String> {
+    let pat = "\"name\": \"";
+    let pos = line.find(pat)?;
+    let rest = &line[pos + pat.len()..];
+    Some(rest.chars().take_while(|c| *c != '"').collect())
+}
+
 /// Structural sanity check used by the CI perf-smoke step: the document
 /// must carry the schema tag, a positive case count, and finite
-/// non-negative timings.  (Not a general JSON parser — it validates
-/// exactly the shape [`to_json`] emits.)
+/// non-negative timings and throughputs.  (Not a general JSON parser —
+/// it validates exactly the shape [`to_json`] emits.)
 pub fn validate_json(doc: &str) -> Result<usize, String> {
     if !doc.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         return Err(format!("missing schema tag {SCHEMA:?}"));
@@ -226,19 +402,14 @@ pub fn validate_json(doc: &str) -> Result<usize, String> {
             continue;
         }
         count += 1;
-        for key in ["\"mean_s\": ", "\"min_s\": "] {
-            let Some(pos) = line.find(key) else {
-                return Err(format!("case missing {key}: {line}"));
-            };
-            let rest = &line[pos + key.len()..];
-            let num: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
-                .collect();
-            match num.parse::<f64>() {
-                Ok(v) if v.is_finite() && v >= 0.0 => {}
-                _ => return Err(format!("bad {key}value `{num}` in: {line}")),
+        for key in ["mean_s", "min_s", "median_s", "pps"] {
+            match field_f64(line, key) {
+                Some(v) if v.is_finite() && v >= 0.0 => {}
+                _ => return Err(format!("bad or missing \"{key}\" in: {line}")),
             }
+        }
+        if !line.contains("\"gated\": true") && !line.contains("\"gated\": false") {
+            return Err(format!("missing \"gated\" flag in: {line}"));
         }
     }
     if count == 0 {
@@ -247,28 +418,75 @@ pub fn validate_json(doc: &str) -> Result<usize, String> {
     Ok(count)
 }
 
+/// Compare a fresh suite against a committed baseline document: every
+/// *gated* baseline case present in the fresh suite must reach at least
+/// [`GATE_FRACTION`] of the baseline's points/sec.  Returns the number
+/// of cases checked; a missing schema tag or zero comparable gated
+/// cases is an error (the gate must never pass vacuously by schema
+/// drift).
+pub fn regression_gate(committed: &str, fresh: &[PerfCase]) -> Result<usize, String> {
+    if !committed.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("baseline is not a {SCHEMA} document"));
+    }
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for line in committed.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\":") || !line.contains("\"gated\": true") {
+            continue;
+        }
+        let Some(name) = field_name(line) else {
+            return Err(format!("unparsable baseline case: {line}"));
+        };
+        let Some(base_pps) = field_f64(line, "pps") else {
+            return Err(format!("baseline case {name} has no pps"));
+        };
+        let Some(c) = fresh.iter().find(|c| c.name == name) else {
+            failures.push(format!("gated case {name} missing from fresh suite"));
+            continue;
+        };
+        checked += 1;
+        if c.pps() < base_pps * GATE_FRACTION {
+            failures.push(format!(
+                "{name}: {:.0} points/s < {:.0}% of baseline {:.0}",
+                c.pps(),
+                GATE_FRACTION * 100.0,
+                base_pps
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    if checked == 0 {
+        return Err("no gated baseline cases to check".into());
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn fake_case(name: &'static str, points: u64, gated: bool, median_s: f64) -> PerfCase {
+        PerfCase {
+            name,
+            points,
+            gated,
+            table_hits: 7,
+            m: Measurement {
+                mean_s: median_s * 1.25,
+                min_s: median_s * 0.5,
+                median_s,
+                iters: 3,
+            },
+        }
+    }
+
     fn fake_cases() -> Vec<PerfCase> {
         vec![
-            PerfCase {
-                name: "a",
-                m: Measurement {
-                    mean_s: 0.25,
-                    min_s: 0.125,
-                    iters: 3,
-                },
-            },
-            PerfCase {
-                name: "b",
-                m: Measurement {
-                    mean_s: 1.5,
-                    min_s: 1.0,
-                    iters: 3,
-                },
-            },
+            fake_case("a", 1000, true, 0.25),
+            fake_case("b", 500, false, 1.5),
         ]
     }
 
@@ -278,12 +496,17 @@ mod tests {
         assert_eq!(validate_json(&doc), Ok(2));
         assert!(doc.contains("\"threads\": 2"));
         assert!(doc.contains("\"meta\": \"unit-test\""));
+        assert!(doc.contains("\"gated\": true"));
+        assert!(doc.contains("\"table_hits\": 7"));
+        assert!(doc.contains("\"pps\": 4000.000"));
     }
 
     #[test]
     fn validator_rejects_garbage() {
         assert!(validate_json("{}").is_err());
-        let doc = to_json(&fake_cases(), 1, "x").replace("0.250000000", "NaN");
+        let doc = to_json(&fake_cases(), 1, "x").replace("0.312500000", "NaN");
+        assert!(validate_json(&doc).is_err());
+        let doc = to_json(&fake_cases(), 1, "x").replace("bsmp-bench-engines/v2", "v1");
         assert!(validate_json(&doc).is_err());
     }
 
@@ -292,6 +515,27 @@ mod tests {
         let doc = to_json(&fake_cases(), 1, "say \"hi\"\nback\\slash");
         assert!(doc.contains("say \\\"hi\\\"\\nback\\\\slash"));
         assert_eq!(validate_json(&doc), Ok(2));
+    }
+
+    #[test]
+    fn gate_passes_equal_suites_and_catches_regressions() {
+        let base = fake_cases();
+        let doc = to_json(&base, 1, "baseline");
+        // Identical throughput: pass, one gated case checked.
+        assert_eq!(regression_gate(&doc, &base), Ok(1));
+        // 10% slower: still within the 20% envelope.
+        let slower = vec![fake_case("a", 1000, true, 0.25 / 0.9)];
+        assert_eq!(regression_gate(&doc, &slower), Ok(1));
+        // 2× slower on the gated case: fail.
+        let bad = vec![fake_case("a", 1000, true, 0.5)];
+        let err = regression_gate(&doc, &bad).unwrap_err();
+        assert!(err.contains('a'), "{err}");
+        // Gated case dropped from the suite: fail, never vacuous.
+        let missing = vec![fake_case("b", 500, false, 1.5)];
+        assert!(regression_gate(&doc, &missing).is_err());
+        // Ungated-only baseline: error rather than a vacuous pass.
+        let doc2 = to_json(&[fake_case("b", 500, false, 1.5)], 1, "x");
+        assert!(regression_gate(&doc2, &base).is_err());
     }
 
     #[test]
@@ -306,27 +550,42 @@ mod tests {
             assert_eq!(x.messages, y.messages);
             assert_eq!(x.comm_delay.to_bits(), y.comm_delay.to_bits());
             assert_eq!(x.slowdown.to_bits(), y.slowdown.to_bits());
+            assert_eq!(x.table_hits, y.table_hits);
             assert!(x.points > 0 && x.slowdown > 0.0, "{}", x.name);
         }
-        // Empty trace section keeps the document byte-identical to the
-        // legacy emitter (existing baselines stay diffable)…
+        // The tiled naive1 run serves its accesses from the table; the
+        // recursive engines report 0.
+        let naive = a.iter().find(|t| t.name.starts_with("naive1")).unwrap();
+        assert!(naive.table_hits > 0, "naive1 tiled counters missing");
+        // Empty trace section keeps the document identical to to_json…
         let doc = to_json(&fake_cases(), 2, "x");
         assert_eq!(doc, to_json_with_traces(&fake_cases(), &[], 2, "x"));
         // …and a populated one still passes the case validator.
         let doc = to_json_with_traces(&fake_cases(), &a, 2, "x");
         assert_eq!(validate_json(&doc), Ok(2));
         assert!(doc.contains("\"trace_counters\""));
+        assert!(doc.contains("\"table_hits\""));
     }
 
     #[test]
     fn engine_suite_runs_at_tiny_scale() {
         let cases = run_engine_suite(1, 1);
-        assert!(cases.len() >= 5);
+        assert!(cases.len() >= 14, "all nine engines represented");
+        assert!(cases.iter().filter(|c| c.gated).count() >= 2);
         for c in &cases {
             assert!(c.m.mean_s.is_finite() && c.m.mean_s >= 0.0, "{}", c.name);
             assert!(c.m.min_s <= c.m.mean_s + 1e-12, "{}", c.name);
+            assert!(c.points > 0 && c.pps() > 0.0, "{}", c.name);
         }
+        // Tiled engines actually count table hits; recursive ones don't.
+        let hit = |n: &str| cases.iter().find(|c| c.name == n).unwrap().table_hits;
+        assert!(hit("naive1_n4096_p16_T512") > 0);
+        assert!(hit("naive2_64x64_p16_T64") > 0);
+        assert!(hit("naive3_16c_T16") > 0);
+        assert_eq!(hit("dnc1_n128_T128"), 0);
         let doc = to_json(&cases, 1, "test");
         assert_eq!(validate_json(&doc), Ok(cases.len()));
+        // A fresh suite always passes its own gate.
+        assert_eq!(regression_gate(&doc, &cases), Ok(2));
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]
-//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters]
+//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--against <BASELINE.json>]
 //! bsmp-repro trace-validate <PATH>
 //! ```
 //!
@@ -25,6 +25,9 @@
 //! * `E1 … E13` — restrict to the named experiments;
 //! * `bench` — instead of the report, time the engine suite and write
 //!   the wall-clock baseline as JSON (default `BENCH_engines.json`);
+//!   with `--against <BASELINE.json>` the fresh points/sec figures are
+//!   gated against a committed baseline (exit 1 on a >20% regression on
+//!   any gated case);
 //! * `trace-validate <PATH>` — parse a trace log and check every
 //!   structural invariant plus the Theorem-1 regime tag, then exit.
 //!
@@ -52,6 +55,7 @@ struct BenchArgs {
     meta: String,
     iters: u32,
     trace_counters: bool,
+    against: Option<String>,
 }
 
 fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
@@ -108,6 +112,7 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     meta: String::new(),
                     iters: 5,
                     trace_counters: false,
+                    against: None,
                 });
             }
             "--out" => {
@@ -141,6 +146,13 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                 Some(b) => b.trace_counters = true,
                 None => return Err("--trace-counters is only valid after `bench`".into()),
             },
+            "--against" => {
+                let v = it.next().ok_or("--against requires a baseline path")?;
+                match &mut args.bench {
+                    Some(b) => b.against = Some(v.clone()),
+                    None => return Err("--against is only valid after `bench`".into()),
+                }
+            }
             id if id.starts_with('E') => {
                 if !valid_ids.contains(&id) {
                     return Err(format!(
@@ -262,7 +274,7 @@ fn main() {
             eprintln!("bsmp-repro: {msg}");
             eprintln!(
                 "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]\n\
-                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>]\n\
+                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--against <BASELINE.json>]\n\
                  \x20      bsmp-repro trace-validate <PATH>"
             );
             std::process::exit(2);
@@ -330,11 +342,35 @@ fn main() {
         }
         for c in &cases {
             println!(
-                "{:<28} mean {:>12.6} s  min {:>12.6} s  ({} iters)",
-                c.name, c.m.mean_s, c.m.min_s, c.m.iters
+                "{:<28} median {:>12.6} s  min {:>12.6} s  {:>14.0} points/s{}  ({} iters)",
+                c.name,
+                c.m.median_s,
+                c.m.min_s,
+                c.pps(),
+                if c.gated { "  [gated]" } else { "" },
+                c.m.iters
             );
         }
         println!("wrote {} ({} cases)", bench.out, cases.len());
+        if let Some(base_path) = &bench.against {
+            let committed = match std::fs::read_to_string(base_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bsmp-repro: cannot read baseline {base_path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match perf::regression_gate(&committed, &cases) {
+                Ok(n) => println!(
+                    "regression gate vs {base_path}: {n} gated case(s) within {:.0}% of baseline",
+                    perf::GATE_FRACTION * 100.0
+                ),
+                Err(e) => {
+                    eprintln!("bsmp-repro: points/sec regression vs {base_path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         return;
     }
 

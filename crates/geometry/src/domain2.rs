@@ -164,6 +164,19 @@ impl Domain2 {
     ///
     /// [`points`]: Domain2::points
     pub fn for_each_point(&self, mut f: impl FnMut(Pt3)) {
+        self.for_each_run(|t, y, xa, xb| {
+            for x in xa..=xb {
+                f(Pt3::new(x, y, t));
+            }
+        });
+    }
+
+    /// Visit the cell as contiguous x-runs `(t, y, x0, x1)` (ends
+    /// inclusive) in the same time-major order as
+    /// [`for_each_point`](Self::for_each_point): expanding every run
+    /// left-to-right reproduces the point visit exactly.
+    #[inline]
+    pub fn for_each_run(&self, mut f: impl FnMut(i64, i64, i64, i64)) {
         let h = self.h();
         let t0 = (self.dx.ct - h + 1).max(self.dy.ct - h + 1);
         let t1 = (self.dx.ct + h).min(self.dy.ct + h);
@@ -171,12 +184,26 @@ impl Domain2 {
             // x range at this t from the x-tile, y range from the y-tile.
             let (xa, xb) = column_range(&self.dx, t);
             let (ya, yb) = column_range(&self.dy, t);
+            if xa > xb {
+                continue;
+            }
             for y in ya..=yb {
-                for x in xa..=xb {
-                    f(Pt3::new(x, y, t));
-                }
+                f(t, y, xa, xb);
             }
         }
+    }
+
+    /// The inclusive `(x, y)` ranges of time slice `t`, or `None` when
+    /// the slice is empty.  O(1).
+    #[inline]
+    pub fn slice_ranges(&self, t: i64) -> Option<((i64, i64), (i64, i64))> {
+        let h = self.h();
+        if t <= (self.dx.ct - h).max(self.dy.ct - h) || t > (self.dx.ct + h).min(self.dy.ct + h) {
+            return None;
+        }
+        let (xa, xb) = column_range(&self.dx, t);
+        let (ya, yb) = column_range(&self.dy, t);
+        (xa <= xb && ya <= yb).then_some(((xa, xb), (ya, yb)))
     }
 
     /// All lattice points in time-major order.
@@ -288,10 +315,28 @@ impl ClippedDomain2 {
     /// Visit the clipped cell's points in time-major order without
     /// materializing the unclipped cell first.
     pub fn for_each_point(&self, mut f: impl FnMut(Pt3)) {
+        self.for_each_run(|t, y, xa, xb| {
+            for x in xa..=xb {
+                f(Pt3::new(x, y, t));
+            }
+        });
+    }
+
+    /// Contiguous x-runs `(t, y, x0, x1)` (inclusive) of the clipped
+    /// cell, clipping whole runs in O(1) instead of filtering per point;
+    /// expanding them reproduces
+    /// [`for_each_point`](Self::for_each_point) exactly.
+    #[inline]
+    pub fn for_each_run(&self, mut f: impl FnMut(i64, i64, i64, i64)) {
         let clip = self.clip;
-        self.cell.for_each_point(|p| {
-            if clip.contains(p) {
-                f(p);
+        self.cell.for_each_run(|t, y, xa, xb| {
+            if t < clip.t0 || t >= clip.t1 || y < clip.y0 || y >= clip.y1 {
+                return;
+            }
+            let xa = xa.max(clip.x0);
+            let xb = xb.min(clip.x1 - 1);
+            if xa <= xb {
+                f(t, y, xa, xb);
             }
         });
     }
@@ -506,6 +551,49 @@ mod tests {
             cc.for_each_point(|p| cv.push(p));
             assert_eq!(cv, cc.points());
             assert_eq!(cv.len() as i64, cc.points_count());
+        }
+    }
+
+    #[test]
+    fn runs_expand_to_the_point_visit() {
+        for cell in [
+            Domain2::octahedron(0, 0, 0, 3),
+            Domain2::tetra_x_bottom(1, -1, 2, 4),
+            Domain2::tetra_y_bottom(-2, 3, 1, 4),
+        ] {
+            let mut pts = Vec::new();
+            cell.for_each_point(|p| pts.push(p));
+            let mut runs = Vec::new();
+            cell.for_each_run(|t, y, xa, xb| {
+                assert!(xa <= xb, "empty run emitted");
+                for x in xa..=xb {
+                    runs.push(Pt3::new(x, y, t));
+                }
+            });
+            assert_eq!(runs, pts, "{cell:?}");
+
+            // Clipped runs against the pre-strip per-point filter.
+            for clip in [
+                IBox::new(-1, 4, -1, 4, 0, 5),
+                IBox::new(-50, 50, -50, 50, -50, 50),
+                IBox::new(0, 1, 0, 1, 0, 1),
+            ] {
+                let cc = ClippedDomain2::new(cell, clip);
+                let mut want = Vec::new();
+                cell.for_each_point(|p| {
+                    if clip.contains(p) {
+                        want.push(p);
+                    }
+                });
+                let mut got = Vec::new();
+                cc.for_each_run(|t, y, xa, xb| {
+                    assert!(xa <= xb);
+                    for x in xa..=xb {
+                        got.push(Pt3::new(x, y, t));
+                    }
+                });
+                assert_eq!(got, want, "{cell:?} clip={clip:?}");
+            }
         }
     }
 

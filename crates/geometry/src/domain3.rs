@@ -119,6 +119,19 @@ impl Domain3 {
     ///
     /// [`points`]: Domain3::points
     pub fn for_each_point(&self, mut f: impl FnMut(Pt4)) {
+        self.for_each_run(|t, y, z, xa, xb| {
+            for x in xa..=xb {
+                f(Pt4::new(x, y, z, t));
+            }
+        });
+    }
+
+    /// Visit the cell as contiguous x-runs `(t, y, z, x0, x1)` (ends
+    /// inclusive) in the same time-major order as
+    /// [`for_each_point`](Self::for_each_point): expanding every run
+    /// left-to-right reproduces the point visit exactly.
+    #[inline]
+    pub fn for_each_run(&self, mut f: impl FnMut(i64, i64, i64, i64, i64)) {
         let h = self.h();
         let t0 = self.dx.ct.max(self.dy.ct).max(self.dz.ct) - h + 1;
         let t1 = self.dx.ct.min(self.dy.ct).min(self.dz.ct) + h;
@@ -126,11 +139,12 @@ impl Domain3 {
             let (xa, xb) = column_range(&self.dx, t);
             let (ya, yb) = column_range(&self.dy, t);
             let (za, zb) = column_range(&self.dz, t);
+            if xa > xb {
+                continue;
+            }
             for z in za..=zb {
                 for y in ya..=yb {
-                    for x in xa..=xb {
-                        f(Pt4::new(x, y, z, t));
-                    }
+                    f(t, y, z, xa, xb);
                 }
             }
         }
@@ -252,6 +266,48 @@ mod tests {
             cc.for_each_point(|p| cv.push(p));
             assert_eq!(cv, cc.points());
             assert_eq!(cv.len() as i64, cc.points_count());
+        }
+    }
+
+    #[test]
+    fn runs_expand_to_the_point_visit() {
+        for cell in [
+            Domain3::symmetric(0, 0, 0, 0, 3),
+            Domain3::mixed_one(1, -1, 0, 2, 4),
+            Domain3::mixed_two(-2, 3, 1, 1, 4),
+        ] {
+            let mut pts = Vec::new();
+            cell.for_each_point(|p| pts.push(p));
+            let mut runs = Vec::new();
+            cell.for_each_run(|t, y, z, xa, xb| {
+                assert!(xa <= xb, "empty run emitted");
+                for x in xa..=xb {
+                    runs.push(Pt4::new(x, y, z, t));
+                }
+            });
+            assert_eq!(runs, pts, "{cell:?}");
+
+            for clip in [
+                IBox4::new(-1, 4, -1, 4, -1, 4, 0, 5),
+                IBox4::new(-50, 50, -50, 50, -50, 50, -50, 50),
+                IBox4::new(0, 1, 0, 1, 0, 1, 0, 1),
+            ] {
+                let cc = ClippedDomain3::new(cell, clip);
+                let mut want = Vec::new();
+                cell.for_each_point(|p| {
+                    if clip.contains(p) {
+                        want.push(p);
+                    }
+                });
+                let mut got = Vec::new();
+                cc.for_each_run(|t, y, z, xa, xb| {
+                    assert!(xa <= xb);
+                    for x in xa..=xb {
+                        got.push(Pt4::new(x, y, z, t));
+                    }
+                });
+                assert_eq!(got, want, "{cell:?} clip={clip:?}");
+            }
         }
     }
 
@@ -433,10 +489,34 @@ impl ClippedDomain3 {
     /// Visit the clipped cell's points in time-major order without
     /// materializing the unclipped cell first.
     pub fn for_each_point(&self, mut f: impl FnMut(Pt4)) {
+        self.for_each_run(|t, y, z, xa, xb| {
+            for x in xa..=xb {
+                f(Pt4::new(x, y, z, t));
+            }
+        });
+    }
+
+    /// Contiguous x-runs `(t, y, z, x0, x1)` (inclusive) of the clipped
+    /// cell, clipping whole runs in O(1) instead of filtering per point;
+    /// expanding them reproduces
+    /// [`for_each_point`](Self::for_each_point) exactly.
+    #[inline]
+    pub fn for_each_run(&self, mut f: impl FnMut(i64, i64, i64, i64, i64)) {
         let clip = self.clip;
-        self.cell.for_each_point(|p| {
-            if clip.contains(p) {
-                f(p);
+        self.cell.for_each_run(|t, y, z, xa, xb| {
+            if t < clip.t0
+                || t >= clip.t1
+                || y < clip.y0
+                || y >= clip.y1
+                || z < clip.z0
+                || z >= clip.z1
+            {
+                return;
+            }
+            let xa = xa.max(clip.x0);
+            let xb = xb.min(clip.x1 - 1);
+            if xa <= xb {
+                f(t, y, z, xa, xb);
             }
         });
     }

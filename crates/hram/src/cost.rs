@@ -5,7 +5,7 @@
 
 /// Accumulated model time, by category.  All values are in the paper's
 /// time units (one RAM instruction at address 0 = 1).
-#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CostMeter {
     /// Pure operation execution (the `δ` applications of dag vertices).
     pub compute: f64,
@@ -20,6 +20,13 @@ pub struct CostMeter {
     pub comm: f64,
     /// Number of individual read/write operations (unweighted).
     pub ops: u64,
+    /// Accesses whose charge came from a precomputed [`CostTable`]
+    /// lookup rather than an `AccessFn` evaluation.  Observability only:
+    /// never part of `total()`, and bit-identical engine variants may
+    /// differ in it (scalar reference paths report 0).
+    ///
+    /// [`CostTable`]: crate::table::CostTable
+    pub table_hits: u64,
 }
 
 impl CostMeter {
@@ -55,6 +62,12 @@ impl CostMeter {
         self.comm += c;
     }
 
+    /// Record `n` table-served accesses (see [`CostMeter::table_hits`]).
+    #[inline]
+    pub fn add_table_hits(&mut self, n: u64) {
+        self.table_hits += n;
+    }
+
     /// Component-wise sum (for aggregating per-processor meters).
     pub fn merged(&self, o: &CostMeter) -> CostMeter {
         CostMeter {
@@ -63,12 +76,26 @@ impl CostMeter {
             transfer: self.transfer + o.transfer,
             comm: self.comm + o.comm,
             ops: self.ops + o.ops,
+            table_hits: self.table_hits + o.table_hits,
         }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&mut self) {
         *self = CostMeter::default();
+    }
+}
+
+/// Equality compares the *model* quantities only — `table_hits` is a host
+/// observability counter, and two bit-identical runs may legitimately
+/// differ in how many charges were served from a table.
+impl PartialEq for CostMeter {
+    fn eq(&self, o: &CostMeter) -> bool {
+        self.compute == o.compute
+            && self.access == o.access
+            && self.transfer == o.transfer
+            && self.comm == o.comm
+            && self.ops == o.ops
     }
 }
 

@@ -24,7 +24,9 @@
 pub mod access;
 pub mod cost;
 pub mod machine;
+pub mod table;
 
 pub use access::{AccessFn, CostModel};
 pub use cost::CostMeter;
 pub use machine::{Hram, Word};
+pub use table::{CostTable, ExactUnits};

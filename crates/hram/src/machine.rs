@@ -2,6 +2,7 @@
 
 use crate::access::AccessFn;
 use crate::cost::CostMeter;
+use crate::table::CostTable;
 
 /// Machine word.  All guest computations in this reproduction operate on
 /// 64-bit words.
@@ -108,6 +109,26 @@ impl Hram {
     pub fn poke(&mut self, addr: usize, w: Word) {
         self.touch(addr);
         self.mem[addr] = w;
+    }
+
+    /// Prepare this machine for a table-metered kernel: grow memory to
+    /// cover every table address and raise the high-water mark to the
+    /// table length — the same space a scalar loop touching the table's
+    /// top address would report, so tiled and scalar runs agree on `S`.
+    pub fn reserve_table(&mut self, table: &CostTable) {
+        let len = table.len();
+        if len > 0 {
+            self.touch(len - 1);
+        }
+    }
+
+    /// The memory words covered by `table`, uncharged.  Kernel loops
+    /// index this slice directly and meter themselves through the
+    /// table's charges; call [`Hram::reserve_table`] first (this slices
+    /// to the table length and panics if memory is shorter).
+    #[inline]
+    pub fn mem_table(&mut self, table: &CostTable) -> &mut [Word] {
+        &mut self.mem[..table.len()]
     }
 
     /// Highest address ever touched, plus one — the space usage `S`.

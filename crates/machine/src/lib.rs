@@ -19,9 +19,12 @@
 //!   per-processor tasks without per-stage thread spawns, plus the
 //!   reusable [`StageScratch`] buffers and the [`ExecPolicy`] thread
 //!   budget.  Model time is unaffected by host threading (each task
-//!   returns its own metered cost into its own slot).
+//!   returns its own metered cost into its own slot);
+//! * [`hash`] — the deterministic multiply-xor hasher behind the
+//!   executors' hot liveness/placement maps.
 
 pub mod guest;
+pub mod hash;
 pub mod pool;
 pub mod program;
 pub mod spec;
@@ -31,6 +34,7 @@ pub use guest::{
     linear_guest_time, mesh_guest_time, run_linear, run_mesh, run_volume, volume_guest_time,
     GuestRun,
 };
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use pool::{
     available_threads, set_default_threads, DisjointSlice, ExecPolicy, StagePanic, StagePool,
     StageScratch,

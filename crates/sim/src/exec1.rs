@@ -23,7 +23,7 @@
 //! ("the access to a single variable is replaced by the access to the
 //! entire private memory of an individual processor").
 
-use std::collections::{HashMap, HashSet};
+use bsmp_machine::FxHashMap;
 
 use bsmp_geometry::{ClippedDiamond, Diamond, IRect, Pt2};
 use bsmp_hram::{Hram, Word};
@@ -39,6 +39,135 @@ use crate::zone::ZoneAlloc;
 /// radius share a key.
 type ShapeKey = (i64, i64, i64, i64, i64);
 
+/// Memoized Γ of one diamond shape, as offsets from the centre.
+struct GammaPattern {
+    /// Emission order (see [`DiamondExec::gamma`]) — ingest follows it.
+    emit: Vec<(i64, i64)>,
+    /// The same offsets sorted — `(dt, dx)` order equals `(t, x)` order.
+    sorted: Vec<(i64, i64)>,
+}
+
+/// A sorted value directory: the current address of each parked dag
+/// value, ordered by point.  Threaded down the recursion instead of a
+/// global hash map — every lookup is a binary search over a small,
+/// cache-resident slice.
+type Vals = Vec<(Pt2, usize)>;
+
+/// Address of `q` in the sorted directory `vals`, if present.
+#[inline]
+fn vals_get(vals: &[(Pt2, usize)], q: Pt2) -> Option<usize> {
+    vals.binary_search_by_key(&q, |e| e.0)
+        .ok()
+        .map(|i| vals[i].1)
+}
+
+/// Remove from the sorted directory `list` every entry whose point is in
+/// sorted `rm` (points of `rm` absent from `list` are ignored).  Linear.
+fn remove_sorted_vals(list: &mut Vals, rm: &[Pt2]) {
+    if rm.is_empty() || list.is_empty() {
+        return;
+    }
+    let mut w = 0;
+    let mut r = 0;
+    for i in 0..list.len() {
+        let e = list[i];
+        while r < rm.len() && rm[r] < e.0 {
+            r += 1;
+        }
+        if r < rm.len() && rm[r] == e.0 {
+            continue;
+        }
+        list[w] = e;
+        w += 1;
+    }
+    list.truncate(w);
+}
+
+/// Merge the sorted `(keys, addrs)` pairs into the sorted directory
+/// `list`, via `scratch`.  On a key collision the incoming address wins
+/// (the value was just re-parked).  Linear.
+fn merge_vals(list: &mut Vals, keys: &[Pt2], addrs: &[usize], scratch: &mut Vals) {
+    debug_assert_eq!(keys.len(), addrs.len());
+    if keys.is_empty() {
+        return;
+    }
+    scratch.clear();
+    scratch.reserve(list.len() + keys.len());
+    let (mut i, mut j) = (0, 0);
+    while i < list.len() && j < keys.len() {
+        match list[i].0.cmp(&keys[j]) {
+            std::cmp::Ordering::Less => {
+                scratch.push(list[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                scratch.push((keys[j], addrs[j]));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                scratch.push((keys[j], addrs[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    scratch.extend_from_slice(&list[i..]);
+    while j < keys.len() {
+        scratch.push((keys[j], addrs[j]));
+        j += 1;
+    }
+    std::mem::swap(list, scratch);
+}
+
+/// Merge sorted `add` into sorted `list`, deduplicating, via `scratch`.
+/// Linear — replaces per-element hash-set traffic on the recursion's
+/// hot path.
+fn insert_sorted(list: &mut Vec<Pt2>, add: &[Pt2], scratch: &mut Vec<Pt2>) {
+    if add.is_empty() {
+        return;
+    }
+    scratch.clear();
+    scratch.reserve(list.len() + add.len());
+    let (mut i, mut j) = (0, 0);
+    while i < list.len() && j < add.len() {
+        match list[i].cmp(&add[j]) {
+            std::cmp::Ordering::Less => {
+                scratch.push(list[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                scratch.push(add[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                scratch.push(list[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    scratch.extend_from_slice(&list[i..]);
+    scratch.extend_from_slice(&add[j..]);
+    std::mem::swap(list, scratch);
+}
+
+/// Per-depth scratch buffers for [`DiamondExec::exec_node`]: every
+/// diamond visited at the same recursion depth reuses one set, so the
+/// steady-state recursion performs no per-node heap allocation.
+#[derive(Default)]
+struct LevelBufs {
+    kids: Vec<ClippedDiamond>,
+    g_u: Vec<Pt2>,
+    zone_list: Vals,
+    scratch: Vec<Pt2>,
+    vscratch: Vals,
+    wtmp: Vec<Pt2>,
+    kid_addrs: Vec<usize>,
+    want_kid: Vec<Pt2>,
+    kid_gammas: [Vec<Pt2>; 4],
+    cols: Vec<i64>,
+}
+
 /// The recursive executor.  One instance per simulation run.
 pub struct DiamondExec<'a, P: LinearProgram> {
     prog: &'a P,
@@ -52,17 +181,33 @@ pub struct DiamondExec<'a, P: LinearProgram> {
     cbox: IRect,
     /// The host H-RAM.
     pub ram: Hram,
-    /// Current address of each live dag value.
-    live: HashMap<Pt2, usize>,
     /// Current base address of each node column's `m`-cell block
     /// (only for `m > 1`).
-    state: HashMap<i64, usize>,
-    space_memo: HashMap<ShapeKey, usize>,
+    state: FxHashMap<i64, usize>,
+    /// `(S(U), max_i S(child_i))` per shape (see
+    /// [`space_and_zmax`](Self::space_and_zmax)).
+    space_memo: FxHashMap<ShapeKey, (usize, usize)>,
+    /// Γ memoized as `(dt, dx)` offsets from the diamond centre — both
+    /// emission order (ingest addresses follow it) and sorted order
+    /// (membership / parking) — keyed by the same wall-distance shape
+    /// key as the space memo: beyond the key's clamp distance a wall
+    /// cannot change which preboundary points survive the `keep` filter.
+    gamma_memo: FxHashMap<ShapeKey, GammaPattern>,
+    /// The shape-determined part of each kid's `want` (later-sibling
+    /// gamma points the kid computes or borrows), as sorted `(dt, dx)`
+    /// offsets from the *parent's* centre, per kid index.
+    sib_want_memo: FxHashMap<(ShapeKey, u8), Vec<(i64, i64)>>,
+    /// Reusable leaf scratch (points / preboundary of the current leaf);
+    /// avoids two heap allocations per executable diamond.
+    leaf_pts: Vec<Pt2>,
+    leaf_gamma: Vec<Pt2>,
+    /// Per-recursion-depth scratch buffers (see [`LevelBufs`]).
+    levels: Vec<LevelBufs>,
     /// Diamonds with `h ≤ leaf_h` are executed naively.
     pub leaf_h: i64,
     /// Debug oracle: expected value per vertex (tests only).
     #[doc(hidden)]
-    pub oracle: Option<HashMap<Pt2, Word>>,
+    pub oracle: Option<FxHashMap<Pt2, Word>>,
 }
 
 impl<'a, P: LinearProgram> DiamondExec<'a, P> {
@@ -79,9 +224,13 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             m,
             cbox: IRect::new(0, n, 1, t_steps + 1),
             ram: Hram::new(spec.access_fn(), 0),
-            live: HashMap::new(),
-            state: HashMap::new(),
-            space_memo: HashMap::new(),
+            state: FxHashMap::default(),
+            space_memo: FxHashMap::default(),
+            gamma_memo: FxHashMap::default(),
+            sib_want_memo: FxHashMap::default(),
+            leaf_pts: Vec::new(),
+            leaf_gamma: Vec::new(),
+            levels: Vec::new(),
             leaf_h: leaf_h.max(1),
             oracle: None,
         }
@@ -103,36 +252,81 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     /// outside `U` that are predecessors of a vertex of `U`.  This is
     /// the diamond's lattice preboundary plus the input-row vertices the
     /// diamond itself covers, filtered to actual predecessors.
-    pub fn gamma(&self, u: &ClippedDiamond) -> Vec<Pt2> {
-        let mut cands: Vec<Pt2> =
-            u.d.preboundary()
-                .into_iter()
-                .filter(|q| self.in_dag(*q))
-                .collect();
-        // Input-row vertices inside the diamond (below cbox).
-        if u.d.bbox().t0 <= 0 {
-            for x in u.d.bbox().x0.max(0)..u.d.bbox().x1.min(self.n) {
-                let q = Pt2::new(x, 0);
-                if u.d.contains(q) {
-                    cands.push(q);
+    pub fn gamma(&mut self, u: &ClippedDiamond) -> Vec<Pt2> {
+        let mut out = Vec::new();
+        self.gamma_into(u, &mut out);
+        out
+    }
+
+    /// [`gamma`](Self::gamma) into a reusable buffer (cleared first).
+    /// Emission order — lattice preboundary order, then the input row —
+    /// is charge-relevant: ingest addresses follow it.
+    fn gamma_into(&mut self, u: &ClippedDiamond, out: &mut Vec<Pt2>) {
+        out.clear();
+        let pat = self.gamma_pattern(u);
+        let (cx, ct) = (u.d.cx, u.d.ct);
+        out.extend(pat.emit.iter().map(|&(dt, dx)| Pt2::new(cx + dx, ct + dt)));
+    }
+
+    /// Γ in sorted `(t, x)` order (offset order equals absolute order).
+    fn gamma_sorted_into(&mut self, u: &ClippedDiamond, out: &mut Vec<Pt2>) {
+        out.clear();
+        let pat = self.gamma_pattern(u);
+        let (cx, ct) = (u.d.cx, u.d.ct);
+        out.extend(
+            pat.sorted
+                .iter()
+                .map(|&(dt, dx)| Pt2::new(cx + dx, ct + dt)),
+        );
+    }
+
+    fn gamma_pattern(&mut self, u: &ClippedDiamond) -> &GammaPattern {
+        let key = self.shape_key(u);
+        // Single hash probe on the (dominant) hit path; the miss path
+        // scans with captured copies of the dag bounds so the entry's
+        // mutable borrow of the memo doesn't conflict.
+        let (n, t_steps, cbox, uc) = (self.n, self.t_steps, self.cbox, *u);
+        self.gamma_memo.entry(key).or_insert_with(|| {
+            let in_dag = |p: Pt2| 0 <= p.x && p.x < n && 0 <= p.t && p.t <= t_steps;
+            let in_ex = |p: Pt2| uc.d.contains(p) && cbox.contains(p);
+            let keep = |q: Pt2| in_dag(q) && q.succs().iter().any(|s| in_ex(*s));
+            let mut pts = Vec::new();
+            u.d.for_each_preboundary(|q| {
+                if keep(q) {
+                    pts.push(q);
+                }
+            });
+            // Input-row vertices inside the diamond (below cbox).
+            if u.d.bbox().t0 <= 0 {
+                for x in u.d.bbox().x0.max(0)..u.d.bbox().x1.min(n) {
+                    let q = Pt2::new(x, 0);
+                    if u.d.contains(q) && keep(q) {
+                        pts.push(q);
+                    }
                 }
             }
-        }
-        cands
-            .into_iter()
-            .filter(|q| q.succs().iter().any(|s| self.in_exec(u, *s)))
-            .collect()
+            let emit: Vec<(i64, i64)> = pts.iter().map(|q| (q.t - u.d.ct, q.x - u.d.cx)).collect();
+            let mut sorted = emit.clone();
+            sorted.sort_unstable();
+            GammaPattern { emit, sorted }
+        })
     }
 
     /// Columns (node indices) with at least one executed vertex in `U`.
     fn cols(&self, u: &ClippedDiamond) -> Vec<i64> {
+        let mut out = Vec::new();
+        self.cols_into(u, &mut out);
+        out
+    }
+
+    /// [`cols`](Self::cols) into a reusable buffer (cleared first).
+    fn cols_into(&self, u: &ClippedDiamond, out: &mut Vec<i64>) {
+        out.clear();
         let b = u.d.bbox().intersect(&self.cbox);
-        (b.x0..b.x1)
-            .filter(|&x| {
-                let (lo, hi) = self.col_range(u, x);
-                lo <= hi
-            })
-            .collect()
+        out.extend((b.x0..b.x1).filter(|&x| {
+            let (lo, hi) = self.col_range(u, x);
+            lo <= hi
+        }));
     }
 
     /// Executed `t`-range of column `x` in `U` (inclusive; empty if
@@ -168,11 +362,20 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
 
     /// Non-empty children in topological order.
     fn kids(&self, u: &ClippedDiamond) -> Vec<ClippedDiamond> {
-        u.d.children()
-            .into_iter()
-            .map(|d| ClippedDiamond::new(d, self.cbox))
-            .filter(|c| c.points_count() > 0)
-            .collect()
+        let mut out = Vec::new();
+        self.kids_into(u, &mut out);
+        out
+    }
+
+    /// [`kids`](Self::kids) into a reusable buffer (cleared first).
+    fn kids_into(&self, u: &ClippedDiamond, out: &mut Vec<ClippedDiamond>) {
+        out.clear();
+        out.extend(
+            u.d.children()
+                .into_iter()
+                .map(|d| ClippedDiamond::new(d, self.cbox))
+                .filter(|c| c.points_count() > 0),
+        );
     }
 
     fn shape_key(&self, u: &ClippedDiamond) -> ShapeKey {
@@ -189,11 +392,19 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
 
     /// The space function `S(U)` of Proposition 2, memoized per shape.
     pub fn space(&mut self, u: &ClippedDiamond) -> usize {
+        self.space_and_zmax(u).0
+    }
+
+    /// `(S(U), max_i S(child_i))` in one memo probe — the recursion
+    /// needs both to size a level's zone, and the kid maximum is as
+    /// shape-determined as `S` itself (children are translation-covariant
+    /// and the key's clamp covers their wall distances).
+    fn space_and_zmax(&mut self, u: &ClippedDiamond) -> (usize, usize) {
         let key = self.shape_key(u);
-        if let Some(&s) = self.space_memo.get(&key) {
-            return s;
+        if let Some(&v) = self.space_memo.get(&key) {
+            return v;
         }
-        let s = if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
+        let v = if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
             let vol = u.points_count() as usize;
             let g = self.gamma(u).len();
             let st = if self.m > 1 {
@@ -201,7 +412,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             } else {
                 0
             };
-            vol + g + st
+            (vol + g + st, 0)
         } else {
             let kids = self.kids(u);
             let mut zmax = 0usize;
@@ -220,28 +431,13 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             } else {
                 0
             };
-            zmax + p_u + self.gamma(u).len() + self.outbound_cap(u) + st_u
+            (
+                zmax + p_u + self.gamma(u).len() + self.outbound_cap(u) + st_u,
+                zmax,
+            )
         };
-        self.space_memo.insert(key, s);
-        s
-    }
-
-    /// Move a live value into `zone`, charging the copy, freeing the old
-    /// slot in `from`.
-    fn move_value(
-        &mut self,
-        q: Pt2,
-        zone: &mut ZoneAlloc,
-        from: &mut ZoneAlloc,
-    ) -> Result<(), SimError> {
-        let old = *self.live.get(&q).ok_or(SimError::Internal {
-            what: "moved value not live",
-        })?;
-        let new = zone.alloc();
-        self.ram.relocate(old, new);
-        from.free_if_owned(old);
-        self.live.insert(q, new);
-        Ok(())
+        self.space_memo.insert(key, v);
+        v
     }
 
     /// Move a column's state block into `zone`.
@@ -263,8 +459,12 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         Ok(())
     }
 
-    /// Execute `U`, with all inputs live in `parent_zone`; park the
-    /// values in `want` (and all column states) back into `parent_zone`.
+    /// Execute `U`, with all inputs parked in `parent_zone` at the
+    /// addresses listed in the sorted directory `parent_vals`; park the
+    /// values in `want` (a **sorted, deduplicated** point list — parking
+    /// order follows it, so charges stay deterministic) and all column
+    /// states back into `parent_zone`, pushing the parked address of each
+    /// `want` entry onto `out_addrs` in `want` order.
     ///
     /// Bookkeeping invariant violations surface as
     /// [`SimError::Internal`] rather than panicking, so a chaos run can
@@ -272,155 +472,260 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
     pub fn exec(
         &mut self,
         u: &ClippedDiamond,
-        want: &HashSet<Pt2>,
+        want: &[Pt2],
         parent_zone: &mut ZoneAlloc,
+        parent_vals: &[(Pt2, usize)],
+        out_addrs: &mut Vec<usize>,
     ) -> Result<(), SimError> {
+        self.exec_at(u, want, parent_zone, parent_vals, out_addrs, 0)
+    }
+
+    fn exec_at(
+        &mut self,
+        u: &ClippedDiamond,
+        want: &[Pt2],
+        parent_zone: &mut ZoneAlloc,
+        parent_vals: &[(Pt2, usize)],
+        out_addrs: &mut Vec<usize>,
+        depth: usize,
+    ) -> Result<(), SimError> {
+        debug_assert!(want.windows(2).all(|w| w[0] < w[1]), "want must be sorted");
         if u.d.h <= self.leaf_h || u.d.h % 2 == 1 {
-            return self.exec_leaf(u, want, parent_zone);
+            return self.exec_leaf(u, want, parent_zone, parent_vals, out_addrs);
         }
-        let s_u = self.space(u);
-        let kids = self.kids(u);
-        let mut zmax = 0usize;
-        for k in &kids {
-            zmax = zmax.max(self.space(k));
+        // Per-depth scratch: every diamond visited at this depth reuses
+        // the same buffers, so the steady-state recursion allocates
+        // nothing per node.
+        if self.levels.len() <= depth {
+            self.levels.resize_with(depth + 1, LevelBufs::default);
         }
+        let mut b = std::mem::take(&mut self.levels[depth]);
+        let res = self.exec_node(u, want, parent_zone, parent_vals, out_addrs, depth, &mut b);
+        self.levels[depth] = b;
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_node(
+        &mut self,
+        u: &ClippedDiamond,
+        want: &[Pt2],
+        parent_zone: &mut ZoneAlloc,
+        parent_vals: &[(Pt2, usize)],
+        out_addrs: &mut Vec<usize>,
+        depth: usize,
+        b: &mut LevelBufs,
+    ) -> Result<(), SimError> {
+        let (s_u, zmax) = self.space_and_zmax(u);
+        self.kids_into(u, &mut b.kids);
         let mut zone = ZoneAlloc::new(zmax, s_u - zmax);
 
         // Ingest: preboundary values + column states (Proposition 2 step 1
-        // at this level).
-        let g_u = self.gamma(u);
-        for q in &g_u {
-            self.move_value(*q, &mut zone, parent_zone)?;
+        // at this level).  `zone_list` becomes this level's own value
+        // directory: every value currently parked in our zone, sorted —
+        // all mutations are linear merges over sorted inputs, which beats
+        // a hash map on this path (small lists, no hashing, no rehash).
+        self.gamma_into(u, &mut b.g_u);
+        b.zone_list.clear();
+        for i in 0..b.g_u.len() {
+            let q = b.g_u[i];
+            let old = vals_get(parent_vals, q).ok_or(SimError::Internal {
+                what: "moved value not live",
+            })?;
+            let new = zone.alloc();
+            self.ram.relocate(old, new);
+            parent_zone.free_if_owned(old);
+            b.zone_list.push((q, new));
         }
-        let cols_u = self.cols(u);
+        b.cols.clear();
         if self.m > 1 {
-            for &x in &cols_u {
-                self.move_state(x, &mut zone, parent_zone)?;
+            self.cols_into(u, &mut b.cols);
+            for i in 0..b.cols.len() {
+                self.move_state(b.cols[i], &mut zone, parent_zone)?;
             }
         }
-        let mut zone_set: HashSet<Pt2> = g_u.into_iter().collect();
+        b.zone_list.sort_unstable();
 
-        // Children, in topological order.
-        let kid_gammas: Vec<HashSet<Pt2>> = kids
-            .iter()
-            .map(|k| self.gamma(k).into_iter().collect())
-            .collect();
-        for (i, kid) in kids.iter().enumerate() {
+        // Children, in topological order.  Each gamma is sorted (its
+        // ingest order is re-derived inside the child's own `exec`) so
+        // membership checks are binary searches.
+        let key = self.shape_key(u);
+        for i in 0..b.kids.len() {
+            let k = b.kids[i];
+            let mut g = std::mem::take(&mut b.kid_gammas[i]);
+            self.gamma_sorted_into(&k, &mut g);
+            b.kid_gammas[i] = g;
+        }
+        for i in 0..b.kids.len() {
+            let kid = b.kids[i];
             // What the child must park back: values needed by later
             // siblings or by our own parent, that the child computes or
-            // borrows.
-            let mut want_kid: HashSet<Pt2> = HashSet::new();
-            let relevant = |q: Pt2, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
-            for g in kid_gammas.iter().skip(i + 1) {
-                for &q in g {
-                    if relevant(q, self) {
-                        want_kid.insert(q);
+            // borrows.  The sibling part is shape-determined, so it is
+            // memoized as offsets from our centre.
+            b.want_kid.clear();
+            let relevant =
+                |q: Pt2, me: &Self, kg: &[Pt2]| me.in_exec(&kid, q) || kg.binary_search(&q).is_ok();
+            if let Some(offs) = self.sib_want_memo.get(&(key, i as u8)) {
+                b.want_kid.extend(
+                    offs.iter()
+                        .map(|&(dt, dx)| Pt2::new(u.d.cx + dx, u.d.ct + dt)),
+                );
+            } else {
+                for g in b.kid_gammas[..b.kids.len()].iter().skip(i + 1) {
+                    for &q in g {
+                        if relevant(q, self, &b.kid_gammas[i]) {
+                            b.want_kid.push(q);
+                        }
                     }
                 }
+                b.want_kid.sort();
+                b.want_kid.dedup();
+                let offs: Vec<(i64, i64)> = b
+                    .want_kid
+                    .iter()
+                    .map(|q| (q.t - u.d.ct, q.x - u.d.cx))
+                    .collect();
+                self.sib_want_memo.insert((key, i as u8), offs);
             }
-            for &q in want {
-                if relevant(q, self) {
-                    want_kid.insert(q);
+            // Only `want` entries whose `t` lies within the kid's
+            // influence band can be relevant; `want` is sorted by `t`,
+            // and the filtered slice stays sorted, so a linear merge
+            // finishes the job.
+            let (t_lo, t_hi) = (kid.d.ct - kid.d.h, kid.d.ct + kid.d.h);
+            let lo = want.partition_point(|q| q.t < t_lo);
+            let hi = want.partition_point(|q| q.t <= t_hi);
+            b.wtmp.clear();
+            for &q in &want[lo..hi] {
+                if relevant(q, self, &b.kid_gammas[i]) {
+                    b.wtmp.push(q);
                 }
             }
-            for q in &kid_gammas[i] {
-                zone_set.remove(q);
+            insert_sorted(&mut b.want_kid, &b.wtmp, &mut b.scratch);
+            // The kid ingests its Γ straight out of `zone_list`, then
+            // parks `want_kid` back; the stale Γ entries are dropped and
+            // the freshly parked addresses merged in afterwards (pure
+            // host bookkeeping — no charge is involved).
+            b.kid_addrs.clear();
+            {
+                let mut kid_addrs = std::mem::take(&mut b.kid_addrs);
+                let r = self.exec_at(
+                    &kid,
+                    &b.want_kid,
+                    &mut zone,
+                    &b.zone_list,
+                    &mut kid_addrs,
+                    depth + 1,
+                );
+                b.kid_addrs = kid_addrs;
+                r?;
             }
-            self.exec(kid, &want_kid, &mut zone)?;
-            zone_set.extend(want_kid);
+            remove_sorted_vals(&mut b.zone_list, &b.kid_gammas[i]);
+            merge_vals(&mut b.zone_list, &b.want_kid, &b.kid_addrs, &mut b.vscratch);
         }
 
         // Park what the parent wants (Proposition 2 step 3); drop the
-        // rest.  Iterate in sorted order so addresses — and therefore
-        // charges — are fully deterministic.
-        let mut wanted: Vec<Pt2> = want.iter().copied().collect();
-        wanted.sort();
-        for q in wanted {
-            if !zone_set.remove(&q) {
+        // rest.  `want` and `zone_list` are both sorted: one linear walk
+        // parks wants in order and frees the leftovers — already in the
+        // sorted order the drop loop needs, so addresses and charges
+        // stay fully deterministic.
+        let mut zi = 0;
+        for &q in want {
+            while zi < b.zone_list.len() && b.zone_list[zi].0 < q {
+                zone.free_if_owned(b.zone_list[zi].1);
+                zi += 1;
+            }
+            if zi >= b.zone_list.len() || b.zone_list[zi].0 != q {
                 return Err(SimError::Internal {
                     what: "wanted value missing from zone",
                 });
             }
-            self.move_value(q, parent_zone, &mut zone)?;
+            let old = b.zone_list[zi].1;
+            zi += 1;
+            let new = parent_zone.alloc();
+            self.ram.relocate(old, new);
+            zone.free_if_owned(old);
+            out_addrs.push(new);
         }
-        let mut rest: Vec<Pt2> = zone_set.into_iter().collect();
-        rest.sort();
-        for q in rest {
-            let old = self.live.remove(&q).ok_or(SimError::Internal {
-                what: "zone bookkeeping lost a live value",
-            })?;
+        for &(_, old) in &b.zone_list[zi..] {
             zone.free_if_owned(old);
         }
-        if self.m > 1 {
-            for &x in &cols_u {
-                self.move_state(x, parent_zone, &mut zone)?;
-            }
+        for i in 0..b.cols.len() {
+            self.move_state(b.cols[i], parent_zone, &mut zone)?;
         }
         Ok(())
     }
 
     /// Naive execution of an executable diamond (Theorem 3's recursion
     /// bottom): ingest, run vertices in time order, park.
+    ///
+    /// Leaves dominate the recursion's host cost, so this path avoids
+    /// per-leaf heap traffic: points and Γ live in reusable scratch
+    /// buffers, and every operand address comes from a binary search
+    /// over those sorted/tiny lists or from the parent's sorted value
+    /// directory — no hash map anywhere.
     fn exec_leaf(
         &mut self,
         u: &ClippedDiamond,
-        want: &HashSet<Pt2>,
+        want: &[Pt2],
         parent_zone: &mut ZoneAlloc,
+        parent_vals: &[(Pt2, usize)],
+        out_addrs: &mut Vec<usize>,
     ) -> Result<(), SimError> {
-        let pts = {
-            let mut v: Vec<Pt2> = Vec::with_capacity(u.points_count() as usize);
-            u.for_each_point(|p| {
-                if self.cbox.contains(p) {
-                    v.push(p);
-                }
-            });
-            v.sort();
-            v
-        };
+        let mut pts = std::mem::take(&mut self.leaf_pts);
+        pts.clear();
+        u.for_each_point(|p| {
+            if self.cbox.contains(p) {
+                pts.push(p);
+            }
+        });
+        pts.sort();
         if pts.is_empty() {
+            self.leaf_pts = pts;
             return Ok(());
         }
-        let g_u = self.gamma(u);
-        let cols_u = self.cols(u);
+        let mut g_u = std::mem::take(&mut self.leaf_gamma);
+        self.gamma_into(u, &mut g_u);
+        let res = self.exec_leaf_inner(u, want, parent_zone, parent_vals, out_addrs, &pts, &g_u);
+        self.leaf_pts = pts;
+        self.leaf_gamma = g_u;
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_leaf_inner(
+        &mut self,
+        u: &ClippedDiamond,
+        want: &[Pt2],
+        parent_zone: &mut ZoneAlloc,
+        parent_vals: &[(Pt2, usize)],
+        out_addrs: &mut Vec<usize>,
+        pts: &[Pt2],
+        g_u: &[Pt2],
+    ) -> Result<(), SimError> {
+        let cols_u = if self.m > 1 { self.cols(u) } else { Vec::new() };
         // Scratch layout: [0, |U|) value slots, then Γ slots, then state
         // blocks.
         let n_pts = pts.len();
-        let mut slot: HashMap<Pt2, usize> = HashMap::with_capacity(n_pts + g_u.len());
-        for (i, p) in pts.iter().enumerate() {
-            slot.insert(*p, i);
-        }
-        // Ingest Γ.
+        // Ingest Γ into the fixed scratch slots.
         for (i, q) in g_u.iter().enumerate() {
             let dst = n_pts + i;
-            let old = *self.live.get(q).ok_or(SimError::Internal {
+            let old = vals_get(parent_vals, *q).ok_or(SimError::Internal {
                 what: "preboundary value not live at leaf ingest",
             })?;
             self.ram.relocate(old, dst);
-            if std::env::var("BSMP_TRACE").is_ok() && *q == Pt2::new(0, 2) {
-                eprintln!(
-                    "TRACE leaf-ingest (0,2): {old} -> {dst} val={} for leaf {u:?}",
-                    self.ram.peek(dst)
-                );
-            }
             parent_zone.free_if_owned(old);
-            self.live.insert(*q, dst);
-            slot.insert(*q, dst);
         }
         // Ingest states.
-        let mut st_base: HashMap<i64, usize> = HashMap::new();
-        if self.m > 1 {
-            let base0 = n_pts + g_u.len();
-            for (i, &x) in cols_u.iter().enumerate() {
-                let dst = base0 + i * self.m;
-                let old = *self.state.get(&x).ok_or(SimError::Internal {
-                    what: "state block not live at leaf ingest",
-                })?;
-                for c in 0..self.m {
-                    self.ram.relocate(old + c, dst + c);
-                }
-                parent_zone.free_block_if_owned(old, self.m);
-                st_base.insert(x, dst);
+        let st_base0 = n_pts + g_u.len();
+        for (i, &x) in cols_u.iter().enumerate() {
+            let dst = st_base0 + i * self.m;
+            let old = *self.state.get(&x).ok_or(SimError::Internal {
+                what: "state block not live at leaf ingest",
+            })?;
+            for c in 0..self.m {
+                self.ram.relocate(old + c, dst + c);
             }
+            parent_zone.free_block_if_owned(old, self.m);
         }
 
         // Execute in time order.
@@ -432,9 +737,15 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
                 if !me.in_dag(q) {
                     return Ok(bd);
                 }
-                let a = *slot.get(&q).ok_or(SimError::Internal {
-                    what: "operand unavailable in leaf",
-                })?;
+                let a = match pts.binary_search(&q) {
+                    Ok(j) => j,
+                    Err(_) => {
+                        n_pts
+                            + g_u.iter().position(|g| *g == q).ok_or(SimError::Internal {
+                                what: "operand unavailable in leaf",
+                            })?
+                    }
+                };
                 Ok(me.ram.read(a))
             };
             let prev = read_val(self, Pt2::new(p.x, t - 1))?;
@@ -442,8 +753,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             let right = read_val(self, Pt2::new(p.x + 1, t - 1))?;
             let own = if self.m > 1 {
                 let c = self.prog.cell(v, t);
-                let a = st_base[&p.x] + c;
-                self.ram.read(a)
+                let ci = cols_u.binary_search(&p.x).map_err(|_| SimError::Internal {
+                    what: "column state missing in leaf",
+                })?;
+                self.ram.read(st_base0 + ci * self.m + c)
             } else {
                 prev
             };
@@ -457,62 +770,49 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             self.ram.compute();
             if self.m > 1 {
                 let c = self.prog.cell(v, t);
-                self.ram.write(st_base[&p.x] + c, out);
+                let ci = cols_u.binary_search(&p.x).map_err(|_| SimError::Internal {
+                    what: "column state missing in leaf",
+                })?;
+                self.ram.write(st_base0 + ci * self.m + c, out);
             }
             self.ram.write(i, out);
-            self.live.insert(*p, i);
         }
 
-        // Park wanted values (sorted: deterministic addresses).
-        let mut wanted: Vec<Pt2> = want.iter().copied().collect();
-        wanted.sort();
-        for q in wanted {
-            let old = *self.live.get(&q).ok_or(SimError::Internal {
-                what: "wanted value not present in leaf",
-            })?;
+        // Park wanted values (`want` is sorted: deterministic addresses).
+        // Interior vertices sit at their point index; everything else
+        // must be a Γ ingest, at its fixed scratch slot.
+        for &q in want {
+            let old = match pts.binary_search(&q) {
+                Ok(i) => i,
+                Err(_) => {
+                    n_pts
+                        + g_u.iter().position(|g| *g == q).ok_or(SimError::Internal {
+                            what: "wanted value not present in leaf",
+                        })?
+                }
+            };
             let new = parent_zone.alloc();
             self.ram.relocate(old, new);
-            self.live.insert(q, new);
-        }
-        // Drop everything else local.
-        for p in &pts {
-            if !want.contains(p) {
-                self.live.remove(p);
-            }
-        }
-        for q in &g_u {
-            if !want.contains(q) {
-                self.live.remove(q);
-            }
+            out_addrs.push(new);
         }
         // Park states.
-        if self.m > 1 {
-            for &x in &cols_u {
-                let base = st_base[&x];
-                let new = parent_zone.alloc_block(self.m);
-                for c in 0..self.m {
-                    self.ram.relocate(base + c, new + c);
-                }
-                self.state.insert(x, new);
+        for (i, &x) in cols_u.iter().enumerate() {
+            let base = st_base0 + i * self.m;
+            let new = parent_zone.alloc_block(self.m);
+            for c in 0..self.m {
+                self.ram.relocate(base + c, new + c);
             }
+            self.state.insert(x, new);
         }
         Ok(())
     }
 
-    /// Seed a live value at an explicit address (multiprocessor engine:
-    /// staging a tile's preboundary into this processor's memory).
-    pub fn seed_value(&mut self, p: Pt2, addr: usize) {
-        self.live.insert(p, addr);
-    }
-
-    /// Seed a column's state-block base address.
+    /// Seed a column's state-block base address (multiprocessor engine:
+    /// staging a tile's column states into this processor's memory —
+    /// values are passed positionally via [`exec`](Self::exec)'s
+    /// `parent_vals` directory instead).
     pub fn seed_state(&mut self, col: i64, addr: usize) {
         self.state.insert(col, addr);
-    }
-
-    /// Address of a live value, if present.
-    pub fn value_addr(&self, p: Pt2) -> Option<usize> {
-        self.live.get(&p).copied()
     }
 
     /// Address of a column's state block, if present.
@@ -520,9 +820,8 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         self.state.get(&col).copied()
     }
 
-    /// Drop all live values and states (between tile executions).
+    /// Drop all seeded column states (between tile executions).
     pub fn clear_seeds(&mut self) {
-        self.live.clear();
         self.state.clear();
     }
 
@@ -556,26 +855,27 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         for (i, w) in init.iter().enumerate() {
             self.ram.poke(image + i, *w);
         }
-        for v in 0..n {
-            let p = Pt2::new(v as i64, 0);
-            self.live.insert(p, image + v * m + self.prog.cell(v, 0));
-        }
+        // The input row's value directory, straight from the image
+        // layout (t = 0, x ascending: already sorted).
+        let driver_vals: Vals = (0..n)
+            .map(|v| (Pt2::new(v as i64, 0), image + v * m + self.prog.cell(v, 0)))
+            .collect();
         if m > 1 {
             for v in 0..n {
                 self.state.insert(v as i64, image + v * m);
             }
         }
 
-        // Want the final row back.
-        let want: HashSet<Pt2> = (0..self.n).map(|x| Pt2::new(x, self.t_steps)).collect();
-        self.exec(&top, &want, &mut driver_zone)?;
+        // Want the final row back (ascending x: already sorted).
+        let want: Vec<Pt2> = (0..self.n).map(|x| Pt2::new(x, self.t_steps)).collect();
+        let mut out_addrs = Vec::with_capacity(n);
+        self.exec(&top, &want, &mut driver_zone, &driver_vals, &mut out_addrs)?;
 
         // Write the final image back into the guest layout (charged —
         // the host must leave memory as the guest would).
         let mut values = vec![0 as Word; n];
         for (v, slot) in values.iter_mut().enumerate() {
-            let p = Pt2::new(v as i64, self.t_steps);
-            let addr = *self.live.get(&p).ok_or(SimError::Internal {
+            let addr = *out_addrs.get(v).ok_or(SimError::Internal {
                 what: "final value not live after top-level exec",
             })?;
             *slot = self.ram.peek(addr);

@@ -15,7 +15,7 @@
 //! would have to re-expose, and the paper, too, develops the two cases
 //! separately (Sections 4 and 5).
 
-use std::collections::{HashMap, HashSet};
+use bsmp_machine::{FxHashMap, FxHashSet};
 
 use bsmp_geometry::{ClippedDomain2, Domain2, IBox, Pt3};
 use bsmp_hram::{Hram, Word};
@@ -36,10 +36,10 @@ pub struct CellExec<'a, P: MeshProgram> {
     m: usize,
     cbox: IBox,
     pub ram: Hram,
-    live: HashMap<Pt3, usize>,
+    live: FxHashMap<Pt3, usize>,
     /// Pillar (mesh node) → state block base (only `m > 1`).
-    state: HashMap<(i64, i64), usize>,
-    space_memo: HashMap<ShapeKey, usize>,
+    state: FxHashMap<(i64, i64), usize>,
+    space_memo: FxHashMap<ShapeKey, usize>,
     pub leaf_h: i64,
 }
 
@@ -57,9 +57,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             m,
             cbox: IBox::new(0, side, 0, side, 1, t_steps + 1),
             ram: Hram::new(spec.access_fn(), 0),
-            live: HashMap::new(),
-            state: HashMap::new(),
-            space_memo: HashMap::new(),
+            live: FxHashMap::default(),
+            state: FxHashMap::default(),
+            space_memo: FxHashMap::default(),
             leaf_h: leaf_h.max(1),
         }
     }
@@ -90,7 +90,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     /// predecessors of a vertex of `U` (computed from the clipped points
     /// to avoid enumerating huge unclipped cells).
     pub fn gamma(&self, u: &ClippedDomain2) -> Vec<Pt3> {
-        let mut out: HashSet<Pt3> = HashSet::new();
+        let mut out: FxHashSet<Pt3> = FxHashSet::default();
         u.for_each_point(|p| {
             for q in p.preds() {
                 if self.in_dag(q) && !self.in_exec(u, q) {
@@ -105,7 +105,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
 
     /// Mesh pillars with at least one executed vertex.
     fn pillars(&self, u: &ClippedDomain2) -> Vec<(i64, i64)> {
-        let mut set: HashSet<(i64, i64)> = HashSet::new();
+        let mut set: FxHashSet<(i64, i64)> = FxHashSet::default();
         u.for_each_point(|p| {
             set.insert((p.x, p.y));
         });
@@ -246,7 +246,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     pub fn exec(
         &mut self,
         u: &ClippedDomain2,
-        want: &HashSet<Pt3>,
+        want: &FxHashSet<Pt3>,
         parent_zone: &mut ZoneAlloc,
     ) -> Result<(), SimError> {
         if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
@@ -270,14 +270,14 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
                 self.move_state(xy, &mut zone, parent_zone)?;
             }
         }
-        let mut zone_set: HashSet<Pt3> = g_u.into_iter().collect();
+        let mut zone_set: FxHashSet<Pt3> = g_u.into_iter().collect();
 
-        let kid_gammas: Vec<HashSet<Pt3>> = kids
+        let kid_gammas: Vec<FxHashSet<Pt3>> = kids
             .iter()
             .map(|k| self.gamma(k).into_iter().collect())
             .collect();
         for (i, kid) in kids.iter().enumerate() {
-            let mut want_kid: HashSet<Pt3> = HashSet::new();
+            let mut want_kid: FxHashSet<Pt3> = FxHashSet::default();
             let relevant = |q: Pt3, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
             for g in kid_gammas.iter().skip(i + 1) {
                 for &q in g {
@@ -327,7 +327,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
     fn exec_leaf(
         &mut self,
         u: &ClippedDomain2,
-        want: &HashSet<Pt3>,
+        want: &FxHashSet<Pt3>,
         parent_zone: &mut ZoneAlloc,
     ) -> Result<(), SimError> {
         let pts = self.exec_points(u);
@@ -337,7 +337,8 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         let g_u = self.gamma(u);
         let pillars_u = self.pillars(u);
         let n_pts = pts.len();
-        let mut slot: HashMap<Pt3, usize> = HashMap::with_capacity(n_pts + g_u.len());
+        let mut slot: FxHashMap<Pt3, usize> =
+            FxHashMap::with_capacity_and_hasher(n_pts + g_u.len(), Default::default());
         for (i, p) in pts.iter().enumerate() {
             slot.insert(*p, i);
         }
@@ -351,7 +352,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             self.live.insert(*q, dst);
             slot.insert(*q, dst);
         }
-        let mut st_base: HashMap<(i64, i64), usize> = HashMap::new();
+        let mut st_base: FxHashMap<(i64, i64), usize> = FxHashMap::default();
         if self.m > 1 {
             let base0 = n_pts + g_u.len();
             for (i, &xy) in pillars_u.iter().enumerate() {
@@ -500,7 +501,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             }
         }
 
-        let want: HashSet<Pt3> = (0..self.side)
+        let want: FxHashSet<Pt3> = (0..self.side)
             .flat_map(|y| (0..self.side).map(move |x| Pt3::new(x, y, 0)))
             .map(|p| Pt3::new(p.x, p.y, self.t_steps))
             .collect();

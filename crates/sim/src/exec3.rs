@@ -14,7 +14,7 @@
 //! For simplicity this engine supports `m = 1` (the Theorem-2/5-analogue
 //! setting the conjecture is about).
 
-use std::collections::{HashMap, HashSet};
+use bsmp_machine::{FxHashMap, FxHashSet};
 
 use bsmp_geometry::{ClippedDomain3, Domain3, IBox4, Pt4};
 use bsmp_hram::{AccessFn, Hram, Word};
@@ -32,8 +32,8 @@ pub struct VolumeExec<'a, P: VolumeProgram> {
     t_steps: i64,
     cbox: IBox4,
     pub ram: Hram,
-    live: HashMap<Pt4, usize>,
-    space_memo: HashMap<ShapeKey, usize>,
+    live: FxHashMap<Pt4, usize>,
+    space_memo: FxHashMap<ShapeKey, usize>,
     pub leaf_h: i64,
 }
 
@@ -46,8 +46,8 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
             t_steps,
             cbox: IBox4::new(0, side, 0, side, 0, side, 1, t_steps + 1),
             ram: Hram::new(AccessFn::new(3, 1), 0),
-            live: HashMap::new(),
-            space_memo: HashMap::new(),
+            live: FxHashMap::default(),
+            space_memo: FxHashMap::default(),
             leaf_h: leaf_h.max(1),
         }
     }
@@ -76,7 +76,7 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
     }
 
     pub fn gamma(&self, u: &ClippedDomain3) -> Vec<Pt4> {
-        let mut out: HashSet<Pt4> = HashSet::new();
+        let mut out: FxHashSet<Pt4> = FxHashSet::default();
         u.for_each_point(|p| {
             for q in p.preds() {
                 if self.in_dag(q) && !self.in_exec(u, q) {
@@ -92,7 +92,7 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
     /// Outbound cap: top two vertices of every pillar (the 4-D analogue
     /// of the d = 1/2 arguments; neighbor pillar ranges shift by ≤ 1).
     fn outbound_cap(&self, u: &ClippedDomain3) -> usize {
-        let mut pillars: HashMap<(i64, i64, i64), usize> = HashMap::new();
+        let mut pillars: FxHashMap<(i64, i64, i64), usize> = FxHashMap::default();
         u.for_each_point(|p| {
             *pillars.entry((p.x, p.y, p.z)).or_insert(0) += 1;
         });
@@ -164,7 +164,7 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
     pub fn exec(
         &mut self,
         u: &ClippedDomain3,
-        want: &HashSet<Pt4>,
+        want: &FxHashSet<Pt4>,
         parent_zone: &mut ZoneAlloc,
     ) -> Result<(), SimError> {
         if u.cell.h() <= self.leaf_h || u.cell.h() % 2 == 1 {
@@ -182,14 +182,14 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         for q in &g_u {
             self.move_value(*q, &mut zone, parent_zone)?;
         }
-        let mut zone_set: HashSet<Pt4> = g_u.into_iter().collect();
+        let mut zone_set: FxHashSet<Pt4> = g_u.into_iter().collect();
 
-        let kid_gammas: Vec<HashSet<Pt4>> = kids
+        let kid_gammas: Vec<FxHashSet<Pt4>> = kids
             .iter()
             .map(|k| self.gamma(k).into_iter().collect())
             .collect();
         for (i, kid) in kids.iter().enumerate() {
-            let mut want_kid: HashSet<Pt4> = HashSet::new();
+            let mut want_kid: FxHashSet<Pt4> = FxHashSet::default();
             let relevant = |q: Pt4, me: &Self| me.in_exec(kid, q) || kid_gammas[i].contains(&q);
             for g in kid_gammas.iter().skip(i + 1) {
                 for &q in g {
@@ -234,7 +234,7 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
     fn exec_leaf(
         &mut self,
         u: &ClippedDomain3,
-        want: &HashSet<Pt4>,
+        want: &FxHashSet<Pt4>,
         parent_zone: &mut ZoneAlloc,
     ) -> Result<(), SimError> {
         let pts = self.exec_points(u);
@@ -243,7 +243,8 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
         }
         let g_u = self.gamma(u);
         let n_pts = pts.len();
-        let mut slot: HashMap<Pt4, usize> = HashMap::with_capacity(n_pts + g_u.len());
+        let mut slot: FxHashMap<Pt4, usize> =
+            FxHashMap::with_capacity_and_hasher(n_pts + g_u.len(), Default::default());
         for (i, p) in pts.iter().enumerate() {
             slot.insert(*p, i);
         }
@@ -350,7 +351,7 @@ impl<'a, P: VolumeProgram> VolumeExec<'a, P> {
             }
         }
 
-        let mut want: HashSet<Pt4> = HashSet::new();
+        let mut want: FxHashSet<Pt4> = FxHashSet::default();
         for z in 0..side {
             for y in 0..side {
                 for x in 0..side {

@@ -41,7 +41,7 @@
 //!   at the top of the working region (the staging area they physically
 //!   occupy) rather than through a per-word address map.
 
-use std::collections::{HashMap, HashSet};
+use bsmp_machine::{FxHashMap, FxHashSet};
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{diamond_cover, ClippedDiamond, IRect, Pt2};
@@ -113,7 +113,7 @@ pub mod rearrangement {
             // member in every processor's region.
             let (q, p) = (32, 8);
             for seg in 0..q / p {
-                let procs: std::collections::HashSet<usize> =
+                let procs: bsmp_machine::FxHashSet<usize> =
                     (0..p).map(|r| proc_of(seg * p + r, q, p)).collect();
                 assert_eq!(procs.len(), p, "segment {seg} covers all processors");
             }
@@ -266,16 +266,16 @@ struct Engine<'a, P: LinearProgram> {
     prog: &'a P,
     /// Ground-truth words for every live dag value (addresses are
     /// tracked in `placed`/`home`).
-    vals: HashMap<Pt2, Word>,
+    vals: FxHashMap<Pt2, Word>,
     /// Transient placement during one `D(ps)` tile: value → (proc, addr).
-    placed: HashMap<Pt2, (usize, usize)>,
+    placed: FxHashMap<Pt2, (usize, usize)>,
     /// Persistent placement between tiles: value → (proc, addr in the
     /// value-home region).
-    home: HashMap<Pt2, (usize, usize)>,
+    home: FxHashMap<Pt2, (usize, usize)>,
     home_zones: Vec<ZoneAlloc>,
     transit_zones: Vec<ZoneAlloc>,
     /// Per-strip staged state base during a tile (proc, addr), `m > 1`.
-    staged_state: HashMap<usize, (usize, usize)>,
+    staged_state: FxHashMap<usize, (usize, usize)>,
     clock: StageClock,
     /// Reusable stage buffers (snapshots + deltas), allocated once.
     scratch: StageScratch,
@@ -386,12 +386,12 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             cbox,
             execs,
             prog,
-            vals: HashMap::new(),
-            placed: HashMap::new(),
-            home: HashMap::new(),
+            vals: FxHashMap::default(),
+            placed: FxHashMap::default(),
+            home: FxHashMap::default(),
             home_zones,
             transit_zones,
-            staged_state: HashMap::new(),
+            staged_state: FxHashMap::default(),
             clock: StageClock::new(),
             scratch: StageScratch::new(p),
             tile_space,
@@ -619,15 +619,35 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     /// The vertices of `piece` whose successors escape it — the values
     /// later pieces (or the final report) will need.
     fn outbound(&self, piece: &ClippedDiamond) -> Vec<Pt2> {
+        // Row-strip form of the per-point `succs()` scan: a vertex
+        // escapes iff it sits on the last row, or some successor inside
+        // the computation box falls outside the piece's next row (piece
+        // rows are contiguous intervals).  Emission order equals the
+        // `for_each_point` order the per-point scan produced.
+        let n = self.n as i64;
         let mut out = Vec::new();
-        piece.for_each_point(|pt| {
-            if pt.t == self.t_steps
-                || pt
-                    .succs()
-                    .iter()
-                    .any(|sq| self.cbox.contains(*sq) && !piece.contains(*sq))
-            {
-                out.push(pt);
+        piece.for_each_row(|t, a, b| {
+            let nr = if t == self.t_steps {
+                None
+            } else {
+                piece.row_range(t + 1)
+            };
+            match nr {
+                // Last row, or no next row in the piece: everything
+                // escapes (each vertex has an in-box successor at t+1
+                // whenever t < t_steps; at t = t_steps it reports out).
+                None => {
+                    for x in a..=b {
+                        out.push(Pt2::new(x, t));
+                    }
+                }
+                Some((a2, b2)) => {
+                    for x in a..=b {
+                        if (x - 1).max(0) < a2 || (x + 1).min(n - 1) > b2 {
+                            out.push(Pt2::new(x, t));
+                        }
+                    }
+                }
             }
         });
         out
@@ -636,15 +656,28 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     /// The in-dag preboundary of a piece (values needed before running
     /// it).
     fn gamma(&self, piece: &ClippedDiamond) -> Vec<Pt2> {
-        let mut out: HashSet<Pt2> = HashSet::new();
-        piece.for_each_point(|pt| {
-            for q in pt.preds() {
-                if q.x >= 0 && q.x < self.n as i64 && q.t >= 0 && !piece.contains(q) {
-                    out.insert(q);
-                }
+        // Row-strip form of the per-point `preds()` scan: row t's
+        // members [a, b] pull [a−1, b+1] at t−1; whatever the piece
+        // doesn't own of that span (its rows are contiguous intervals)
+        // is preboundary.  Rows are disjoint, so no dedup set is needed.
+        let n = self.n as i64;
+        let mut v: Vec<Pt2> = Vec::new();
+        piece.for_each_row(|t, a, b| {
+            let tp = t - 1;
+            if tp < 0 {
+                return;
+            }
+            let lo = (a - 1).max(0);
+            let hi = (b + 1).min(n - 1);
+            // Empty own-row sentinel subtracts nothing from [lo, hi].
+            let (c, d) = piece.row_range(tp).unwrap_or((hi + 1, hi));
+            for x in lo..=hi.min(c - 1) {
+                v.push(Pt2::new(x, tp));
+            }
+            for x in (d + 1).max(lo)..=hi {
+                v.push(Pt2::new(x, tp));
             }
         });
-        let mut v: Vec<Pt2> = out.into_iter().collect();
         v.sort();
         v
     }
@@ -697,18 +730,21 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         }
 
         // Run the recursion on this processor's H-RAM.
+        // `outbound` emits in time-major order — sorted and duplicate-free,
+        // exactly what `exec` wants.
         let out_pts = self.outbound(piece);
-        let want: HashSet<Pt2> = out_pts.iter().copied().collect();
+        debug_assert!(out_pts.windows(2).all(|w| w[0] < w[1]));
         {
             let exec = &mut self.execs[pr];
             exec.clear_seeds();
-            for (pt, addr) in &seeds {
-                exec.seed_value(*pt, *addr);
-            }
             for (x, addr, _) in &state_seeds {
                 exec.seed_state(*x, *addr);
             }
         }
+        // The staged preboundary copies become the recursion's value
+        // directory (sorting is host bookkeeping — the staging charges
+        // above already happened in Γ emission order).
+        seeds.sort_unstable();
         let space = self.execs[pr].space(piece);
         assert!(
             space <= self.tile_space,
@@ -716,15 +752,18 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         );
         // Parent zone: the transit zone (park results there).
         let mut zone = std::mem::replace(&mut self.transit_zones[pr], ZoneAlloc::new(0, 0));
-        let exec_res = self.execs[pr].exec(piece, &want, &mut zone);
+        let mut out_addrs = Vec::with_capacity(out_pts.len());
+        let exec_res = self.execs[pr].exec(piece, &out_pts, &mut zone, &seeds, &mut out_addrs);
         self.transit_zones[pr] = zone;
         exec_res?;
+        if out_addrs.len() != out_pts.len() {
+            return Err(SimError::Internal {
+                what: "piece output not parked",
+            });
+        }
 
         // Harvest: record outbound values (they stay parked in transit).
-        for pt in out_pts {
-            let addr = self.execs[pr].value_addr(pt).ok_or(SimError::Internal {
-                what: "piece output not parked",
-            })?;
+        for (pt, addr) in out_pts.into_iter().zip(out_addrs) {
             let w = self.execs[pr].ram.peek(addr);
             self.vals.insert(pt, w);
             if let Some((old_pr, old_addr)) = self.placed.insert(pt, (pr, addr)) {
@@ -796,7 +835,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         }
         let cx = piece.d.cx;
         let nominal = self.transit_base; // operands live in the transit band
-        let out_set: HashSet<Pt2> = self.outbound(piece).into_iter().collect();
+        let out_set: FxHashSet<Pt2> = self.outbound(piece).into_iter().collect();
         for pt in &pts {
             let side = if pt.x < cx { pl } else { pr };
             self.tmark(side, 1, 0);

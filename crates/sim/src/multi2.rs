@@ -27,7 +27,7 @@
 //! [BP95a].  The analytic four-range `A` is available in
 //! `bsmp_analytic::theorem1` for comparison (experiment E5).
 
-use std::collections::{HashMap, HashSet};
+use bsmp_machine::{FxHashMap, FxHashSet};
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
@@ -110,9 +110,9 @@ struct Engine2<'a, P: MeshProgram> {
     cbox: IBox,
     execs: Vec<CellExec<'a, P>>,
     prog: &'a P,
-    vals: HashMap<Pt3, Word>,
+    vals: FxHashMap<Pt3, Word>,
     /// value → (proc, addr) in that proc's value-home zone.
-    home: HashMap<Pt3, (usize, usize)>,
+    home: FxHashMap<Pt3, (usize, usize)>,
     home_zones: Vec<ZoneAlloc>,
     transit_zones: Vec<ZoneAlloc>,
     clock: StageClock,
@@ -208,8 +208,8 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             cbox,
             execs,
             prog,
-            vals: HashMap::new(),
-            home: HashMap::new(),
+            vals: FxHashMap::default(),
+            home: FxHashMap::default(),
             home_zones,
             transit_zones,
             clock: StageClock::new(),
@@ -297,7 +297,10 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
     }
 
     fn gamma(&self, piece: &ClippedDomain2) -> Vec<Pt3> {
-        let mut out: HashSet<Pt3> = HashSet::new();
+        // Preds of adjacent points repeat, so collect with duplicates
+        // and sort + dedup once — cheaper than hashing every candidate,
+        // and the output (a sorted set) is unchanged.
+        let mut v: Vec<Pt3> = Vec::new();
         piece.for_each_point(|pt| {
             for q in pt.preds() {
                 if q.x >= 0
@@ -307,12 +310,12 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                     && q.t >= 0
                     && !piece.contains(q)
                 {
-                    out.insert(q);
+                    v.push(q);
                 }
             }
         });
-        let mut v: Vec<Pt3> = out.into_iter().collect();
         v.sort();
+        v.dedup();
         v
     }
 
@@ -375,12 +378,12 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         // Stage pillar states (borrow foreign ones, charged).
         let mut state_seeds: Vec<((i64, i64), usize, usize, usize)> = Vec::new();
         if self.m > 1 {
-            let mut pillars: HashSet<(i64, i64)> = HashSet::new();
+            let mut pillars: Vec<(i64, i64)> = Vec::new();
             piece.for_each_point(|pt| {
-                pillars.insert((pt.x, pt.y));
+                pillars.push((pt.x, pt.y));
             });
-            let mut pillars: Vec<(i64, i64)> = pillars.into_iter().collect();
             pillars.sort();
+            pillars.dedup();
             for (x, y) in pillars {
                 let hpr = self.proc_of_node(x, y);
                 let home_addr = self.state_home(x, y);
@@ -404,7 +407,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
 
         // Execute via the Theorem-5 recursion on the owner's H-RAM.
         let out_pts = self.outbound(piece);
-        let want: HashSet<Pt3> = out_pts.iter().copied().collect();
+        let want: FxHashSet<Pt3> = out_pts.iter().copied().collect();
         {
             let exec = &mut self.execs[pr];
             exec.clear_seeds();

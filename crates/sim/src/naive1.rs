@@ -10,7 +10,7 @@
 //! values crossing the processor boundary are charged `words × n/p`.
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
-use bsmp_hram::{Hram, Word};
+use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{
     linear_guest_time, DisjointSlice, ExecPolicy, LinearProgram, MachineSpec, StageClock,
     StagePool, StageScratch,
@@ -58,6 +58,37 @@ pub fn try_simulate_naive1_traced(
     plan: &FaultPlan,
     exec: ExecPolicy,
     tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive1_impl(spec, prog, init, steps, plan, exec, tracer, false)
+}
+
+/// The pre-tiling per-point reference implementation, kept as the oracle
+/// for the kernel bit-identity tests (`tests/kernels.rs`).  Reports 0
+/// `table_hits`; every other field is bit-identical to the tiled path.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_naive1_scalar(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive1_impl(spec, prog, init, steps, plan, exec, tracer, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_simulate_naive1_impl(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    tracer: &mut Tracer,
+    force_scalar: bool,
 ) -> Result<SimReport, SimError> {
     let n = spec.n as usize;
     let p = spec.p as usize;
@@ -122,6 +153,47 @@ pub fn try_simulate_naive1_traced(
     let mut next = vec![0 as Word; n];
     let (mut row_prev, mut row_next) = (va, vb);
 
+    // Plan-time cost table over the per-processor address space, plus
+    // the exact-dyadic integer-unit view when the charges allow it (d=1
+    // power-of-two m, or the instantaneous model): per-stage access
+    // metering then collapses to integer arithmetic that is bit-identical
+    // to the scalar f64 chain (see bsmp_hram::table).  The peeled tiled
+    // kernel needs at least one interior column, so tiny blocks keep the
+    // scalar loop.
+    let scalar = force_scalar || q < 3;
+    let table = CostTable::new(access, q * m + 2 * q);
+    let per_proc_accesses = (steps.max(0) as u64)
+        .saturating_mul(6)
+        .saturating_mul(q as u64);
+    let exact = table
+        .exact_units()
+        .filter(|_| table.units_budget_ok(per_proc_accesses));
+    // Per-stage row charges are input-independent: left reads touch
+    // rp..rp+q-2, right reads rp+1..rp+q-1, mine-reads rp..rp+q-1 and
+    // next-writes rn..rn+q-1, whichever processor and stage — only the
+    // row parity (which row is "previous") varies.
+    // At unit density every cell index is 0, so the block address of
+    // node `j` is just `j`: the per-stage block-address sum collapses to
+    // `q(q-1)/2`, and the block row always mirrors the previous value
+    // row (both hold the node's sole cell).  The kernel can then skip
+    // the block stores entirely and materialize the blocks once after
+    // the last stage — the meter is unchanged because exact-units
+    // accounting is order-free integer arithmetic.
+    let m1_fast = !scalar && m == 1 && exact.is_some();
+    let m1_addr_sum = (q as u64 * (q as u64 - 1)) / 2;
+    let row_units = exact.map(|e| {
+        let rows = |rp: usize, rn: usize| {
+            let lr = if q >= 2 {
+                e.span_units(rp, rp + q - 2) + e.span_units(rp + 1, rp + q - 1)
+            } else {
+                0
+            };
+            lr + e.span_units(rp, rp + q - 1) + e.span_units(rn, rn + q - 1)
+        };
+        [rows(va, vb), rows(vb, va)]
+    });
+    let mut units_total: Vec<u64> = vec![0; p];
+
     // Host processors are independent within a stage; run them on the
     // persistent worker pool when there is enough work per stage to pay
     // for the handoff (a single-thread pool otherwise — same claiming
@@ -138,7 +210,8 @@ pub fn try_simulate_naive1_traced(
     for t in 1..=steps {
         tracer.begin_stage("step");
         let tally = tracer.tally();
-        let run_proc = |pi: usize, ram: &mut Hram, next: &mut [Word]| -> f64 {
+        let stage_row_units = row_units.map(|ru| if row_prev == va { ru[0] } else { ru[1] });
+        let run_scalar = |pi: usize, ram: &mut Hram, next: &mut [Word]| -> f64 {
             let t0 = ram.time();
             let mut comm = 0.0;
             let mut msgs = 0u64;
@@ -187,19 +260,224 @@ pub fn try_simulate_naive1_traced(
             ram.time() - t0
         };
 
+        // Tiled kernel: west/east columns peeled, branch-free interior
+        // over contiguous row strips, charges served by the plan-time
+        // table.  Bit-identity: the chain mode replays the scalar loop's
+        // f64 additions in the identical order (in a register); the
+        // exact mode re-associates freely, which is lossless for dyadic
+        // charges (see bsmp_hram::table).  Requires q ≥ 3 (peeling).
+        let run_tiled = |pi: usize, ram: &mut Hram, next: &mut [Word], units: &mut u64| -> f64 {
+            ram.reserve_table(&table);
+            let t0 = ram.time();
+            let vbase = pi * q;
+            let mut comm = 0.0;
+            let mut msgs = 0u64;
+            let mut acc = ram.meter.access; // chain-mode register
+            let mut addr_sum = 0u64; // exact-mode Σ of block addresses
+            {
+                let cb = table.charges();
+                let mem = ram.mem_table(&table);
+                let (blocks, rows) = mem.split_at_mut(q * m);
+                let (ra, rb) = rows.split_at_mut(q);
+                let (rprev, rnext) = if row_prev == va {
+                    (&*ra, rb)
+                } else {
+                    (&*rb, ra)
+                };
+                let chain = exact.is_none();
+
+                if m1_fast {
+                    // West edge (j = 0).  At m = 1 the block row mirrors
+                    // the previous value row, so `own` and `mine` are
+                    // both `rprev[j]` and the block store is deferred to
+                    // the post-run fixup.
+                    let left = if pi == 0 {
+                        prog.boundary()
+                    } else {
+                        comm += hop;
+                        msgs += 1;
+                        prev[vbase - 1]
+                    };
+                    let out = prog.delta(vbase, t, rprev[0], rprev[0], left, rprev[1]);
+                    rnext[0] = out;
+                    next[0] = out;
+                    // Interior: contiguous strips, one store per point.
+                    // Only the two edge values of the global mirror row
+                    // are read cross-processor during a stage, so the
+                    // interior of `next` is published once after the
+                    // final stage instead of per point.
+                    let inner_next = &mut rnext[1..q - 1];
+                    let (wl, wc, wr) = (&rprev[..q - 2], &rprev[1..q - 1], &rprev[2..q]);
+                    for (k, (((l, c), r), nx)) in wl
+                        .iter()
+                        .zip(wc.iter())
+                        .zip(wr.iter())
+                        .zip(inner_next.iter_mut())
+                        .enumerate()
+                    {
+                        *nx = prog.delta(vbase + k + 1, t, *c, *c, *l, *r);
+                    }
+                    // East edge (j = q - 1).
+                    let j = q - 1;
+                    let right = if pi + 1 == p {
+                        prog.boundary()
+                    } else {
+                        comm += hop;
+                        msgs += 1;
+                        prev[vbase + j + 1]
+                    };
+                    let out = prog.delta(vbase + j, t, rprev[j], rprev[j], rprev[j - 1], right);
+                    rnext[j] = out;
+                    next[j] = out;
+                    addr_sum = m1_addr_sum;
+                } else {
+                    // j == 0 (west edge).
+                    let c = prog.cell(vbase, t);
+                    let own = blocks[c];
+                    let left = if pi == 0 {
+                        prog.boundary()
+                    } else {
+                        comm += hop;
+                        msgs += 1;
+                        prev[vbase - 1]
+                    };
+                    let (right, mine) = (rprev[1], rprev[0]);
+                    let out = prog.delta(vbase, t, own, mine, left, right);
+                    blocks[c] = out;
+                    rnext[0] = out;
+                    next[0] = out;
+                    if chain {
+                        acc += cb[c];
+                        acc += cb[row_prev + 1];
+                        acc += cb[row_prev];
+                        acc += cb[c];
+                        acc += cb[row_next];
+                    } else {
+                        addr_sum += c as u64;
+                    }
+
+                    // Interior 1..q-1: contiguous strips, no boundary or
+                    // ownership branches.
+                    let inner_next = &mut rnext[1..q - 1];
+                    let inner_slot = &mut next[1..q - 1];
+                    let win = rprev.windows(3);
+                    if chain {
+                        let cbp = &cb[row_prev..row_prev + q];
+                        let cbn = &cb[row_next..row_next + q];
+                        for (k, (w, (nx, slot))) in win
+                            .zip(inner_next.iter_mut().zip(inner_slot.iter_mut()))
+                            .enumerate()
+                        {
+                            let j = k + 1;
+                            let v = vbase + j;
+                            let c = prog.cell(v, t);
+                            let a = j * m + c;
+                            let own = blocks[a];
+                            acc += cb[a];
+                            acc += cbp[j - 1];
+                            acc += cbp[j + 1];
+                            acc += cbp[j];
+                            let out = prog.delta(v, t, own, w[1], w[0], w[2]);
+                            blocks[a] = out;
+                            acc += cb[a];
+                            acc += cbn[j];
+                            *nx = out;
+                            *slot = out;
+                        }
+                    } else {
+                        for (k, (w, (nx, slot))) in win
+                            .zip(inner_next.iter_mut().zip(inner_slot.iter_mut()))
+                            .enumerate()
+                        {
+                            let j = k + 1;
+                            let v = vbase + j;
+                            let c = prog.cell(v, t);
+                            let a = j * m + c;
+                            let out = prog.delta(v, t, blocks[a], w[1], w[0], w[2]);
+                            blocks[a] = out;
+                            *nx = out;
+                            *slot = out;
+                            addr_sum += a as u64;
+                        }
+                    }
+
+                    // j == q - 1 (east edge).
+                    let j = q - 1;
+                    let v = vbase + j;
+                    let c = prog.cell(v, t);
+                    let a = j * m + c;
+                    let own = blocks[a];
+                    let left = rprev[j - 1];
+                    let right = if pi + 1 == p {
+                        prog.boundary()
+                    } else {
+                        comm += hop;
+                        msgs += 1;
+                        prev[v + 1]
+                    };
+                    let mine = rprev[j];
+                    let out = prog.delta(v, t, own, mine, left, right);
+                    blocks[a] = out;
+                    rnext[j] = out;
+                    next[j] = out;
+                    if chain {
+                        acc += cb[a];
+                        acc += cb[row_prev + j - 1];
+                        acc += cb[row_prev + j];
+                        acc += cb[a];
+                        acc += cb[row_next + j];
+                    } else {
+                        addr_sum += a as u64;
+                    }
+                }
+            }
+            let accesses = 6 * q as u64 - 2;
+            match exact {
+                Some(e) => {
+                    let (base, slope) = e.affine();
+                    let block_units = 2 * q as u64 * base + 2 * slope * addr_sum;
+                    *units += block_units + stage_row_units.unwrap_or(0);
+                    ram.meter.access = e.time(*units);
+                }
+                None => ram.meter.access = acc,
+            }
+            ram.meter.ops += accesses;
+            ram.meter.add_table_hits(accesses);
+            ram.meter.add_compute(q as f64);
+            if pi > 0 {
+                comm += hop;
+                msgs += 1;
+            }
+            if pi + 1 < p {
+                comm += hop;
+                msgs += 1;
+            }
+            if let Some(tl) = tally {
+                tl.add(pi, q as u64, msgs);
+            }
+            ram.meter.add_comm(comm);
+            ram.time() - t0
+        };
+
         for (before, ram) in scratch.comm_before.iter_mut().zip(&rams) {
             *before = ram.meter.comm;
         }
         {
             let rams_slots = DisjointSlice::new(&mut rams);
             let next_slots = DisjointSlice::new(&mut next);
+            let units_slots = DisjointSlice::new(&mut units_total);
             pool.run_stage(p, &mut scratch.per_proc, |pi| {
                 // Safety: processor pi is claimed by exactly one thread;
-                // its H-RAM and its q-word chunk of `next` are touched
-                // by no one else this stage.
+                // its H-RAM, its q-word chunk of `next` and its unit
+                // accumulator are touched by no one else this stage.
                 let ram = unsafe { rams_slots.get_mut(pi) };
                 let chunk = unsafe { next_slots.slice_mut(pi * q, q) };
-                run_proc(pi, ram, chunk)
+                if scalar {
+                    run_scalar(pi, ram, chunk)
+                } else {
+                    let u = unsafe { units_slots.get_mut(pi) };
+                    run_tiled(pi, ram, chunk, u)
+                }
             })?;
         }
         for ((delta, ram), before) in scratch
@@ -214,6 +492,16 @@ pub fn try_simulate_naive1_traced(
         tracer.end_stage(stage_totals(&clock, &session.stats), pool.threads());
         std::mem::swap(&mut prev, &mut next);
         std::mem::swap(&mut row_prev, &mut row_next);
+    }
+    // Materialize the m = 1 kernel's deferred stores: the final value
+    // row *is* the final block content, and the interior of the global
+    // mirror row is published here instead of per stage.
+    if m1_fast && steps > 0 {
+        for (pi, ram) in rams.iter_mut().enumerate() {
+            let mem = ram.mem_table(&table);
+            mem.copy_within(row_prev..row_prev + q, 0);
+            prev[pi * q..(pi + 1) * q].copy_from_slice(&mem[row_prev..row_prev + q]);
+        }
     }
     settle_scenario(&mut clock, &mut session, tracer, pool.threads());
 

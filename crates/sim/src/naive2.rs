@@ -5,7 +5,7 @@
 //! `O((n/p)^{3/2})` — Proposition 1 with `d = 2`.
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
-use bsmp_hram::{Hram, Word};
+use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{
     mesh_guest_time, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram, StageClock, StagePool,
     StageScratch,
@@ -53,6 +53,37 @@ pub fn try_simulate_naive2_traced(
     plan: &FaultPlan,
     exec: ExecPolicy,
     tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive2_impl(spec, prog, init, steps, plan, exec, tracer, false)
+}
+
+/// The pre-tiling per-point reference implementation, kept as the oracle
+/// for the kernel bit-identity tests (`tests/kernels.rs`).  Reports 0
+/// `table_hits`; every other field is bit-identical to the tiled path.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_naive2_scalar(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    try_simulate_naive2_impl(spec, prog, init, steps, plan, exec, tracer, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_simulate_naive2_impl(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    tracer: &mut Tracer,
+    force_scalar: bool,
 ) -> Result<SimReport, SimError> {
     if spec.d != 2 {
         return Err(SimError::DimensionMismatch {
@@ -125,6 +156,14 @@ pub fn try_simulate_naive2_traced(
     let mut next = vec![0 as Word; n];
     let (mut row_prev, mut row_next) = (va, vb);
 
+    // Plan-time cost table over the per-processor address range.  The
+    // d = 2 charges are irrational (square roots), so the tiled kernel
+    // always runs in chain mode: a register accumulator replays the
+    // scalar loop's exact IEEE add order with table lookups, and the
+    // result is bit-identical by construction (table values come from
+    // `AccessFn::charge` itself).
+    let table = CostTable::new(access, q * m + 2 * q);
+
     // Host processors are independent within a stage: each owns its
     // H-RAM and writes a disjoint set of guest cells in `next`.
     let pool = if exec.resolved().min(sp * sp) > 1 && q >= 256 {
@@ -141,7 +180,7 @@ pub fn try_simulate_naive2_traced(
             *before = ram.meter.comm;
         }
         let next_slots = DisjointSlice::new(&mut next);
-        let run_proc = |pid: usize, ram: &mut Hram| -> f64 {
+        let run_scalar = |pid: usize, ram: &mut Hram| -> f64 {
             let (pi_, pj) = (pid % sp, pid / sp);
             let t0 = ram.time();
             let mut comm = 0.0;
@@ -206,11 +245,179 @@ pub fn try_simulate_naive2_traced(
             ram.meter.add_comm(comm);
             ram.time() - t0
         };
+        // Tiled kernel: same point order and same charge order per point
+        // (own, w, e, s, nn, mine, write-own, write-next), metered
+        // through the cost table into a register chain.  Border rows
+        // keep gated fetches; interior rows run a branch-free middle.
+        let run_tiled = |pid: usize, ram: &mut Hram| -> f64 {
+            let (pi_, pj) = (pid % sp, pid / sp);
+            ram.reserve_table(&table);
+            let t0 = ram.time();
+            let mut comm = 0.0;
+            let mut msgs = 0u64;
+            let mut acc = ram.meter.access;
+            let cb = table.charges();
+            let cbp = &cb[row_prev..row_prev + q];
+            let cbn = &cb[row_next..row_next + q];
+            let bd = prog.boundary();
+            {
+                let mem = ram.mem_table(&table);
+                let (blocks, planes) = mem.split_at_mut(q * m);
+                let (pa, pb_) = planes.split_at_mut(q);
+                let (pprev, pnext): (&[Word], &mut [Word]) = if row_prev == va {
+                    (&*pa, pb_)
+                } else {
+                    (&*pb_, pa)
+                };
+                let point = |ii: usize,
+                             jj: usize,
+                             blocks: &mut [Word],
+                             pnext: &mut [Word],
+                             acc: &mut f64,
+                             comm: &mut f64,
+                             msgs: &mut u64| {
+                    let (i, j) = (pi_ * b + ii, pj * b + jj);
+                    let c = prog.cell(i, j, t);
+                    let l = jj * b + ii;
+                    let a = l * m + c;
+                    *acc += cb[a];
+                    let own = blocks[a];
+                    let w = if ii > 0 {
+                        *acc += cbp[l - 1];
+                        pprev[l - 1]
+                    } else if pi_ > 0 {
+                        *comm += hop;
+                        *msgs += 1;
+                        prev[j * side + i - 1]
+                    } else {
+                        bd
+                    };
+                    let e = if ii + 1 < b {
+                        *acc += cbp[l + 1];
+                        pprev[l + 1]
+                    } else if pi_ + 1 < sp {
+                        *comm += hop;
+                        *msgs += 1;
+                        prev[j * side + i + 1]
+                    } else {
+                        bd
+                    };
+                    let s = if jj > 0 {
+                        *acc += cbp[l - b];
+                        pprev[l - b]
+                    } else if pj > 0 {
+                        *comm += hop;
+                        *msgs += 1;
+                        prev[(j - 1) * side + i]
+                    } else {
+                        bd
+                    };
+                    let nn = if jj + 1 < b {
+                        *acc += cbp[l + b];
+                        pprev[l + b]
+                    } else if pj + 1 < sp {
+                        *comm += hop;
+                        *msgs += 1;
+                        prev[(j + 1) * side + i]
+                    } else {
+                        bd
+                    };
+                    *acc += cbp[l];
+                    let mine = pprev[l];
+                    let out = prog.delta(i, j, t, own, mine, w, e, s, nn);
+                    *acc += cb[a];
+                    blocks[a] = out;
+                    *acc += cbn[l];
+                    pnext[l] = out;
+                    // Safety: guest cell (i, j) belongs to exactly this
+                    // processor's block — no other task writes it.
+                    unsafe {
+                        *next_slots.get_mut(j * side + i) = out;
+                    }
+                };
+                for jj in 0..b {
+                    if jj == 0 || jj + 1 == b {
+                        for ii in 0..b {
+                            point(ii, jj, blocks, pnext, &mut acc, &mut comm, &mut msgs);
+                        }
+                        continue;
+                    }
+                    point(0, jj, blocks, pnext, &mut acc, &mut comm, &mut msgs);
+                    let j = pj * b + jj;
+                    for ii in 1..b - 1 {
+                        let i = pi_ * b + ii;
+                        let c = prog.cell(i, j, t);
+                        let l = jj * b + ii;
+                        let a = l * m + c;
+                        acc += cb[a];
+                        let own = blocks[a];
+                        acc += cbp[l - 1];
+                        acc += cbp[l + 1];
+                        acc += cbp[l - b];
+                        acc += cbp[l + b];
+                        acc += cbp[l];
+                        let out = prog.delta(
+                            i,
+                            j,
+                            t,
+                            own,
+                            pprev[l],
+                            pprev[l - 1],
+                            pprev[l + 1],
+                            pprev[l - b],
+                            pprev[l + b],
+                        );
+                        acc += cb[a];
+                        blocks[a] = out;
+                        acc += cbn[l];
+                        pnext[l] = out;
+                        // Safety: as above — this block owns cell (i, j).
+                        unsafe {
+                            *next_slots.get_mut(j * side + i) = out;
+                        }
+                    }
+                    point(b - 1, jj, blocks, pnext, &mut acc, &mut comm, &mut msgs);
+                }
+            }
+            ram.meter.access = acc;
+            // Every point reads own + mine and writes twice (4q); local
+            // neighbor fetches are 4q − 4b (each edge row/column lacks
+            // one in-block neighbor), independent of comm vs boundary.
+            let accesses = 8 * q as u64 - 4 * b as u64;
+            ram.meter.ops += accesses;
+            ram.meter.add_table_hits(accesses);
+            ram.meter.add_compute(q as f64);
+            let mut sides = 0;
+            if pi_ > 0 {
+                sides += 1;
+            }
+            if pi_ + 1 < sp {
+                sides += 1;
+            }
+            if pj > 0 {
+                sides += 1;
+            }
+            if pj + 1 < sp {
+                sides += 1;
+            }
+            comm += (sides * b) as f64 * hop;
+            msgs += (sides * b) as u64;
+            if let Some(tl) = tally {
+                tl.add(pid, q as u64, msgs);
+            }
+            ram.meter.add_comm(comm);
+            ram.time() - t0
+        };
         {
             let rams_slots = DisjointSlice::new(&mut rams);
             pool.run_stage(sp * sp, &mut scratch.per_proc, |pid| {
                 // Safety: processor pid is claimed by exactly one thread.
-                run_proc(pid, unsafe { rams_slots.get_mut(pid) })
+                let ram = unsafe { rams_slots.get_mut(pid) };
+                if force_scalar {
+                    run_scalar(pid, ram)
+                } else {
+                    run_tiled(pid, ram)
+                }
             })?;
         }
         for ((delta, ram), before) in scratch
