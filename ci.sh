@@ -24,8 +24,10 @@ STATUS_BEFORE="$(git status --porcelain)"
 
 echo "==> perf smoke + regression gate (bsmp-repro bench --against)"
 # Runs the full points/sec suite with counters, then gates the fresh
-# throughput against the committed baseline: >20% points/sec regression
-# on any gated (pool-crossing) case fails CI inside the bench binary.
+# throughput against the committed baseline: >20% best-iteration
+# points/sec regression on any gated case (tiled pool-crossing, every
+# dnc/multi engine, and the sparse event-core cases) fails CI inside
+# the bench binary.
 SMOKE="$SCRATCH/bench_smoke.json"
 cargo run --release -q -p bsmp-cli -- bench --iters 3 --meta "ci-perf-smoke" \
     --trace-counters --out "$SMOKE" --against BENCH_engines.json
@@ -49,6 +51,29 @@ grep -q '"table_hits": [1-9]' "$SMOKE" || {
 }
 grep -q '"trace_counters"' "$SMOKE" || {
     echo "perf smoke FAILED: --trace-counters section missing" >&2
+    exit 1
+}
+
+echo "==> million-node scale smoke (bench --mem, event core)"
+# n = 2^20 naive1 on the sparse event core: must engage the sparse
+# path, finish inside a generous wall budget even on a loaded shared
+# host, and keep peak auxiliary state under a bytes-per-node ceiling
+# (the dense image alone would be 8 MiB; the sparse core carries a
+# one-hot frontier in tens of KiB).
+MEM_OUT="$SCRATCH/mem_probe.txt"
+cargo run --release -q -p bsmp-cli -- bench --mem | tee "$MEM_OUT"
+grep -q 'used_event_core=true' "$MEM_OUT" || {
+    echo "scale smoke FAILED: event core not engaged" >&2
+    exit 1
+}
+WALL="$(sed -n 's/.*wall_s=\([0-9.]*\).*/\1/p' "$MEM_OUT")"
+BPN="$(sed -n 's/.*bytes_per_node=\([0-9.]*\).*/\1/p' "$MEM_OUT")"
+awk -v w="$WALL" 'BEGIN { exit !(w + 0 < 30.0) }' || {
+    echo "scale smoke FAILED: wall_s=$WALL exceeds the 30 s budget" >&2
+    exit 1
+}
+awk -v b="$BPN" 'BEGIN { exit !(b + 0 < 32.0) }' || {
+    echo "scale smoke FAILED: bytes_per_node=$BPN exceeds the 32 B ceiling" >&2
     exit 1
 }
 

@@ -65,7 +65,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 &CyclicWave::new(mm),
                 &init,
                 (nn / 2) as i64,
-                Multi1Options { strip: Some(s) },
+                Multi1Options {
+                    strip: Some(s),
+                    ..Multi1Options::default()
+                },
             );
             let l = lambda(nn as f64, mm as f64, pp as f64, s as f64);
             t2.row(vec![

@@ -6,12 +6,13 @@
 //! The v2 suite covers all nine engines and reports **points/sec**
 //! (guest dag points simulated per second of host wall time, derived
 //! from the median iteration) alongside raw timings.  Cases flagged
-//! `gated` use per-processor blocks large enough to cross the stage
-//! pool's `q ≥ 256` dispatch gate — the sizes the throughput regression
-//! gate in `ci.sh` watches.  `table_hits` is the deterministic
-//! cost-table counter from one probe run (0 for engines that don't run
-//! tiled kernels).  Only *host* wall time varies across hosts — model
-//! quantities are deterministic and covered by the test suite.
+//! `gated` feed the 80% throughput regression gate in `ci.sh` — the
+//! tiled naive/pipelined engines at pool-gate-crossing scale, every
+//! dnc/multi engine, and the sparse event-core cases.  `table_hits` is
+//! the deterministic cost-table counter from one probe run (nonzero
+//! wherever a leaf kernel serves charges from a plan-time cost table).
+//! Only *host* wall time varies across hosts — model quantities are
+//! deterministic and covered by the test suite.
 
 use bsmp::machine::MachineSpec;
 use bsmp::sim::{
@@ -24,8 +25,8 @@ use bsmp::sim::{
     naive2::simulate_naive2,
     pipelined1::simulate_pipelined1,
 };
-use bsmp::workloads::{inputs, Eca, Parity3d, VonNeumannLife};
-use bsmp::{Simulation, Strategy};
+use bsmp::workloads::{inputs, Eca, Parity3d, TokenShift, VonNeumannLife};
+use bsmp::{CoreKind, Simulation, Strategy};
 
 use crate::timing::{measure, Measurement};
 
@@ -33,8 +34,11 @@ use crate::timing::{measure, Measurement};
 pub const SCHEMA: &str = "bsmp-bench-engines/v2";
 
 /// A fresh case must deliver at least this fraction of the committed
-/// baseline's points/sec on every gated case, or [`regression_gate`]
-/// fails (>20% regression).
+/// baseline's *best-iteration* points/sec on every gated case, or
+/// [`regression_gate`] fails (>20% regression).  Best-of-N is the
+/// comparison metric because medians are bimodal on shared containers
+/// (observed ±25% run-to-run) while the uncontended floor holds to a
+/// few percent.
 pub const GATE_FRACTION: f64 = 0.8;
 
 /// One benched engine case.
@@ -43,12 +47,12 @@ pub struct PerfCase {
     pub name: &'static str,
     /// Guest dag points simulated per iteration (n·T and kin).
     pub points: u64,
-    /// Does the per-processor block cross the `q ≥ 256` stage-pool
-    /// dispatch gate with p > 1?  Gated cases feed the CI throughput
-    /// regression gate.
+    /// Does this case feed the CI throughput regression gate?  True
+    /// for the tiled engines at pool-gate-crossing scale (`q ≥ 256`,
+    /// p > 1), the dnc/multi engines, and the event-core cases.
     pub gated: bool,
-    /// Cost-table hits from one probe run (deterministic; 0 for
-    /// engines without tiled kernels).
+    /// Cost-table hits from one probe run (deterministic; nonzero
+    /// wherever a leaf kernel meters through a plan-time cost table).
     pub table_hits: u64,
     pub m: Measurement,
 }
@@ -58,6 +62,13 @@ impl PerfCase {
     /// median iteration.
     pub fn pps(&self) -> f64 {
         self.points as f64 / self.m.median_s.max(1e-12)
+    }
+
+    /// Points/sec from the *best* iteration — the uncontended floor the
+    /// regression gate compares, far more stable than the median on
+    /// shared hosts.
+    pub fn best_pps(&self) -> f64 {
+        self.points as f64 / self.m.min_s.max(1e-12)
     }
 }
 
@@ -94,7 +105,7 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
             let r = simulate_naive1(&spec, &Eca::rule110(), &init, n as i64);
             (r.host_time, r.meter.table_hits)
         }));
-        cases.push(case("dnc1_n128_T128", n * n, false, iters, || {
+        cases.push(case("dnc1_n128_T128", n * n, true, iters, || {
             let r = simulate_dnc1(&spec, &Eca::rule110(), &init, n as i64);
             (r.host_time, r.meter.table_hits)
         }));
@@ -110,7 +121,7 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
             (r.host_time, r.meter.table_hits)
         }));
         let spec = MachineSpec::new(1, n, 4, 1);
-        cases.push(case("multi1_n128_p4_T128", n * n, false, iters, || {
+        cases.push(case("multi1_n128_p4_T128", n * n, true, iters, || {
             let r = simulate_multi1(&spec, &Eca::rule110(), &init, n as i64);
             (r.host_time, r.meter.table_hits)
         }));
@@ -144,13 +155,36 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
         cases.push(case(
             "multi1_n4096_p16_T64",
             n * t64 as u64,
-            false,
+            true,
             iters,
             || {
                 let r = simulate_multi1(&spec16, &Eca::rule110(), &init, t64);
                 (r.host_time, r.meter.table_hits)
             },
         ));
+    }
+
+    // ---- d = 1, event core (sparse frontier, one-hot token) ----
+    // The calendar-queue core pays per *active* point, so a one-hot
+    // TokenShift dag that nominally spans n·T points runs in
+    // milliseconds at n = 2^16 and 2^20 — the million-node M_1 target.
+    // Reports (and hence host_time) stay bit-identical to dense at
+    // every dense-reachable scale; only wall time differs.
+    for (name, n) in [
+        ("naive1ev_n65536_p16_T512", 1u64 << 16),
+        ("naive1ev_n1048576_p16_T512", 1u64 << 20),
+    ] {
+        let t = 512i64;
+        let mut hot = vec![0u64; n as usize];
+        hot[(n / 2) as usize] = 1;
+        let sim = Simulation::linear(n, 16, 1)
+            .strategy(Strategy::Naive)
+            .threads(threads)
+            .core(CoreKind::Event);
+        cases.push(case(name, n * t as u64, true, iters, move || {
+            let r = sim.run(&TokenShift::new(0), &hot, t).sim;
+            (r.host_time, r.meter.table_hits)
+        }));
     }
 
     // ---- d = 2, quick scale (continuity) ----
@@ -165,7 +199,7 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
             (r.host_time, r.meter.table_hits)
         }));
         let spec1 = MachineSpec::new(2, 256, 1, 1);
-        cases.push(case("dnc2_16x16_T16", 256 * 16, false, iters, || {
+        cases.push(case("dnc2_16x16_T16", 256 * 16, true, iters, || {
             let r = simulate_dnc2(&spec1, &VonNeumannLife::fredkin(), &init2, 16);
             (r.host_time, r.meter.table_hits)
         }));
@@ -203,7 +237,7 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
         ));
         let init32 = inputs::random_bits(5, 32 * 32);
         let spec1 = MachineSpec::new(2, 32 * 32, 1, 1);
-        cases.push(case("dnc2_32x32_T32", 32 * 32 * 32, false, iters, || {
+        cases.push(case("dnc2_32x32_T32", 32 * 32 * 32, true, iters, || {
             let r = simulate_dnc2(&spec1, &VonNeumannLife::fredkin(), &init32, 32);
             (r.host_time, r.meter.table_hits)
         }));
@@ -211,7 +245,7 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
         cases.push(case(
             "multi2_32x32_p4_T32",
             32 * 32 * 32,
-            false,
+            true,
             iters,
             || {
                 let r = simulate_multi2(&spec4, &VonNeumannLife::fredkin(), &init32, 32);
@@ -234,16 +268,10 @@ pub fn run_engine_suite(threads: usize, iters: u32) -> Vec<PerfCase> {
             },
         ));
         let init3b = inputs::random_bits(7, 12 * 12 * 12);
-        cases.push(case(
-            "dnc3_12c_T12",
-            12 * 12 * 12 * 12,
-            false,
-            iters,
-            || {
-                let r = simulate_dnc3(12, &Parity3d, &init3b, 12);
-                (r.host_time, r.meter.table_hits)
-            },
-        ));
+        cases.push(case("dnc3_12c_T12", 12 * 12 * 12 * 12, true, iters, || {
+            let r = simulate_dnc3(12, &Parity3d, &init3b, 12);
+            (r.host_time, r.meter.table_hits)
+        }));
     }
 
     cases
@@ -420,10 +448,11 @@ pub fn validate_json(doc: &str) -> Result<usize, String> {
 
 /// Compare a fresh suite against a committed baseline document: every
 /// *gated* baseline case present in the fresh suite must reach at least
-/// [`GATE_FRACTION`] of the baseline's points/sec.  Returns the number
-/// of cases checked; a missing schema tag or zero comparable gated
-/// cases is an error (the gate must never pass vacuously by schema
-/// drift).
+/// [`GATE_FRACTION`] of the baseline's best-iteration points/sec
+/// (`points / min_s` on both sides — see [`GATE_FRACTION`] for why the
+/// floor, not the median, carries the gate).  Returns the number of
+/// cases checked; a missing schema tag or zero comparable gated cases
+/// is an error (the gate must never pass vacuously by schema drift).
 pub fn regression_gate(committed: &str, fresh: &[PerfCase]) -> Result<usize, String> {
     if !committed.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
         return Err(format!("baseline is not a {SCHEMA} document"));
@@ -438,20 +467,23 @@ pub fn regression_gate(committed: &str, fresh: &[PerfCase]) -> Result<usize, Str
         let Some(name) = field_name(line) else {
             return Err(format!("unparsable baseline case: {line}"));
         };
-        let Some(base_pps) = field_f64(line, "pps") else {
-            return Err(format!("baseline case {name} has no pps"));
+        let (Some(base_min), Some(base_points)) =
+            (field_f64(line, "min_s"), field_f64(line, "points"))
+        else {
+            return Err(format!("baseline case {name} has no min_s/points"));
         };
+        let base_best = base_points / base_min.max(1e-12);
         let Some(c) = fresh.iter().find(|c| c.name == name) else {
             failures.push(format!("gated case {name} missing from fresh suite"));
             continue;
         };
         checked += 1;
-        if c.pps() < base_pps * GATE_FRACTION {
+        if c.best_pps() < base_best * GATE_FRACTION {
             failures.push(format!(
-                "{name}: {:.0} points/s < {:.0}% of baseline {:.0}",
-                c.pps(),
+                "{name}: best {:.0} points/s < {:.0}% of baseline best {:.0}",
+                c.best_pps(),
                 GATE_FRACTION * 100.0,
-                base_pps
+                base_best
             ));
         }
     }
@@ -462,6 +494,37 @@ pub fn regression_gate(committed: &str, fresh: &[PerfCase]) -> Result<usize, Str
         return Err("no gated baseline cases to check".into());
     }
     Ok(checked)
+}
+
+/// [`regression_gate`] with anti-flake retries for shared hosts: on
+/// failure, `rerun` measures a fresh suite whose per-case best
+/// iterations are merged into the running best, then the gate re-runs —
+/// up to `retries` extra attempts.  Merging maxima never manufactures
+/// throughput no run reached, so a real regression still fails every
+/// attempt; a transient slow phase of the host clears as soon as one
+/// attempt runs at normal speed.
+pub fn gate_with_retries(
+    committed: &str,
+    cases: &mut [PerfCase],
+    retries: u32,
+    mut rerun: impl FnMut() -> Vec<PerfCase>,
+) -> Result<usize, String> {
+    let mut last = regression_gate(committed, cases);
+    for _ in 0..retries {
+        if last.is_ok() {
+            return last;
+        }
+        let fresh = rerun();
+        for c in cases.iter_mut() {
+            if let Some(f) = fresh.iter().find(|f| f.name == c.name) {
+                if f.m.min_s < c.m.min_s {
+                    c.m = f.m;
+                }
+            }
+        }
+        last = regression_gate(committed, cases);
+    }
+    last
 }
 
 #[cfg(test)]
@@ -539,6 +602,36 @@ mod tests {
     }
 
     #[test]
+    fn gate_retries_clear_transient_slow_phases() {
+        let base = fake_cases();
+        let doc = to_json(&base, 1, "baseline");
+        // A run caught in a 2× slow phase fails one-shot…
+        let mut slow = vec![
+            fake_case("a", 1000, true, 0.5),
+            fake_case("b", 500, false, 3.0),
+        ];
+        assert!(regression_gate(&doc, &slow).is_err());
+        // …but one retry at normal speed merges in and clears the gate.
+        let mut calls = 0;
+        let r = gate_with_retries(&doc, &mut slow, 2, || {
+            calls += 1;
+            fake_cases()
+        });
+        assert_eq!(r, Ok(1));
+        assert_eq!(calls, 1);
+        // A real regression fails every attempt and exhausts retries.
+        let mut bad = vec![fake_case("a", 1000, true, 0.5)];
+        let mut calls = 0;
+        let err = gate_with_retries(&doc, &mut bad, 2, || {
+            calls += 1;
+            vec![fake_case("a", 1000, true, 0.5)]
+        })
+        .unwrap_err();
+        assert!(err.contains('a'), "{err}");
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
     fn trace_counters_are_deterministic_and_optional() {
         let a = run_trace_counters(1);
         let b = run_trace_counters(2);
@@ -553,10 +646,12 @@ mod tests {
             assert_eq!(x.table_hits, y.table_hits);
             assert!(x.points > 0 && x.slowdown > 0.0, "{}", x.name);
         }
-        // The tiled naive1 run serves its accesses from the table; the
-        // recursive engines report 0.
-        let naive = a.iter().find(|t| t.name.starts_with("naive1")).unwrap();
-        assert!(naive.table_hits > 0, "naive1 tiled counters missing");
+        // Every d = 1 engine now meters its leaf kernels through a
+        // plan-time cost table: the tiled naive1 run and the dnc/multi
+        // descent leaves all count hits.
+        for t in &a {
+            assert!(t.table_hits > 0, "{}: no cost-table hits", t.name);
+        }
         // Empty trace section keeps the document identical to to_json…
         let doc = to_json(&fake_cases(), 2, "x");
         assert_eq!(doc, to_json_with_traces(&fake_cases(), &[], 2, "x"));
@@ -570,22 +665,27 @@ mod tests {
     #[test]
     fn engine_suite_runs_at_tiny_scale() {
         let cases = run_engine_suite(1, 1);
-        assert!(cases.len() >= 14, "all nine engines represented");
-        assert!(cases.iter().filter(|c| c.gated).count() >= 2);
+        assert!(cases.len() >= 16, "all nine engines + event core");
+        assert!(cases.iter().filter(|c| c.gated).count() >= 11);
         for c in &cases {
             assert!(c.m.mean_s.is_finite() && c.m.mean_s >= 0.0, "{}", c.name);
             assert!(c.m.min_s <= c.m.mean_s + 1e-12, "{}", c.name);
             assert!(c.points > 0 && c.pps() > 0.0, "{}", c.name);
         }
-        // Tiled engines actually count table hits; recursive ones don't.
+        // Every engine with leaf kernels meters through the plan-time
+        // cost tables — tiled and dnc/multi descent alike.
         let hit = |n: &str| cases.iter().find(|c| c.name == n).unwrap().table_hits;
         assert!(hit("naive1_n4096_p16_T512") > 0);
         assert!(hit("naive2_64x64_p16_T64") > 0);
         assert!(hit("naive3_16c_T16") > 0);
-        assert_eq!(hit("dnc1_n128_T128"), 0);
+        assert!(hit("dnc1_n128_T128") > 0);
+        assert!(hit("multi1_n128_p4_T128") > 0);
+        assert!(hit("dnc2_16x16_T16") > 0);
+        assert!(hit("multi2_32x32_p4_T32") > 0);
         let doc = to_json(&cases, 1, "test");
         assert_eq!(validate_json(&doc), Ok(cases.len()));
         // A fresh suite always passes its own gate.
-        assert_eq!(regression_gate(&doc, &cases), Ok(2));
+        let gated = cases.iter().filter(|c| c.gated).count();
+        assert_eq!(regression_gate(&doc, &cases), Ok(gated));
     }
 }

@@ -4,14 +4,17 @@
 //! Usage:
 //!
 //! ```text
-//! bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]
-//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--against <BASELINE.json>]
+//! bsmp-repro [--quick] [--threads <N>] [--core dense|event] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]
+//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--mem] [--against <BASELINE.json>]
 //! bsmp-repro trace-validate <PATH>
 //! ```
 //!
 //! * `--quick` — the seconds-scale variant of every experiment;
 //! * `--threads <N>` — host OS threads for the stage-parallel engines
 //!   (0 = auto-detect; model costs are identical for every value);
+//! * `--core dense|event` — execution core for the demo runs: the dense
+//!   stage loop or the discrete-event sparse core (model costs are
+//!   bit-identical; only wall-clock and footprint change);
 //! * `--slow <ν>` — run a faulted demo sweep with a uniform link
 //!   slowdown ν ≥ 1 before the experiment tables;
 //! * `--fault-seed <s>` — seed for the demo sweep's jitter/loss/crash
@@ -27,15 +30,17 @@
 //!   the wall-clock baseline as JSON (default `BENCH_engines.json`);
 //!   with `--against <BASELINE.json>` the fresh points/sec figures are
 //!   gated against a committed baseline (exit 1 on a >20% regression on
-//!   any gated case);
+//!   any gated case); with `--mem` only the event-core footprint probe
+//!   runs: a million-node `naive1` run on the sparse core, reporting
+//!   peak resident bytes and bytes per guest node;
 //! * `trace-validate <PATH>` — parse a trace log and check every
 //!   structural invariant plus the Theorem-1 regime tag, then exit.
 //!
 //! Exit status: 0 on success, 1 on an engine/validation error, 2 on bad
 //! command-line arguments.
 
-use bsmp::workloads::{inputs, Eca};
-use bsmp::{FaultPlan, Simulation, Strategy};
+use bsmp::workloads::{inputs, Eca, TokenShift};
+use bsmp::{CoreKind, FaultPlan, MachineSpec, Simulation, Strategy};
 use bsmp_bench::{all_experiments, perf, Scale};
 
 struct Args {
@@ -45,6 +50,7 @@ struct Args {
     fault_seed: Option<u64>,
     faults_path: Option<String>,
     threads: usize,
+    core: CoreKind,
     bench: Option<BenchArgs>,
     trace_out: Option<String>,
     trace_validate: Option<String>,
@@ -55,6 +61,7 @@ struct BenchArgs {
     meta: String,
     iters: u32,
     trace_counters: bool,
+    mem: bool,
     against: Option<String>,
 }
 
@@ -66,6 +73,7 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
         fault_seed: None,
         faults_path: None,
         threads: 0,
+        core: CoreKind::Dense,
         bench: None,
         trace_out: None,
         trace_validate: None,
@@ -79,6 +87,11 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                 args.threads = v
                     .parse()
                     .map_err(|_| format!("--threads: `{v}` is not a thread count"))?;
+            }
+            "--core" => {
+                let v = it.next().ok_or("--core requires `dense` or `event`")?;
+                args.core = CoreKind::parse(v)
+                    .ok_or_else(|| format!("--core: `{v}` is not a core (dense|event)"))?;
             }
             "--slow" => {
                 let v = it.next().ok_or("--slow requires a value (ν ≥ 1)")?;
@@ -112,6 +125,7 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     meta: String::new(),
                     iters: 5,
                     trace_counters: false,
+                    mem: false,
                     against: None,
                 });
             }
@@ -145,6 +159,10 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
             "--trace-counters" => match &mut args.bench {
                 Some(b) => b.trace_counters = true,
                 None => return Err("--trace-counters is only valid after `bench`".into()),
+            },
+            "--mem" => match &mut args.bench {
+                Some(b) => b.mem = true,
+                None => return Err("--mem is only valid after `bench`".into()),
             },
             "--against" => {
                 let v = it.next().ok_or("--against requires a baseline path")?;
@@ -186,11 +204,16 @@ fn load_plan(path: &str) -> Result<FaultPlan, String> {
 /// The `--slow`/`--fault-seed`/`--faults` demo: one TwoRegime run under
 /// the scenario plan, checked against the clean run, reported as a
 /// small markdown table.
-fn fault_sweep(plan: &FaultPlan, label: &str, input_seed: u64) -> Result<(), bsmp::SimError> {
+fn fault_sweep(
+    plan: &FaultPlan,
+    label: &str,
+    input_seed: u64,
+    core: CoreKind,
+) -> Result<(), bsmp::SimError> {
     let (n, p, steps) = (64u64, 4u64, 64i64);
     let init = inputs::random_bits(input_seed, n as usize);
     let prog = Eca::rule110();
-    let sim = Simulation::try_linear(n, p, 1)?;
+    let sim = Simulation::try_linear(n, p, 1)?.core(core);
     let base = sim
         .strategy(Strategy::TwoRegime)
         .try_run(&prog, &init, steps)?;
@@ -223,13 +246,19 @@ fn fault_sweep(plan: &FaultPlan, label: &str, input_seed: u64) -> Result<(), bsm
 /// The `--trace` demo: one traced TwoRegime run (faulted if `--slow`
 /// or `--faults` was given), validated, then written as `bsmp-trace/v1`
 /// JSON.
-fn trace_demo(path: &str, plan: Option<&FaultPlan>, input_seed: u64) -> Result<(), String> {
+fn trace_demo(
+    path: &str,
+    plan: Option<&FaultPlan>,
+    input_seed: u64,
+    core: CoreKind,
+) -> Result<(), String> {
     let (n, p, steps) = (64u64, 4u64, 64i64);
     let init = inputs::random_bits(input_seed, n as usize);
     let prog = Eca::rule110();
     let mut sim = Simulation::try_linear(n, p, 1)
         .map_err(|e| e.to_string())?
-        .strategy(Strategy::TwoRegime);
+        .strategy(Strategy::TwoRegime)
+        .core(core);
     if let Some(plan) = plan {
         sim = sim.faults(*plan);
     }
@@ -246,6 +275,33 @@ fn trace_demo(path: &str, plan: Option<&FaultPlan>, input_seed: u64) -> Result<(
         trace.summary.brent_term,
         trace.summary.locality_term,
         trace.summary.regime,
+    );
+    Ok(())
+}
+
+/// The `bench --mem` probe: one million-node `naive1` run on the
+/// event core, reporting wall-clock, peak resident footprint, and
+/// bytes per guest node.  The output line is machine-parsable (ci.sh
+/// asserts a bytes-per-node budget on it).
+fn mem_probe() -> Result<(), bsmp::SimError> {
+    let n = 1u64 << 20;
+    let steps = 512i64;
+    let mut init = vec![0u64; n as usize];
+    init[(n / 2) as usize] = 1;
+    let spec = MachineSpec::new(1, n, 16, 1);
+    let t0 = std::time::Instant::now();
+    let (rep, st) =
+        bsmp::sim::event1::naive1_event_footprint(&spec, &TokenShift::new(0), &init, steps)?;
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "mem-probe naive1 n={n} T={steps} core=event used_event_core={} wall_s={wall:.3} \
+         peak_bytes={} bytes_per_node={:.3} peak_active={} total_active={} host_time={:.6e}",
+        st.used_event_core,
+        st.peak_bytes,
+        st.bytes_per_node(),
+        st.peak_active,
+        st.total_active,
+        rep.host_time,
     );
     Ok(())
 }
@@ -273,8 +329,8 @@ fn main() {
         Err(msg) => {
             eprintln!("bsmp-repro: {msg}");
             eprintln!(
-                "usage: bsmp-repro [--quick] [--threads <N>] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]\n\
-                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--against <BASELINE.json>]\n\
+                "usage: bsmp-repro [--quick] [--threads <N>] [--core dense|event] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]\n\
+                 \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--mem] [--against <BASELINE.json>]\n\
                  \x20      bsmp-repro trace-validate <PATH>"
             );
             std::process::exit(2);
@@ -325,6 +381,13 @@ fn main() {
     bsmp::set_default_threads(args.threads);
 
     if let Some(bench) = &args.bench {
+        if bench.mem {
+            if let Err(e) = mem_probe() {
+                eprintln!("bsmp-repro: bench --mem: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
         let cases = perf::run_engine_suite(args.threads, bench.iters);
         let traces = if bench.trace_counters {
             perf::run_trace_counters(args.threads)
@@ -360,7 +423,13 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            match perf::regression_gate(&committed, &cases) {
+            // Two re-measurement attempts absorb transient slow phases
+            // of shared hosts; a real regression fails all three.
+            let mut gated = cases.clone();
+            match perf::gate_with_retries(&committed, &mut gated, 2, || {
+                eprintln!("bsmp-repro: gate failed; re-measuring (transient host slow phase?)");
+                perf::run_engine_suite(args.threads, bench.iters)
+            }) {
                 Ok(n) => println!(
                     "regression gate vs {base_path}: {n} gated case(s) within {:.0}% of baseline",
                     perf::GATE_FRACTION * 100.0
@@ -375,14 +444,14 @@ fn main() {
     }
 
     if let Some(path) = &args.trace_out {
-        if let Err(msg) = trace_demo(path, plan.as_ref(), input_seed) {
+        if let Err(msg) = trace_demo(path, plan.as_ref(), input_seed, args.core) {
             eprintln!("bsmp-repro: trace: {msg}");
             std::process::exit(1);
         }
     }
 
     if let Some(plan) = &plan {
-        if let Err(e) = fault_sweep(plan, &plan_label, input_seed) {
+        if let Err(e) = fault_sweep(plan, &plan_label, input_seed, args.core) {
             eprintln!("bsmp-repro: fault sweep failed: {e}");
             std::process::exit(1);
         }

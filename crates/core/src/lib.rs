@@ -78,7 +78,7 @@ pub use bsmp_workloads as workloads;
 pub use bsmp_faults::{FaultPlan, FaultStats, PlanParseError};
 pub use bsmp_hram::{CostModel, Word};
 pub use bsmp_machine::{
-    set_default_threads, ExecPolicy, LinearProgram, MachineSpec, MeshProgram, SpecError,
+    set_default_threads, CoreKind, ExecPolicy, LinearProgram, MachineSpec, MeshProgram, SpecError,
 };
 pub use bsmp_sim::{SimError, SimReport};
 pub use bsmp_trace::{RunTrace, Tracer};
@@ -108,6 +108,7 @@ pub struct Simulation {
     strategy: Strategy,
     faults: FaultPlan,
     exec: ExecPolicy,
+    core: CoreKind,
 }
 
 impl Simulation {
@@ -125,6 +126,7 @@ impl Simulation {
             strategy: Strategy::Auto,
             faults: FaultPlan::none(),
             exec: ExecPolicy::auto(),
+            core: CoreKind::Dense,
         })
     }
 
@@ -142,6 +144,7 @@ impl Simulation {
             strategy: Strategy::Auto,
             faults: FaultPlan::none(),
             exec: ExecPolicy::auto(),
+            core: CoreKind::Dense,
         })
     }
 
@@ -181,6 +184,17 @@ impl Simulation {
     /// Set the full host execution policy (see [`ExecPolicy`]).
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Choose the execution core: the dense stage loop
+    /// ([`CoreKind::Dense`], the default) or the discrete-event sparse
+    /// core ([`CoreKind::Event`]) whose per-stage work is proportional
+    /// to the active points.  Reports are bit-identical across cores;
+    /// engines fall back to the dense loop when a run does not satisfy
+    /// the event-core preconditions.
+    pub fn core(mut self, core: CoreKind) -> Self {
+        self.core = core;
         self
     }
 
@@ -226,8 +240,15 @@ impl Simulation {
         }
         let plan = &self.faults;
         let sim = match self.resolve() {
-            Strategy::Naive => bsmp_sim::naive1::try_simulate_naive1_exec(
-                &self.spec, prog, init, steps, plan, self.exec,
+            Strategy::Naive => bsmp_sim::naive1::try_simulate_naive1_core(
+                &self.spec,
+                prog,
+                init,
+                steps,
+                plan,
+                self.exec,
+                self.core,
+                &mut Tracer::off(),
             )?,
             Strategy::DivideAndConquer => {
                 bsmp_sim::dnc1::try_simulate_dnc1_faulted(&self.spec, prog, init, steps, plan)?
@@ -238,13 +259,27 @@ impl Simulation {
                 } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
                     .is_some()
                 {
-                    bsmp_sim::multi1::try_simulate_multi1_faulted(
-                        &self.spec, prog, init, steps, plan,
+                    bsmp_sim::multi1::try_simulate_multi1_core(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        bsmp_sim::multi1::Multi1Options::default(),
+                        plan,
+                        self.core,
+                        &mut Tracer::off(),
                     )?
                 } else {
                     // No admissible strip width (e.g. prime n): naive.
-                    bsmp_sim::naive1::try_simulate_naive1_exec(
-                        &self.spec, prog, init, steps, plan, self.exec,
+                    bsmp_sim::naive1::try_simulate_naive1_core(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        plan,
+                        self.exec,
+                        self.core,
+                        &mut Tracer::off(),
                     )?
                 }
             }
@@ -284,13 +319,14 @@ impl Simulation {
         let plan = &self.faults;
         let mut tracer = Tracer::recording();
         let sim = match self.resolve() {
-            Strategy::Naive => bsmp_sim::naive1::try_simulate_naive1_traced(
+            Strategy::Naive => bsmp_sim::naive1::try_simulate_naive1_core(
                 &self.spec,
                 prog,
                 init,
                 steps,
                 plan,
                 self.exec,
+                self.core,
                 &mut tracer,
             )?,
             Strategy::DivideAndConquer => bsmp_sim::dnc1::try_simulate_dnc1_faulted_traced(
@@ -314,23 +350,25 @@ impl Simulation {
                 } else if bsmp_sim::multi1::engine_strip(self.spec.n, self.spec.m, self.spec.p)
                     .is_some()
                 {
-                    bsmp_sim::multi1::try_simulate_multi1_traced(
+                    bsmp_sim::multi1::try_simulate_multi1_core(
                         &self.spec,
                         prog,
                         init,
                         steps,
                         bsmp_sim::multi1::Multi1Options::default(),
                         plan,
+                        self.core,
                         &mut tracer,
                     )?
                 } else {
-                    bsmp_sim::naive1::try_simulate_naive1_traced(
+                    bsmp_sim::naive1::try_simulate_naive1_core(
                         &self.spec,
                         prog,
                         init,
                         steps,
                         plan,
                         self.exec,
+                        self.core,
                         &mut tracer,
                     )?
                 }
@@ -384,8 +422,15 @@ impl Simulation {
         }
         let plan = &self.faults;
         let sim = match self.resolve() {
-            Strategy::Naive => bsmp_sim::naive2::try_simulate_naive2_exec(
-                &self.spec, prog, init, steps, plan, self.exec,
+            Strategy::Naive => bsmp_sim::naive2::try_simulate_naive2_core(
+                &self.spec,
+                prog,
+                init,
+                steps,
+                plan,
+                self.exec,
+                self.core,
+                &mut Tracer::off(),
             )?,
             Strategy::DivideAndConquer => {
                 bsmp_sim::dnc2::try_simulate_dnc2_faulted(&self.spec, prog, init, steps, plan)?
@@ -394,14 +439,27 @@ impl Simulation {
                 if self.spec.p == 1 {
                     bsmp_sim::dnc2::try_simulate_dnc2_faulted(&self.spec, prog, init, steps, plan)?
                 } else if self.spec.mesh_side() / self.spec.proc_side() >= 2 {
-                    bsmp_sim::multi2::try_simulate_multi2_faulted(
-                        &self.spec, prog, init, steps, plan,
+                    bsmp_sim::multi2::try_simulate_multi2_core(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        plan,
+                        self.core,
+                        &mut Tracer::off(),
                     )?
                 } else {
                     // Block side 1: the honeycomb scheme degenerates —
                     // fall back to the naive engine.
-                    bsmp_sim::naive2::try_simulate_naive2_exec(
-                        &self.spec, prog, init, steps, plan, self.exec,
+                    bsmp_sim::naive2::try_simulate_naive2_core(
+                        &self.spec,
+                        prog,
+                        init,
+                        steps,
+                        plan,
+                        self.exec,
+                        self.core,
+                        &mut Tracer::off(),
                     )?
                 }
             }
@@ -433,13 +491,14 @@ impl Simulation {
         let plan = &self.faults;
         let mut tracer = Tracer::recording();
         let sim = match self.resolve() {
-            Strategy::Naive => bsmp_sim::naive2::try_simulate_naive2_traced(
+            Strategy::Naive => bsmp_sim::naive2::try_simulate_naive2_core(
                 &self.spec,
                 prog,
                 init,
                 steps,
                 plan,
                 self.exec,
+                self.core,
                 &mut tracer,
             )?,
             Strategy::DivideAndConquer => bsmp_sim::dnc2::try_simulate_dnc2_faulted_traced(
@@ -461,22 +520,24 @@ impl Simulation {
                         &mut tracer,
                     )?
                 } else if self.spec.mesh_side() / self.spec.proc_side() >= 2 {
-                    bsmp_sim::multi2::try_simulate_multi2_traced(
+                    bsmp_sim::multi2::try_simulate_multi2_core(
                         &self.spec,
                         prog,
                         init,
                         steps,
                         plan,
+                        self.core,
                         &mut tracer,
                     )?
                 } else {
-                    bsmp_sim::naive2::try_simulate_naive2_traced(
+                    bsmp_sim::naive2::try_simulate_naive2_core(
                         &self.spec,
                         prog,
                         init,
                         steps,
                         plan,
                         self.exec,
+                        self.core,
                         &mut tracer,
                     )?
                 }
@@ -694,6 +755,26 @@ mod tests {
             r.sim.assert_matches(&serial.sim.mem, &serial.sim.values);
             assert_eq!(r.sim.host_time.to_bits(), serial.sim.host_time.to_bits());
             assert_eq!(r.sim.stages, serial.sim.stages);
+        }
+    }
+
+    #[test]
+    fn core_setting_is_cost_invariant() {
+        // The event core must report bit-identical model costs through
+        // the façade, for both the naive and two-regime schemes.
+        let init = inputs::random_bits(68, 64);
+        for strategy in [Strategy::Naive, Strategy::TwoRegime] {
+            let dense =
+                Simulation::linear(64, 4, 1)
+                    .strategy(strategy)
+                    .run(&Eca::rule110(), &init, 32);
+            let event = Simulation::linear(64, 4, 1)
+                .strategy(strategy)
+                .core(CoreKind::Event)
+                .run(&Eca::rule110(), &init, 32);
+            event.sim.assert_matches(&dense.sim.mem, &dense.sim.values);
+            assert_eq!(event.sim.host_time.to_bits(), dense.sim.host_time.to_bits());
+            assert_eq!(event.sim.stages, dense.sim.stages);
         }
     }
 

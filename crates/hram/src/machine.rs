@@ -62,6 +62,37 @@ impl Hram {
         self.mem[addr] = w;
     }
 
+    /// [`Hram::read`] with the charge served from a precomputed
+    /// [`CostTable`] when `addr` is inside the table's range (counted in
+    /// `table_hits`), falling back to the `AccessFn` evaluation above it.
+    /// The table memoizes `AccessFn::charge` verbatim, so the metered
+    /// stream is bit-identical to the plain read either way.
+    #[inline]
+    pub fn read_via(&mut self, table: &CostTable, addr: usize) -> Word {
+        self.touch(addr);
+        if let Some(&c) = table.charges().get(addr) {
+            self.meter.add_access(c);
+            self.meter.add_table_hits(1);
+        } else {
+            self.meter.add_access(self.access.charge(addr));
+        }
+        self.mem[addr]
+    }
+
+    /// [`Hram::write`] with the charge served from a precomputed
+    /// [`CostTable`] (see [`Hram::read_via`]).
+    #[inline]
+    pub fn write_via(&mut self, table: &CostTable, addr: usize, w: Word) {
+        self.touch(addr);
+        if let Some(&c) = table.charges().get(addr) {
+            self.meter.add_access(c);
+            self.meter.add_table_hits(1);
+        } else {
+            self.meter.add_access(self.access.charge(addr));
+        }
+        self.mem[addr] = w;
+    }
+
     /// Charged data relocation (read at `src`, write at `dst`), metered
     /// under `transfer` — the Proposition-2 preboundary copies.
     #[inline]

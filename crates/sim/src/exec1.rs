@@ -26,7 +26,7 @@
 use bsmp_machine::FxHashMap;
 
 use bsmp_geometry::{ClippedDiamond, Diamond, IRect, Pt2};
-use bsmp_hram::{Hram, Word};
+use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{LinearProgram, MachineSpec};
 
 use crate::error::SimError;
@@ -205,6 +205,14 @@ pub struct DiamondExec<'a, P: LinearProgram> {
     levels: Vec<LevelBufs>,
     /// Diamonds with `h ≤ leaf_h` are executed naively.
     pub leaf_h: i64,
+    /// Plan-time charge table covering the leaf scratch band: the
+    /// execute loop's operand reads and result writes take their
+    /// `1 + f(x)` from here (counted in `table_hits`) instead of
+    /// re-evaluating the access function per access.  The table memoizes
+    /// [`bsmp_hram::AccessFn::charge`] verbatim, so meters stay
+    /// bit-identical; addresses above the table fall back to the scalar
+    /// evaluation.
+    table: CostTable,
     /// Debug oracle: expected value per vertex (tests only).
     #[doc(hidden)]
     pub oracle: Option<FxHashMap<Pt2, Word>>,
@@ -217,6 +225,13 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
         let n = spec.n as i64;
         let m = prog.m();
         assert_eq!(m as u64, spec.m);
+        // Leaf scratch bound: a radius-h diamond has ≤ 2h² + 2h + 1
+        // points, ≤ 6h + 8 preboundary slots (lattice plus input row),
+        // and ≤ (2h + 1)·m state words.  Capped so degenerate leaf
+        // choices cannot balloon the table.
+        let h = leaf_h.max(1) as usize;
+        let leaf_span = (2 * h * h + 2 * h + 1 + 6 * h + 8 + (2 * h + 1) * m).min(1 << 20);
+        let table = CostTable::new(spec.access_fn(), leaf_span);
         DiamondExec {
             prog,
             n,
@@ -232,6 +247,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
             leaf_gamma: Vec::new(),
             levels: Vec::new(),
             leaf_h: leaf_h.max(1),
+            table,
             oracle: None,
         }
     }
@@ -746,7 +762,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
                             })?
                     }
                 };
-                Ok(me.ram.read(a))
+                Ok(me.ram.read_via(&me.table, a))
             };
             let prev = read_val(self, Pt2::new(p.x, t - 1))?;
             let left = read_val(self, Pt2::new(p.x - 1, t - 1))?;
@@ -756,7 +772,7 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
                 let ci = cols_u.binary_search(&p.x).map_err(|_| SimError::Internal {
                     what: "column state missing in leaf",
                 })?;
-                self.ram.read(st_base0 + ci * self.m + c)
+                self.ram.read_via(&self.table, st_base0 + ci * self.m + c)
             } else {
                 prev
             };
@@ -773,9 +789,10 @@ impl<'a, P: LinearProgram> DiamondExec<'a, P> {
                 let ci = cols_u.binary_search(&p.x).map_err(|_| SimError::Internal {
                     what: "column state missing in leaf",
                 })?;
-                self.ram.write(st_base0 + ci * self.m + c, out);
+                self.ram
+                    .write_via(&self.table, st_base0 + ci * self.m + c, out);
             }
-            self.ram.write(i, out);
+            self.ram.write_via(&self.table, i, out);
         }
 
         // Park wanted values (`want` is sorted: deterministic addresses).

@@ -18,7 +18,7 @@
 use bsmp_machine::{FxHashMap, FxHashSet};
 
 use bsmp_geometry::{ClippedDomain2, Domain2, IBox, Pt3};
-use bsmp_hram::{Hram, Word};
+use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{MachineSpec, MeshProgram};
 
 use crate::error::SimError;
@@ -41,6 +41,11 @@ pub struct CellExec<'a, P: MeshProgram> {
     state: FxHashMap<(i64, i64), usize>,
     space_memo: FxHashMap<ShapeKey, usize>,
     pub leaf_h: i64,
+    /// Plan-time charge table covering the leaf scratch band (see
+    /// `DiamondExec::table`): the execute loop's reads/writes take
+    /// their `1 + f(x)` from here, counted in `table_hits`, with scalar
+    /// fallback above the table.  Meters stay bit-identical.
+    table: CostTable,
 }
 
 impl<'a, P: MeshProgram> CellExec<'a, P> {
@@ -50,6 +55,12 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
         let side = spec.mesh_side() as i64;
         let m = prog.m();
         assert_eq!(m as u64, spec.m);
+        // Leaf scratch bound: a radius-h cell has ≤ (2h + 1)³ points,
+        // O(h²) preboundary slots, and ≤ (2h + 1)²·m state words.
+        // Capped so degenerate leaf choices cannot balloon the table.
+        let h = 2 * leaf_h.max(1) as usize + 1;
+        let leaf_span = (h * h * h + 6 * h * h + h * h * m + 8).min(1 << 20);
+        let table = CostTable::new(spec.access_fn(), leaf_span);
         CellExec {
             prog,
             side,
@@ -61,6 +72,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             state: FxHashMap::default(),
             space_memo: FxHashMap::default(),
             leaf_h: leaf_h.max(1),
+            table,
         }
     }
 
@@ -378,7 +390,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
                 let a = *slot.get(&q).ok_or(SimError::Internal {
                     what: "operand unavailable in leaf",
                 })?;
-                Ok(me.ram.read(a))
+                Ok(me.ram.read_via(&me.table, a))
             };
             let prev = read_val(self, Pt3::new(x, y, t - 1))?;
             let west = read_val(self, Pt3::new(x - 1, y, t - 1))?;
@@ -387,7 +399,7 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             let north = read_val(self, Pt3::new(x, y + 1, t - 1))?;
             let own = if self.m > 1 {
                 let c = self.prog.cell(x as usize, y as usize, t);
-                self.ram.read(st_base[&(x, y)] + c)
+                self.ram.read_via(&self.table, st_base[&(x, y)] + c)
             } else {
                 prev
             };
@@ -397,9 +409,9 @@ impl<'a, P: MeshProgram> CellExec<'a, P> {
             self.ram.compute();
             if self.m > 1 {
                 let c = self.prog.cell(x as usize, y as usize, t);
-                self.ram.write(st_base[&(x, y)] + c, out);
+                self.ram.write_via(&self.table, st_base[&(x, y)] + c, out);
             }
-            self.ram.write(i, out);
+            self.ram.write_via(&self.table, i, out);
             self.live.insert(*p, i);
         }
 

@@ -33,6 +33,8 @@ pub mod dnc1;
 pub mod dnc2;
 pub mod dnc3;
 pub mod error;
+pub mod event1;
+pub mod event2;
 pub mod exec1;
 pub mod exec2;
 pub mod exec3;

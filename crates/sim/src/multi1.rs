@@ -46,7 +46,9 @@ use bsmp_machine::{FxHashMap, FxHashSet};
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{diamond_cover, ClippedDiamond, IRect, Pt2};
 use bsmp_hram::Word;
-use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock, StageScratch};
+use bsmp_machine::{
+    linear_guest_time, CoreKind, EventQueue, LinearProgram, MachineSpec, StageClock, StageScratch,
+};
 use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
@@ -140,6 +142,12 @@ pub struct Multi1Options {
     /// Strip width `s`; `None` selects the paper's `s*` (rounded to a
     /// power of two dividing `n/p`-compatible grids).
     pub strip: Option<u64>,
+    /// Execution core: the dense tile loop, or the discrete-event
+    /// calendar that drains `D(ps)` tiles by center time.  Reports are
+    /// bit-identical either way (the tile cover is emitted in
+    /// non-decreasing center-time order, which the calendar replays
+    /// verbatim).
+    pub core: CoreKind,
 }
 
 /// Pick the engine's strip width: the admissible width (`s | n`,
@@ -240,6 +248,31 @@ pub fn try_simulate_multi1_traced(
     rep
 }
 
+/// [`try_simulate_multi1_traced`] with an explicit execution core: the
+/// dense tile loop or the discrete-event calendar ([`CoreKind::Event`]).
+/// Reports are bit-identical across cores.
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_multi1_core(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    opts: Multi1Options,
+    plan: &FaultPlan,
+    core: CoreKind,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    try_simulate_multi1_traced(
+        spec,
+        prog,
+        init,
+        steps,
+        Multi1Options { core, ..opts },
+        plan,
+        tracer,
+    )
+}
+
 /// Simulate with explicit options (strip-width sweeps for experiment E9).
 pub fn simulate_multi1_opt(
     spec: &MachineSpec,
@@ -290,6 +323,7 @@ struct Engine<'a, P: LinearProgram> {
     debug_ctx: String,
     session: FaultSession,
     tracer: Tracer,
+    core: CoreKind,
 }
 
 impl<'a, P: LinearProgram> Engine<'a, P> {
@@ -403,6 +437,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             debug_ctx: String::new(),
             session,
             tracer: Tracer::off(),
+            core: opts.core,
         })
     }
 
@@ -1061,8 +1096,27 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         }
         let hp = ((self.p * self.s) / 2) as i64;
         let tiles = diamond_cover(self.cbox, hp, Pt2::new(0, 0));
-        for tile in tiles {
-            self.run_tile(&tile)?;
+        match self.core {
+            CoreKind::Dense => {
+                for tile in tiles {
+                    self.run_tile(&tile)?;
+                }
+            }
+            CoreKind::Event => {
+                // Calendar drain keyed by tile center time.  The cover is
+                // sorted by (ct, cx) and buckets pop FIFO, so the drained
+                // sequence is exactly the dense iteration order — the
+                // meters stay bit-identical.
+                let mut cal = EventQueue::new();
+                for tile in tiles {
+                    cal.schedule(tile.d.ct, tile);
+                }
+                while let Some((_ct, batch)) = cal.pop_stage() {
+                    for tile in &batch {
+                        self.run_tile(tile)?;
+                    }
+                }
+            }
         }
         // For m = 1 the node state *is* the value: write the final row
         // back into the strip homes (charged — the host must leave the
@@ -1267,7 +1321,10 @@ mod tests {
                 &Eca::rule110(),
                 &init,
                 n as i64,
-                Multi1Options { strip: Some(s) },
+                Multi1Options {
+                    strip: Some(s),
+                    ..Multi1Options::default()
+                },
             );
             rep.assert_matches(&guest.mem, &guest.values);
         }
@@ -1303,7 +1360,10 @@ mod tests {
                 &Eca::rule110(),
                 &init,
                 8,
-                Multi1Options { strip: Some(3) },
+                Multi1Options {
+                    strip: Some(3),
+                    ..Multi1Options::default()
+                },
                 &FaultPlan::none(),
             ),
             Err(SimError::InvalidStrip { s: 3, .. })

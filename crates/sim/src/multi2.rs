@@ -32,7 +32,9 @@ use bsmp_machine::{FxHashMap, FxHashSet};
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
 use bsmp_hram::Word;
-use bsmp_machine::{mesh_guest_time, MachineSpec, MeshProgram, StageClock, StageScratch};
+use bsmp_machine::{
+    mesh_guest_time, CoreKind, EventQueue, MachineSpec, MeshProgram, StageClock, StageScratch,
+};
 use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
@@ -63,6 +65,22 @@ pub fn try_simulate_multi2_traced(
     plan: &FaultPlan,
     tracer: &mut Tracer,
 ) -> Result<SimReport, SimError> {
+    try_simulate_multi2_core(spec, prog, init, steps, plan, CoreKind::Dense, tracer)
+}
+
+/// [`try_simulate_multi2_traced`] with an explicit execution core: the
+/// dense cell loop or the discrete-event calendar ([`CoreKind::Event`])
+/// that drains honeycomb cells by projection-center time sum.  Reports
+/// are bit-identical across cores.
+pub fn try_simulate_multi2_core(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    core: CoreKind,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
     let expected = spec.n as usize * prog.m();
     if init.len() != expected {
         return Err(SimError::InitLength {
@@ -71,7 +89,7 @@ pub fn try_simulate_multi2_traced(
         });
     }
     plan.validate()?;
-    let mut eng = Engine2::new(spec, prog, steps, plan)?;
+    let mut eng = Engine2::new(spec, prog, steps, plan, core)?;
     eng.tracer = std::mem::take(tracer);
     eng.tracer.ensure_procs(spec.p as usize);
     let rep = eng.run(init).and_then(|()| eng.finish(spec, prog, steps));
@@ -122,6 +140,7 @@ struct Engine2<'a, P: MeshProgram> {
     tracer: Tracer,
     tile_space: usize,
     state_base: usize,
+    core: CoreKind,
 }
 
 impl<'a, P: MeshProgram> Engine2<'a, P> {
@@ -130,6 +149,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         prog: &'a P,
         steps: i64,
         plan: &FaultPlan,
+        core: CoreKind,
     ) -> Result<Self, SimError> {
         if spec.d != 2 {
             return Err(SimError::DimensionMismatch {
@@ -218,6 +238,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             tracer: Tracer::off(),
             tile_space,
             state_base,
+            core,
         })
     }
 
@@ -508,17 +529,44 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
         let hb = (self.b / 2).max(1) as i64;
         let cells = cell_cover(self.cbox, hb, Pt3::new(0, 0, 0));
         // Stage rows: group by the projection-center time sum.
-        let mut last_key = i64::MIN;
         self.begin_stage("cells");
-        for cell in cells {
-            let key = cell.cell.dx.ct + cell.cell.dy.ct;
-            if key != last_key && last_key != i64::MIN {
-                self.close_stage()?;
-                self.begin_stage("cells");
-                self.gc(key / 2 - 2 * hb)?;
+        match self.core {
+            CoreKind::Dense => {
+                let mut last_key = i64::MIN;
+                for cell in cells {
+                    let key = cell.cell.dx.ct + cell.cell.dy.ct;
+                    if key != last_key && last_key != i64::MIN {
+                        self.close_stage()?;
+                        self.begin_stage("cells");
+                        self.gc(key / 2 - 2 * hb)?;
+                    }
+                    last_key = key;
+                    self.run_cell(&cell)?;
+                }
             }
-            last_key = key;
-            self.run_cell(&cell)?;
+            CoreKind::Event => {
+                // Calendar drain keyed by the projection-center time sum.
+                // The cover is sorted by (key, dx.cx, dy.cx) and buckets
+                // pop FIFO, so each popped bucket is exactly one dense
+                // stage row in the dense order — meters stay
+                // bit-identical.
+                let mut cal = EventQueue::new();
+                for cell in cells {
+                    cal.schedule(cell.cell.dx.ct + cell.cell.dy.ct, cell);
+                }
+                let mut first = true;
+                while let Some((key, row)) = cal.pop_stage() {
+                    if !first {
+                        self.close_stage()?;
+                        self.begin_stage("cells");
+                        self.gc(key / 2 - 2 * hb)?;
+                    }
+                    first = false;
+                    for cell in &row {
+                        self.run_cell(cell)?;
+                    }
+                }
+            }
         }
         self.close_stage()?;
         Ok(())

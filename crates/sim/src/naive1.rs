@@ -12,7 +12,7 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{
-    linear_guest_time, DisjointSlice, ExecPolicy, LinearProgram, MachineSpec, StageClock,
+    linear_guest_time, CoreKind, DisjointSlice, ExecPolicy, LinearProgram, MachineSpec, StageClock,
     StagePool, StageScratch,
 };
 use bsmp_trace::{RunMeta, Tracer};
@@ -79,8 +79,33 @@ pub fn try_simulate_naive1_scalar(
     try_simulate_naive1_impl(spec, prog, init, steps, plan, exec, tracer, true)
 }
 
+/// Select the execution core for a naive1 run: the dense stage loop or
+/// the event-driven sparse core of [`crate::event1`] (bit-identical
+/// report and trace; the event core falls back to the dense loop when
+/// its preconditions do not hold).
 #[allow(clippy::too_many_arguments)]
-fn try_simulate_naive1_impl(
+pub fn try_simulate_naive1_core(
+    spec: &MachineSpec,
+    prog: &impl LinearProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    core: CoreKind,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    match core {
+        CoreKind::Dense => {
+            try_simulate_naive1_impl(spec, prog, init, steps, plan, exec, tracer, false)
+        }
+        CoreKind::Event => {
+            crate::event1::try_simulate_naive1_event(spec, prog, init, steps, plan, exec, tracer)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_simulate_naive1_impl(
     spec: &MachineSpec,
     prog: &impl LinearProgram,
     init: &[Word],

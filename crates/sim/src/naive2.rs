@@ -7,8 +7,8 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{
-    mesh_guest_time, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram, StageClock, StagePool,
-    StageScratch,
+    mesh_guest_time, CoreKind, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram, StageClock,
+    StagePool, StageScratch,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
@@ -74,8 +74,33 @@ pub fn try_simulate_naive2_scalar(
     try_simulate_naive2_impl(spec, prog, init, steps, plan, exec, tracer, true)
 }
 
+/// Select the execution core for a naive2 run: the dense stage loop or
+/// the event-driven sparse core of [`crate::event2`] (bit-identical
+/// report and trace; the event core falls back to the dense loop when
+/// its preconditions do not hold).
 #[allow(clippy::too_many_arguments)]
-fn try_simulate_naive2_impl(
+pub fn try_simulate_naive2_core(
+    spec: &MachineSpec,
+    prog: &impl MeshProgram,
+    init: &[Word],
+    steps: i64,
+    plan: &FaultPlan,
+    exec: ExecPolicy,
+    core: CoreKind,
+    tracer: &mut Tracer,
+) -> Result<SimReport, SimError> {
+    match core {
+        CoreKind::Dense => {
+            try_simulate_naive2_impl(spec, prog, init, steps, plan, exec, tracer, false)
+        }
+        CoreKind::Event => {
+            crate::event2::try_simulate_naive2_event(spec, prog, init, steps, plan, exec, tracer)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_simulate_naive2_impl(
     spec: &MachineSpec,
     prog: &impl MeshProgram,
     init: &[Word],
