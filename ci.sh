@@ -86,6 +86,28 @@ grep -q '"schema": "bsmp-trace/v1"' "$TRACE" || {
 }
 cargo run --release -q -p bsmp-cli -- trace-validate "$TRACE"
 
+echo "==> certify smoke (trace-certify: two-sided envelopes + exit codes)"
+# A naive1 and a multi2 traced run must certify (exit 0): measured
+# slowdown and comm inside [Gunther/Brent floor, Theorem 1-5 envelope]
+# and [cut floor, busy time].  Corrupting one recorded field must flip
+# the verdict to Violated (exit 1, not the malformed-trace exit 2).
+CERT1="$SCRATCH/certify_naive1.json"
+CERT2="$SCRATCH/certify_multi2.json"
+cargo run --release -q -p bsmp-cli -- --quick --trace "$CERT1" --engine naive1 E1 > /dev/null
+cargo run --release -q -p bsmp-cli -- --quick --trace "$CERT2" --engine multi2 E1 > /dev/null
+cargo run --release -q -p bsmp-cli -- trace-certify "$CERT1"
+cargo run --release -q -p bsmp-cli -- trace-certify "$CERT2"
+CORRUPT="$SCRATCH/certify_corrupt.json"
+sed 's/"guest_time": [0-9.eE+-]*/"guest_time": 0.001/' "$CERT1" > "$CORRUPT"
+set +e
+cargo run --release -q -p bsmp-cli -- trace-certify "$CORRUPT"
+CERT_RC=$?
+set -e
+if [ "$CERT_RC" -ne 1 ]; then
+    echo "certify smoke FAILED: corrupted trace exited $CERT_RC, want 1 (Violated)" >&2
+    exit 1
+fi
+
 echo "==> chaos smoke (bsmp-repro --faults + trace-validate)"
 # One short seeded storm+churn scenario per region dimension: the
 # committed interval-region plan, and a tile-region plan written here.

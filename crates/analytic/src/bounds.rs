@@ -70,6 +70,63 @@ pub fn thm5_slowdown(n: f64) -> f64 {
     n * logp2(n)
 }
 
+// ---------------------------------------------------------------------
+// Non-panicking twins for untrusted parameters.
+//
+// The bare functions above are total on positive finite inputs but
+// degrade silently outside that domain (`d = 0` → `n^∞`, `p = 0` → ∞,
+// `m = 0` → a zero locality term), which would let a corrupt trace be
+// "certified" against a garbage envelope.  The `try_` variants validate
+// first and return a typed [`BoundError`].  Inside the domain the
+// formulas need no further guards:
+//
+// * `p = 1` is fine everywhere (`naive_multiprocessor` reduces to
+//   Proposition 1);
+// * `n < m` saturates: `thm3_locality` hits its naive ceiling `min`
+//   branch (`logp2` keeps `m·log(n/m)` positive even at `n/m < 1`), so
+//   oversized memories price as the naive simulation — documented
+//   saturation, not an error;
+// * non-power-of-two `m` is fine: every form is continuous in `m`.
+
+use crate::lower::{check_params, BoundError};
+
+/// Non-panicking, domain-checked [`prop1_naive_uniprocessor`].
+pub fn try_prop1_naive_uniprocessor(d: u8, n: f64) -> Result<f64, BoundError> {
+    check_params(d, n, 1.0, 1.0)?;
+    Ok(prop1_naive_uniprocessor(d, n))
+}
+
+/// Non-panicking, domain-checked [`naive_multiprocessor`].
+pub fn try_naive_multiprocessor(d: u8, n: f64, p: f64) -> Result<f64, BoundError> {
+    check_params(d, n, 1.0, p)?;
+    Ok(naive_multiprocessor(d, n, p))
+}
+
+/// Non-panicking, domain-checked [`thm2_slowdown`].
+pub fn try_thm2_slowdown(n: f64) -> Result<f64, BoundError> {
+    check_params(1, n, 1.0, 1.0)?;
+    Ok(thm2_slowdown(n))
+}
+
+/// Non-panicking, domain-checked [`thm3_slowdown`] (saturates at the
+/// naive ceiling `n²` for `m ≥ thm3_crossover_m(n)`, including `m > n`).
+pub fn try_thm3_slowdown(n: f64, m: f64) -> Result<f64, BoundError> {
+    check_params(1, n, m, 1.0)?;
+    Ok(thm3_slowdown(n, m))
+}
+
+/// Non-panicking, domain-checked [`thm3_locality`].
+pub fn try_thm3_locality(n: f64, m: f64) -> Result<f64, BoundError> {
+    check_params(1, n, m, 1.0)?;
+    Ok(thm3_locality(n, m))
+}
+
+/// Non-panicking, domain-checked [`thm5_slowdown`].
+pub fn try_thm5_slowdown(n: f64) -> Result<f64, BoundError> {
+    check_params(2, n, 1.0, 1.0)?;
+    Ok(thm5_slowdown(n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +191,30 @@ mod tests {
     #[test]
     fn thm5_matches_thm2_form() {
         assert_eq!(thm5_slowdown(256.0), thm2_slowdown(256.0));
+    }
+
+    #[test]
+    fn try_variants_reject_degenerates() {
+        assert!(try_prop1_naive_uniprocessor(0, 64.0).is_err());
+        assert!(try_naive_multiprocessor(1, 64.0, 0.0).is_err());
+        assert!(try_naive_multiprocessor(1, 64.0, 128.0).is_err());
+        assert!(try_thm2_slowdown(f64::NAN).is_err());
+        assert!(try_thm3_slowdown(64.0, 0.0).is_err());
+        assert!(try_thm3_slowdown(64.0, f64::INFINITY).is_err());
+        assert!(try_thm5_slowdown(0.5).is_err());
+    }
+
+    #[test]
+    fn try_variants_match_bare_forms_in_domain() {
+        assert_eq!(
+            try_naive_multiprocessor(1, 64.0, 1.0).unwrap(),
+            prop1_naive_uniprocessor(1, 64.0)
+        );
+        // n < m saturates at the naive ceiling instead of erroring.
+        assert_eq!(try_thm3_slowdown(64.0, 4096.0).unwrap(), 64.0 * 64.0);
+        // Non-power-of-two m evaluates continuously.
+        let lo = try_thm3_slowdown(4096.0, 47.0).unwrap();
+        let hi = try_thm3_slowdown(4096.0, 48.0).unwrap();
+        assert!(lo < hi);
     }
 }

@@ -9,6 +9,9 @@
 //!   minimizer used to *verify* the ranges;
 //! * [`bounds`] — Theorems 2, 3 and 5 and Proposition 1 (naive
 //!   simulation);
+//! * [`lower`] — the floors (Gunther/Brent critical path,
+//!   Scquizzato–Silvestri distance-weighted communication) that the
+//!   trace certifier sandwiches measured runs against;
 //! * [`brent`] — the classical Brent-principle baseline `⌈n/p⌉` and the
 //!   Fundamental Principle of Parallel Computation;
 //! * [`matmul`] — the introduction's matrix-multiplication example
@@ -21,10 +24,12 @@
 pub mod bounds;
 pub mod brent;
 pub mod extensions;
+pub mod lower;
 pub mod matmul;
 pub mod theorem1;
 pub mod theorem4;
 
+pub use lower::{brent_floor, comm_floor, BoundError};
 pub use theorem1::{locality_slowdown, slowdown_bound, Range};
 pub use theorem4::{lambda, optimal_s, range_of, LambdaParts};
 

@@ -77,6 +77,28 @@ pub fn speedup_bound(d: u8, n: f64, m: f64, p: f64) -> f64 {
     slowdown_bound(d, n, m, p)
 }
 
+/// Non-panicking twin of [`locality_slowdown`] for parameters read from
+/// untrusted traces: validates `d ∈ {1, 2}`, `n, m, p ≥ 1`, `p ≤ n` and
+/// returns a [`BoundError`](crate::lower::BoundError) instead of
+/// tripping the asserts.
+pub fn try_locality_slowdown(
+    d: u8,
+    n: f64,
+    m: f64,
+    p: f64,
+) -> Result<f64, crate::lower::BoundError> {
+    crate::lower::check_params(d, n, m, p)?;
+    if d == 3 {
+        return Err(crate::lower::BoundError::UnsupportedDimension { d });
+    }
+    Ok(locality_slowdown(d, n, m, p))
+}
+
+/// Non-panicking twin of [`slowdown_bound`].
+pub fn try_slowdown_bound(d: u8, n: f64, m: f64, p: f64) -> Result<f64, crate::lower::BoundError> {
+    Ok((n / p) * try_locality_slowdown(d, n, m, p)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,17 @@ pub fn lambda(n: f64, m: f64, p: f64, s: f64) -> f64 {
     lambda_parts(n, m, p, s).total()
 }
 
+/// Non-panicking twin of [`lambda`] for parameters read from untrusted
+/// traces: validates the Definition 2 preconditions and the strip
+/// domain `1 ≤ s ≤ n/p` before evaluating.
+pub fn try_lambda(n: f64, m: f64, p: f64, s: f64) -> Result<f64, crate::lower::BoundError> {
+    crate::lower::check_params(1, n, m, p)?;
+    if !s.is_finite() || s < 1.0 || s > n / p + 1e-9 {
+        return Err(crate::lower::BoundError::BadStripLength { s, max: n / p });
+    }
+    Ok(lambda(n, m, p, s))
+}
+
 /// The paper's optimal strip width `s*` (clamped to `[1, n/p]`).
 pub fn optimal_s(n: f64, m: f64, p: f64) -> f64 {
     let s = if m <= (n / p).sqrt() {

@@ -1,0 +1,13 @@
+//! Report generator for experiment E15 — run with `--quick` for the
+//! small scale, default is the full EXPERIMENTS.md scale.
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        bsmp_bench::Scale::Quick
+    } else {
+        bsmp_bench::Scale::Full
+    };
+    for table in (bsmp_bench::experiments::e15_certify::run)(scale) {
+        println!("{}", table.to_markdown());
+    }
+}

@@ -5,6 +5,7 @@ pub mod e11_extensions;
 pub mod e12_ablation;
 pub mod e13_faults;
 pub mod e14_chaos;
+pub mod e15_certify;
 pub mod e1_thm2;
 pub mod e2_thm3;
 pub mod e3_thm4;
@@ -108,6 +109,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "E14",
             artifact: "Regime-boundary drift under adversarial scenarios",
             run: e14_chaos::run,
+        },
+        Experiment {
+            id: "E15",
+            artifact: "Two-sided bound certificates (floors + Theorem 1-5 envelopes)",
+            run: e15_certify::run,
         },
     ]
 }

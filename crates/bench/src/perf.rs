@@ -323,6 +323,63 @@ pub fn run_trace_counters(threads: usize) -> Vec<TraceCounters> {
         .collect()
 }
 
+/// One certificate row for the `--certify` section of the bench
+/// document: the verdict and margin of one engine × regime cell of the
+/// certification matrix ([`bsmp::certify_suite::matrix`]).
+#[derive(Clone, Debug)]
+pub struct CertRow {
+    /// `engine/regime`, e.g. `multi1/R2`.
+    pub case: String,
+    pub engine: &'static str,
+    pub regime: &'static str,
+    /// Gunther/Brent slowdown floor.
+    pub lower: f64,
+    /// Measured slowdown `T_p / T_guest`.
+    pub measured: f64,
+    /// Engine-specific Theorem 1–5 envelope × slack.
+    pub upper: f64,
+    /// Smallest headroom ratio across the certificate's active checks.
+    pub margin: f64,
+    /// `Certified`, `Violated`, or `error: …` when the run itself
+    /// failed.
+    pub verdict: String,
+}
+
+/// Run every cell of the certification matrix clean (no fault plan) and
+/// return one row per cell.  Rows with a non-`Certified` verdict mean
+/// the reporting path is broken — `bench --certify` exits nonzero on
+/// them.
+pub fn run_certify_suite() -> Vec<CertRow> {
+    bsmp::certify_suite::matrix()
+        .iter()
+        .map(|case| {
+            let id = format!("{}/{}", case.engine, case.regime);
+            match bsmp::certify_suite::run_case(case, &bsmp::FaultPlan::none()) {
+                Ok((_, cert)) => CertRow {
+                    case: id,
+                    engine: case.engine,
+                    regime: case.regime,
+                    lower: cert.lower,
+                    measured: cert.measured,
+                    upper: cert.upper,
+                    margin: cert.margin,
+                    verdict: cert.verdict.to_string(),
+                },
+                Err(e) => CertRow {
+                    case: id,
+                    engine: case.engine,
+                    regime: case.regime,
+                    lower: 0.0,
+                    measured: 0.0,
+                    upper: 0.0,
+                    margin: 0.0,
+                    verdict: format!("error: {e}"),
+                },
+            }
+        })
+        .collect()
+}
+
 /// Serialize a suite to the `BENCH_engines.json` document.  `meta` is an
 /// opaque caller-supplied string (commit id, date, host tag — timestamps
 /// are the caller's business, the library takes no clock).
@@ -335,6 +392,18 @@ pub fn to_json(cases: &[PerfCase], threads: usize, meta: &str) -> String {
 pub fn to_json_with_traces(
     cases: &[PerfCase],
     traces: &[TraceCounters],
+    threads: usize,
+    meta: &str,
+) -> String {
+    to_json_full(cases, traces, &[], threads, meta)
+}
+
+/// [`to_json_with_traces`] with an optional `certificates` section
+/// (empty slice = identical output).
+pub fn to_json_full(
+    cases: &[PerfCase],
+    traces: &[TraceCounters],
+    certs: &[CertRow],
     threads: usize,
     meta: &str,
 ) -> String {
@@ -360,26 +429,47 @@ pub fn to_json_with_traces(
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }
-    if traces.is_empty() {
+    if traces.is_empty() && certs.is_empty() {
         s.push_str("  ]\n}\n");
         return s;
     }
     s.push_str("  ],\n");
-    s.push_str("  \"trace_counters\": [\n");
-    for (i, t) in traces.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"engine_case\": \"{}\", \"stages\": {}, \"points\": {}, \"messages\": {}, \"comm_delay\": {:?}, \"slowdown\": {:?}, \"table_hits\": {}}}{}\n",
-            t.name,
-            t.stages,
-            t.points,
-            t.messages,
-            t.comm_delay,
-            t.slowdown,
-            t.table_hits,
-            if i + 1 < traces.len() { "," } else { "" }
-        ));
+    if !traces.is_empty() {
+        s.push_str("  \"trace_counters\": [\n");
+        for (i, t) in traces.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"engine_case\": \"{}\", \"stages\": {}, \"points\": {}, \"messages\": {}, \"comm_delay\": {:?}, \"slowdown\": {:?}, \"table_hits\": {}}}{}\n",
+                t.name,
+                t.stages,
+                t.points,
+                t.messages,
+                t.comm_delay,
+                t.slowdown,
+                t.table_hits,
+                if i + 1 < traces.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(if certs.is_empty() { "  ]\n" } else { "  ],\n" });
     }
-    s.push_str("  ]\n}\n");
+    if !certs.is_empty() {
+        s.push_str("  \"certificates\": [\n");
+        for (i, c) in certs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"case\": \"{}\", \"engine\": \"{}\", \"regime\": \"{}\", \"lower\": {:?}, \"measured\": {:?}, \"upper\": {:?}, \"margin\": {:?}, \"verdict\": \"{}\"}}{}\n",
+                escape(&c.case),
+                c.engine,
+                c.regime,
+                c.lower,
+                c.measured,
+                c.upper,
+                c.margin,
+                escape(&c.verdict),
+                if i + 1 < certs.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+    }
+    s.push_str("}\n");
     s
 }
 

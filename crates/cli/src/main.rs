@@ -4,9 +4,10 @@
 //! Usage:
 //!
 //! ```text
-//! bsmp-repro [--quick] [--threads <N>] [--core dense|event] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]
-//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--mem] [--against <BASELINE.json>]
+//! bsmp-repro [--quick] [--threads <N>] [--core dense|event] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [--engine <NAME>] [E1 E4 ...]
+//! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--certify] [--mem] [--against <BASELINE.json>]
 //! bsmp-repro trace-validate <PATH>
+//! bsmp-repro trace-certify <PATH>
 //! ```
 //!
 //! * `--quick` — the seconds-scale variant of every experiment;
@@ -25,7 +26,11 @@
 //!   `--slow`/`--fault-seed` shorthands;
 //! * `--trace <PATH>` — run a traced demo simulation and write its
 //!   `bsmp-trace/v1` JSON log to `PATH` (honors `--slow`/`--faults`);
-//! * `E1 … E13` — restrict to the named experiments;
+//! * `--engine <NAME>` — which engine the `--trace` demo runs:
+//!   `naive1`, `multi1` (default), or `dnc1` on the linear array;
+//!   `naive2`, `multi2`, or `dnc2` on the mesh (the `dnc*` engines are
+//!   uniprocessor, so they trace with p = 1);
+//! * `E1 … E15` — restrict to the named experiments;
 //! * `bench` — instead of the report, time the engine suite and write
 //!   the wall-clock baseline as JSON (default `BENCH_engines.json`);
 //!   with `--against <BASELINE.json>` the fresh points/sec figures are
@@ -34,12 +39,21 @@
 //!   runs: a million-node `naive1` run on the sparse core, reporting
 //!   peak resident bytes and bytes per guest node;
 //! * `trace-validate <PATH>` — parse a trace log and check every
-//!   structural invariant plus the Theorem-1 regime tag, then exit.
+//!   structural invariant plus the Theorem-1 regime tag, then exit;
+//! * `trace-certify <PATH>` — everything `trace-validate` does, then
+//!   sandwich the recorded slowdown and communication totals between
+//!   the Gunther/Brent and Scquizzato–Silvestri-style floors and the
+//!   engine's Theorem 1–5 upper envelope (exit 0 = certified, 1 = a
+//!   measured figure escaped its envelope, 2 = the trace cannot be
+//!   certified at all);
+//! * `bench --certify` — also run the engine × regime certification
+//!   matrix and write one verdict per cell into the bench document's
+//!   `certificates` section (exit 1 if any cell is not `Certified`).
 //!
 //! Exit status: 0 on success, 1 on an engine/validation error, 2 on bad
 //! command-line arguments.
 
-use bsmp::workloads::{inputs, Eca, TokenShift};
+use bsmp::workloads::{inputs, Eca, TokenShift, VonNeumannLife};
 use bsmp::{CoreKind, FaultPlan, MachineSpec, Simulation, Strategy};
 use bsmp_bench::{all_experiments, perf, Scale};
 
@@ -53,7 +67,9 @@ struct Args {
     core: CoreKind,
     bench: Option<BenchArgs>,
     trace_out: Option<String>,
+    trace_engine: String,
     trace_validate: Option<String>,
+    trace_certify: Option<String>,
 }
 
 struct BenchArgs {
@@ -61,6 +77,7 @@ struct BenchArgs {
     meta: String,
     iters: u32,
     trace_counters: bool,
+    certify: bool,
     mem: bool,
     against: Option<String>,
 }
@@ -76,7 +93,9 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
         core: CoreKind::Dense,
         bench: None,
         trace_out: None,
+        trace_engine: "multi1".to_string(),
         trace_validate: None,
+        trace_certify: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -115,9 +134,25 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                 let v = it.next().ok_or("--trace requires an output path")?;
                 args.trace_out = Some(v.clone());
             }
+            "--engine" => {
+                let v = it
+                    .next()
+                    .ok_or("--engine requires a name (naive1|multi1|dnc1|naive2|multi2|dnc2)")?;
+                if !["naive1", "multi1", "dnc1", "naive2", "multi2", "dnc2"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "--engine: `{v}` is not a traceable demo engine \
+                         (naive1|multi1|dnc1|naive2|multi2|dnc2)"
+                    ));
+                }
+                args.trace_engine = v.clone();
+            }
             "trace-validate" => {
                 let v = it.next().ok_or("trace-validate requires a trace path")?;
                 args.trace_validate = Some(v.clone());
+            }
+            "trace-certify" => {
+                let v = it.next().ok_or("trace-certify requires a trace path")?;
+                args.trace_certify = Some(v.clone());
             }
             "bench" => {
                 args.bench = Some(BenchArgs {
@@ -125,6 +160,7 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
                     meta: String::new(),
                     iters: 5,
                     trace_counters: false,
+                    certify: false,
                     mem: false,
                     against: None,
                 });
@@ -159,6 +195,10 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
             "--trace-counters" => match &mut args.bench {
                 Some(b) => b.trace_counters = true,
                 None => return Err("--trace-counters is only valid after `bench`".into()),
+            },
+            "--certify" => match &mut args.bench {
+                Some(b) => b.certify = true,
+                None => return Err("--certify is only valid after `bench`".into()),
             },
             "--mem" => match &mut args.bench {
                 Some(b) => b.mem = true,
@@ -243,28 +283,55 @@ fn fault_sweep(
     Ok(())
 }
 
-/// The `--trace` demo: one traced TwoRegime run (faulted if `--slow`
-/// or `--faults` was given), validated, then written as `bsmp-trace/v1`
-/// JSON.
+/// The `--trace` demo: one traced run of the `--engine` selection
+/// (faulted if `--slow` or `--faults` was given), validated, then
+/// written as `bsmp-trace/v1` JSON.
 fn trace_demo(
     path: &str,
+    engine: &str,
     plan: Option<&FaultPlan>,
     input_seed: u64,
     core: CoreKind,
 ) -> Result<(), String> {
-    let (n, p, steps) = (64u64, 4u64, 64i64);
+    // The dnc engines are uniprocessor; the d = 2 demo runs fewer steps
+    // because a mesh stage touches every node.
+    let (mesh, strategy) = match engine {
+        "naive1" => (false, Strategy::Naive),
+        "multi1" => (false, Strategy::TwoRegime),
+        "dnc1" => (false, Strategy::DivideAndConquer),
+        "naive2" => (true, Strategy::Naive),
+        "multi2" => (true, Strategy::TwoRegime),
+        "dnc2" => (true, Strategy::DivideAndConquer),
+        other => return Err(format!("no traceable demo engine `{other}`")),
+    };
+    let n = 64u64;
+    let p = if strategy == Strategy::DivideAndConquer {
+        1u64
+    } else {
+        4u64
+    };
+    let steps = if mesh { 16i64 } else { 64i64 };
     let init = inputs::random_bits(input_seed, n as usize);
-    let prog = Eca::rule110();
-    let mut sim = Simulation::try_linear(n, p, 1)
-        .map_err(|e| e.to_string())?
-        .strategy(Strategy::TwoRegime)
-        .core(core);
+    let mut sim = if mesh {
+        Simulation::try_mesh(n, p, 1)
+    } else {
+        Simulation::try_linear(n, p, 1)
+    }
+    .map_err(|e| e.to_string())?
+    .strategy(strategy)
+    .core(core);
     if let Some(plan) = plan {
         sim = sim.faults(*plan);
     }
-    let (_, trace) = sim
-        .try_trace(&prog, &init, steps)
-        .map_err(|e| e.to_string())?;
+    let (rep, trace) = if mesh {
+        sim.try_trace_mesh(&VonNeumannLife::fredkin(), &init, steps)
+    } else {
+        sim.try_trace(&Eca::rule110(), &init, steps)
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(reason) = rep.sim.core_fallback {
+        println!("note: event core fell back to the dense stage loop: {reason}\n");
+    }
     bsmp::validate_trace(&trace)?;
     std::fs::write(path, trace.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!(
@@ -303,6 +370,9 @@ fn mem_probe() -> Result<(), bsmp::SimError> {
         st.total_active,
         rep.host_time,
     );
+    if let Some(reason) = st.fallback {
+        println!("mem-probe fallback_reason={reason:?}");
+    }
     Ok(())
 }
 
@@ -319,6 +389,56 @@ fn trace_validate(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The `trace-certify` subcommand: full validation, then the two-sided
+/// bound sandwich.  Returns the process exit code: 0 certified, 1
+/// violated, 2 uncertifiable (unreadable, malformed, stamped with the
+/// wrong regime, or parameters outside the bounds' domain).
+fn trace_certify(path: &str) -> i32 {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bsmp-repro: trace-certify: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let trace = match bsmp::RunTrace::from_json(&src) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bsmp-repro: trace-certify: {path}: {e}");
+            return 2;
+        }
+    };
+    let cert = match bsmp::trace::certify::certify(&trace) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bsmp-repro: trace-certify: {path}: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "{path}: {} — engine {}, regime {}, slowdown {:.3} in [{:.3}, {:.3}], \
+         comm {:.1} in [{:.1}, {:.1}], margin {:.2} ({} stages)",
+        cert.verdict,
+        cert.engine,
+        cert.regime,
+        cert.measured,
+        cert.lower,
+        cert.upper,
+        cert.comm_measured,
+        cert.comm_lower,
+        cert.comm_upper,
+        cert.margin,
+        cert.stages.len(),
+    );
+    for f in &cert.failures {
+        eprintln!("bsmp-repro: trace-certify: {path}: {f}");
+    }
+    match cert.verdict {
+        bsmp::trace::certify::Verdict::Certified => 0,
+        bsmp::trace::certify::Verdict::Violated => 1,
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
@@ -331,7 +451,8 @@ fn main() {
             eprintln!(
                 "usage: bsmp-repro [--quick] [--threads <N>] [--core dense|event] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]\n\
                  \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--mem] [--against <BASELINE.json>]\n\
-                 \x20      bsmp-repro trace-validate <PATH>"
+                 \x20      bsmp-repro trace-validate <PATH>\n\
+                 \x20      bsmp-repro trace-certify <PATH>"
             );
             std::process::exit(2);
         }
@@ -376,6 +497,10 @@ fn main() {
         return;
     }
 
+    if let Some(path) = &args.trace_certify {
+        std::process::exit(trace_certify(path));
+    }
+
     // Plumb the host thread budget to every engine (ExecPolicy::auto()
     // resolves to this process default).
     bsmp::set_default_threads(args.threads);
@@ -394,7 +519,12 @@ fn main() {
         } else {
             Vec::new()
         };
-        let doc = perf::to_json_with_traces(&cases, &traces, args.threads, &bench.meta);
+        let certs = if bench.certify {
+            perf::run_certify_suite()
+        } else {
+            Vec::new()
+        };
+        let doc = perf::to_json_full(&cases, &traces, &certs, args.threads, &bench.meta);
         if let Err(e) = perf::validate_json(&doc) {
             eprintln!("bsmp-repro: bench produced a malformed document: {e}");
             std::process::exit(1);
@@ -414,7 +544,17 @@ fn main() {
                 c.m.iters
             );
         }
+        for c in &certs {
+            println!(
+                "certify {:<14} {:>10.1} <= {:>12.1} <= {:>14.1}  margin {:>7.2}  {}",
+                c.case, c.lower, c.measured, c.upper, c.margin, c.verdict
+            );
+        }
         println!("wrote {} ({} cases)", bench.out, cases.len());
+        if certs.iter().any(|c| c.verdict != "Certified") {
+            eprintln!("bsmp-repro: bench --certify: a matrix cell failed certification");
+            std::process::exit(1);
+        }
         if let Some(base_path) = &bench.against {
             let committed = match std::fs::read_to_string(base_path) {
                 Ok(s) => s,
@@ -444,7 +584,13 @@ fn main() {
     }
 
     if let Some(path) = &args.trace_out {
-        if let Err(msg) = trace_demo(path, plan.as_ref(), input_seed, args.core) {
+        if let Err(msg) = trace_demo(
+            path,
+            &args.trace_engine,
+            plan.as_ref(),
+            input_seed,
+            args.core,
+        ) {
             eprintln!("bsmp-repro: trace: {msg}");
             std::process::exit(1);
         }

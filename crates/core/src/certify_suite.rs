@@ -1,0 +1,308 @@
+//! The engine × regime certification matrix: one canonical case per
+//! (engine, Theorem-1 regime) combination, shared by `bench --certify`,
+//! experiment E15, and the certifier's integration tests.
+//!
+//! Regime coverage per engine follows from the machine each engine
+//! implements:
+//!
+//! * `p > 1` engines (`naive1`, `multi1`, `pipelined1`, `naive2`,
+//!   `multi2`) reach R1, R2, R4;
+//! * `p = 1` engines (`dnc1`, `dnc2`) reach R1, R3, R4 — R2 is *empty*
+//!   at `p = 1`, since its boundaries `(n/p)^{1/2d}` and `(np)^{1/2d}`
+//!   coincide;
+//! * the `d = 3` volume engines (`naive3`, `dnc3`) require `m = 1`,
+//!   which always lands in R1.
+//!
+//! Every case is seeded and deterministic; [`run_case`] executes the
+//! engine with tracing on, stamps the Theorem-1 regime, and feeds the
+//! trace through [`bsmp_trace::certify::certify`].
+
+use bsmp_faults::FaultPlan;
+use bsmp_machine::{ExecPolicy, MachineSpec};
+use bsmp_sim::{dnc1, dnc2, dnc3, multi1, multi2, naive1, naive2, pipelined1, SimError};
+use bsmp_trace::certify::{certify, Certificate};
+use bsmp_trace::{RunTrace, Tracer};
+use bsmp_workloads::{inputs, CyclicWave, Eca, Parity3d, PlaneWave, VonNeumannLife};
+
+/// One (engine, regime) cell of the certification matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixCase {
+    /// Engine name as stamped into the trace.
+    pub engine: &'static str,
+    /// Layout dimension.
+    pub d: u8,
+    /// Guest volume (for `d = 3`, a perfect cube).
+    pub n: u64,
+    /// Memory cells per node.
+    pub m: u64,
+    /// Host processors.
+    pub p: u64,
+    /// Guest steps (`≥ n^{1/d}`, Theorem 1's domain).
+    pub steps: i64,
+    /// The Theorem-1 range these parameters land in.
+    pub regime: &'static str,
+}
+
+/// The full matrix at the default (quick) scale: 23 cases covering all
+/// 9 engines across every regime each can reach (see module docs).
+pub fn matrix() -> Vec<MatrixCase> {
+    let mut v = Vec::new();
+    // d = 1, p = 4, n = 64: regime boundaries at m = 4, 16, 64.
+    for engine in ["naive1", "multi1", "pipelined1"] {
+        for (m, regime) in [(1, "R1"), (8, "R2"), (128, "R4")] {
+            v.push(MatrixCase {
+                engine,
+                d: 1,
+                n: 64,
+                m,
+                p: 4,
+                steps: 64,
+                regime,
+            });
+        }
+    }
+    // d = 1, p = 1, n = 64: boundaries at m = 8, 8, 64 (R2 empty).
+    for (m, regime) in [(1, "R1"), (16, "R3"), (128, "R4")] {
+        v.push(MatrixCase {
+            engine: "dnc1",
+            d: 1,
+            n: 64,
+            m,
+            p: 1,
+            steps: 64,
+            regime,
+        });
+    }
+    // d = 2, p = 4, n = 64 (8×8 mesh): boundaries at m = 2, 4, 8.
+    for engine in ["naive2", "multi2"] {
+        for (m, regime) in [(1, "R1"), (4, "R2"), (16, "R4")] {
+            v.push(MatrixCase {
+                engine,
+                d: 2,
+                n: 64,
+                m,
+                p: 4,
+                steps: 16,
+                regime,
+            });
+        }
+    }
+    // d = 2, p = 1, n = 64: boundaries at m = 2.83.., 2.83.., 8.
+    for (m, regime) in [(1, "R1"), (4, "R3"), (16, "R4")] {
+        v.push(MatrixCase {
+            engine: "dnc2",
+            d: 2,
+            n: 64,
+            m,
+            p: 1,
+            steps: 16,
+            regime,
+        });
+    }
+    // d = 3 (4×4×4 cube), m = 1 forced by the volume engines: R1 only.
+    for engine in ["naive3", "dnc3"] {
+        v.push(MatrixCase {
+            engine,
+            d: 3,
+            n: 64,
+            m: 1,
+            p: 1,
+            steps: 8,
+            regime: "R1",
+        });
+    }
+    v
+}
+
+/// Run one matrix case with tracing on and certify the trace.
+///
+/// The returned certificate may carry a `Violated` verdict — that is a
+/// certification *result*; only engine failures and uncertifiable
+/// traces are `Err`.
+pub fn run_case(case: &MatrixCase, plan: &FaultPlan) -> Result<(RunTrace, Certificate), SimError> {
+    let mut tracer = Tracer::recording();
+    let seed = 0xB5_u64
+        .wrapping_mul(case.n)
+        .wrapping_add(case.m * 31 + case.p * 7);
+    match case.d {
+        1 => {
+            let spec = MachineSpec::try_new(1, case.n, case.p, case.m)?;
+            let n = case.n as usize;
+            let m = case.m as usize;
+            if m == 1 {
+                let prog = Eca::rule110();
+                let init = inputs::random_bits(seed, n);
+                run_linear_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
+            } else {
+                let prog = CyclicWave::new(m);
+                let init = inputs::random_words(seed, n * m, 50);
+                run_linear_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
+            }
+        }
+        2 => {
+            let spec = MachineSpec::try_new(2, case.n, case.p, case.m)?;
+            let n = case.n as usize;
+            let m = case.m as usize;
+            if m == 1 {
+                let prog = VonNeumannLife::fredkin();
+                let init = inputs::random_bits(seed, n);
+                run_mesh_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
+            } else {
+                let prog = PlaneWave::new(m);
+                let init = inputs::random_words(seed, n * m, 50);
+                run_mesh_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
+            }
+        }
+        3 => {
+            let side = (case.n as f64).cbrt().round() as usize;
+            let init = inputs::random_bits(seed, side * side * side);
+            match case.engine {
+                "naive3" => {
+                    dnc3::try_simulate_naive3_faulted_traced(
+                        side,
+                        &Parity3d,
+                        &init,
+                        case.steps,
+                        plan,
+                        &mut tracer,
+                    )?;
+                }
+                "dnc3" => {
+                    dnc3::try_simulate_dnc3_faulted_traced(
+                        side,
+                        &Parity3d,
+                        &init,
+                        case.steps,
+                        plan,
+                        &mut tracer,
+                    )?;
+                }
+                _ => {
+                    return Err(SimError::Internal {
+                        what: "unknown d = 3 engine in certification matrix",
+                    })
+                }
+            }
+        }
+        _ => {
+            return Err(SimError::DimensionMismatch {
+                expected: 1,
+                got: case.d,
+            })
+        }
+    }
+    let mut trace = tracer.take().expect("recording tracer yields a trace");
+    trace.summary.regime = format!(
+        "{:?}",
+        bsmp_analytic::theorem1::range(case.d, case.n as f64, case.m as f64, case.p as f64)
+    );
+    debug_assert_eq!(trace.summary.regime, case.regime, "case mis-labeled");
+    let cert = certify(&trace).map_err(|e| SimError::Uncertifiable {
+        message: e.to_string(),
+    })?;
+    Ok((trace, cert))
+}
+
+fn run_linear_engine(
+    case: &MatrixCase,
+    spec: &MachineSpec,
+    prog: &impl bsmp_machine::LinearProgram,
+    init: &[bsmp_hram::Word],
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<(), SimError> {
+    match case.engine {
+        "naive1" => {
+            naive1::try_simulate_naive1_traced(
+                spec,
+                prog,
+                init,
+                case.steps,
+                plan,
+                ExecPolicy::auto(),
+                tracer,
+            )?;
+        }
+        "multi1" => {
+            multi1::try_simulate_multi1_traced(
+                spec,
+                prog,
+                init,
+                case.steps,
+                multi1::Multi1Options::default(),
+                plan,
+                tracer,
+            )?;
+        }
+        "pipelined1" => {
+            pipelined1::try_simulate_pipelined1_traced(spec, prog, init, case.steps, plan, tracer)?;
+        }
+        "dnc1" => {
+            dnc1::try_simulate_dnc1_faulted_traced(spec, prog, init, case.steps, plan, tracer)?;
+        }
+        _ => {
+            return Err(SimError::Internal {
+                what: "unknown d = 1 engine in certification matrix",
+            })
+        }
+    }
+    Ok(())
+}
+
+fn run_mesh_engine(
+    case: &MatrixCase,
+    spec: &MachineSpec,
+    prog: &impl bsmp_machine::MeshProgram,
+    init: &[bsmp_hram::Word],
+    plan: &FaultPlan,
+    tracer: &mut Tracer,
+) -> Result<(), SimError> {
+    match case.engine {
+        "naive2" => {
+            naive2::try_simulate_naive2_traced(
+                spec,
+                prog,
+                init,
+                case.steps,
+                plan,
+                ExecPolicy::auto(),
+                tracer,
+            )?;
+        }
+        "multi2" => {
+            multi2::try_simulate_multi2_traced(spec, prog, init, case.steps, plan, tracer)?;
+        }
+        "dnc2" => {
+            dnc2::try_simulate_dnc2_faulted_traced(spec, prog, init, case.steps, plan, tracer)?;
+        }
+        _ => {
+            return Err(SimError::Internal {
+                what: "unknown d = 2 engine in certification matrix",
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_engines() {
+        let cases = matrix();
+        let engines: std::collections::HashSet<&str> = cases.iter().map(|c| c.engine).collect();
+        assert_eq!(engines.len(), 9);
+        assert_eq!(cases.len(), 23);
+        // Every p > 1 linear engine hits all three Theorem-1 regimes
+        // reachable at p > 1.
+        for e in ["naive1", "multi1", "pipelined1", "naive2", "multi2"] {
+            let regimes: Vec<&str> = cases
+                .iter()
+                .filter(|c| c.engine == e)
+                .map(|c| c.regime)
+                .collect();
+            assert_eq!(regimes, ["R1", "R2", "R4"], "{e}");
+        }
+    }
+}

@@ -75,6 +75,8 @@ pub use bsmp_sim as sim;
 pub use bsmp_trace as trace;
 pub use bsmp_workloads as workloads;
 
+pub mod certify_suite;
+
 pub use bsmp_faults::{FaultPlan, FaultStats, PlanParseError};
 pub use bsmp_hram::{CostModel, Word};
 pub use bsmp_machine::{
@@ -391,8 +393,8 @@ impl Simulation {
     }
 
     /// Finalize a recording tracer: pull out the [`RunTrace`] and stamp
-    /// the Theorem-1 regime (the trace crate is analytics-free, so the
-    /// engines leave the tag empty for the façade to fill in).
+    /// the Theorem-1 regime (the engines leave the tag empty for the
+    /// façade to fill in; the certifier recomputes and cross-checks it).
     fn stamp(&self, mut tracer: Tracer) -> RunTrace {
         let mut trace = tracer
             .take()
@@ -557,6 +559,58 @@ impl Simulation {
     ) -> (Report, RunTrace) {
         self.try_trace_mesh(prog, init, steps)
             .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run a traced linear-array simulation and certify the recorded
+    /// trace against the two-sided envelopes (`lower ≤ measured ≤
+    /// upper`; see [`bsmp_trace::certify`]).
+    ///
+    /// A `Violated` verdict is still `Ok` — the caller inspects
+    /// [`Certificate::verdict`](bsmp_trace::certify::Certificate) — but
+    /// a run that cannot be certified at all (instantaneous cost model,
+    /// malformed trace) is [`SimError::Uncertifiable`].
+    pub fn try_certify(
+        &self,
+        prog: &impl LinearProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> Result<(Report, RunTrace, bsmp_trace::certify::Certificate), SimError> {
+        self.check_certifiable()?;
+        let (report, trace) = self.try_trace(prog, init, steps)?;
+        let cert = bsmp_trace::certify::certify(&trace).map_err(|e| SimError::Uncertifiable {
+            message: e.to_string(),
+        })?;
+        Ok((report, trace, cert))
+    }
+
+    /// Mesh twin of [`Simulation::try_certify`].
+    pub fn try_certify_mesh(
+        &self,
+        prog: &impl MeshProgram,
+        init: &[Word],
+        steps: i64,
+    ) -> Result<(Report, RunTrace, bsmp_trace::certify::Certificate), SimError> {
+        self.check_certifiable()?;
+        let (report, trace) = self.try_trace_mesh(prog, init, steps)?;
+        let cert = bsmp_trace::certify::certify(&trace).map_err(|e| SimError::Uncertifiable {
+            message: e.to_string(),
+        })?;
+        Ok((report, trace, cert))
+    }
+
+    /// The trace schema does not record the cost model, and the
+    /// certifier's communication floor assumes bounded-speed hop
+    /// pricing — an instantaneous-model trace (every hop free) would be
+    /// sandwiched against the wrong envelope.
+    fn check_certifiable(&self) -> Result<(), SimError> {
+        if self.spec.model == CostModel::Instantaneous {
+            return Err(SimError::Uncertifiable {
+                message: "instantaneous cost model: the certifier's envelopes assume \
+                          bounded-speed propagation"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 }
 

@@ -130,6 +130,7 @@ pub fn try_simulate_dnc1_traced(
         space: exec.ram.high_water(),
         stages: 0,
         faults: FaultStats::default(),
+        core_fallback: None,
     })
 }
 

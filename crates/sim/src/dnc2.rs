@@ -121,6 +121,7 @@ pub fn try_simulate_dnc2_traced(
         space: exec.ram.high_water(),
         stages: 0,
         faults: FaultStats::default(),
+        core_fallback: None,
     })
 }
 

@@ -87,6 +87,7 @@ pub fn try_simulate_dnc3_traced(
         space: exec.ram.high_water(),
         stages: 0,
         faults: FaultStats::default(),
+        core_fallback: None,
     })
 }
 
@@ -408,6 +409,7 @@ fn try_simulate_naive3_impl(
         space: ram.high_water(),
         stages: 0,
         faults: FaultStats::default(),
+        core_fallback: None,
     })
 }
 

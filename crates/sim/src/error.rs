@@ -64,6 +64,11 @@ pub enum SimError {
         host_time: f64,
         guest_time: f64,
     },
+    /// A run cannot be bound-certified (e.g. recorded under the
+    /// instantaneous cost model, or the certifier rejected the trace as
+    /// malformed before reaching a verdict).  Distinct from a
+    /// `Violated` verdict, which IS a certification result.
+    Uncertifiable { message: String },
 }
 
 impl fmt::Display for SimError {
@@ -152,6 +157,9 @@ impl fmt::Display for SimError {
                     f,
                     "{what} is undefined: host_time = {host_time}, guest_time = {guest_time}"
                 )
+            }
+            SimError::Uncertifiable { ref message } => {
+                write!(f, "run cannot be bound-certified: {message}")
             }
         }
     }
@@ -245,6 +253,9 @@ mod tests {
                 what: "slowdown",
                 host_time: 5.0,
                 guest_time: 0.0,
+            },
+            SimError::Uncertifiable {
+                message: "instantaneous cost model".into(),
             },
         ];
         for e in errs {

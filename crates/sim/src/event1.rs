@@ -53,6 +53,9 @@ pub struct EventCoreStats {
     pub total_active: u64,
     /// False when the run fell back to the dense loop.
     pub used_event_core: bool,
+    /// The delegation precondition that forced a dense fallback
+    /// (`None` when the event core actually ran).
+    pub fallback: Option<&'static str>,
 }
 
 impl EventCoreStats {
@@ -178,11 +181,25 @@ fn naive1_event_impl(
     // dyadic) and a clock-oblivious program (so quiescence is sound).
     let eligible = steps >= 1 && m == 1 && q >= 3 && prog.time_invariant() && exact.is_some();
     if !eligible {
+        let reason = if steps < 1 {
+            "no guest steps to schedule"
+        } else if m != 1 {
+            "multi-cell program (event core needs m = 1)"
+        } else if q < 3 {
+            "per-processor block too small (q < 3)"
+        } else if !prog.time_invariant() {
+            "clock-reading program (quiescence unsound)"
+        } else {
+            "exact-unit budget overflow"
+        };
         if let Some(st) = stats.as_deref_mut() {
             st.nodes = n;
             st.used_event_core = false;
+            st.fallback = Some(reason);
         }
-        return try_simulate_naive1_impl(spec, prog, init, steps, plan, exec, tracer, false);
+        let mut rep = try_simulate_naive1_impl(spec, prog, init, steps, plan, exec, tracer, false)?;
+        rep.core_fallback = Some(reason);
+        return Ok(rep);
     }
     let e = exact.expect("eligibility checked");
     let hop = spec.neighbor_distance();
@@ -400,5 +417,6 @@ fn naive1_event_impl(
         space: table.len(),
         stages: clock.stages,
         faults: session.into_stats(),
+        core_fallback: None,
     })
 }

@@ -123,11 +123,21 @@ fn naive2_event_impl(
     plan.validate()?;
     let eligible = steps >= 1 && m == 1 && prog.time_invariant();
     if !eligible {
+        let reason = if steps < 1 {
+            "no guest steps to schedule"
+        } else if m != 1 {
+            "multi-cell program (event core needs m = 1)"
+        } else {
+            "clock-reading program (quiescence unsound)"
+        };
         if let Some(st) = stats.as_deref_mut() {
             st.nodes = n;
             st.used_event_core = false;
+            st.fallback = Some(reason);
         }
-        return try_simulate_naive2_impl(spec, prog, init, steps, plan, exec, tracer, false);
+        let mut rep = try_simulate_naive2_impl(spec, prog, init, steps, plan, exec, tracer, false)?;
+        rep.core_fallback = Some(reason);
+        return Ok(rep);
     }
     let b = side / sp;
     let q = b * b;
@@ -398,5 +408,6 @@ fn naive2_event_impl(
         space: table.len(),
         stages: clock.stages,
         faults: session.into_stats(),
+        core_fallback: None,
     })
 }

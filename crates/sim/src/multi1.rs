@@ -1230,6 +1230,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
                 .unwrap_or(0),
             stages: self.clock.stages,
             faults: self.session.stats.clone(),
+            core_fallback: None,
         }
     }
 }

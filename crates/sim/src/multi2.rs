@@ -669,6 +669,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
                 .unwrap_or(0),
             stages: self.clock.stages,
             faults: self.session.stats.clone(),
+            core_fallback: None,
         })
     }
 }

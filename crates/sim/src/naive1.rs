@@ -564,6 +564,7 @@ pub(crate) fn try_simulate_naive1_impl(
         space: rams.iter().map(|r| r.high_water()).max().unwrap_or(0),
         stages: clock.stages,
         faults: session.into_stats(),
+        core_fallback: None,
     })
 }
 

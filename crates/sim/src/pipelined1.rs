@@ -168,6 +168,7 @@ pub fn try_simulate_pipelined1_traced(
         space: n * m / p + 2 * q,
         stages: clock.stages,
         faults: session.into_stats(),
+        core_fallback: None,
     })
 }
 

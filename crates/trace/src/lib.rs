@@ -1,5 +1,6 @@
-//! `bsmp-trace`: a zero-dependency structured tracing layer for the BSMP
-//! simulation engines.
+//! `bsmp-trace`: a structured tracing and certification layer for the
+//! BSMP simulation engines (dependency-free apart from the
+//! `bsmp-analytic` closed forms that [`certify`] sandwiches runs with).
 //!
 //! The paper's central object is an accounting identity: measured slowdown
 //! `T_p / T_n` factors into the Brent term `n/p` and the locality slowdown
@@ -24,6 +25,7 @@
 //! (`bsmp-trace/v1`); [`RunTrace::validate`] checks the structural
 //! invariants that `bsmp-repro trace-validate` enforces.
 
+pub mod certify;
 pub mod json;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -328,7 +330,15 @@ impl Tracer {
                 host_time / guest_time
             };
             let brent = meta.n as f64 / meta.p as f64;
-            let busy_total: f64 = st.stages.iter().map(|s| s.busy).sum();
+            // Float totals come straight from the cumulative ledger
+            // (`st.prev` holds the running totals after the last stage
+            // close), NOT from re-summing the per-stage diffs: each
+            // diff loses an ulp against the ledger it telescoped from,
+            // and at thousands of stages the naive re-sum can drift
+            // away from the figures the certifier checks against.
+            // Integer counters are exact either way; the ledger is
+            // still the single source of truth for all of them.
+            let totals = st.prev;
             let denom = meta.p as f64 * host_time;
             let summary = Summary {
                 host_time,
@@ -340,14 +350,18 @@ impl Tracer {
                 stages: st.stages.len() as u64,
                 points: st.stages.iter().map(|s| s.points).sum(),
                 messages: st.stages.iter().map(|s| s.messages).sum(),
-                comm_delay: st.stages.iter().map(|s| s.comm_delay).sum(),
-                injected_delay: st.stages.iter().map(|s| s.injected_delay).sum(),
-                retries: st.stages.iter().map(|s| s.retries).sum(),
-                outages: st.stages.iter().map(|s| s.outages).sum(),
-                churn: st.stages.iter().map(|s| s.churn).sum(),
-                backoffs: st.stages.iter().map(|s| s.backoffs).sum(),
+                comm_delay: totals.comm,
+                injected_delay: totals.injected_delay,
+                retries: totals.retries,
+                outages: totals.outages,
+                churn: totals.churn,
+                backoffs: totals.backoffs,
                 wall_ns: st.stages.iter().map(|s| s.wall_ns).sum(),
-                efficiency: if denom > 0.0 { busy_total / denom } else { 1.0 },
+                efficiency: if denom > 0.0 {
+                    totals.busy / denom
+                } else {
+                    1.0
+                },
             };
             st.run = Some(RunTrace {
                 engine: meta.engine.to_string(),
@@ -713,6 +727,53 @@ mod tests {
         let mut run = t.take().unwrap();
         run.summary.regime = "R4".to_string();
         run
+    }
+
+    #[test]
+    fn totals_match_ledger_at_t4096() {
+        // Regression: summary float totals must come from the
+        // cumulative ledger, not a re-sum of the per-stage diffs.  With
+        // an increment of 0.1 (not representable in binary) every diff
+        // loses an ulp against the ledger, and at T = 4096 the naive
+        // re-sum visibly drifts from the cumulative total.
+        let steps = 4096u64;
+        let mut t = Tracer::recording();
+        t.ensure_procs(1);
+        let mut ledger = StageTotals::default();
+        for _ in 0..steps {
+            t.begin_stage("step");
+            t.tally().unwrap().add(0, 1, 1);
+            ledger.parallel += 0.1;
+            ledger.busy += 0.1;
+            ledger.comm += 0.1;
+            ledger.injected_delay += 0.1;
+            t.end_stage(ledger, 1);
+        }
+        t.finish_run(
+            RunMeta {
+                engine: "test",
+                d: 1,
+                n: 1,
+                m: 1,
+                p: 1,
+                steps,
+            },
+            ledger.parallel,
+            steps as f64,
+        );
+        let mut run = t.take().unwrap();
+        run.summary.regime = "R1".to_string();
+        // Bit-exact against the ledger, no tolerance.
+        assert_eq!(run.summary.comm_delay.to_bits(), ledger.comm.to_bits());
+        assert_eq!(
+            run.summary.injected_delay.to_bits(),
+            ledger.injected_delay.to_bits()
+        );
+        // The per-stage re-sum is close but NOT bit-identical here —
+        // that is exactly the drift the ledger read sidesteps.
+        let resum: f64 = run.stages.iter().map(|s| s.comm_delay).sum();
+        assert!((resum - ledger.comm).abs() / ledger.comm < 1e-9);
+        run.validate().expect("drift-free totals validate");
     }
 
     #[test]

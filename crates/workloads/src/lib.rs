@@ -23,7 +23,9 @@
 //! * [`heat::HeatDiffusion`] — integer heat diffusion;
 //! * [`cannon::SystolicMatmul`] — a genuine systolic matrix
 //!   multiplication on the mesh (boundary-fed, `m = side + 1`), the
-//!   introduction's motivating example.
+//!   introduction's motivating example;
+//! * [`plane::PlaneWave`] — the mesh analogue of `CyclicWave`: an
+//!   order-`m` recurrence cycling through all `m` private cells.
 
 pub mod cannon;
 pub mod eca;
@@ -31,6 +33,7 @@ pub mod fir;
 pub mod heat;
 pub mod inputs;
 pub mod life;
+pub mod plane;
 pub mod shift;
 pub mod sort;
 pub mod wave;
@@ -40,6 +43,7 @@ pub use eca::Eca;
 pub use fir::FirPipeline;
 pub use heat::HeatDiffusion;
 pub use life::VonNeumannLife;
+pub use plane::PlaneWave;
 pub use shift::TokenShift;
 pub use sort::OddEvenSort;
 pub use wave::CyclicWave;

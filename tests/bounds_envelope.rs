@@ -148,3 +148,157 @@ fn space_stays_within_proposition3() {
         "σ ~ √|V|: expected ~4×, got {ratio}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Two-sided certification: every engine × regime cell of the matrix is
+// sandwiched `floor ≤ measured ≤ envelope` by `bsmp_trace::certify`,
+// clean and under fault plans; tampered traces flip to `Violated` and
+// mis-stamped regimes are rejected outright.
+// ---------------------------------------------------------------------
+
+use bsmp::certify_suite::{matrix, run_case};
+use bsmp::trace::certify::{certify, CertifyError, Verdict};
+use bsmp::FaultPlan;
+
+#[test]
+fn matrix_certifies_clean_and_under_faults() {
+    let plans = [
+        ("clean", FaultPlan::none()),
+        ("slowdown", FaultPlan::uniform_slowdown(1.8).seed(11)),
+        ("loss", FaultPlan::none().loss(40, 3).seed(5)),
+    ];
+    for (label, plan) in plans {
+        for case in matrix() {
+            let (_, cert) = run_case(&case, &plan)
+                .unwrap_or_else(|e| panic!("{}/{} [{label}]: {e}", case.engine, case.regime));
+            assert_eq!(
+                cert.verdict,
+                Verdict::Certified,
+                "{}/{} [{label}]: {:?}",
+                case.engine,
+                case.regime,
+                cert.failures
+            );
+            assert!(
+                cert.margin >= 1.0,
+                "{}/{} [{label}]: margin {}",
+                case.engine,
+                case.regime,
+                cert.margin
+            );
+            assert_eq!(cert.engine, case.engine);
+            assert_eq!(cert.regime, case.regime);
+        }
+    }
+}
+
+#[test]
+fn fault_plans_do_not_change_upper_side_margins() {
+    // The fault-adjusted upper check subtracts the recorded injected
+    // delay, so a uniform slowdown leaves the slowdown sandwich's upper
+    // side exactly where the clean run put it.
+    let case = matrix()
+        .into_iter()
+        .find(|c| c.engine == "multi1" && c.regime == "R1")
+        .unwrap();
+    let (_, clean) = run_case(&case, &FaultPlan::none()).unwrap();
+    let (_, faulted) = run_case(&case, &FaultPlan::uniform_slowdown(2.5).seed(3)).unwrap();
+    assert_eq!(faulted.verdict, Verdict::Certified);
+    assert_eq!(clean.upper.to_bits(), faulted.upper.to_bits());
+}
+
+#[test]
+fn corrupted_slowdown_is_violated() {
+    let case = matrix()[0];
+    let (mut trace, _) = run_case(&case, &FaultPlan::none()).unwrap();
+    // Shrink the recorded guest time: the recomputed slowdown explodes
+    // past the envelope and disagrees with the stored summary figure.
+    trace.summary.guest_time /= 1.0e6;
+    trace
+        .validate()
+        .expect("corruption stays structurally valid");
+    let cert = certify(&trace).expect("still certifiable");
+    assert_eq!(cert.verdict, Verdict::Violated);
+    assert!(
+        cert.failures.iter().any(|f| f.contains("stored slowdown")),
+        "{:?}",
+        cert.failures
+    );
+}
+
+#[test]
+fn inflated_comm_ledger_is_violated() {
+    // A trace whose communication ledger was inflated (consistently, so
+    // structural validation still passes) exceeds the busy-time ceiling:
+    // every unit of comm delay must be charged to some processor clock.
+    let case = matrix()
+        .into_iter()
+        .find(|c| c.engine == "naive1" && c.regime == "R1")
+        .unwrap();
+    let (mut trace, _) = run_case(&case, &FaultPlan::none()).unwrap();
+    for s in &mut trace.stages {
+        s.comm_delay *= 1.0e6;
+    }
+    trace.summary.comm_delay *= 1.0e6;
+    trace
+        .validate()
+        .expect("corruption stays structurally valid");
+    let cert = certify(&trace).expect("still certifiable");
+    assert_eq!(cert.verdict, Verdict::Violated);
+    assert!(
+        cert.failures.iter().any(|f| f.contains("comm")),
+        "{:?}",
+        cert.failures
+    );
+}
+
+#[test]
+fn zeroed_comm_ledger_is_violated() {
+    // The opposite tampering direction: a p > 1 ledger zeroed below the
+    // distance-weighted cut floor.
+    let case = matrix()
+        .into_iter()
+        .find(|c| c.engine == "naive1" && c.regime == "R1")
+        .unwrap();
+    let (mut trace, _) = run_case(&case, &FaultPlan::none()).unwrap();
+    for s in &mut trace.stages {
+        s.comm_delay = 0.0;
+    }
+    trace.summary.comm_delay = 0.0;
+    trace
+        .validate()
+        .expect("corruption stays structurally valid");
+    let cert = certify(&trace).expect("still certifiable");
+    assert_eq!(cert.verdict, Verdict::Violated);
+    assert!(
+        cert.failures.iter().any(|f| f.contains("comm")),
+        "{:?}",
+        cert.failures
+    );
+}
+
+#[test]
+fn mis_stamped_regime_is_rejected() {
+    let case = matrix()[0]; // an R1 cell
+    let (mut trace, _) = run_case(&case, &FaultPlan::none()).unwrap();
+    trace.summary.regime = "R4".to_string();
+    trace.validate().expect("R4 is a structurally valid stamp");
+    match certify(&trace) {
+        Err(CertifyError::RegimeMismatch { stamped, expected }) => {
+            assert_eq!(stamped, "R4");
+            assert_eq!(expected, "R1");
+        }
+        other => panic!("expected RegimeMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_engine_is_rejected() {
+    let case = matrix()[0];
+    let (mut trace, _) = run_case(&case, &FaultPlan::none()).unwrap();
+    trace.engine = "naive9".to_string();
+    match certify(&trace) {
+        Err(CertifyError::UnknownEngine(e)) => assert_eq!(e, "naive9"),
+        other => panic!("expected UnknownEngine, got {other:?}"),
+    }
+}

@@ -277,3 +277,68 @@ fn event_core_delegates_for_time_varying_programs() {
         assert_bit_identical(&dense, &event, &format!("clocked k={k}"));
     }
 }
+
+/// A program whose operator reads the clock: quiescence is unsound for
+/// it (a node with unchanged operands can still change value when `t`
+/// does), so the event core must refuse to take it — and say why.
+struct ClockStripe;
+
+impl LinearProgram for ClockStripe {
+    fn m(&self) -> usize {
+        1
+    }
+    fn delta(&self, _v: usize, t: i64, own: Word, _prev: Word, left: Word, right: Word) -> Word {
+        own.wrapping_add(left)
+            .wrapping_add(right)
+            .wrapping_add(t as Word)
+    }
+    fn time_invariant(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn clock_reading_program_surfaces_fallback_reason() {
+    let (n, p, steps) = (64u64, 4u64, 16i64);
+    let init = inputs::random_bits(9, n as usize);
+
+    // The event core refuses a clock-reading program and the report says
+    // why — this is the only precondition violated at this scale
+    // (steps ≥ 1, m = 1, q = 16 ≥ 3).
+    let sim = Simulation::try_linear(n, p, 1)
+        .unwrap()
+        .strategy(Strategy::Naive)
+        .core(CoreKind::Event);
+    let rep = sim.try_run(&ClockStripe, &init, steps).unwrap();
+    assert_eq!(
+        rep.sim.core_fallback,
+        Some("clock-reading program (quiescence unsound)")
+    );
+
+    // The dense loop never delegates, so it reports no fallback; and a
+    // quiescence-sound program on the event core reports none either.
+    let dense = Simulation::try_linear(n, p, 1)
+        .unwrap()
+        .strategy(Strategy::Naive)
+        .try_run(&ClockStripe, &init, steps)
+        .unwrap();
+    assert_eq!(dense.sim.core_fallback, None);
+    assert_eq!(dense.sim.mem, rep.sim.mem, "fallback is still bit-exact");
+    let sound = Simulation::try_linear(n, p, 1)
+        .unwrap()
+        .strategy(Strategy::Naive)
+        .core(CoreKind::Event)
+        .try_run(&Eca::rule110(), &init, steps)
+        .unwrap();
+    assert_eq!(sound.sim.core_fallback, None);
+
+    // The footprint probe carries the same reason in its stats.
+    let spec = bsmp::machine::MachineSpec::new(1, n, p, 1);
+    let (_, st) =
+        bsmp::sim::event1::naive1_event_footprint(&spec, &ClockStripe, &init, steps).unwrap();
+    assert!(!st.used_event_core);
+    assert_eq!(
+        st.fallback,
+        Some("clock-reading program (quiescence unsound)")
+    );
+}

@@ -182,3 +182,38 @@ fn validate_trace_rejects_a_mis_stamped_regime() {
     trace.summary.regime = "R4".into(); // n = 64, m = 1 is R1 territory.
     assert!(validate_trace(&trace).is_err());
 }
+
+#[test]
+fn facade_certifies_linear_and_mesh_runs() {
+    let init = inputs::random_bits(98, 64);
+    let (_, trace, cert) = Simulation::try_linear(64, 4, 1)
+        .unwrap()
+        .strategy(Strategy::TwoRegime)
+        .try_certify(&Eca::rule110(), &init, 64)
+        .unwrap();
+    assert_eq!(cert.verdict, bsmp::trace::certify::Verdict::Certified);
+    assert_eq!(cert.engine, trace.engine);
+    assert!(cert.lower <= cert.measured && cert.measured <= cert.upper);
+
+    let (_, _, mcert) = Simulation::try_mesh(64, 4, 1)
+        .unwrap()
+        .strategy(Strategy::Naive)
+        .try_certify_mesh(&VonNeumannLife::fredkin(), &init, 16)
+        .unwrap();
+    assert_eq!(mcert.verdict, bsmp::trace::certify::Verdict::Certified);
+}
+
+#[test]
+fn facade_refuses_to_certify_instantaneous_runs() {
+    // The trace schema does not record the cost model, and the
+    // certifier's floors assume bounded-speed hops — an instantaneous
+    // trace would be judged against the wrong envelopes.
+    let init = inputs::random_bits(99, 64);
+    let err = Simulation::try_linear(64, 4, 1)
+        .unwrap()
+        .instantaneous()
+        .strategy(Strategy::Naive)
+        .try_certify(&Eca::rule110(), &init, 16)
+        .unwrap_err();
+    assert!(matches!(err, bsmp::SimError::Uncertifiable { .. }), "{err}");
+}
