@@ -35,7 +35,7 @@ if [ ! -s "$SMOKE" ]; then
     echo "perf smoke FAILED: $SMOKE missing or empty" >&2
     exit 1
 fi
-grep -q '"schema": "bsmp-bench-engines/v2"' "$SMOKE" || {
+grep -q '"schema": "bsmp-bench-engines/v3"' "$SMOKE" || {
     echo "perf smoke FAILED: bench output malformed (schema tag missing)" >&2
     exit 1
 }
@@ -51,6 +51,52 @@ grep -q '"table_hits": [1-9]' "$SMOKE" || {
 }
 grep -q '"trace_counters"' "$SMOKE" || {
     echo "perf smoke FAILED: --trace-counters section missing" >&2
+    exit 1
+}
+# The batch-server warm/cold suite rides along in every bench run; the
+# ≥5× warm/cold jobs-per-second floor is enforced inside the bench
+# binary (exit 1), so here we only assert the section was recorded.
+grep -q '"serve_cases"' "$SMOKE" && grep -q '"warm_cold_ratio"' "$SMOKE" || {
+    echo "perf smoke FAILED: serve warm/cold section missing" >&2
+    exit 1
+}
+grep -q '"plan_cache"' "$SMOKE" || {
+    echo "perf smoke FAILED: plan-cache counters missing" >&2
+    exit 1
+}
+
+echo "==> serve smoke (bsmp-repro serve: batch protocol + warm plan cache)"
+# One server process, five requests: a malformed line and an unknown
+# engine must each yield a typed error line without killing the batch,
+# and the repeated dnc1 shape must be answered warm (capsule hit) with
+# nonzero plan-cache hits in the summary.  --max-inflight 1 keeps the
+# cold run strictly before its warm repeat.
+SERVE_OUT="$SCRATCH/serve_smoke.ndjson"
+cargo run --release -q -p bsmp-cli -- serve --max-inflight 1 > "$SERVE_OUT" <<'EOF'
+{"id": 1, "engine": "dnc1", "n": 64, "m": 16, "steps": 64}
+this line is not a json request
+{"id": 3, "engine": "warp9", "n": 64, "steps": 64}
+{"id": 4, "engine": "dnc1", "n": 64, "m": 16, "steps": 64, "seed": 99}
+{"id": 5, "engine": "multi2", "n": 256, "m": 4, "p": 4, "steps": 16, "certify": true}
+EOF
+[ "$(grep -c '"kind": "bad_request"' "$SERVE_OUT")" -eq 2 ] || {
+    echo "serve smoke FAILED: want exactly 2 typed bad_request lines" >&2
+    exit 1
+}
+[ "$(grep -c '"ok": true' "$SERVE_OUT")" -eq 3 ] || {
+    echo "serve smoke FAILED: the malformed lines killed healthy jobs" >&2
+    exit 1
+}
+grep -q '"id": 4, "ok": true.*"cache_hit": true' "$SERVE_OUT" || {
+    echo "serve smoke FAILED: repeated shape was not answered warm" >&2
+    exit 1
+}
+grep -q '"verdict": "Certified"' "$SERVE_OUT" || {
+    echo "serve smoke FAILED: certify job carries no Certified verdict" >&2
+    exit 1
+}
+grep -q '"summary": true.*"plan_cache": {"hits": [1-9]' "$SERVE_OUT" || {
+    echo "serve smoke FAILED: summary reports zero plan-cache hits" >&2
     exit 1
 }
 

@@ -8,6 +8,7 @@
 //! bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--certify] [--mem] [--against <BASELINE.json>]
 //! bsmp-repro trace-validate <PATH>
 //! bsmp-repro trace-certify <PATH>
+//! bsmp-repro serve [--threads <N>] [--max-inflight <K>] [--plan-cache-bytes <B>]
 //! ```
 //!
 //! * `--quick` — the seconds-scale variant of every experiment;
@@ -48,7 +49,18 @@
 //!   certified at all);
 //! * `bench --certify` — also run the engine × regime certification
 //!   matrix and write one verdict per cell into the bench document's
-//!   `certificates` section (exit 1 if any cell is not `Certified`).
+//!   `certificates` section (exit 1 if any cell is not `Certified`);
+//! * `serve` — the batch server: read newline-delimited
+//!   `bsmp-serve/v1` job requests from stdin until EOF, run them
+//!   concurrently over the shared stage pool and plan cache, and write
+//!   one JSON result line per job (completion order) plus a final
+//!   summary line to stdout.  `--max-inflight <K>` bounds the in-flight
+//!   window (default 8; the reader blocks, giving stdin backpressure);
+//!   `--plan-cache-bytes <B>` caps the plan cache's budget.  A
+//!   malformed request yields a typed `bad_request` line and never
+//!   kills the server, so `serve` exits 0 whenever the batch ran to
+//!   completion — per-job failures are results, counted in the summary
+//!   line, not a server failure.
 //!
 //! Exit status: 0 on success, 1 on an engine/validation error, 2 on bad
 //! command-line arguments.
@@ -70,6 +82,12 @@ struct Args {
     trace_engine: String,
     trace_validate: Option<String>,
     trace_certify: Option<String>,
+    serve: Option<ServeCliArgs>,
+}
+
+struct ServeCliArgs {
+    max_inflight: usize,
+    plan_cache_bytes: Option<usize>,
 }
 
 struct BenchArgs {
@@ -96,6 +114,7 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
         trace_engine: "multi1".to_string(),
         trace_validate: None,
         trace_certify: None,
+        serve: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -153,6 +172,37 @@ fn parse_args(raw: &[String], valid_ids: &[&str]) -> Result<Args, String> {
             "trace-certify" => {
                 let v = it.next().ok_or("trace-certify requires a trace path")?;
                 args.trace_certify = Some(v.clone());
+            }
+            "serve" => {
+                args.serve = Some(ServeCliArgs {
+                    max_inflight: 8,
+                    plan_cache_bytes: None,
+                });
+            }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight requires a count ≥ 1")?;
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-inflight: `{v}` is not a count"))?;
+                if k == 0 {
+                    return Err("--max-inflight must be ≥ 1".into());
+                }
+                match &mut args.serve {
+                    Some(s) => s.max_inflight = k,
+                    None => return Err("--max-inflight is only valid after `serve`".into()),
+                }
+            }
+            "--plan-cache-bytes" => {
+                let v = it
+                    .next()
+                    .ok_or("--plan-cache-bytes requires a byte budget")?;
+                let b: usize = v
+                    .parse()
+                    .map_err(|_| format!("--plan-cache-bytes: `{v}` is not a byte count"))?;
+                match &mut args.serve {
+                    Some(s) => s.plan_cache_bytes = Some(b),
+                    None => return Err("--plan-cache-bytes is only valid after `serve`".into()),
+                }
             }
             "bench" => {
                 args.bench = Some(BenchArgs {
@@ -452,7 +502,8 @@ fn main() {
                 "usage: bsmp-repro [--quick] [--threads <N>] [--core dense|event] [--slow <ν>] [--fault-seed <u64>] [--faults <PLAN.json>] [--trace <PATH>] [E1 E4 ...]\n\
                  \x20      bsmp-repro bench [--out <PATH>] [--meta <STR>] [--threads <N>] [--iters <K>] [--trace-counters] [--mem] [--against <BASELINE.json>]\n\
                  \x20      bsmp-repro trace-validate <PATH>\n\
-                 \x20      bsmp-repro trace-certify <PATH>"
+                 \x20      bsmp-repro trace-certify <PATH>\n\
+                 \x20      bsmp-repro serve [--threads <N>] [--max-inflight <K>] [--plan-cache-bytes <B>]"
             );
             std::process::exit(2);
         }
@@ -505,6 +556,34 @@ fn main() {
     // resolves to this process default).
     bsmp::set_default_threads(args.threads);
 
+    if let Some(serve) = &args.serve {
+        if let Some(bytes) = serve.plan_cache_bytes {
+            bsmp::plan_cache().set_capacity(bytes);
+        }
+        // One persistent stage pool shared by every concurrent job; the
+        // re-entrant engines lease scratch arenas from it per request.
+        bsmp::init_shared_pool(args.threads);
+        let input = std::io::BufReader::new(std::io::stdin());
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        let opts = bsmp::serve_suite::ServeOptions {
+            max_inflight: serve.max_inflight,
+        };
+        match bsmp::serve_suite::serve(input, &mut out, opts) {
+            Ok(summary) => {
+                eprintln!(
+                    "bsmp-repro: serve: {} job(s), {} ok, {} error(s)",
+                    summary.jobs, summary.ok, summary.errors
+                );
+            }
+            Err(e) => {
+                eprintln!("bsmp-repro: serve: i/o failure: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(bench) = &args.bench {
         if bench.mem {
             if let Err(e) = mem_probe() {
@@ -524,7 +603,11 @@ fn main() {
         } else {
             Vec::new()
         };
-        let doc = perf::to_json_full(&cases, &traces, &certs, args.threads, &bench.meta);
+        // The batch-server warm/cold suite always rides along: repeated
+        // -shape dnc/multi traffic, cold (cleared plan cache) vs warm
+        // (pre-seeded).  The warm/cold ratio floor is a CI gate.
+        let serves = perf::run_serve_suite(8);
+        let doc = perf::to_json_full(&cases, &traces, &certs, &serves, args.threads, &bench.meta);
         if let Err(e) = perf::validate_json(&doc) {
             eprintln!("bsmp-repro: bench produced a malformed document: {e}");
             std::process::exit(1);
@@ -549,6 +632,25 @@ fn main() {
                 "certify {:<14} {:>10.1} <= {:>12.1} <= {:>14.1}  margin {:>7.2}  {}",
                 c.case, c.lower, c.measured, c.upper, c.margin, c.verdict
             );
+        }
+        for s in &serves {
+            println!(
+                "serve   {:<28} cold {:>9.1} jobs/s  warm {:>11.1} jobs/s  ratio {:>8.1}×",
+                s.name,
+                s.cold_jps,
+                s.warm_jps,
+                s.ratio()
+            );
+        }
+        match perf::serve_gate(&serves) {
+            Ok(n) => println!(
+                "serve warm/cold gate: {n} case(s) at ≥ {:.0}× cold throughput",
+                perf::SERVE_WARM_RATIO_FLOOR
+            ),
+            Err(e) => {
+                eprintln!("bsmp-repro: bench: serve warm path regressed: {e}");
+                std::process::exit(1);
+            }
         }
         println!("wrote {} ({} cases)", bench.out, cases.len());
         if certs.iter().any(|c| c.verdict != "Certified") {

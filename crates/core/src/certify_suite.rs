@@ -18,11 +18,11 @@
 //! trace through [`bsmp_trace::certify::certify`].
 
 use bsmp_faults::FaultPlan;
-use bsmp_machine::{ExecPolicy, MachineSpec};
-use bsmp_sim::{dnc1, dnc2, dnc3, multi1, multi2, naive1, naive2, pipelined1, SimError};
+use bsmp_sim::{SimError, SimReport};
 use bsmp_trace::certify::{certify, Certificate};
 use bsmp_trace::{RunTrace, Tracer};
-use bsmp_workloads::{inputs, CyclicWave, Eca, Parity3d, PlaneWave, VonNeumannLife};
+
+use crate::serve_suite::{default_seed, run_shape};
 
 /// One (engine, regime) cell of the certification matrix.
 #[derive(Clone, Copy, Debug)]
@@ -120,77 +120,32 @@ pub fn matrix() -> Vec<MatrixCase> {
 /// certification *result*; only engine failures and uncertifiable
 /// traces are `Err`.
 pub fn run_case(case: &MatrixCase, plan: &FaultPlan) -> Result<(RunTrace, Certificate), SimError> {
+    run_case_reported(case, plan).map(|(_, trace, cert)| (trace, cert))
+}
+
+/// [`run_case`] returning the engine's [`SimReport`] alongside the
+/// trace and certificate — the batch server's twin-check path needs all
+/// three.  Dispatch goes through [`crate::serve_suite::run_shape`], the
+/// single engine dispatcher shared with the server, so a matrix cell
+/// and the serve job of the same shape are bit-identical by
+/// construction.
+pub fn run_case_reported(
+    case: &MatrixCase,
+    plan: &FaultPlan,
+) -> Result<(SimReport, RunTrace, Certificate), SimError> {
     let mut tracer = Tracer::recording();
-    let seed = 0xB5_u64
-        .wrapping_mul(case.n)
-        .wrapping_add(case.m * 31 + case.p * 7);
-    match case.d {
-        1 => {
-            let spec = MachineSpec::try_new(1, case.n, case.p, case.m)?;
-            let n = case.n as usize;
-            let m = case.m as usize;
-            if m == 1 {
-                let prog = Eca::rule110();
-                let init = inputs::random_bits(seed, n);
-                run_linear_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
-            } else {
-                let prog = CyclicWave::new(m);
-                let init = inputs::random_words(seed, n * m, 50);
-                run_linear_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
-            }
-        }
-        2 => {
-            let spec = MachineSpec::try_new(2, case.n, case.p, case.m)?;
-            let n = case.n as usize;
-            let m = case.m as usize;
-            if m == 1 {
-                let prog = VonNeumannLife::fredkin();
-                let init = inputs::random_bits(seed, n);
-                run_mesh_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
-            } else {
-                let prog = PlaneWave::new(m);
-                let init = inputs::random_words(seed, n * m, 50);
-                run_mesh_engine(case, &spec, &prog, &init, plan, &mut tracer)?;
-            }
-        }
-        3 => {
-            let side = (case.n as f64).cbrt().round() as usize;
-            let init = inputs::random_bits(seed, side * side * side);
-            match case.engine {
-                "naive3" => {
-                    dnc3::try_simulate_naive3_faulted_traced(
-                        side,
-                        &Parity3d,
-                        &init,
-                        case.steps,
-                        plan,
-                        &mut tracer,
-                    )?;
-                }
-                "dnc3" => {
-                    dnc3::try_simulate_dnc3_faulted_traced(
-                        side,
-                        &Parity3d,
-                        &init,
-                        case.steps,
-                        plan,
-                        &mut tracer,
-                    )?;
-                }
-                _ => {
-                    return Err(SimError::Internal {
-                        what: "unknown d = 3 engine in certification matrix",
-                    })
-                }
-            }
-        }
-        _ => {
-            return Err(SimError::DimensionMismatch {
-                expected: 1,
-                got: case.d,
-            })
-        }
-    }
+    let seed = default_seed(case.n, case.m, case.p);
+    let report = run_shape(
+        case.engine,
+        case.d,
+        case.n,
+        case.m,
+        case.p,
+        case.steps,
+        seed,
+        plan,
+        &mut tracer,
+    )?;
     let mut trace = tracer.take().expect("recording tracer yields a trace");
     trace.summary.regime = format!(
         "{:?}",
@@ -200,88 +155,7 @@ pub fn run_case(case: &MatrixCase, plan: &FaultPlan) -> Result<(RunTrace, Certif
     let cert = certify(&trace).map_err(|e| SimError::Uncertifiable {
         message: e.to_string(),
     })?;
-    Ok((trace, cert))
-}
-
-fn run_linear_engine(
-    case: &MatrixCase,
-    spec: &MachineSpec,
-    prog: &impl bsmp_machine::LinearProgram,
-    init: &[bsmp_hram::Word],
-    plan: &FaultPlan,
-    tracer: &mut Tracer,
-) -> Result<(), SimError> {
-    match case.engine {
-        "naive1" => {
-            naive1::try_simulate_naive1_traced(
-                spec,
-                prog,
-                init,
-                case.steps,
-                plan,
-                ExecPolicy::auto(),
-                tracer,
-            )?;
-        }
-        "multi1" => {
-            multi1::try_simulate_multi1_traced(
-                spec,
-                prog,
-                init,
-                case.steps,
-                multi1::Multi1Options::default(),
-                plan,
-                tracer,
-            )?;
-        }
-        "pipelined1" => {
-            pipelined1::try_simulate_pipelined1_traced(spec, prog, init, case.steps, plan, tracer)?;
-        }
-        "dnc1" => {
-            dnc1::try_simulate_dnc1_faulted_traced(spec, prog, init, case.steps, plan, tracer)?;
-        }
-        _ => {
-            return Err(SimError::Internal {
-                what: "unknown d = 1 engine in certification matrix",
-            })
-        }
-    }
-    Ok(())
-}
-
-fn run_mesh_engine(
-    case: &MatrixCase,
-    spec: &MachineSpec,
-    prog: &impl bsmp_machine::MeshProgram,
-    init: &[bsmp_hram::Word],
-    plan: &FaultPlan,
-    tracer: &mut Tracer,
-) -> Result<(), SimError> {
-    match case.engine {
-        "naive2" => {
-            naive2::try_simulate_naive2_traced(
-                spec,
-                prog,
-                init,
-                case.steps,
-                plan,
-                ExecPolicy::auto(),
-                tracer,
-            )?;
-        }
-        "multi2" => {
-            multi2::try_simulate_multi2_traced(spec, prog, init, case.steps, plan, tracer)?;
-        }
-        "dnc2" => {
-            dnc2::try_simulate_dnc2_faulted_traced(spec, prog, init, case.steps, plan, tracer)?;
-        }
-        _ => {
-            return Err(SimError::Internal {
-                what: "unknown d = 2 engine in certification matrix",
-            })
-        }
-    }
-    Ok(())
+    Ok((report, trace, cert))
 }
 
 #[cfg(test)]

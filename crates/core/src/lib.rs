@@ -76,11 +76,13 @@ pub use bsmp_trace as trace;
 pub use bsmp_workloads as workloads;
 
 pub mod certify_suite;
+pub mod serve_suite;
 
 pub use bsmp_faults::{FaultPlan, FaultStats, PlanParseError};
 pub use bsmp_hram::{CostModel, Word};
 pub use bsmp_machine::{
-    set_default_threads, CoreKind, ExecPolicy, LinearProgram, MachineSpec, MeshProgram, SpecError,
+    init_shared_pool, plan_cache, set_default_threads, CacheStats, CoreKind, ExecPolicy,
+    LinearProgram, MachineSpec, MeshProgram, PlanKey, SpecError,
 };
 pub use bsmp_sim::{SimError, SimReport};
 pub use bsmp_trace::{RunTrace, Tracer};

@@ -31,6 +31,7 @@
 //! * [`hash`] — the deterministic multiply-xor hasher behind the
 //!   executors' hot liveness/placement maps.
 
+pub mod cache;
 pub mod event;
 pub mod guest;
 pub mod hash;
@@ -40,6 +41,7 @@ pub mod sparse;
 pub mod spec;
 pub mod stage;
 
+pub use cache::{plan_cache, CacheStats, PlanCache, PlanKey};
 pub use event::{CoreKind, EventQueue};
 pub use guest::{
     linear_guest_time, mesh_guest_time, run_linear, run_mesh, run_volume, volume_guest_time,
@@ -47,8 +49,8 @@ pub use guest::{
 };
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use pool::{
-    available_threads, set_default_threads, DisjointSlice, ExecPolicy, StagePanic, StagePool,
-    StageScratch,
+    available_threads, init_shared_pool, lease_scratch, set_default_threads, shared_pool,
+    DisjointSlice, ExecPolicy, PoolLease, ScratchLease, StagePanic, StagePool, StageScratch,
 };
 pub use program::{LinearProgram, MeshProgram, VolumeProgram};
 pub use sparse::{Frontier, SparseState};

@@ -17,11 +17,21 @@
 //! A panic inside a task is caught, the remaining tasks still drain, and
 //! [`StagePool::run_stage`] returns the first panic's message as
 //! [`StagePanic`] — no hang, no abort.
+//!
+//! **Re-entrancy (serving mode).**  One pool instance is safe for
+//! *concurrent* callers: the publish → participate → retire protocol of
+//! one stage runs under a submit lock, so two jobs sharing the pool
+//! interleave at stage granularity (each stage's tasks still fan out
+//! across the workers).  A long-running server initializes one
+//! process-wide pool via [`init_shared_pool`]; engines lease it through
+//! [`PoolLease`] — falling back to a private per-run pool when no shared
+//! pool exists, which keeps one-shot CLI runs exactly as before.
 
 use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// How many OS threads the host may use for stage execution.
@@ -188,6 +198,13 @@ struct PoolState {
     job: Option<JobPtr>,
     /// Workers currently executing the published runner.
     active: usize,
+    /// Workers that joined the published runner (never decremented
+    /// within an epoch — it caps participation, `active` tracks
+    /// completion).
+    joined: usize,
+    /// Maximum workers allowed to join the published runner (the
+    /// caller's thread budget minus the caller itself).
+    cap: usize,
     shutdown: bool,
 }
 
@@ -197,6 +214,10 @@ struct Shared {
     work: Condvar,
     /// Signals the caller: a worker finished its participation.
     done: Condvar,
+    /// Serializes whole stages across concurrent callers: the pool has
+    /// one published-job slot, so a second job waits here until the
+    /// first stage retires.  Workers never take this lock.
+    submit: Mutex<()>,
 }
 
 /// A pool of long-lived stage workers (plus the calling thread, which
@@ -217,10 +238,13 @@ impl StagePool {
                 epoch: 0,
                 job: None,
                 active: 0,
+                joined: 0,
+                cap: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            submit: Mutex::new(()),
         });
         let workers = (0..threads.saturating_sub(1))
             .map(|i| {
@@ -257,9 +281,24 @@ impl StagePool {
         out: &mut [f64],
         task: impl Fn(usize) -> f64 + Sync,
     ) -> Result<(), StagePanic> {
+        self.run_stage_capped(n, usize::MAX, out, task)
+    }
+
+    /// [`run_stage`](Self::run_stage) with a per-call thread budget:
+    /// at most `threads - 1` workers join the caller on this stage
+    /// (`threads <= 1` runs strictly serially on the calling thread).
+    /// This is how concurrent jobs with different [`ExecPolicy`] budgets
+    /// share one pool; results are bit-identical for any budget.
+    pub fn run_stage_capped(
+        &self,
+        n: usize,
+        threads: usize,
+        out: &mut [f64],
+        task: impl Fn(usize) -> f64 + Sync,
+    ) -> Result<(), StagePanic> {
         assert!(out.len() >= n, "out buffer shorter than task count");
         let first_panic: Mutex<Option<String>> = Mutex::new(None);
-        if self.workers.is_empty() || n <= 1 {
+        if self.workers.is_empty() || n <= 1 || threads <= 1 {
             // Serial path — same per-index claiming semantics, one thread.
             for (i, slot) in out.iter_mut().enumerate().take(n) {
                 match catch_unwind(AssertUnwindSafe(|| task(i))) {
@@ -304,9 +343,16 @@ impl StagePool {
                     runner_ref as *const _,
                 )
             });
+            // One stage at a time pool-wide: concurrent jobs queue here
+            // and interleave at stage granularity.  Held until the stage
+            // retires so a second caller can never clobber the published
+            // job slot.
+            let _submit = self.shared.submit.lock().unwrap();
             {
                 let mut st = self.shared.state.lock().unwrap();
                 st.job = Some(job);
+                st.joined = 0;
+                st.cap = (threads - 1).min(self.workers.len());
                 st.epoch += 1;
                 self.shared.work.notify_all();
             }
@@ -353,8 +399,13 @@ fn worker_loop(shared: Arc<Shared>) {
                 if st.epoch != served {
                     served = st.epoch;
                     if let Some(job) = st.job {
-                        st.active += 1;
-                        break job;
+                        if st.joined < st.cap {
+                            st.joined += 1;
+                            st.active += 1;
+                            break job;
+                        }
+                        // Over the caller's thread budget; sit this
+                        // stage out.
                     }
                     // Stage already retired; keep waiting.
                 }
@@ -368,6 +419,79 @@ fn worker_loop(shared: Arc<Shared>) {
         st.active -= 1;
         if st.active == 0 {
             shared.done.notify_all();
+        }
+    }
+}
+
+/// The process-wide shared pool, once a server has initialized it.
+static SHARED_POOL: OnceLock<StagePool> = OnceLock::new();
+
+/// Stand up the process-wide shared [`StagePool`] with `threads` total
+/// threads (calling threads included).  Idempotent: the first call wins
+/// and later calls are ignored (returns `false`).  Once initialized,
+/// every engine's [`PoolLease`] routes stages through this pool instead
+/// of standing up a private one per run — the serving configuration.
+pub fn init_shared_pool(threads: usize) -> bool {
+    let mut fresh = false;
+    SHARED_POOL.get_or_init(|| {
+        fresh = true;
+        StagePool::new(threads.max(1))
+    });
+    fresh
+}
+
+/// The shared pool, if a server initialized one.
+pub fn shared_pool() -> Option<&'static StagePool> {
+    SHARED_POOL.get()
+}
+
+/// An engine's handle on stage execution for one run: either the
+/// process-wide shared pool (capped at this run's thread budget) or a
+/// private per-run pool when no shared pool exists.  Model costs are
+/// identical either way.
+pub enum PoolLease {
+    Shared {
+        pool: &'static StagePool,
+        cap: usize,
+    },
+    Owned(StagePool),
+}
+
+impl PoolLease {
+    /// Lease capacity for `p` independent work items under `policy`
+    /// (never more threads than items).
+    pub fn for_procs(p: usize, policy: ExecPolicy) -> Self {
+        let cap = policy.resolved().min(p.max(1));
+        match shared_pool() {
+            Some(pool) if cap > 1 => PoolLease::Shared { pool, cap },
+            _ => PoolLease::Owned(StagePool::new(cap)),
+        }
+    }
+
+    /// Strictly serial execution on the calling thread.
+    pub fn serial() -> Self {
+        PoolLease::Owned(StagePool::new(1))
+    }
+
+    /// This lease's thread budget.
+    pub fn threads(&self) -> usize {
+        match self {
+            PoolLease::Shared { cap, .. } => *cap,
+            PoolLease::Owned(pool) => pool.threads(),
+        }
+    }
+
+    /// Run one stage under this lease's thread budget (see
+    /// [`StagePool::run_stage_capped`]).
+    pub fn run_stage(
+        &self,
+        n: usize,
+        out: &mut [f64],
+        task: impl Fn(usize) -> f64 + Sync,
+    ) -> Result<(), StagePanic> {
+        match self {
+            PoolLease::Shared { pool, cap } => pool.run_stage_capped(n, *cap, out, task),
+            PoolLease::Owned(pool) => pool.run_stage(n, out, task),
         }
     }
 }
@@ -396,6 +520,78 @@ impl StageScratch {
             comm_before: vec![0.0; p],
             time_before: vec![0.0; p],
         }
+    }
+
+    /// Resize every buffer to `p` slots and zero them — the state
+    /// [`StageScratch::new`] would give, reusing the allocations.
+    fn reset(&mut self, p: usize) {
+        for v in [
+            &mut self.per_proc,
+            &mut self.per_comm,
+            &mut self.comm_before,
+            &mut self.time_before,
+        ] {
+            v.clear();
+            v.resize(p, 0.0);
+        }
+    }
+}
+
+/// Free-list of [`StageScratch`] arenas a long-lived server recycles
+/// across requests: checkout via [`lease_scratch`], automatic return on
+/// drop, capped so a burst of concurrent jobs cannot pin memory forever.
+struct ScratchArena {
+    free: Mutex<Vec<StageScratch>>,
+}
+
+/// Parked arenas beyond this are dropped instead of returned.
+const ARENA_MAX_PARKED: usize = 64;
+
+static SCRATCH_ARENA: ScratchArena = ScratchArena {
+    free: Mutex::new(Vec::new()),
+};
+
+/// A per-request scratch arena: dereferences to [`StageScratch`], and
+/// returns the buffers to the process-wide free list when dropped.
+pub struct ScratchLease {
+    scratch: Option<StageScratch>,
+}
+
+impl Deref for ScratchLease {
+    type Target = StageScratch;
+    fn deref(&self) -> &StageScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchLease {
+    fn deref_mut(&mut self) -> &mut StageScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchLease {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            let mut free = SCRATCH_ARENA.free.lock().unwrap();
+            if free.len() < ARENA_MAX_PARKED {
+                free.push(s);
+            }
+        }
+    }
+}
+
+/// Check a zeroed `p`-slot [`StageScratch`] out of the process-wide
+/// arena (allocating a fresh one only when the free list is empty).
+/// Each lease is exclusively owned by its request — engines hold no
+/// buffers of their own between runs, which is what makes every
+/// `try_simulate_*` path re-entrant.
+pub fn lease_scratch(p: usize) -> ScratchLease {
+    let parked = SCRATCH_ARENA.free.lock().unwrap().pop();
+    let mut scratch = parked.unwrap_or_else(|| StageScratch::new(p));
+    scratch.reset(p);
+    ScratchLease {
+        scratch: Some(scratch),
     }
 }
 
@@ -534,5 +730,84 @@ mod tests {
         assert_eq!(s.per_comm.len(), 6);
         assert_eq!(s.comm_before.len(), 6);
         assert_eq!(s.time_before.len(), 6);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_pool() {
+        // Two jobs hammer the same pool from different threads; every
+        // stage of each job must come back bit-identical to its serial
+        // twin (stage-granularity interleaving, no cross-talk).
+        let pool = StagePool::new(4);
+        let task_a = |i: usize| ((i * 13 + 5) as f64).sqrt();
+        let task_b = |i: usize| ((i * 7 + 3) as f64).ln_1p();
+        let mut want_a = vec![0.0; 64];
+        let mut want_b = vec![0.0; 64];
+        StagePool::new(1)
+            .run_stage(64, &mut want_a, task_a)
+            .unwrap();
+        StagePool::new(1)
+            .run_stage(64, &mut want_b, task_b)
+            .unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut out = vec![0.0; 64];
+                for _ in 0..200 {
+                    pool.run_stage(64, &mut out, task_a).unwrap();
+                    assert_eq!(out, want_a);
+                }
+            });
+            s.spawn(|| {
+                let mut out = vec![0.0; 64];
+                for _ in 0..200 {
+                    pool.run_stage(64, &mut out, task_b).unwrap();
+                    assert_eq!(out, want_b);
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn capped_stage_matches_uncapped_bitwise() {
+        let pool = StagePool::new(8);
+        let task = |i: usize| ((i * 31 + 7) as f64).sqrt() * 0.5;
+        let mut want = vec![0.0; 96];
+        StagePool::new(1).run_stage(96, &mut want, task).unwrap();
+        for cap in [1usize, 2, 3, 8, usize::MAX] {
+            let mut out = vec![0.0; 96];
+            pool.run_stage_capped(96, cap, &mut out, task).unwrap();
+            assert_eq!(out, want, "cap = {cap}");
+        }
+    }
+
+    #[test]
+    fn scratch_lease_recycles_zeroed() {
+        {
+            let mut lease = lease_scratch(4);
+            lease.per_proc[2] = 7.5;
+            lease.comm_before[0] = 1.0;
+        }
+        // Whatever we get back (possibly the same buffers) is zeroed and
+        // sized to the new request.
+        let lease = lease_scratch(6);
+        assert_eq!(lease.per_proc, vec![0.0; 6]);
+        assert_eq!(lease.comm_before, vec![0.0; 6]);
+        let small = lease_scratch(2);
+        assert_eq!(small.per_proc.len(), 2);
+    }
+
+    #[test]
+    fn owned_lease_without_shared_pool() {
+        // Tests must not initialize the process-wide pool (other tests
+        // assert per-run behavior), so only the fallback path is
+        // exercised here; serve's integration tests cover the shared
+        // path end to end.
+        let lease = PoolLease::for_procs(4, ExecPolicy::threads(2));
+        if shared_pool().is_none() {
+            assert!(matches!(lease, PoolLease::Owned(_)));
+        }
+        let mut out = vec![0.0; 8];
+        lease.run_stage(8, &mut out, |i| i as f64).unwrap();
+        assert_eq!(out, (0..8).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(PoolLease::serial().threads(), 1);
     }
 }

@@ -64,6 +64,11 @@ pub enum SimError {
         host_time: f64,
         guest_time: f64,
     },
+    /// A batch-server job request is malformed — unknown engine,
+    /// missing or out-of-range field, or unparseable JSON.  Carries the
+    /// request's `id` (0 when the id itself was unreadable) so the
+    /// server can answer the offending job without dropping the batch.
+    BadRequest { job_id: u64, what: String },
     /// A run cannot be bound-certified (e.g. recorded under the
     /// instantaneous cost model, or the certifier rejected the trace as
     /// malformed before reaching a verdict).  Distinct from a
@@ -157,6 +162,9 @@ impl fmt::Display for SimError {
                     f,
                     "{what} is undefined: host_time = {host_time}, guest_time = {guest_time}"
                 )
+            }
+            SimError::BadRequest { job_id, ref what } => {
+                write!(f, "bad request (job {job_id}): {what}")
             }
             SimError::Uncertifiable { ref message } => {
                 write!(f, "run cannot be bound-certified: {message}")
@@ -256,6 +264,10 @@ mod tests {
             },
             SimError::Uncertifiable {
                 message: "instantaneous cost model".into(),
+            },
+            SimError::BadRequest {
+                job_id: 3,
+                what: "unknown engine \"dnc9\"".into(),
             },
         ];
         for e in errs {

@@ -28,7 +28,7 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostMeter, CostTable, Word};
 use bsmp_machine::{
-    ExecPolicy, Frontier, LinearProgram, MachineSpec, SparseState, StageClock, StageScratch,
+    lease_scratch, ExecPolicy, Frontier, LinearProgram, MachineSpec, SparseState, StageClock,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
@@ -266,7 +266,7 @@ fn naive1_event_impl(
     };
 
     let mut clock = StageClock::new();
-    let mut scratch = StageScratch::new(p);
+    let mut scratch = lease_scratch(p);
     tracer.ensure_procs(p);
 
     // Sparse value state: copy-on-write pages over the initial image

@@ -24,7 +24,7 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostMeter, CostTable, Word};
 use bsmp_machine::{
-    ExecPolicy, Frontier, MachineSpec, MeshProgram, SparseState, StageClock, StageScratch,
+    lease_scratch, ExecPolicy, Frontier, MachineSpec, MeshProgram, SparseState, StageClock,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
@@ -202,7 +202,7 @@ fn naive2_event_impl(
     };
 
     let mut clock = StageClock::new();
-    let mut scratch = StageScratch::new(p);
+    let mut scratch = lease_scratch(p);
     tracer.ensure_procs(p);
 
     // m = 1: the initial value plane is the initial image itself.

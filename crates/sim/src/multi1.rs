@@ -41,18 +41,22 @@
 //!   at the top of the working region (the staging area they physically
 //!   occupy) rather than through a per-word address map.
 
+use std::sync::Arc;
+
 use bsmp_machine::{FxHashMap, FxHashSet};
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{diamond_cover, ClippedDiamond, IRect, Pt2};
 use bsmp_hram::Word;
 use bsmp_machine::{
-    linear_guest_time, CoreKind, EventQueue, LinearProgram, MachineSpec, StageClock, StageScratch,
+    lease_scratch, linear_guest_time, plan_cache, CoreKind, EventQueue, LinearProgram, MachineSpec,
+    PlanKey, ScratchLease, StageClock,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
+use crate::dnc1::exec1_plan_key;
 use crate::error::SimError;
-use crate::exec1::DiamondExec;
+use crate::exec1::{DiamondExec, DiamondPlan};
 use crate::report::SimReport;
 use crate::zone::ZoneAlloc;
 use crate::{settle_scenario, stage_totals};
@@ -311,7 +315,7 @@ struct Engine<'a, P: LinearProgram> {
     staged_state: FxHashMap<usize, (usize, usize)>,
     clock: StageClock,
     /// Reusable stage buffers (snapshots + deltas), allocated once.
-    scratch: StageScratch,
+    scratch: ScratchLease,
     /// Layout constants (per processor).
     tile_space: usize,
     transit_base: usize,
@@ -324,6 +328,13 @@ struct Engine<'a, P: LinearProgram> {
     session: FaultSession,
     tracer: Tracer,
     core: CoreKind,
+    /// Shared-plan bookkeeping: the cache key of the per-tile
+    /// decomposition plan, the cached plan all `p` executors adopted,
+    /// and the probe's discoveries (harvested with the executors' in
+    /// [`finish`](Self::finish)).
+    plan_key: PlanKey,
+    plan_cached: Option<Arc<DiamondPlan>>,
+    plan_found: DiamondPlan,
 }
 
 impl<'a, P: LinearProgram> Engine<'a, P> {
@@ -376,13 +387,24 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let cbox = IRect::new(0, n as i64, 1, steps + 1);
 
         // Per-processor layout: probe the worst-case inner-tile footprint.
+        // The probe and all `p` executors recurse over translates of the
+        // same tile shapes, so they all share one frozen decomposition
+        // plan from the global cache (the probe's own discoveries seed
+        // the harvest folded back in at `finish`).
         let pseudo = MachineSpec::new(1, spec.n, 1, spec.m);
-        let mut probe = DiamondExec::new(&pseudo, prog, steps, (m as i64 / 2).max(1));
+        let leaf_h = (m as i64 / 2).max(1);
+        let plan_key = exec1_plan_key(spec.n, spec.m, steps, leaf_h);
+        let plan_cached = plan_cache().get_as::<DiamondPlan>(&plan_key);
+        let mut probe = DiamondExec::new(&pseudo, prog, steps, leaf_h);
+        if let Some(pl) = &plan_cached {
+            probe.set_plan(Arc::clone(pl));
+        }
         let interior = ClippedDiamond::new(
             bsmp_geometry::Diamond::new((n / 2) as i64, (steps / 2).max(1), (s / 2) as i64),
             cbox,
         );
         let tile_space = probe.space(&interior) * 2 + 64;
+        let plan_found = probe.drain_discoveries();
         let transit_cap = 8 * s * m + 48 * s + 1024;
         let home_cap = 16 * (n / p).max(s) + 8 * s + 512;
         let transit_base = tile_space;
@@ -390,7 +412,13 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
         let strip_home_base = home_base + home_cap;
 
         let execs: Vec<DiamondExec<'a, P>> = (0..p)
-            .map(|_| DiamondExec::new(&pseudo, prog, steps, (m as i64 / 2).max(1)))
+            .map(|_| {
+                let mut e = DiamondExec::new(&pseudo, prog, steps, leaf_h);
+                if let Some(pl) = &plan_cached {
+                    e.set_plan(Arc::clone(pl));
+                }
+                e
+            })
             .collect();
         let home_zones = (0..p)
             .map(|_| ZoneAlloc::new(home_base, home_cap))
@@ -427,7 +455,7 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             transit_zones,
             staged_state: FxHashMap::default(),
             clock: StageClock::new(),
-            scratch: StageScratch::new(p),
+            scratch: lease_scratch(p),
             tile_space,
             transit_base,
             transit_cap,
@@ -438,6 +466,9 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
             session,
             tracer: Tracer::off(),
             core: opts.core,
+            plan_key,
+            plan_cached,
+            plan_found,
         })
     }
 
@@ -467,11 +498,11 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     /// reusable scratch — marks the start of a stage.
     fn begin_stage(&mut self, label: &str) {
         self.tracer.begin_stage(label);
-        for ((time, comm), e) in self
-            .scratch
+        let scratch = &mut *self.scratch;
+        for ((time, comm), e) in scratch
             .time_before
             .iter_mut()
-            .zip(self.scratch.comm_before.iter_mut())
+            .zip(scratch.comm_before.iter_mut())
             .zip(&self.execs)
         {
             *time = e.ram.time();
@@ -481,18 +512,13 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
 
     /// Close the stage opened by the matching [`begin_stage`](Self::begin_stage).
     fn close_stage(&mut self) -> Result<(), SimError> {
-        for (((delta, comm), e), (t0, c0)) in self
-            .scratch
+        let scratch = &mut *self.scratch;
+        for (((delta, comm), e), (t0, c0)) in scratch
             .per_proc
             .iter_mut()
-            .zip(self.scratch.per_comm.iter_mut())
+            .zip(scratch.per_comm.iter_mut())
             .zip(&self.execs)
-            .zip(
-                self.scratch
-                    .time_before
-                    .iter()
-                    .zip(&self.scratch.comm_before),
-            )
+            .zip(scratch.time_before.iter().zip(&scratch.comm_before))
         {
             *delta = e.ram.time() - t0;
             *comm = e.ram.meter.comm - c0;
@@ -1178,6 +1204,23 @@ impl<'a, P: LinearProgram> Engine<'a, P> {
     }
 
     fn finish(&mut self, spec: &MachineSpec, prog: &impl LinearProgram, steps: i64) -> SimReport {
+        // Fold every executor's plan discoveries (plus the probe's,
+        // stashed at construction) back into the cached plan.  `finish`
+        // only runs on success, so partial failed runs never pollute the
+        // cache.
+        let mut found = std::mem::take(&mut self.plan_found);
+        for e in &mut self.execs {
+            found.absorb(e.drain_discoveries());
+        }
+        if !found.is_empty() {
+            let mut merged = match self.plan_cached.take() {
+                Some(arc) => (*arc).clone(),
+                None => DiamondPlan::default(),
+            };
+            merged.absorb(found);
+            let bytes = merged.approx_bytes();
+            plan_cache().insert(self.plan_key.clone(), Arc::new(merged), bytes);
+        }
         let sm = self.s * self.m;
         let seg = self.q / self.p;
         let mut mem = vec![0 as Word; self.n * self.m];

@@ -33,7 +33,8 @@ use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_geometry::{cell_cover, ClippedDomain2, IBox, Pt3};
 use bsmp_hram::Word;
 use bsmp_machine::{
-    mesh_guest_time, CoreKind, EventQueue, MachineSpec, MeshProgram, StageClock, StageScratch,
+    lease_scratch, mesh_guest_time, CoreKind, EventQueue, MachineSpec, MeshProgram, ScratchLease,
+    StageClock,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
@@ -135,7 +136,7 @@ struct Engine2<'a, P: MeshProgram> {
     transit_zones: Vec<ZoneAlloc>,
     clock: StageClock,
     /// Reusable stage buffers (snapshots + deltas), allocated once.
-    scratch: StageScratch,
+    scratch: ScratchLease,
     session: FaultSession,
     tracer: Tracer,
     tile_space: usize,
@@ -233,7 +234,7 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
             home_zones,
             transit_zones,
             clock: StageClock::new(),
-            scratch: StageScratch::new(sp * sp),
+            scratch: lease_scratch(sp * sp),
             session,
             tracer: Tracer::off(),
             tile_space,
@@ -277,11 +278,11 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
     /// reusable scratch — marks the start of a stage.
     fn begin_stage(&mut self, label: &str) {
         self.tracer.begin_stage(label);
-        for ((time, comm), e) in self
-            .scratch
+        let scratch = &mut *self.scratch;
+        for ((time, comm), e) in scratch
             .time_before
             .iter_mut()
-            .zip(self.scratch.comm_before.iter_mut())
+            .zip(scratch.comm_before.iter_mut())
             .zip(&self.execs)
         {
             *time = e.ram.time();
@@ -291,18 +292,13 @@ impl<'a, P: MeshProgram> Engine2<'a, P> {
 
     /// Close the stage opened by the matching [`begin_stage`](Self::begin_stage).
     fn close_stage(&mut self) -> Result<(), SimError> {
-        for (((delta, comm), e), (t0, c0)) in self
-            .scratch
+        let scratch = &mut *self.scratch;
+        for (((delta, comm), e), (t0, c0)) in scratch
             .per_proc
             .iter_mut()
-            .zip(self.scratch.per_comm.iter_mut())
+            .zip(scratch.per_comm.iter_mut())
             .zip(&self.execs)
-            .zip(
-                self.scratch
-                    .time_before
-                    .iter()
-                    .zip(&self.scratch.comm_before),
-            )
+            .zip(scratch.time_before.iter().zip(&scratch.comm_before))
         {
             *delta = e.ram.time() - t0;
             *comm = e.ram.meter.comm - c0;

@@ -12,8 +12,8 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{
-    linear_guest_time, CoreKind, DisjointSlice, ExecPolicy, LinearProgram, MachineSpec, StageClock,
-    StagePool, StageScratch,
+    lease_scratch, linear_guest_time, CoreKind, DisjointSlice, ExecPolicy, LinearProgram,
+    MachineSpec, PoolLease, StageClock,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
@@ -226,11 +226,11 @@ pub(crate) fn try_simulate_naive1_impl(
     // worker owns its H-RAM and returns its own metered cost into its
     // own slot.
     let pool = if exec.resolved().min(p) > 1 && q >= 256 {
-        StagePool::for_procs(p, exec)
+        PoolLease::for_procs(p, exec)
     } else {
-        StagePool::new(1)
+        PoolLease::serial()
     };
-    let mut scratch = StageScratch::new(p);
+    let mut scratch = lease_scratch(p);
     tracer.ensure_procs(p);
     for t in 1..=steps {
         tracer.begin_stage("step");
@@ -505,12 +505,8 @@ pub(crate) fn try_simulate_naive1_impl(
                 }
             })?;
         }
-        for ((delta, ram), before) in scratch
-            .per_comm
-            .iter_mut()
-            .zip(&rams)
-            .zip(&scratch.comm_before)
-        {
+        let sc = &mut *scratch;
+        for ((delta, ram), before) in sc.per_comm.iter_mut().zip(&rams).zip(&sc.comm_before) {
             *delta = ram.meter.comm - before;
         }
         clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session)?;

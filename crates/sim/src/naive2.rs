@@ -7,8 +7,8 @@
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostTable, Hram, Word};
 use bsmp_machine::{
-    mesh_guest_time, CoreKind, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram, StageClock,
-    StagePool, StageScratch,
+    lease_scratch, mesh_guest_time, CoreKind, DisjointSlice, ExecPolicy, MachineSpec, MeshProgram,
+    PoolLease, StageClock,
 };
 use bsmp_trace::{RunMeta, Tracer};
 
@@ -192,11 +192,11 @@ pub(crate) fn try_simulate_naive2_impl(
     // Host processors are independent within a stage: each owns its
     // H-RAM and writes a disjoint set of guest cells in `next`.
     let pool = if exec.resolved().min(sp * sp) > 1 && q >= 256 {
-        StagePool::for_procs(sp * sp, exec)
+        PoolLease::for_procs(sp * sp, exec)
     } else {
-        StagePool::new(1)
+        PoolLease::serial()
     };
-    let mut scratch = StageScratch::new(sp * sp);
+    let mut scratch = lease_scratch(sp * sp);
     tracer.ensure_procs(sp * sp);
     for t in 1..=steps {
         tracer.begin_stage("step");
@@ -445,12 +445,8 @@ pub(crate) fn try_simulate_naive2_impl(
                 }
             })?;
         }
-        for ((delta, ram), before) in scratch
-            .per_comm
-            .iter_mut()
-            .zip(&rams)
-            .zip(&scratch.comm_before)
-        {
+        let sc = &mut *scratch;
+        for ((delta, ram), before) in sc.per_comm.iter_mut().zip(&rams).zip(&sc.comm_before) {
             *delta = ram.meter.comm - before;
         }
         clock.add_stage_faulted(&scratch.per_proc, &scratch.per_comm, &mut session)?;

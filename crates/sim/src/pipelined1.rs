@@ -14,7 +14,7 @@
 
 use bsmp_faults::{FaultEnv, FaultPlan, FaultSession};
 use bsmp_hram::{CostMeter, Word};
-use bsmp_machine::{linear_guest_time, LinearProgram, MachineSpec, StageClock, StageScratch};
+use bsmp_machine::{lease_scratch, linear_guest_time, LinearProgram, MachineSpec, StageClock};
 use bsmp_trace::{RunMeta, Tracer};
 
 use crate::error::SimError;
@@ -92,7 +92,7 @@ pub fn try_simulate_pipelined1_traced(
     let mut clock = StageClock::new();
     let mut meter = CostMeter::new();
 
-    let mut scratch = StageScratch::new(p);
+    let mut scratch = lease_scratch(p);
     tracer.ensure_procs(p);
     for t in 1..=steps {
         tracer.begin_stage("step");
